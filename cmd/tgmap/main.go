@@ -1,0 +1,83 @@
+// Command tgmap renders on-die temperature heat maps as ASCII shades —
+// the textual equivalent of the paper's Fig. 12 frames. By default it
+// reproduces the figure exactly: cholesky at the Tmax peak under off-chip,
+// all-on, OracT and OracV. A single frame for any benchmark/policy pair is
+// also available:
+//
+//	tgmap -bench fft -policy pracVT -res 64 -duration 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"thermogater/internal/core"
+	"thermogater/internal/experiments"
+	"thermogater/internal/report"
+	"thermogater/internal/sim"
+	"thermogater/internal/workload"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "", "benchmark (empty = the paper's Fig. 12: cholesky × four policies)")
+		policy   = flag.String("policy", "all-on", "gating policy for -bench")
+		res      = flag.Int("res", 84, "heat map resolution (cells per side)")
+		duration = flag.Int("duration", 0, "run length in ms (0 = full ROI)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if *bench == "" {
+		opts := experiments.Options{DurationMS: *duration, Seed: *seed}
+		frames, err := experiments.Fig12HeatMaps(opts)
+		if err != nil {
+			fatal(err)
+		}
+		for _, fr := range frames {
+			title := fmt.Sprintf("Fig. 12 (%s): cholesky at Tmax=%.1f°C", fr.Policy, fr.MaxTempC)
+			if err := report.RenderHeatMap(os.Stdout, title, fr.Grid); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+		return
+	}
+
+	p, err := core.ParsePolicy(*policy)
+	if err != nil {
+		fatal(err)
+	}
+	prof, err := workload.ByName(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := sim.DefaultConfig(p, prof)
+	cfg.Seed = *seed
+	cfg.HeatMapRes = *res
+	if *duration > 0 {
+		cfg.DurationMS = *duration
+	}
+	r, err := sim.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	result, err := r.Run()
+	if err != nil {
+		fatal(err)
+	}
+	if result.HeatMap == nil {
+		fatal(fmt.Errorf("no heat map captured"))
+	}
+	title := fmt.Sprintf("%s under %s at Tmax=%.1f°C (%s)",
+		result.Benchmark, result.Policy, result.MaxTempC, result.MaxTempAt)
+	if err := report.RenderHeatMap(os.Stdout, title, result.HeatMap); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tgmap:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+// Command tgsweep runs the complete evaluation — every policy over every
+// benchmark — and prints all sweep-derived artefacts (Figs. 7, 9, 10, 11,
+// Table 2 and the Section 6.3 headline) in one pass. With -markdown the
+// tables are emitted as GitHub-flavoured markdown, ready to paste into
+// EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"thermogater/internal/experiments"
+	"thermogater/internal/report"
+)
+
+func main() {
+	var (
+		duration = flag.Int("duration", 0, "run length in ms (0 = full 3000ms ROI)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		parallel = flag.Int("parallel", 0, "max concurrent runs (0 = GOMAXPROCS)")
+		markdown = flag.Bool("markdown", false, "emit markdown tables")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{DurationMS: *duration, Seed: *seed, Parallel: *parallel}
+	fmt.Fprintf(os.Stderr, "tgsweep: running 14 benchmarks × %d policies (duration %dms, seed %d)\n",
+		len(experiments.SweepPolicies()), *duration, *seed)
+	sweep, err := experiments.RunSweep(experiments.SweepPolicies(), opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tgsweep:", err)
+		os.Exit(1)
+	}
+
+	tables := []struct {
+		name string
+		get  func() (*report.Table, error)
+	}{
+		{"fig7", sweep.Fig7PlossSaving},
+		{"fig9", sweep.Fig9Tmax},
+		{"fig10", sweep.Fig10Gradient},
+		{"fig11", sweep.Fig11VoltageNoise},
+		{"table2", sweep.Table2Emergencies},
+		{"headline", func() (*report.Table, error) {
+			h, err := sweep.Headline(0.90)
+			if err != nil {
+				return nil, err
+			}
+			return h.Table(), nil
+		}},
+	}
+	for _, t := range tables {
+		tab, err := t.get()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tgsweep: %s: %v\n", t.name, err)
+			os.Exit(1)
+		}
+		render := tab.Render
+		if *markdown {
+			render = tab.RenderMarkdown
+		}
+		if err := render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "tgsweep:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,90 @@
+// Command tgtrace runs one simulation and exports its traces for external
+// analysis or plotting:
+//
+//	tgtrace -policy oracT -bench lu_ncb -kind epochs  > epochs.csv
+//	tgtrace -policy naive -bench lu_ncb -kind vr -vr 4 > vr4.csv
+//	tgtrace -policy all-on -bench cholesky -kind heatmap -res 84 > map.csv
+//	tgtrace -policy pracVT -bench fft -kind result > result.json
+//
+// Epoch and regulator traces are the data behind the paper's Figs. 6 and
+// 8; heat maps behind Fig. 12; the JSON result carries every aggregate
+// metric.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"thermogater/internal/core"
+	"thermogater/internal/sim"
+	"thermogater/internal/traceio"
+	"thermogater/internal/workload"
+)
+
+func main() {
+	var (
+		policy   = flag.String("policy", "oracT", "gating policy")
+		bench    = flag.String("bench", "lu_ncb", "benchmark name")
+		kind     = flag.String("kind", "epochs", "what to export: epochs, vr, heatmap, result")
+		vrID     = flag.Int("vr", 0, "regulator to track for -kind vr")
+		res      = flag.Int("res", 84, "heat map resolution for -kind heatmap")
+		duration = flag.Int("duration", 0, "run length in ms (0 = full ROI)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	p, err := core.ParsePolicy(*policy)
+	if err != nil {
+		fatal(err)
+	}
+	prof, err := workload.ByName(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := sim.DefaultConfig(p, prof)
+	cfg.Seed = *seed
+	if *duration > 0 {
+		cfg.DurationMS = *duration
+	}
+	switch *kind {
+	case "epochs":
+		cfg.TraceEpochs = true
+	case "vr":
+		cfg.TrackVR = *vrID
+	case "heatmap":
+		cfg.HeatMapRes = *res
+	case "result":
+		cfg.TrackAging = true
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+
+	runner, err := sim.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	result, err := runner.Run()
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *kind {
+	case "epochs":
+		err = traceio.WriteEpochCSV(os.Stdout, result.Trace)
+	case "vr":
+		err = traceio.WriteVRTraceCSV(os.Stdout, result.VRTrace)
+	case "heatmap":
+		err = traceio.WriteHeatMapCSV(os.Stdout, result.HeatMap)
+	case "result":
+		err = traceio.WriteResultJSON(os.Stdout, result)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tgtrace:", err)
+	os.Exit(1)
+}

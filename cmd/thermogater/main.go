@@ -1,0 +1,239 @@
+// Command thermogater runs the reproduction's experiments and single
+// simulations from the command line.
+//
+// Regenerate a figure or table of the paper:
+//
+//	thermogater -experiment fig9 -duration 500
+//	thermogater -experiment table2
+//	thermogater -experiment all
+//
+// Run one benchmark under one policy:
+//
+//	thermogater -run pracVT -bench lu_ncb -duration 1000
+//
+// List what is available:
+//
+//	thermogater -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"thermogater/internal/core"
+	"thermogater/internal/experiments"
+	"thermogater/internal/report"
+	"thermogater/internal/sim"
+	"thermogater/internal/workload"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment to regenerate: fig1,fig2,fig5..fig15,table2,headline,aging,dvfs,all")
+		runPolicy  = flag.String("run", "", "run a single simulation under this policy")
+		bench      = flag.String("bench", "lu_ncb", "benchmark for -run")
+		profile    = flag.String("profile", "", "JSON workload profile file for -run (overrides -bench)")
+		duration   = flag.Int("duration", 0, "run length in ms (0 = full 3000ms region of interest)")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		parallel   = flag.Int("parallel", 0, "max concurrent runs (0 = GOMAXPROCS)")
+		list       = flag.Bool("list", false, "list experiments, policies and benchmarks")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		listAll(os.Stdout)
+	case *runPolicy != "":
+		if err := runSingle(os.Stdout, *runPolicy, *bench, *profile, *duration, *seed); err != nil {
+			fatal(err)
+		}
+	case *experiment != "":
+		opts := experiments.Options{DurationMS: *duration, Seed: *seed, Parallel: *parallel}
+		if err := runExperiments(os.Stdout, strings.ToLower(*experiment), opts); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "thermogater:", err)
+	os.Exit(1)
+}
+
+func listAll(w io.Writer) {
+	fmt.Fprintln(w, "experiments: fig1 fig2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table2 headline aging dvfs all")
+	fmt.Fprint(w, "policies:   ")
+	for _, p := range core.AllPolicies() {
+		fmt.Fprintf(w, " %s", p)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, "benchmarks: ")
+	for _, p := range workload.Suite() {
+		fmt.Fprintf(w, " %s", p.Name)
+	}
+	fmt.Fprintln(w)
+}
+
+func runSingle(w io.Writer, policy, bench, profilePath string, duration int, seed uint64) error {
+	p, err := core.ParsePolicy(policy)
+	if err != nil {
+		return err
+	}
+	var prof workload.Profile
+	if profilePath != "" {
+		f, err := os.Open(profilePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		prof, err = workload.ReadProfile(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		prof, err = workload.ByName(bench)
+		if err != nil {
+			return err
+		}
+	}
+	cfg := sim.DefaultConfig(p, prof)
+	cfg.Seed = seed
+	if duration > 0 {
+		cfg.DurationMS = duration
+	}
+	r, err := sim.New(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := r.Run()
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		ID:      "Run",
+		Title:   fmt.Sprintf("%s on %s (%d measured epochs)", res.Policy, res.Benchmark, res.Epochs),
+		Columns: []string{"metric", "value"},
+	}
+	t.AddRow("max temperature (°C)", fmt.Sprintf("%.2f at %s", res.MaxTempC, res.MaxTempAt))
+	t.AddRow("max thermal gradient (°C)", fmt.Sprintf("%.2f", res.MaxGradientC))
+	if res.NoiseModeled {
+		t.AddRow("max voltage noise (%Vdd)", fmt.Sprintf("%.2f", res.MaxNoisePct))
+		t.AddRow("time in voltage emergencies (%)", fmt.Sprintf("%.4f", res.EmergencyFrac*100))
+		t.AddRow("avg conversion loss (W)", fmt.Sprintf("%.2f", res.AvgPlossW))
+		t.AddRow("avg conversion efficiency", fmt.Sprintf("%.4f", res.AvgEta))
+	}
+	t.AddRow("avg chip power (W)", fmt.Sprintf("%.1f", res.AvgChipPowerW))
+	if res.ThetaMeanR2 > 0 {
+		t.AddRow("theta predictor R²", fmt.Sprintf("%.3f", res.ThetaMeanR2))
+	}
+	return t.Render(w)
+}
+
+// sweepSet lists the experiments that share the full policy sweep.
+var sweepSet = map[string]bool{
+	"fig7": true, "fig9": true, "fig10": true, "fig11": true,
+	"table2": true, "headline": true,
+}
+
+func runExperiments(w io.Writer, which string, opts experiments.Options) error {
+	ids := []string{which}
+	if which == "all" {
+		ids = []string{"fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9",
+			"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "table2", "headline"}
+	}
+	var sweep *experiments.Sweep
+	needSweep := false
+	for _, id := range ids {
+		if sweepSet[id] {
+			needSweep = true
+		}
+	}
+	if needSweep {
+		fmt.Fprintln(w, "running full policy sweep (14 benchmarks × 8 policies)...")
+		var err error
+		sweep, err = experiments.RunSweep(experiments.SweepPolicies(), opts)
+		if err != nil {
+			return err
+		}
+	}
+	for _, id := range ids {
+		if err := runExperiment(w, id, opts, sweep); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func runExperiment(w io.Writer, id string, opts experiments.Options, sweep *experiments.Sweep) error {
+	renderFig := func(f *report.Figure, err error) error {
+		if err != nil {
+			return err
+		}
+		return f.Render(w)
+	}
+	renderTab := func(t *report.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		return t.Render(w)
+	}
+	switch id {
+	case "fig1":
+		return renderFig(experiments.Fig1EfficiencySurvey())
+	case "fig2":
+		return renderFig(experiments.Fig2MultiPhase())
+	case "fig5":
+		return renderFig(experiments.Fig5Calibration())
+	case "fig6":
+		return renderFig(experiments.Fig6ActiveRegulators(opts))
+	case "fig7":
+		return renderTab(sweep.Fig7PlossSaving())
+	case "fig8":
+		return renderFig(experiments.Fig8NaiveProfile(opts))
+	case "fig9":
+		return renderTab(sweep.Fig9Tmax())
+	case "fig10":
+		return renderTab(sweep.Fig10Gradient())
+	case "fig11":
+		return renderTab(sweep.Fig11VoltageNoise())
+	case "fig12":
+		frames, err := experiments.Fig12HeatMaps(opts)
+		if err != nil {
+			return err
+		}
+		for _, fr := range frames {
+			title := fmt.Sprintf("Fig. 12 (%s): cholesky heat map at Tmax=%.1f°C", fr.Policy, fr.MaxTempC)
+			if err := report.RenderHeatMap(w, title, fr.Grid); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "fig13":
+		return renderFig(experiments.Fig13ActivityBins(opts))
+	case "fig14":
+		return renderFig(experiments.Fig14NoiseTransient(opts))
+	case "fig15":
+		return renderFig(experiments.Fig15LDOvsFIVR(opts))
+	case "table2":
+		return renderTab(sweep.Table2Emergencies())
+	case "aging":
+		return renderTab(experiments.AgingComparison("lu_ncb", opts))
+	case "dvfs":
+		return renderTab(experiments.DVFSComparison("raytrace", opts))
+	case "headline":
+		h, err := sweep.Headline(0.90)
+		if err != nil {
+			return err
+		}
+		return h.Table().Render(w)
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"thermogater/internal/experiments"
+)
+
+func TestListAll(t *testing.T) {
+	var buf bytes.Buffer
+	listAll(&buf)
+	out := buf.String()
+	for _, want := range []string{"fig9", "table2", "aging", "dvfs", "pracVT", "cholesky"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q", want)
+		}
+	}
+}
+
+func TestRunSingle(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runSingle(&buf, "oracT", "rayt", "", 60, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"oracT on raytrace", "max temperature", "avg conversion efficiency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("run summary missing %q:\n%s", want, out)
+		}
+	}
+	if err := runSingle(&buf, "nope", "fft", "", 60, 1); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if err := runSingle(&buf, "oracT", "nope", "", 60, 1); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := runSingle(&buf, "oracT", "fft", "/does/not/exist.json", 60, 1); err == nil {
+		t.Error("missing profile file accepted")
+	}
+}
+
+func TestRunSingleOffChipOmitsNoise(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runSingle(&buf, "off-chip", "rayt", "", 60, 1); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "voltage noise") {
+		t.Error("off-chip summary reports voltage noise")
+	}
+}
+
+func TestRunExperimentStatic(t *testing.T) {
+	var buf bytes.Buffer
+	opts := experiments.Options{DurationMS: 60, Seed: 1}
+	for _, id := range []string{"fig1", "fig2", "fig5"} {
+		if err := runExperiment(&buf, id, opts, nil); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+	}
+	if err := runExperiment(&buf, "fig99", opts, nil); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if !strings.Contains(buf.String(), "Fig. 2") {
+		t.Error("output missing Fig. 2 header")
+	}
+}
+
+func TestSweepSetCoversSweepExperiments(t *testing.T) {
+	for _, id := range []string{"fig7", "fig9", "fig10", "fig11", "table2", "headline"} {
+		if !sweepSet[id] {
+			t.Errorf("%s not marked as sweep-derived", id)
+		}
+	}
+	if sweepSet["fig1"] {
+		t.Error("fig1 wrongly marked sweep-derived")
+	}
+}
+
+func TestRunExperimentsNonSweepPath(t *testing.T) {
+	var buf bytes.Buffer
+	opts := experiments.Options{DurationMS: 60, Seed: 1}
+	if err := runExperiments(&buf, "fig5", opts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig. 5") {
+		t.Error("output missing Fig. 5")
+	}
+	if strings.Contains(buf.String(), "running full policy sweep") {
+		t.Error("static experiment triggered the sweep")
+	}
+	if err := runExperiments(&buf, "fig99", opts); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,59 @@
+// Multiprogrammed workload: run a different benchmark on each core and
+// watch ThermoGater size every Vdd-domain independently — the Section 7
+// claim that the governor "can accommodate heterogeneity in the workload,
+// including multi-programming". Four cores run the hottest SPLASH2x
+// program (cholesky), four the coldest (raytrace); the per-domain
+// regulator utilisation then splits accordingly, while chip-wide
+// efficiency stays at the peak.
+//
+//	go run ./examples/multiprogram
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"thermogater"
+)
+
+func main() {
+	mix := []string{
+		"cholesky", "cholesky", "cholesky", "cholesky",
+		"raytrace", "raytrace", "raytrace", "raytrace",
+	}
+	res, err := thermogater.RunMix("pracVT", mix,
+		thermogater.WithDuration(400),
+		thermogater.WithSeed(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Multiprogrammed run: %s under %s\n\n", res.Benchmark, res.Policy)
+	fmt.Printf("max temperature: %.2f°C at %s, gradient %.2f°C, eta %.4f\n\n",
+		res.MaxTempC, res.MaxTempAt, res.MaxGradientC, res.AvgEta)
+
+	fmt.Println("average active regulators per core domain (of 9):")
+	domains := thermogater.DomainRegulators()
+	for core := 0; core < thermogater.NumCores; core++ {
+		var sum float64
+		for _, rid := range domains[core] {
+			sum += res.VROnFrac[rid]
+		}
+		bar := ""
+		for i := 0; i < int(sum+0.5); i++ {
+			bar += "#"
+		}
+		fmt.Printf("  core%d (%-8s)  %4.1f  %s\n", core, mix[core][:min(8, len(mix[core]))], sum, bar)
+	}
+	fmt.Println("\nThe cholesky domains keep most of their nine regulators active to")
+	fmt.Println("carry the hot program at peak conversion efficiency; the raytrace")
+	fmt.Println("domains gate the majority of theirs — per-domain control in action.")
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

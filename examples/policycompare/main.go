@@ -1,0 +1,62 @@
+// Policy comparison: run every gating policy of the paper on one benchmark
+// and print the Figs. 9/10/11-style comparison — maximum temperature,
+// maximum thermal gradient, maximum voltage noise, conversion loss and
+// efficiency — in one table. This is the paper's evaluation in miniature:
+// OracT is the thermal optimum but the noise worst case, OracV the
+// opposite, and the practical PracVT lands within a fraction of a degree
+// of the oracle while keeping noise near the all-on best case.
+//
+//	go run ./examples/policycompare [benchmark] [durationMS]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"thermogater"
+)
+
+func main() {
+	bench := "barnes"
+	duration := 400
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	if len(os.Args) > 2 {
+		d, err := strconv.Atoi(os.Args[2])
+		if err != nil {
+			log.Fatalf("bad duration %q: %v", os.Args[2], err)
+		}
+		duration = d
+	}
+
+	fmt.Printf("Gating policy comparison on %s (%dms window)\n\n", bench, duration)
+	fmt.Printf("%-9s %9s %9s %9s %9s %7s %9s\n",
+		"policy", "Tmax(°C)", "grad(°C)", "noise(%)", "Ploss(W)", "eta", "emerg(%)")
+
+	for _, policy := range thermogater.Policies() {
+		res, err := thermogater.Run(policy, bench,
+			thermogater.WithDuration(duration), thermogater.WithSeed(1))
+		if err != nil {
+			log.Fatalf("%s: %v", policy, err)
+		}
+		noise, ploss, eta, emerg := "-", "-", "-", "-"
+		if res.NoiseModeled {
+			noise = fmt.Sprintf("%9.2f", res.MaxNoisePct)
+			ploss = fmt.Sprintf("%9.2f", res.AvgPlossW)
+			eta = fmt.Sprintf("%7.4f", res.AvgEta)
+			emerg = fmt.Sprintf("%9.4f", res.EmergencyFrac*100)
+		}
+		fmt.Printf("%-9s %9.2f %9.2f %9s %9s %7s %9s\n",
+			res.Policy, res.MaxTempC, res.MaxGradientC, noise, ploss, eta, emerg)
+	}
+
+	fmt.Println("\nreading the table (paper Figs. 9-11):")
+	fmt.Println("  - off-chip is the thermal baseline without on-chip regulation")
+	fmt.Println("  - all-on is the voltage-noise best case but burns maximum conversion loss")
+	fmt.Println("  - oracT minimises temperature, at the cost of the worst noise profile")
+	fmt.Println("  - oracV minimises noise among gated policies, at the cost of heat")
+	fmt.Println("  - pracVT is the deployable policy: near-oracle thermally, near-all-on in noise")
+}

@@ -1,0 +1,44 @@
+// Quickstart: run the practical ThermoGater policy (PracVT) on one
+// SPLASH2x benchmark and print the metrics the paper reports — maximum
+// chip temperature, maximum thermal gradient, maximum voltage noise, and
+// the sustained conversion efficiency.
+//
+//	go run ./examples/quickstart [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"thermogater"
+)
+
+func main() {
+	bench := "lu_ncb"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+
+	fmt.Printf("ThermoGater quickstart: PracVT on %s (8 cores, %d regulators, %d Vdd-domains)\n\n",
+		bench, thermogater.NumRegulators, thermogater.NumDomains)
+
+	res, err := thermogater.Run("pracVT", bench,
+		thermogater.WithDuration(500), // 500ms of the 3000ms region of interest
+		thermogater.WithSeed(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("measured epochs:            %d (1ms gating decisions)\n", res.Epochs)
+	fmt.Printf("max chip temperature:       %.2f °C (at %s)\n", res.MaxTempC, res.MaxTempAt)
+	fmt.Printf("max thermal gradient:       %.2f °C\n", res.MaxGradientC)
+	fmt.Printf("max voltage noise:          %.2f %% of nominal Vdd\n", res.MaxNoisePct)
+	fmt.Printf("time in voltage emergency:  %.4f %%\n", res.EmergencyFrac*100)
+	fmt.Printf("emergency all-on overrides: %d domain-epochs\n", res.EmergencyOverrides)
+	fmt.Printf("avg conversion efficiency:  %.4f (peak %.2f)\n", res.AvgEta, thermogater.PeakEfficiency)
+	fmt.Printf("avg conversion loss:        %.2f W\n", res.AvgPlossW)
+	fmt.Printf("avg chip power:             %.1f W\n", res.AvgChipPowerW)
+	fmt.Printf("theta predictor fit (R²):   %.3f\n", res.ThetaMeanR2)
+}

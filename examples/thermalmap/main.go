@@ -1,0 +1,73 @@
+// Thermal map: run one benchmark under two policies and render the on-die
+// temperature field at the hottest moment as ASCII art — the textual
+// version of the paper's Fig. 12 heat maps. The top band of the die holds
+// the eight cores (the hotspots); the lower two thirds hold the L3 banks.
+// Under all-on, the regulator loss sits on top of the core hotspots; under
+// OracT the governor moves the active regulators over the cache, visibly
+// cooling the core band.
+//
+//	go run ./examples/thermalmap [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"thermogater"
+)
+
+const (
+	res      = 64
+	duration = 400
+)
+
+func main() {
+	bench := "cholesky"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+
+	for _, policy := range []string{"all-on", "oracT"} {
+		res, err := thermogater.Run(policy, bench,
+			thermogater.WithDuration(duration),
+			thermogater.WithHeatMap(res),
+			thermogater.WithSeed(1),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s under %s — Tmax %.1f°C at %s, gradient %.1f°C\n",
+			bench, policy, res.MaxTempC, res.MaxTempAt, res.MaxGradientC)
+		render(res.HeatMap)
+		fmt.Println()
+	}
+}
+
+// render draws the grid with ASCII shades, coolest ' ' to hottest '@'.
+func render(grid [][]float64) {
+	shades := []byte(" .:-=+*#%@")
+	lo, hi := grid[0][0], grid[0][0]
+	for _, row := range grid {
+		for _, v := range row {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	fmt.Printf("scale: ' ' = %.1f°C, '@' = %.1f°C\n", lo, hi)
+	for _, row := range grid {
+		line := make([]byte, len(row))
+		for i, v := range row {
+			idx := 0
+			if hi > lo {
+				idx = int((v - lo) / (hi - lo) * float64(len(shades)-1))
+			}
+			line[i] = shades[idx]
+		}
+		fmt.Println(string(line))
+	}
+}

@@ -1,0 +1,3 @@
+module thermogater
+
+go 1.22

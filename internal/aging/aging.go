@@ -1,0 +1,181 @@
+// Package aging models regulator wear-out, quantifying the paper's
+// Section 7 discussion: "ThermoGater policies are likely to affect aging
+// because utilization per regulator does not necessarily stay uniform
+// throughout the execution … particularly considering wear-out paradigms
+// where aging rate increases exponentially with temperature."
+//
+// The model follows Black's equation for electromigration-class wear-out:
+// the instantaneous aging rate of an active regulator scales with a power
+// of its current density and an Arrhenius exponential of its absolute
+// temperature. Integrating the rate over a run yields per-regulator
+// damage, from which mean-time-to-failure estimates and utilisation/aging
+// balance metrics are derived — the quantities that distinguish a policy
+// that concentrates wear (OracV pinning the same logic-side regulators
+// on) from one that spreads it (rotation) or parks it in cool regions
+// (OracT, whose highly utilised regulators sit near memory).
+package aging
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Model holds the Black's-equation parameters.
+type Model struct {
+	// ActivationEnergyEV is the Arrhenius activation energy (eV);
+	// electromigration in copper interconnect is typically ≈0.9eV.
+	ActivationEnergyEV float64
+	// CurrentExponent is Black's current-density exponent n (≈2).
+	CurrentExponent float64
+	// RefTempC and RefCurrentA define the reference stress condition at
+	// which an always-on regulator lasts RefLifetimeHours.
+	RefTempC         float64
+	RefCurrentA      float64
+	RefLifetimeHours float64
+}
+
+// DefaultModel returns electromigration-like constants referenced to a
+// regulator carrying its 1.5A peak share at 80°C lasting 10 years.
+func DefaultModel() Model {
+	return Model{
+		ActivationEnergyEV: 0.9,
+		CurrentExponent:    2.0,
+		RefTempC:           80,
+		RefCurrentA:        1.5,
+		RefLifetimeHours:   10 * 365.25 * 24,
+	}
+}
+
+// Validate rejects non-physical parameters.
+func (m Model) Validate() error {
+	if m.ActivationEnergyEV <= 0 || m.CurrentExponent <= 0 {
+		return errors.New("aging: activation energy and current exponent must be positive")
+	}
+	if m.RefTempC <= -273.15 {
+		return errors.New("aging: reference temperature below absolute zero")
+	}
+	if m.RefCurrentA <= 0 || m.RefLifetimeHours <= 0 {
+		return errors.New("aging: reference stress must be positive")
+	}
+	return nil
+}
+
+// boltzmannEVPerK is the Boltzmann constant in eV/K.
+const boltzmannEVPerK = 8.617333262e-5
+
+// Acceleration returns the aging-rate acceleration factor of the given
+// stress condition relative to the model's reference: >1 means faster
+// wear. Gated regulators (zero current) do not age.
+func (m Model) Acceleration(tempC, currentA float64) float64 {
+	if currentA <= 0 {
+		return 0
+	}
+	tK := tempC + 273.15
+	refK := m.RefTempC + 273.15
+	if tK <= 0 {
+		return 0
+	}
+	arrhenius := math.Exp(m.ActivationEnergyEV / boltzmannEVPerK * (1/refK - 1/tK))
+	current := math.Pow(currentA/m.RefCurrentA, m.CurrentExponent)
+	return arrhenius * current
+}
+
+// Tracker integrates per-regulator damage over a run.
+type Tracker struct {
+	model  Model
+	damage []float64 // reference-hours of equivalent wear
+	time   float64   // observed seconds
+}
+
+// NewTracker creates a tracker for n regulators.
+func NewTracker(n int, model Model) (*Tracker, error) {
+	if n < 1 {
+		return nil, errors.New("aging: need at least one regulator")
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	return &Tracker{model: model, damage: make([]float64, n)}, nil
+}
+
+// Observe accumulates dtS seconds of stress: tempC and currentA hold each
+// regulator's temperature and carried current (zero when gated).
+func (t *Tracker) Observe(tempC, currentA []float64, dtS float64) error {
+	if len(tempC) != len(t.damage) || len(currentA) != len(t.damage) {
+		return fmt.Errorf("aging: got %d temps and %d currents for %d regulators",
+			len(tempC), len(currentA), len(t.damage))
+	}
+	if dtS <= 0 {
+		return errors.New("aging: non-positive interval")
+	}
+	hours := dtS / 3600
+	for i := range t.damage {
+		t.damage[i] += t.model.Acceleration(tempC[i], currentA[i]) * hours
+	}
+	t.time += dtS
+	return nil
+}
+
+// ObservedSeconds returns the total stress time integrated so far.
+func (t *Tracker) ObservedSeconds() float64 { return t.time }
+
+// Damage returns the accumulated per-regulator damage in equivalent
+// reference-hours.
+func (t *Tracker) Damage() []float64 {
+	return append([]float64(nil), t.damage...)
+}
+
+// MTTFYears extrapolates each regulator's mean time to failure assuming
+// the observed stress pattern repeats: lifetime = RefLifetime / average
+// acceleration. Regulators that never aged return +Inf.
+func (t *Tracker) MTTFYears() []float64 {
+	out := make([]float64, len(t.damage))
+	if t.time <= 0 {
+		for i := range out {
+			out[i] = math.Inf(1)
+		}
+		return out
+	}
+	obsHours := t.time / 3600
+	for i, d := range t.damage {
+		if d <= 0 {
+			out[i] = math.Inf(1)
+			continue
+		}
+		avgAccel := d / obsHours
+		out[i] = t.model.RefLifetimeHours / avgAccel / (365.25 * 24)
+	}
+	return out
+}
+
+// MinMTTFYears returns the weakest regulator's lifetime — the number a
+// yield/reliability engineer cares about.
+func (t *Tracker) MinMTTFYears() float64 {
+	min := math.Inf(1)
+	for _, y := range t.MTTFYears() {
+		if y < min {
+			min = y
+		}
+	}
+	return min
+}
+
+// ImbalanceRatio returns max damage / mean damage over all regulators:
+// 1.0 means perfectly balanced wear; large values mean a few regulators
+// absorb most of the stress while others idle (the wear-concentration
+// signature of policies that pin the same regulators on). Returns 0 when
+// nothing aged.
+func (t *Tracker) ImbalanceRatio() float64 {
+	var sum, max float64
+	for _, d := range t.damage {
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return max / (sum / float64(len(t.damage)))
+}

@@ -1,0 +1,168 @@
+package aging
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultModelValid(t *testing.T) {
+	if err := DefaultModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	muts := []func(*Model){
+		func(m *Model) { m.ActivationEnergyEV = 0 },
+		func(m *Model) { m.CurrentExponent = -1 },
+		func(m *Model) { m.RefTempC = -300 },
+		func(m *Model) { m.RefCurrentA = 0 },
+		func(m *Model) { m.RefLifetimeHours = 0 },
+	}
+	for i, mut := range muts {
+		m := DefaultModel()
+		mut(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestAccelerationReference(t *testing.T) {
+	m := DefaultModel()
+	// At exactly the reference stress the acceleration is 1.
+	if a := m.Acceleration(m.RefTempC, m.RefCurrentA); math.Abs(a-1) > 1e-12 {
+		t.Errorf("reference acceleration = %v, want 1", a)
+	}
+}
+
+func TestAccelerationTemperature(t *testing.T) {
+	m := DefaultModel()
+	cool := m.Acceleration(60, m.RefCurrentA)
+	ref := m.Acceleration(80, m.RefCurrentA)
+	hot := m.Acceleration(100, m.RefCurrentA)
+	if !(cool < ref && ref < hot) {
+		t.Errorf("acceleration not increasing with T: %v %v %v", cool, ref, hot)
+	}
+	// Arrhenius with Ea=0.9eV roughly doubles every ~10°C around 80°C.
+	if hot/ref < 3 || hot/ref > 8 {
+		t.Errorf("20°C acceleration ratio = %v, expected strong exponential", hot/ref)
+	}
+}
+
+func TestAccelerationCurrent(t *testing.T) {
+	m := DefaultModel()
+	// Black's n=2: double the current, 4× the wear.
+	ratio := m.Acceleration(80, 3.0) / m.Acceleration(80, 1.5)
+	if math.Abs(ratio-4) > 1e-9 {
+		t.Errorf("current acceleration ratio = %v, want 4", ratio)
+	}
+	if m.Acceleration(80, 0) != 0 {
+		t.Error("gated regulator must not age")
+	}
+	if m.Acceleration(80, -1) != 0 {
+		t.Error("negative current must not age")
+	}
+}
+
+func TestTrackerBasics(t *testing.T) {
+	tr, err := NewTracker(3, DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps := []float64{80, 100, 80}
+	cur := []float64{1.5, 1.5, 0}
+	if err := tr.Observe(temps, cur, 3600); err != nil {
+		t.Fatal(err)
+	}
+	d := tr.Damage()
+	if d[0] <= 0 || d[1] <= d[0] || d[2] != 0 {
+		t.Errorf("damage = %v; want hot > ref > gated(0)", d)
+	}
+	years := tr.MTTFYears()
+	// The reference-stress regulator extrapolates to the reference life.
+	if math.Abs(years[0]-10) > 0.01 {
+		t.Errorf("reference MTTF = %v years, want 10", years[0])
+	}
+	if years[1] >= years[0] {
+		t.Errorf("hot regulator MTTF %v not below reference %v", years[1], years[0])
+	}
+	if !math.IsInf(years[2], 1) {
+		t.Errorf("never-on regulator MTTF = %v, want +Inf", years[2])
+	}
+	if got := tr.MinMTTFYears(); got != years[1] {
+		t.Errorf("MinMTTF = %v, want %v", got, years[1])
+	}
+	if tr.ObservedSeconds() != 3600 {
+		t.Errorf("observed %v s", tr.ObservedSeconds())
+	}
+}
+
+func TestTrackerValidation(t *testing.T) {
+	if _, err := NewTracker(0, DefaultModel()); err == nil {
+		t.Error("zero regulators accepted")
+	}
+	bad := DefaultModel()
+	bad.CurrentExponent = 0
+	if _, err := NewTracker(2, bad); err == nil {
+		t.Error("invalid model accepted")
+	}
+	tr, _ := NewTracker(2, DefaultModel())
+	if err := tr.Observe([]float64{1}, []float64{1, 2}, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := tr.Observe([]float64{1, 2}, []float64{1, 2}, 0); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+func TestImbalanceRatio(t *testing.T) {
+	tr, _ := NewTracker(4, DefaultModel())
+	if tr.ImbalanceRatio() != 0 {
+		t.Error("fresh tracker imbalance not zero")
+	}
+	// Balanced wear.
+	temps := []float64{80, 80, 80, 80}
+	cur := []float64{1.5, 1.5, 1.5, 1.5}
+	_ = tr.Observe(temps, cur, 100)
+	if r := tr.ImbalanceRatio(); math.Abs(r-1) > 1e-9 {
+		t.Errorf("balanced imbalance = %v, want 1", r)
+	}
+	// Concentrate further wear on one regulator.
+	cur = []float64{1.5, 0, 0, 0}
+	for i := 0; i < 10; i++ {
+		_ = tr.Observe(temps, cur, 100)
+	}
+	if r := tr.ImbalanceRatio(); r <= 1.5 {
+		t.Errorf("concentrated imbalance = %v, want well above 1", r)
+	}
+	// The metric is bounded by the regulator count (all damage on one).
+	if r := tr.ImbalanceRatio(); r > 4 {
+		t.Errorf("imbalance %v exceeds the regulator count", r)
+	}
+}
+
+func TestDamageIsCopied(t *testing.T) {
+	tr, _ := NewTracker(2, DefaultModel())
+	_ = tr.Observe([]float64{80, 80}, []float64{1, 1}, 100)
+	d := tr.Damage()
+	d[0] = 1e9
+	if tr.Damage()[0] == 1e9 {
+		t.Error("Damage returned a live reference")
+	}
+}
+
+// Property: acceleration is monotonic in both temperature and current.
+func TestAccelerationMonotonicity(t *testing.T) {
+	m := DefaultModel()
+	f := func(rawT, rawI float64) bool {
+		tC := 40 + math.Mod(math.Abs(rawT), 80) // 40..120°C
+		iA := 0.1 + math.Mod(math.Abs(rawI), 2) // 0.1..2.1A
+		a := m.Acceleration(tC, iA)
+		return m.Acceleration(tC+5, iA) > a && m.Acceleration(tC, iA*1.1) > a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

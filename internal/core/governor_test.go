@@ -1,0 +1,532 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"thermogater/internal/floorplan"
+	"thermogater/internal/pdn"
+	"thermogater/internal/vr"
+)
+
+// testRig bundles the pieces a governor needs.
+type testRig struct {
+	chip     *floorplan.Chip
+	networks []*vr.Network
+	grid     *pdn.Network
+}
+
+func newRig(t *testing.T) *testRig {
+	t.Helper()
+	chip := floorplan.BuildPOWER8()
+	networks := make([]*vr.Network, len(chip.Domains))
+	for i, d := range chip.Domains {
+		nw, err := vr.NewNetwork(vr.FIVR(), len(d.Regulators))
+		if err != nil {
+			t.Fatal(err)
+		}
+		networks[i] = nw
+	}
+	grid, err := pdn.NewNetwork(chip, pdn.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testRig{chip: chip, networks: networks, grid: grid}
+}
+
+func (r *testRig) governor(t *testing.T, policy PolicyKind) *Governor {
+	t.Helper()
+	g, err := NewGovernor(r.chip, r.networks, r.grid, DefaultConfig(policy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// flatInputs builds a full set of inputs with uniform temperatures and a
+// constant demand per domain.
+func (r *testRig) flatInputs(demandA float64) *Inputs {
+	nD := len(r.chip.Domains)
+	nR := len(r.chip.Regulators)
+	nB := len(r.chip.Blocks)
+	in := &Inputs{
+		PrevDomainCurrent:   make([]float64, nD),
+		SensorVRTemps:       make([]float64, nR),
+		VRTemps:             make([]float64, nR),
+		FutureDomainCurrent: make([]float64, nD),
+		FutureBlockCurrent:  make([]float64, nB),
+	}
+	for d := 0; d < nD; d++ {
+		in.PrevDomainCurrent[d] = demandA
+		in.FutureDomainCurrent[d] = demandA
+	}
+	for i := 0; i < nR; i++ {
+		in.SensorVRTemps[i] = 60
+		in.VRTemps[i] = 60
+	}
+	for b := 0; b < nB; b++ {
+		in.FutureBlockCurrent[b] = demandA / 5
+	}
+	in.PredictVRTempOn = func(vrID int, plossW float64) float64 { return 60 + plossW*30 }
+	in.DomainEmergency = func(domain, count int, ranking []int) bool { return false }
+	return in
+}
+
+func TestNewGovernorValidation(t *testing.T) {
+	r := newRig(t)
+	if _, err := NewGovernor(nil, r.networks, r.grid, DefaultConfig(AllOn)); err == nil {
+		t.Error("nil chip accepted")
+	}
+	if _, err := NewGovernor(r.chip, r.networks[:3], r.grid, DefaultConfig(AllOn)); err == nil {
+		t.Error("short network list accepted")
+	}
+	if _, err := NewGovernor(r.chip, r.networks, nil, DefaultConfig(OracV)); err == nil {
+		t.Error("OracV without a PDN accepted")
+	}
+	if _, err := NewGovernor(r.chip, r.networks, nil, DefaultConfig(OracT)); err != nil {
+		t.Errorf("OracT without PDN rejected: %v", err)
+	}
+	bad := DefaultConfig(AllOn)
+	bad.EpochMS = 0
+	if _, err := NewGovernor(r.chip, r.networks, r.grid, bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+	nets := append([]*vr.Network(nil), r.networks...)
+	nets[2] = nil
+	if _, err := NewGovernor(r.chip, nets, r.grid, DefaultConfig(AllOn)); err == nil {
+		t.Error("nil network accepted")
+	}
+}
+
+func TestConfigValidateCases(t *testing.T) {
+	muts := []func(*Config){
+		func(c *Config) { c.Policy = NumPolicies },
+		func(c *Config) { c.EpochMS = -1 },
+		func(c *Config) { c.SensorDelayMS = -0.1 },
+		func(c *Config) { c.SensorDelayMS = c.EpochMS + 1 },
+		func(c *Config) { c.WMAWindow = 0 },
+		func(c *Config) { c.EmergencyAccuracy = 1.5 },
+		func(c *Config) { c.EmergencyFalseRate = -0.1 },
+	}
+	for i, mut := range muts {
+		c := DefaultConfig(PracVT)
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestAllOnAndOffChipDecisions(t *testing.T) {
+	r := newRig(t)
+	in := r.flatInputs(5)
+
+	dec, err := r.governor(t, AllOn).Decide(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dec.ActiveCount(); got != floorplan.TotalVRs {
+		t.Errorf("all-on activates %d, want %d", got, floorplan.TotalVRs)
+	}
+
+	dec, err = r.governor(t, OffChip).Decide(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dec.ActiveCount(); got != 0 {
+		t.Errorf("off-chip activates %d, want 0", got)
+	}
+}
+
+func TestNOnTracksDemandAcrossPolicies(t *testing.T) {
+	r := newRig(t)
+	for _, p := range []PolicyKind{Naive, OracT, OracV} {
+		g := r.governor(t, p)
+		lo, err := g.Decide(r.flatInputs(1.5))
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		hi, err := g.Decide(r.flatInputs(12.0))
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if lo.Domains[0].Count >= hi.Domains[0].Count {
+			t.Errorf("%v: count did not grow with demand (%d vs %d)",
+				p, lo.Domains[0].Count, hi.Domains[0].Count)
+		}
+		if lo.Domains[0].Count != 1 {
+			t.Errorf("%v: at 1.5A expected n_on = 1, got %d", p, lo.Domains[0].Count)
+		}
+	}
+}
+
+func TestNaivePicksCoolest(t *testing.T) {
+	r := newRig(t)
+	g := r.governor(t, Naive)
+	in := r.flatInputs(3.0) // n_on = 2 per core domain
+	// Make regulators 0 and 5 of domain 0 the coolest.
+	d0 := r.chip.Domains[0]
+	for i, rid := range d0.Regulators {
+		in.VRTemps[rid] = 70 + float64(i)
+	}
+	in.VRTemps[d0.Regulators[5]] = 50
+	dec, err := g.Decide(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank := dec.Domains[0].Ranking
+	if rank[0] != 5 || rank[1] != 0 {
+		t.Errorf("naive ranking starts %v, want [5 0 ...]", rank[:2])
+	}
+	if dec.Domains[0].Count != 2 {
+		t.Errorf("count = %d, want 2", dec.Domains[0].Count)
+	}
+}
+
+func TestOracTPicksCoolestToBe(t *testing.T) {
+	r := newRig(t)
+	g := r.governor(t, OracT)
+	in := r.flatInputs(3.0)
+	d0 := r.chip.Domains[0]
+	// Regulator 3 is cool now but will be the hottest if kept on;
+	// regulator 7 is warm now but will stay coolest.
+	in.PredictVRTempOn = func(vrID int, plossW float64) float64 {
+		for i, rid := range d0.Regulators {
+			if rid == vrID {
+				if i == 3 {
+					return 90
+				}
+				if i == 7 {
+					return 55
+				}
+				return 70
+			}
+		}
+		return 70
+	}
+	dec, err := g.Decide(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank := dec.Domains[0].Ranking
+	if rank[0] != 7 {
+		t.Errorf("OracT ranking starts with %d, want 7 (coolest-to-be)", rank[0])
+	}
+	if rank[len(rank)-1] != 3 {
+		t.Errorf("OracT ranking ends with %d, want 3 (hottest-to-be)", rank[len(rank)-1])
+	}
+}
+
+func TestOracVPrefersLogicSideRegulators(t *testing.T) {
+	r := newRig(t)
+	g := r.governor(t, OracV)
+	// Current concentrated on logic blocks.
+	in := r.flatInputs(6.0)
+	for b := range in.FutureBlockCurrent {
+		if r.chip.Blocks[b].Kind == floorplan.Logic {
+			in.FutureBlockCurrent[b] = 3
+		} else {
+			in.FutureBlockCurrent[b] = 0.3
+		}
+	}
+	dec, err := g.Decide(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logic, _, err := r.chip.LogicSideRegulators(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logicSet := map[int]bool{}
+	d0 := r.chip.Domains[0]
+	for _, rid := range logic {
+		for i, r2 := range d0.Regulators {
+			if r2 == rid {
+				logicSet[i] = true
+			}
+		}
+	}
+	// The top-ranked (kept-on) regulators must be logic-side.
+	for k := 0; k < dec.Domains[0].Count && k < 4; k++ {
+		if !logicSet[dec.Domains[0].Ranking[k]] {
+			t.Errorf("OracV rank %d is regulator %d, not logic-side", k, dec.Domains[0].Ranking[k])
+		}
+	}
+}
+
+func TestOracVTEmergencySwitchesAllOn(t *testing.T) {
+	r := newRig(t)
+	g := r.governor(t, OracVT)
+	in := r.flatInputs(3.0)
+	in.DomainEmergency = func(domain, count int, ranking []int) bool { return domain == 2 }
+	dec, err := g.Decide(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Domains[2].EmergencyOverride {
+		t.Error("domain 2 emergency not flagged")
+	}
+	if dec.Domains[2].Count != len(r.chip.Domains[2].Regulators) {
+		t.Errorf("domain 2 count = %d, want all on", dec.Domains[2].Count)
+	}
+	if dec.Domains[0].EmergencyOverride || dec.Domains[0].Count == len(r.chip.Domains[0].Regulators) {
+		t.Error("non-emergency domain was switched to all-on")
+	}
+}
+
+func TestPracTRequiresTheta(t *testing.T) {
+	r := newRig(t)
+	g := r.governor(t, PracT)
+	if _, err := g.Decide(r.flatInputs(3)); err == nil {
+		t.Error("PracT decided without a theta model")
+	}
+}
+
+func TestPracTUsesThetaAndSensors(t *testing.T) {
+	r := newRig(t)
+	g := r.governor(t, PracT)
+	theta := ThetaModel{Theta: make([]float64, len(r.chip.Regulators))}
+	for i := range theta.Theta {
+		theta.Theta[i] = 30
+	}
+	if err := g.SetTheta(theta); err != nil {
+		t.Fatal(err)
+	}
+	in := r.flatInputs(3.0)
+	d0 := r.chip.Domains[0]
+	// Sensor says regulator 4 is cold.
+	in.SensorVRTemps[d0.Regulators[4]] = 40
+	dec, err := g.Decide(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Domains[0].Ranking[0] != 4 {
+		t.Errorf("PracT top choice = %d, want 4 (coldest sensor)", dec.Domains[0].Ranking[0])
+	}
+}
+
+func TestSetThetaValidation(t *testing.T) {
+	r := newRig(t)
+	g := r.governor(t, PracT)
+	if err := g.SetTheta(ThetaModel{Theta: []float64{1, 2}}); err == nil {
+		t.Error("short theta accepted")
+	}
+}
+
+func TestPracVTStochasticDetector(t *testing.T) {
+	r := newRig(t)
+	cfg := DefaultConfig(PracVT)
+	cfg.EmergencyFalseRate = 0
+	g, err := NewGovernor(r.chip, r.networks, r.grid, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta := ThetaModel{Theta: make([]float64, len(r.chip.Regulators))}
+	if err := g.SetTheta(theta); err != nil {
+		t.Fatal(err)
+	}
+	in := r.flatInputs(3.0)
+	in.DomainEmergency = func(domain, count int, ranking []int) bool { return true }
+	hits := 0
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		dec, err := g.Decide(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Domains[0].EmergencyOverride {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if math.Abs(rate-cfg.EmergencyAccuracy) > 0.06 {
+		t.Errorf("detector hit rate = %v, want ≈%v", rate, cfg.EmergencyAccuracy)
+	}
+}
+
+func TestObserveFeedsWMA(t *testing.T) {
+	r := newRig(t)
+	g := r.governor(t, PracT)
+	theta := ThetaModel{Theta: make([]float64, len(r.chip.Regulators))}
+	_ = g.SetTheta(theta)
+
+	dc := make([]float64, len(r.chip.Domains))
+	loss := make([]float64, len(r.chip.Regulators))
+	for i := range dc {
+		dc[i] = 6.0 // steady 6A demand
+	}
+	for k := 0; k < 5; k++ {
+		if err := g.Observe(dc, loss); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in := r.flatInputs(0) // history says 6A even though inputs carry 0
+	dec, err := g.Decide(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r.networks[0].NOn(6.0)
+	if dec.Domains[0].Count != want {
+		t.Errorf("PracT count = %d, want %d from WMA history", dec.Domains[0].Count, want)
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	r := newRig(t)
+	g := r.governor(t, PracT)
+	if err := g.Observe([]float64{1}, make([]float64, len(r.chip.Regulators))); err == nil {
+		t.Error("short domain currents accepted")
+	}
+	if err := g.Observe(make([]float64, len(r.chip.Domains)), []float64{1}); err == nil {
+		t.Error("short VR losses accepted")
+	}
+}
+
+func TestDecideNilInputs(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.governor(t, AllOn).Decide(nil); err == nil {
+		t.Error("nil inputs accepted")
+	}
+}
+
+func TestRankingsArePermutations(t *testing.T) {
+	r := newRig(t)
+	for _, p := range []PolicyKind{Naive, OracT, OracV} {
+		dec, err := r.governor(t, p).Decide(r.flatInputs(7))
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		for d, dd := range dec.Domains {
+			n := len(r.chip.Domains[d].Regulators)
+			if len(dd.Ranking) != n {
+				t.Fatalf("%v domain %d: ranking of %d for %d regulators", p, d, len(dd.Ranking), n)
+			}
+			seen := make([]bool, n)
+			for _, idx := range dd.Ranking {
+				if idx < 0 || idx >= n || seen[idx] {
+					t.Fatalf("%v domain %d: ranking %v is not a permutation", p, d, dd.Ranking)
+				}
+				seen[idx] = true
+			}
+			if dd.Count < 1 || dd.Count > n {
+				t.Fatalf("%v domain %d: count %d outside [1,%d]", p, d, dd.Count, n)
+			}
+		}
+	}
+}
+
+func TestMissingOracleInputsRejected(t *testing.T) {
+	r := newRig(t)
+	in := r.flatInputs(3)
+	in.PredictVRTempOn = nil
+	if _, err := r.governor(t, OracT).Decide(in); err == nil {
+		t.Error("OracT without PredictVRTempOn accepted")
+	}
+	in = r.flatInputs(3)
+	in.FutureBlockCurrent = nil
+	if _, err := r.governor(t, OracV).Decide(in); err == nil {
+		t.Error("OracV without future block currents accepted")
+	}
+	in = r.flatInputs(3)
+	in.DomainEmergency = nil
+	if _, err := r.governor(t, OracVT).Decide(in); err == nil {
+		t.Error("OracVT without DomainEmergency accepted")
+	}
+	in = r.flatInputs(3)
+	in.VRTemps = nil
+	if _, err := r.governor(t, Naive).Decide(in); err == nil {
+		t.Error("Naive without instantaneous temps accepted")
+	}
+	in = r.flatInputs(3)
+	in.FutureDomainCurrent = nil
+	if _, err := r.governor(t, OracT).Decide(in); err == nil {
+		t.Error("OracT without future demand accepted")
+	}
+	in = r.flatInputs(3)
+	in.PrevDomainCurrent = nil
+	if _, err := r.governor(t, Naive).Decide(in); err == nil {
+		t.Error("Naive without previous demand accepted")
+	}
+}
+
+func TestGovernorAccessors(t *testing.T) {
+	r := newRig(t)
+	g := r.governor(t, PracT)
+	if g.Config().Policy != PracT {
+		t.Errorf("Config policy %v", g.Config().Policy)
+	}
+	if len(g.Theta().Theta) != 0 {
+		t.Error("fresh governor has a theta model")
+	}
+	theta := ThetaModel{Theta: make([]float64, len(r.chip.Regulators))}
+	if err := g.SetTheta(theta); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Theta().Theta) != len(r.chip.Regulators) {
+		t.Error("Theta not round-tripped")
+	}
+}
+
+func TestCustomPolicyRankingValidated(t *testing.T) {
+	r := newRig(t)
+	mkGov := func(rank func(domain int, in *Inputs, demandA float64, count int) []int) *Governor {
+		cfg := DefaultConfig(Custom)
+		cfg.CustomRank = rank
+		g, err := NewGovernor(r.chip, r.networks, r.grid, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	// Short ranking rejected.
+	g := mkGov(func(domain int, in *Inputs, demandA float64, count int) []int {
+		return []int{0, 1}
+	})
+	if _, err := g.Decide(r.flatInputs(3)); err == nil {
+		t.Error("short custom ranking accepted")
+	}
+	// Duplicate entries rejected.
+	g = mkGov(func(domain int, in *Inputs, demandA float64, count int) []int {
+		n := len(r.chip.Domains[domain].Regulators)
+		out := make([]int, n)
+		return out // all zeros
+	})
+	if _, err := g.Decide(r.flatInputs(3)); err == nil {
+		t.Error("duplicate custom ranking accepted")
+	}
+	// Out-of-range entries rejected.
+	g = mkGov(func(domain int, in *Inputs, demandA float64, count int) []int {
+		n := len(r.chip.Domains[domain].Regulators)
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		out[0] = 99
+		return out
+	})
+	if _, err := g.Decide(r.flatInputs(3)); err == nil {
+		t.Error("out-of-range custom ranking accepted")
+	}
+	// A valid ranking works.
+	g = mkGov(func(domain int, in *Inputs, demandA float64, count int) []int {
+		n := len(r.chip.Domains[domain].Regulators)
+		out := make([]int, n)
+		for i := range out {
+			out[i] = n - 1 - i
+		}
+		return out
+	})
+	dec, err := g.Decide(r.flatInputs(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(r.chip.Domains[0].Regulators)
+	if dec.Domains[0].Ranking[0] != n-1 {
+		t.Errorf("custom ranking not honoured: %v", dec.Domains[0].Ranking)
+	}
+	// Custom without CustomRank is rejected at construction.
+	cfg := DefaultConfig(Custom)
+	if _, err := NewGovernor(r.chip, r.networks, r.grid, cfg); err == nil {
+		t.Error("Custom policy without CustomRank accepted")
+	}
+}

@@ -1,0 +1,124 @@
+// Package core implements ThermoGater, the paper's contribution: an
+// architectural governor that orchestrates thermally-aware gating of the
+// distributed on-chip voltage regulators. Every millisecond the governor
+// (1) determines, per Vdd-domain, the number of active regulators n_on
+// required to sustain operation at the peak conversion efficiency for the
+// anticipated current demand (Section 6.1), and (2) selects *which* n_on
+// regulators to activate (Section 6.2), trading the thermal profile against
+// voltage noise exactly as the paper's policy ladder does:
+//
+//	off-chip — no on-chip regulation (thermal baseline)
+//	all-on   — every regulator always active (voltage-noise best case)
+//	Naïve    — greedy: activate the currently coolest regulators
+//	OracT    — oracle: activate the coolest-to-be regulators
+//	OracV    — oracle: activate the most noise-critical regulators
+//	OracVT   — OracT, switching a domain to all-on on (perfectly
+//	           predicted) voltage emergencies
+//	PracT    — OracT with real-world limitations: stale sensors, a WMA
+//	           demand forecast, and the linear ΔT = θ·ΔP predictor (Eqn 2)
+//	PracVT   — PracT plus a ~90%-accurate voltage-emergency predictor
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PolicyKind identifies one gating policy.
+type PolicyKind int
+
+const (
+	// OffChip disables on-chip regulation entirely.
+	OffChip PolicyKind = iota
+	// AllOn keeps all 96 regulators active all the time.
+	AllOn
+	// Naive activates the n_on currently-coolest regulators (Section 6.2.1).
+	Naive
+	// OracT activates the n_on coolest-to-be regulators using oracular
+	// knowledge of future demand and temperature (Section 6.2.2).
+	OracT
+	// OracV activates the n_on most noise-critical regulators using
+	// oracular knowledge of the future current map (Section 6.2.3).
+	OracV
+	// OracVT mimics OracT but switches a domain to all-on upon a
+	// (perfectly predicted) voltage emergency (Section 6.2.4).
+	OracVT
+	// PracT is the practical counterpart of OracT (Section 6.3).
+	PracT
+	// PracVT is the practical counterpart of OracVT (Section 6.3).
+	PracVT
+	// Custom delegates regulator ranking to a user-supplied function (see
+	// Config.CustomRank); n_on sizing still follows the practical WMA
+	// forecaster so the peak-efficiency constraint is preserved.
+	Custom
+	// NumPolicies is the number of defined policies.
+	NumPolicies
+)
+
+var policyNames = [NumPolicies]string{
+	"off-chip", "all-on", "naive", "oracT", "oracV", "oracVT", "pracT", "pracVT", "custom",
+}
+
+// String implements fmt.Stringer.
+func (p PolicyKind) String() string {
+	if p >= 0 && int(p) < len(policyNames) {
+		return policyNames[p]
+	}
+	return fmt.Sprintf("PolicyKind(%d)", int(p))
+}
+
+// ParsePolicy resolves a policy name (case-insensitive; accepts the paper's
+// spellings like "OracVT" and "Naïve").
+func ParsePolicy(s string) (PolicyKind, error) {
+	key := strings.ToLower(strings.TrimSpace(s))
+	key = strings.ReplaceAll(key, "ï", "i")
+	for i, n := range policyNames {
+		if key == n || key == strings.ToLower(n) {
+			return PolicyKind(i), nil
+		}
+	}
+	switch key {
+	case "offchip", "off_chip":
+		return OffChip, nil
+	case "allon", "all_on":
+		return AllOn, nil
+	case "oract":
+		return OracT, nil
+	case "oracv":
+		return OracV, nil
+	case "oracvt":
+		return OracVT, nil
+	case "pract":
+		return PracT, nil
+	case "pracvt":
+		return PracVT, nil
+	}
+	return 0, fmt.Errorf("core: unknown policy %q", s)
+}
+
+// AllPolicies lists every policy in the order the paper's figures use.
+func AllPolicies() []PolicyKind {
+	return []PolicyKind{Naive, OracT, OracV, OracVT, PracT, PracVT, AllOn, OffChip}
+}
+
+// GatedPolicies lists the policies that actually gate regulators (those
+// whose noise Fig. 11 reports, plus all-on as the reference).
+func GatedPolicies() []PolicyKind {
+	return []PolicyKind{OracT, OracV, OracVT, PracT, PracVT, AllOn}
+}
+
+// IsOracular reports whether the policy assumes oracular knowledge.
+func (p PolicyKind) IsOracular() bool {
+	return p == OracT || p == OracV || p == OracVT
+}
+
+// IsThermallyAware reports whether the policy uses thermal information in
+// regulator selection.
+func (p PolicyKind) IsThermallyAware() bool {
+	switch p {
+	case Naive, OracT, OracVT, PracT, PracVT:
+		return true
+	default:
+		return false
+	}
+}

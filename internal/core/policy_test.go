@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]PolicyKind{
+		"off-chip": OffChip,
+		"offchip":  OffChip,
+		"all-on":   AllOn,
+		"ALLON":    AllOn,
+		"naive":    Naive,
+		"Naïve":    Naive,
+		"OracT":    OracT,
+		"oracv":    OracV,
+		"OracVT":   OracVT,
+		"pracT":    PracT,
+		"PracVT":   PracVT,
+		" pracvt ": PracVT,
+	}
+	for s, want := range cases {
+		got, err := ParsePolicy(s)
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", s, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParsePolicy(%q) = %v, want %v", s, got, want)
+		}
+	}
+	if _, err := ParsePolicy("magic"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestPolicyStringRoundTrip(t *testing.T) {
+	for p := PolicyKind(0); p < NumPolicies; p++ {
+		got, err := ParsePolicy(p.String())
+		if err != nil {
+			t.Errorf("round trip %v: %v", p, err)
+			continue
+		}
+		if got != p {
+			t.Errorf("round trip %v -> %v", p, got)
+		}
+	}
+}
+
+func TestPolicyClassification(t *testing.T) {
+	if !OracT.IsOracular() || !OracV.IsOracular() || !OracVT.IsOracular() {
+		t.Error("oracle policies misclassified")
+	}
+	if PracT.IsOracular() || AllOn.IsOracular() || Naive.IsOracular() {
+		t.Error("non-oracle policies misclassified")
+	}
+	for _, p := range []PolicyKind{Naive, OracT, OracVT, PracT, PracVT} {
+		if !p.IsThermallyAware() {
+			t.Errorf("%v must be thermally aware", p)
+		}
+	}
+	for _, p := range []PolicyKind{OffChip, AllOn, OracV} {
+		if p.IsThermallyAware() {
+			t.Errorf("%v must not be thermally aware", p)
+		}
+	}
+}
+
+func TestPolicyLists(t *testing.T) {
+	if len(AllPolicies()) != 8 {
+		t.Errorf("AllPolicies has %d entries, want 8", len(AllPolicies()))
+	}
+	gated := GatedPolicies()
+	if len(gated) != 6 {
+		t.Errorf("GatedPolicies has %d entries, want 6", len(gated))
+	}
+	for _, p := range gated {
+		if p == OffChip {
+			t.Error("off-chip listed among gated policies")
+		}
+	}
+}
+
+func TestFitTheta(t *testing.T) {
+	// Two regulators with known slopes plus small noise.
+	dP := [][]float64{
+		{0.1, -0.05, 0.2, 0.15, -0.1},
+		{0.3, 0.1, -0.2, 0.05, 0.25},
+	}
+	slopes := []float64{30, 45}
+	dT := make([][]float64, 2)
+	for i := range dP {
+		dT[i] = make([]float64, len(dP[i]))
+		for k, p := range dP[i] {
+			dT[i][k] = slopes[i] * p
+		}
+	}
+	m, err := FitTheta(dP, dT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range slopes {
+		if math.Abs(m.Theta[i]-want) > 1e-9 {
+			t.Errorf("theta[%d] = %v, want %v", i, m.Theta[i], want)
+		}
+		if m.R2[i] < 0.999 {
+			t.Errorf("noiseless fit R2[%d] = %v", i, m.R2[i])
+		}
+	}
+	if m.MeanR2() < 0.999 {
+		t.Errorf("MeanR2 = %v", m.MeanR2())
+	}
+}
+
+func TestFitThetaValidation(t *testing.T) {
+	if _, err := FitTheta(nil, nil); err == nil {
+		t.Error("empty traces accepted")
+	}
+	if _, err := FitTheta([][]float64{{1, 2}}, [][]float64{{1, 2}, {3, 4}}); err == nil {
+		t.Error("trace count mismatch accepted")
+	}
+	if _, err := FitTheta([][]float64{{1, 2}}, [][]float64{{1}}); err == nil {
+		t.Error("sample count mismatch accepted")
+	}
+	if _, err := FitTheta([][]float64{{1}}, [][]float64{{1}}); err == nil {
+		t.Error("single sample accepted")
+	}
+}
+
+func TestThetaPredict(t *testing.T) {
+	m := ThetaModel{Theta: []float64{10}}
+	if got := m.Predict(0, 60, 0.2); math.Abs(got-62) > 1e-12 {
+		t.Errorf("Predict = %v, want 62", got)
+	}
+	// Out-of-range index degrades to the sensor reading.
+	if got := m.Predict(5, 60, 0.2); got != 60 {
+		t.Errorf("out-of-range Predict = %v, want 60", got)
+	}
+	if got := m.Predict(-1, 60, 0.2); got != 60 {
+		t.Errorf("negative-index Predict = %v, want 60", got)
+	}
+}
+
+func TestMeanR2Empty(t *testing.T) {
+	if got := (ThetaModel{}).MeanR2(); got != 0 {
+		t.Errorf("empty MeanR2 = %v", got)
+	}
+}

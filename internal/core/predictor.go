@@ -1,0 +1,158 @@
+package core
+
+import "fmt"
+
+// DetectorKind selects how the practical VT policy anticipates voltage
+// emergencies (Section 6.3, after Reddi et al.: "Predicting Voltage Droops
+// Using Recurring Program and Microarchitectural Event Activity").
+type DetectorKind int
+
+const (
+	// DetectStochastic models the published >90%-accuracy detector
+	// abstractly: a coin weighted by Config.EmergencyAccuracy over the
+	// ground truth. This is the paper's operating assumption.
+	DetectStochastic DetectorKind = iota
+	// DetectSignature is a concrete Reddi-style predictor: it learns
+	// which recurring activity signatures precede emergencies using
+	// per-signature saturating counters (like a branch predictor) and
+	// consults only observable state — no oracle at decision time.
+	DetectSignature
+)
+
+// String implements fmt.Stringer.
+func (k DetectorKind) String() string {
+	switch k {
+	case DetectStochastic:
+		return "stochastic"
+	case DetectSignature:
+		return "signature"
+	default:
+		return fmt.Sprintf("DetectorKind(%d)", int(k))
+	}
+}
+
+// PredictorStats tallies a detector's confusion matrix over a run.
+// Suppressed counts alerts whose protective action (all-on) was followed
+// by no emergency: operationally successes, but with an unobservable
+// counterfactual, so they are excluded from the plain confusion matrix.
+type PredictorStats struct {
+	TruePositive, FalsePositive, TrueNegative, FalseNegative int
+	Suppressed                                               int
+}
+
+// Recall returns the fraction of actual emergencies that were predicted.
+func (s PredictorStats) Recall() float64 {
+	d := s.TruePositive + s.FalseNegative
+	if d == 0 {
+		return 0
+	}
+	return float64(s.TruePositive) / float64(d)
+}
+
+// EffectiveRecall treats suppressed alerts (action taken, no emergency
+// materialised) as successes — the operational hit rate of the detector.
+func (s PredictorStats) EffectiveRecall() float64 {
+	d := s.TruePositive + s.Suppressed + s.FalseNegative
+	if d == 0 {
+		return 0
+	}
+	return float64(s.TruePositive+s.Suppressed) / float64(d)
+}
+
+// Precision returns the fraction of alerts that were real.
+func (s PredictorStats) Precision() float64 {
+	d := s.TruePositive + s.FalsePositive
+	if d == 0 {
+		return 0
+	}
+	return float64(s.TruePositive) / float64(d)
+}
+
+// Accuracy returns the overall hit rate.
+func (s PredictorStats) Accuracy() float64 {
+	n := s.TruePositive + s.FalsePositive + s.TrueNegative + s.FalseNegative
+	if n == 0 {
+		return 0
+	}
+	return float64(s.TruePositive+s.TrueNegative) / float64(n)
+}
+
+// signaturePredictor learns (signature → emergency) associations with
+// 2-bit saturating counters.
+type signaturePredictor struct {
+	table   map[uint32]uint8
+	pending []uint32 // per domain: the signature the last prediction used
+	hasPend []bool
+	stats   PredictorStats
+}
+
+func newSignaturePredictor(domains int) *signaturePredictor {
+	return &signaturePredictor{
+		table:   make(map[uint32]uint8),
+		pending: make([]uint32, domains),
+		hasPend: make([]bool, domains),
+	}
+}
+
+// signature hashes the observable per-domain state: the quantised demand
+// level, its trend, and — the strongest signal, since droop storms persist
+// across intervals — whether the domain was in an emergency last interval.
+func emergencySignature(domain int, demandA float64, trendUp, lastEmergency bool) uint32 {
+	level := uint32(demandA)
+	if level > 15 {
+		level = 15
+	}
+	sig := uint32(domain)<<8 | level<<2
+	if trendUp {
+		sig |= 2
+	}
+	if lastEmergency {
+		sig |= 1
+	}
+	return sig
+}
+
+// predict consults the counter table and records the pending signature.
+func (p *signaturePredictor) predict(domain int, sig uint32) bool {
+	p.pending[domain] = sig
+	p.hasPend[domain] = true
+	return p.table[sig] >= 2
+}
+
+// learn resolves the pending prediction for the domain against the truth.
+// acted reports whether the prediction triggered the all-on override: a
+// quiet interval after an acted-on alert is (most likely) a *suppressed*
+// emergency, so the counters are left armed rather than decremented —
+// without this, a successful detector would immediately unlearn itself.
+func (p *signaturePredictor) learn(domain int, emergency, acted bool) {
+	if !p.hasPend[domain] {
+		return
+	}
+	sig := p.pending[domain]
+	p.hasPend[domain] = false
+	predicted := p.table[sig] >= 2
+	if acted && !emergency {
+		p.stats.Suppressed++
+		return
+	}
+	switch {
+	case predicted && emergency:
+		p.stats.TruePositive++
+	case predicted && !emergency:
+		p.stats.FalsePositive++
+	case !predicted && emergency:
+		p.stats.FalseNegative++
+	default:
+		p.stats.TrueNegative++
+	}
+	c := p.table[sig]
+	if emergency {
+		if c < 3 {
+			p.table[sig] = c + 1
+		}
+	} else {
+		if c > 0 {
+			p.table[sig] = c - 1
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestDetectorKindString(t *testing.T) {
+	if DetectStochastic.String() != "stochastic" || DetectSignature.String() != "signature" {
+		t.Error("detector kind strings wrong")
+	}
+	if DetectorKind(9).String() == "" {
+		t.Error("unknown kind renders empty")
+	}
+}
+
+func TestPredictorStatsMath(t *testing.T) {
+	s := PredictorStats{TruePositive: 8, FalsePositive: 2, TrueNegative: 85, FalseNegative: 5, Suppressed: 13}
+	if got := s.Recall(); got != 8.0/13 {
+		t.Errorf("recall %v", got)
+	}
+	if got := s.EffectiveRecall(); got != 21.0/26 {
+		t.Errorf("effective recall %v", got)
+	}
+	if got := s.Precision(); got != 0.8 {
+		t.Errorf("precision %v", got)
+	}
+	if got := s.Accuracy(); got != 93.0/100 {
+		t.Errorf("accuracy %v", got)
+	}
+	zero := PredictorStats{}
+	if zero.Recall() != 0 || zero.Precision() != 0 || zero.Accuracy() != 0 || zero.EffectiveRecall() != 0 {
+		t.Error("zero stats not zero")
+	}
+}
+
+func TestSignatureFields(t *testing.T) {
+	base := emergencySignature(3, 5.2, false, false)
+	if emergencySignature(3, 5.2, false, true) == base {
+		t.Error("last-emergency bit not encoded")
+	}
+	if emergencySignature(3, 5.2, true, false) == base {
+		t.Error("trend bit not encoded")
+	}
+	if emergencySignature(4, 5.2, false, false) == base {
+		t.Error("domain not encoded")
+	}
+	if emergencySignature(3, 9.7, false, false) == base {
+		t.Error("demand level not encoded")
+	}
+	// Demand saturates at the top bucket rather than aliasing.
+	if emergencySignature(3, 300, false, false) != emergencySignature(3, 16, false, false) {
+		t.Error("demand quantisation does not saturate")
+	}
+}
+
+func TestSignaturePredictorLearns(t *testing.T) {
+	p := newSignaturePredictor(2)
+	sig := emergencySignature(0, 4, false, true)
+
+	// Before any learning the predictor stays quiet.
+	if p.predict(0, sig) {
+		t.Error("untrained predictor alerted")
+	}
+	p.learn(0, true, false)
+	// One observation is not enough for a 2-bit counter to alert.
+	if p.predict(0, sig) {
+		t.Error("predictor alerted after a single observation")
+	}
+	p.learn(0, true, false)
+	if !p.predict(0, sig) {
+		t.Error("predictor silent after two confirming observations")
+	}
+	p.learn(0, true, false)
+
+	// Counter-evidence eventually silences it again.
+	for i := 0; i < 4; i++ {
+		p.predict(0, sig)
+		p.learn(0, false, false)
+	}
+	if p.predict(0, sig) {
+		t.Error("predictor still alerting after sustained counter-evidence")
+	}
+	p.learn(0, false, false)
+
+	st := p.stats
+	if st.TruePositive == 0 || st.FalsePositive == 0 || st.FalseNegative == 0 || st.TrueNegative == 0 {
+		t.Errorf("confusion matrix incomplete: %+v", st)
+	}
+}
+
+func TestSignaturePredictorLearnsOnlyPending(t *testing.T) {
+	p := newSignaturePredictor(1)
+	// learn without a pending prediction is a no-op.
+	p.learn(0, true, false)
+	if p.stats != (PredictorStats{}) {
+		t.Errorf("stats moved without a prediction: %+v", p.stats)
+	}
+}
+
+func TestGovernorSignatureDetectorEndToEnd(t *testing.T) {
+	r := newRig(t)
+	cfg := DefaultConfig(PracVT)
+	cfg.Detector = DetectSignature
+	g, err := NewGovernor(r.chip, r.networks, r.grid, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta := ThetaModel{Theta: make([]float64, len(r.chip.Regulators))}
+	if err := g.SetTheta(theta); err != nil {
+		t.Fatal(err)
+	}
+	in := r.flatInputs(3.0)
+	// Simulate recurring emergencies on domain 0: demand level constant,
+	// emergencies persist — after a couple of epochs the detector must
+	// pre-emptively switch domain 0 to all-on.
+	emer := make([]bool, len(r.chip.Domains))
+	alerted := false
+	for epoch := 0; epoch < 10; epoch++ {
+		in.Epoch = epoch
+		dec, err := g.Decide(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epoch >= 4 && dec.Domains[0].EmergencyOverride {
+			alerted = true
+		}
+		emer[0] = true
+		if err := g.ObserveEmergencies(emer); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !alerted {
+		t.Error("signature detector never learned the recurring emergency")
+	}
+	stats := g.DetectorStats()
+	if stats.TruePositive == 0 {
+		t.Errorf("no true positives recorded: %+v", stats)
+	}
+	if err := g.ObserveEmergencies(emer[:3]); err == nil {
+		t.Error("short emergency vector accepted")
+	}
+}

@@ -1,0 +1,150 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6) from the reproduction's own models: the static
+// regulator characterisations (Figs. 1, 2, 5), the per-benchmark runs
+// (Figs. 6, 7, 8, 12, 13, 14, 15) and the full policy sweep (Figs. 9, 10,
+// 11, Table 2 and the Section 6.3 headline numbers).
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"thermogater/internal/core"
+	"thermogater/internal/pdn"
+	"thermogater/internal/sim"
+	"thermogater/internal/vr"
+	"thermogater/internal/workload"
+)
+
+// Options scales the experiments: the paper's full runs use the complete
+// 3000ms regions of interest; tests and quick looks use shorter windows.
+type Options struct {
+	// DurationMS truncates each run when positive (0 = the benchmark's
+	// full region of interest).
+	DurationMS int
+	// Seed drives all stochastic components.
+	Seed uint64
+	// Parallel bounds concurrent runs (0 = GOMAXPROCS).
+	Parallel int
+}
+
+// DefaultOptions runs the full-length evaluation.
+func DefaultOptions() Options {
+	return Options{Seed: 1}
+}
+
+// workers returns the effective parallelism.
+func (o Options) workers() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// simConfig builds the run configuration for one (policy, benchmark) cell.
+func (o Options) simConfig(policy core.PolicyKind, bench workload.Profile) sim.Config {
+	cfg := sim.DefaultConfig(policy, bench)
+	cfg.Seed = o.Seed
+	if o.DurationMS > 0 {
+		cfg.DurationMS = o.DurationMS
+	}
+	return cfg
+}
+
+// BenchmarkOrder lists the suite in the order the paper's figures use.
+func BenchmarkOrder() []string {
+	var names []string
+	for _, p := range workload.Suite() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// runOne executes a single configured simulation.
+func runOne(cfg sim.Config) (*sim.Result, error) {
+	r, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run()
+}
+
+// Sweep holds the results of the full benchmarks × policies evaluation,
+// keyed by benchmark name then policy name.
+type Sweep struct {
+	Policies []core.PolicyKind
+	Results  map[string]map[string]*sim.Result
+}
+
+// RunSweep executes the given policies over the whole benchmark suite
+// concurrently and collects the results.
+func RunSweep(policies []core.PolicyKind, opts Options) (*Sweep, error) {
+	if len(policies) == 0 {
+		return nil, errors.New("experiments: no policies to sweep")
+	}
+	suite := workload.Suite()
+	sw := &Sweep{Policies: policies, Results: make(map[string]map[string]*sim.Result)}
+	for _, b := range suite {
+		sw.Results[b.Name] = make(map[string]*sim.Result, len(policies))
+	}
+
+	type job struct {
+		bench  workload.Profile
+		policy core.PolicyKind
+	}
+	jobs := make(chan job)
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for w := 0; w < opts.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				res, err := runOne(opts.simConfig(j.policy, j.bench))
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("%s/%s: %w", j.bench.Name, j.policy, err)
+				}
+				if err == nil {
+					sw.Results[j.bench.Name][j.policy.String()] = res
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, b := range suite {
+		for _, p := range policies {
+			jobs <- job{bench: b, policy: p}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return sw, nil
+}
+
+// Get returns one cell of the sweep.
+func (s *Sweep) Get(bench string, policy core.PolicyKind) (*sim.Result, error) {
+	m, ok := s.Results[bench]
+	if !ok {
+		return nil, fmt.Errorf("experiments: benchmark %q not in sweep", bench)
+	}
+	r, ok := m[policy.String()]
+	if !ok {
+		return nil, fmt.Errorf("experiments: policy %v not in sweep for %q", policy, bench)
+	}
+	return r, nil
+}
+
+// ldoConfig switches a run configuration to the POWER8-like LDO design
+// point of Section 6.4: same calibrated efficiency curves, faster response.
+func ldoConfig(cfg sim.Config) sim.Config {
+	cfg.Design = vr.POWER8LDO()
+	cfg.PDN = pdn.LDOConfig()
+	return cfg
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+
+	"thermogater/internal/report"
+	"thermogater/internal/vr"
+)
+
+// Fig1EfficiencySurvey regenerates Fig. 1: the reported η-vs-Iout curves of
+// eight highly optimized ISSCC 2015 regulator designs, spanning load
+// currents from tens of microamps to ten amps.
+func Fig1EfficiencySurvey() (*report.Figure, error) {
+	f := &report.Figure{
+		ID:     "Fig. 1",
+		Title:  "Power conversion efficiency of recent ISSCC 2015 regulators",
+		XLabel: "Iout (A)",
+		YLabel: "eta (%)",
+		Notes: []string{
+			"operating points are representative values from the cited ISSCC'15 papers",
+		},
+	}
+	for _, e := range vr.ISSCC2015Survey() {
+		c, err := e.Design.Curve()
+		if err != nil {
+			return nil, err
+		}
+		xs, ys := c.Sample(e.IMinA, e.IMaxA, 25)
+		for i := range ys {
+			ys[i] *= 100
+		}
+		f.Series = append(f.Series, report.Series{
+			Label: fmt.Sprintf("%s %s (%s)", e.Ref, e.Author, e.Design.Name),
+			X:     xs,
+			Y:     ys,
+		})
+	}
+	return f, nil
+}
+
+// Fig2MultiPhase regenerates Fig. 2: the 16-phase Intel buck regulator's
+// per-phase-count efficiency curves plus the effective curve gating
+// sustains.
+func Fig2MultiPhase() (*report.Figure, error) {
+	design, phaseCounts := vr.IntelMultiPhase16()
+	nw, err := vr.NewNetwork(design, 16)
+	if err != nil {
+		return nil, err
+	}
+	f := &report.Figure{
+		ID:     "Fig. 2",
+		Title:  "Efficiency of a 16-phase regulator vs active phase count",
+		XLabel: "Iout (A)",
+		YLabel: "eta (%)",
+	}
+	const points = 65
+	for _, n := range phaseCounts {
+		c, err := nw.CurveFor(n)
+		if err != nil {
+			return nil, err
+		}
+		xs, ys := c.SampleLinear(0.05, 16, points)
+		for i := range ys {
+			ys[i] *= 100
+		}
+		f.Series = append(f.Series, report.Series{
+			Label: fmt.Sprintf("%d phases", n), X: xs, Y: ys,
+		})
+	}
+	xs := make([]float64, points)
+	ys := make([]float64, points)
+	for i := range xs {
+		xs[i] = 0.05 + float64(i)*(16-0.05)/float64(points-1)
+		ys[i] = nw.EffectiveEta(xs[i]) * 100
+	}
+	f.Series = append(f.Series, report.Series{Label: "effective", X: xs, Y: ys})
+	return f, nil
+}
+
+// Fig5Calibration regenerates Fig. 5: the per-core-domain calibration
+// curves — a 9-regulator FIVR-like network at the paper's active counts
+// {2, 3, 4, 6, 8, 9} plus the effective gated curve.
+func Fig5Calibration() (*report.Figure, error) {
+	nw, err := vr.NewNetwork(vr.FIVR(), 9)
+	if err != nil {
+		return nil, err
+	}
+	f := &report.Figure{
+		ID:     "Fig. 5",
+		Title:  "Per-core-domain eta vs Iout used for calibration (9 FIVR-like VRs)",
+		XLabel: "Iout (A)",
+		YLabel: "eta (%)",
+	}
+	const points = 61
+	for _, n := range []int{2, 3, 4, 6, 8, 9} {
+		c, err := nw.CurveFor(n)
+		if err != nil {
+			return nil, err
+		}
+		xs, ys := c.SampleLinear(0.05, 15, points)
+		for i := range ys {
+			ys[i] *= 100
+		}
+		f.Series = append(f.Series, report.Series{
+			Label: fmt.Sprintf("%d active", n), X: xs, Y: ys,
+		})
+	}
+	xs := make([]float64, points)
+	ys := make([]float64, points)
+	for i := range xs {
+		xs[i] = 0.05 + float64(i)*(15-0.05)/float64(points-1)
+		ys[i] = nw.EffectiveEta(xs[i]) * 100
+	}
+	f.Series = append(f.Series, report.Series{Label: "effective", X: xs, Y: ys})
+	return f, nil
+}

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+
+	"thermogater/internal/core"
+	"thermogater/internal/report"
+	"thermogater/internal/sim"
+	"thermogater/internal/workload"
+)
+
+// figurePolicies is the policy order of Figs. 9 and 10.
+var figurePolicies = []core.PolicyKind{
+	core.Naive, core.OracT, core.OracV, core.OracVT,
+	core.PracT, core.PracVT, core.AllOn, core.OffChip,
+}
+
+// SweepPolicies lists the policies the full sweep needs for every
+// sweep-derived artefact (Figs. 7, 9, 10, 11, Table 2, headline).
+func SweepPolicies() []core.PolicyKind { return figurePolicies }
+
+// Fig7PlossSaving derives Fig. 7 from a sweep: the percentage regulator
+// power-loss saving of demand-tracking gating (OracT) versus keeping all
+// 96 regulators on, per benchmark plus the suite average.
+func (s *Sweep) Fig7PlossSaving() (*report.Table, error) {
+	t := &report.Table{
+		ID:      "Fig. 7",
+		Title:   "% regulator power loss saving under optimal gating vs all-on",
+		Columns: []string{"benchmark", "saving (%)"},
+	}
+	var sum float64
+	var n int
+	for _, name := range BenchmarkOrder() {
+		allon, err := s.Get(name, core.AllOn)
+		if err != nil {
+			return nil, err
+		}
+		gated, err := s.Get(name, core.OracT)
+		if err != nil {
+			return nil, err
+		}
+		if allon.AvgPlossW <= 0 {
+			return nil, fmt.Errorf("experiments: %s all-on loss is zero", name)
+		}
+		saving := 100 * (1 - gated.AvgPlossW/allon.AvgPlossW)
+		t.AddRow(workload.ShortName(name), fmt.Sprintf("%.1f", saving))
+		sum += saving
+		n++
+	}
+	t.AddRow("AVG", fmt.Sprintf("%.1f", sum/float64(n)))
+	return t, nil
+}
+
+// metricTable renders one benchmarks × policies grid.
+func (s *Sweep) metricTable(id, title, format string, get func(*sim.Result) float64, policies []core.PolicyKind, withAvg bool, aggLabel string, agg func([]float64) float64) (*report.Table, error) {
+	cols := []string{"benchmark"}
+	for _, p := range policies {
+		cols = append(cols, p.String())
+	}
+	t := &report.Table{ID: id, Title: title, Columns: cols}
+	perPolicy := make([][]float64, len(policies))
+	for _, name := range BenchmarkOrder() {
+		row := []string{workload.ShortName(name)}
+		for pi, p := range policies {
+			res, err := s.Get(name, p)
+			if err != nil {
+				return nil, err
+			}
+			v := get(res)
+			perPolicy[pi] = append(perPolicy[pi], v)
+			row = append(row, fmt.Sprintf(format, v))
+		}
+		t.AddRow(row...)
+	}
+	if withAvg {
+		row := []string{aggLabel}
+		for pi := range policies {
+			row = append(row, fmt.Sprintf(format, agg(perPolicy[pi])))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Fig9Tmax derives Fig. 9: maximum chip-wide temperature per benchmark and
+// policy.
+func (s *Sweep) Fig9Tmax() (*report.Table, error) {
+	return s.metricTable("Fig. 9", "Maximum chip-wide temperature (°C)", "%.1f",
+		func(r *sim.Result) float64 { return r.MaxTempC }, figurePolicies, true, "AVG", mean)
+}
+
+// Fig10Gradient derives Fig. 10: maximum thermal gradient per benchmark
+// and policy.
+func (s *Sweep) Fig10Gradient() (*report.Table, error) {
+	return s.metricTable("Fig. 10", "Maximum thermal gradient (°C)", "%.1f",
+		func(r *sim.Result) float64 { return r.MaxGradientC }, figurePolicies, true, "AVG", mean)
+}
+
+// Fig11VoltageNoise derives Fig. 11: maximum voltage noise per benchmark
+// for the gated policies plus all-on, with the overall maximum row (the
+// figure's MAX column) and the 10% emergency threshold noted.
+func (s *Sweep) Fig11VoltageNoise() (*report.Table, error) {
+	t, err := s.metricTable("Fig. 11", "Maximum voltage noise (% of nominal Vdd, 200-sample methodology)", "%.2f",
+		func(r *sim.Result) float64 { return r.SampledMaxNoisePct }, core.GatedPolicies(), true, "MAX", maxOf)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Table2Emergencies derives Table 2: % execution time spent in voltage
+// emergencies under OracT per benchmark.
+func (s *Sweep) Table2Emergencies() (*report.Table, error) {
+	t := &report.Table{
+		ID:      "Table 2",
+		Title:   "% execution time in voltage emergencies under OracT",
+		Columns: []string{"benchmark", "% exec. time"},
+	}
+	var sum float64
+	var n int
+	for _, name := range BenchmarkOrder() {
+		res, err := s.Get(name, core.OracT)
+		if err != nil {
+			return nil, err
+		}
+		pct := res.EmergencyFrac * 100
+		t.AddRow(workload.ShortName(name), fmt.Sprintf("%.3f", pct))
+		sum += pct
+		n++
+	}
+	t.AddRow("AVG", fmt.Sprintf("%.3f", sum/float64(n)))
+	return t, nil
+}
+
+// Headline summarises the paper's Section 6.3 / abstract claims for the
+// practical policy: how far PracVT sits from the thermally-optimal oracle
+// (Tmax, gradient), from the best-case noise profile (all-on), and from
+// the peak conversion efficiency.
+type Headline struct {
+	// TmaxDeltaC is avg(PracVT Tmax − OracT Tmax); paper: ≤0.6°C.
+	TmaxDeltaC float64
+	// GradientDeltaC is avg(PracVT gradient − OracT gradient); paper: ≤0.3°C.
+	GradientDeltaC float64
+	// NoiseDeltaPct is max-noise(PracVT) − max-noise(all-on) over the
+	// suite maxima; paper: ≤1.0%. NoiseDeltaOracVTPct is the same for
+	// OracVT, whose emergency prediction is perfect: it isolates the cost
+	// of the practical detector's ~10% misses.
+	NoiseDeltaPct       float64
+	NoiseDeltaOracVTPct float64
+	// EtaShortfall is ηpeak − avg(PracVT η); paper: within 0.5-1% of peak.
+	EtaShortfall float64
+}
+
+// Headline computes the summary from a sweep containing PracVT, OracT and
+// AllOn.
+func (s *Sweep) Headline(etaPeak float64) (*Headline, error) {
+	var dT, dG, etaSum float64
+	var maxPrac, maxOracVT, maxAllOn float64
+	var n int
+	for _, name := range BenchmarkOrder() {
+		prac, err := s.Get(name, core.PracVT)
+		if err != nil {
+			return nil, err
+		}
+		orac, err := s.Get(name, core.OracT)
+		if err != nil {
+			return nil, err
+		}
+		oracVT, err := s.Get(name, core.OracVT)
+		if err != nil {
+			return nil, err
+		}
+		allon, err := s.Get(name, core.AllOn)
+		if err != nil {
+			return nil, err
+		}
+		dT += prac.MaxTempC - orac.MaxTempC
+		dG += prac.MaxGradientC - orac.MaxGradientC
+		etaSum += prac.AvgEta
+		if prac.SampledMaxNoisePct > maxPrac {
+			maxPrac = prac.SampledMaxNoisePct
+		}
+		if oracVT.SampledMaxNoisePct > maxOracVT {
+			maxOracVT = oracVT.SampledMaxNoisePct
+		}
+		if allon.SampledMaxNoisePct > maxAllOn {
+			maxAllOn = allon.SampledMaxNoisePct
+		}
+		n++
+	}
+	fn := float64(n)
+	return &Headline{
+		TmaxDeltaC:          dT / fn,
+		GradientDeltaC:      dG / fn,
+		NoiseDeltaPct:       maxPrac - maxAllOn,
+		NoiseDeltaOracVTPct: maxOracVT - maxAllOn,
+		EtaShortfall:        etaPeak - etaSum/fn,
+	}, nil
+}
+
+// Table renders the headline as a paper-vs-measured comparison.
+func (h *Headline) Table() *report.Table {
+	t := &report.Table{
+		ID:      "Headline",
+		Title:   "PracVT vs oracle/best-case (Section 6.3 & abstract)",
+		Columns: []string{"metric", "measured", "paper"},
+	}
+	t.AddRow("avg Tmax above OracT (°C)", fmt.Sprintf("%.2f", h.TmaxDeltaC), "0.6")
+	t.AddRow("avg gradient above OracT (°C)", fmt.Sprintf("%.2f", h.GradientDeltaC), "0.3")
+	t.AddRow("PracVT max noise above all-on (%)", fmt.Sprintf("%.2f", h.NoiseDeltaPct), "1.0")
+	t.AddRow("OracVT max noise above all-on (%)", fmt.Sprintf("%.2f", h.NoiseDeltaOracVTPct), "~0 (converges)")
+	t.AddRow("eta below peak", fmt.Sprintf("%.4f", h.EtaShortfall), "<0.01")
+	return t
+}

@@ -1,0 +1,214 @@
+package floorplan
+
+import "fmt"
+
+// Die and tile dimensions in millimetres. The die is 21×21mm = 441mm²
+// (Table 1). The top 9mm holds two rows of four core tiles; the remaining
+// 12mm holds the eight L3 banks flanking a vertical NOC spine, with memory
+// controllers on the left and right edges (Fig. 4b).
+const (
+	DieWidthMM  = 21.0
+	DieHeightMM = 21.0
+
+	coreTileW = DieWidthMM / 4 // 5.25
+	coreTileH = 4.5
+
+	uncoreTop  = 2 * coreTileH // 9.0
+	mcWidth    = 1.2
+	nocWidth   = 0.9
+	l3RowCount = 4
+)
+
+// BuildPOWER8 constructs the 8-core, 96-regulator, 16-Vdd-domain floorplan
+// used throughout the paper's evaluation: one Vdd-domain per core (core +
+// private L2, 9 component VRs) and one per L3 bank (3 component VRs).
+// Regulators are placed uniformly, which Section 5 shows is within 0.4% of
+// the voltage-noise-optimal placement.
+func BuildPOWER8() *Chip {
+	c := &Chip{WidthMM: DieWidthMM, HeightMM: DieHeightMM}
+
+	// Core tiles: cores 0-3 across the top row, cores 4-7 across the second.
+	for core := 0; core < NumCores; core++ {
+		col := core % 4
+		row := core / 4
+		tile := Rect{float64(col) * coreTileW, float64(row) * coreTileH, coreTileW, coreTileH}
+		c.addCoreDomain(core, tile)
+	}
+
+	// Uncore region below the cores.
+	uncoreH := DieHeightMM - uncoreTop
+	c.addBlock(Block{
+		Name: "mc0", Kind: IO, Class: UnitMC, Core: -1, Domain: -1,
+		R: Rect{0, uncoreTop, mcWidth, uncoreH},
+	})
+	c.addBlock(Block{
+		Name: "mc1", Kind: IO, Class: UnitMC, Core: -1, Domain: -1,
+		R: Rect{DieWidthMM - mcWidth, uncoreTop, mcWidth, uncoreH},
+	})
+	nocX := DieWidthMM/2 - nocWidth/2
+	c.addBlock(Block{
+		Name: "noc", Kind: Interconnect, Class: UnitNOC, Core: -1, Domain: -1,
+		R: Rect{nocX, uncoreTop, nocWidth, uncoreH},
+	})
+
+	// Eight L3 banks: four rows in each of the two columns flanking the NOC.
+	bankH := uncoreH / l3RowCount
+	leftW := nocX - mcWidth
+	rightX := nocX + nocWidth
+	rightW := DieWidthMM - mcWidth - rightX
+	for bank := 0; bank < NumL3Banks; bank++ {
+		rowIdx := bank / 2
+		var r Rect
+		if bank%2 == 0 {
+			r = Rect{mcWidth, uncoreTop + float64(rowIdx)*bankH, leftW, bankH}
+		} else {
+			r = Rect{rightX, uncoreTop + float64(rowIdx)*bankH, rightW, bankH}
+		}
+		c.addL3Domain(bank, r)
+	}
+
+	c.index()
+	if err := c.Validate(); err != nil {
+		// The builder is deterministic; a validation failure is a programming
+		// error, not a runtime condition.
+		panic(err)
+	}
+	return c
+}
+
+// addCoreDomain lays out one core tile per Fig. 4a: a 2×2 grid of logic
+// units (ISU/EXU over IFU/LSU) with the private L2 occupying a column at the
+// right edge, and a 3×3 grid of component VRs across the whole tile. The
+// right VR column lands over the L2 (memory side); the other six VRs sit
+// over logic, which is what gives Fig. 13 its logic/memory activity split.
+func (c *Chip) addCoreDomain(core int, tile Rect) {
+	domID := len(c.Domains)
+	dom := Domain{
+		ID:     domID,
+		Kind:   CoreDomain,
+		Name:   fmt.Sprintf("core%d", core),
+		Bounds: tile,
+	}
+
+	logicW := tile.W * 2 / 3
+	halfW := logicW / 2
+	halfH := tile.H / 2
+	units := []struct {
+		class UnitClass
+		kind  BlockKind
+		r     Rect
+	}{
+		{UnitISU, Logic, Rect{tile.X, tile.Y, halfW, halfH}},
+		{UnitEXU, Logic, Rect{tile.X + halfW, tile.Y, halfW, halfH}},
+		{UnitIFU, Logic, Rect{tile.X, tile.Y + halfH, halfW, halfH}},
+		{UnitLSU, Logic, Rect{tile.X + halfW, tile.Y + halfH, halfW, halfH}},
+		{UnitL2, Memory, Rect{tile.X + logicW, tile.Y, tile.W - logicW, tile.H}},
+	}
+	for _, u := range units {
+		id := c.addBlock(Block{
+			Name:   fmt.Sprintf("core%d/%s", core, u.class),
+			Kind:   u.kind,
+			Class:  u.class,
+			Core:   core,
+			Domain: domID,
+			R:      u.r,
+		})
+		dom.Blocks = append(dom.Blocks, id)
+	}
+
+	// 3×3 regulator grid at the (1/6, 1/2, 5/6) fractions of the tile.
+	fracs := [3]float64{1.0 / 6, 0.5, 5.0 / 6}
+	for _, fy := range fracs {
+		for _, fx := range fracs {
+			pos := Point{tile.X + fx*tile.W, tile.Y + fy*tile.H}
+			dom.Regulators = append(dom.Regulators, c.addRegulator(domID, pos))
+		}
+	}
+	c.Domains = append(c.Domains, dom)
+}
+
+// addL3Domain lays out one L3 bank with its three component VRs spread
+// along the bank's horizontal midline.
+func (c *Chip) addL3Domain(bank int, r Rect) {
+	domID := len(c.Domains)
+	dom := Domain{
+		ID:     domID,
+		Kind:   L3Domain,
+		Name:   fmt.Sprintf("l3bank%d", bank),
+		Bounds: r,
+	}
+	id := c.addBlock(Block{
+		Name:   fmt.Sprintf("l3bank%d/L3", bank),
+		Kind:   Memory,
+		Class:  UnitL3,
+		Core:   -1,
+		Domain: domID,
+		R:      r,
+	})
+	dom.Blocks = append(dom.Blocks, id)
+
+	for i := 0; i < VRsPerL3Domain; i++ {
+		fx := float64(i+1) / float64(VRsPerL3Domain+1)
+		pos := Point{r.X + fx*r.W, r.Y + r.H/2}
+		dom.Regulators = append(dom.Regulators, c.addRegulator(domID, pos))
+	}
+	c.Domains = append(c.Domains, dom)
+}
+
+func (c *Chip) addBlock(b Block) int {
+	b.ID = len(c.Blocks)
+	c.Blocks = append(c.Blocks, b)
+	return b.ID
+}
+
+func (c *Chip) addRegulator(domain int, pos Point) int {
+	r := Regulator{
+		ID:      len(c.Regulators),
+		Domain:  domain,
+		Pos:     pos,
+		AreaMM2: RegulatorAreaMM2,
+	}
+	// Link the regulator to the block it physically sits over. Regulator
+	// placement always lands inside a block for the uniform layout, but a
+	// nearest-block fallback keeps perturbed placements working too.
+	r.NearestBlock = -1
+	for i := range c.Blocks {
+		if c.Blocks[i].R.Contains(pos) {
+			r.NearestBlock = i
+			break
+		}
+	}
+	c.Regulators = append(c.Regulators, r)
+	return r.ID
+}
+
+// RelinkRegulators recomputes every regulator's NearestBlock after a
+// placement change (used by the placement optimiser).
+func (c *Chip) RelinkRegulators() {
+	for i := range c.Regulators {
+		b := c.BlockAt(c.Regulators[i].Pos)
+		if b == nil {
+			b = c.NearestBlock(c.Regulators[i].Pos)
+		}
+		c.Regulators[i].NearestBlock = b.ID
+	}
+}
+
+// LogicSideRegulators partitions a core domain's VRs into those sitting over
+// logic units and those over the L2, preserving regulator order. It returns
+// an error for L3 domains, whose VRs are all memory-side by construction.
+func (c *Chip) LogicSideRegulators(domain int) (logic, memory []int, err error) {
+	d := &c.Domains[domain]
+	if d.Kind != CoreDomain {
+		return nil, nil, fmt.Errorf("floorplan: domain %s is not a core domain", d.Name)
+	}
+	for _, rid := range d.Regulators {
+		nb := c.Regulators[rid].NearestBlock
+		if nb >= 0 && c.Blocks[nb].Kind == Logic {
+			logic = append(logic, rid)
+		} else {
+			memory = append(memory, rid)
+		}
+	}
+	return logic, memory, nil
+}

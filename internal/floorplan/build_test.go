@@ -1,0 +1,237 @@
+package floorplan
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBuildPOWER8Validates(t *testing.T) {
+	c := BuildPOWER8()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate() = %v", err)
+	}
+}
+
+func TestBuildPOWER8Counts(t *testing.T) {
+	c := BuildPOWER8()
+	if got := len(c.Regulators); got != 96 {
+		t.Errorf("regulator count = %d, want 96", got)
+	}
+	if got := len(c.Domains); got != 16 {
+		t.Errorf("domain count = %d, want 16", got)
+	}
+	// 8 cores × 5 blocks + 8 L3 banks + NOC + 2 MCs.
+	if got := len(c.Blocks); got != 8*5+8+1+2 {
+		t.Errorf("block count = %d, want %d", got, 8*5+8+1+2)
+	}
+	core, l3 := 0, 0
+	for _, d := range c.Domains {
+		switch d.Kind {
+		case CoreDomain:
+			core++
+			if len(d.Regulators) != VRsPerCoreDomain {
+				t.Errorf("domain %s has %d VRs, want %d", d.Name, len(d.Regulators), VRsPerCoreDomain)
+			}
+		case L3Domain:
+			l3++
+			if len(d.Regulators) != VRsPerL3Domain {
+				t.Errorf("domain %s has %d VRs, want %d", d.Name, len(d.Regulators), VRsPerL3Domain)
+			}
+		}
+	}
+	if core != 8 || l3 != 8 {
+		t.Errorf("domain kinds = %d core, %d L3; want 8 and 8", core, l3)
+	}
+}
+
+func TestBuildPOWER8DieArea(t *testing.T) {
+	c := BuildPOWER8()
+	if got := c.WidthMM * c.HeightMM; math.Abs(got-441) > 1e-9 {
+		t.Errorf("die area = %v mm², want 441", got)
+	}
+	// All block area must be accounted for: the floorplan tiles the die.
+	var sum float64
+	for _, b := range c.Blocks {
+		sum += b.R.Area()
+	}
+	if math.Abs(sum-441) > 1e-6 {
+		t.Errorf("blocks cover %v mm², want 441 (floorplan must tile the die)", sum)
+	}
+}
+
+func TestBuildPOWER8RegulatorsInsideDomains(t *testing.T) {
+	c := BuildPOWER8()
+	for _, r := range c.Regulators {
+		d := c.Domains[r.Domain]
+		if !d.Bounds.Contains(r.Pos) {
+			t.Errorf("regulator %d at %v outside domain %s bounds %v", r.ID, r.Pos, d.Name, d.Bounds)
+		}
+		if r.NearestBlock < 0 {
+			t.Errorf("regulator %d has no nearest block", r.ID)
+			continue
+		}
+		if c.Blocks[r.NearestBlock].Domain != r.Domain {
+			t.Errorf("regulator %d sits over block %q of a different domain",
+				r.ID, c.Blocks[r.NearestBlock].Name)
+		}
+	}
+}
+
+func TestLogicSideRegulators(t *testing.T) {
+	c := BuildPOWER8()
+	for _, domID := range c.CoreDomains() {
+		logic, memory, err := c.LogicSideRegulators(domID)
+		if err != nil {
+			t.Fatalf("LogicSideRegulators(%d) = %v", domID, err)
+		}
+		// The 3×3 grid puts two columns over logic, one over the L2.
+		if len(logic) != 6 || len(memory) != 3 {
+			t.Errorf("domain %d: %d logic-side and %d memory-side VRs, want 6 and 3",
+				domID, len(logic), len(memory))
+		}
+	}
+	// L3 domains must be rejected.
+	if _, _, err := c.LogicSideRegulators(c.L3Domains()[0]); err == nil {
+		t.Error("LogicSideRegulators accepted an L3 domain")
+	}
+}
+
+func TestBlockByName(t *testing.T) {
+	c := BuildPOWER8()
+	b, err := c.BlockByName("core3/EXU")
+	if err != nil {
+		t.Fatalf("BlockByName = %v", err)
+	}
+	if b.Class != UnitEXU || b.Core != 3 {
+		t.Errorf("core3/EXU resolved to class %v core %d", b.Class, b.Core)
+	}
+	if _, err := c.BlockByName("nope"); err == nil {
+		t.Error("BlockByName accepted an unknown name")
+	}
+}
+
+func TestBlockAtAndNearest(t *testing.T) {
+	c := BuildPOWER8()
+	for _, b := range c.Blocks {
+		p := b.R.Center()
+		got := c.BlockAt(p)
+		if got == nil || got.ID != b.ID {
+			t.Errorf("BlockAt(center of %q) = %v", b.Name, got)
+		}
+		if nb := c.NearestBlock(p); nb.ID != b.ID {
+			t.Errorf("NearestBlock(center of %q) = %q", b.Name, nb.Name)
+		}
+	}
+}
+
+func TestCoreAndL3DomainOrdering(t *testing.T) {
+	c := BuildPOWER8()
+	cores := c.CoreDomains()
+	if len(cores) != 8 {
+		t.Fatalf("CoreDomains() returned %d IDs", len(cores))
+	}
+	for i, id := range cores {
+		want := "core" + string(rune('0'+i))
+		if c.Domains[id].Name != want {
+			t.Errorf("core domain %d named %q, want %q", i, c.Domains[id].Name, want)
+		}
+	}
+	for i, id := range c.L3Domains() {
+		if !strings.HasPrefix(c.Domains[id].Name, "l3bank") {
+			t.Errorf("L3 domain %d named %q", i, c.Domains[id].Name)
+		}
+	}
+}
+
+func TestDomainOf(t *testing.T) {
+	c := BuildPOWER8()
+	for _, r := range c.Regulators {
+		if got := c.DomainOf(r.ID); got.ID != r.Domain {
+			t.Errorf("DomainOf(%d) = %d, want %d", r.ID, got.ID, r.Domain)
+		}
+	}
+}
+
+func TestSortedBlockNamesStable(t *testing.T) {
+	c := BuildPOWER8()
+	names := c.SortedBlockNames()
+	if len(names) != len(c.Blocks) {
+		t.Fatalf("SortedBlockNames returned %d names for %d blocks", len(names), len(c.Blocks))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not strictly sorted at %d: %q >= %q", i, names[i-1], names[i])
+		}
+	}
+}
+
+func TestRelinkRegulators(t *testing.T) {
+	c := BuildPOWER8()
+	orig := c.Regulators[0].NearestBlock
+	// Move the regulator into a different block of the same domain and relink.
+	l2, err := c.BlockByName("core0/L2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Regulators[0].Pos = l2.R.Center()
+	c.RelinkRegulators()
+	if c.Regulators[0].NearestBlock == orig {
+		t.Error("RelinkRegulators did not update NearestBlock")
+	}
+	if c.Regulators[0].NearestBlock != l2.ID {
+		t.Errorf("NearestBlock = %d, want %d", c.Regulators[0].NearestBlock, l2.ID)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	build := func() *Chip { return BuildPOWER8() }
+
+	c := build()
+	c.Blocks[3].Name = c.Blocks[2].Name
+	if err := c.Validate(); err == nil {
+		t.Error("Validate missed duplicate block name")
+	}
+
+	c = build()
+	c.Blocks[0].R.W = -1
+	if err := c.Validate(); err == nil {
+		t.Error("Validate missed non-positive extent")
+	}
+
+	c = build()
+	c.Blocks[1].R = c.Blocks[0].R
+	if err := c.Validate(); err == nil {
+		t.Error("Validate missed overlapping blocks")
+	}
+
+	c = build()
+	c.Regulators[5].Domain = 99
+	if err := c.Validate(); err == nil {
+		t.Error("Validate missed out-of-range domain reference")
+	}
+
+	c = build()
+	c.Regulators = c.Regulators[:95]
+	if err := c.Validate(); err == nil {
+		t.Error("Validate missed wrong regulator count")
+	}
+}
+
+func TestUnitClassStrings(t *testing.T) {
+	want := map[UnitClass]string{
+		UnitIFU: "IFU", UnitISU: "ISU", UnitEXU: "EXU", UnitLSU: "LSU",
+		UnitL2: "L2", UnitL3: "L3", UnitNOC: "NOC", UnitMC: "MC",
+	}
+	for u, s := range want {
+		if u.String() != s {
+			t.Errorf("UnitClass(%d).String() = %q, want %q", u, u.String(), s)
+		}
+	}
+	if BlockKind(Logic).String() != "logic" || Memory.String() != "memory" {
+		t.Error("BlockKind strings wrong")
+	}
+	if CoreDomain.String() != "core" || L3Domain.String() != "l3" {
+		t.Error("DomainKind strings wrong")
+	}
+}

@@ -1,0 +1,323 @@
+package floorplan
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BlockKind classifies a functional block for power and thermal modelling.
+// Logic blocks are power dense and drive most of the current demand; memory
+// blocks are comparatively cool; interconnect and IO sit in between.
+type BlockKind int
+
+const (
+	// Logic marks power-dense computation blocks (IFU, ISU, EXU, LSU).
+	Logic BlockKind = iota
+	// Memory marks SRAM blocks (L2, L3 banks).
+	Memory
+	// Interconnect marks the network-on-chip.
+	Interconnect
+	// IO marks memory controllers and other pad-bound blocks.
+	IO
+)
+
+// String implements fmt.Stringer.
+func (k BlockKind) String() string {
+	switch k {
+	case Logic:
+		return "logic"
+	case Memory:
+		return "memory"
+	case Interconnect:
+		return "interconnect"
+	case IO:
+		return "io"
+	default:
+		return fmt.Sprintf("BlockKind(%d)", int(k))
+	}
+}
+
+// UnitClass identifies the microarchitectural role of a block; the activity
+// simulator produces one activity series per class per core.
+type UnitClass int
+
+const (
+	// UnitIFU is the instruction fetch unit (includes the L1-I cache).
+	UnitIFU UnitClass = iota
+	// UnitISU is the instruction scheduling unit.
+	UnitISU
+	// UnitEXU is the execution unit (integer + floating point).
+	UnitEXU
+	// UnitLSU is the load-store unit (includes the L1-D cache).
+	UnitLSU
+	// UnitL2 is the private per-core L2 cache.
+	UnitL2
+	// UnitL3 is one shared L3 bank.
+	UnitL3
+	// UnitNOC is the network-on-chip.
+	UnitNOC
+	// UnitMC is a memory controller.
+	UnitMC
+	// NumUnitClasses is the number of distinct unit classes.
+	NumUnitClasses
+)
+
+var unitClassNames = [NumUnitClasses]string{
+	"IFU", "ISU", "EXU", "LSU", "L2", "L3", "NOC", "MC",
+}
+
+// String implements fmt.Stringer.
+func (u UnitClass) String() string {
+	if u >= 0 && int(u) < len(unitClassNames) {
+		return unitClassNames[u]
+	}
+	return fmt.Sprintf("UnitClass(%d)", int(u))
+}
+
+// Block is one functional block on the die.
+type Block struct {
+	// ID indexes the block in Chip.Blocks.
+	ID int
+	// Name is a unique human-readable identifier, e.g. "core3/EXU".
+	Name string
+	// Kind classifies the block for power density modelling.
+	Kind BlockKind
+	// Class is the microarchitectural role of the block.
+	Class UnitClass
+	// Core is the core index for per-core blocks, or -1 for uncore blocks.
+	Core int
+	// Domain is the index of the Vdd-domain supplying this block, or -1
+	// for blocks outside any gated domain (NOC, MC).
+	Domain int
+	// R is the block footprint.
+	R Rect
+}
+
+// Regulator is one distributed component voltage regulator (a "phase" in
+// Intel terminology, a "microregulator" in IBM terminology).
+type Regulator struct {
+	// ID indexes the regulator in Chip.Regulators (0..95).
+	ID int
+	// Domain is the Vdd-domain this regulator belongs to.
+	Domain int
+	// Pos is the regulator centre on the die.
+	Pos Point
+	// AreaMM2 is the regulator footprint in mm² (0.04 in the paper).
+	AreaMM2 float64
+	// NearestBlock is the ID of the block whose footprint contains (or is
+	// closest to) the regulator; the regulator primarily feeds this block.
+	NearestBlock int
+}
+
+// DomainKind distinguishes the two Vdd-domain flavours of the paper's setup.
+type DomainKind int
+
+const (
+	// CoreDomain supplies one core plus its private L1s and L2 (9 VRs).
+	CoreDomain DomainKind = iota
+	// L3Domain supplies one L3 bank (3 VRs).
+	L3Domain
+)
+
+// String implements fmt.Stringer.
+func (k DomainKind) String() string {
+	if k == CoreDomain {
+		return "core"
+	}
+	return "l3"
+}
+
+// Domain is one independently regulated Vdd-domain.
+type Domain struct {
+	// ID indexes the domain in Chip.Domains (0..15).
+	ID int
+	// Kind tells whether this is a core or an L3-bank domain.
+	Kind DomainKind
+	// Name is a human-readable identifier, e.g. "core3" or "l3bank5".
+	Name string
+	// Blocks holds the IDs of the blocks supplied by this domain.
+	Blocks []int
+	// Regulators holds the IDs of the component VRs of this domain.
+	Regulators []int
+	// Bounds is the bounding box of the domain's blocks.
+	Bounds Rect
+}
+
+// Chip is the complete die description.
+type Chip struct {
+	// WidthMM and HeightMM are the die dimensions (21×21mm for 441mm²).
+	WidthMM, HeightMM float64
+	// Blocks lists every functional block, indexed by Block.ID.
+	Blocks []Block
+	// Regulators lists every component VR, indexed by Regulator.ID.
+	Regulators []Regulator
+	// Domains lists the 16 Vdd-domains, indexed by Domain.ID.
+	Domains []Domain
+
+	byName map[string]int
+}
+
+// NumCores is the core count of the modelled chip.
+const NumCores = 8
+
+// NumL3Banks is the shared L3 bank count.
+const NumL3Banks = 8
+
+// VRsPerCoreDomain is the component regulator count per core domain.
+const VRsPerCoreDomain = 9
+
+// VRsPerL3Domain is the component regulator count per L3-bank domain.
+const VRsPerL3Domain = 3
+
+// TotalVRs is the chip-wide component regulator count (96 in the paper).
+const TotalVRs = NumCores*VRsPerCoreDomain + NumL3Banks*VRsPerL3Domain
+
+// RegulatorAreaMM2 is the footprint of one component VR (Section 5).
+const RegulatorAreaMM2 = 0.04
+
+// BlockByName returns the block with the given name.
+func (c *Chip) BlockByName(name string) (*Block, error) {
+	i, ok := c.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("floorplan: no block named %q", name)
+	}
+	return &c.Blocks[i], nil
+}
+
+// BlockAt returns the block containing the point, or nil when the point is
+// outside every block (e.g. in the narrow channels between blocks).
+func (c *Chip) BlockAt(p Point) *Block {
+	for i := range c.Blocks {
+		if c.Blocks[i].R.Contains(p) {
+			return &c.Blocks[i]
+		}
+	}
+	return nil
+}
+
+// NearestBlock returns the block whose footprint is closest to the point.
+func (c *Chip) NearestBlock(p Point) *Block {
+	best, bestD := -1, 0.0
+	for i := range c.Blocks {
+		d := c.Blocks[i].R.DistanceToPoint(p)
+		if best < 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return &c.Blocks[best]
+}
+
+// DomainOf returns the Vdd-domain of the given regulator ID.
+func (c *Chip) DomainOf(reg int) *Domain {
+	return &c.Domains[c.Regulators[reg].Domain]
+}
+
+// CoreDomains returns the IDs of the 8 per-core domains in core order.
+func (c *Chip) CoreDomains() []int {
+	var ids []int
+	for _, d := range c.Domains {
+		if d.Kind == CoreDomain {
+			ids = append(ids, d.ID)
+		}
+	}
+	return ids
+}
+
+// L3Domains returns the IDs of the 8 per-L3-bank domains in bank order.
+func (c *Chip) L3Domains() []int {
+	var ids []int
+	for _, d := range c.Domains {
+		if d.Kind == L3Domain {
+			ids = append(ids, d.ID)
+		}
+	}
+	return ids
+}
+
+// Validate checks structural invariants of the floorplan: block name
+// uniqueness, regulator/domain cross references, VR counts, and that blocks
+// within a domain do not overlap.
+func (c *Chip) Validate() error {
+	if len(c.Regulators) != TotalVRs {
+		return fmt.Errorf("floorplan: %d regulators, want %d", len(c.Regulators), TotalVRs)
+	}
+	if len(c.Domains) != NumCores+NumL3Banks {
+		return fmt.Errorf("floorplan: %d domains, want %d", len(c.Domains), NumCores+NumL3Banks)
+	}
+	seen := make(map[string]bool, len(c.Blocks))
+	for i, b := range c.Blocks {
+		if b.ID != i {
+			return fmt.Errorf("floorplan: block %q has ID %d at index %d", b.Name, b.ID, i)
+		}
+		if seen[b.Name] {
+			return fmt.Errorf("floorplan: duplicate block name %q", b.Name)
+		}
+		seen[b.Name] = true
+		if b.R.W <= 0 || b.R.H <= 0 {
+			return fmt.Errorf("floorplan: block %q has non-positive extent", b.Name)
+		}
+		if b.R.X < 0 || b.R.Y < 0 || b.R.X+b.R.W > c.WidthMM+1e-9 || b.R.Y+b.R.H > c.HeightMM+1e-9 {
+			return fmt.Errorf("floorplan: block %q extends outside the die", b.Name)
+		}
+	}
+	for i := range c.Blocks {
+		for j := i + 1; j < len(c.Blocks); j++ {
+			if c.Blocks[i].R.Intersects(c.Blocks[j].R) {
+				return fmt.Errorf("floorplan: blocks %q and %q overlap",
+					c.Blocks[i].Name, c.Blocks[j].Name)
+			}
+		}
+	}
+	for i, r := range c.Regulators {
+		if r.ID != i {
+			return fmt.Errorf("floorplan: regulator %d has ID %d", i, r.ID)
+		}
+		if r.Domain < 0 || r.Domain >= len(c.Domains) {
+			return fmt.Errorf("floorplan: regulator %d references domain %d", i, r.Domain)
+		}
+		found := false
+		for _, id := range c.Domains[r.Domain].Regulators {
+			if id == i {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("floorplan: regulator %d missing from domain %d", i, r.Domain)
+		}
+	}
+	for _, d := range c.Domains {
+		want := VRsPerCoreDomain
+		if d.Kind == L3Domain {
+			want = VRsPerL3Domain
+		}
+		if len(d.Regulators) != want {
+			return fmt.Errorf("floorplan: domain %s has %d VRs, want %d", d.Name, len(d.Regulators), want)
+		}
+		for _, bid := range d.Blocks {
+			if c.Blocks[bid].Domain != d.ID {
+				return fmt.Errorf("floorplan: block %q not back-linked to domain %s",
+					c.Blocks[bid].Name, d.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// SortedBlockNames returns all block names in lexicographic order; useful
+// for deterministic iteration and reporting.
+func (c *Chip) SortedBlockNames() []string {
+	names := make([]string, 0, len(c.Blocks))
+	for _, b := range c.Blocks {
+		names = append(names, b.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (c *Chip) index() {
+	c.byName = make(map[string]int, len(c.Blocks))
+	for i, b := range c.Blocks {
+		c.byName[b.Name] = i
+	}
+}

@@ -1,0 +1,112 @@
+// Package floorplan models the physical layout of the simulated chip: the
+// functional blocks of each core, the shared L3 banks and uncore, and the 96
+// distributed on-chip voltage regulators grouped into 16 Vdd-domains,
+// mirroring the 8-core POWER8-like floorplan of the ThermoGater paper
+// (ISCA'17, Fig. 4 and Section 5).
+//
+// All geometry is expressed in millimetres with the origin at the top-left
+// corner of the die, x growing right and y growing down.
+package floorplan
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location on the die in millimetres.
+type Point struct {
+	X, Y float64
+}
+
+// DistanceTo returns the Euclidean distance between two points in mm.
+func (p Point) DistanceTo(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Add returns p translated by (dx, dy).
+func (p Point) Add(dx, dy float64) Point {
+	return Point{p.X + dx, p.Y + dy}
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y)
+}
+
+// Rect is an axis-aligned rectangle on the die. X, Y locate the top-left
+// corner; W and H are the width and height, all in millimetres.
+type Rect struct {
+	X, Y, W, H float64
+}
+
+// Area returns the rectangle area in mm².
+func (r Rect) Area() float64 {
+	return r.W * r.H
+}
+
+// Center returns the geometric centre of the rectangle.
+func (r Rect) Center() Point {
+	return Point{r.X + r.W/2, r.Y + r.H/2}
+}
+
+// Contains reports whether the point lies inside the rectangle (inclusive of
+// the top/left edges, exclusive of the bottom/right edges, so that adjacent
+// rectangles tile the plane without overlap).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.X && p.X < r.X+r.W && p.Y >= r.Y && p.Y < r.Y+r.H
+}
+
+// Intersects reports whether two rectangles overlap with positive area.
+func (r Rect) Intersects(s Rect) bool {
+	return r.X < s.X+s.W && s.X < r.X+r.W && r.Y < s.Y+s.H && s.Y < r.Y+r.H
+}
+
+// Intersection returns the overlapping region of two rectangles. The second
+// return value is false when the rectangles do not overlap.
+func (r Rect) Intersection(s Rect) (Rect, bool) {
+	x0 := math.Max(r.X, s.X)
+	y0 := math.Max(r.Y, s.Y)
+	x1 := math.Min(r.X+r.W, s.X+s.W)
+	y1 := math.Min(r.Y+r.H, s.Y+s.H)
+	if x1 <= x0 || y1 <= y0 {
+		return Rect{}, false
+	}
+	return Rect{x0, y0, x1 - x0, y1 - y0}, true
+}
+
+// SharedEdge returns the length (mm) of the boundary shared by two
+// non-overlapping rectangles, used to derive lateral thermal conductances.
+// Rectangles that merely touch at a corner share an edge of length zero.
+func (r Rect) SharedEdge(s Rect) float64 {
+	const eps = 1e-9
+	// Vertical adjacency: r's right edge against s's left edge or vice versa.
+	if math.Abs(r.X+r.W-s.X) < eps || math.Abs(s.X+s.W-r.X) < eps {
+		top := math.Max(r.Y, s.Y)
+		bot := math.Min(r.Y+r.H, s.Y+s.H)
+		if bot > top {
+			return bot - top
+		}
+	}
+	// Horizontal adjacency.
+	if math.Abs(r.Y+r.H-s.Y) < eps || math.Abs(s.Y+s.H-r.Y) < eps {
+		left := math.Max(r.X, s.X)
+		right := math.Min(r.X+r.W, s.X+s.W)
+		if right > left {
+			return right - left
+		}
+	}
+	return 0
+}
+
+// DistanceToPoint returns the shortest distance from the rectangle to a
+// point; zero when the point lies inside the rectangle.
+func (r Rect) DistanceToPoint(p Point) float64 {
+	dx := math.Max(math.Max(r.X-p.X, 0), p.X-(r.X+r.W))
+	dy := math.Max(math.Max(r.Y-p.Y, 0), p.Y-(r.Y+r.H))
+	return math.Hypot(dx, dy)
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.2f,%.2f %.2fx%.2f]", r.X, r.Y, r.W, r.H)
+}

@@ -1,0 +1,160 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectArea(t *testing.T) {
+	r := Rect{1, 2, 3, 4}
+	if got := r.Area(); got != 12 {
+		t.Errorf("Area() = %v, want 12", got)
+	}
+}
+
+func TestRectCenter(t *testing.T) {
+	r := Rect{0, 0, 4, 2}
+	c := r.Center()
+	if c.X != 2 || c.Y != 1 {
+		t.Errorf("Center() = %v, want (2,1)", c)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{0, 0, 2, 2}
+	tests := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{1, 1}, true},
+		{Point{0, 0}, true},  // top-left inclusive
+		{Point{2, 2}, false}, // bottom-right exclusive
+		{Point{2, 1}, false}, // right edge exclusive
+		{Point{1, 2}, false}, // bottom edge exclusive
+		{Point{-1, 1}, false},
+		{Point{1, 3}, false},
+	}
+	for _, tt := range tests {
+		if got := r.Contains(tt.p); got != tt.want {
+			t.Errorf("Contains(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := Rect{0, 0, 2, 2}
+	if !a.Intersects(Rect{1, 1, 2, 2}) {
+		t.Error("overlapping rects reported as disjoint")
+	}
+	if a.Intersects(Rect{2, 0, 2, 2}) {
+		t.Error("edge-adjacent rects reported as overlapping")
+	}
+	if a.Intersects(Rect{5, 5, 1, 1}) {
+		t.Error("distant rects reported as overlapping")
+	}
+}
+
+func TestRectIntersection(t *testing.T) {
+	a := Rect{0, 0, 4, 4}
+	b := Rect{2, 2, 4, 4}
+	got, ok := a.Intersection(b)
+	if !ok {
+		t.Fatal("Intersection() reported no overlap")
+	}
+	want := Rect{2, 2, 2, 2}
+	if got != want {
+		t.Errorf("Intersection() = %v, want %v", got, want)
+	}
+	if _, ok := a.Intersection(Rect{10, 10, 1, 1}); ok {
+		t.Error("Intersection() of disjoint rects reported overlap")
+	}
+}
+
+func TestRectSharedEdge(t *testing.T) {
+	a := Rect{0, 0, 2, 2}
+	tests := []struct {
+		name string
+		b    Rect
+		want float64
+	}{
+		{"right neighbour full height", Rect{2, 0, 2, 2}, 2},
+		{"right neighbour half height", Rect{2, 1, 2, 2}, 1},
+		{"below neighbour", Rect{0, 2, 2, 3}, 2},
+		{"corner touch", Rect{2, 2, 2, 2}, 0},
+		{"disjoint", Rect{5, 5, 1, 1}, 0},
+	}
+	for _, tt := range tests {
+		if got := a.SharedEdge(tt.b); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("%s: SharedEdge = %v, want %v", tt.name, got, tt.want)
+		}
+		// Shared edges are symmetric.
+		if got := tt.b.SharedEdge(a); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("%s: reverse SharedEdge = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestRectDistanceToPoint(t *testing.T) {
+	r := Rect{0, 0, 2, 2}
+	if d := r.DistanceToPoint(Point{1, 1}); d != 0 {
+		t.Errorf("inside point distance = %v, want 0", d)
+	}
+	if d := r.DistanceToPoint(Point{5, 1}); math.Abs(d-3) > 1e-12 {
+		t.Errorf("right point distance = %v, want 3", d)
+	}
+	if d := r.DistanceToPoint(Point{5, 6}); math.Abs(d-5) > 1e-12 {
+		t.Errorf("diagonal point distance = %v, want 5", d)
+	}
+}
+
+func TestPointDistance(t *testing.T) {
+	if d := (Point{0, 0}).DistanceTo(Point{3, 4}); d != 5 {
+		t.Errorf("DistanceTo = %v, want 5", d)
+	}
+}
+
+// Property: intersection area is never larger than either operand's area,
+// and Intersects agrees with Intersection.
+func TestRectIntersectionProperties(t *testing.T) {
+	norm := func(x float64) float64 { return math.Mod(math.Abs(x), 20) }
+	f := func(x0, y0, w0, h0, x1, y1, w1, h1 float64) bool {
+		a := Rect{norm(x0), norm(y0), norm(w0) + 0.01, norm(h0) + 0.01}
+		b := Rect{norm(x1), norm(y1), norm(w1) + 0.01, norm(h1) + 0.01}
+		inter, ok := a.Intersection(b)
+		if ok != a.Intersects(b) {
+			return false
+		}
+		if !ok {
+			return true
+		}
+		return inter.Area() <= a.Area()+1e-9 && inter.Area() <= b.Area()+1e-9 &&
+			inter.Area() > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DistanceTo is symmetric and satisfies the triangle inequality.
+func TestPointDistanceProperties(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		// Keep values in a sane range to avoid overflow-driven false alarms.
+		clamp := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 0
+			}
+			return math.Mod(x, 1e6)
+		}
+		a := Point{clamp(ax), clamp(ay)}
+		b := Point{clamp(bx), clamp(by)}
+		c := Point{clamp(cx), clamp(cy)}
+		if math.Abs(a.DistanceTo(b)-b.DistanceTo(a)) > 1e-9 {
+			return false
+		}
+		return a.DistanceTo(c) <= a.DistanceTo(b)+b.DistanceTo(c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,291 @@
+package pdn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"thermogater/internal/floorplan"
+)
+
+// MeshConfig parameterises the high-fidelity nodal grid solver. The fast
+// path-resistance model used inside the control loop approximates each
+// block↔regulator path with a lumped resistance; the mesh solver instead
+// builds the domain's local power grid as a true resistive mesh and solves
+// the nodal equations, the way the extended VoltSpot of the paper does.
+// It exists to validate the fast model (see the mesh-vs-path tests and the
+// ablation benchmark) and for detailed one-off analyses.
+type MeshConfig struct {
+	// PitchMM is the grid node spacing.
+	PitchMM float64
+	// SheetOhm is the grid sheet resistance per square: the resistance of
+	// one pitch-length segment of the mesh.
+	SheetOhm float64
+	// R0Ohm is the regulator output/via resistance tying an active
+	// regulator's node to the ideal supply.
+	R0Ohm float64
+	// VddV is the nominal supply.
+	VddV float64
+	// Tol is the SOR convergence tolerance in volts.
+	Tol float64
+	// MaxIter bounds the SOR iterations.
+	MaxIter int
+	// Omega is the SOR over-relaxation factor in (0, 2).
+	Omega float64
+}
+
+// DefaultMeshConfig matches the calibrated path model: with the default
+// pitch, the effective mesh resistance between a load and a regulator
+// reproduces R0 + ρ·distance within the accuracy the validation tests
+// assert.
+func DefaultMeshConfig() MeshConfig {
+	return MeshConfig{
+		PitchMM:  0.25,
+		SheetOhm: 0.008,
+		R0Ohm:    0.028,
+		VddV:     1.03,
+		Tol:      1e-7,
+		MaxIter:  20000,
+		Omega:    1.8,
+	}
+}
+
+// Validate rejects non-physical mesh configurations.
+func (c MeshConfig) Validate() error {
+	if c.PitchMM <= 0 || c.SheetOhm <= 0 || c.R0Ohm <= 0 || c.VddV <= 0 {
+		return errors.New("pdn: mesh dimensions and resistances must be positive")
+	}
+	if c.Tol <= 0 || c.MaxIter <= 0 {
+		return errors.New("pdn: mesh solver needs positive tolerance and iteration budget")
+	}
+	if c.Omega <= 0 || c.Omega >= 2 {
+		return errors.New("pdn: SOR omega outside (0, 2)")
+	}
+	return nil
+}
+
+// Mesh is the nodal grid model of one Vdd-domain's local power grid.
+type Mesh struct {
+	chip   *floorplan.Chip
+	domain int
+	cfg    MeshConfig
+
+	nx, ny int
+	x0, y0 float64
+
+	// nodeBlock[i] is the domain-block index under node i (-1 if none);
+	// blockNodes[bi] lists the node indices covering block bi.
+	nodeBlock  []int
+	blockNodes [][]int
+	// vrNode[ri] is the node index nearest the ri-th regulator.
+	vrNode []int
+}
+
+// NewMesh builds the grid for one domain.
+func NewMesh(chip *floorplan.Chip, domain int, cfg MeshConfig) (*Mesh, error) {
+	if chip == nil {
+		return nil, errors.New("pdn: nil chip")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if domain < 0 || domain >= len(chip.Domains) {
+		return nil, fmt.Errorf("pdn: domain %d out of range", domain)
+	}
+	d := &chip.Domains[domain]
+	m := &Mesh{chip: chip, domain: domain, cfg: cfg}
+	m.x0, m.y0 = d.Bounds.X, d.Bounds.Y
+	m.nx = int(math.Ceil(d.Bounds.W/cfg.PitchMM)) + 1
+	m.ny = int(math.Ceil(d.Bounds.H/cfg.PitchMM)) + 1
+	if m.nx < 2 || m.ny < 2 {
+		return nil, fmt.Errorf("pdn: domain %s too small for pitch %v", d.Name, cfg.PitchMM)
+	}
+
+	n := m.nx * m.ny
+	m.nodeBlock = make([]int, n)
+	m.blockNodes = make([][]int, len(d.Blocks))
+	for i := range m.nodeBlock {
+		m.nodeBlock[i] = -1
+	}
+	for idx := 0; idx < n; idx++ {
+		p := m.nodePos(idx)
+		for bi, bid := range d.Blocks {
+			if chip.Blocks[bid].R.Contains(p) {
+				m.nodeBlock[idx] = bi
+				m.blockNodes[bi] = append(m.blockNodes[bi], idx)
+				break
+			}
+		}
+	}
+	for bi, nodes := range m.blockNodes {
+		if len(nodes) == 0 {
+			// Tiny blocks might fall between grid nodes; anchor them to
+			// the nearest node.
+			bid := d.Blocks[bi]
+			c := chip.Blocks[bid].R.Center()
+			m.blockNodes[bi] = []int{m.nearestNode(c)}
+		}
+	}
+	m.vrNode = make([]int, len(d.Regulators))
+	for ri, rid := range d.Regulators {
+		m.vrNode[ri] = m.nearestNode(chip.Regulators[rid].Pos)
+	}
+	return m, nil
+}
+
+// Size returns the grid dimensions.
+func (m *Mesh) Size() (nx, ny int) { return m.nx, m.ny }
+
+func (m *Mesh) nodePos(idx int) floorplan.Point {
+	ix := idx % m.nx
+	iy := idx / m.nx
+	return floorplan.Point{
+		X: m.x0 + float64(ix)*m.cfg.PitchMM,
+		Y: m.y0 + float64(iy)*m.cfg.PitchMM,
+	}
+}
+
+func (m *Mesh) nearestNode(p floorplan.Point) int {
+	ix := int(math.Round((p.X - m.x0) / m.cfg.PitchMM))
+	iy := int(math.Round((p.Y - m.y0) / m.cfg.PitchMM))
+	if ix < 0 {
+		ix = 0
+	}
+	if ix >= m.nx {
+		ix = m.nx - 1
+	}
+	if iy < 0 {
+		iy = 0
+	}
+	if iy >= m.ny {
+		iy = m.ny - 1
+	}
+	return iy*m.nx + ix
+}
+
+// MeshSolution is the solved voltage-drop field of one domain.
+type MeshSolution struct {
+	// DropV is the per-node voltage drop below nominal.
+	DropV []float64
+	// MaxPct is the worst per-load-node drop in percent of nominal Vdd.
+	MaxPct float64
+	// PerBlockPct is the worst drop under each domain block (indexed like
+	// Domain.Blocks).
+	PerBlockPct []float64
+	// Iterations is the SOR iteration count used.
+	Iterations int
+	// SupplyA is the total current delivered by the active regulators
+	// (equals the total load current at convergence — Kirchhoff).
+	SupplyA float64
+}
+
+// Solve computes the steady IR-drop field for the given per-block currents
+// (amps, by global block ID) and the domain's active-regulator mask. Each
+// block's current is drawn uniformly by the grid nodes under the block;
+// each active regulator injects through its R0 at its grid node.
+func (m *Mesh) Solve(blockCurrent []float64, active []bool) (*MeshSolution, error) {
+	d := &m.chip.Domains[m.domain]
+	if len(blockCurrent) != len(m.chip.Blocks) {
+		return nil, fmt.Errorf("pdn: %d block currents, chip has %d blocks",
+			len(blockCurrent), len(m.chip.Blocks))
+	}
+	if len(active) != len(d.Regulators) {
+		return nil, fmt.Errorf("pdn: mask size %d, domain has %d regulators",
+			len(active), len(d.Regulators))
+	}
+	anyActive := false
+	for _, a := range active {
+		anyActive = anyActive || a
+	}
+	if !anyActive {
+		return nil, fmt.Errorf("pdn: domain %s has no active regulator", d.Name)
+	}
+
+	n := m.nx * m.ny
+	// Load current per node (positive = drawn from the grid).
+	load := make([]float64, n)
+	for bi, bid := range d.Blocks {
+		i := blockCurrent[bid]
+		if i <= 0 {
+			continue
+		}
+		share := i / float64(len(m.blockNodes[bi]))
+		for _, idx := range m.blockNodes[bi] {
+			load[idx] += share
+		}
+	}
+	// Source conductance per node (active regulators).
+	srcG := make([]float64, n)
+	g0 := 1 / m.cfg.R0Ohm
+	for ri, a := range active {
+		if a {
+			srcG[m.vrNode[ri]] += g0
+		}
+	}
+
+	// SOR over the nodal equations: for drop v (volts below nominal),
+	//   Σ_adj g·(v_i − v_j) + srcG_i·v_i = −load_i + 0
+	// i.e. current drawn lowers the node, sources pull it toward zero drop.
+	g := 1 / m.cfg.SheetOhm
+	v := make([]float64, n)
+	sol := &MeshSolution{}
+	for it := 1; it <= m.cfg.MaxIter; it++ {
+		var maxDelta float64
+		for idx := 0; idx < n; idx++ {
+			ix := idx % m.nx
+			iy := idx / m.nx
+			var gsum, isum float64
+			if ix > 0 {
+				gsum += g
+				isum += g * v[idx-1]
+			}
+			if ix < m.nx-1 {
+				gsum += g
+				isum += g * v[idx+1]
+			}
+			if iy > 0 {
+				gsum += g
+				isum += g * v[idx-m.nx]
+			}
+			if iy < m.ny-1 {
+				gsum += g
+				isum += g * v[idx+m.nx]
+			}
+			gsum += srcG[idx] // source node pulled toward zero drop
+			vNew := (isum + load[idx]) / gsum
+			vNew = v[idx] + m.cfg.Omega*(vNew-v[idx])
+			if dlt := math.Abs(vNew - v[idx]); dlt > maxDelta {
+				maxDelta = dlt
+			}
+			v[idx] = vNew
+		}
+		sol.Iterations = it
+		if maxDelta < m.cfg.Tol {
+			break
+		}
+		if it == m.cfg.MaxIter {
+			return nil, fmt.Errorf("pdn: mesh solve for %s did not converge in %d iterations", d.Name, it)
+		}
+	}
+
+	sol.DropV = v
+	sol.PerBlockPct = make([]float64, len(d.Blocks))
+	for bi := range d.Blocks {
+		var worst float64
+		for _, idx := range m.blockNodes[bi] {
+			if v[idx] > worst {
+				worst = v[idx]
+			}
+		}
+		sol.PerBlockPct[bi] = 100 * worst / m.cfg.VddV
+		if sol.PerBlockPct[bi] > sol.MaxPct {
+			sol.MaxPct = sol.PerBlockPct[bi]
+		}
+	}
+	for ri, a := range active {
+		if a {
+			sol.SupplyA += v[m.vrNode[ri]] * g0
+		}
+	}
+	return sol, nil
+}

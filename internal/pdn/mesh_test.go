@@ -1,0 +1,292 @@
+package pdn
+
+import (
+	"math"
+	"testing"
+
+	"thermogater/internal/floorplan"
+)
+
+func newMesh(t *testing.T, domain int) (*Mesh, *floorplan.Chip) {
+	t.Helper()
+	chip := floorplan.BuildPOWER8()
+	m, err := NewMesh(chip, domain, DefaultMeshConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, chip
+}
+
+func TestNewMeshValidation(t *testing.T) {
+	chip := floorplan.BuildPOWER8()
+	if _, err := NewMesh(nil, 0, DefaultMeshConfig()); err == nil {
+		t.Error("nil chip accepted")
+	}
+	if _, err := NewMesh(chip, -1, DefaultMeshConfig()); err == nil {
+		t.Error("negative domain accepted")
+	}
+	if _, err := NewMesh(chip, 99, DefaultMeshConfig()); err == nil {
+		t.Error("out-of-range domain accepted")
+	}
+	bad := DefaultMeshConfig()
+	bad.PitchMM = 0
+	if _, err := NewMesh(chip, 0, bad); err == nil {
+		t.Error("zero pitch accepted")
+	}
+	bad = DefaultMeshConfig()
+	bad.Omega = 2
+	if _, err := NewMesh(chip, 0, bad); err == nil {
+		t.Error("omega=2 accepted")
+	}
+	bad = DefaultMeshConfig()
+	bad.Tol = 0
+	if _, err := NewMesh(chip, 0, bad); err == nil {
+		t.Error("zero tolerance accepted")
+	}
+}
+
+func TestMeshGridCoversDomain(t *testing.T) {
+	m, chip := newMesh(t, 0)
+	nx, ny := m.Size()
+	d := chip.Domains[0]
+	wantNx := int(math.Ceil(d.Bounds.W/DefaultMeshConfig().PitchMM)) + 1
+	if nx != wantNx {
+		t.Errorf("nx = %d, want %d", nx, wantNx)
+	}
+	if ny < 2 || nx < 2 {
+		t.Errorf("degenerate grid %dx%d", nx, ny)
+	}
+}
+
+func TestMeshSolveCurrentConservation(t *testing.T) {
+	m, chip := newMesh(t, 0)
+	cur := loadedCurrents(chip)
+	d := chip.Domains[0]
+	active := make([]bool, len(d.Regulators))
+	for i := range active {
+		active[i] = true
+	}
+	sol, err := m.Solve(cur, active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalLoad float64
+	for _, bid := range d.Blocks {
+		totalLoad += cur[bid]
+	}
+	if math.Abs(sol.SupplyA-totalLoad) > 0.01*totalLoad {
+		t.Errorf("supplied %vA for %vA load (Kirchhoff violated)", sol.SupplyA, totalLoad)
+	}
+}
+
+func TestMeshGatingRaisesDrop(t *testing.T) {
+	m, chip := newMesh(t, 0)
+	cur := loadedCurrents(chip)
+	nVR := len(chip.Domains[0].Regulators)
+	all := make([]bool, nVR)
+	for i := range all {
+		all[i] = true
+	}
+	allOn, err := m.Solve(cur, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gate regulators one by one: max drop must be non-decreasing.
+	prev := allOn.MaxPct
+	mask := append([]bool(nil), all...)
+	for i := 0; i < nVR-1; i++ {
+		mask[i] = false
+		sol, err := m.Solve(cur, mask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.MaxPct < prev-1e-9 {
+			t.Fatalf("gating regulator %d reduced max drop: %v -> %v", i, prev, sol.MaxPct)
+		}
+		prev = sol.MaxPct
+	}
+}
+
+func TestMeshDropScalesLinearly(t *testing.T) {
+	m, chip := newMesh(t, 0)
+	cur := loadedCurrents(chip)
+	half := make([]float64, len(cur))
+	for i := range cur {
+		half[i] = cur[i] / 2
+	}
+	active := make([]bool, len(chip.Domains[0].Regulators))
+	for i := range active {
+		active[i] = true
+	}
+	full, err := m.Solve(cur, active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	halfSol, err := m.Solve(half, active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(full.MaxPct-2*halfSol.MaxPct) > 0.02*full.MaxPct {
+		t.Errorf("drop not linear in current: %v vs 2×%v", full.MaxPct, halfSol.MaxPct)
+	}
+}
+
+func TestMeshSolveValidation(t *testing.T) {
+	m, chip := newMesh(t, 0)
+	cur := loadedCurrents(chip)
+	nVR := len(chip.Domains[0].Regulators)
+	if _, err := m.Solve(cur[:3], make([]bool, nVR)); err == nil {
+		t.Error("short current vector accepted")
+	}
+	if _, err := m.Solve(cur, make([]bool, 2)); err == nil {
+		t.Error("wrong mask size accepted")
+	}
+	if _, err := m.Solve(cur, make([]bool, nVR)); err == nil {
+		t.Error("all-off mask accepted")
+	}
+}
+
+// TestMeshValidatesPathModel is the SPICE-validation analogue: the fast
+// path-resistance model used in the control loop must agree with the full
+// nodal solve on (a) which gating configuration is noisier and (b) the
+// rough magnitude of the worst drop.
+func TestMeshValidatesPathModel(t *testing.T) {
+	chip := floorplan.BuildPOWER8()
+	grid, err := NewNetwork(chip, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMesh(chip, 0, DefaultMeshConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := loadedCurrents(chip)
+	nVR := len(chip.Domains[0].Regulators)
+
+	type config struct {
+		name string
+		mask []bool
+	}
+	all := make([]bool, nVR)
+	for i := range all {
+		all[i] = true
+	}
+	memOnly := make([]bool, nVR)
+	logic, memory, err := chip.LogicSideRegulators(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxOf := func(rid int) int {
+		for i, r := range chip.Domains[0].Regulators {
+			if r == rid {
+				return i
+			}
+		}
+		return -1
+	}
+	for _, rid := range memory {
+		memOnly[idxOf(rid)] = true
+	}
+	logicOnly := make([]bool, nVR)
+	for i, rid := range logic {
+		if i >= 3 {
+			break
+		}
+		logicOnly[idxOf(rid)] = true
+	}
+	configs := []config{{"all-on", all}, {"memory-side", memOnly}, {"logic-side", logicOnly}}
+
+	var pathPct, meshPct []float64
+	for _, c := range configs {
+		dn, err := grid.SteadyNoise(0, cur, c.mask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := m.Solve(cur, c.mask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pathPct = append(pathPct, dn.MaxPct)
+		meshPct = append(meshPct, sol.MaxPct)
+	}
+	// (a) Same ordering across configurations.
+	for i := 0; i < len(configs); i++ {
+		for j := i + 1; j < len(configs); j++ {
+			if (pathPct[i] < pathPct[j]) != (meshPct[i] < meshPct[j]) {
+				t.Errorf("models disagree on ordering %s vs %s: path %v/%v mesh %v/%v",
+					configs[i].name, configs[j].name, pathPct[i], pathPct[j], meshPct[i], meshPct[j])
+			}
+		}
+	}
+	// (b) Same magnitude within a factor of two (the path model lumps the
+	// shared-grid term differently).
+	for i := range configs {
+		ratio := pathPct[i] / meshPct[i]
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("%s: path %v%% vs mesh %v%% (ratio %v)", configs[i].name, pathPct[i], meshPct[i], ratio)
+		}
+	}
+}
+
+func TestMeshL3Domain(t *testing.T) {
+	// L3 domains (3 regulators, wide flat banks) must solve too.
+	chip := floorplan.BuildPOWER8()
+	domID := chip.L3Domains()[0]
+	m, err := NewMesh(chip, domID, DefaultMeshConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := loadedCurrents(chip)
+	active := []bool{true, false, false}
+	sol, err := m.Solve(cur, active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.MaxPct <= 0 {
+		t.Error("no drop under load")
+	}
+	if sol.Iterations < 2 {
+		t.Error("suspiciously fast convergence")
+	}
+}
+
+// TestMeshPerBlockRankCorrelation: both PDN models must agree on which
+// blocks are the noisy ones, not just on the maximum.
+func TestMeshPerBlockRankCorrelation(t *testing.T) {
+	chip := floorplan.BuildPOWER8()
+	grid, err := NewNetwork(chip, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMesh(chip, 0, DefaultMeshConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := loadedCurrents(chip)
+	nVR := len(chip.Domains[0].Regulators)
+	mask := make([]bool, nVR)
+	mask[0], mask[4], mask[8] = true, true, true
+
+	dn, err := grid.SteadyNoise(0, cur, mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := m.Solve(cur, mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(dn.PerBlockPct)
+	agree := 0
+	pairs := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs++
+			if (dn.PerBlockPct[i] < dn.PerBlockPct[j]) == (sol.PerBlockPct[i] < sol.PerBlockPct[j]) {
+				agree++
+			}
+		}
+	}
+	if frac := float64(agree) / float64(pairs); frac < 0.7 {
+		t.Errorf("models agree on only %.0f%% of block orderings", frac*100)
+	}
+}

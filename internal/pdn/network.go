@@ -1,0 +1,209 @@
+package pdn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"thermogater/internal/floorplan"
+)
+
+// Network is the power delivery model for one chip: per Vdd-domain, the
+// precomputed path resistances from every load block to every component
+// regulator.
+type Network struct {
+	chip *floorplan.Chip
+	cfg  Config
+
+	// pathR[d][bi][ri] is the path resistance from domain d's bi-th block
+	// to its ri-th regulator: R0 + ρ·distance.
+	pathR [][][]float64
+	// conc[d][bi] is the concentration factor min(1, ServiceArea/area):
+	// the fraction of a block's current that stresses a single grid path.
+	conc [][]float64
+}
+
+// NewNetwork precomputes the grid model for the chip.
+func NewNetwork(chip *floorplan.Chip, cfg Config) (*Network, error) {
+	if chip == nil {
+		return nil, errors.New("pdn: nil chip")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{chip: chip, cfg: cfg}
+	n.pathR = make([][][]float64, len(chip.Domains))
+	n.rebuildPaths()
+	return n, nil
+}
+
+// rebuildPaths recomputes all block→regulator path resistances; the
+// placement optimiser calls it after moving regulators.
+func (n *Network) rebuildPaths() {
+	n.conc = make([][]float64, len(n.chip.Domains))
+	for di := range n.chip.Domains {
+		d := &n.chip.Domains[di]
+		n.pathR[di] = make([][]float64, len(d.Blocks))
+		n.conc[di] = make([]float64, len(d.Blocks))
+		for bi, bid := range d.Blocks {
+			b := &n.chip.Blocks[bid]
+			n.conc[di][bi] = 1.0
+			if a := b.R.Area(); a > n.cfg.ServiceAreaMM2 {
+				n.conc[di][bi] = n.cfg.ServiceAreaMM2 / a
+			}
+			rs := make([]float64, len(d.Regulators))
+			for ri, rid := range d.Regulators {
+				// Distance from the regulator to the block footprint:
+				// loads spread across the block, so the relevant length is
+				// the average of centre and edge distances.
+				reg := &n.chip.Regulators[rid]
+				dc := b.R.Center().DistanceTo(reg.Pos)
+				de := b.R.DistanceToPoint(reg.Pos)
+				dist := 0.5 * (dc + de)
+				rs[ri] = n.cfg.R0Ohm + n.cfg.RhoOhmPerMM*dist
+			}
+			n.pathR[di][bi] = rs
+		}
+	}
+}
+
+// Chip returns the floorplan this network models.
+func (n *Network) Chip() *floorplan.Chip { return n.chip }
+
+// Config returns the electrical configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// PathResistance returns the precomputed path resistance from the domain's
+// bi-th block to its ri-th regulator (indices into Domain.Blocks and
+// Domain.Regulators).
+func (n *Network) PathResistance(domain, bi, ri int) float64 {
+	return n.pathR[domain][bi][ri]
+}
+
+// EffectiveResistance returns the impedance the domain's bi-th block sees
+// given the active mask over the domain's regulators (indexed like
+// Domain.Regulators). It is the parallel combination of the per-regulator
+// paths; with no active regulator it returns +Inf.
+func (n *Network) EffectiveResistance(domain, bi int, active []bool) float64 {
+	var gsum float64
+	for ri, a := range active {
+		if a {
+			gsum += 1 / n.pathR[domain][bi][ri]
+		}
+	}
+	if gsum == 0 {
+		return math.Inf(1)
+	}
+	return 1 / gsum
+}
+
+// DomainNoise is the steady-state voltage noise profile of one domain.
+type DomainNoise struct {
+	// MaxPct is the worst per-block noise in percent of nominal Vdd.
+	MaxPct float64
+	// MaxBlock is the global block ID where the maximum occurs (-1 when
+	// the domain draws no current).
+	MaxBlock int
+	// PerBlockPct is indexed like Domain.Blocks.
+	PerBlockPct []float64
+}
+
+// Emergency reports whether the profile exceeds the 10% threshold.
+func (dn DomainNoise) Emergency() bool {
+	return dn.MaxPct > EmergencyThresholdPct
+}
+
+// SteadyNoise computes the IR-drop noise profile of a domain given the
+// per-block currents (amps, indexed by global block ID) and the active
+// mask over the domain's regulators. At least one regulator must be
+// active.
+func (n *Network) SteadyNoise(domain int, blockCurrent []float64, active []bool) (DomainNoise, error) {
+	d := &n.chip.Domains[domain]
+	if len(blockCurrent) != len(n.chip.Blocks) {
+		return DomainNoise{}, fmt.Errorf("pdn: %d block currents, chip has %d blocks",
+			len(blockCurrent), len(n.chip.Blocks))
+	}
+	if len(active) != len(d.Regulators) {
+		return DomainNoise{}, fmt.Errorf("pdn: %d active flags, domain %s has %d regulators",
+			len(active), d.Name, len(d.Regulators))
+	}
+	anyActive := false
+	for _, a := range active {
+		anyActive = anyActive || a
+	}
+	if !anyActive {
+		return DomainNoise{}, fmt.Errorf("pdn: domain %s has no active regulator", d.Name)
+	}
+
+	var domCurrent float64
+	for _, bid := range d.Blocks {
+		if c := blockCurrent[bid]; c > 0 {
+			domCurrent += c
+		}
+	}
+	out := DomainNoise{MaxBlock: -1, PerBlockPct: make([]float64, len(d.Blocks))}
+	shared := domCurrent * n.cfg.RSharedOhm
+	for bi, bid := range d.Blocks {
+		i := blockCurrent[bid]
+		if i < 0 {
+			i = 0
+		}
+		i *= n.conc[domain][bi]
+		drop := i*n.EffectiveResistance(domain, bi, active) + shared
+		pct := 100 * drop / n.cfg.VddV
+		out.PerBlockPct[bi] = pct
+		if pct > out.MaxPct {
+			out.MaxPct = pct
+			out.MaxBlock = bid
+		}
+	}
+	return out, nil
+}
+
+// BurstPeakPct returns the peak noise reached when a di/dt burst surges
+// the given block's current by surgeAmps for burstCycles: the steady drop
+// plus the surge through both the grid and the transient impedance the
+// lagging regulators present.
+func (n *Network) BurstPeakPct(domain, bi int, steadyPct, surgeAmps float64, active []bool, burstCycles int, clockGHz float64) float64 {
+	if surgeAmps <= 0 {
+		return steadyPct
+	}
+	reff := n.EffectiveResistance(domain, bi, active)
+	if math.IsInf(reff, 1) {
+		return math.Inf(1)
+	}
+	z := reff + n.cfg.ZTransientOhm*n.cfg.TransientFactor(burstCycles, clockGHz)
+	return steadyPct + 100*surgeAmps*z/n.cfg.VddV
+}
+
+// VRCriticality scores each of a domain's regulators by how much voltage
+// noise relief it provides to the domain's present current map: the
+// current-weighted conductance of its paths to every load block. OracV
+// keeps the non highest-scoring (i.e. closest-to-the-noise) regulators on.
+func (n *Network) VRCriticality(domain int, blockCurrent []float64) ([]float64, error) {
+	d := &n.chip.Domains[domain]
+	if len(blockCurrent) != len(n.chip.Blocks) {
+		return nil, fmt.Errorf("pdn: %d block currents, chip has %d blocks",
+			len(blockCurrent), len(n.chip.Blocks))
+	}
+	crit := make([]float64, len(d.Regulators))
+	for bi, bid := range d.Blocks {
+		i := blockCurrent[bid] * n.conc[domain][bi]
+		if i <= 0 {
+			continue
+		}
+		for ri := range d.Regulators {
+			crit[ri] += i / n.pathR[domain][bi][ri]
+		}
+	}
+	return crit, nil
+}
+
+// AllOnMask returns a fully-active regulator mask for the domain.
+func (n *Network) AllOnMask(domain int) []bool {
+	mask := make([]bool, len(n.chip.Domains[domain].Regulators))
+	for i := range mask {
+		mask[i] = true
+	}
+	return mask
+}

@@ -1,0 +1,346 @@
+package pdn
+
+import (
+	"math"
+	"testing"
+
+	"thermogater/internal/floorplan"
+	"thermogater/internal/power"
+)
+
+func newNet(t *testing.T) (*Network, *floorplan.Chip) {
+	t.Helper()
+	chip := floorplan.BuildPOWER8()
+	n, err := NewNetwork(chip, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, chip
+}
+
+// loadedCurrents builds a representative current map: logic blocks drawing
+// heavily, memory lightly.
+func loadedCurrents(chip *floorplan.Chip) []float64 {
+	cur := make([]float64, len(chip.Blocks))
+	for _, b := range chip.Blocks {
+		switch b.Kind {
+		case floorplan.Logic:
+			cur[b.ID] = power.WattsToAmps(3.0)
+		case floorplan.Memory:
+			cur[b.ID] = power.WattsToAmps(1.0)
+		default:
+			cur[b.ID] = power.WattsToAmps(1.5)
+		}
+	}
+	return cur
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(nil, DefaultConfig()); err == nil {
+		t.Error("nil chip accepted")
+	}
+	bad := DefaultConfig()
+	bad.R0Ohm = 0
+	if _, err := NewNetwork(floorplan.BuildPOWER8(), bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.R0Ohm = -1 },
+		func(c *Config) { c.RhoOhmPerMM = 0 },
+		func(c *Config) { c.RSharedOhm = -0.1 },
+		func(c *Config) { c.ZTransientOhm = -1 },
+		func(c *Config) { c.ResponseTimeNS = -1 },
+		func(c *Config) { c.VddV = 0 },
+		func(c *Config) { c.RippleSigma = -1 },
+		func(c *Config) { c.RipplePhi = 1 },
+		func(c *Config) { c.BurstRiseCycles = 0 },
+		func(c *Config) { c.BurstDecayCycles = 0 },
+	}
+	for i, mut := range mutations {
+		c := DefaultConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestPathResistanceGrowsWithDistance(t *testing.T) {
+	n, chip := newNet(t)
+	// Within core0's domain, the EXU's nearest regulator path must be
+	// cheaper than the farthest one.
+	dom := 0
+	d := chip.Domains[dom]
+	exuIdx := -1
+	for bi, bid := range d.Blocks {
+		if chip.Blocks[bid].Class == floorplan.UnitEXU {
+			exuIdx = bi
+		}
+	}
+	if exuIdx < 0 {
+		t.Fatal("no EXU in domain 0")
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for ri := range d.Regulators {
+		r := n.PathResistance(dom, exuIdx, ri)
+		lo = math.Min(lo, r)
+		hi = math.Max(hi, r)
+	}
+	if !(lo < hi) {
+		t.Errorf("path resistances not spread: lo %v hi %v", lo, hi)
+	}
+	if lo < n.Config().R0Ohm {
+		t.Errorf("path resistance %v below the R0 floor %v", lo, n.Config().R0Ohm)
+	}
+}
+
+func TestEffectiveResistanceParallel(t *testing.T) {
+	n, chip := newNet(t)
+	dom := 0
+	nVR := len(chip.Domains[dom].Regulators)
+	all := n.AllOnMask(dom)
+	one := make([]bool, nVR)
+	one[0] = true
+	rAll := n.EffectiveResistance(dom, 0, all)
+	rOne := n.EffectiveResistance(dom, 0, one)
+	if rAll >= rOne {
+		t.Errorf("all-on resistance %v not below single-regulator %v", rAll, rOne)
+	}
+	none := make([]bool, nVR)
+	if !math.IsInf(n.EffectiveResistance(dom, 0, none), 1) {
+		t.Error("no active regulator must yield infinite resistance")
+	}
+}
+
+func TestSteadyNoiseAllOnIsBestCase(t *testing.T) {
+	// Section 6.2.3: all-on is the best case for voltage noise because
+	// every block is fed by its closest regulator. Any gated subset of the
+	// same size or smaller must be at least as noisy.
+	n, chip := newNet(t)
+	cur := loadedCurrents(chip)
+	for dom := range chip.Domains {
+		all, err := n.SteadyNoise(dom, cur, n.AllOnMask(dom))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Gate the first regulator.
+		mask := n.AllOnMask(dom)
+		mask[0] = false
+		gated, err := n.SteadyNoise(dom, cur, mask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gated.MaxPct < all.MaxPct-1e-12 {
+			t.Errorf("domain %d: gating reduced noise (%v < %v)", dom, gated.MaxPct, all.MaxPct)
+		}
+	}
+}
+
+func TestSteadyNoiseScalesWithCurrent(t *testing.T) {
+	n, chip := newNet(t)
+	cur := loadedCurrents(chip)
+	half := make([]float64, len(cur))
+	for i := range cur {
+		half[i] = cur[i] / 2
+	}
+	full, _ := n.SteadyNoise(0, cur, n.AllOnMask(0))
+	halfN, _ := n.SteadyNoise(0, half, n.AllOnMask(0))
+	if math.Abs(full.MaxPct-2*halfN.MaxPct) > 1e-9 {
+		t.Errorf("noise not linear in current: %v vs %v", full.MaxPct, halfN.MaxPct)
+	}
+}
+
+func TestSteadyNoiseValidation(t *testing.T) {
+	n, chip := newNet(t)
+	cur := loadedCurrents(chip)
+	if _, err := n.SteadyNoise(0, cur[:5], n.AllOnMask(0)); err == nil {
+		t.Error("short current vector accepted")
+	}
+	if _, err := n.SteadyNoise(0, cur, make([]bool, 3)); err == nil {
+		t.Error("wrong mask size accepted")
+	}
+	if _, err := n.SteadyNoise(0, cur, make([]bool, 9)); err == nil {
+		t.Error("all-off mask accepted")
+	}
+}
+
+func TestSteadyNoiseZeroCurrent(t *testing.T) {
+	n, chip := newNet(t)
+	cur := make([]float64, len(chip.Blocks))
+	dn, err := n.SteadyNoise(0, cur, n.AllOnMask(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dn.MaxPct != 0 || dn.MaxBlock != -1 {
+		t.Errorf("zero current noise = %+v", dn)
+	}
+	if dn.Emergency() {
+		t.Error("zero current reported an emergency")
+	}
+}
+
+func TestEmergencyThreshold(t *testing.T) {
+	dn := DomainNoise{MaxPct: 10.01}
+	if !dn.Emergency() {
+		t.Error("10.01% must be an emergency")
+	}
+	dn.MaxPct = 9.99
+	if dn.Emergency() {
+		t.Error("9.99% must not be an emergency")
+	}
+}
+
+func TestGatingLogicSideRaisesLogicNoise(t *testing.T) {
+	// The central OracT hazard: turning off the regulators over the logic
+	// units raises the noise exactly where the current is drawn.
+	n, chip := newNet(t)
+	cur := loadedCurrents(chip)
+	dom := 0
+	logic, memory, err := chip.LogicSideRegulators(dom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := chip.Domains[dom]
+	idxOf := func(rid int) int {
+		for i, r := range d.Regulators {
+			if r == rid {
+				return i
+			}
+		}
+		return -1
+	}
+	// Keep only memory-side regulators on (the OracT pattern).
+	memMask := make([]bool, len(d.Regulators))
+	for _, rid := range memory {
+		memMask[idxOf(rid)] = true
+	}
+	// Keep only the same *number* of logic-side regulators on (OracV-ish).
+	logicMask := make([]bool, len(d.Regulators))
+	for i, rid := range logic {
+		if i >= len(memory) {
+			break
+		}
+		logicMask[idxOf(rid)] = true
+	}
+	memNoise, err := n.SteadyNoise(dom, cur, memMask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logicNoise, err := n.SteadyNoise(dom, cur, logicMask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memNoise.MaxPct <= logicNoise.MaxPct {
+		t.Errorf("memory-side gating noise %v not above logic-side %v",
+			memNoise.MaxPct, logicNoise.MaxPct)
+	}
+}
+
+func TestAllOnNoiseCalibration(t *testing.T) {
+	// Fig. 11: the all-on maximum noise across the suite peaks around 13%
+	// of nominal Vdd. With a representative heavy load the steady all-on
+	// noise must land in single digits (bursts add the rest).
+	n, chip := newNet(t)
+	cur := loadedCurrents(chip)
+	worst := 0.0
+	for dom := range chip.Domains {
+		dn, err := n.SteadyNoise(dom, cur, n.AllOnMask(dom))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dn.MaxPct > worst {
+			worst = dn.MaxPct
+		}
+	}
+	if worst < 3 || worst > 11 {
+		t.Errorf("steady all-on worst noise = %v%%, want mid single digits", worst)
+	}
+}
+
+func TestVRCriticalityPrefersLogicSide(t *testing.T) {
+	n, chip := newNet(t)
+	cur := loadedCurrents(chip)
+	dom := 0
+	crit, err := n.VRCriticality(dom, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logic, memory, _ := chip.LogicSideRegulators(dom)
+	d := chip.Domains[dom]
+	idxOf := func(rid int) int {
+		for i, r := range d.Regulators {
+			if r == rid {
+				return i
+			}
+		}
+		return -1
+	}
+	var logicAvg, memAvg float64
+	for _, rid := range logic {
+		logicAvg += crit[idxOf(rid)]
+	}
+	logicAvg /= float64(len(logic))
+	for _, rid := range memory {
+		memAvg += crit[idxOf(rid)]
+	}
+	memAvg /= float64(len(memory))
+	if logicAvg <= memAvg {
+		t.Errorf("logic-side criticality %v not above memory-side %v", logicAvg, memAvg)
+	}
+	if _, err := n.VRCriticality(dom, cur[:2]); err == nil {
+		t.Error("short current vector accepted")
+	}
+}
+
+func TestBurstPeakBehaviour(t *testing.T) {
+	n, chip := newNet(t)
+	_ = chip
+	active := n.AllOnMask(0)
+	steady := 5.0
+	peak := n.BurstPeakPct(0, 0, steady, 2.0, active, 60, 4.0)
+	if peak <= steady {
+		t.Error("burst did not raise the noise")
+	}
+	if got := n.BurstPeakPct(0, 0, steady, 0, active, 60, 4.0); got != steady {
+		t.Error("zero surge must not change the noise")
+	}
+	// A faster regulator (smaller response time) lets less of the
+	// transient through.
+	fast, err := NewNetwork(floorplan.BuildPOWER8(), LDOConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	peakFast := fast.BurstPeakPct(0, 0, steady, 2.0, active, 60, 4.0)
+	if peakFast >= peak {
+		t.Errorf("LDO burst peak %v not below buck %v (Fig. 15)", peakFast, peak)
+	}
+	none := make([]bool, len(active))
+	if !math.IsInf(n.BurstPeakPct(0, 0, steady, 1, none, 60, 4.0), 1) {
+		t.Error("burst with no active regulator must be infinite")
+	}
+}
+
+func TestTransientFactor(t *testing.T) {
+	c := DefaultConfig()
+	if f := c.TransientFactor(0, 4); f != 0 {
+		t.Errorf("zero burst factor = %v", f)
+	}
+	if f := c.TransientFactor(60, 0); f != 0 {
+		t.Errorf("zero clock factor = %v", f)
+	}
+	short := c.TransientFactor(10, 4)
+	long := c.TransientFactor(1000, 4)
+	if short <= long {
+		t.Errorf("short bursts must see more transient impedance: %v vs %v", short, long)
+	}
+	if short <= 0 || short >= 1 {
+		t.Errorf("factor %v outside (0,1)", short)
+	}
+}

@@ -1,0 +1,70 @@
+package pdn
+
+import (
+	"testing"
+
+	"thermogater/internal/floorplan"
+)
+
+func TestOptimizePlacementImproves(t *testing.T) {
+	chip := floorplan.BuildPOWER8()
+	n, err := NewNetwork(chip, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := loadedCurrents(chip)
+	uniform, err := UniformPlacementNoise(floorplan.BuildPOWER8(), DefaultConfig(), cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := OptimizePlacement(n, cur, 0.25, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalMaxPct > res.InitialMaxPct+1e-12 {
+		t.Errorf("optimisation worsened noise: %v -> %v", res.InitialMaxPct, res.FinalMaxPct)
+	}
+	if res.InitialMaxPct != uniform {
+		t.Errorf("initial noise %v differs from uniform baseline %v", res.InitialMaxPct, uniform)
+	}
+	// Section 5: the uniform placement is within 0.4% (relative) of the
+	// optimal one — i.e. optimisation buys very little.
+	if rel := (uniform - res.FinalMaxPct) / uniform; rel > 0.05 {
+		t.Errorf("optimisation improved noise by %.1f%%; the uniform layout should already be near-optimal", 100*rel)
+	}
+	if res.Iterations < 1 {
+		t.Error("no passes recorded")
+	}
+}
+
+func TestOptimizePlacementKeepsRegulatorsInDomains(t *testing.T) {
+	chip := floorplan.BuildPOWER8()
+	n, err := NewNetwork(chip, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := loadedCurrents(chip)
+	if _, err := OptimizePlacement(n, cur, 0.5, 3); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range chip.Regulators {
+		if !chip.Domains[r.Domain].Bounds.Contains(r.Pos) {
+			t.Errorf("regulator %d escaped its domain", r.ID)
+		}
+	}
+	if err := chip.Validate(); err != nil {
+		t.Errorf("chip invalid after optimisation: %v", err)
+	}
+}
+
+func TestOptimizePlacementValidation(t *testing.T) {
+	chip := floorplan.BuildPOWER8()
+	n, _ := NewNetwork(chip, DefaultConfig())
+	cur := loadedCurrents(chip)
+	if _, err := OptimizePlacement(n, cur, 0, 3); err == nil {
+		t.Error("zero step accepted")
+	}
+	if _, err := OptimizePlacement(n, cur[:4], 0.5, 3); err == nil {
+		t.Error("short current vector accepted")
+	}
+}

@@ -1,0 +1,163 @@
+package pdn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"thermogater/internal/workload"
+)
+
+// Burst is one di/dt event inside a transient window.
+type Burst struct {
+	// StartCycle is the onset, in cycles from window start.
+	StartCycle int
+	// Cycles is the plateau duration.
+	Cycles int
+	// Amp is the surge as a fraction of the block's base current.
+	Amp float64
+}
+
+// TransientWindow simulates cycle-level voltage noise at one load block
+// over a window of the given length, reproducing the kind of trace Fig. 14
+// plots: base current with AR(1) ripple, plus di/dt bursts with a linear
+// rise, a plateau and an exponential decay, seen through the grid
+// impedance and the lagging-regulator transient impedance. It returns the
+// per-cycle noise in percent of nominal Vdd.
+//
+// domain and bi index the Vdd-domain and its block (as in Domain.Blocks);
+// blockCurrent holds amps per global block ID; active masks the domain's
+// regulators. The window is deterministic for a given seed.
+func (n *Network) TransientWindow(domain, bi int, blockCurrent []float64, active []bool, bursts []Burst, cycles int, clockGHz float64, seed uint64) ([]float64, error) {
+	if cycles <= 0 {
+		return nil, errors.New("pdn: transient window needs positive length")
+	}
+	if clockGHz <= 0 {
+		return nil, errors.New("pdn: non-positive clock")
+	}
+	d := &n.chip.Domains[domain]
+	if bi < 0 || bi >= len(d.Blocks) {
+		return nil, fmt.Errorf("pdn: block index %d outside domain %s", bi, d.Name)
+	}
+	if len(blockCurrent) != len(n.chip.Blocks) {
+		return nil, fmt.Errorf("pdn: %d block currents, chip has %d blocks",
+			len(blockCurrent), len(n.chip.Blocks))
+	}
+	if len(active) != len(d.Regulators) {
+		return nil, fmt.Errorf("pdn: active mask size %d, domain has %d regulators",
+			len(active), len(d.Regulators))
+	}
+	reff := n.EffectiveResistance(domain, bi, active)
+	if math.IsInf(reff, 1) {
+		return nil, fmt.Errorf("pdn: domain %s has no active regulator", d.Name)
+	}
+	for _, b := range bursts {
+		if b.StartCycle < 0 || b.Cycles <= 0 || b.Amp < 0 {
+			return nil, fmt.Errorf("pdn: invalid burst %+v", b)
+		}
+	}
+
+	var domCurrent float64
+	for _, bid := range d.Blocks {
+		if c := blockCurrent[bid]; c > 0 {
+			domCurrent += c
+		}
+	}
+	base := blockCurrent[d.Blocks[bi]]
+	if base < 0 {
+		base = 0
+	}
+	base *= n.conc[domain][bi]
+	shared := domCurrent * n.cfg.RSharedOhm
+
+	rng := workload.NewRNG(seed ^ 0x9d4e)
+	out := make([]float64, cycles)
+	ripple := 0.0
+	innov := n.cfg.RippleSigma * math.Sqrt(1-n.cfg.RipplePhi*n.cfg.RipplePhi)
+	for t := 0; t < cycles; t++ {
+		ripple = n.cfg.RipplePhi*ripple + innov*rng.Norm()
+		i := base * (1 + ripple)
+		if i < 0 {
+			i = 0
+		}
+		var surge float64
+		for _, b := range bursts {
+			surge += base * b.Amp * burstEnvelope(t, b, n.cfg)
+		}
+		ztrans := reff
+		if surge > 0 {
+			// Work out the transient factor for the dominant burst length;
+			// using the first active burst keeps this O(1) per cycle.
+			for _, b := range bursts {
+				if t >= b.StartCycle && burstEnvelope(t, b, n.cfg) > 0 {
+					ztrans = reff + n.cfg.ZTransientOhm*n.cfg.TransientFactor(b.Cycles, clockGHz)
+					break
+				}
+			}
+		}
+		drop := i*reff + shared + surge*ztrans
+		out[t] = 100 * drop / n.cfg.VddV
+	}
+	return out, nil
+}
+
+// burstEnvelope returns the normalized current envelope of a burst at
+// cycle t: linear rise, plateau, exponential decay.
+func burstEnvelope(t int, b Burst, cfg Config) float64 {
+	rel := t - b.StartCycle
+	if rel < 0 {
+		return 0
+	}
+	rise := cfg.BurstRiseCycles
+	switch {
+	case rel < rise:
+		return float64(rel+1) / float64(rise)
+	case rel < rise+b.Cycles:
+		return 1
+	default:
+		decay := float64(rel-rise-b.Cycles) / float64(cfg.BurstDecayCycles)
+		if decay > 20 {
+			return 0
+		}
+		return math.Exp(-decay)
+	}
+}
+
+// SampleSpec is the VoltSpot sampling methodology of Section 5: a number
+// of equally spaced windows across the run, each WindowCycles long with
+// the first WarmupCycles discarded as warm-up.
+type SampleSpec struct {
+	Samples      int
+	WindowCycles int
+	WarmupCycles int
+}
+
+// DefaultSampleSpec mirrors the paper: 200 samples × 2K cycles, 1K warm-up.
+func DefaultSampleSpec() SampleSpec {
+	return SampleSpec{Samples: 200, WindowCycles: 2000, WarmupCycles: 1000}
+}
+
+// Validate checks the specification.
+func (s SampleSpec) Validate() error {
+	if s.Samples <= 0 || s.WindowCycles <= 0 {
+		return errors.New("pdn: sample spec needs positive counts")
+	}
+	if s.WarmupCycles < 0 || s.WarmupCycles >= s.WindowCycles {
+		return errors.New("pdn: warm-up must be shorter than the window")
+	}
+	return nil
+}
+
+// MaxAfterWarmup reduces one sampled window to its post-warm-up maximum.
+func (s SampleSpec) MaxAfterWarmup(window []float64) (float64, error) {
+	if len(window) != s.WindowCycles {
+		return 0, fmt.Errorf("pdn: window of %d cycles, spec says %d", len(window), s.WindowCycles)
+	}
+	m := math.Inf(-1)
+	for _, v := range window[s.WarmupCycles:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m, nil
+}

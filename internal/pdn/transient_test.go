@@ -1,0 +1,225 @@
+package pdn
+
+import (
+	"math"
+	"testing"
+
+	"thermogater/internal/floorplan"
+)
+
+func TestTransientWindowBasics(t *testing.T) {
+	n, chip := newNet(t)
+	cur := loadedCurrents(chip)
+	active := n.AllOnMask(0)
+	win, err := n.TransientWindow(0, 0, cur, active, nil, 2000, 4.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(win) != 2000 {
+		t.Fatalf("window has %d cycles", len(win))
+	}
+	for i, v := range win {
+		if v < 0 || math.IsNaN(v) || v > 100 {
+			t.Fatalf("cycle %d: noise %v out of range", i, v)
+		}
+	}
+}
+
+func TestTransientWindowDeterminism(t *testing.T) {
+	n, chip := newNet(t)
+	cur := loadedCurrents(chip)
+	active := n.AllOnMask(0)
+	a, _ := n.TransientWindow(0, 0, cur, active, nil, 500, 4.0, 7)
+	b, _ := n.TransientWindow(0, 0, cur, active, nil, 500, 4.0, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different windows")
+		}
+	}
+	c, _ := n.TransientWindow(0, 0, cur, active, nil, 500, 4.0, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical windows")
+	}
+}
+
+func TestTransientWindowBurstShape(t *testing.T) {
+	n, chip := newNet(t)
+	cur := loadedCurrents(chip)
+	cfg := n.Config()
+	// Disable ripple so the burst shape is exact.
+	quiet := cfg
+	quiet.RippleSigma = 0
+	qn, err := NewNetwork(chip, quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := qn.AllOnMask(0)
+	burst := Burst{StartCycle: 100, Cycles: 50, Amp: 1.0}
+	win, err := qn.TransientWindow(0, 0, cur, active, []Burst{burst}, 400, 4.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := win[0]
+	// Flat before the burst.
+	for i := 0; i < 100; i++ {
+		if math.Abs(win[i]-base) > 1e-9 {
+			t.Fatalf("cycle %d: noise %v differs from base %v before burst", i, win[i], base)
+		}
+	}
+	// Peak within the plateau.
+	peakAt, peak := 0, 0.0
+	for i, v := range win {
+		if v > peak {
+			peak, peakAt = v, i
+		}
+	}
+	if peakAt < 100 || peakAt > 100+quiet.BurstRiseCycles+50 {
+		t.Errorf("peak at cycle %d, expected within the burst", peakAt)
+	}
+	if peak <= base {
+		t.Error("burst did not raise the noise")
+	}
+	// Decays back toward base afterwards.
+	if last := win[len(win)-1]; last > base+0.3*(peak-base) {
+		t.Errorf("noise %v has not decayed near base %v by window end", last, base)
+	}
+}
+
+func TestTransientWindowValidation(t *testing.T) {
+	n, chip := newNet(t)
+	cur := loadedCurrents(chip)
+	active := n.AllOnMask(0)
+	if _, err := n.TransientWindow(0, 0, cur, active, nil, 0, 4.0, 1); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := n.TransientWindow(0, 0, cur, active, nil, 100, 0, 1); err == nil {
+		t.Error("zero clock accepted")
+	}
+	if _, err := n.TransientWindow(0, 99, cur, active, nil, 100, 4.0, 1); err == nil {
+		t.Error("bad block index accepted")
+	}
+	if _, err := n.TransientWindow(0, 0, cur[:3], active, nil, 100, 4.0, 1); err == nil {
+		t.Error("short current vector accepted")
+	}
+	if _, err := n.TransientWindow(0, 0, cur, active[:2], nil, 100, 4.0, 1); err == nil {
+		t.Error("short mask accepted")
+	}
+	if _, err := n.TransientWindow(0, 0, cur, make([]bool, len(active)), nil, 100, 4.0, 1); err == nil {
+		t.Error("all-off mask accepted")
+	}
+	if _, err := n.TransientWindow(0, 0, cur, active, []Burst{{StartCycle: -1, Cycles: 10, Amp: 1}}, 100, 4.0, 1); err == nil {
+		t.Error("negative burst start accepted")
+	}
+	if _, err := n.TransientWindow(0, 0, cur, active, []Burst{{StartCycle: 0, Cycles: 0, Amp: 1}}, 100, 4.0, 1); err == nil {
+		t.Error("zero burst length accepted")
+	}
+}
+
+func TestSampleSpec(t *testing.T) {
+	s := DefaultSampleSpec()
+	if s.Samples != 200 || s.WindowCycles != 2000 || s.WarmupCycles != 1000 {
+		t.Errorf("default spec %+v does not match the paper", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := s
+	bad.WarmupCycles = 2000
+	if err := bad.Validate(); err == nil {
+		t.Error("warm-up as long as window accepted")
+	}
+	bad = s
+	bad.Samples = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero samples accepted")
+	}
+
+	window := make([]float64, s.WindowCycles)
+	for i := range window {
+		window[i] = float64(i)
+	}
+	// Poison the warm-up with a huge value: it must be ignored.
+	window[10] = 1e9
+	m, err := s.MaxAfterWarmup(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != float64(s.WindowCycles-1) {
+		t.Errorf("MaxAfterWarmup = %v, want %v", m, s.WindowCycles-1)
+	}
+	if _, err := s.MaxAfterWarmup(window[:100]); err == nil {
+		t.Error("wrong window length accepted")
+	}
+}
+
+func TestLDOvsFIVRWindow(t *testing.T) {
+	// Fig. 15: under all-on with identical workloads the LDO's faster
+	// response yields slightly lower maximum noise than the buck.
+	chip := floorplan.BuildPOWER8()
+	cur := loadedCurrents(chip)
+	burst := []Burst{{StartCycle: 50, Cycles: 60, Amp: 1.2}}
+	run := func(cfg Config) float64 {
+		n, err := NewNetwork(chip, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		win, err := n.TransientWindow(0, 0, cur, n.AllOnMask(0), burst, 500, 4.0, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := 0.0
+		for _, v := range win {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	fivr := run(DefaultConfig())
+	ldo := run(LDOConfig())
+	if ldo >= fivr {
+		t.Errorf("LDO max noise %v not below FIVR %v", ldo, fivr)
+	}
+	// The gap is small (the paper reports ≈0.7% average, ≈1.1% worst).
+	if fivr-ldo > 3 {
+		t.Errorf("LDO advantage %v%% implausibly large", fivr-ldo)
+	}
+}
+
+// TestTransientRippleStatistics: the AR(1) ripple's empirical standard
+// deviation must match the configured stationary sigma.
+func TestTransientRippleStatistics(t *testing.T) {
+	n, chip := newNet(t)
+	cur := loadedCurrents(chip)
+	active := n.AllOnMask(0)
+	win, err := n.TransientWindow(0, 0, cur, active, nil, 20000, 4.0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean float64
+	for _, v := range win {
+		mean += v
+	}
+	mean /= float64(len(win))
+	var variance float64
+	for _, v := range win {
+		variance += (v - mean) * (v - mean)
+	}
+	variance /= float64(len(win))
+	// noise% = base·(1+ripple)·R/V·100 + shared → sd(noise) =
+	// base·R/V·100·sigma. Recover sigma empirically.
+	reff := n.EffectiveResistance(0, 0, active)
+	base := cur[chip.Domains[0].Blocks[0]] * n.Config().ServiceAreaMM2 / n.Config().ServiceAreaMM2
+	scale := base * reff / n.Config().VddV * 100
+	gotSigma := math.Sqrt(variance) / scale
+	if math.Abs(gotSigma-n.Config().RippleSigma) > 0.01 {
+		t.Errorf("empirical ripple sigma %v, configured %v", gotSigma, n.Config().RippleSigma)
+	}
+}

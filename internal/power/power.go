@@ -1,0 +1,199 @@
+// Package power converts microarchitectural activity into per-block power,
+// standing in for the McPAT (MR2) model of the paper's toolchain. Dynamic
+// power scales linearly with each block's activity factor; static (leakage)
+// power grows exponentially with temperature and is calibrated, as in
+// Section 5, so that the chip-wide static share does not exceed 30% of
+// total consumption at 80°C. Temperature feeds leakage and leakage feeds
+// temperature, which is why the thermal solver runs this model in a closed
+// feedback loop.
+package power
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"thermogater/internal/floorplan"
+)
+
+// Vdd is the nominal supply voltage (Table 1).
+const Vdd = 1.03
+
+// TDP is the chip thermal design power in watts (Table 1).
+const TDP = 150.0
+
+// LeakageRefC is the reference temperature of the static power calibration.
+const LeakageRefC = 80.0
+
+// StaticShareAtRef is the calibrated chip-wide static share of total power
+// at the reference temperature (Section 5: "does not exceed 30%").
+const StaticShareAtRef = 0.30
+
+// LeakageBeta is the exponential leakage-temperature sensitivity (1/K);
+// 0.035/K roughly doubles leakage every 20°C, typical for 22nm.
+const LeakageBeta = 0.035
+
+// peakDynamicW is the peak dynamic power per unit class at activity 1.0,
+// calibrated so that full activity across the chip approaches (but stays
+// under) the 150W TDP once leakage is added.
+var peakDynamicW = map[floorplan.UnitClass]float64{
+	floorplan.UnitEXU: 4.0,
+	floorplan.UnitLSU: 3.5,
+	floorplan.UnitISU: 2.5,
+	floorplan.UnitIFU: 2.0,
+	floorplan.UnitL2:  1.5,
+	floorplan.UnitL3:  1.2,
+	floorplan.UnitNOC: 3.0,
+	floorplan.UnitMC:  2.0,
+}
+
+// leakageWeight scales leakage density by block kind: logic leaks more per
+// unit area than SRAM at iso-temperature in this calibration.
+var leakageWeight = map[floorplan.BlockKind]float64{
+	floorplan.Logic:        1.5,
+	floorplan.Memory:       0.8,
+	floorplan.Interconnect: 1.0,
+	floorplan.IO:           0.7,
+}
+
+// Model is the calibrated activity→power model for one chip.
+type Model struct {
+	chip    *floorplan.Chip
+	peakDyn []float64 // per block, W at activity 1
+	leakRef []float64 // per block, W at LeakageRefC
+}
+
+// NewModel calibrates a power model for the chip.
+func NewModel(chip *floorplan.Chip) (*Model, error) {
+	if chip == nil {
+		return nil, errors.New("power: nil chip")
+	}
+	m := &Model{
+		chip:    chip,
+		peakDyn: make([]float64, len(chip.Blocks)),
+		leakRef: make([]float64, len(chip.Blocks)),
+	}
+	var weightedArea float64
+	for _, b := range chip.Blocks {
+		p, ok := peakDynamicW[b.Class]
+		if !ok {
+			return nil, fmt.Errorf("power: no dynamic budget for unit class %v", b.Class)
+		}
+		m.peakDyn[b.ID] = p
+		weightedArea += leakageWeight[b.Kind] * b.R.Area()
+	}
+	// Distribute the calibrated chip-wide leakage across blocks by
+	// kind-weighted area.
+	totalLeakRef := TDP * StaticShareAtRef
+	for _, b := range chip.Blocks {
+		m.leakRef[b.ID] = totalLeakRef * leakageWeight[b.Kind] * b.R.Area() / weightedArea
+	}
+	return m, nil
+}
+
+// Chip returns the floorplan this model was calibrated for.
+func (m *Model) Chip() *floorplan.Chip { return m.chip }
+
+// PeakDynamic returns the per-block dynamic power at activity 1.0.
+func (m *Model) PeakDynamic(block int) float64 { return m.peakDyn[block] }
+
+// Dynamic fills dst with per-block dynamic power for the given activity
+// frame. dst may be nil, in which case a fresh slice is allocated; both the
+// activity slice and dst must cover every block.
+func (m *Model) Dynamic(activity, dst []float64) ([]float64, error) {
+	if len(activity) != len(m.peakDyn) {
+		return nil, fmt.Errorf("power: activity for %d blocks, chip has %d", len(activity), len(m.peakDyn))
+	}
+	if dst == nil {
+		dst = make([]float64, len(m.peakDyn))
+	} else if len(dst) != len(m.peakDyn) {
+		return nil, errors.New("power: dst length mismatch")
+	}
+	for i, a := range activity {
+		if a < 0 {
+			a = 0
+		} else if a > 1 {
+			a = 1
+		}
+		dst[i] = m.peakDyn[i] * a
+	}
+	return dst, nil
+}
+
+// LeakageAt returns one block's static power at the given temperature (°C).
+func (m *Model) LeakageAt(block int, tempC float64) float64 {
+	return m.leakRef[block] * math.Exp(LeakageBeta*(tempC-LeakageRefC))
+}
+
+// Leakage fills dst with per-block static power for the given per-block
+// temperatures. dst may be nil.
+func (m *Model) Leakage(tempC, dst []float64) ([]float64, error) {
+	if len(tempC) != len(m.leakRef) {
+		return nil, fmt.Errorf("power: temperatures for %d blocks, chip has %d", len(tempC), len(m.leakRef))
+	}
+	if dst == nil {
+		dst = make([]float64, len(m.leakRef))
+	} else if len(dst) != len(m.leakRef) {
+		return nil, errors.New("power: dst length mismatch")
+	}
+	for i, t := range tempC {
+		dst[i] = m.LeakageAt(i, t)
+	}
+	return dst, nil
+}
+
+// Total fills dst with per-block total (dynamic + static) power.
+func (m *Model) Total(activity, tempC, dst []float64) ([]float64, error) {
+	dyn, err := m.Dynamic(activity, dst)
+	if err != nil {
+		return nil, err
+	}
+	if len(tempC) != len(m.leakRef) {
+		return nil, errors.New("power: temperature length mismatch")
+	}
+	for i := range dyn {
+		dyn[i] += m.LeakageAt(i, tempC[i])
+	}
+	return dyn, nil
+}
+
+// DomainDemand sums the power demand of all blocks supplied by the domain.
+func (m *Model) DomainDemand(blockPower []float64, d *floorplan.Domain) float64 {
+	var sum float64
+	for _, bid := range d.Blocks {
+		sum += blockPower[bid]
+	}
+	return sum
+}
+
+// WattsToAmps converts a power demand at nominal Vdd into the load current
+// the domain's regulators must supply.
+func WattsToAmps(w float64) float64 {
+	if w < 0 {
+		return 0
+	}
+	return w / Vdd
+}
+
+// StaticShare returns the chip-wide static fraction of total power for the
+// given activity and temperature vectors; the calibration tests use it to
+// verify the 30%-at-80°C rule.
+func (m *Model) StaticShare(activity, tempC []float64) (float64, error) {
+	dyn, err := m.Dynamic(activity, nil)
+	if err != nil {
+		return 0, err
+	}
+	leak, err := m.Leakage(tempC, nil)
+	if err != nil {
+		return 0, err
+	}
+	var d, l float64
+	for i := range dyn {
+		d += dyn[i]
+		l += leak[i]
+	}
+	if d+l == 0 {
+		return 0, nil
+	}
+	return l / (d + l), nil
+}

@@ -1,0 +1,239 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"thermogater/internal/floorplan"
+)
+
+func newModel(t *testing.T) (*Model, *floorplan.Chip) {
+	t.Helper()
+	chip := floorplan.BuildPOWER8()
+	m, err := NewModel(chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, chip
+}
+
+func uniform(chip *floorplan.Chip, v float64) []float64 {
+	xs := make([]float64, len(chip.Blocks))
+	for i := range xs {
+		xs[i] = v
+	}
+	return xs
+}
+
+func TestNewModelNilChip(t *testing.T) {
+	if _, err := NewModel(nil); err == nil {
+		t.Error("nil chip accepted")
+	}
+}
+
+func TestStaticShareCalibration(t *testing.T) {
+	// Section 5: static power is 30% of total chip consumption at 80°C.
+	// At TDP-level operation (total = 150W) the static share must be the
+	// calibrated 30%; at lower activity it may exceed it, which is why the
+	// paper words the rule as a cap at TDP.
+	m, chip := newModel(t)
+	temps := uniform(chip, 80)
+
+	leak, err := m.Leakage(temps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalLeak float64
+	for _, l := range leak {
+		totalLeak += l
+	}
+	if math.Abs(totalLeak-TDP*StaticShareAtRef) > 1e-6 {
+		t.Errorf("chip leakage at 80°C = %vW, want %v", totalLeak, TDP*StaticShareAtRef)
+	}
+
+	// Find the activity level at which total power hits TDP, then check
+	// the static share there is exactly the calibrated 30%.
+	var peakDyn float64
+	for i := range chip.Blocks {
+		peakDyn += m.PeakDynamic(i)
+	}
+	act := (TDP - totalLeak) / peakDyn
+	if act <= 0 || act > 1 {
+		t.Fatalf("TDP activity point %v outside (0,1]: peak dynamic %vW", act, peakDyn)
+	}
+	share, err := m.StaticShare(uniform(chip, act), temps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(share-StaticShareAtRef) > 1e-9 {
+		t.Errorf("static share at TDP = %v, want %v", share, StaticShareAtRef)
+	}
+}
+
+func TestLeakageTemperatureDependence(t *testing.T) {
+	m, _ := newModel(t)
+	l60 := m.LeakageAt(0, 60)
+	l80 := m.LeakageAt(0, 80)
+	l100 := m.LeakageAt(0, 100)
+	if !(l60 < l80 && l80 < l100) {
+		t.Errorf("leakage not increasing with T: %v %v %v", l60, l80, l100)
+	}
+	// Exponential model: doubling interval ln2/β ≈ 19.8°C.
+	if ratio := l100 / l80; math.Abs(ratio-math.Exp(LeakageBeta*20)) > 1e-9 {
+		t.Errorf("leakage ratio over 20°C = %v, want %v", ratio, math.Exp(LeakageBeta*20))
+	}
+}
+
+func TestLogicLeaksMoreThanMemoryPerArea(t *testing.T) {
+	m, chip := newModel(t)
+	exu, _ := chip.BlockByName("core0/EXU")
+	l3, _ := chip.BlockByName("l3bank0/L3")
+	exuDensity := m.LeakageAt(exu.ID, 80) / exu.R.Area()
+	l3Density := m.LeakageAt(l3.ID, 80) / l3.R.Area()
+	if exuDensity <= l3Density {
+		t.Errorf("logic leakage density %v not above memory %v", exuDensity, l3Density)
+	}
+}
+
+func TestDynamicScalesLinearly(t *testing.T) {
+	m, chip := newModel(t)
+	half, err := m.Dynamic(uniform(chip, 0.5), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := m.Dynamic(uniform(chip, 1.0), nil)
+	for i := range half {
+		if math.Abs(full[i]-2*half[i]) > 1e-12 {
+			t.Fatalf("block %d: dynamic not linear (%v vs %v)", i, half[i], full[i])
+		}
+	}
+	zero, _ := m.Dynamic(uniform(chip, 0), nil)
+	for i, p := range zero {
+		if p != 0 {
+			t.Fatalf("block %d: zero activity dissipates %v", i, p)
+		}
+	}
+}
+
+func TestDynamicClampsActivity(t *testing.T) {
+	m, chip := newModel(t)
+	over := uniform(chip, 2.0)
+	clamped, err := m.Dynamic(over, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := m.Dynamic(uniform(chip, 1.0), nil)
+	for i := range clamped {
+		if clamped[i] != full[i] {
+			t.Fatalf("activity not clamped at block %d", i)
+		}
+	}
+	neg, _ := m.Dynamic(uniform(chip, -1), nil)
+	for i := range neg {
+		if neg[i] != 0 {
+			t.Fatalf("negative activity not clamped at block %d", i)
+		}
+	}
+}
+
+func TestDynamicReusesDst(t *testing.T) {
+	m, chip := newModel(t)
+	dst := make([]float64, len(chip.Blocks))
+	got, err := m.Dynamic(uniform(chip, 0.3), dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &dst[0] {
+		t.Error("Dynamic did not reuse dst")
+	}
+	if _, err := m.Dynamic(uniform(chip, 0.3), make([]float64, 3)); err == nil {
+		t.Error("short dst accepted")
+	}
+	if _, err := m.Dynamic([]float64{1, 2}, nil); err == nil {
+		t.Error("short activity accepted")
+	}
+}
+
+func TestTotalIsDynamicPlusLeakage(t *testing.T) {
+	m, chip := newModel(t)
+	act := uniform(chip, 0.4)
+	temps := uniform(chip, 70)
+	total, err := m.Total(act, temps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, _ := m.Dynamic(act, nil)
+	leak, _ := m.Leakage(temps, nil)
+	for i := range total {
+		if math.Abs(total[i]-dyn[i]-leak[i]) > 1e-12 {
+			t.Fatalf("block %d: total %v != dyn %v + leak %v", i, total[i], dyn[i], leak[i])
+		}
+	}
+	if _, err := m.Total(act, []float64{1}, nil); err == nil {
+		t.Error("short temperature vector accepted")
+	}
+}
+
+func TestLeakageErrors(t *testing.T) {
+	m, chip := newModel(t)
+	if _, err := m.Leakage([]float64{1}, nil); err == nil {
+		t.Error("short temperature vector accepted")
+	}
+	if _, err := m.Leakage(uniform(chip, 80), make([]float64, 2)); err == nil {
+		t.Error("short dst accepted")
+	}
+}
+
+func TestDomainDemand(t *testing.T) {
+	m, chip := newModel(t)
+	bp := make([]float64, len(chip.Blocks))
+	for i := range bp {
+		bp[i] = 1 // 1W per block
+	}
+	for _, d := range chip.Domains {
+		got := m.DomainDemand(bp, &d)
+		if math.Abs(got-float64(len(d.Blocks))) > 1e-12 {
+			t.Errorf("domain %s demand = %v, want %d", d.Name, got, len(d.Blocks))
+		}
+	}
+}
+
+func TestWattsToAmps(t *testing.T) {
+	if got := WattsToAmps(Vdd); math.Abs(got-1) > 1e-12 {
+		t.Errorf("WattsToAmps(Vdd) = %v, want 1", got)
+	}
+	if WattsToAmps(-5) != 0 {
+		t.Error("negative power must convert to zero current")
+	}
+}
+
+func TestPeakChipPowerUnderTDPWithHeadroom(t *testing.T) {
+	// Peak dynamic + leakage at 80°C must be in the same ballpark as the
+	// 150W TDP: workloads never sustain activity 1.0 everywhere, so the
+	// nameplate peak may exceed TDP slightly but not wildly.
+	m, chip := newModel(t)
+	var peak float64
+	for i := range chip.Blocks {
+		peak += m.PeakDynamic(i)
+	}
+	leak, _ := m.Leakage(uniform(chip, 80), nil)
+	for _, l := range leak {
+		peak += l
+	}
+	if peak < 120 || peak > 200 {
+		t.Errorf("nameplate peak power = %vW, expected within [120, 200] around the 150W TDP", peak)
+	}
+}
+
+func TestStaticShareZeroPower(t *testing.T) {
+	m, chip := newModel(t)
+	// At absurdly low temperature leakage underflows toward zero; the
+	// share must stay defined.
+	share, err := m.StaticShare(uniform(chip, 0), uniform(chip, -300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(share) {
+		t.Error("StaticShare returned NaN")
+	}
+}

@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"thermogater/internal/core"
+)
+
+// TestAgingDisabledByDefault keeps the aging machinery opt-in.
+func TestAgingDisabledByDefault(t *testing.T) {
+	res := run(t, core.OracT, "lu_ncb", nil)
+	if res.MTTFYears != nil || res.MinMTTFYears != 0 || res.AgingImbalance != 0 {
+		t.Error("aging metrics populated without TrackAging")
+	}
+}
+
+// TestAgingTracksPolicyCharacter quantifies the Section 7 discussion:
+// OracV pins the same logic-side regulators on continuously, so its wear
+// is both more concentrated and faster at the weakest regulator than
+// under all-on, which spreads the load across all 96 regulators.
+func TestAgingTracksPolicyCharacter(t *testing.T) {
+	withAging := func(c *Config) { c.TrackAging = true }
+	allon := run(t, core.AllOn, "lu_ncb", withAging)
+	oracV := run(t, core.OracV, "lu_ncb", withAging)
+	oracT := run(t, core.OracT, "lu_ncb", withAging)
+
+	if len(allon.MTTFYears) != 96 {
+		t.Fatalf("MTTF for %d regulators", len(allon.MTTFYears))
+	}
+	if allon.MinMTTFYears <= 0 || math.IsInf(allon.MinMTTFYears, 1) {
+		t.Fatalf("all-on MinMTTF = %v", allon.MinMTTFYears)
+	}
+	// All-on wears every regulator; gated policies leave some untouched
+	// or lightly used, concentrating damage.
+	if oracV.AgingImbalance <= allon.AgingImbalance {
+		t.Errorf("OracV imbalance %v not above all-on %v", oracV.AgingImbalance, allon.AgingImbalance)
+	}
+	// OracV's pinned, hot, fully loaded logic regulators die first.
+	if oracV.MinMTTFYears >= allon.MinMTTFYears {
+		t.Errorf("OracV MinMTTF %v not below all-on %v", oracV.MinMTTFYears, allon.MinMTTFYears)
+	}
+	// OracT's highly utilised regulators sit in cool regions (the paper's
+	// "this may balance out aging"): its weakest regulator outlives
+	// OracV's.
+	if oracT.MinMTTFYears <= oracV.MinMTTFYears {
+		t.Errorf("OracT MinMTTF %v not above OracV %v", oracT.MinMTTFYears, oracV.MinMTTFYears)
+	}
+}
+
+// TestAgingGatedRegulatorsLastLonger sanity-checks the stress model
+// end to end: under off-chip gating no regulator ever carries current.
+func TestAgingGatedRegulatorsLastLonger(t *testing.T) {
+	res := run(t, core.OffChip, "raytrace", func(c *Config) { c.TrackAging = true })
+	for i, y := range res.MTTFYears {
+		if !math.IsInf(y, 1) {
+			t.Fatalf("regulator %d aged (%v years) with off-chip regulation", i, y)
+		}
+	}
+}

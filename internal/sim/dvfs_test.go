@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"testing"
+
+	"thermogater/internal/core"
+	"thermogater/internal/dvfs"
+)
+
+// TestDVFSLowersPowerOnLightWorkloads checks the DVFS layer end to end:
+// on a light workload the per-core governors step down the V/f ladder,
+// chip power drops, regulator demand (and hence conversion loss) shrinks,
+// and the gated network still sustains near-peak efficiency.
+func TestDVFSLowersPowerOnLightWorkloads(t *testing.T) {
+	withDVFS := func(c *Config) {
+		cfg := dvfs.DefaultConfig()
+		c.DVFS = &cfg
+	}
+	base := run(t, core.OracT, "raytrace", nil)
+	scaled := run(t, core.OracT, "raytrace", withDVFS)
+
+	if scaled.DVFSAvgVddV == nil {
+		t.Fatal("DVFS metrics not populated")
+	}
+	if scaled.AvgChipPowerW >= base.AvgChipPowerW {
+		t.Errorf("DVFS power %vW not below nominal %vW", scaled.AvgChipPowerW, base.AvgChipPowerW)
+	}
+	if scaled.AvgPlossW >= base.AvgPlossW {
+		t.Errorf("DVFS conversion loss %vW not below nominal %vW", scaled.AvgPlossW, base.AvgPlossW)
+	}
+	if scaled.AvgEta < 0.85 {
+		t.Errorf("DVFS run efficiency %v", scaled.AvgEta)
+	}
+	// raytrace is light: every core should have stepped below nominal.
+	for c, v := range scaled.DVFSAvgVddV {
+		if v >= 1.03 {
+			t.Errorf("core %d average Vdd %v never left nominal", c, v)
+		}
+	}
+	if scaled.DVFSAvgPerf >= 1 || scaled.DVFSAvgPerf <= 0.5 {
+		t.Errorf("average performance scale %v outside (0.5, 1)", scaled.DVFSAvgPerf)
+	}
+	if scaled.MaxTempC >= base.MaxTempC {
+		t.Errorf("DVFS Tmax %v not below nominal %v", scaled.MaxTempC, base.MaxTempC)
+	}
+}
+
+// TestDVFSStaysNominalOnHeavyWorkloads: cholesky keeps utilisation above
+// the step-down threshold, so the ladder stays at (or quickly returns to)
+// the top and performance is preserved.
+func TestDVFSStaysNominalOnHeavyWorkloads(t *testing.T) {
+	scaled := run(t, core.OracT, "cholesky", func(c *Config) {
+		cfg := dvfs.DefaultConfig()
+		c.DVFS = &cfg
+	})
+	if scaled.DVFSAvgPerf < 0.95 {
+		t.Errorf("cholesky performance scale %v; heavy workloads must stay near nominal", scaled.DVFSAvgPerf)
+	}
+}
+
+// TestDVFSWithPerDomainMix: in a hot/cold mix the hot cores stay nominal
+// while the cold cores scale down — per-domain DVFS, the POWER8 use case.
+func TestDVFSWithPerDomainMix(t *testing.T) {
+	cfg := mixConfig(t, core.OracT)
+	d := dvfs.DefaultConfig()
+	cfg.DVFS = &d
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cores 0-3 run cholesky, 4-7 raytrace.
+	var hot, cold float64
+	for c := 0; c < 4; c++ {
+		hot += res.DVFSAvgVddV[c]
+	}
+	for c := 4; c < 8; c++ {
+		cold += res.DVFSAvgVddV[c]
+	}
+	if hot <= cold {
+		t.Errorf("hot cores avg Vdd %v not above cold cores %v", hot/4, cold/4)
+	}
+}
+
+func TestDVFSConfigValidation(t *testing.T) {
+	cfg := mixConfig(t, core.OracT)
+	bad := dvfs.DefaultConfig()
+	bad.HysteresisEpochs = 0
+	cfg.DVFS = &bad
+	if err := cfg.Validate(); err == nil {
+		t.Error("invalid DVFS config accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"thermogater/internal/core"
+)
+
+// TestGoldenLadder is a regression anchor: the full policy ladder on
+// lu_ncb at a fixed seed and duration, with every headline metric pinned
+// to its recorded value within a tolerance. The simulation is
+// deterministic, so drift here means a model change — recalibrate
+// deliberately (update the table alongside EXPERIMENTS.md), never
+// accidentally.
+func TestGoldenLadder(t *testing.T) {
+	type golden struct {
+		tmax, grad, noise, ploss, eta float64
+	}
+	// Recorded from the calibrated model (seed 1, 200ms window, 25 epochs
+	// warm-up). Tolerances: ±0.5°C on temperatures, ±0.8 on noise %, ±5%
+	// relative on loss, ±0.005 on eta.
+	want := map[core.PolicyKind]golden{
+		core.OffChip: {tmax: 63.1, grad: 8.0, noise: 0, ploss: 0, eta: 0},
+		core.AllOn:   {tmax: 71.7, grad: 14.0, noise: 5.1, ploss: 10.3, eta: 0.873},
+		core.Naive:   {tmax: 72.3, grad: 14.6, noise: 9.6, ploss: 8.1, eta: 0.896},
+		core.OracT:   {tmax: 70.2, grad: 12.6, noise: 9.5, ploss: 8.1, eta: 0.897},
+		core.OracV:   {tmax: 74.9, grad: 17.1, noise: 7.1, ploss: 8.1, eta: 0.897},
+		core.OracVT:  {tmax: 70.2, grad: 12.6, noise: 9.5, ploss: 8.1, eta: 0.897},
+		core.PracT:   {tmax: 70.5, grad: 12.7, noise: 9.5, ploss: 8.1, eta: 0.896},
+		core.PracVT:  {tmax: 70.8, grad: 13.1, noise: 9.2, ploss: 8.1, eta: 0.896},
+	}
+	for policy, g := range want {
+		res := run(t, policy, "lu_ncb", nil)
+		if d := math.Abs(res.MaxTempC - g.tmax); d > 0.5 {
+			t.Errorf("%v: Tmax %v, golden %v", policy, res.MaxTempC, g.tmax)
+		}
+		if d := math.Abs(res.MaxGradientC - g.grad); d > 0.5 {
+			t.Errorf("%v: gradient %v, golden %v", policy, res.MaxGradientC, g.grad)
+		}
+		if policy != core.OffChip {
+			if d := math.Abs(res.MaxNoisePct - g.noise); d > 0.8 {
+				t.Errorf("%v: noise %v, golden %v", policy, res.MaxNoisePct, g.noise)
+			}
+			if rel := math.Abs(res.AvgPlossW-g.ploss) / g.ploss; rel > 0.05 {
+				t.Errorf("%v: Ploss %v, golden %v", policy, res.AvgPlossW, g.ploss)
+			}
+			if d := math.Abs(res.AvgEta - g.eta); d > 0.005 {
+				t.Errorf("%v: eta %v, golden %v", policy, res.AvgEta, g.eta)
+			}
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"thermogater/internal/core"
+)
+
+// TestStaticPowerFeedback verifies the paper's Section 1 observation that
+// regulator heat feeds back into static power: with on-chip regulators
+// burning conversion loss (all-on), block temperatures and therefore
+// leakage — and with it total chip power — end up above the off-chip
+// baseline for the identical workload.
+func TestStaticPowerFeedback(t *testing.T) {
+	offchip := run(t, core.OffChip, "cholesky", nil)
+	allon := run(t, core.AllOn, "cholesky", nil)
+	if allon.AvgChipPowerW <= offchip.AvgChipPowerW {
+		t.Errorf("all-on chip power %vW not above off-chip %vW: leakage feedback missing",
+			allon.AvgChipPowerW, offchip.AvgChipPowerW)
+	}
+	// The effect is leakage-sized, not dynamic-sized.
+	if allon.AvgChipPowerW > offchip.AvgChipPowerW*1.1 {
+		t.Errorf("feedback %vW → %vW implausibly large",
+			offchip.AvgChipPowerW, allon.AvgChipPowerW)
+	}
+}
+
+// TestEpochTraceConsistency: the per-epoch trace must agree with the
+// aggregated result.
+func TestEpochTraceConsistency(t *testing.T) {
+	res := run(t, core.OracT, "fft", func(c *Config) { c.TraceEpochs = true })
+	if len(res.Trace) != res.Epochs {
+		t.Fatalf("%d trace entries for %d measured epochs", len(res.Trace), res.Epochs)
+	}
+	var worstT, worstN float64
+	for i, e := range res.Trace {
+		if e.MaxTempC > res.MaxTempC+1e-9 {
+			t.Errorf("epoch %d Tmax %v above run max %v", i, e.MaxTempC, res.MaxTempC)
+		}
+		if e.MaxNoisePct > res.MaxNoisePct+1e-9 {
+			t.Errorf("epoch %d noise %v above run max %v", i, e.MaxNoisePct, res.MaxNoisePct)
+		}
+		if e.ActiveVRs < 16 || e.ActiveVRs > 96 {
+			t.Errorf("epoch %d active count %d", i, e.ActiveVRs)
+		}
+		worstT = math.Max(worstT, e.MaxTempC)
+		worstN = math.Max(worstN, e.MaxNoisePct)
+	}
+	// Epoch-end sampling can miss the exact intra-epoch peak, but not by
+	// much.
+	if res.MaxTempC-worstT > 1.0 {
+		t.Errorf("trace peak %v far below run max %v", worstT, res.MaxTempC)
+	}
+	if res.MaxNoisePct-worstN > 1e-9 {
+		t.Errorf("trace noise peak %v below run max %v", worstN, res.MaxNoisePct)
+	}
+}
+
+// TestSampledNoiseBounded: the 200-sample metric can never exceed the
+// exhaustive maximum, and for policies whose noise is sustained (OracT)
+// it lands close to it.
+func TestSampledNoiseBounded(t *testing.T) {
+	for _, p := range []core.PolicyKind{core.AllOn, core.OracT, core.OracV} {
+		res := run(t, p, "fft", nil)
+		if res.SampledMaxNoisePct > res.MaxNoisePct+1e-9 {
+			t.Errorf("%v: sampled %v above exhaustive %v", p, res.SampledMaxNoisePct, res.MaxNoisePct)
+		}
+		if res.SampledMaxNoisePct <= 0 {
+			t.Errorf("%v: sampled max %v", p, res.SampledMaxNoisePct)
+		}
+	}
+	oracT := run(t, core.OracT, "fft", nil)
+	if oracT.SampledMaxNoisePct < 0.5*oracT.MaxNoisePct {
+		t.Errorf("OracT sampled %v far below exhaustive %v; sustained noise should be caught",
+			oracT.SampledMaxNoisePct, oracT.MaxNoisePct)
+	}
+}
+
+// TestSeedStability: conclusions must not hinge on one random seed.
+func TestSeedStability(t *testing.T) {
+	var tmax []float64
+	for _, seed := range []uint64{1, 7, 42} {
+		res := run(t, core.OracT, "lu_ncb", func(c *Config) { c.Seed = seed })
+		tmax = append(tmax, res.MaxTempC)
+	}
+	lo, hi := tmax[0], tmax[0]
+	for _, v := range tmax[1:] {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi-lo > 1.5 {
+		t.Errorf("Tmax across seeds spans %v°C (%v): too seed-sensitive", hi-lo, tmax)
+	}
+}
+
+// TestOffChipChipPowerStillTracked: even without on-chip regulation the
+// workload power accounting works.
+func TestOffChipChipPowerStillTracked(t *testing.T) {
+	res := run(t, core.OffChip, "raytrace", nil)
+	if res.AvgChipPowerW < 15 || res.AvgChipPowerW > 60 {
+		t.Errorf("raytrace chip power %vW implausible", res.AvgChipPowerW)
+	}
+}
+
+// TestPlossOrderingAcrossPolicies: all gating policies operating at n_on
+// dissipate (nearly) the same conversion loss — location selection, not
+// count, is what distinguishes them — and all save over all-on.
+func TestPlossOrderingAcrossPolicies(t *testing.T) {
+	allon := run(t, core.AllOn, "lu_ncb", nil)
+	var gated []*Result
+	for _, p := range []core.PolicyKind{core.Naive, core.OracT, core.OracV} {
+		gated = append(gated, run(t, p, "lu_ncb", nil))
+	}
+	for _, g := range gated {
+		if g.AvgPlossW >= allon.AvgPlossW {
+			t.Errorf("%s loss %v not below all-on %v", g.Policy, g.AvgPlossW, allon.AvgPlossW)
+		}
+	}
+	if d := math.Abs(gated[1].AvgPlossW - gated[2].AvgPlossW); d > 0.1 {
+		t.Errorf("OracT and OracV losses differ by %vW; both enforce n_on", d)
+	}
+}

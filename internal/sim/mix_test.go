@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"thermogater/internal/core"
+	"thermogater/internal/floorplan"
+	"thermogater/internal/uarch"
+	"thermogater/internal/workload"
+)
+
+// mixConfig builds a 4×cholesky + 4×raytrace multiprogrammed run.
+func mixConfig(t *testing.T, policy core.PolicyKind) Config {
+	t.Helper()
+	chol, err := workload.ByName("cholesky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rayt, err := workload.ByName("raytrace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(policy, chol)
+	cfg.Mix = []workload.Profile{chol, chol, chol, chol, rayt, rayt, rayt, rayt}
+	cfg.DurationMS = 150
+	cfg.WarmupEpochs = 25
+	return cfg
+}
+
+func TestMixValidation(t *testing.T) {
+	cfg := mixConfig(t, core.OracT)
+	cfg.Mix = cfg.Mix[:3]
+	if err := cfg.Validate(); err == nil {
+		t.Error("short mix accepted")
+	}
+	cfg = mixConfig(t, core.OracT)
+	cfg.Mix[2].DurationMS = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("invalid mix profile accepted")
+	}
+}
+
+func TestMixLabel(t *testing.T) {
+	cfg := mixConfig(t, core.OracT)
+	label := cfg.benchmarkLabel()
+	if !strings.HasPrefix(label, "mix(") || !strings.Contains(label, "chol") || !strings.Contains(label, "rayt") {
+		t.Errorf("mix label %q", label)
+	}
+}
+
+// TestMixPerDomainAdaptation is the Section 7 multiprogramming claim: the
+// governor sizes each Vdd-domain independently, so the domains running the
+// hot program keep more regulators active than those running the cold one.
+func TestMixPerDomainAdaptation(t *testing.T) {
+	cfg := mixConfig(t, core.OracT)
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(res.Benchmark, "mix(") {
+		t.Errorf("result labelled %q", res.Benchmark)
+	}
+	chip := r.Chip()
+	domainOnSum := func(d int) float64 {
+		var sum float64
+		for _, rid := range chip.Domains[d].Regulators {
+			sum += res.VROnFrac[rid]
+		}
+		return sum
+	}
+	// Cores 0-3 run cholesky (hot), 4-7 raytrace (cold).
+	var hot, cold float64
+	for d := 0; d < 4; d++ {
+		hot += domainOnSum(d)
+	}
+	for d := 4; d < 8; d++ {
+		cold += domainOnSum(d)
+	}
+	if hot <= cold*1.2 {
+		t.Errorf("cholesky domains keep %.2f regulator-fraction on vs raytrace's %.2f; expected a clear gap", hot, cold)
+	}
+}
+
+func TestMixDeterminism(t *testing.T) {
+	runMix := func() *Result {
+		cfg := mixConfig(t, core.AllOn)
+		r, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := runMix(), runMix()
+	if a.MaxTempC != b.MaxTempC || a.MaxNoisePct != b.MaxNoisePct {
+		t.Error("mix runs with identical seeds diverged")
+	}
+}
+
+func TestMixPracticalPolicies(t *testing.T) {
+	cfg := mixConfig(t, core.PracVT)
+	cfg.ProfilingEpochs = 80
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThetaMeanR2 < 0.8 {
+		t.Errorf("mix profiling R² = %v", res.ThetaMeanR2)
+	}
+	if res.AvgEta < 0.85 {
+		t.Errorf("mix efficiency %v", res.AvgEta)
+	}
+}
+
+func TestMixCoresReflectTheirPrograms(t *testing.T) {
+	// At the activity level, the cholesky cores must run visibly hotter
+	// than the raytrace cores within the same chip.
+	chol, _ := workload.ByName("cholesky")
+	rayt, _ := workload.ByName("raytrace")
+	chip := floorplan.BuildPOWER8()
+	s, err := uarch.NewMix(chip,
+		[]workload.Profile{chol, chol, chol, chol, rayt, rayt, rayt, rayt}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Mixed() {
+		t.Error("NewMix simulator not marked mixed")
+	}
+	exu0, _ := chip.BlockByName("core0/EXU")
+	exu7, _ := chip.BlockByName("core7/EXU")
+	var hot, cold float64
+	for i := 0; i < 500; i++ {
+		f, err := s.Step(uarch.DefaultStepMS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hot += f.Activity[exu0.ID]
+		cold += f.Activity[exu7.ID]
+	}
+	if hot <= 1.5*cold {
+		t.Errorf("cholesky core activity %v not well above raytrace core %v", hot, cold)
+	}
+}

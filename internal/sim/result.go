@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"thermogater/internal/core"
+	"thermogater/internal/pdn"
+)
+
+// EpochStats is one entry of the per-epoch trace (Fig. 6).
+type EpochStats struct {
+	// TimeMS is the epoch start time.
+	TimeMS float64
+	// TotalPowerW is the chip-wide power demand (blocks only).
+	TotalPowerW float64
+	// ActiveVRs is the cumulative active regulator count over all domains.
+	ActiveVRs int
+	// MaxTempC and GradientC sample the thermal state at epoch end.
+	MaxTempC, GradientC float64
+	// MaxNoisePct is the worst voltage noise seen within the epoch.
+	MaxNoisePct float64
+	// PlossW is the total regulator conversion loss.
+	PlossW float64
+	// Eta is the output-power-weighted conversion efficiency.
+	Eta float64
+}
+
+// VRSample is one entry of the tracked regulator's trace (Fig. 8).
+type VRSample struct {
+	TimeMS float64
+	TempC  float64
+	On     bool
+}
+
+// WorstNoiseState snapshots the simulation state at the worst voltage
+// noise moment, sufficient to regenerate a cycle-level transient window
+// around it (Fig. 14).
+type WorstNoiseState struct {
+	// Domain and BlockIndex locate the worst load (BlockIndex indexes the
+	// domain's Blocks).
+	Domain, BlockIndex int
+	// TimeMS is when the worst noise occurred.
+	TimeMS float64
+	// BlockCurrent is the chip-wide current map at that moment (amps).
+	BlockCurrent []float64
+	// Active is the domain's regulator mask at that moment.
+	Active []bool
+	// Bursts are the burst events of that epoch mapped onto window cycles.
+	Bursts []pdn.Burst
+}
+
+// Result aggregates one run.
+type Result struct {
+	// Policy and Benchmark identify the run.
+	Policy    string
+	Benchmark string
+
+	// MaxTempC is the temporal maximum of the spatial maximum temperature
+	// (Fig. 9) and MaxTempAt names the hottest element.
+	MaxTempC  float64
+	MaxTempAt string
+	// MaxGradientC is the temporal maximum of the spatial thermal gradient
+	// (Fig. 10).
+	MaxGradientC float64
+	// MaxNoisePct is the exhaustive maximum voltage noise in percent of
+	// nominal Vdd, tracked at every substep and burst. SampledMaxNoisePct
+	// follows the paper's VoltSpot methodology instead — the maximum over
+	// 200 equally spaced samples — which is what Fig. 11 reports; rare
+	// events (e.g. the ~10% of emergencies PracVT's detector misses) can
+	// escape the sampled metric while still registering in the exhaustive
+	// one. NoiseModeled is false for the off-chip baseline.
+	MaxNoisePct        float64
+	SampledMaxNoisePct float64
+	NoiseModeled       bool
+
+	// AvgPlossW is the time-average total regulator conversion loss;
+	// AvgEta the output-weighted average conversion efficiency.
+	AvgPlossW float64
+	AvgEta    float64
+	// AvgChipPowerW is the average chip power demand (for calibration).
+	AvgChipPowerW float64
+
+	// EmergencyFrac is the fraction of execution time spent in voltage
+	// emergencies (Table 2).
+	EmergencyFrac float64
+	// EmergencyOverrides counts domain-epochs the VT policies switched to
+	// all-on.
+	EmergencyOverrides int
+	// DemandViolations counts substeps where even all regulators of a
+	// domain could not legally supply the demand.
+	DemandViolations int
+
+	// VROnFrac is the fraction of epochs each regulator spent on (Fig. 13).
+	VROnFrac []float64
+
+	// ThetaMeanR2 reports the Eqn. 2 predictor quality for practical
+	// policies (the paper calibrates to ≈0.99).
+	ThetaMeanR2 float64
+
+	// Trace is the per-epoch trace when Config.TraceEpochs is set.
+	Trace []EpochStats
+	// VRTrace is the tracked regulator's per-substep trace (Fig. 8).
+	VRTrace []VRSample
+	// HeatMap is the frame captured at the Tmax peak (Fig. 12).
+	HeatMap [][]float64
+	// WorstNoise reconstructs the worst-noise moment (Fig. 14).
+	WorstNoise *WorstNoiseState
+
+	// MTTFYears estimates each regulator's mean time to failure under the
+	// observed stress pattern (Config.TrackAging); +Inf for regulators
+	// that never carried current. MinMTTFYears is the weakest regulator's
+	// lifetime and AgingImbalance the max/mean damage ratio (1 = evenly
+	// worn).
+	MTTFYears      []float64
+	MinMTTFYears   float64
+	AgingImbalance float64
+
+	// DetectorStats is the signature emergency detector's confusion matrix
+	// (zero for the default stochastic detector).
+	DetectorStats core.PredictorStats
+
+	// DVFSAvgVddV is the measured-average supply voltage per core domain
+	// when a DVFS governor is layered in (nil otherwise), and DVFSAvgPerf
+	// the average per-core performance scale (1.0 = always nominal).
+	DVFSAvgVddV []float64
+	DVFSAvgPerf float64
+
+	// Epochs is the number of measured (post-warm-up) epochs.
+	Epochs int
+}

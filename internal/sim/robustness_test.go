@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"thermogater/internal/core"
+	"thermogater/internal/workload"
+)
+
+// TestThetaCalibrationTolerance verifies the paper's Section 6.3 claim
+// that PracVT "is ranking-based and can tolerate calibration errors as
+// long as inaccuracies keep relative ranking intact (where absolute
+// parameter values may fluctuate significantly)": scaling every θᵢ by a
+// common factor — a large absolute calibration error that preserves the
+// relative ranking — must leave the thermal outcome essentially unchanged.
+func TestThetaCalibrationTolerance(t *testing.T) {
+	runWithTheta := func(mutate func([]float64)) *Result {
+		p, err := workload.ByName("lu_ncb")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig(core.PracT, p)
+		cfg.DurationMS = 200
+		cfg.WarmupEpochs = 25
+		cfg.ProfilingEpochs = 80
+		r, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Train normally, then inject the mis-calibration.
+		theta, err := r.profileTheta()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mutate != nil {
+			mutate(theta.Theta)
+		}
+		if err := r.gov.SetTheta(theta); err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.runMeasured()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := runWithTheta(nil)
+	// Per-regulator ±12% jitter: absolute values fluctuate but the
+	// relative ranking of anticipated temperatures is essentially intact.
+	rng := workload.NewRNG(99)
+	jittered := runWithTheta(func(theta []float64) {
+		for i := range theta {
+			theta[i] *= 1 + 0.12*(2*rng.Float64()-1)
+		}
+	})
+	if d := math.Abs(jittered.MaxTempC - base.MaxTempC); d > 1.0 {
+		t.Errorf("±12%% per-regulator theta jitter moved Tmax by %v°C; ranking-based gating should tolerate it", d)
+	}
+	// Destroying the calibration entirely (zero theta: the predictor
+	// degenerates to raw stale sensors) must not crash and stays within a
+	// few degrees — the policy degrades, not explodes.
+	zeroed := runWithTheta(func(theta []float64) {
+		for i := range theta {
+			theta[i] = 0
+		}
+	})
+	if d := math.Abs(zeroed.MaxTempC - base.MaxTempC); d > 5 {
+		t.Errorf("zeroed theta moved Tmax by %v°C — suspicious instability", d)
+	}
+}
+
+// TestSensorNoiseTolerance injects random per-reading sensor error and
+// checks PracT degrades gracefully: parametric sensor variation is the
+// "worst-case corner" the paper's conclusion discusses.
+func TestSensorNoiseTolerance(t *testing.T) {
+	run := func(noiseC float64, seed uint64) *Result {
+		p, err := workload.ByName("lu_ncb")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig(core.PracT, p)
+		cfg.DurationMS = 200
+		cfg.WarmupEpochs = 25
+		cfg.ProfilingEpochs = 80
+		cfg.SensorNoiseC = noiseC
+		cfg.Seed = seed
+		r, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	clean := run(0, 1)
+	noisy := run(0.5, 1) // ±0.5°C-scale gaussian sensor error
+	if d := noisy.MaxTempC - clean.MaxTempC; d > 1.5 {
+		t.Errorf("0.5°C sensor noise degraded Tmax by %v°C", d)
+	}
+	// Heavy sensor corruption must hurt more than mild corruption —
+	// i.e. the sensitivity knob actually does something.
+	broken := run(8, 1)
+	if broken.MaxTempC <= noisy.MaxTempC {
+		t.Errorf("8°C sensor noise (%v) not worse than 0.5°C (%v)", broken.MaxTempC, noisy.MaxTempC)
+	}
+}
+
+// TestSignatureDetectorEndToEnd runs PracVT with the concrete Reddi-style
+// signature detector on the emergency-heavy barnes: the learned predictor
+// must catch a substantial share of emergencies (droop storms recur with
+// the same observable signature) and suppress emergency time relative to
+// thermally-only PracT.
+func TestSignatureDetectorEndToEnd(t *testing.T) {
+	withSig := func(c *Config) { c.Governor.Detector = core.DetectSignature }
+	pracT := run(t, core.PracT, "barnes", nil)
+	sig := run(t, core.PracVT, "barnes", withSig)
+
+	st := sig.DetectorStats
+	total := st.TruePositive + st.FalsePositive + st.TrueNegative + st.FalseNegative + st.Suppressed
+	if total == 0 {
+		t.Fatal("signature detector recorded no predictions")
+	}
+	if st.EffectiveRecall() < 0.3 {
+		t.Errorf("signature detector effective recall %v; storms recur and should be learnable", st.EffectiveRecall())
+	}
+	if sig.EmergencyFrac >= pracT.EmergencyFrac {
+		t.Errorf("signature PracVT emergencies %v not below PracT %v",
+			sig.EmergencyFrac, pracT.EmergencyFrac)
+	}
+	// The default stochastic detector leaves the stats zeroed.
+	stoch := run(t, core.PracVT, "barnes", nil)
+	if stoch.DetectorStats != (core.PredictorStats{}) {
+		t.Errorf("stochastic run carries detector stats: %+v", stoch.DetectorStats)
+	}
+}

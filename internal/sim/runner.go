@@ -1,0 +1,854 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"thermogater/internal/aging"
+	"thermogater/internal/core"
+	"thermogater/internal/dvfs"
+	"thermogater/internal/floorplan"
+	"thermogater/internal/pdn"
+	"thermogater/internal/power"
+	"thermogater/internal/thermal"
+	"thermogater/internal/uarch"
+	"thermogater/internal/vr"
+	"thermogater/internal/workload"
+)
+
+// Runner executes one configured simulation.
+type Runner struct {
+	cfg  Config
+	chip *floorplan.Chip
+	pm   *power.Model
+	tm   *thermal.Model
+	grid *pdn.Network
+	nets []*vr.Network
+	gov  *core.Governor
+
+	stepsPerEpoch int
+	epochS        float64
+	substepS      float64
+
+	// Scratch state reused across substeps.
+	blockTemps    []float64
+	vrTemps       []float64
+	sensorVRTemps []float64
+	blockPower    []float64
+	blockCurrent  []float64
+	vrPower       []float64
+	vrCurrent     []float64
+	wear          *aging.Tracker
+	rng           *workload.RNG
+	vf            *dvfs.Governor
+	dynScale      []float64 // per block, DVFS dynamic-power multiplier
+	leakScale     []float64 // per block, DVFS leakage multiplier
+	domainCurrent []float64
+	prevDomainCur []float64
+	perVRLoss     []float64
+	masks         [][]bool
+}
+
+// New builds a runner. The floorplan, power model, thermal network, PDN,
+// per-domain regulator networks and governor are all constructed from the
+// configuration.
+func New(cfg Config) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	chip := floorplan.BuildPOWER8()
+	pm, err := power.NewModel(chip)
+	if err != nil {
+		return nil, err
+	}
+	tm, err := thermal.NewModel(chip, cfg.Thermal)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := pdn.NewNetwork(chip, cfg.PDN)
+	if err != nil {
+		return nil, err
+	}
+	nets := make([]*vr.Network, len(chip.Domains))
+	for i, d := range chip.Domains {
+		nw, err := vr.NewNetwork(cfg.Design, len(d.Regulators))
+		if err != nil {
+			return nil, err
+		}
+		nets[i] = nw
+	}
+	gcfg := cfg.Governor
+	gcfg.Policy = cfg.Policy
+	gcfg.EpochMS = cfg.EpochMS
+	gcfg.Seed ^= cfg.Seed
+	gov, err := core.NewGovernor(chip, nets, grid, gcfg)
+	if err != nil {
+		return nil, err
+	}
+	// The burst→domain mapping below relies on core domains being the
+	// first eight domain IDs in core order.
+	for c := 0; c < floorplan.NumCores; c++ {
+		if chip.Domains[c].Kind != floorplan.CoreDomain {
+			return nil, fmt.Errorf("sim: domain %d is not core domain %d", c, c)
+		}
+	}
+	r := &Runner{
+		cfg:           cfg,
+		chip:          chip,
+		pm:            pm,
+		tm:            tm,
+		grid:          grid,
+		nets:          nets,
+		gov:           gov,
+		stepsPerEpoch: int(math.Round(cfg.EpochMS / cfg.SubstepMS)),
+		epochS:        cfg.EpochMS / 1000,
+		substepS:      cfg.SubstepMS / 1000,
+		blockTemps:    make([]float64, len(chip.Blocks)),
+		vrTemps:       make([]float64, len(chip.Regulators)),
+		sensorVRTemps: make([]float64, len(chip.Regulators)),
+		blockPower:    make([]float64, len(chip.Blocks)),
+		blockCurrent:  make([]float64, len(chip.Blocks)),
+		vrPower:       make([]float64, len(chip.Regulators)),
+		vrCurrent:     make([]float64, len(chip.Regulators)),
+		domainCurrent: make([]float64, len(chip.Domains)),
+		prevDomainCur: make([]float64, len(chip.Domains)),
+		perVRLoss:     make([]float64, len(chip.Regulators)),
+		rng:           workload.NewRNG(cfg.Seed ^ 0x53e2),
+	}
+	r.masks = make([][]bool, len(chip.Domains))
+	for d := range r.masks {
+		r.masks[d] = make([]bool, len(chip.Domains[d].Regulators))
+	}
+	if cfg.TrackAging {
+		tr, err := aging.NewTracker(len(chip.Regulators), aging.DefaultModel())
+		if err != nil {
+			return nil, err
+		}
+		r.wear = tr
+	}
+	r.dynScale = make([]float64, len(chip.Blocks))
+	r.leakScale = make([]float64, len(chip.Blocks))
+	for i := range r.dynScale {
+		r.dynScale[i] = 1
+		r.leakScale[i] = 1
+	}
+	if cfg.DVFS != nil {
+		vf, err := dvfs.NewGovernor(floorplan.NumCores, *cfg.DVFS)
+		if err != nil {
+			return nil, err
+		}
+		r.vf = vf
+	}
+	return r, nil
+}
+
+// blockPowerScaled computes total per-block power with the current DVFS
+// scaling applied: dynamic power scales with f·V², leakage with V.
+func (r *Runner) blockPowerScaled(activity, temps, dst []float64) ([]float64, error) {
+	dyn, err := r.pm.Dynamic(activity, dst)
+	if err != nil {
+		return nil, err
+	}
+	if len(temps) != len(dyn) {
+		return nil, fmt.Errorf("sim: %d temperatures for %d blocks", len(temps), len(dyn))
+	}
+	for i := range dyn {
+		dyn[i] = dyn[i]*r.dynScale[i] + r.pm.LeakageAt(i, temps[i])*r.leakScale[i]
+	}
+	return dyn, nil
+}
+
+// updateDVFS feeds per-core utilisation into the V/f governor and refreshes
+// the per-block scaling factors.
+func (r *Runner) updateDVFS(avgActivity []float64) error {
+	if r.vf == nil {
+		return nil
+	}
+	cfg := r.vf.Config()
+	for c := 0; c < floorplan.NumCores; c++ {
+		var util float64
+		var n int
+		for _, bid := range r.chip.Domains[c].Blocks {
+			if r.chip.Blocks[bid].Kind == floorplan.Logic {
+				util += avgActivity[bid]
+				n++
+			}
+		}
+		if n > 0 {
+			util /= float64(n)
+		}
+		if _, err := r.vf.Observe(c, util); err != nil {
+			return err
+		}
+		p := r.vf.Point(c)
+		ds := cfg.DynamicScale(p)
+		ls := cfg.LeakageScale(p)
+		for _, bid := range r.chip.Domains[c].Blocks {
+			r.dynScale[bid] = ds
+			r.leakScale[bid] = ls
+		}
+	}
+	return nil
+}
+
+// Chip exposes the floorplan (useful to callers labelling results).
+func (r *Runner) Chip() *floorplan.Chip { return r.chip }
+
+// epochFrames advances the activity simulator by one epoch and returns its
+// substep frames.
+func (r *Runner) epochFrames(sim *uarch.Simulator) ([]uarch.Frame, error) {
+	frames := make([]uarch.Frame, r.stepsPerEpoch)
+	for s := range frames {
+		f, err := sim.Step(r.cfg.SubstepMS)
+		if err != nil {
+			return nil, err
+		}
+		frames[s] = f
+	}
+	return frames, nil
+}
+
+// averageActivity fills dst with the epoch-average per-block activity.
+func averageActivity(frames []uarch.Frame, dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, f := range frames {
+		for i, a := range f.Activity {
+			dst[i] += a
+		}
+	}
+	inv := 1 / float64(len(frames))
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+// demand computes per-domain current and per-block current for the given
+// block power map.
+func (r *Runner) demand(blockPower []float64) {
+	for i, p := range blockPower {
+		r.blockCurrent[i] = power.WattsToAmps(p)
+	}
+	for d := range r.chip.Domains {
+		var sum float64
+		for _, bid := range r.chip.Domains[d].Blocks {
+			sum += r.blockCurrent[bid]
+		}
+		r.domainCurrent[d] = sum
+	}
+}
+
+// predictVRTempOn is the oracle's thermal predictor: the regulator node is
+// a first-order system toward (host block temperature + P/G), so its
+// temperature at the next decision point has a closed form.
+func (r *Runner) predictVRTempOn(vrID int, plossW float64) float64 {
+	cfg := r.cfg.Thermal
+	host := r.chip.Regulators[vrID].NearestBlock
+	tHost := r.tm.BlockTemp(host)
+	target := tHost + plossW/cfg.GRegulatorWPerK
+	tau := cfg.RegulatorCapJPerK / cfg.GRegulatorWPerK
+	decay := math.Exp(-r.epochS / tau)
+	return target + (r.tm.VRTemp(vrID)-target)*decay
+}
+
+// buildMask fills the domain's mask with the first count entries of the
+// ranking.
+func (r *Runner) buildMask(d, count int, ranking []int) []bool {
+	mask := r.masks[d]
+	for i := range mask {
+		mask[i] = false
+	}
+	for i := 0; i < count && i < len(ranking); i++ {
+		mask[ranking[i]] = true
+	}
+	return mask
+}
+
+// domainEmergency is the ground-truth emergency oracle for the upcoming
+// epoch, evaluated at substep resolution: the steady IR drop under the
+// tentative selection for each substep's true current map, plus each
+// substep's actual burst peaks. Substep resolution matters: a prediction
+// from epoch-average currents misses the within-epoch activity peaks that
+// cause most emergencies, and the paper's OracVT converges to the all-on
+// noise profile precisely because its oracle prediction is perfect.
+func (r *Runner) domainEmergency(d, count int, ranking []int, frameCurrents [][]float64, frames []uarch.Frame) bool {
+	if count < 1 {
+		return false
+	}
+	mask := make([]bool, len(r.chip.Domains[d].Regulators))
+	for i := 0; i < count && i < len(ranking); i++ {
+		mask[ranking[i]] = true
+	}
+	for s, f := range frames {
+		cur := frameCurrents[s]
+		dn, err := r.grid.SteadyNoise(d, cur, mask)
+		if err != nil {
+			return false
+		}
+		if dn.Emergency() {
+			return true
+		}
+		for _, b := range f.Bursts {
+			if b.Core != r.burstDomainCore(d) {
+				continue
+			}
+			bi, surge := r.burstTarget(d, b, cur)
+			peak := r.grid.BurstPeakPct(d, bi, dn.PerBlockPct[bi], surge, mask, b.Cycles, uarch.ClockGHz)
+			if peak > pdn.EmergencyThresholdPct {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// burstDomainCore maps a core-domain ID to its core index (-1 for L3
+// domains, which see no core bursts).
+func (r *Runner) burstDomainCore(d int) int {
+	if r.chip.Domains[d].Kind == floorplan.CoreDomain {
+		return d
+	}
+	return -1
+}
+
+// burstTarget picks the block a core burst lands on — the domain block
+// currently drawing the most current — and the surge in amps.
+func (r *Runner) burstTarget(d int, b uarch.BurstEvent, blockCurrent []float64) (bi int, surgeAmps float64) {
+	dom := &r.chip.Domains[d]
+	best, bestI := 0, -1.0
+	for i, bid := range dom.Blocks {
+		if blockCurrent[bid] > bestI {
+			bestI = blockCurrent[bid]
+			best = i
+		}
+	}
+	if bestI < 0 {
+		bestI = 0
+	}
+	return best, b.Amp * bestI
+}
+
+// legalCount returns the minimal active count that can legally carry the
+// demand (per-phase current limit), reporting an overload when even the
+// full network cannot.
+func (r *Runner) legalCount(d int, demandA float64) (int, bool) {
+	n := r.nets[d].Size()
+	imax := r.nets[d].Design().IMax
+	if demandA <= 0 {
+		return 1, false
+	}
+	need := int(math.Ceil(demandA / imax))
+	if need < 1 {
+		need = 1
+	}
+	if need > n {
+		return n, true
+	}
+	return need, false
+}
+
+// Run executes the configured simulation and aggregates the results. For
+// the practical policies it first runs the θ-extraction profiling pass,
+// unless a theta model was installed already.
+func (r *Runner) Run() (*Result, error) {
+	if (r.cfg.Policy == core.PracT || r.cfg.Policy == core.PracVT) && len(r.gov.Theta().Theta) == 0 {
+		theta, err := r.profileTheta()
+		if err != nil {
+			return nil, fmt.Errorf("sim: profiling pass: %w", err)
+		}
+		if err := r.gov.SetTheta(theta); err != nil {
+			return nil, err
+		}
+	}
+	return r.runMeasured()
+}
+
+// runMeasured executes the measured run with whatever predictor state the
+// governor already holds.
+func (r *Runner) runMeasured() (*Result, error) {
+	res := &Result{
+		Policy:       r.cfg.Policy.String(),
+		Benchmark:    r.cfg.benchmarkLabel(),
+		NoiseModeled: r.cfg.Policy != core.OffChip,
+		VROnFrac:     make([]float64, len(r.chip.Regulators)),
+		ThetaMeanR2:  r.gov.Theta().MeanR2(),
+	}
+
+	usim, err := r.cfg.newUarch(r.chip, r.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Initialise the thermal state: steady state for the first epoch's
+	// power with everything on (a neutral, reproducible starting point).
+	if err := r.initThermal(); err != nil {
+		return nil, err
+	}
+	r.tm.VRTemps(r.vrTemps)
+	copy(r.sensorVRTemps, r.vrTemps)
+
+	totalEpochs := r.cfg.durationMS()
+	if totalEpochs < 1 {
+		return nil, errors.New("sim: empty run")
+	}
+	nEpochs := int(float64(totalEpochs) / r.cfg.EpochMS)
+	if nEpochs < 1 {
+		nEpochs = 1
+	}
+
+	var (
+		measuredTime    float64
+		emergencyTime   float64
+		plossIntegral   float64
+		chipPowerInt    float64
+		etaWeighted     float64
+		etaWeight       float64
+		worstNoise      = -1.0
+		sampledWorst    = -1.0
+		measuredSteps   int
+		measuredEpochs  int
+		heatMapDeadline = -1 // epoch index whose end should capture the map
+	)
+	// The paper's VoltSpot methodology: 200 equally distant noise samples
+	// across the measured run.
+	sampleEvery := ((nEpochs - r.cfg.WarmupEpochs) * r.stepsPerEpoch) / 200
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	var dvfsVddSum []float64
+	var dvfsPerfSum float64
+	if r.vf != nil {
+		dvfsVddSum = make([]float64, floorplan.NumCores)
+	}
+	avgActivity := make([]float64, len(r.chip.Blocks))
+	avgBlockPower := make([]float64, len(r.chip.Blocks))
+	avgBlockCurrent := make([]float64, len(r.chip.Blocks))
+	avgDomainCur := make([]float64, len(r.chip.Domains))
+	epochVRLoss := make([]float64, len(r.chip.Regulators))
+	epochDomEmerg := make([]bool, len(r.chip.Domains))
+
+	for e := 0; e < nEpochs; e++ {
+		frames, err := r.epochFrames(usim)
+		if err != nil {
+			return nil, err
+		}
+		measuring := e >= r.cfg.WarmupEpochs
+
+		// Epoch-average demand (oracle view of the upcoming interval),
+		// using leakage at current temperatures.
+		averageActivity(frames, avgActivity)
+		if err := r.updateDVFS(avgActivity); err != nil {
+			return nil, err
+		}
+		r.tm.BlockTemps(r.blockTemps)
+		if _, err := r.blockPowerScaled(avgActivity, r.blockTemps, avgBlockPower); err != nil {
+			return nil, err
+		}
+		r.demand(avgBlockPower)
+		copy(avgBlockCurrent, r.blockCurrent)
+		copy(avgDomainCur, r.domainCurrent)
+
+		// Per-substep current maps for the emergency oracle (leakage at
+		// epoch-start temperatures, like the rest of the decision inputs).
+		frameCurrents := make([][]float64, len(frames))
+		for s, f := range frames {
+			bp, err := r.blockPowerScaled(f.Activity, r.blockTemps, nil)
+			if err != nil {
+				return nil, err
+			}
+			cur := make([]float64, len(bp))
+			for i, p := range bp {
+				cur[i] = power.WattsToAmps(p)
+			}
+			frameCurrents[s] = cur
+		}
+
+		// Decision.
+		r.tm.VRTemps(r.vrTemps)
+		in := &core.Inputs{
+			Epoch:               e,
+			PrevDomainCurrent:   r.prevDomainCur,
+			SensorVRTemps:       r.sensorVRTemps,
+			VRTemps:             r.vrTemps,
+			FutureDomainCurrent: avgDomainCur,
+			FutureBlockCurrent:  avgBlockCurrent,
+			PredictVRTempOn:     r.predictVRTempOn,
+			DomainEmergency: func(d, count int, ranking []int) bool {
+				return r.domainEmergency(d, count, ranking, frameCurrents, frames)
+			},
+		}
+		if e == 0 {
+			copy(r.prevDomainCur, avgDomainCur) // bootstrap history
+		}
+		dec, err := r.gov.Decide(in)
+		if err != nil {
+			return nil, err
+		}
+		for _, dd := range dec.Domains {
+			if dd.EmergencyOverride {
+				res.EmergencyOverrides++
+			}
+		}
+
+		// Execute the epoch substep by substep with leakage feedback.
+		for i := range epochVRLoss {
+			epochVRLoss[i] = 0
+		}
+		var epochMaxNoise float64
+		var epochChipPower float64
+		for i := range epochDomEmerg {
+			epochDomEmerg[i] = false
+		}
+		for s, f := range frames {
+			r.tm.BlockTemps(r.blockTemps)
+			if _, err := r.blockPowerScaled(f.Activity, r.blockTemps, r.blockPower); err != nil {
+				return nil, err
+			}
+			r.demand(r.blockPower)
+
+			// Apply the decision with hard-limit legalisation.
+			for i := range r.vrPower {
+				r.vrPower[i] = 0
+				r.vrCurrent[i] = 0
+			}
+			var substepPloss float64
+			for d := range r.chip.Domains {
+				dd := &dec.Domains[d]
+				count := dd.Count
+				if r.cfg.Policy != core.OffChip {
+					mLegal, overload := r.legalCount(d, r.domainCurrent[d])
+					if overload && measuring {
+						res.DemandViolations++
+					}
+					if count < mLegal {
+						count = mLegal
+					}
+				}
+				mask := r.buildMask(d, count, dd.Ranking)
+				if count > 0 {
+					loss := r.nets[d].PerVRLoss(r.domainCurrent[d], count)
+					share := r.domainCurrent[d] / float64(count)
+					if share < 0 {
+						share = 0
+					}
+					dom := &r.chip.Domains[d]
+					for li, on := range mask {
+						if on {
+							rid := dom.Regulators[li]
+							r.vrPower[rid] = loss
+							r.vrCurrent[rid] = share
+							epochVRLoss[rid] += loss
+							substepPloss += loss
+						}
+					}
+					pout := r.domainCurrent[d] * power.Vdd
+					eta := r.nets[d].EtaAt(r.domainCurrent[d], count)
+					if measuring && pout > 0 && eta > 0 {
+						etaWeighted += eta * pout * r.substepS
+						etaWeight += pout * r.substepS
+					}
+				}
+			}
+
+			if err := r.tm.SetPower(r.blockPower, r.vrPower); err != nil {
+				return nil, err
+			}
+			if err := r.tm.Step(r.substepS); err != nil {
+				return nil, err
+			}
+
+			var chipPower float64
+			for _, p := range r.blockPower {
+				chipPower += p
+			}
+			epochChipPower += chipPower
+
+			if measuring && r.wear != nil {
+				r.tm.VRTemps(r.vrTemps)
+				if err := r.wear.Observe(r.vrTemps, r.vrCurrent, r.substepS); err != nil {
+					return nil, err
+				}
+			}
+
+			if measuring {
+				measuredTime += r.substepS
+				plossIntegral += substepPloss * r.substepS
+				chipPowerInt += chipPower * r.substepS
+				if t, at := r.tm.MaxTemp(); t > res.MaxTempC {
+					res.MaxTempC, res.MaxTempAt = t, at
+					heatMapDeadline = e
+				}
+				if g := r.tm.Gradient(); g > res.MaxGradientC {
+					res.MaxGradientC = g
+				}
+			}
+
+			// Voltage noise per domain. A substep counts toward emergency
+			// time once, no matter how many domains cross the threshold;
+			// short burst excursions add their own (cycle-scale) dwell.
+			if r.cfg.Policy != core.OffChip {
+				substepEmergency := false
+				var burstDwell float64
+				var substepNoise float64
+				for d := range r.chip.Domains {
+					mask := r.masks[d]
+					dn, err := r.grid.SteadyNoise(d, r.blockCurrent, mask)
+					if err != nil {
+						return nil, err
+					}
+					noise := dn.MaxPct
+					if dn.Emergency() {
+						substepEmergency = true
+						epochDomEmerg[d] = true
+					}
+					// Burst peaks within this substep.
+					t0 := f.TimeMS
+					t1 := f.TimeMS + f.DtMS
+					for _, b := range f.Bursts {
+						if b.Core != r.burstDomainCore(d) || b.TimeMS < t0 || b.TimeMS >= t1 {
+							continue
+						}
+						bi, surge := r.burstTarget(d, b, r.blockCurrent)
+						peak := r.grid.BurstPeakPct(d, bi, dn.PerBlockPct[bi], surge, mask, b.Cycles, uarch.ClockGHz)
+						if peak > noise {
+							noise = peak
+						}
+						if peak > pdn.EmergencyThresholdPct && !dn.Emergency() {
+							burstDwell += float64(b.Cycles) / (uarch.ClockGHz * 1e9)
+							epochDomEmerg[d] = true
+						}
+					}
+					if noise > epochMaxNoise {
+						epochMaxNoise = noise
+					}
+					if noise > substepNoise {
+						substepNoise = noise
+					}
+					if measuring && noise > worstNoise {
+						worstNoise = noise
+						res.WorstNoise = r.snapshotWorstNoise(d, dn, f, frames)
+					}
+				}
+				if measuring {
+					if measuredSteps%sampleEvery == 0 && substepNoise > sampledWorst {
+						sampledWorst = substepNoise
+					}
+					if substepEmergency {
+						emergencyTime += r.substepS
+					} else if burstDwell > 0 {
+						if burstDwell > r.substepS {
+							burstDwell = r.substepS
+						}
+						emergencyTime += burstDwell
+					}
+				}
+			}
+			if measuring {
+				measuredSteps++
+			}
+
+			// Regulator temperature trace (Fig. 8).
+			if r.cfg.TrackVR >= 0 && r.cfg.TrackVR < len(r.chip.Regulators) {
+				rid := r.cfg.TrackVR
+				dom := r.chip.Regulators[rid].Domain
+				li := 0
+				for i, id := range r.chip.Domains[dom].Regulators {
+					if id == rid {
+						li = i
+					}
+				}
+				res.VRTrace = append(res.VRTrace, VRSample{
+					TimeMS: f.TimeMS + f.DtMS,
+					TempC:  r.tm.VRTemp(rid),
+					On:     r.masks[dom][li],
+				})
+			}
+
+			// Thermal sensors lag by one substep (100µs); optional
+			// Gaussian sensor error models parametric variation.
+			if s == r.stepsPerEpoch-2 || r.stepsPerEpoch == 1 {
+				r.tm.VRTemps(r.sensorVRTemps)
+				if r.cfg.SensorNoiseC > 0 {
+					for i := range r.sensorVRTemps {
+						r.sensorVRTemps[i] += r.cfg.SensorNoiseC * r.rng.Norm()
+					}
+				}
+			}
+		}
+
+		// Epoch bookkeeping.
+		activeCount := 0
+		for d := range r.chip.Domains {
+			for li, on := range r.masks[d] {
+				if on {
+					activeCount++
+					if measuring {
+						res.VROnFrac[r.chip.Domains[d].Regulators[li]]++
+					}
+				}
+			}
+		}
+		copy(r.prevDomainCur, avgDomainCur)
+		for i := range epochVRLoss {
+			epochVRLoss[i] /= float64(r.stepsPerEpoch)
+		}
+		if err := r.gov.Observe(avgDomainCur, epochVRLoss); err != nil {
+			return nil, err
+		}
+		if err := r.gov.ObserveEmergencies(epochDomEmerg); err != nil {
+			return nil, err
+		}
+		copy(r.perVRLoss, epochVRLoss)
+
+		if measuring {
+			measuredEpochs++
+			if r.vf != nil {
+				cfgVF := r.vf.Config()
+				for c := 0; c < floorplan.NumCores; c++ {
+					p := r.vf.Point(c)
+					dvfsVddSum[c] += p.VddV
+					dvfsPerfSum += cfgVF.PerformanceScale(p)
+				}
+			}
+			if r.cfg.TraceEpochs {
+				var ploss float64
+				for _, l := range epochVRLoss {
+					ploss += l
+				}
+				tmax, _ := r.tm.MaxTemp()
+				res.Trace = append(res.Trace, EpochStats{
+					TimeMS:      float64(e) * r.cfg.EpochMS,
+					TotalPowerW: epochChipPower / float64(r.stepsPerEpoch),
+					ActiveVRs:   activeCount,
+					MaxTempC:    tmax,
+					GradientC:   r.tm.Gradient(),
+					MaxNoisePct: epochMaxNoise,
+					PlossW:      ploss,
+					Eta:         0, // filled in aggregate below
+				})
+			}
+			if r.cfg.HeatMapRes > 0 && heatMapDeadline == e {
+				hm, err := r.tm.HeatMap(r.cfg.HeatMapRes, r.cfg.HeatMapRes)
+				if err != nil {
+					return nil, err
+				}
+				res.HeatMap = hm
+			}
+		}
+	}
+
+	if measuredEpochs == 0 {
+		return nil, errors.New("sim: run shorter than the warm-up window")
+	}
+	res.Epochs = measuredEpochs
+	for i := range res.VROnFrac {
+		res.VROnFrac[i] /= float64(measuredEpochs)
+	}
+	if measuredTime > 0 {
+		res.AvgPlossW = plossIntegral / measuredTime
+		res.AvgChipPowerW = chipPowerInt / measuredTime
+		res.EmergencyFrac = emergencyTime / measuredTime
+	}
+	if etaWeight > 0 {
+		res.AvgEta = etaWeighted / etaWeight
+	}
+	if worstNoise >= 0 {
+		res.MaxNoisePct = worstNoise
+	}
+	if sampledWorst >= 0 {
+		res.SampledMaxNoisePct = sampledWorst
+	}
+	if r.wear != nil {
+		res.MTTFYears = r.wear.MTTFYears()
+		res.MinMTTFYears = r.wear.MinMTTFYears()
+		res.AgingImbalance = r.wear.ImbalanceRatio()
+	}
+	res.DetectorStats = r.gov.DetectorStats()
+	if r.vf != nil {
+		res.DVFSAvgVddV = make([]float64, floorplan.NumCores)
+		for c := range res.DVFSAvgVddV {
+			res.DVFSAvgVddV[c] = dvfsVddSum[c] / float64(measuredEpochs)
+		}
+		res.DVFSAvgPerf = dvfsPerfSum / float64(measuredEpochs*floorplan.NumCores)
+	}
+	for i := range res.Trace {
+		res.Trace[i].Eta = res.AvgEta
+	}
+	return res, nil
+}
+
+// snapshotWorstNoise captures enough state at the worst-noise moment to
+// regenerate a transient window later.
+func (r *Runner) snapshotWorstNoise(d int, dn pdn.DomainNoise, f uarch.Frame, frames []uarch.Frame) *WorstNoiseState {
+	dom := &r.chip.Domains[d]
+	bi := 0
+	for i, bid := range dom.Blocks {
+		if bid == dn.MaxBlock {
+			bi = i
+		}
+	}
+	ws := &WorstNoiseState{
+		Domain:       d,
+		BlockIndex:   bi,
+		TimeMS:       f.TimeMS,
+		BlockCurrent: append([]float64(nil), r.blockCurrent...),
+		Active:       append([]bool(nil), r.masks[d]...),
+	}
+	// Map the epoch's bursts (for this domain's core) onto window cycles.
+	coreIdx := r.burstDomainCore(d)
+	epochStart := frames[0].TimeMS
+	for _, fr := range frames {
+		for _, b := range fr.Bursts {
+			if b.Core != coreIdx {
+				continue
+			}
+			startCycle := int((b.TimeMS - epochStart) * 1e6 * uarch.ClockGHz / 1000)
+			if startCycle < 0 {
+				startCycle = 0
+			}
+			ws.Bursts = append(ws.Bursts, pdn.Burst{
+				StartCycle: startCycle % 2000,
+				Cycles:     b.Cycles,
+				Amp:        b.Amp,
+			})
+		}
+	}
+	return ws
+}
+
+// initThermal settles the package at the steady state of a mid-activity
+// all-on operating point so runs start from a physically plausible field.
+func (r *Runner) initThermal() error {
+	act := make([]float64, len(r.chip.Blocks))
+	c, m := r.cfg.meanIntensity()
+	level := 0.5*c + 0.5*m
+	for i := range act {
+		act[i] = level
+	}
+	temps := make([]float64, len(r.chip.Blocks))
+	for i := range temps {
+		temps[i] = 60
+	}
+	bp, err := r.pm.Total(act, temps, nil)
+	if err != nil {
+		return err
+	}
+	vp := make([]float64, len(r.chip.Regulators))
+	if r.cfg.Policy != core.OffChip {
+		r.demand(bp)
+		for d := range r.chip.Domains {
+			n := r.nets[d].Size()
+			loss := r.nets[d].PerVRLoss(r.domainCurrent[d], n)
+			for _, rid := range r.chip.Domains[d].Regulators {
+				vp[rid] = loss
+			}
+		}
+	}
+	if err := r.tm.SetPower(bp, vp); err != nil {
+		return err
+	}
+	_, err = r.tm.SteadyState(1e-4, 0)
+	return err
+}

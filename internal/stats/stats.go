@@ -1,0 +1,204 @@
+// Package stats provides the small statistical toolkit the ThermoGater
+// reproduction relies on: the coefficient of determination R² used to
+// validate the regulator temperature predictor (Eqn. 3 of the paper), the
+// weighted-moving-average power forecaster of Ardestani et al. that PracT
+// uses to anticipate demand, and assorted series helpers.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by series reductions applied to empty input.
+var ErrEmpty = errors.New("stats: empty series")
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs)), nil
+}
+
+// Max returns the largest element of xs.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Min returns the smallest element of xs.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	mu, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	var s float64
+	for _, x := range xs {
+		d := x - mu
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs))), nil
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. The input is not modified.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile outside [0, 100]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// RSquared computes the coefficient of determination of predictions against
+// observations, per Eqn. 3 of the paper:
+//
+//	R² = 1 − Σ(yᵢ − ŷᵢ)² / Σ(yᵢ − ȳ)²
+//
+// A perfect prediction yields 1. When the observations are constant (zero
+// variance) the statistic is undefined; this implementation follows the
+// usual convention of returning 1 for a perfect prediction of a constant
+// series and 0 otherwise.
+func RSquared(observed, predicted []float64) (float64, error) {
+	if len(observed) == 0 {
+		return 0, ErrEmpty
+	}
+	if len(observed) != len(predicted) {
+		return 0, errors.New("stats: series length mismatch")
+	}
+	mu, _ := Mean(observed)
+	var ssRes, ssTot float64
+	for i := range observed {
+		r := observed[i] - predicted[i]
+		d := observed[i] - mu
+		ssRes += r * r
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 1 - ssRes/ssTot, nil
+}
+
+// LinearFitThroughOrigin returns the least-squares slope θ of y = θ·x,
+// which is how the per-regulator proportionality constants θᵢ of Eqn. 2
+// (ΔTᵢ = θᵢ·ΔPᵢ) are extracted from profiling traces.
+func LinearFitThroughOrigin(xs, ys []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: series length mismatch")
+	}
+	var sxy, sxx float64
+	for i := range xs {
+		sxy += xs[i] * ys[i]
+		sxx += xs[i] * xs[i]
+	}
+	if sxx == 0 {
+		return 0, nil
+	}
+	return sxy / sxx, nil
+}
+
+// WMA is the weighted-moving-average forecaster PracT uses to anticipate
+// the next interval's power demand from the history of the last few
+// decision points (the paper uses a three-point window after Ardestani et
+// al.). More recent observations receive proportionally larger weights:
+// with a window of n, the most recent sample has weight n, the one before
+// n−1, and so on.
+type WMA struct {
+	window []float64
+	filled int
+	next   int
+}
+
+// NewWMA returns a forecaster over the given window size (≥1).
+func NewWMA(window int) (*WMA, error) {
+	if window < 1 {
+		return nil, errors.New("stats: WMA window must be at least 1")
+	}
+	return &WMA{window: make([]float64, window)}, nil
+}
+
+// Observe records the latest sample.
+func (w *WMA) Observe(v float64) {
+	w.window[w.next] = v
+	w.next = (w.next + 1) % len(w.window)
+	if w.filled < len(w.window) {
+		w.filled++
+	}
+}
+
+// Ready reports whether at least one sample has been observed.
+func (w *WMA) Ready() bool { return w.filled > 0 }
+
+// Predict forecasts the next sample. With no history it returns 0; with a
+// partial window it weights only the observed samples.
+func (w *WMA) Predict() float64 {
+	if w.filled == 0 {
+		return 0
+	}
+	var sum, wsum float64
+	// Walk from oldest to newest of the filled portion; weight grows with
+	// recency: 1, 2, ..., filled.
+	start := (w.next - w.filled + len(w.window)*2) % len(w.window)
+	for k := 0; k < w.filled; k++ {
+		idx := (start + k) % len(w.window)
+		weight := float64(k + 1)
+		sum += weight * w.window[idx]
+		wsum += weight
+	}
+	return sum / wsum
+}
+
+// Reset discards all observed history.
+func (w *WMA) Reset() {
+	w.filled = 0
+	w.next = 0
+}

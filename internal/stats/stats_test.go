@@ -1,0 +1,244 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanMaxMin(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if m, _ := Mean(xs); math.Abs(m-2.8) > 1e-12 {
+		t.Errorf("Mean = %v, want 2.8", m)
+	}
+	if m, _ := Max(xs); m != 5 {
+		t.Errorf("Max = %v, want 5", m)
+	}
+	if m, _ := Min(xs); m != 1 {
+		t.Errorf("Min = %v, want 1", m)
+	}
+	for _, f := range []func([]float64) (float64, error){Mean, Max, Min, StdDev} {
+		if _, err := f(nil); err != ErrEmpty {
+			t.Error("empty series must return ErrEmpty")
+		}
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if s, _ := StdDev([]float64{2, 2, 2}); s != 0 {
+		t.Errorf("constant series stddev = %v", s)
+	}
+	if s, _ := StdDev([]float64{1, -1, 1, -1}); math.Abs(s-1) > 1e-12 {
+		t.Errorf("stddev = %v, want 1", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 4}, {50, 2.5}, {25, 1.75},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Error("Percentile mutated its input")
+	}
+	if _, err := Percentile(xs, -1); err == nil {
+		t.Error("negative percentile accepted")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("percentile >100 accepted")
+	}
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Error("empty input must return ErrEmpty")
+	}
+	if got, _ := Percentile([]float64{7}, 50); got != 7 {
+		t.Errorf("single element percentile = %v", got)
+	}
+}
+
+func TestRSquaredPerfect(t *testing.T) {
+	obs := []float64{1, 2, 3, 4}
+	r2, err := RSquared(obs, obs)
+	if err != nil || r2 != 1 {
+		t.Errorf("perfect prediction R² = %v, err %v", r2, err)
+	}
+}
+
+func TestRSquaredMeanPredictor(t *testing.T) {
+	// Predicting the mean everywhere yields exactly 0.
+	obs := []float64{1, 2, 3, 4}
+	pred := []float64{2.5, 2.5, 2.5, 2.5}
+	r2, _ := RSquared(obs, pred)
+	if math.Abs(r2) > 1e-12 {
+		t.Errorf("mean predictor R² = %v, want 0", r2)
+	}
+}
+
+func TestRSquaredConstantSeries(t *testing.T) {
+	if r2, _ := RSquared([]float64{5, 5, 5}, []float64{5, 5, 5}); r2 != 1 {
+		t.Errorf("constant series, perfect prediction: R² = %v", r2)
+	}
+	if r2, _ := RSquared([]float64{5, 5, 5}, []float64{4, 5, 6}); r2 != 0 {
+		t.Errorf("constant series, imperfect prediction: R² = %v", r2)
+	}
+}
+
+func TestRSquaredErrors(t *testing.T) {
+	if _, err := RSquared(nil, nil); err != ErrEmpty {
+		t.Error("empty input must return ErrEmpty")
+	}
+	if _, err := RSquared([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestLinearFitThroughOrigin(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2.1, 3.9, 6.2, 7.8}
+	theta, err := LinearFitThroughOrigin(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(theta-1.97) > 0.05 {
+		t.Errorf("theta = %v, want ≈2", theta)
+	}
+	if th, _ := LinearFitThroughOrigin([]float64{0, 0}, []float64{1, 2}); th != 0 {
+		t.Errorf("all-zero predictor slope = %v, want 0", th)
+	}
+	if _, err := LinearFitThroughOrigin(nil, nil); err != ErrEmpty {
+		t.Error("empty input must return ErrEmpty")
+	}
+	if _, err := LinearFitThroughOrigin([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// Property: a noiseless linear relationship is recovered exactly.
+func TestLinearFitProperty(t *testing.T) {
+	f := func(rawTheta float64) bool {
+		theta := math.Mod(rawTheta, 100)
+		xs := []float64{0.5, 1, 1.5, 2, 3}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = theta * x
+		}
+		got, err := LinearFitThroughOrigin(xs, ys)
+		return err == nil && math.Abs(got-theta) < 1e-9*(1+math.Abs(theta))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWMAWeighting(t *testing.T) {
+	w, err := NewWMA(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Ready() {
+		t.Error("fresh WMA must not be ready")
+	}
+	if w.Predict() != 0 {
+		t.Error("fresh WMA must predict 0")
+	}
+	w.Observe(1)
+	if !w.Ready() {
+		t.Error("WMA with one sample must be ready")
+	}
+	if got := w.Predict(); got != 1 {
+		t.Errorf("single-sample prediction = %v, want 1", got)
+	}
+	w.Observe(2)
+	// Weights 1,2 → (1·1 + 2·2)/3 = 5/3.
+	if got := w.Predict(); math.Abs(got-5.0/3) > 1e-12 {
+		t.Errorf("two-sample prediction = %v, want 5/3", got)
+	}
+	w.Observe(3)
+	// Weights 1,2,3 → (1 + 4 + 9)/6 = 14/6.
+	if got := w.Predict(); math.Abs(got-14.0/6) > 1e-12 {
+		t.Errorf("three-sample prediction = %v, want 14/6", got)
+	}
+	w.Observe(4)
+	// Window slides: samples 2,3,4 → (2 + 6 + 12)/6 = 20/6.
+	if got := w.Predict(); math.Abs(got-20.0/6) > 1e-12 {
+		t.Errorf("sliding prediction = %v, want 20/6", got)
+	}
+}
+
+func TestWMAConstantSignal(t *testing.T) {
+	w, _ := NewWMA(3)
+	for i := 0; i < 10; i++ {
+		w.Observe(42)
+	}
+	if got := w.Predict(); math.Abs(got-42) > 1e-12 {
+		t.Errorf("constant signal prediction = %v, want 42", got)
+	}
+}
+
+func TestWMAReset(t *testing.T) {
+	w, _ := NewWMA(3)
+	w.Observe(10)
+	w.Observe(20)
+	w.Reset()
+	if w.Ready() || w.Predict() != 0 {
+		t.Error("Reset did not clear history")
+	}
+	w.Observe(7)
+	if got := w.Predict(); got != 7 {
+		t.Errorf("post-reset prediction = %v, want 7", got)
+	}
+}
+
+func TestNewWMAValidation(t *testing.T) {
+	if _, err := NewWMA(0); err == nil {
+		t.Error("NewWMA(0) accepted")
+	}
+	if _, err := NewWMA(-1); err == nil {
+		t.Error("NewWMA(-1) accepted")
+	}
+}
+
+// Property: WMA prediction always lies within the min/max of its window.
+func TestWMABounded(t *testing.T) {
+	f := func(samples []float64) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		for i, s := range samples {
+			if math.IsNaN(s) || math.IsInf(s, 0) {
+				samples[i] = 0
+			}
+			// Keep magnitudes small enough that the weighted sum cannot
+			// overflow or lose the precision the bound check relies on.
+			samples[i] = math.Mod(samples[i], 1e9)
+		}
+		w, _ := NewWMA(3)
+		for _, s := range samples {
+			w.Observe(s)
+		}
+		n := len(samples)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		start := n - 3
+		if start < 0 {
+			start = 0
+		}
+		for _, s := range samples[start:] {
+			lo = math.Min(lo, s)
+			hi = math.Max(hi, s)
+		}
+		p := w.Predict()
+		return p >= lo-1e-9 && p <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,113 @@
+// Package thermal models the chip's temperature field as a compact RC
+// network, standing in for HotSpot 6.0 in the paper's toolchain. One
+// capacitive node per functional block, one per on-chip regulator, one
+// spreader node per block projection and one heat-sink node reproduce the
+// structure of HotSpot's block-mode model: lateral silicon conduction
+// between adjacent blocks, vertical conduction through die and thermal
+// interface into the copper spreader, spreading in the copper, and a lumped
+// sink-to-ambient path calibrated to a POWER7+-class air cooling package.
+// Transient integration uses explicit substepped Euler; steady state uses
+// Gauss-Seidel relaxation. The regulator nodes are deliberately tiny
+// (0.04mm² footprint) so their thermal time constant lands near the 1ms
+// gating decision period, which is exactly the regime Fig. 8 shows.
+package thermal
+
+// Config collects the physical constants of the package model. All lengths
+// are millimetres, conductances W/K, capacitances J/K, temperatures °C.
+type Config struct {
+	// AmbientC is the cooling air temperature.
+	AmbientC float64
+	// DieThicknessMM is the silicon die thickness.
+	DieThicknessMM float64
+	// KSiWPerMMK is silicon thermal conductivity (W/(mm·K)).
+	KSiWPerMMK float64
+	// CSiJPerMM3K is silicon volumetric heat capacity (J/(mm³·K)).
+	CSiJPerMM3K float64
+	// GVertWPerKmm2 is the per-area vertical conductance from die node to
+	// spreader node (die half-thickness + thermal interface material).
+	GVertWPerKmm2 float64
+	// SpreaderThicknessMM and KCuWPerMMK describe the copper spreader.
+	SpreaderThicknessMM float64
+	KCuWPerMMK          float64
+	// CCuJPerMM3K is copper volumetric heat capacity.
+	CCuJPerMM3K float64
+	// GSpreaderSinkWPerKmm2 couples each spreader node to the sink node.
+	GSpreaderSinkWPerKmm2 float64
+	// SinkResKPerW is the lumped sink-to-ambient resistance; ≈0.22 K/W
+	// mimics the POWER7+ air-cooled package HotSpot defaults to.
+	SinkResKPerW float64
+	// SinkCapJPerK is the sink thermal mass.
+	SinkCapJPerK float64
+	// GRegulatorWPerK couples each regulator node to its host block: the
+	// lateral spreading of the tiny VR footprint into surrounding silicon.
+	// This constant sets how sharply a regulator heats above its
+	// neighbourhood and is the paper's central thermal mechanism.
+	GRegulatorWPerK float64
+	// RegulatorCapJPerK is the regulator node heat capacity; together with
+	// GRegulatorWPerK it sets the VR thermal time constant (≈1.2ms, so a
+	// regulator's temperature visibly swings across 1ms gating decisions
+	// as in Fig. 8 — the transient regime in which predictive gating
+	// genuinely beats both the greedy Naïve policy and all-on).
+	RegulatorCapJPerK float64
+	// MaxEulerStepS caps the internal integration substep.
+	MaxEulerStepS float64
+}
+
+// DefaultConfig returns the calibrated POWER7+-like package.
+func DefaultConfig() Config {
+	return Config{
+		AmbientC:              35.0,
+		DieThicknessMM:        0.5,
+		KSiWPerMMK:            0.11,
+		CSiJPerMM3K:           1.75e-3,
+		GVertWPerKmm2:         0.11,
+		SpreaderThicknessMM:   2.0,
+		KCuWPerMMK:            0.40,
+		CCuJPerMM3K:           3.45e-3,
+		GSpreaderSinkWPerKmm2: 0.15,
+		SinkResKPerW:          0.22,
+		SinkCapJPerK:          140,
+		GRegulatorWPerK:       0.022,
+		RegulatorCapJPerK:     2.64e-5,
+		MaxEulerStepS:         2e-4,
+	}
+}
+
+// Validate rejects configurations that would break the solver.
+func (c Config) Validate() error {
+	pos := []struct {
+		name string
+		v    float64
+	}{
+		{"DieThicknessMM", c.DieThicknessMM},
+		{"KSiWPerMMK", c.KSiWPerMMK},
+		{"CSiJPerMM3K", c.CSiJPerMM3K},
+		{"GVertWPerKmm2", c.GVertWPerKmm2},
+		{"SpreaderThicknessMM", c.SpreaderThicknessMM},
+		{"KCuWPerMMK", c.KCuWPerMMK},
+		{"CCuJPerMM3K", c.CCuJPerMM3K},
+		{"GSpreaderSinkWPerKmm2", c.GSpreaderSinkWPerKmm2},
+		{"SinkResKPerW", c.SinkResKPerW},
+		{"SinkCapJPerK", c.SinkCapJPerK},
+		{"GRegulatorWPerK", c.GRegulatorWPerK},
+		{"RegulatorCapJPerK", c.RegulatorCapJPerK},
+		{"MaxEulerStepS", c.MaxEulerStepS},
+	}
+	for _, p := range pos {
+		if p.v <= 0 {
+			return &ConfigError{Field: p.name, Value: p.v}
+		}
+	}
+	return nil
+}
+
+// ConfigError reports a non-positive physical constant.
+type ConfigError struct {
+	Field string
+	Value float64
+}
+
+// Error implements the error interface.
+func (e *ConfigError) Error() string {
+	return "thermal: config field " + e.Field + " must be positive"
+}

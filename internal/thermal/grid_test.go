@@ -1,0 +1,309 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"thermogater/internal/floorplan"
+)
+
+func newGrid(t *testing.T, nx, ny int) *GridModel {
+	t.Helper()
+	g, err := NewGridModel(floorplan.BuildPOWER8(), DefaultConfig(), nx, ny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGridModelValidation(t *testing.T) {
+	if _, err := NewGridModel(nil, DefaultConfig(), 8, 8); err == nil {
+		t.Error("nil chip accepted")
+	}
+	if _, err := NewGridModel(floorplan.BuildPOWER8(), DefaultConfig(), 1, 8); err == nil {
+		t.Error("1-wide grid accepted")
+	}
+	bad := DefaultConfig()
+	bad.KSiWPerMMK = 0
+	if _, err := NewGridModel(floorplan.BuildPOWER8(), bad, 8, 8); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestGridZeroPowerAtAmbient(t *testing.T) {
+	g := newGrid(t, 16, 16)
+	bp := make([]float64, len(floorplan.BuildPOWER8().Blocks))
+	vp := make([]float64, floorplan.TotalVRs)
+	if err := g.SetPower(bp, vp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.SteadyState(1e-6, 0); err != nil {
+		t.Fatal(err)
+	}
+	max, _ := g.MaxTemp()
+	if math.Abs(max-DefaultConfig().AmbientC) > 1e-6 {
+		t.Errorf("unpowered grid at %v°C", max)
+	}
+}
+
+func TestGridSinkEnergyBalance(t *testing.T) {
+	g := newGrid(t, 24, 24)
+	chip := floorplan.BuildPOWER8()
+	bp := make([]float64, len(chip.Blocks))
+	vp := make([]float64, floorplan.TotalVRs)
+	var total float64
+	for i := range bp {
+		bp[i] = 1.2
+		total += 1.2
+	}
+	if err := g.SetPower(bp, vp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.SteadyState(1e-6, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultConfig().AmbientC + total*DefaultConfig().SinkResKPerW
+	if got := g.SinkTemp(); math.Abs(got-want) > 0.05 {
+		t.Errorf("sink temp %v, want %v", got, want)
+	}
+}
+
+func TestGridSetPowerValidation(t *testing.T) {
+	g := newGrid(t, 8, 8)
+	chip := floorplan.BuildPOWER8()
+	bp := make([]float64, len(chip.Blocks))
+	vp := make([]float64, floorplan.TotalVRs)
+	if err := g.SetPower(bp[:2], vp); err == nil {
+		t.Error("short block power accepted")
+	}
+	if err := g.SetPower(bp, vp[:2]); err == nil {
+		t.Error("short VR power accepted")
+	}
+	bp[0] = -1
+	if err := g.SetPower(bp, vp); err == nil {
+		t.Error("negative power accepted")
+	}
+	bp[0] = math.NaN()
+	if err := g.SetPower(bp, vp); err == nil {
+		t.Error("NaN power accepted")
+	}
+}
+
+func TestGridHotspotUnderPoweredBlock(t *testing.T) {
+	g := newGrid(t, 42, 42)
+	chip := floorplan.BuildPOWER8()
+	bp := make([]float64, len(chip.Blocks))
+	vp := make([]float64, floorplan.TotalVRs)
+	exu, _ := chip.BlockByName("core0/EXU")
+	bp[exu.ID] = 6
+	if err := g.SetPower(bp, vp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.SteadyState(1e-6, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, at := g.MaxTemp()
+	if !exu.R.Contains(at) {
+		t.Errorf("hotspot at %v outside the powered EXU %v", at, exu.R)
+	}
+}
+
+// TestGridValidatesCompactModel cross-validates the two solvers: with the
+// same power map, block-average temperatures must agree within a couple of
+// degrees and the hottest block must be the same.
+func TestGridValidatesCompactModel(t *testing.T) {
+	chip := floorplan.BuildPOWER8()
+	cfg := DefaultConfig()
+	compact, err := NewModel(chip, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := NewGridModel(chip, cfg, 42, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A realistic heterogeneous power map: hot logic, mild memory.
+	bp := make([]float64, len(chip.Blocks))
+	vp := make([]float64, floorplan.TotalVRs)
+	for _, b := range chip.Blocks {
+		switch b.Kind {
+		case floorplan.Logic:
+			bp[b.ID] = 3
+		case floorplan.Memory:
+			bp[b.ID] = 1.5
+		default:
+			bp[b.ID] = 1
+		}
+	}
+	for i := range vp {
+		vp[i] = 0.1
+	}
+	if err := compact.SetPower(bp, vp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compact.SteadyState(1e-6, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := grid.SetPower(bp, vp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := grid.SteadyState(1e-5, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var worstDiff float64
+	hotCompact, hotGrid := -1, -1
+	bestC, bestG := math.Inf(-1), math.Inf(-1)
+	for i := range chip.Blocks {
+		c := compact.BlockTemp(i)
+		gv := grid.BlockTemp(i)
+		if d := math.Abs(c - gv); d > worstDiff {
+			worstDiff = d
+		}
+		if c > bestC {
+			bestC, hotCompact = c, i
+		}
+		if gv > bestG {
+			bestG, hotGrid = gv, i
+		}
+	}
+	if worstDiff > 3.0 {
+		t.Errorf("block temperatures diverge by up to %v°C between solvers", worstDiff)
+	}
+	if chip.Blocks[hotCompact].Kind != chip.Blocks[hotGrid].Kind {
+		t.Errorf("hottest blocks differ in kind: compact %s, grid %s",
+			chip.Blocks[hotCompact].Name, chip.Blocks[hotGrid].Name)
+	}
+}
+
+// TestGridResolvesRegulatorHotspot shows what the grid mode adds: a
+// powered regulator produces a local peak sharper than its block average.
+func TestGridResolvesRegulatorHotspot(t *testing.T) {
+	g := newGrid(t, 84, 84)
+	chip := floorplan.BuildPOWER8()
+	bp := make([]float64, len(chip.Blocks))
+	vp := make([]float64, floorplan.TotalVRs)
+	vp[0] = 0.25
+	if err := g.SetPower(bp, vp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.SteadyState(1e-6, 0); err != nil {
+		t.Fatal(err)
+	}
+	max, at := g.MaxTemp()
+	reg := chip.Regulators[0]
+	if at.DistanceTo(reg.Pos) > 0.5 {
+		t.Errorf("peak at %v, regulator at %v", at, reg.Pos)
+	}
+	host := chip.Blocks[reg.NearestBlock]
+	avg := g.BlockTemp(host.ID)
+	if max <= avg {
+		t.Errorf("regulator peak %v not above its block average %v", max, avg)
+	}
+}
+
+func TestGridHeatMap(t *testing.T) {
+	g := newGrid(t, 12, 10)
+	hm := g.HeatMap()
+	if len(hm) != 10 || len(hm[0]) != 12 {
+		t.Fatalf("heat map %dx%d", len(hm), len(hm[0]))
+	}
+	// Mutating the copy must not touch the model.
+	hm[0][0] = 999
+	if g.CellTemp(0, 0) == 999 {
+		t.Error("HeatMap returned a live reference")
+	}
+}
+
+func TestGridSteadyStateValidation(t *testing.T) {
+	g := newGrid(t, 8, 8)
+	if _, err := g.SteadyState(0, 10); err == nil {
+		t.Error("zero tolerance accepted")
+	}
+	chip := floorplan.BuildPOWER8()
+	bp := make([]float64, len(chip.Blocks))
+	for i := range bp {
+		bp[i] = 2
+	}
+	vp := make([]float64, floorplan.TotalVRs)
+	if err := g.SetPower(bp, vp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.SteadyState(1e-12, 2); err == nil {
+		t.Error("impossible budget converged")
+	}
+}
+
+func TestGridTransientApproachesSteadyState(t *testing.T) {
+	chip := floorplan.BuildPOWER8()
+	bp := make([]float64, len(chip.Blocks))
+	vp := make([]float64, floorplan.TotalVRs)
+	for i := range bp {
+		bp[i] = 1.0
+	}
+	ref := newGrid(t, 16, 16)
+	if err := ref.SetPower(bp, vp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.SteadyState(1e-6, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := newGrid(t, 16, 16)
+	if err := tr.SetPower(bp, vp); err != nil {
+		t.Fatal(err)
+	}
+	// Integrate long enough for the sink to settle.
+	for i := 0; i < 300; i++ {
+		if err := tr.Step(0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for iy := 0; iy < 16; iy++ {
+		for ix := 0; ix < 16; ix++ {
+			d := math.Abs(tr.CellTemp(ix, iy) - ref.CellTemp(ix, iy))
+			if d > 0.2 {
+				t.Fatalf("cell (%d,%d): transient %v vs steady %v", ix, iy,
+					tr.CellTemp(ix, iy), ref.CellTemp(ix, iy))
+			}
+		}
+	}
+}
+
+func TestGridStepValidation(t *testing.T) {
+	g := newGrid(t, 8, 8)
+	if err := g.Step(0); err == nil {
+		t.Error("zero step accepted")
+	}
+	if err := g.Step(-1); err == nil {
+		t.Error("negative step accepted")
+	}
+}
+
+func TestGridTransientMonotoneWarmup(t *testing.T) {
+	// From a cold uniform start with constant power, the hottest cell's
+	// temperature rises monotonically (no overshoot in a passive RC grid).
+	g := newGrid(t, 12, 12)
+	chip := floorplan.BuildPOWER8()
+	bp := make([]float64, len(chip.Blocks))
+	vp := make([]float64, floorplan.TotalVRs)
+	exu, _ := chip.BlockByName("core0/EXU")
+	bp[exu.ID] = 5
+	if err := g.SetPower(bp, vp); err != nil {
+		t.Fatal(err)
+	}
+	prev, _ := g.MaxTemp()
+	for i := 0; i < 50; i++ {
+		if err := g.Step(0.01); err != nil {
+			t.Fatal(err)
+		}
+		cur, _ := g.MaxTemp()
+		if cur < prev-1e-9 {
+			t.Fatalf("step %d: max temp fell from %v to %v", i, prev, cur)
+		}
+		prev = cur
+	}
+	if prev <= DefaultConfig().AmbientC {
+		t.Error("powered grid never warmed")
+	}
+}

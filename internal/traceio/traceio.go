@@ -1,0 +1,111 @@
+// Package traceio serialises simulation results and traces to CSV and
+// JSON so that runs can be analysed or plotted outside the harness (the
+// figures in the paper are exactly such plots of epoch traces, regulator
+// traces and heat maps).
+package traceio
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"thermogater/internal/sim"
+)
+
+// WriteEpochCSV writes the per-epoch trace (Fig. 6 data) as CSV.
+func WriteEpochCSV(w io.Writer, trace []sim.EpochStats) error {
+	if len(trace) == 0 {
+		return errors.New("traceio: empty epoch trace")
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"time_ms", "total_power_w", "active_vrs", "max_temp_c",
+		"gradient_c", "max_noise_pct", "ploss_w",
+	}); err != nil {
+		return err
+	}
+	for _, e := range trace {
+		rec := []string{
+			f(e.TimeMS), f(e.TotalPowerW), strconv.Itoa(e.ActiveVRs),
+			f(e.MaxTempC), f(e.GradientC), f(e.MaxNoisePct), f(e.PlossW),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteVRTraceCSV writes the tracked regulator's trace (Fig. 8 data).
+func WriteVRTraceCSV(w io.Writer, trace []sim.VRSample) error {
+	if len(trace) == 0 {
+		return errors.New("traceio: empty regulator trace")
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_ms", "temp_c", "on"}); err != nil {
+		return err
+	}
+	for _, s := range trace {
+		on := "0"
+		if s.On {
+			on = "1"
+		}
+		if err := cw.Write([]string{f(s.TimeMS), f(s.TempC), on}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteHeatMapCSV writes a temperature grid (Fig. 12 data) row by row.
+func WriteHeatMapCSV(w io.Writer, grid [][]float64) error {
+	if len(grid) == 0 {
+		return errors.New("traceio: empty heat map")
+	}
+	cw := csv.NewWriter(w)
+	width := len(grid[0])
+	for y, row := range grid {
+		if len(row) != width {
+			return fmt.Errorf("traceio: ragged heat map at row %d", y)
+		}
+		rec := make([]string, len(row))
+		for i, v := range row {
+			rec[i] = f(v)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteResultJSON writes the aggregated result as indented JSON. Large
+// per-substep traces are included only when present in the result.
+func WriteResultJSON(w io.Writer, res *sim.Result) error {
+	if res == nil {
+		return errors.New("traceio: nil result")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// ReadResultJSON parses a result previously written with WriteResultJSON.
+func ReadResultJSON(r io.Reader) (*sim.Result, error) {
+	var res sim.Result
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&res); err != nil {
+		return nil, fmt.Errorf("traceio: %w", err)
+	}
+	return &res, nil
+}
+
+func f(v float64) string {
+	return strconv.FormatFloat(v, 'g', 8, 64)
+}

@@ -1,0 +1,116 @@
+package traceio
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"strings"
+	"testing"
+
+	"thermogater/internal/sim"
+)
+
+func TestWriteEpochCSV(t *testing.T) {
+	trace := []sim.EpochStats{
+		{TimeMS: 0, TotalPowerW: 60.5, ActiveVRs: 42, MaxTempC: 70.1, GradientC: 12.3, MaxNoisePct: 8.8, PlossW: 7.7},
+		{TimeMS: 1, TotalPowerW: 61.5, ActiveVRs: 44, MaxTempC: 70.2, GradientC: 12.4, MaxNoisePct: 8.9, PlossW: 7.8},
+	}
+	var buf bytes.Buffer
+	if err := WriteEpochCSV(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("%d records, want header + 2", len(recs))
+	}
+	if recs[0][0] != "time_ms" || len(recs[0]) != 7 {
+		t.Errorf("header %v", recs[0])
+	}
+	if recs[1][2] != "42" {
+		t.Errorf("active VRs cell %q", recs[1][2])
+	}
+	if err := WriteEpochCSV(&buf, nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestWriteVRTraceCSV(t *testing.T) {
+	trace := []sim.VRSample{
+		{TimeMS: 0.1, TempC: 65.5, On: true},
+		{TimeMS: 0.2, TempC: 64.9, On: false},
+	}
+	var buf bytes.Buffer
+	if err := WriteVRTraceCSV(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[1][2] != "1" || recs[2][2] != "0" {
+		t.Errorf("on/off cells %q %q", recs[1][2], recs[2][2])
+	}
+	if err := WriteVRTraceCSV(&buf, nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestWriteHeatMapCSV(t *testing.T) {
+	grid := [][]float64{{60, 61}, {62, 63}}
+	var buf bytes.Buffer
+	if err := WriteHeatMapCSV(&buf, grid); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1][1] != "63" {
+		t.Errorf("records %v", recs)
+	}
+	if err := WriteHeatMapCSV(&buf, nil); err == nil {
+		t.Error("empty grid accepted")
+	}
+	if err := WriteHeatMapCSV(&buf, [][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged grid accepted")
+	}
+}
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	res := &sim.Result{
+		Policy:       "oracT",
+		Benchmark:    "fft",
+		MaxTempC:     71.25,
+		MaxGradientC: 13.5,
+		MaxNoisePct:  17.1,
+		NoiseModeled: true,
+		AvgEta:       0.8953,
+		VROnFrac:     []float64{0.5, 1.0},
+		Epochs:       123,
+	}
+	var buf bytes.Buffer
+	if err := WriteResultJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"Policy\": \"oracT\"") {
+		t.Errorf("JSON missing policy: %s", buf.String()[:120])
+	}
+	back, err := ReadResultJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Policy != res.Policy || back.Epochs != res.Epochs ||
+		math.Abs(back.MaxTempC-res.MaxTempC) > 1e-12 ||
+		len(back.VROnFrac) != 2 {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+	if err := WriteResultJSON(&buf, nil); err == nil {
+		t.Error("nil result accepted")
+	}
+	if _, err := ReadResultJSON(strings.NewReader("{broken")); err == nil {
+		t.Error("broken JSON accepted")
+	}
+}

@@ -1,0 +1,280 @@
+package uarch
+
+import (
+	"math"
+	"testing"
+
+	"thermogater/internal/floorplan"
+	"thermogater/internal/workload"
+)
+
+func newSim(t *testing.T, bench string, seed uint64) *Simulator {
+	t.Helper()
+	chip := floorplan.BuildPOWER8()
+	p, err := workload.ByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(chip, p, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	p, _ := workload.ByName("fft")
+	if _, err := New(nil, p, 1); err == nil {
+		t.Error("nil chip accepted")
+	}
+	bad := p
+	bad.DurationMS = 0
+	if _, err := New(floorplan.BuildPOWER8(), bad, 1); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}
+
+func TestStepBounds(t *testing.T) {
+	s := newSim(t, "fft", 1)
+	for i := 0; i < 200; i++ {
+		f, err := s.Step(DefaultStepMS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(f.Activity) != len(floorplan.BuildPOWER8().Blocks) {
+			t.Fatalf("frame has %d activities", len(f.Activity))
+		}
+		for bid, a := range f.Activity {
+			if a < 0 || a > 1 || math.IsNaN(a) {
+				t.Fatalf("step %d block %d: activity %v outside [0,1]", i, bid, a)
+			}
+		}
+		for _, ipc := range f.IPC {
+			if ipc < 0 || ipc > 8 {
+				t.Fatalf("IPC %v outside [0,8]", ipc)
+			}
+		}
+	}
+}
+
+func TestStepRejectsBadDt(t *testing.T) {
+	s := newSim(t, "fft", 1)
+	if _, err := s.Step(0); err == nil {
+		t.Error("zero step accepted")
+	}
+	if _, err := s.Step(-1); err == nil {
+		t.Error("negative step accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := newSim(t, "barnes", 42)
+	b := newSim(t, "barnes", 42)
+	for i := 0; i < 100; i++ {
+		fa, _ := a.Step(DefaultStepMS)
+		fb, _ := b.Step(DefaultStepMS)
+		for bid := range fa.Activity {
+			if fa.Activity[bid] != fb.Activity[bid] {
+				t.Fatalf("step %d: traces diverge at block %d", i, bid)
+			}
+		}
+		if len(fa.Bursts) != len(fb.Bursts) {
+			t.Fatalf("step %d: burst streams diverge", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := newSim(t, "barnes", 1)
+	b := newSim(t, "barnes", 2)
+	same := true
+	for i := 0; i < 50 && same; i++ {
+		fa, _ := a.Step(DefaultStepMS)
+		fb, _ := b.Step(DefaultStepMS)
+		for bid := range fa.Activity {
+			if fa.Activity[bid] != fb.Activity[bid] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestTimeAdvancesAndDone(t *testing.T) {
+	s := newSim(t, "fft", 1)
+	if s.Done() {
+		t.Error("fresh simulator reports done")
+	}
+	total := float64(s.Profile().DurationMS)
+	for !s.Done() {
+		if _, err := s.Step(10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.TimeMS() < total {
+		t.Errorf("done at %v ms, ROI is %v ms", s.TimeMS(), total)
+	}
+}
+
+func TestComputeVsMemoryCharacter(t *testing.T) {
+	// cholesky (compute heavy) must load EXUs more than LSUs; radix
+	// (memory streaming) the other way around.
+	meanUnit := func(bench string, class floorplan.UnitClass) float64 {
+		s := newSim(t, bench, 7)
+		chip := floorplan.BuildPOWER8()
+		var sum float64
+		var n int
+		for i := 0; i < 500; i++ {
+			f, err := s.Step(DefaultStepMS)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range chip.Blocks {
+				if b.Class == class {
+					sum += f.Activity[b.ID]
+					n++
+				}
+			}
+		}
+		return sum / float64(n)
+	}
+	if exu, lsu := meanUnit("cholesky", floorplan.UnitEXU), meanUnit("cholesky", floorplan.UnitLSU); exu <= lsu {
+		t.Errorf("cholesky EXU %v not above LSU %v", exu, lsu)
+	}
+	if exu, lsu := meanUnit("radix", floorplan.UnitEXU), meanUnit("radix", floorplan.UnitLSU); exu >= lsu {
+		t.Errorf("radix EXU %v not below LSU %v", exu, lsu)
+	}
+	// cholesky runs much hotter than raytrace overall.
+	if c, r := meanUnit("cholesky", floorplan.UnitEXU), meanUnit("raytrace", floorplan.UnitEXU); c < 2*r {
+		t.Errorf("cholesky EXU %v not well above raytrace %v", c, r)
+	}
+}
+
+func TestBurstRates(t *testing.T) {
+	count := func(bench string) int {
+		s := newSim(t, bench, 3)
+		n := 0
+		for i := 0; i < 2000; i++ { // 200ms
+			f, err := s.Step(DefaultStepMS)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n += len(f.Bursts)
+		}
+		return n
+	}
+	expect := func(bench string) float64 {
+		p, err := workload.ByName(bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.BurstRatePerMS * 8 * 200 // cores × window
+	}
+	barnes := count("barnes")
+	lucb := count("lu_cb")
+	// Storm clustering preserves the long-run rate but adds variance;
+	// allow a factor-of-two band around the expectation.
+	if want := expect("barnes"); float64(barnes) < want/2 || float64(barnes) > want*2 {
+		t.Errorf("barnes bursts = %d, expected ≈%.0f", barnes, want)
+	}
+	if lucb > barnes/10 {
+		t.Errorf("lu_cb bursts = %d, should be far below barnes %d", lucb, barnes)
+	}
+}
+
+func TestBurstEventFields(t *testing.T) {
+	s := newSim(t, "barnes", 9)
+	for i := 0; i < 500; i++ {
+		f, err := s.Step(DefaultStepMS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range f.Bursts {
+			if b.Core < 0 || b.Core >= floorplan.NumCores {
+				t.Fatalf("burst core %d", b.Core)
+			}
+			if b.TimeMS < f.TimeMS || b.TimeMS > f.TimeMS+f.DtMS {
+				t.Fatalf("burst at %v outside frame [%v, %v]", b.TimeMS, f.TimeMS, f.TimeMS+f.DtMS)
+			}
+			if b.Cycles <= 0 || b.Amp <= 0 {
+				t.Fatalf("burst %+v has non-positive duration/amplitude", b)
+			}
+		}
+	}
+}
+
+func TestSerialPhaseConcentratesWork(t *testing.T) {
+	// Build a profile that is 100% serial; only core 0 should be active.
+	p, _ := workload.ByName("fft")
+	p.Phases = []workload.Phase{{Kind: workload.Serial, Frac: 1, ComputeScale: 1, MemScale: 1}}
+	p.NoiseSigma = 0
+	chip := floorplan.BuildPOWER8()
+	s, err := New(chip, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := s.Step(DefaultStepMS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exu0, err2 := chip.BlockByName("core0/EXU")
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	exu5, _ := chip.BlockByName("core5/EXU")
+	if f.Activity[exu0.ID] < 5*f.Activity[exu5.ID] {
+		t.Errorf("serial phase: core0 EXU %v not dominating core5 EXU %v",
+			f.Activity[exu0.ID], f.Activity[exu5.ID])
+	}
+}
+
+func TestBarrierPhaseQuiesces(t *testing.T) {
+	p, _ := workload.ByName("fft")
+	p.Phases = []workload.Phase{{Kind: workload.Barrier, Frac: 1, ComputeScale: 0.05, MemScale: 0.05}}
+	p.NoiseSigma = 0
+	chip := floorplan.BuildPOWER8()
+	s, _ := New(chip, p, 1)
+	f, _ := s.Step(DefaultStepMS)
+	for _, b := range chip.Blocks {
+		if b.Kind == floorplan.Logic && f.Activity[b.ID] > 0.1 {
+			t.Errorf("barrier phase: %s activity %v too high", b.Name, f.Activity[b.ID])
+		}
+	}
+}
+
+func TestBankSkewBiasesTraffic(t *testing.T) {
+	p, _ := workload.ByName("raytrace") // BankSkew 0.30
+	chip := floorplan.BuildPOWER8()
+	s, _ := New(chip, p, 5)
+	var first, last float64
+	for i := 0; i < 1000; i++ {
+		f, _ := s.Step(DefaultStepMS)
+		b0, _ := chip.BlockByName("l3bank0/L3")
+		b7, _ := chip.BlockByName("l3bank7/L3")
+		first += f.Activity[b0.ID]
+		last += f.Activity[b7.ID]
+	}
+	if first <= last {
+		t.Errorf("bank skew not applied: bank0 %v <= bank7 %v", first, last)
+	}
+}
+
+func TestThreadSkewBiasesCores(t *testing.T) {
+	p, _ := workload.ByName("raytrace") // ThreadSkew 0.30
+	chip := floorplan.BuildPOWER8()
+	s, _ := New(chip, p, 5)
+	var c0, c7 float64
+	exu0, _ := chip.BlockByName("core0/EXU")
+	exu7, _ := chip.BlockByName("core7/EXU")
+	for i := 0; i < 1000; i++ {
+		f, _ := s.Step(DefaultStepMS)
+		c0 += f.Activity[exu0.ID]
+		c7 += f.Activity[exu7.ID]
+	}
+	if c0 <= c7 {
+		t.Errorf("thread skew not applied: core0 %v <= core7 %v", c0, c7)
+	}
+}

@@ -1,0 +1,145 @@
+// Package vr models integrated (on-chip) voltage regulators: their power
+// conversion efficiency as a function of output load current, the loss they
+// dissipate as heat (Eqn. 1 of the ThermoGater paper), and the behaviour of
+// a parallel network of many small component regulators under gating
+// (Sections 2, 3 and Figs. 1, 2, 5).
+package vr
+
+import (
+	"fmt"
+	"math"
+)
+
+// LossModel captures the internal power loss of one component regulator as
+// a quadratic function of its output current:
+//
+//	Ploss_internal(I) = Fixed + Linear·I + Quadratic·I²
+//
+// Fixed models controller/clocking/switching overhead that is paid whenever
+// the regulator is on; the quadratic term models conduction (I²R) loss.
+// Conversion efficiency follows as
+//
+//	η(I) = Vout·I / (Vout·I + Ploss_internal(I))
+//
+// which rises from zero at no load, peaks where fixed loss equals conduction
+// loss, and degrades past the peak — the canonical regulator shape of Fig. 1.
+type LossModel struct {
+	Fixed     float64 // W
+	Linear    float64 // W/A
+	Quadratic float64 // W/A²
+}
+
+// LossAt returns the internal loss in watts at output current i (amps).
+func (m LossModel) LossAt(i float64) float64 {
+	return m.Fixed + m.Linear*i + m.Quadratic*i*i
+}
+
+// FitLossModel calibrates a quadratic loss model so that efficiency peaks at
+// exactly (iPeak, etaPeak) for the given output voltage: the well-known
+// optimum condition Fixed = Quadratic·iPeak² combined with the peak
+// efficiency constraint. etaPeak must lie in (0, 1) and iPeak must be
+// positive.
+func FitLossModel(vout, iPeak, etaPeak float64) (LossModel, error) {
+	if !(etaPeak > 0 && etaPeak < 1) {
+		return LossModel{}, fmt.Errorf("vr: etaPeak %v outside (0,1)", etaPeak)
+	}
+	if iPeak <= 0 {
+		return LossModel{}, fmt.Errorf("vr: iPeak %v must be positive", iPeak)
+	}
+	if vout <= 0 {
+		return LossModel{}, fmt.Errorf("vr: vout %v must be positive", vout)
+	}
+	// At the peak: Fixed + Quadratic·iPeak² = vout·iPeak·(1/etaPeak − 1)
+	// and dη/dI = 0 ⇒ Fixed = Quadratic·iPeak².
+	total := vout * iPeak * (1/etaPeak - 1)
+	q := total / (2 * iPeak * iPeak)
+	return LossModel{Fixed: q * iPeak * iPeak, Quadratic: q}, nil
+}
+
+// Curve is the efficiency-vs-load characteristic of one regulator
+// configuration at a fixed output voltage.
+type Curve struct {
+	Vout float64
+	Loss LossModel
+}
+
+// Eta returns the conversion efficiency η ∈ [0, 1) at output current i.
+// Zero or negative current yields zero efficiency (the regulator still burns
+// its fixed loss).
+func (c Curve) Eta(i float64) float64 {
+	if i <= 0 {
+		return 0
+	}
+	pout := c.Vout * i
+	return pout / (pout + c.Loss.LossAt(i))
+}
+
+// PeakEta returns the peak efficiency and the current at which it occurs.
+// For a quadratic loss model the peak is at sqrt(Fixed/Quadratic).
+func (c Curve) PeakEta() (eta, iPeak float64) {
+	if c.Loss.Quadratic <= 0 {
+		// Degenerate: efficiency monotonically approaches an asymptote.
+		return c.Eta(math.Inf(1)), math.Inf(1)
+	}
+	iPeak = math.Sqrt(c.Loss.Fixed / c.Loss.Quadratic)
+	return c.Eta(iPeak), iPeak
+}
+
+// Ploss returns the conversion loss dissipated as heat, per Eqn. 1:
+//
+//	Ploss = Pout × (1/η − 1) = Vout × Iout × (1/η − 1)
+//
+// which for this model equals the internal loss at i, including the fixed
+// loss burned at zero load.
+func (c Curve) Ploss(i float64) float64 {
+	if i < 0 {
+		i = 0
+	}
+	return c.Loss.LossAt(i)
+}
+
+// PlossFromEta computes Eqn. 1 directly from an output power and an
+// efficiency; exposed so that callers holding only (Pout, η) pairs — for
+// example from a datasheet — can recover the heat dissipated.
+func PlossFromEta(pout, eta float64) float64 {
+	if eta <= 0 || pout <= 0 {
+		return 0
+	}
+	return pout * (1/eta - 1)
+}
+
+// Sample evaluates the curve at n log-spaced currents in [iMin, iMax] and
+// returns parallel slices of current and efficiency, ready for plotting:
+// this is how the Fig. 1 and Fig. 2 series are produced.
+func (c Curve) Sample(iMin, iMax float64, n int) (currents, etas []float64) {
+	if n < 2 || iMin <= 0 || iMax <= iMin {
+		return nil, nil
+	}
+	currents = make([]float64, n)
+	etas = make([]float64, n)
+	ratio := math.Pow(iMax/iMin, 1/float64(n-1))
+	i := iMin
+	for k := 0; k < n; k++ {
+		currents[k] = i
+		etas[k] = c.Eta(i)
+		i *= ratio
+	}
+	return currents, etas
+}
+
+// SampleLinear evaluates the curve at n evenly spaced currents in
+// [iMin, iMax]; Figs. 2 and 5 use a linear current axis.
+func (c Curve) SampleLinear(iMin, iMax float64, n int) (currents, etas []float64) {
+	if n < 2 || iMax <= iMin {
+		return nil, nil
+	}
+	currents = make([]float64, n)
+	etas = make([]float64, n)
+	step := (iMax - iMin) / float64(n-1)
+	for k := 0; k < n; k++ {
+		cu := iMin + float64(k)*step
+		currents[k] = cu
+		etas[k] = c.Eta(cu)
+	}
+	return currents, etas
+}

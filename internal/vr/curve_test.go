@@ -1,0 +1,162 @@
+package vr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitLossModelPeak(t *testing.T) {
+	m, err := FitLossModel(1.03, 1.5, 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Curve{Vout: 1.03, Loss: m}
+	eta, ip := c.PeakEta()
+	if math.Abs(eta-0.90) > 1e-9 {
+		t.Errorf("peak eta = %v, want 0.90", eta)
+	}
+	if math.Abs(ip-1.5) > 1e-9 {
+		t.Errorf("peak current = %v, want 1.5", ip)
+	}
+}
+
+func TestFitLossModelRejectsBadInputs(t *testing.T) {
+	cases := []struct{ vout, ipk, eta float64 }{
+		{1.0, 1.0, 0},
+		{1.0, 1.0, 1},
+		{1.0, 1.0, 1.2},
+		{1.0, 0, 0.9},
+		{1.0, -1, 0.9},
+		{0, 1, 0.9},
+	}
+	for _, tc := range cases {
+		if _, err := FitLossModel(tc.vout, tc.ipk, tc.eta); err == nil {
+			t.Errorf("FitLossModel(%v,%v,%v) accepted invalid input", tc.vout, tc.ipk, tc.eta)
+		}
+	}
+}
+
+func TestCurveShape(t *testing.T) {
+	m, _ := FitLossModel(1.0, 1.0, 0.9)
+	c := Curve{Vout: 1.0, Loss: m}
+	// Rises up to the peak, falls past it.
+	if !(c.Eta(0.1) < c.Eta(0.5) && c.Eta(0.5) < c.Eta(1.0)) {
+		t.Error("efficiency not monotonically rising below the peak")
+	}
+	if !(c.Eta(1.0) > c.Eta(2.0) && c.Eta(2.0) > c.Eta(5.0)) {
+		t.Error("efficiency not degrading past the peak")
+	}
+	if c.Eta(0) != 0 || c.Eta(-1) != 0 {
+		t.Error("non-positive current must yield zero efficiency")
+	}
+}
+
+func TestCurveEtaBounds(t *testing.T) {
+	m, _ := FitLossModel(1.03, 1.5, 0.9)
+	c := Curve{Vout: 1.03, Loss: m}
+	f := func(raw float64) bool {
+		i := math.Mod(math.Abs(raw), 100)
+		eta := c.Eta(i)
+		return eta >= 0 && eta <= 0.9+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlossEquationConsistency(t *testing.T) {
+	// Eqn. 1: Ploss = Vout·Iout·(1/η − 1) must equal the internal loss model.
+	m, _ := FitLossModel(1.03, 1.5, 0.9)
+	c := Curve{Vout: 1.03, Loss: m}
+	for _, i := range []float64{0.1, 0.5, 1.0, 1.5, 3.0, 10.0} {
+		eta := c.Eta(i)
+		fromEta := PlossFromEta(c.Vout*i, eta)
+		direct := c.Ploss(i)
+		if math.Abs(fromEta-direct) > 1e-9*math.Max(1, direct) {
+			t.Errorf("i=%v: Eqn1 loss %v != model loss %v", i, fromEta, direct)
+		}
+	}
+}
+
+func TestPlossAtZeroLoadIsFixed(t *testing.T) {
+	m, _ := FitLossModel(1.0, 2.0, 0.85)
+	c := Curve{Vout: 1.0, Loss: m}
+	if got := c.Ploss(0); math.Abs(got-m.Fixed) > 1e-12 {
+		t.Errorf("zero-load loss = %v, want fixed loss %v", got, m.Fixed)
+	}
+	if got := c.Ploss(-3); got != m.Fixed {
+		t.Errorf("negative current loss = %v, want %v", got, m.Fixed)
+	}
+}
+
+func TestPlossFromEtaEdgeCases(t *testing.T) {
+	if PlossFromEta(10, 0) != 0 {
+		t.Error("zero efficiency must not divide by zero")
+	}
+	if PlossFromEta(0, 0.9) != 0 {
+		t.Error("zero output power must dissipate nothing")
+	}
+	if got := PlossFromEta(9, 0.9); math.Abs(got-1) > 1e-12 {
+		t.Errorf("PlossFromEta(9, 0.9) = %v, want 1", got)
+	}
+}
+
+func TestSampleLogSpacing(t *testing.T) {
+	m, _ := FitLossModel(1.0, 1.0, 0.9)
+	c := Curve{Vout: 1.0, Loss: m}
+	is, etas := c.Sample(0.01, 10, 31)
+	if len(is) != 31 || len(etas) != 31 {
+		t.Fatalf("Sample returned %d/%d points", len(is), len(etas))
+	}
+	if math.Abs(is[0]-0.01) > 1e-12 || math.Abs(is[30]-10) > 1e-9 {
+		t.Errorf("sample endpoints = %v, %v", is[0], is[30])
+	}
+	// Log spacing: constant ratio between consecutive points.
+	r := is[1] / is[0]
+	for k := 2; k < len(is); k++ {
+		if math.Abs(is[k]/is[k-1]-r) > 1e-9 {
+			t.Fatalf("non-constant ratio at %d", k)
+		}
+	}
+	if is, _ := c.Sample(0, 10, 5); is != nil {
+		t.Error("Sample accepted iMin = 0")
+	}
+	if is, _ := c.Sample(1, 1, 5); is != nil {
+		t.Error("Sample accepted empty range")
+	}
+	if is, _ := c.Sample(1, 2, 1); is != nil {
+		t.Error("Sample accepted n < 2")
+	}
+}
+
+func TestSampleLinear(t *testing.T) {
+	m, _ := FitLossModel(1.0, 1.0, 0.9)
+	c := Curve{Vout: 1.0, Loss: m}
+	is, etas := c.SampleLinear(0, 15, 16)
+	if len(is) != 16 {
+		t.Fatalf("SampleLinear returned %d points", len(is))
+	}
+	if is[0] != 0 || is[15] != 15 {
+		t.Errorf("endpoints %v, %v", is[0], is[15])
+	}
+	if etas[0] != 0 {
+		t.Error("eta at zero current must be zero")
+	}
+	for k := 1; k < 16; k++ {
+		if math.Abs(is[k]-is[k-1]-1) > 1e-9 {
+			t.Fatalf("non-uniform spacing at %d", k)
+		}
+	}
+}
+
+func TestPeakEtaDegenerate(t *testing.T) {
+	c := Curve{Vout: 1, Loss: LossModel{Fixed: 0.1, Linear: 0.01}}
+	eta, ip := c.PeakEta()
+	if !math.IsInf(ip, 1) {
+		t.Errorf("degenerate peak current = %v, want +Inf", ip)
+	}
+	if eta < 0 || eta > 1 {
+		t.Errorf("degenerate peak eta = %v", eta)
+	}
+}

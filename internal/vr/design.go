@@ -1,0 +1,183 @@
+package vr
+
+import "fmt"
+
+// Topology enumerates the three integrated regulator families modern
+// processors deploy (Section 3.1).
+type Topology int
+
+const (
+	// Buck is an inductive switching converter (e.g. Intel FIVR).
+	Buck Topology = iota
+	// SwitchedCapacitor is a capacitive switching converter.
+	SwitchedCapacitor
+	// LDO is a linear low-dropout regulator (e.g. IBM POWER8
+	// microregulators); its efficiency is bounded by Vout/Vin.
+	LDO
+)
+
+// String implements fmt.Stringer.
+func (t Topology) String() string {
+	switch t {
+	case Buck:
+		return "buck"
+	case SwitchedCapacitor:
+		return "switched-capacitor"
+	case LDO:
+		return "ldo"
+	default:
+		return fmt.Sprintf("Topology(%d)", int(t))
+	}
+}
+
+// Design describes one component regulator design point.
+type Design struct {
+	// Name identifies the design, e.g. "FIVR" or "POWER8-LDO".
+	Name string
+	// Topology is the circuit family.
+	Topology Topology
+	// Vin and Vout are the input and output voltages.
+	Vin, Vout float64
+	// EtaPeak is the peak conversion efficiency (0..1).
+	EtaPeak float64
+	// IPeak is the per-phase output current at peak efficiency (A).
+	IPeak float64
+	// IMax is the per-phase current limit (A); supplying more than IMax
+	// per active phase is not legal, which is what constrains gating
+	// (Section 4, factor I).
+	IMax float64
+	// PoutPerAreaWmm2 is the reported output power density (W/mm²).
+	PoutPerAreaWmm2 float64
+	// ResponseTimeNS is the small-signal response time in nanoseconds;
+	// LDOs respond faster than bucks, which Section 6.4 credits for their
+	// slightly lower voltage noise.
+	ResponseTimeNS float64
+}
+
+// Curve returns the single-phase efficiency characteristic of the design,
+// calibrated so that η peaks at (IPeak, EtaPeak).
+func (d Design) Curve() (Curve, error) {
+	m, err := FitLossModel(d.Vout, d.IPeak, d.EtaPeak)
+	if err != nil {
+		return Curve{}, fmt.Errorf("design %s: %w", d.Name, err)
+	}
+	return Curve{Vout: d.Vout, Loss: m}, nil
+}
+
+// NominalVdd is the supply voltage of the modelled chip (Table 1).
+const NominalVdd = 1.03
+
+// FIVR returns the Intel Haswell-like fully integrated voltage regulator
+// design point used to calibrate the evaluation (Section 5, Fig. 5): each
+// component VR ("phase") supplies about 1.5A at ηpeak = 90%, with a reported
+// output power density of 33.6W/mm².
+func FIVR() Design {
+	return Design{
+		Name:            "FIVR",
+		Topology:        Buck,
+		Vin:             1.8,
+		Vout:            NominalVdd,
+		EtaPeak:         0.90,
+		IPeak:           1.5,
+		IMax:            2.0,
+		PoutPerAreaWmm2: 33.6,
+		ResponseTimeNS:  10,
+	}
+}
+
+// POWER8LDO returns the IBM POWER8-like digital LDO microregulator design
+// point (Section 6.4): ηpeak = 90.5%, 34.5W/mm², and a much faster response
+// than the buck. For the paper's apples-to-apples comparison the LDO is
+// calibrated to follow the same η-vs-Iout curves as the FIVR.
+func POWER8LDO() Design {
+	return Design{
+		Name:            "POWER8-LDO",
+		Topology:        LDO,
+		Vin:             1.15,
+		Vout:            NominalVdd,
+		EtaPeak:         0.905,
+		IPeak:           1.5,
+		IMax:            2.0,
+		PoutPerAreaWmm2: 34.5,
+		ResponseTimeNS:  1,
+	}
+}
+
+// LDOEta returns the idealised efficiency of a linear regulator at the
+// given load: the Vout/Vin ceiling degraded by the quiescent current Iq.
+// This is the native LDO characteristic (as opposed to the calibrated curve
+// used for the apples-to-apples study).
+func LDOEta(vin, vout, iq, i float64) float64 {
+	if i <= 0 || vin <= 0 || vout <= 0 || vout > vin {
+		return 0
+	}
+	return (vout / vin) * (i / (i + iq))
+}
+
+// SurveyEntry is one regulator from the ISSCC 2015 survey reproduced in
+// Fig. 1. The citation indices match the paper's bibliography.
+type SurveyEntry struct {
+	Ref    string // bibliography tag, e.g. "[15]"
+	Author string
+	Design Design
+	IMinA  float64 // plotted current range, amps
+	IMaxA  float64
+}
+
+// ISSCC2015Survey returns the eight highly optimized regulator designs whose
+// η-vs-Iout curves Fig. 1 plots. The (ηpeak, Ipeak) operating points are
+// representative values taken from the cited ISSCC 2015 papers; the load
+// ranges span 0.01mA to 10A as in the figure.
+func ISSCC2015Survey() []SurveyEntry {
+	mk := func(name string, top Topology, vout, etaPeak, iPeak float64) Design {
+		return Design{
+			Name: name, Topology: top, Vin: 1.8, Vout: vout,
+			EtaPeak: etaPeak, IPeak: iPeak, IMax: 2 * iPeak,
+		}
+	}
+	return []SurveyEntry{
+		{Ref: "[15]", Author: "Kim",
+			Design: mk("4-phase time-based buck", Buck, 1.8, 0.87, 0.3),
+			IMinA:  0.003, IMaxA: 1.2},
+		{Ref: "[29]", Author: "Park",
+			Design: mk("analog-digital hybrid PWM buck", Buck, 1.0, 0.82, 0.001),
+			IMinA:  0.000045, IMaxA: 0.004},
+		{Ref: "[37]", Author: "Su",
+			Design: mk("single-inductor multiple-output buck", Buck, 1.2, 0.90, 0.6),
+			IMinA:  0.01, IMaxA: 2.4},
+		{Ref: "[36]", Author: "Song",
+			Design: mk("four-phase GaN converter", Buck, 1.0, 0.92, 2.1),
+			IMinA:  0.05, IMaxA: 8.4},
+		{Ref: "[31]", Author: "Schaef",
+			Design: mk("3-phase resonant SC", SwitchedCapacitor, 1.0, 0.85, 0.8),
+			IMinA:  0.01, IMaxA: 3.2},
+		{Ref: "[1]", Author: "Andersen",
+			Design: mk("feedforward SC, 10W", SwitchedCapacitor, 1.0, 0.86, 8),
+			IMinA:  0.1, IMaxA: 10},
+		{Ref: "[26]", Author: "Lu",
+			Design: mk("123-phase converter-ring", SwitchedCapacitor, 1.0, 0.83, 0.5),
+			IMinA:  0.005, IMaxA: 2},
+		{Ref: "[14]", Author: "Jiang",
+			Design: mk("2-3-phase SC", SwitchedCapacitor, 0.9, 0.80, 0.01),
+			IMinA:  0.0001, IMaxA: 0.04},
+	}
+}
+
+// IntelMultiPhase16 returns the 16-phase Intel buck regulator of Fig. 2,
+// whose phase counts {2, 4, 8, 12, 16} give efficiency curves peaking at
+// different load currents; the per-phase design point keeps the effective
+// (gated) curve at ≈90% over 0-16A.
+func IntelMultiPhase16() (Design, []int) {
+	d := Design{
+		Name:            "Intel 16-phase buck",
+		Topology:        Buck,
+		Vin:             1.8,
+		Vout:            NominalVdd,
+		EtaPeak:         0.90,
+		IPeak:           1.0,
+		IMax:            1.4,
+		PoutPerAreaWmm2: 33.6,
+		ResponseTimeNS:  10,
+	}
+	return d, []int{2, 4, 8, 12, 16}
+}

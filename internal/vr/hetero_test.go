@@ -1,0 +1,243 @@
+package vr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// smallLDO is a light-load-efficient component for mixed networks.
+func smallLDO() Design {
+	return Design{
+		Name: "small-ldo", Topology: LDO, Vin: 1.15, Vout: NominalVdd,
+		EtaPeak: 0.90, IPeak: 0.4, IMax: 0.6,
+	}
+}
+
+func mixedNetwork(t *testing.T) *HeteroNetwork {
+	t.Helper()
+	designs := []Design{FIVR(), FIVR(), FIVR(), smallLDO(), smallLDO()}
+	h, err := NewHeteroNetwork(designs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewHeteroNetworkValidation(t *testing.T) {
+	if _, err := NewHeteroNetwork(nil); err == nil {
+		t.Error("empty network accepted")
+	}
+	bad := FIVR()
+	bad.IMax = 0.1
+	if _, err := NewHeteroNetwork([]Design{bad}); err == nil {
+		t.Error("IMax < IPeak accepted")
+	}
+	bad = FIVR()
+	bad.EtaPeak = 2
+	if _, err := NewHeteroNetwork([]Design{bad}); err == nil {
+		t.Error("invalid efficiency accepted")
+	}
+	many := make([]Design, 17)
+	for i := range many {
+		many[i] = FIVR()
+	}
+	if _, err := NewHeteroNetwork(many); err == nil {
+		t.Error("17-component network accepted")
+	}
+}
+
+func TestHeteroReducesToHomogeneous(t *testing.T) {
+	// With identical components the optimal allocation is equal sharing
+	// with NOn active — exactly the homogeneous network's behaviour.
+	designs := make([]Design, 9)
+	for i := range designs {
+		designs[i] = FIVR()
+	}
+	h, err := NewHeteroNetwork(designs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.HomogeneousEquivalent() {
+		t.Fatal("identical components not flagged homogeneous")
+	}
+	nw, err := NewNetwork(FIVR(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, iout := range []float64{0.5, 1.5, 3.0, 4.5, 7.5, 12.0} {
+		a, err := h.Allocate(iout)
+		if err != nil {
+			t.Fatalf("iout=%v: %v", iout, err)
+		}
+		activeCount := 0
+		for _, on := range a.Active {
+			if on {
+				activeCount++
+			}
+		}
+		wantCount := nw.NOn(iout)
+		if activeCount != wantCount {
+			t.Errorf("iout=%v: hetero activates %d, homogeneous NOn = %d", iout, activeCount, wantCount)
+		}
+		wantLoss := nw.PlossAt(iout, wantCount)
+		if math.Abs(a.PlossW-wantLoss) > 1e-6*math.Max(1, wantLoss) {
+			t.Errorf("iout=%v: hetero loss %v, homogeneous %v", iout, a.PlossW, wantLoss)
+		}
+		// Active shares are equal.
+		var ref float64
+		for i, on := range a.Active {
+			if on {
+				ref = a.ShareA[i]
+				break
+			}
+		}
+		for i, on := range a.Active {
+			if on && math.Abs(a.ShareA[i]-ref) > 1e-9 {
+				t.Errorf("iout=%v: unequal shares among identical components", iout)
+			}
+		}
+	}
+}
+
+func TestHeteroPrefersSmallAtLightLoad(t *testing.T) {
+	h := mixedNetwork(t)
+	a, err := h.Allocate(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 0.3A the small LDO (low fixed loss) should carry the load alone.
+	activeBig, activeSmall := 0, 0
+	for i, on := range a.Active {
+		if !on {
+			continue
+		}
+		if h.designs[i].Name == "small-ldo" {
+			activeSmall++
+		} else {
+			activeBig++
+		}
+	}
+	if activeSmall == 0 || activeBig > 0 {
+		t.Errorf("light load served by %d big and %d small regulators", activeBig, activeSmall)
+	}
+}
+
+func TestHeteroUsesBigAtHeavyLoad(t *testing.T) {
+	h := mixedNetwork(t)
+	a, err := h.Allocate(5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := 0
+	for i, on := range a.Active {
+		if on && h.designs[i].Name == "FIVR" {
+			big++
+		}
+	}
+	if big < 3 {
+		t.Errorf("5A load served by only %d big phases", big)
+	}
+}
+
+func TestHeteroAllocationConservation(t *testing.T) {
+	h := mixedNetwork(t)
+	for _, iout := range []float64{0.2, 1.0, 2.5, 4.0, 6.0} {
+		a, err := h.Allocate(iout)
+		if err != nil {
+			t.Fatalf("iout=%v: %v", iout, err)
+		}
+		var sum float64
+		for i, x := range a.ShareA {
+			if x < -1e-12 {
+				t.Fatalf("iout=%v: negative share on %d", iout, i)
+			}
+			if x > h.designs[i].IMax+1e-9 {
+				t.Fatalf("iout=%v: share %v exceeds limit on %d", iout, x, i)
+			}
+			if !a.Active[i] && x != 0 {
+				t.Fatalf("iout=%v: gated regulator %d carries %v", iout, i, x)
+			}
+			sum += x
+		}
+		if math.Abs(sum-iout) > 1e-9 {
+			t.Fatalf("iout=%v: shares sum to %v", iout, sum)
+		}
+	}
+}
+
+func TestHeteroEfficiencyNearPeak(t *testing.T) {
+	h := mixedNetwork(t)
+	for iout := 0.5; iout <= 5.0; iout += 0.25 {
+		eta, err := h.EffectiveEta(iout)
+		if err != nil {
+			t.Fatalf("iout=%v: %v", iout, err)
+		}
+		if eta < 0.85 {
+			t.Errorf("iout=%v: effective eta %v below 0.85", iout, eta)
+		}
+	}
+}
+
+func TestHeteroOverloadRejected(t *testing.T) {
+	h := mixedNetwork(t)
+	if _, err := h.Allocate(h.MaxCurrent() + 1); err == nil {
+		t.Error("overload accepted")
+	}
+	if _, err := h.Allocate(-1); err == nil {
+		t.Error("negative demand accepted")
+	}
+	// Exactly at capacity is feasible.
+	if _, err := h.Allocate(h.MaxCurrent()); err != nil {
+		t.Errorf("full capacity rejected: %v", err)
+	}
+}
+
+func TestHeteroPreferredOrder(t *testing.T) {
+	h := mixedNetwork(t)
+	order := h.PreferredOrder()
+	if len(order) != 5 {
+		t.Fatalf("order of %d", len(order))
+	}
+	// The small LDOs (lowest fixed loss) come first.
+	if h.designs[order[0]].Name != "small-ldo" || h.designs[order[1]].Name != "small-ldo" {
+		t.Errorf("preferred order starts with %s, %s",
+			h.designs[order[0]].Name, h.designs[order[1]].Name)
+	}
+	if h.HomogeneousEquivalent() {
+		t.Error("mixed network flagged homogeneous")
+	}
+}
+
+// Property: the optimal allocation never loses to naive equal sharing
+// across all components.
+func TestHeteroBeatsEqualSharing(t *testing.T) {
+	h := mixedNetwork(t)
+	equalShareLoss := func(iout float64) (float64, bool) {
+		n := len(h.designs)
+		share := iout / float64(n)
+		var loss float64
+		for i := range h.designs {
+			if share > h.designs[i].IMax {
+				return 0, false
+			}
+			loss += h.curves[i].Loss.LossAt(share)
+		}
+		return loss, true
+	}
+	f := func(raw float64) bool {
+		iout := math.Mod(math.Abs(raw), 2.8) + 0.1
+		a, err := h.Allocate(iout)
+		if err != nil {
+			return false
+		}
+		naive, ok := equalShareLoss(iout)
+		if !ok {
+			return true
+		}
+		return a.PlossW <= naive+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,155 @@
+package vr
+
+import "fmt"
+
+// Network models a parallel network of N electrically identical component
+// regulators dispersed across one Vdd-domain (Section 3.1). Active
+// regulators current-share equally; gating modulates how many are active so
+// that the network sustains operation at the per-phase peak efficiency over
+// a wide load range (Fig. 2 and Fig. 5).
+type Network struct {
+	design Design
+	n      int
+	phase  Curve
+}
+
+// NewNetwork builds a network of n component regulators of the given design.
+func NewNetwork(d Design, n int) (*Network, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("vr: network needs at least one regulator, got %d", n)
+	}
+	if d.IMax < d.IPeak {
+		return nil, fmt.Errorf("vr: design %s has IMax %v below IPeak %v", d.Name, d.IMax, d.IPeak)
+	}
+	c, err := d.Curve()
+	if err != nil {
+		return nil, err
+	}
+	return &Network{design: d, n: n, phase: c}, nil
+}
+
+// Design returns the component regulator design point.
+func (nw *Network) Design() Design { return nw.design }
+
+// Size returns the total component regulator count N.
+func (nw *Network) Size() int { return nw.n }
+
+// PhaseCurve returns the single-phase efficiency characteristic.
+func (nw *Network) PhaseCurve() Curve { return nw.phase }
+
+// CurveFor returns the composite efficiency characteristic when exactly
+// `active` regulators share the load equally: fixed losses add up across
+// active phases while conduction loss divides by the phase count, which is
+// why each phase-count curve in Fig. 2 peaks at a different current.
+func (nw *Network) CurveFor(active int) (Curve, error) {
+	if active < 1 || active > nw.n {
+		return Curve{}, fmt.Errorf("vr: active count %d outside [1, %d]", active, nw.n)
+	}
+	m := nw.phase.Loss
+	return Curve{
+		Vout: nw.phase.Vout,
+		Loss: LossModel{
+			Fixed:     m.Fixed * float64(active),
+			Linear:    m.Linear,
+			Quadratic: m.Quadratic / float64(active),
+		},
+	}, nil
+}
+
+// Legal reports whether `active` regulators can supply iout at all, i.e.
+// whether the per-phase current stays within the design's current limit.
+// This is factor (I) of Section 4: the instantaneous Iout demand restricts
+// how aggressively gating may shut regulators down.
+func (nw *Network) Legal(iout float64, active int) bool {
+	if active < 1 || active > nw.n {
+		return false
+	}
+	return float64(active)*nw.design.IMax >= iout
+}
+
+// NOn returns the number of active regulators required to supply iout at
+// the peak conversion efficiency (Section 6.1): the integer count whose
+// equal current share lands closest to the per-phase peak, subject to the
+// per-phase current limit. The result is always in [1, N]; when even all N
+// regulators cannot legally carry iout, N is returned (the network is
+// overloaded and the caller may flag a demand violation via Legal).
+func (nw *Network) NOn(iout float64) int {
+	if iout <= 0 {
+		return 1
+	}
+	ideal := iout / nw.design.IPeak
+	lo := int(ideal)
+	best, bestLoss := 0, 0.0
+	for _, cand := range []int{lo, lo + 1} {
+		if cand < 1 {
+			cand = 1
+		}
+		if cand > nw.n {
+			cand = nw.n
+		}
+		if !nw.Legal(iout, cand) {
+			continue
+		}
+		loss := nw.PlossAt(iout, cand)
+		if best == 0 || loss < bestLoss {
+			best, bestLoss = cand, loss
+		}
+	}
+	if best == 0 {
+		// Overloaded: turn everything on. Minimum count that is legal would
+		// not exist, so N is the best the network can do.
+		for cand := lo; cand <= nw.n; cand++ {
+			if cand >= 1 && nw.Legal(iout, cand) {
+				return cand
+			}
+		}
+		return nw.n
+	}
+	return best
+}
+
+// EtaAt returns the conversion efficiency when `active` regulators share
+// iout equally. Illegal configurations yield zero.
+func (nw *Network) EtaAt(iout float64, active int) float64 {
+	c, err := nw.CurveFor(active)
+	if err != nil {
+		return 0
+	}
+	return c.Eta(iout)
+}
+
+// PlossAt returns the total conversion loss (W, dissipated as heat) when
+// `active` regulators share iout equally. Active regulators burn their
+// fixed loss even at zero load; gated regulators dissipate nothing.
+func (nw *Network) PlossAt(iout float64, active int) float64 {
+	c, err := nw.CurveFor(active)
+	if err != nil {
+		return 0
+	}
+	return c.Ploss(iout)
+}
+
+// PerVRLoss returns the heat dissipated by each *active* regulator when
+// `active` of them share iout equally.
+func (nw *Network) PerVRLoss(iout float64, active int) float64 {
+	if active < 1 {
+		return 0
+	}
+	share := iout / float64(active)
+	if share < 0 {
+		share = 0
+	}
+	return nw.phase.Loss.LossAt(share)
+}
+
+// EffectiveEta returns the efficiency the gated network sustains at iout —
+// the dotted "effective" trend line of Figs. 2 and 5, which stays close to
+// the per-phase peak over the whole current range.
+func (nw *Network) EffectiveEta(iout float64) float64 {
+	return nw.EtaAt(iout, nw.NOn(iout))
+}
+
+// MaxCurrent returns the largest load the fully active network can supply.
+func (nw *Network) MaxCurrent() float64 {
+	return float64(nw.n) * nw.design.IMax
+}

@@ -1,0 +1,286 @@
+package vr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func newTestNetwork(t *testing.T) *Network {
+	t.Helper()
+	nw, err := NewNetwork(FIVR(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestNewNetworkRejectsBadInputs(t *testing.T) {
+	if _, err := NewNetwork(FIVR(), 0); err == nil {
+		t.Error("accepted zero-size network")
+	}
+	d := FIVR()
+	d.IMax = 0.5 // below IPeak
+	if _, err := NewNetwork(d, 4); err == nil {
+		t.Error("accepted IMax < IPeak")
+	}
+	d = FIVR()
+	d.EtaPeak = 1.5
+	if _, err := NewNetwork(d, 4); err == nil {
+		t.Error("accepted invalid peak efficiency")
+	}
+}
+
+func TestNOnTracksDemand(t *testing.T) {
+	nw := newTestNetwork(t)
+	ipk := nw.Design().IPeak
+	// At exactly k·IPeak the optimum is k active regulators.
+	for k := 1; k <= 9; k++ {
+		if got := nw.NOn(float64(k) * ipk); got != k {
+			t.Errorf("NOn(%d×IPeak) = %d, want %d", k, got, k)
+		}
+	}
+	if got := nw.NOn(0); got != 1 {
+		t.Errorf("NOn(0) = %d, want 1 (load must stay supplied)", got)
+	}
+	if got := nw.NOn(-3); got != 1 {
+		t.Errorf("NOn(-3) = %d, want 1", got)
+	}
+	// Saturates at N under overload.
+	if got := nw.NOn(1000); got != 9 {
+		t.Errorf("NOn(overload) = %d, want 9", got)
+	}
+}
+
+func TestNOnIsLossOptimal(t *testing.T) {
+	nw := newTestNetwork(t)
+	// Exhaustively verify NOn returns the legal active count with the
+	// lowest conversion loss across the feasible current range.
+	for i := 0.05; i <= nw.MaxCurrent(); i += 0.05 {
+		got := nw.NOn(i)
+		best, bestLoss := -1, math.Inf(1)
+		for n := 1; n <= nw.Size(); n++ {
+			if !nw.Legal(i, n) {
+				continue
+			}
+			if l := nw.PlossAt(i, n); l < bestLoss {
+				best, bestLoss = n, l
+			}
+		}
+		if best != got {
+			t.Fatalf("NOn(%.2f) = %d, but exhaustive optimum is %d", i, got, best)
+		}
+	}
+}
+
+func TestLegal(t *testing.T) {
+	nw := newTestNetwork(t)
+	imax := nw.Design().IMax
+	if !nw.Legal(imax*3, 3) {
+		t.Error("3 VRs at exactly 3×IMax must be legal")
+	}
+	if nw.Legal(imax*3+0.01, 3) {
+		t.Error("exceeding the per-phase limit must be illegal")
+	}
+	if nw.Legal(1, 0) || nw.Legal(1, 10) {
+		t.Error("active counts outside [1,N] must be illegal")
+	}
+}
+
+func TestEffectiveEtaStaysNearPeak(t *testing.T) {
+	// Fig. 5: the effective (gated) curve stays close to ηpeak over a wide
+	// current window (the paper quotes sustained operation within 1% of the
+	// peak). Check from one phase-peak up to the network maximum.
+	nw := newTestNetwork(t)
+	etaPeak := nw.Design().EtaPeak
+	for i := nw.Design().IPeak; i <= float64(nw.Size())*nw.Design().IPeak; i += 0.1 {
+		eta := nw.EffectiveEta(i)
+		if eta < etaPeak-0.01 {
+			t.Errorf("effective eta at %.2fA = %.4f, more than 1%% below peak %.3f", i, eta, etaPeak)
+		}
+		if eta > etaPeak+1e-9 {
+			t.Errorf("effective eta at %.2fA = %.4f exceeds the peak", i, eta)
+		}
+	}
+}
+
+func TestCurveForPhaseScaling(t *testing.T) {
+	nw := newTestNetwork(t)
+	// Fig. 2 property: the n-phase curve peaks at n×(single-phase peak).
+	single := nw.PhaseCurve()
+	_, ip1 := single.PeakEta()
+	for n := 1; n <= 9; n++ {
+		c, err := nw.CurveFor(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		etaN, ipN := c.PeakEta()
+		if math.Abs(ipN-float64(n)*ip1) > 1e-9 {
+			t.Errorf("%d-phase peak at %vA, want %vA", n, ipN, float64(n)*ip1)
+		}
+		if math.Abs(etaN-nw.Design().EtaPeak) > 1e-9 {
+			t.Errorf("%d-phase peak eta = %v, want %v", n, etaN, nw.Design().EtaPeak)
+		}
+	}
+	if _, err := nw.CurveFor(0); err == nil {
+		t.Error("CurveFor(0) must fail")
+	}
+	if _, err := nw.CurveFor(10); err == nil {
+		t.Error("CurveFor(N+1) must fail")
+	}
+}
+
+func TestPerVRLossAndTotalAgree(t *testing.T) {
+	nw := newTestNetwork(t)
+	for _, iout := range []float64{0, 0.5, 1.5, 4.5, 9.0, 13.5} {
+		for n := 1; n <= 9; n++ {
+			total := nw.PlossAt(iout, n)
+			per := nw.PerVRLoss(iout, n)
+			if math.Abs(per*float64(n)-total) > 1e-9*math.Max(1, total) {
+				t.Errorf("iout=%v n=%d: per-VR loss ×n = %v, total = %v",
+					iout, n, per*float64(n), total)
+			}
+		}
+	}
+	if nw.PerVRLoss(1, 0) != 0 {
+		t.Error("PerVRLoss with zero active must be zero")
+	}
+}
+
+func TestGatingSavesPloss(t *testing.T) {
+	// Section 6.1: keeping all 9 regulators on at light load dissipates more
+	// than gating down to n_on.
+	nw := newTestNetwork(t)
+	light := 1.0 // amps, well below 9×IPeak
+	allOn := nw.PlossAt(light, 9)
+	gated := nw.PlossAt(light, nw.NOn(light))
+	if gated >= allOn {
+		t.Errorf("gated loss %v not below all-on loss %v at light load", gated, allOn)
+	}
+	// At full load gating converges to all-on.
+	full := 9 * nw.Design().IPeak
+	if nw.NOn(full) != 9 {
+		t.Errorf("NOn(full load) = %d, want 9", nw.NOn(full))
+	}
+}
+
+func TestEtaAtIllegalConfigs(t *testing.T) {
+	nw := newTestNetwork(t)
+	if nw.EtaAt(1, 0) != 0 || nw.EtaAt(1, 100) != 0 {
+		t.Error("illegal active counts must yield zero efficiency")
+	}
+	if nw.PlossAt(1, 0) != 0 {
+		t.Error("illegal active count must yield zero loss")
+	}
+}
+
+func TestMaxCurrent(t *testing.T) {
+	nw := newTestNetwork(t)
+	want := 9 * nw.Design().IMax
+	if got := nw.MaxCurrent(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MaxCurrent = %v, want %v", got, want)
+	}
+}
+
+// Property: for any demand within network capacity, NOn yields a legal
+// configuration whose efficiency is within the peak.
+func TestNOnProperties(t *testing.T) {
+	nw := newTestNetwork(t)
+	f := func(raw float64) bool {
+		i := math.Mod(math.Abs(raw), nw.MaxCurrent())
+		n := nw.NOn(i)
+		if n < 1 || n > nw.Size() {
+			return false
+		}
+		if i > 0 && !nw.Legal(i, n) {
+			return false
+		}
+		return nw.EtaAt(i, n) <= nw.Design().EtaPeak+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestISSCC2015SurveyCurves(t *testing.T) {
+	entries := ISSCC2015Survey()
+	if len(entries) != 8 {
+		t.Fatalf("survey has %d entries, want 8", len(entries))
+	}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if seen[e.Ref] {
+			t.Errorf("duplicate survey ref %s", e.Ref)
+		}
+		seen[e.Ref] = true
+		c, err := e.Design.Curve()
+		if err != nil {
+			t.Fatalf("%s: %v", e.Ref, err)
+		}
+		eta, ip := c.PeakEta()
+		if math.Abs(eta-e.Design.EtaPeak) > 1e-9 {
+			t.Errorf("%s: peak eta %v, want %v", e.Ref, eta, e.Design.EtaPeak)
+		}
+		if math.Abs(ip-e.Design.IPeak) > 1e-9 {
+			t.Errorf("%s: peak current %v, want %v", e.Ref, ip, e.Design.IPeak)
+		}
+		if e.IMinA <= 0 || e.IMaxA <= e.IMinA {
+			t.Errorf("%s: bad plot range [%v, %v]", e.Ref, e.IMinA, e.IMaxA)
+		}
+	}
+}
+
+func TestLDOEta(t *testing.T) {
+	// The LDO ceiling is Vout/Vin.
+	ceiling := 1.03 / 1.15
+	if eta := LDOEta(1.15, 1.03, 0.001, 10); math.Abs(eta-ceiling) > 0.001 {
+		t.Errorf("high-load LDO eta = %v, want ≈%v", eta, ceiling)
+	}
+	if eta := LDOEta(1.15, 1.03, 0.001, 0.0001); eta >= ceiling/2 {
+		t.Errorf("light-load LDO eta = %v, should degrade well below the ceiling", eta)
+	}
+	if LDOEta(1.0, 1.2, 0.001, 1) != 0 {
+		t.Error("Vout > Vin must be rejected")
+	}
+	if LDOEta(1.2, 1.0, 0.001, 0) != 0 {
+		t.Error("zero load must yield zero efficiency")
+	}
+}
+
+func TestDesignAccessors(t *testing.T) {
+	f := FIVR()
+	if f.EtaPeak != 0.90 || f.IPeak != 1.5 || f.PoutPerAreaWmm2 != 33.6 {
+		t.Errorf("FIVR design point wrong: %+v", f)
+	}
+	l := POWER8LDO()
+	if l.EtaPeak != 0.905 || l.PoutPerAreaWmm2 != 34.5 {
+		t.Errorf("POWER8 LDO design point wrong: %+v", l)
+	}
+	if l.ResponseTimeNS >= f.ResponseTimeNS {
+		t.Error("LDO must respond faster than the buck (Section 6.4)")
+	}
+	d, phases := IntelMultiPhase16()
+	if len(phases) != 5 || phases[len(phases)-1] != 16 {
+		t.Errorf("Intel multi-phase counts = %v", phases)
+	}
+	if d.EtaPeak != 0.90 {
+		t.Errorf("Intel multi-phase eta peak = %v", d.EtaPeak)
+	}
+	if Buck.String() != "buck" || SwitchedCapacitor.String() != "switched-capacitor" || LDO.String() != "ldo" {
+		t.Error("Topology strings wrong")
+	}
+}
+
+func TestMotivatingCaseStudy(t *testing.T) {
+	// Section 2's case study: Haswell Pout/area = 33.6 W/mm² at ηpeak = 90%
+	// implies Ploss/area ≈ 3.7 W/mm², above the 1.5 W/mm² air-cooling limit.
+	f := FIVR()
+	plossPerArea := PlossFromEta(f.PoutPerAreaWmm2, f.EtaPeak)
+	if math.Abs(plossPerArea-3.7333) > 0.01 {
+		t.Errorf("Ploss/area = %v W/mm², paper reports ≈3.7", plossPerArea)
+	}
+	const airCoolingLimit = 1.5 // W/mm²
+	if plossPerArea <= airCoolingLimit {
+		t.Error("case study must exceed the air cooling limit")
+	}
+}

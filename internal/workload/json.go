@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// profileJSON is the serialised form of a Profile. Field names are
+// snake_case for config-file friendliness.
+type profileJSON struct {
+	Name             string      `json:"name"`
+	DurationMS       int         `json:"duration_ms"`
+	IterationMS      float64     `json:"iteration_ms"`
+	Phases           []phaseJSON `json:"phases"`
+	BaseCompute      float64     `json:"base_compute"`
+	BaseMemory       float64     `json:"base_memory"`
+	L1Miss           float64     `json:"l1_miss"`
+	L2Miss           float64     `json:"l2_miss"`
+	L3Miss           float64     `json:"l3_miss"`
+	ThreadSkew       float64     `json:"thread_skew"`
+	NoiseSigma       float64     `json:"noise_sigma"`
+	NoisePhi         float64     `json:"noise_phi"`
+	BurstRatePerMS   float64     `json:"burst_rate_per_ms"`
+	BurstCycles      int         `json:"burst_cycles"`
+	BurstAmp         float64     `json:"burst_amp"`
+	BurstClusterFrac float64     `json:"burst_cluster_frac"`
+	BurstStormMS     float64     `json:"burst_storm_ms"`
+	BankSkew         float64     `json:"bank_skew"`
+}
+
+type phaseJSON struct {
+	Kind         string  `json:"kind"`
+	Frac         float64 `json:"frac"`
+	ComputeScale float64 `json:"compute_scale"`
+	MemScale     float64 `json:"mem_scale"`
+}
+
+var phaseKindNames = map[string]PhaseKind{
+	"compute": Compute,
+	"memory":  MemoryBound,
+	"barrier": Barrier,
+	"serial":  Serial,
+	"mixed":   Mixed,
+}
+
+// ReadProfile parses a benchmark profile from JSON and validates it,
+// letting users define custom workloads in configuration files and run
+// them through the same pipeline as the built-in SPLASH2x suite.
+func ReadProfile(r io.Reader) (Profile, error) {
+	var pj profileJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&pj); err != nil {
+		return Profile{}, fmt.Errorf("workload: parsing profile: %w", err)
+	}
+	p := Profile{
+		Name:             pj.Name,
+		DurationMS:       pj.DurationMS,
+		IterationMS:      pj.IterationMS,
+		BaseCompute:      pj.BaseCompute,
+		BaseMemory:       pj.BaseMemory,
+		L1Miss:           pj.L1Miss,
+		L2Miss:           pj.L2Miss,
+		L3Miss:           pj.L3Miss,
+		ThreadSkew:       pj.ThreadSkew,
+		NoiseSigma:       pj.NoiseSigma,
+		NoisePhi:         pj.NoisePhi,
+		BurstRatePerMS:   pj.BurstRatePerMS,
+		BurstCycles:      pj.BurstCycles,
+		BurstAmp:         pj.BurstAmp,
+		BurstClusterFrac: pj.BurstClusterFrac,
+		BurstStormMS:     pj.BurstStormMS,
+		BankSkew:         pj.BankSkew,
+	}
+	for i, ph := range pj.Phases {
+		kind, ok := phaseKindNames[ph.Kind]
+		if !ok {
+			return Profile{}, fmt.Errorf("workload: phase %d has unknown kind %q", i, ph.Kind)
+		}
+		p.Phases = append(p.Phases, Phase{
+			Kind:         kind,
+			Frac:         ph.Frac,
+			ComputeScale: ph.ComputeScale,
+			MemScale:     ph.MemScale,
+		})
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}
+
+// WriteProfile serialises a profile to indented JSON; the output round
+// trips through ReadProfile.
+func WriteProfile(w io.Writer, p Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	pj := profileJSON{
+		Name:             p.Name,
+		DurationMS:       p.DurationMS,
+		IterationMS:      p.IterationMS,
+		BaseCompute:      p.BaseCompute,
+		BaseMemory:       p.BaseMemory,
+		L1Miss:           p.L1Miss,
+		L2Miss:           p.L2Miss,
+		L3Miss:           p.L3Miss,
+		ThreadSkew:       p.ThreadSkew,
+		NoiseSigma:       p.NoiseSigma,
+		NoisePhi:         p.NoisePhi,
+		BurstRatePerMS:   p.BurstRatePerMS,
+		BurstCycles:      p.BurstCycles,
+		BurstAmp:         p.BurstAmp,
+		BurstClusterFrac: p.BurstClusterFrac,
+		BurstStormMS:     p.BurstStormMS,
+		BankSkew:         p.BankSkew,
+	}
+	for _, ph := range p.Phases {
+		name := ""
+		for n, k := range phaseKindNames {
+			if k == ph.Kind {
+				name = n
+				break
+			}
+		}
+		if name == "" {
+			return fmt.Errorf("workload: phase kind %v has no JSON name", ph.Kind)
+		}
+		pj.Phases = append(pj.Phases, phaseJSON{
+			Kind:         name,
+			Frac:         ph.Frac,
+			ComputeScale: ph.ComputeScale,
+			MemScale:     ph.MemScale,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(pj)
+}

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	for _, p := range Suite() {
+		var buf bytes.Buffer
+		if err := WriteProfile(&buf, p); err != nil {
+			t.Fatalf("%s: write: %v", p.Name, err)
+		}
+		back, err := ReadProfile(&buf)
+		if err != nil {
+			t.Fatalf("%s: read: %v", p.Name, err)
+		}
+		if !reflect.DeepEqual(p, back) {
+			t.Errorf("%s: round trip mismatch:\nwant %+v\ngot  %+v", p.Name, p, back)
+		}
+	}
+}
+
+func TestReadProfileValidates(t *testing.T) {
+	// Structurally valid JSON, semantically invalid profile.
+	const bad = `{"name":"x","duration_ms":0,"iteration_ms":1,
+		"phases":[{"kind":"compute","frac":1,"compute_scale":1,"mem_scale":1}],
+		"base_compute":0.5,"base_memory":0.5,"noise_phi":0.5}`
+	if _, err := ReadProfile(strings.NewReader(bad)); err == nil {
+		t.Error("zero-duration profile accepted")
+	}
+}
+
+func TestReadProfileRejectsUnknownFields(t *testing.T) {
+	const extra = `{"name":"x","duration_ms":10,"iteration_ms":1,"surprise":1,
+		"phases":[{"kind":"compute","frac":1,"compute_scale":1,"mem_scale":1}]}`
+	if _, err := ReadProfile(strings.NewReader(extra)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestReadProfileRejectsUnknownPhaseKind(t *testing.T) {
+	const bad = `{"name":"x","duration_ms":10,"iteration_ms":1,
+		"phases":[{"kind":"quantum","frac":1,"compute_scale":1,"mem_scale":1}],
+		"base_compute":0.5,"base_memory":0.5,"noise_phi":0.5}`
+	if _, err := ReadProfile(strings.NewReader(bad)); err == nil {
+		t.Error("unknown phase kind accepted")
+	}
+}
+
+func TestReadProfileRejectsBrokenJSON(t *testing.T) {
+	if _, err := ReadProfile(strings.NewReader("{nope")); err == nil {
+		t.Error("broken JSON accepted")
+	}
+}
+
+func TestWriteProfileValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, Profile{Name: "broken"}); err == nil {
+		t.Error("invalid profile serialised")
+	}
+}
+
+func TestPhaseKindNamesComplete(t *testing.T) {
+	// Every defined phase kind must have a JSON name so WriteProfile
+	// never fails on a valid profile.
+	kinds := []PhaseKind{Compute, MemoryBound, Barrier, Serial, Mixed}
+	for _, k := range kinds {
+		found := false
+		for _, v := range phaseKindNames {
+			if v == k {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("phase kind %v has no JSON name", k)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// PhaseKind classifies one section of a benchmark's execution.
+type PhaseKind int
+
+const (
+	// Compute marks arithmetic-dominated sections (EXU-heavy).
+	Compute PhaseKind = iota
+	// MemoryBound marks cache/memory traffic dominated sections (LSU-heavy).
+	MemoryBound
+	// Barrier marks synchronisation waits with low activity on all threads.
+	Barrier
+	// Serial marks sections where only thread 0 makes progress.
+	Serial
+	// Mixed marks balanced compute + memory sections.
+	Mixed
+)
+
+// String implements fmt.Stringer.
+func (k PhaseKind) String() string {
+	switch k {
+	case Compute:
+		return "compute"
+	case MemoryBound:
+		return "memory"
+	case Barrier:
+		return "barrier"
+	case Serial:
+		return "serial"
+	case Mixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("PhaseKind(%d)", int(k))
+	}
+}
+
+// Phase is one section of a benchmark's repeating superstep.
+type Phase struct {
+	// Kind determines the activity blend.
+	Kind PhaseKind
+	// Frac is this phase's share of the superstep duration; fractions of
+	// a profile's phases must sum to 1.
+	Frac float64
+	// ComputeScale and MemScale multiply the profile's base intensities
+	// within this phase.
+	ComputeScale, MemScale float64
+}
+
+// Profile is the calibrated activity model for one SPLASH2x benchmark.
+type Profile struct {
+	// Name is the benchmark's short name as used in the paper's figures
+	// (e.g. "lu_ncb").
+	Name string
+	// DurationMS is the modelled region-of-interest length in milliseconds.
+	DurationMS int
+	// IterationMS is the superstep period over which Phases repeat.
+	IterationMS float64
+	// Phases is the superstep structure; Frac values sum to 1.
+	Phases []Phase
+	// BaseCompute and BaseMemory are the nominal per-thread compute and
+	// memory activity intensities in [0, 1], calibrated so that the
+	// benchmark's average power matches its SPLASH2x character (cholesky
+	// hot, raytrace cold, Section 6.1 / Fig. 7).
+	BaseCompute, BaseMemory float64
+	// L1Miss, L2Miss and L3Miss are per-level miss ratios derived from the
+	// benchmark working set, feeding the cache/NOC/MC activity chain.
+	L1Miss, L2Miss, L3Miss float64
+	// ThreadSkew linearly biases intensity across the 8 threads
+	// (0 = perfectly balanced, 0.5 = last thread 50% below the first).
+	ThreadSkew float64
+	// NoiseSigma and NoisePhi parameterise the AR(1) activity noise.
+	NoiseSigma, NoisePhi float64
+	// BurstRatePerMS is the expected number of di/dt burst events per core
+	// per millisecond; bursts are what cause voltage emergencies (Table 2).
+	BurstRatePerMS float64
+	// BurstCycles is the burst duration in core clock cycles.
+	BurstCycles int
+	// BurstAmp is the fractional current surge of a burst (0.8 = +80%).
+	BurstAmp float64
+	// BurstClusterFrac clusters bursts into storms: the fraction of time
+	// each core spends in a burst storm. Within a storm the burst rate is
+	// BurstRatePerMS/BurstClusterFrac so the long-run average rate is
+	// preserved, but emergencies concentrate into few decision intervals —
+	// which is what lets OracVT/PracVT suppress them with rare all-on
+	// overrides (Section 6.2.4: "emergency events are rare"). Zero means
+	// uniform (no clustering).
+	BurstClusterFrac float64
+	// BurstStormMS is the mean storm duration; zero selects the default.
+	BurstStormMS float64
+	// BankSkew biases L3 traffic toward low-numbered banks (0 = uniform).
+	BankSkew float64
+}
+
+// Validate checks that the profile is internally consistent.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return errors.New("workload: profile needs a name")
+	}
+	if p.DurationMS <= 0 {
+		return fmt.Errorf("workload: %s: non-positive duration", p.Name)
+	}
+	if p.IterationMS <= 0 {
+		return fmt.Errorf("workload: %s: non-positive iteration period", p.Name)
+	}
+	if len(p.Phases) == 0 {
+		return fmt.Errorf("workload: %s: no phases", p.Name)
+	}
+	var sum float64
+	for i, ph := range p.Phases {
+		if ph.Frac <= 0 {
+			return fmt.Errorf("workload: %s: phase %d has non-positive fraction", p.Name, i)
+		}
+		if ph.ComputeScale < 0 || ph.MemScale < 0 {
+			return fmt.Errorf("workload: %s: phase %d has negative scale", p.Name, i)
+		}
+		sum += ph.Frac
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("workload: %s: phase fractions sum to %v, want 1", p.Name, sum)
+	}
+	for _, v := range []struct {
+		name string
+		x    float64
+	}{
+		{"BaseCompute", p.BaseCompute}, {"BaseMemory", p.BaseMemory},
+		{"L1Miss", p.L1Miss}, {"L2Miss", p.L2Miss}, {"L3Miss", p.L3Miss},
+	} {
+		if v.x < 0 || v.x > 1 {
+			return fmt.Errorf("workload: %s: %s = %v outside [0,1]", p.Name, v.name, v.x)
+		}
+	}
+	if p.ThreadSkew < 0 || p.ThreadSkew >= 1 {
+		return fmt.Errorf("workload: %s: ThreadSkew %v outside [0,1)", p.Name, p.ThreadSkew)
+	}
+	if p.NoisePhi < 0 || p.NoisePhi >= 1 {
+		return fmt.Errorf("workload: %s: NoisePhi %v outside [0,1)", p.Name, p.NoisePhi)
+	}
+	if p.BurstRatePerMS < 0 || p.BurstAmp < 0 || p.BurstCycles < 0 {
+		return fmt.Errorf("workload: %s: negative burst parameters", p.Name)
+	}
+	if p.BurstClusterFrac < 0 || p.BurstClusterFrac > 1 {
+		return fmt.Errorf("workload: %s: BurstClusterFrac %v outside [0,1]", p.Name, p.BurstClusterFrac)
+	}
+	if p.BurstStormMS < 0 {
+		return fmt.Errorf("workload: %s: negative BurstStormMS", p.Name)
+	}
+	return nil
+}
+
+// PhaseAt returns the phase active at time tMS (milliseconds from ROI
+// start), cycling through the superstep.
+func (p Profile) PhaseAt(tMS float64) Phase {
+	frac := math.Mod(tMS, p.IterationMS) / p.IterationMS
+	var acc float64
+	for _, ph := range p.Phases {
+		acc += ph.Frac
+		if frac < acc {
+			return ph
+		}
+	}
+	return p.Phases[len(p.Phases)-1]
+}
+
+// MeanIntensity returns the superstep-averaged (compute, memory) intensity,
+// used by the power calibration tests.
+func (p Profile) MeanIntensity() (compute, memory float64) {
+	for _, ph := range p.Phases {
+		compute += ph.Frac * ph.ComputeScale * p.BaseCompute
+		memory += ph.Frac * ph.MemScale * p.BaseMemory
+	}
+	return compute, memory
+}

@@ -1,0 +1,61 @@
+// Package workload defines the synthetic SPLASH2x benchmark suite driving
+// the evaluation. The paper runs the region-of-interest of all SPLASH2x
+// applications through the SNIPER microarchitectural simulator; ThermoGater
+// itself consumes only per-unit activity, so each benchmark is modelled as a
+// calibrated activity profile: a phase machine (compute / memory / barrier /
+// serial sections), cache locality ratios, thread imbalance, stochastic
+// activity noise, and di/dt burst behaviour. Profiles are deterministic for
+// a given seed, making every experiment reproducible.
+package workload
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (SplitMix64). The simulator cannot depend on math/rand's global state:
+// every core and every subsystem owns an independent stream so that adding
+// a consumer never perturbs another's sequence.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded deterministically.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next raw 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Norm returns an approximately standard normal variate via the sum of
+// twelve uniforms (Irwin-Hall), which is cheap, branch-free, and more than
+// accurate enough for activity noise.
+func (r *RNG) Norm() float64 {
+	var s float64
+	for i := 0; i < 12; i++ {
+		s += r.Float64()
+	}
+	return s - 6
+}
+
+// Intn returns a uniform value in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Fork derives an independent stream; streams forked with distinct tags
+// from the same parent are decorrelated.
+func (r *RNG) Fork(tag uint64) *RNG {
+	return NewRNG(r.Uint64() ^ (tag * 0xd1342543de82ef95))
+}

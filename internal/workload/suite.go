@@ -1,0 +1,239 @@
+package workload
+
+import "fmt"
+
+// Standard phase mixes reused across profiles. Each slice's fractions sum
+// to 1; the compute/memory scales multiply the profile's base intensities.
+func computeHeavyPhases() []Phase {
+	return []Phase{
+		{Kind: Compute, Frac: 0.55, ComputeScale: 1.35, MemScale: 0.60},
+		{Kind: Mixed, Frac: 0.25, ComputeScale: 1.00, MemScale: 1.20},
+		{Kind: MemoryBound, Frac: 0.12, ComputeScale: 0.45, MemScale: 1.90},
+		{Kind: Barrier, Frac: 0.08, ComputeScale: 0.10, MemScale: 0.15},
+	}
+}
+
+func memoryHeavyPhases() []Phase {
+	return []Phase{
+		{Kind: MemoryBound, Frac: 0.50, ComputeScale: 0.50, MemScale: 1.50},
+		{Kind: Mixed, Frac: 0.30, ComputeScale: 1.10, MemScale: 1.00},
+		{Kind: Compute, Frac: 0.12, ComputeScale: 1.50, MemScale: 0.40},
+		{Kind: Barrier, Frac: 0.08, ComputeScale: 0.10, MemScale: 0.10},
+	}
+}
+
+func alternatingPhases() []Phase {
+	return []Phase{
+		{Kind: Compute, Frac: 0.40, ComputeScale: 1.50, MemScale: 0.50},
+		{Kind: MemoryBound, Frac: 0.40, ComputeScale: 0.50, MemScale: 1.60},
+		{Kind: Barrier, Frac: 0.20, ComputeScale: 0.10, MemScale: 0.10},
+	}
+}
+
+func oscillatingPhases() []Phase {
+	return []Phase{
+		{Kind: Compute, Frac: 0.35, ComputeScale: 1.60, MemScale: 0.70},
+		{Kind: MemoryBound, Frac: 0.35, ComputeScale: 0.50, MemScale: 1.50},
+		{Kind: Mixed, Frac: 0.20, ComputeScale: 1.00, MemScale: 1.00},
+		{Kind: Barrier, Frac: 0.10, ComputeScale: 0.05, MemScale: 0.05},
+	}
+}
+
+func irregularPhases() []Phase {
+	return []Phase{
+		{Kind: Mixed, Frac: 0.45, ComputeScale: 1.15, MemScale: 1.05},
+		{Kind: Compute, Frac: 0.25, ComputeScale: 1.30, MemScale: 0.70},
+		{Kind: Serial, Frac: 0.15, ComputeScale: 0.90, MemScale: 0.80},
+		{Kind: Barrier, Frac: 0.15, ComputeScale: 0.10, MemScale: 0.10},
+	}
+}
+
+// Suite returns the 14 SPLASH2x benchmark profiles of the paper's
+// evaluation (Section 5), in the order the figures list them. Base
+// intensities are calibrated so that the resulting chip power reproduces
+// each benchmark's character: cholesky sustains the highest power (the
+// paper's smallest gating saving, 10.4%), raytrace the lowest (the largest,
+// 49.8%), with the suite averaging ≈26.5% (Fig. 7). Burst parameters are
+// calibrated against Table 2's voltage emergency rates: barnes, fft and
+// ocean_cp experience the most di/dt events, lu_cb/lu_ncb/water_nsquared
+// essentially none.
+func Suite() []Profile {
+	return []Profile{
+		{
+			Name: "barnes", DurationMS: 3000, IterationMS: 2.0,
+			Phases:      irregularPhases(),
+			BaseCompute: 0.65, BaseMemory: 0.42,
+			L1Miss: 0.08, L2Miss: 0.35, L3Miss: 0.25,
+			ThreadSkew: 0.15, NoiseSigma: 0.12, NoisePhi: 0.85,
+			BurstRatePerMS: 11.0, BurstCycles: 700, BurstAmp: 1.2,
+			BurstClusterFrac: 0.15, BurstStormMS: 2.0,
+			BankSkew: 0.20,
+		},
+		{
+			Name: "cholesky", DurationMS: 3000, IterationMS: 1.5,
+			Phases:      computeHeavyPhases(),
+			BaseCompute: 0.84, BaseMemory: 0.48,
+			L1Miss: 0.06, L2Miss: 0.30, L3Miss: 0.20,
+			ThreadSkew: 0.10, NoiseSigma: 0.05, NoisePhi: 0.90,
+			BurstRatePerMS: 0.014, BurstCycles: 500, BurstAmp: 1.3,
+			BankSkew: 0.10,
+		},
+		{
+			Name: "fft", DurationMS: 3000, IterationMS: 0.8,
+			Phases:      alternatingPhases(),
+			BaseCompute: 0.63, BaseMemory: 0.55,
+			L1Miss: 0.12, L2Miss: 0.45, L3Miss: 0.35,
+			ThreadSkew: 0.05, NoiseSigma: 0.08, NoisePhi: 0.80,
+			BurstRatePerMS: 5.3, BurstCycles: 700, BurstAmp: 1.35,
+			BurstClusterFrac: 0.15, BurstStormMS: 1.5,
+			BankSkew: 0.05,
+		},
+		{
+			Name: "fmm", DurationMS: 3000, IterationMS: 2.5,
+			Phases:      computeHeavyPhases(),
+			BaseCompute: 0.58, BaseMemory: 0.38,
+			L1Miss: 0.07, L2Miss: 0.32, L3Miss: 0.22,
+			ThreadSkew: 0.12, NoiseSigma: 0.07, NoisePhi: 0.85,
+			BurstRatePerMS: 0.72, BurstCycles: 600, BurstAmp: 1.0,
+			BurstClusterFrac: 0.3, BurstStormMS: 2.0,
+			BankSkew: 0.15,
+		},
+		{
+			Name: "lu_cb", DurationMS: 3000, IterationMS: 1.2,
+			Phases:      computeHeavyPhases(),
+			BaseCompute: 0.70, BaseMemory: 0.38,
+			L1Miss: 0.05, L2Miss: 0.25, L3Miss: 0.18,
+			ThreadSkew: 0.08, NoiseSigma: 0.05, NoisePhi: 0.90,
+			BurstRatePerMS: 0.004, BurstCycles: 500, BurstAmp: 0.3,
+			BankSkew: 0.10,
+		},
+		{
+			Name: "lu_ncb", DurationMS: 3000, IterationMS: 0.6,
+			Phases:      oscillatingPhases(),
+			BaseCompute: 0.62, BaseMemory: 0.48,
+			L1Miss: 0.09, L2Miss: 0.40, L3Miss: 0.30,
+			ThreadSkew: 0.08, NoiseSigma: 0.08, NoisePhi: 0.80,
+			BurstRatePerMS: 0.004, BurstCycles: 500, BurstAmp: 0.3,
+			BankSkew: 0.10,
+		},
+		{
+			Name: "ocean_cp", DurationMS: 3000, IterationMS: 1.0,
+			Phases:      memoryHeavyPhases(),
+			BaseCompute: 0.45, BaseMemory: 0.48,
+			L1Miss: 0.15, L2Miss: 0.50, L3Miss: 0.40,
+			ThreadSkew: 0.05, NoiseSigma: 0.08, NoisePhi: 0.82,
+			BurstRatePerMS: 13.0, BurstCycles: 700, BurstAmp: 1.25,
+			BurstClusterFrac: 0.15, BurstStormMS: 1.5,
+			BankSkew: 0.05,
+		},
+		{
+			Name: "ocean_ncp", DurationMS: 3000, IterationMS: 1.0,
+			Phases:      memoryHeavyPhases(),
+			BaseCompute: 0.40, BaseMemory: 0.52,
+			L1Miss: 0.18, L2Miss: 0.55, L3Miss: 0.45,
+			ThreadSkew: 0.05, NoiseSigma: 0.07, NoisePhi: 0.82,
+			BurstRatePerMS: 0.15, BurstCycles: 550, BurstAmp: 0.9,
+			BankSkew: 0.05,
+		},
+		{
+			Name: "radiosity", DurationMS: 3000, IterationMS: 2.2,
+			Phases:      irregularPhases(),
+			BaseCompute: 0.50, BaseMemory: 0.36,
+			L1Miss: 0.08, L2Miss: 0.35, L3Miss: 0.25,
+			ThreadSkew: 0.20, NoiseSigma: 0.09, NoisePhi: 0.85,
+			BurstRatePerMS: 0.42, BurstCycles: 550, BurstAmp: 1.0,
+			BankSkew: 0.25,
+		},
+		{
+			Name: "radix", DurationMS: 3000, IterationMS: 0.9,
+			Phases:      memoryHeavyPhases(),
+			BaseCompute: 0.36, BaseMemory: 0.46,
+			L1Miss: 0.20, L2Miss: 0.60, L3Miss: 0.50,
+			ThreadSkew: 0.03, NoiseSigma: 0.06, NoisePhi: 0.80,
+			BurstRatePerMS: 3.2, BurstCycles: 550, BurstAmp: 1.1,
+			BurstClusterFrac: 0.2, BurstStormMS: 1.5,
+			BankSkew: 0.05,
+		},
+		{
+			Name: "raytrace", DurationMS: 3000, IterationMS: 2.8,
+			Phases:      irregularPhases(),
+			BaseCompute: 0.30, BaseMemory: 0.20,
+			L1Miss: 0.10, L2Miss: 0.40, L3Miss: 0.30,
+			ThreadSkew: 0.30, NoiseSigma: 0.10, NoisePhi: 0.85,
+			BurstRatePerMS: 1.1, BurstCycles: 550, BurstAmp: 1.3,
+			BurstClusterFrac: 0.25, BurstStormMS: 2.0,
+			BankSkew: 0.30,
+		},
+		{
+			Name: "volrend", DurationMS: 3000, IterationMS: 2.0,
+			Phases:      irregularPhases(),
+			BaseCompute: 0.36, BaseMemory: 0.26,
+			L1Miss: 0.09, L2Miss: 0.38, L3Miss: 0.28,
+			ThreadSkew: 0.22, NoiseSigma: 0.07, NoisePhi: 0.85,
+			BurstRatePerMS: 0.3, BurstCycles: 550, BurstAmp: 1.0,
+			BankSkew: 0.20,
+		},
+		{
+			Name: "water_nsquared", DurationMS: 3000, IterationMS: 1.8,
+			Phases:      computeHeavyPhases(),
+			BaseCompute: 0.64, BaseMemory: 0.32,
+			L1Miss: 0.05, L2Miss: 0.28, L3Miss: 0.18,
+			ThreadSkew: 0.06, NoiseSigma: 0.05, NoisePhi: 0.88,
+			BurstRatePerMS: 0.004, BurstCycles: 500, BurstAmp: 0.3,
+			BankSkew: 0.08,
+		},
+		{
+			Name: "water_spatial", DurationMS: 3000, IterationMS: 1.8,
+			Phases:      computeHeavyPhases(),
+			BaseCompute: 0.58, BaseMemory: 0.32,
+			L1Miss: 0.06, L2Miss: 0.30, L3Miss: 0.20,
+			ThreadSkew: 0.08, NoiseSigma: 0.09, NoisePhi: 0.88,
+			BurstRatePerMS: 2.1, BurstCycles: 550, BurstAmp: 1.1,
+			BurstClusterFrac: 0.2, BurstStormMS: 2.0,
+			BankSkew: 0.10,
+		},
+	}
+}
+
+// ByName returns the named benchmark profile. Short figure labels from the
+// paper ("chol", "oc_cp", "rayt", "water_n", …) are accepted as aliases.
+func ByName(name string) (Profile, error) {
+	aliases := map[string]string{
+		"chol":    "cholesky",
+		"oc_cp":   "ocean_cp",
+		"oc_ncp":  "ocean_ncp",
+		"radio":   "radiosity",
+		"rayt":    "raytrace",
+		"volr":    "volrend",
+		"water_n": "water_nsquared",
+		"water_s": "water_spatial",
+	}
+	if full, ok := aliases[name]; ok {
+		name = full
+	}
+	for _, p := range Suite() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// ShortName returns the abbreviated label the paper's figures use for the
+// given benchmark name.
+func ShortName(name string) string {
+	short := map[string]string{
+		"cholesky":       "chol",
+		"ocean_cp":       "oc_cp",
+		"ocean_ncp":      "oc_ncp",
+		"radiosity":      "radio",
+		"raytrace":       "rayt",
+		"volrend":        "volr",
+		"water_nsquared": "water_n",
+		"water_spatial":  "water_s",
+	}
+	if s, ok := short[name]; ok {
+		return s
+	}
+	return name
+}

@@ -1,0 +1,283 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSuiteHas14ValidBenchmarks(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 14 {
+		t.Fatalf("suite has %d benchmarks, want 14", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, p := range suite {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate benchmark %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+func TestSuitePowerOrdering(t *testing.T) {
+	// Fig. 7's extremes: cholesky must be the most intense benchmark,
+	// raytrace the least intense.
+	intensity := func(p Profile) float64 {
+		c, m := p.MeanIntensity()
+		return 6.3*c + 4.6*m // rough per-core dynamic power weighting
+	}
+	suite := Suite()
+	var chol, rayt Profile
+	for _, p := range suite {
+		switch p.Name {
+		case "cholesky":
+			chol = p
+		case "raytrace":
+			rayt = p
+		}
+	}
+	ic, ir := intensity(chol), intensity(rayt)
+	for _, p := range suite {
+		i := intensity(p)
+		if i > ic+1e-9 {
+			t.Errorf("%s intensity %v exceeds cholesky's %v", p.Name, i, ic)
+		}
+		if i < ir-1e-9 {
+			t.Errorf("%s intensity %v below raytrace's %v", p.Name, i, ir)
+		}
+	}
+}
+
+func TestTable2BurstCalibrationOrdering(t *testing.T) {
+	// Table 2: barnes, fft and ocean_cp show by far the highest emergency
+	// rates; lu_cb, lu_ncb and water_nsquared show none. The burst energy
+	// (rate × amplitude) must reflect that ordering.
+	burst := func(name string) float64 {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.BurstRatePerMS * p.BurstAmp
+	}
+	hot := []string{"barnes", "fft", "ocean_cp"}
+	cold := []string{"lu_cb", "lu_ncb", "water_nsquared", "ocean_ncp", "volrend"}
+	for _, h := range hot {
+		for _, c := range cold {
+			if burst(h) <= burst(c) {
+				t.Errorf("burst(%s)=%v not above burst(%s)=%v", h, burst(h), c, burst(c))
+			}
+		}
+	}
+}
+
+func TestByNameAndAliases(t *testing.T) {
+	for _, alias := range []string{"chol", "oc_cp", "oc_ncp", "radio", "rayt", "volr", "water_n", "water_s"} {
+		p, err := ByName(alias)
+		if err != nil {
+			t.Errorf("alias %q: %v", alias, err)
+			continue
+		}
+		if ShortName(p.Name) != alias {
+			t.Errorf("round trip %q -> %q -> %q", alias, p.Name, ShortName(p.Name))
+		}
+	}
+	if _, err := ByName("doom"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if ShortName("fft") != "fft" {
+		t.Error("ShortName must pass through already-short names")
+	}
+}
+
+func TestPhaseAtCycles(t *testing.T) {
+	p := Profile{
+		Name: "x", DurationMS: 10, IterationMS: 1.0,
+		Phases: []Phase{
+			{Kind: Compute, Frac: 0.5, ComputeScale: 1, MemScale: 1},
+			{Kind: Barrier, Frac: 0.5, ComputeScale: 0, MemScale: 0},
+		},
+		BaseCompute: 0.5, BaseMemory: 0.5,
+	}
+	if ph := p.PhaseAt(0.25); ph.Kind != Compute {
+		t.Errorf("PhaseAt(0.25) = %v, want compute", ph.Kind)
+	}
+	if ph := p.PhaseAt(0.75); ph.Kind != Barrier {
+		t.Errorf("PhaseAt(0.75) = %v, want barrier", ph.Kind)
+	}
+	// The superstep repeats.
+	if ph := p.PhaseAt(5.25); ph.Kind != Compute {
+		t.Errorf("PhaseAt(5.25) = %v, want compute", ph.Kind)
+	}
+	// Exactly at the boundary falls into the later phase.
+	if ph := p.PhaseAt(0.5); ph.Kind != Barrier {
+		t.Errorf("PhaseAt(0.5) = %v, want barrier", ph.Kind)
+	}
+}
+
+func TestValidateCatchesBadProfiles(t *testing.T) {
+	good, _ := ByName("fft")
+	mutations := []struct {
+		name   string
+		mutate func(*Profile)
+	}{
+		{"empty name", func(p *Profile) { p.Name = "" }},
+		{"zero duration", func(p *Profile) { p.DurationMS = 0 }},
+		{"zero iteration", func(p *Profile) { p.IterationMS = 0 }},
+		{"no phases", func(p *Profile) { p.Phases = nil }},
+		{"fractions not summing", func(p *Profile) { p.Phases[0].Frac += 0.5 }},
+		{"negative scale", func(p *Profile) { p.Phases[0].ComputeScale = -1 }},
+		{"zero fraction", func(p *Profile) { p.Phases[0].Frac = 0 }},
+		{"compute out of range", func(p *Profile) { p.BaseCompute = 1.5 }},
+		{"miss out of range", func(p *Profile) { p.L1Miss = -0.1 }},
+		{"thread skew out of range", func(p *Profile) { p.ThreadSkew = 1.0 }},
+		{"noise phi out of range", func(p *Profile) { p.NoisePhi = 1.0 }},
+		{"negative bursts", func(p *Profile) { p.BurstRatePerMS = -1 }},
+	}
+	for _, m := range mutations {
+		p := good
+		p.Phases = append([]Phase(nil), good.Phases...)
+		m.mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted corrupt profile", m.name)
+		}
+	}
+}
+
+func TestMeanIntensityMatchesHandComputation(t *testing.T) {
+	p := Profile{
+		Name: "x", DurationMS: 1, IterationMS: 1,
+		Phases: []Phase{
+			{Kind: Compute, Frac: 0.5, ComputeScale: 2, MemScale: 0},
+			{Kind: MemoryBound, Frac: 0.5, ComputeScale: 0, MemScale: 2},
+		},
+		BaseCompute: 0.4, BaseMemory: 0.3,
+	}
+	c, m := p.MeanIntensity()
+	if math.Abs(c-0.4) > 1e-12 || math.Abs(m-0.3) > 1e-12 {
+		t.Errorf("MeanIntensity = (%v, %v), want (0.4, 0.3)", c, m)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds collided %d times in 1000 draws", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	var sum float64
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v outside [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / 10000; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("Float64 mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(11)
+	var sum, sumSq float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.03 {
+		t.Errorf("Norm mean = %v, want ≈0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("Norm variance = %v, want ≈1", variance)
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(3)
+	counts := make([]int, 5)
+	for i := 0; i < 5000; i++ {
+		v := r.Intn(5)
+		if v < 0 || v >= 5 {
+			t.Fatalf("Intn(5) = %d", v)
+		}
+		counts[v]++
+	}
+	for i, n := range counts {
+		if n < 800 || n > 1200 {
+			t.Errorf("Intn bucket %d has %d draws, expected ≈1000", i, n)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	parent := NewRNG(99)
+	a := parent.Fork(1)
+	parent2 := NewRNG(99)
+	_ = parent2.Fork(1)
+	b := parent2.Fork(2)
+	matches := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			matches++
+		}
+	}
+	if matches > 0 {
+		t.Errorf("forked streams with different tags collided %d times", matches)
+	}
+}
+
+// Property: every suite profile's PhaseAt stays within its declared phases
+// for arbitrary times.
+func TestPhaseAtProperty(t *testing.T) {
+	suite := Suite()
+	f := func(raw float64) bool {
+		tms := math.Mod(math.Abs(raw), 1e5)
+		for _, p := range suite {
+			ph := p.PhaseAt(tms)
+			found := false
+			for _, q := range p.Phases {
+				if q == ph {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,332 @@
+// Package thermogater is a full reimplementation of the system evaluated in
+// "ThermoGater: Thermally-Aware On-Chip Voltage Regulation" (ISCA 2017):
+// an architectural governor that gates the many small voltage regulators
+// distributed across a chip so that power conversion stays at its peak
+// efficiency while regulator-induced thermal emergencies and voltage noise
+// remain under control.
+//
+// The package is a facade over the full simulation stack — an 8-core
+// POWER8-like floorplan with 96 regulators in 16 Vdd-domains, a synthetic
+// SPLASH2x workload suite, a McPAT-style power model, a HotSpot-style RC
+// thermal network, a VoltSpot-style power delivery network and the
+// ThermoGater governor itself. A single call runs a benchmark under a
+// gating policy and reports the paper's metrics:
+//
+//	res, err := thermogater.Run("pracVT", "lu_ncb")
+//	fmt.Println(res.MaxTempC, res.MaxNoisePct, res.AvgEta)
+//
+// See the examples directory for richer scenarios, and internal/experiments
+// for the code that regenerates every table and figure of the paper.
+package thermogater
+
+import (
+	"fmt"
+
+	"thermogater/internal/core"
+	"thermogater/internal/dvfs"
+	"thermogater/internal/floorplan"
+	"thermogater/internal/pdn"
+	"thermogater/internal/sim"
+	"thermogater/internal/vr"
+	"thermogater/internal/workload"
+)
+
+// Result aggregates one simulation run; see the field documentation on the
+// underlying type for the paper figure each metric corresponds to.
+type Result = sim.Result
+
+// EpochStats is one per-epoch trace entry (enable with WithEpochTrace).
+type EpochStats = sim.EpochStats
+
+// VRSample is one tracked-regulator trace entry (enable with
+// WithTrackedRegulator).
+type VRSample = sim.VRSample
+
+// Chip-scale constants of the modelled processor.
+const (
+	// NumCores is the core count (Table 1 of the paper).
+	NumCores = floorplan.NumCores
+	// NumDomains is the number of independently gated Vdd-domains.
+	NumDomains = floorplan.NumCores + floorplan.NumL3Banks
+	// NumRegulators is the chip-wide component regulator count.
+	NumRegulators = floorplan.TotalVRs
+	// NominalVdd is the supply voltage in volts.
+	NominalVdd = vr.NominalVdd
+	// PeakEfficiency is the per-regulator peak conversion efficiency the
+	// governor sustains.
+	PeakEfficiency = 0.90
+)
+
+// Policies returns the names of all built-in gating policies, in the order
+// the paper's figures use.
+func Policies() []string {
+	var names []string
+	for _, p := range core.AllPolicies() {
+		names = append(names, p.String())
+	}
+	return names
+}
+
+// Benchmarks returns the names of the 14 synthetic SPLASH2x benchmarks.
+func Benchmarks() []string {
+	var names []string
+	for _, p := range workload.Suite() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// PolicyInputs is the decision-time information a custom policy may
+// consult. All slices are read-only views.
+type PolicyInputs struct {
+	// Epoch is the decision index (one per millisecond).
+	Epoch int
+	// SensorVRTempsC holds the (100µs-stale) per-regulator temperatures.
+	SensorVRTempsC []float64
+	// PrevDomainCurrentA holds the previous interval's per-domain load.
+	PrevDomainCurrentA []float64
+}
+
+// RankFunc orders one domain's regulators, most-preferred-on first. It
+// receives the domain index, the decision inputs, the anticipated domain
+// current and the number of regulators that will be activated; it must
+// return a permutation of {0..n-1} over the domain's regulators.
+type RankFunc func(domain int, in PolicyInputs, demandA float64, count int) []int
+
+// Option customises a simulation run.
+type Option func(*sim.Config) error
+
+// WithDuration truncates the run to the given number of milliseconds
+// (each benchmark's full region of interest is 3000ms).
+func WithDuration(ms int) Option {
+	return func(c *sim.Config) error {
+		if ms <= 0 {
+			return fmt.Errorf("thermogater: duration %dms must be positive", ms)
+		}
+		c.DurationMS = ms
+		return nil
+	}
+}
+
+// WithSeed fixes the run's random seed; runs are fully deterministic for a
+// given seed.
+func WithSeed(seed uint64) Option {
+	return func(c *sim.Config) error {
+		c.Seed = seed
+		return nil
+	}
+}
+
+// WithEpochTrace records the per-epoch trace (power demand, active
+// regulator count, thermal and noise maxima) in Result.Trace.
+func WithEpochTrace() Option {
+	return func(c *sim.Config) error {
+		c.TraceEpochs = true
+		return nil
+	}
+}
+
+// WithHeatMap captures a res×res temperature frame at the hottest moment
+// of the run in Result.HeatMap.
+func WithHeatMap(res int) Option {
+	return func(c *sim.Config) error {
+		if res < 1 {
+			return fmt.Errorf("thermogater: heat map resolution %d must be positive", res)
+		}
+		c.HeatMapRes = res
+		return nil
+	}
+}
+
+// WithTrackedRegulator records the temperature and on/off state of one
+// regulator (0..NumRegulators-1) in Result.VRTrace.
+func WithTrackedRegulator(id int) Option {
+	return func(c *sim.Config) error {
+		if id < 0 || id >= NumRegulators {
+			return fmt.Errorf("thermogater: regulator %d outside [0, %d)", id, NumRegulators)
+		}
+		c.TrackVR = id
+		return nil
+	}
+}
+
+// WithLDODesign switches the component regulators to the POWER8-like
+// digital LDO design point (same calibrated efficiency curves, 1ns
+// response instead of the buck's 10ns).
+func WithLDODesign() Option {
+	return func(c *sim.Config) error {
+		c.Design = vr.POWER8LDO()
+		c.PDN = pdn.LDOConfig()
+		return nil
+	}
+}
+
+// WithDVFS layers a per-core dynamic voltage/frequency governor under
+// ThermoGater: cores whose utilisation stays low step down the V/f ladder,
+// shrinking their Vdd-domains' current demand so that gating keeps even
+// fewer regulators active. Result.DVFSAvgVddV and DVFSAvgPerf report the
+// outcome.
+func WithDVFS() Option {
+	return func(c *sim.Config) error {
+		cfg := dvfs.DefaultConfig()
+		c.DVFS = &cfg
+		return nil
+	}
+}
+
+// WithSignatureDetector replaces PracVT's abstract stochastic emergency
+// detector with the concrete Reddi-style signature predictor: a table of
+// saturating counters keyed on observable per-domain state (demand level,
+// trend, droop persistence) that learns which recurring signatures precede
+// voltage emergencies. Result.DetectorStats reports its confusion matrix.
+func WithSignatureDetector() Option {
+	return func(c *sim.Config) error {
+		c.Governor.Detector = core.DetectSignature
+		return nil
+	}
+}
+
+// WithAgingTracking accumulates per-regulator electromigration-style wear
+// and reports MTTF estimates in Result.MTTFYears / MinMTTFYears /
+// AgingImbalance — the quantitative version of the paper's Section 7
+// aging discussion.
+func WithAgingTracking() Option {
+	return func(c *sim.Config) error {
+		c.TrackAging = true
+		return nil
+	}
+}
+
+// WithWarmup overrides the number of epochs excluded from statistics.
+func WithWarmup(epochs int) Option {
+	return func(c *sim.Config) error {
+		if epochs < 0 {
+			return fmt.Errorf("thermogater: negative warmup %d", epochs)
+		}
+		c.WarmupEpochs = epochs
+		return nil
+	}
+}
+
+// Run simulates one benchmark under the named gating policy ("off-chip",
+// "all-on", "naive", "oracT", "oracV", "oracVT", "pracT", "pracVT") and
+// returns the aggregated metrics. Benchmark accepts both full names
+// ("ocean_cp") and the paper's short labels ("oc_cp").
+func Run(policy, benchmark string, opts ...Option) (*Result, error) {
+	p, err := core.ParsePolicy(policy)
+	if err != nil {
+		return nil, err
+	}
+	if p == core.Custom {
+		return nil, fmt.Errorf("thermogater: use RunCustom for custom policies")
+	}
+	bench, err := workload.ByName(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.DefaultConfig(p, bench)
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	r, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run()
+}
+
+// RunCustom simulates a benchmark under a user-defined gating policy: the
+// governor still sizes the active regulator count to sustain peak
+// conversion efficiency (using the practical WMA demand forecaster), and
+// rank decides which regulators stay on.
+func RunCustom(rank RankFunc, benchmark string, opts ...Option) (*Result, error) {
+	if rank == nil {
+		return nil, fmt.Errorf("thermogater: nil rank function")
+	}
+	bench, err := workload.ByName(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.DefaultConfig(core.Custom, bench)
+	cfg.Governor.CustomRank = func(domain int, in *core.Inputs, demandA float64, count int) []int {
+		return rank(domain, PolicyInputs{
+			Epoch:              in.Epoch,
+			SensorVRTempsC:     in.SensorVRTemps,
+			PrevDomainCurrentA: in.PrevDomainCurrent,
+		}, demandA, count)
+	}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	r, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run()
+}
+
+// RunMix simulates a multiprogrammed workload — one independent benchmark
+// per core (Section 7 of the paper: ThermoGater controls each Vdd-domain
+// independently and accommodates workload heterogeneity). benchmarks must
+// name exactly NumCores workloads; short labels are accepted.
+func RunMix(policy string, benchmarks []string, opts ...Option) (*Result, error) {
+	p, err := core.ParsePolicy(policy)
+	if err != nil {
+		return nil, err
+	}
+	if p == core.Custom {
+		return nil, fmt.Errorf("thermogater: use RunCustom for custom policies")
+	}
+	if len(benchmarks) != NumCores {
+		return nil, fmt.Errorf("thermogater: mix needs %d benchmarks, got %d", NumCores, len(benchmarks))
+	}
+	mix := make([]workload.Profile, len(benchmarks))
+	for i, name := range benchmarks {
+		prof, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		mix[i] = prof
+	}
+	cfg := sim.DefaultConfig(p, mix[0])
+	cfg.Mix = mix
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	r, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run()
+}
+
+// DomainRegulators returns the global regulator IDs of each Vdd-domain,
+// indexed by domain (0..7 are the core domains, 8..15 the L3-bank
+// domains); useful for interpreting Result.VROnFrac and for writing custom
+// policies.
+func DomainRegulators() [][]int {
+	chip := floorplan.BuildPOWER8()
+	out := make([][]int, len(chip.Domains))
+	for i, d := range chip.Domains {
+		out[i] = append([]int(nil), d.Regulators...)
+	}
+	return out
+}
+
+// RegulatorSides reports, for one core domain (0..NumCores-1), which of
+// its regulators sit over logic units and which over the private L2 —
+// the distinction behind the paper's Fig. 13 and the thermal-vs-noise
+// trade-off. Returned IDs are global regulator IDs.
+func RegulatorSides(coreDomain int) (logic, memory []int, err error) {
+	chip := floorplan.BuildPOWER8()
+	if coreDomain < 0 || coreDomain >= NumCores {
+		return nil, nil, fmt.Errorf("thermogater: core domain %d outside [0, %d)", coreDomain, NumCores)
+	}
+	return chip.LogicSideRegulators(coreDomain)
+}

@@ -1,0 +1,220 @@
+package thermogater
+
+import (
+	"testing"
+)
+
+func TestRunBasic(t *testing.T) {
+	res, err := Run("oracT", "lu_ncb", WithDuration(120), WithWarmup(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "oracT" || res.Benchmark != "lu_ncb" {
+		t.Errorf("result labelled %s/%s", res.Policy, res.Benchmark)
+	}
+	if res.MaxTempC < 40 || res.MaxTempC > 110 {
+		t.Errorf("Tmax %v implausible", res.MaxTempC)
+	}
+	if res.AvgEta < 0.85 || res.AvgEta > PeakEfficiency+1e-9 {
+		t.Errorf("eta %v outside (0.85, peak]", res.AvgEta)
+	}
+}
+
+func TestRunAcceptsShortNames(t *testing.T) {
+	res, err := Run("all-on", "oc_cp", WithDuration(80), WithWarmup(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benchmark != "ocean_cp" {
+		t.Errorf("benchmark resolved to %q", res.Benchmark)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run("sorcery", "fft"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := Run("oracT", "doom"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := Run("custom", "fft"); err == nil {
+		t.Error("custom policy via Run accepted")
+	}
+	if _, err := Run("oracT", "fft", WithDuration(0)); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := Run("oracT", "fft", WithHeatMap(0)); err == nil {
+		t.Error("zero heat map resolution accepted")
+	}
+	if _, err := Run("oracT", "fft", WithTrackedRegulator(96)); err == nil {
+		t.Error("out-of-range regulator accepted")
+	}
+	if _, err := Run("oracT", "fft", WithWarmup(-1)); err == nil {
+		t.Error("negative warmup accepted")
+	}
+}
+
+func TestPoliciesAndBenchmarksLists(t *testing.T) {
+	if got := len(Policies()); got != 8 {
+		t.Errorf("%d policies, want 8", got)
+	}
+	if got := len(Benchmarks()); got != 14 {
+		t.Errorf("%d benchmarks, want 14", got)
+	}
+}
+
+func TestRunCustomPolicy(t *testing.T) {
+	// A trivial rotation policy: prefer regulators by (epoch + index).
+	rank := func(domain int, in PolicyInputs, demandA float64, count int) []int {
+		regs := DomainRegulators()[domain]
+		out := make([]int, len(regs))
+		for i := range out {
+			out[i] = (i + in.Epoch) % len(regs)
+		}
+		return out
+	}
+	res, err := RunCustom(rank, "raytrace", WithDuration(100), WithWarmup(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "custom" {
+		t.Errorf("policy labelled %q", res.Policy)
+	}
+	// Rotation spreads activity: every regulator sees some on-time.
+	zero := 0
+	for _, f := range res.VROnFrac {
+		if f == 0 {
+			zero++
+		}
+	}
+	if zero > 0 {
+		t.Errorf("%d regulators never activated under rotation", zero)
+	}
+	if _, err := RunCustom(nil, "fft"); err == nil {
+		t.Error("nil rank accepted")
+	}
+}
+
+func TestRunLDODesign(t *testing.T) {
+	fivr, err := Run("all-on", "fft", WithDuration(100), WithWarmup(15), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldo, err := Run("all-on", "fft", WithDuration(100), WithWarmup(15), WithSeed(3), WithLDODesign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ldo.MaxNoisePct >= fivr.MaxNoisePct {
+		t.Errorf("LDO noise %v not below FIVR %v", ldo.MaxNoisePct, fivr.MaxNoisePct)
+	}
+}
+
+func TestRunTraces(t *testing.T) {
+	res, err := Run("naive", "lu_ncb", WithDuration(100), WithWarmup(15),
+		WithEpochTrace(), WithHeatMap(21), WithTrackedRegulator(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Error("no epoch trace")
+	}
+	if res.HeatMap == nil {
+		t.Error("no heat map")
+	}
+	if len(res.VRTrace) == 0 {
+		t.Error("no regulator trace")
+	}
+}
+
+func TestRunMix(t *testing.T) {
+	benchmarks := []string{"chol", "chol", "chol", "chol", "rayt", "rayt", "rayt", "rayt"}
+	res, err := RunMix("oracT", benchmarks, WithDuration(100), WithWarmup(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benchmark != "mix(chol,chol,chol,chol,rayt,rayt,rayt,rayt)" {
+		t.Errorf("mix labelled %q", res.Benchmark)
+	}
+	if _, err := RunMix("oracT", []string{"fft"}); err == nil {
+		t.Error("short mix accepted")
+	}
+	bad := append([]string(nil), benchmarks...)
+	bad[7] = "doom"
+	if _, err := RunMix("oracT", bad); err == nil {
+		t.Error("unknown benchmark in mix accepted")
+	}
+	if _, err := RunMix("custom", benchmarks); err == nil {
+		t.Error("custom policy via RunMix accepted")
+	}
+	if _, err := RunMix("wizardry", benchmarks); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestRunAgingTracking(t *testing.T) {
+	res, err := Run("oracT", "lu_ncb", WithDuration(80), WithWarmup(10), WithAgingTracking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MTTFYears) != NumRegulators {
+		t.Errorf("MTTF for %d regulators", len(res.MTTFYears))
+	}
+	if res.MinMTTFYears <= 0 {
+		t.Errorf("MinMTTF = %v", res.MinMTTFYears)
+	}
+}
+
+func TestDomainRegulators(t *testing.T) {
+	doms := DomainRegulators()
+	if len(doms) != NumDomains {
+		t.Fatalf("%d domains, want %d", len(doms), NumDomains)
+	}
+	total := 0
+	seen := map[int]bool{}
+	for i, regs := range doms {
+		want := 9
+		if i >= NumCores {
+			want = 3
+		}
+		if len(regs) != want {
+			t.Errorf("domain %d has %d regulators, want %d", i, len(regs), want)
+		}
+		for _, r := range regs {
+			if seen[r] {
+				t.Errorf("regulator %d in two domains", r)
+			}
+			seen[r] = true
+			total++
+		}
+	}
+	if total != NumRegulators {
+		t.Errorf("%d regulators total, want %d", total, NumRegulators)
+	}
+}
+
+func TestRegulatorSides(t *testing.T) {
+	logic, memory, err := RegulatorSides(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logic) != 6 || len(memory) != 3 {
+		t.Errorf("%d logic-side and %d memory-side, want 6 and 3", len(logic), len(memory))
+	}
+	if _, _, err := RegulatorSides(8); err == nil {
+		t.Error("L3 domain accepted as core domain")
+	}
+	if _, _, err := RegulatorSides(-1); err == nil {
+		t.Error("negative domain accepted")
+	}
+}
+
+func TestRunSignatureDetector(t *testing.T) {
+	res, err := Run("pracVT", "barnes", WithDuration(150), WithWarmup(20), WithSignatureDetector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.DetectorStats
+	if st.TruePositive+st.FalsePositive+st.TrueNegative+st.FalseNegative+st.Suppressed == 0 {
+		t.Error("signature detector recorded nothing")
+	}
+}
