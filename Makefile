@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: build test race vet fmt-check verify bench bench-baseline
+
+build:
+	$(GO) build ./...
+
+# Tier-1 gate: everything must compile and every test must pass.
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+# Race coverage on the concurrency-bearing packages (telemetry registry,
+# parallel experiment sweep driving shared instrumentation).
+race:
+	$(GO) test -race ./internal/telemetry/... ./internal/sim/...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# The full pre-merge check.
+verify: vet fmt-check test race
+
+# Quick runner benchmark (3 iterations, telemetry off vs. on).
+bench:
+	$(GO) test -bench 'BenchmarkRunner' -benchtime 3x -run '^$$' ./internal/sim/
+
+# Regenerate the committed performance baseline from telemetry snapshots.
+bench-baseline:
+	./scripts/bench_baseline.sh

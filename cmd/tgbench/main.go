@@ -1,0 +1,200 @@
+// Command tgbench records the simulator's performance baseline from the
+// telemetry layer: it runs a fixed set of short (policy, benchmark) cases
+// several times, keeps each case's best repetition, and writes the
+// per-epoch wall time, per-phase breakdown and solver-work counters as
+// JSON. The driver for the repo's perf trajectory:
+//
+//	go run ./cmd/tgbench -out BENCH_baseline.json
+//
+// Every future perf PR reruns tgbench and compares against the committed
+// baseline; the per-phase figures say *where* a speedup (or regression)
+// landed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"thermogater/internal/core"
+	"thermogater/internal/sim"
+	"thermogater/internal/telemetry"
+	"thermogater/internal/workload"
+)
+
+// benchCase is one measured configuration.
+type benchCase struct {
+	Policy string
+	Bench  string
+}
+
+// defaultCases spans the cost spectrum: all-on (no decision work), the
+// oracle (heavy emergency-oracle PDN solving) and the practical policy
+// (θ-profiling plus predictor work).
+var defaultCases = []benchCase{
+	{"all-on", "fft"},
+	{"oracT", "fft"},
+	{"pracVT", "lu_ncb"},
+}
+
+// CaseResult is the recorded baseline of one case (best repetition).
+type CaseResult struct {
+	Name              string           `json:"name"`
+	Policy            string           `json:"policy"`
+	Benchmark         string           `json:"benchmark"`
+	Epochs            int              `json:"epochs"`
+	Repetitions       int              `json:"repetitions"`
+	WallNSPerEpoch    float64          `json:"wall_ns_per_epoch"`
+	PhaseNSPerEpoch   map[string]int64 `json:"phase_ns_per_epoch"`
+	ThermalSubsteps   float64          `json:"thermal_substeps_per_epoch"`
+	PDNSteadySolves   float64          `json:"pdn_steady_solves_per_epoch"`
+	PDNTransientSolve float64          `json:"pdn_transient_solves_per_epoch"`
+}
+
+// Baseline is the file tgbench writes.
+type Baseline struct {
+	Schema      string       `json:"schema"`
+	CreatedUnix int64        `json:"created_unix"`
+	GoVersion   string       `json:"go_version"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	DurationMS  int          `json:"duration_ms"`
+	Cases       []CaseResult `json:"cases"`
+}
+
+func main() {
+	var (
+		out      = flag.String("out", "BENCH_baseline.json", "output file (- for stdout)")
+		duration = flag.Int("duration", 150, "run length per case in ms")
+		reps     = flag.Int("reps", 3, "repetitions per case (best is kept)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	b, err := measure(defaultCases, *duration, *reps, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tgbench:", err)
+		os.Exit(1)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tgbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := writeBaseline(w, b); err != nil {
+		fmt.Fprintln(os.Stderr, "tgbench:", err)
+		os.Exit(1)
+	}
+	if *out != "-" {
+		fmt.Printf("wrote %s (%d cases)\n", *out, len(b.Cases))
+	}
+}
+
+// measure runs every case reps times and keeps the fastest repetition.
+func measure(cases []benchCase, durationMS, reps int, seed uint64) (*Baseline, error) {
+	b := &Baseline{
+		Schema:      "thermogater/bench/v1",
+		CreatedUnix: time.Now().Unix(),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		DurationMS:  durationMS,
+	}
+	for _, c := range cases {
+		best, err := measureCase(c, durationMS, reps, seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", c.Policy, c.Bench, err)
+		}
+		b.Cases = append(b.Cases, *best)
+	}
+	return b, nil
+}
+
+func measureCase(c benchCase, durationMS, reps int, seed uint64) (*CaseResult, error) {
+	policy, err := core.ParsePolicy(c.Policy)
+	if err != nil {
+		return nil, err
+	}
+	bench, err := workload.ByName(c.Bench)
+	if err != nil {
+		return nil, err
+	}
+	best := &CaseResult{
+		Name:           "runner/" + c.Policy + "/" + c.Bench,
+		Policy:         c.Policy,
+		Benchmark:      c.Bench,
+		Repetitions:    reps,
+		WallNSPerEpoch: math.Inf(1),
+	}
+	for rep := 0; rep < reps; rep++ {
+		reg := telemetry.NewRegistry()
+		cfg := sim.DefaultConfig(policy, bench)
+		cfg.Seed = seed
+		cfg.DurationMS = durationMS
+		cfg.Telemetry = reg
+		r, err := sim.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := r.Run(); err != nil {
+			return nil, err
+		}
+		res, err := fromSnapshot(reg.Snapshot())
+		if err != nil {
+			return nil, err
+		}
+		if res.WallNSPerEpoch < best.WallNSPerEpoch {
+			res.Name, res.Policy, res.Benchmark, res.Repetitions = best.Name, best.Policy, best.Benchmark, reps
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// fromSnapshot distils one run's telemetry snapshot into per-epoch figures.
+func fromSnapshot(sn telemetry.Snapshot) (*CaseResult, error) {
+	var epoch *telemetry.SpanSnapshot
+	for i := range sn.Spans {
+		if sn.Spans[i].Name == "epoch" {
+			epoch = &sn.Spans[i]
+		}
+	}
+	if epoch == nil || epoch.Count == 0 {
+		return nil, fmt.Errorf("snapshot has no epoch span")
+	}
+	n := float64(epoch.Count)
+	res := &CaseResult{
+		Epochs:          epoch.Count,
+		WallNSPerEpoch:  float64(epoch.TotalNS) / n,
+		PhaseNSPerEpoch: make(map[string]int64, len(epoch.Children)),
+	}
+	for _, ph := range epoch.Children {
+		res.PhaseNSPerEpoch[ph.Name] = int64(float64(ph.TotalNS) / n)
+	}
+	counter := func(key string) float64 {
+		for _, c := range sn.Counters {
+			if telemetry.Key(c.Name, c.Labels) == key {
+				return c.Value
+			}
+		}
+		return 0
+	}
+	res.ThermalSubsteps = counter("thermal_euler_substeps_total") / n
+	res.PDNSteadySolves = counter("pdn_solves_total{kind=steady}") / n
+	res.PDNTransientSolve = counter("pdn_solves_total{kind=transient}") / n
+	return res, nil
+}
+
+func writeBaseline(w io.Writer, b *Baseline) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestMeasureProducesCompleteBaseline(t *testing.T) {
+	cases := []benchCase{{"all-on", "fft"}}
+	b, err := measure(cases, 30, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writeBaseline(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	var back Baseline
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if back.Schema != "thermogater/bench/v1" {
+		t.Errorf("schema = %q", back.Schema)
+	}
+	if len(back.Cases) != 1 {
+		t.Fatalf("cases = %d, want 1", len(back.Cases))
+	}
+	c := back.Cases[0]
+	if c.Name != "runner/all-on/fft" || c.Policy != "all-on" || c.Benchmark != "fft" {
+		t.Errorf("case identity wrong: %+v", c)
+	}
+	if c.Epochs != 30 {
+		t.Errorf("epochs = %d, want 30", c.Epochs)
+	}
+	if c.WallNSPerEpoch <= 0 {
+		t.Errorf("wall_ns_per_epoch = %v", c.WallNSPerEpoch)
+	}
+	for _, ph := range []string{"uarch", "power", "governor", "vr", "thermal", "pdn"} {
+		if _, ok := c.PhaseNSPerEpoch[ph]; !ok {
+			t.Errorf("phase %q missing from baseline", ph)
+		}
+	}
+	if c.ThermalSubsteps <= 0 {
+		t.Errorf("thermal substeps per epoch = %v", c.ThermalSubsteps)
+	}
+	if c.PDNSteadySolves <= 0 {
+		t.Errorf("pdn steady solves per epoch = %v", c.PDNSteadySolves)
+	}
+}
+
+func TestMeasureRejectsUnknownCase(t *testing.T) {
+	if _, err := measure([]benchCase{{"nope", "fft"}}, 30, 1, 1); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := measure([]benchCase{{"all-on", "nope"}}, 30, 1, 1); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

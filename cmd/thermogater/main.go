@@ -11,6 +11,12 @@
 //
 //	thermogater -run pracVT -bench lu_ncb -duration 1000
 //
+// Observe where the time goes (see docs/OBSERVABILITY.md):
+//
+//	thermogater -run pracVT -bench lu_ncb -metrics -metrics-out m.jsonl
+//	thermogater -run pracVT -bench lu_ncb -cpuprofile cpu.out
+//	thermogater -experiment fig9 -pprof localhost:6060
+//
 // List what is available:
 //
 //	thermogater -list
@@ -20,13 +26,18 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"thermogater/internal/core"
 	"thermogater/internal/experiments"
 	"thermogater/internal/report"
 	"thermogater/internal/sim"
+	"thermogater/internal/telemetry"
 	"thermogater/internal/workload"
 )
 
@@ -40,25 +51,135 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "random seed")
 		parallel   = flag.Int("parallel", 0, "max concurrent runs (0 = GOMAXPROCS)")
 		list       = flag.Bool("list", false, "list experiments, policies and benchmarks")
+		metrics    = flag.Bool("metrics", false, "enable telemetry; print the metrics summary (counters, per-phase span tree) at exit")
+		metricsOut = flag.String("metrics-out", "", "stream telemetry records as JSON lines to this file (per-epoch for -run, per-run for -experiment); implies -metrics")
+		metricsCSV = flag.String("metrics-csv", "", "stream the same telemetry records as CSV to this file; implies -metrics")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile covering the run to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
-	switch {
-	case *list:
-		listAll(os.Stdout)
-	case *runPolicy != "":
-		if err := runSingle(os.Stdout, *runPolicy, *bench, *profile, *duration, *seed); err != nil {
-			fatal(err)
-		}
-	case *experiment != "":
-		opts := experiments.Options{DurationMS: *duration, Seed: *seed, Parallel: *parallel}
-		if err := runExperiments(os.Stdout, strings.ToLower(*experiment), opts); err != nil {
-			fatal(err)
-		}
-	default:
+	if *experiment == "" && *runPolicy == "" && !*list {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if err := execute(os.Stdout, options{
+		experiment: strings.ToLower(*experiment),
+		runPolicy:  *runPolicy,
+		bench:      *bench,
+		profile:    *profile,
+		duration:   *duration,
+		seed:       *seed,
+		parallel:   *parallel,
+		list:       *list,
+		metrics:    *metrics || *metricsOut != "" || *metricsCSV != "",
+		metricsOut: *metricsOut,
+		metricsCSV: *metricsCSV,
+		pprofAddr:  *pprofAddr,
+		cpuProf:    *cpuProf,
+		memProf:    *memProf,
+	}); err != nil {
+		fatal(err)
+	}
+}
+
+type options struct {
+	experiment string
+	runPolicy  string
+	bench      string
+	profile    string
+	duration   int
+	seed       uint64
+	parallel   int
+	list       bool
+	metrics    bool
+	metricsOut string
+	metricsCSV string
+	pprofAddr  string
+	cpuProf    string
+	memProf    string
+}
+
+// execute wires up observability (telemetry registry, pprof endpoints,
+// profile capture), dispatches the requested work, and tears everything
+// down in order so deferred cleanups run even on error paths.
+func execute(w io.Writer, o options) error {
+	var reg *telemetry.Registry
+	if o.metrics {
+		reg = telemetry.NewRegistry()
+		for _, out := range []struct {
+			path string
+			mk   func(io.Writer) telemetry.Sink
+		}{
+			{o.metricsOut, func(w io.Writer) telemetry.Sink { return telemetry.NewJSONLSink(w) }},
+			{o.metricsCSV, func(w io.Writer) telemetry.Sink { return telemetry.NewCSVSink(w) }},
+		} {
+			if out.path == "" {
+				continue
+			}
+			f, err := os.Create(out.path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			reg.AddSink(out.mk(f))
+		}
+		defer reg.Close()
+	}
+
+	if o.pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(o.pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "thermogater: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", o.pprofAddr)
+	}
+	if o.cpuProf != "" {
+		f, err := os.Create(o.cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if o.memProf != "" {
+		defer func() {
+			f, err := os.Create(o.memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "thermogater: heap profile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "thermogater: heap profile:", err)
+			}
+		}()
+	}
+
+	var err error
+	switch {
+	case o.list:
+		listAll(w)
+	case o.runPolicy != "":
+		err = runSingle(w, reg, o.runPolicy, o.bench, o.profile, o.duration, o.seed)
+	case o.experiment != "":
+		opts := experiments.Options{DurationMS: o.duration, Seed: o.seed, Parallel: o.parallel, Telemetry: reg}
+		err = runExperiments(w, o.experiment, opts)
+	}
+	if err != nil {
+		return err
+	}
+	if reg.Enabled() {
+		fmt.Fprintln(w)
+		return telemetry.WriteSummary(w, reg.Snapshot())
+	}
+	return nil
 }
 
 func fatal(err error) {
@@ -80,7 +201,7 @@ func listAll(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
-func runSingle(w io.Writer, policy, bench, profilePath string, duration int, seed uint64) error {
+func runSingle(w io.Writer, reg *telemetry.Registry, policy, bench, profilePath string, duration int, seed uint64) error {
 	p, err := core.ParsePolicy(policy)
 	if err != nil {
 		return err
@@ -104,6 +225,7 @@ func runSingle(w io.Writer, policy, bench, profilePath string, duration int, see
 	}
 	cfg := sim.DefaultConfig(p, prof)
 	cfg.Seed = seed
+	cfg.Telemetry = reg
 	if duration > 0 {
 		cfg.DurationMS = duration
 	}

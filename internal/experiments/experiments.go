@@ -14,6 +14,7 @@ import (
 	"thermogater/internal/core"
 	"thermogater/internal/pdn"
 	"thermogater/internal/sim"
+	"thermogater/internal/telemetry"
 	"thermogater/internal/vr"
 	"thermogater/internal/workload"
 )
@@ -28,6 +29,12 @@ type Options struct {
 	Seed uint64
 	// Parallel bounds concurrent runs (0 = GOMAXPROCS).
 	Parallel int
+	// Telemetry, when non-nil, instruments every run: each simulation
+	// feeds the shared registry's counters and span tree, and one "run"
+	// record with the run's aggregates is emitted per (policy, benchmark)
+	// cell alongside the per-epoch stream. The registry is concurrency-safe,
+	// so parallel sweep workers share it directly.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultOptions runs the full-length evaluation.
@@ -50,6 +57,7 @@ func (o Options) simConfig(policy core.PolicyKind, bench workload.Profile) sim.C
 	if o.DurationMS > 0 {
 		cfg.DurationMS = o.DurationMS
 	}
+	cfg.Telemetry = o.Telemetry
 	return cfg
 }
 
@@ -62,13 +70,36 @@ func BenchmarkOrder() []string {
 	return names
 }
 
-// runOne executes a single configured simulation.
+// runOne executes a single configured simulation, emitting the per-run
+// aggregate record when the configuration carries a telemetry registry.
 func runOne(cfg sim.Config) (*sim.Result, error) {
 	r, err := sim.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return r.Run()
+	sp := cfg.Telemetry.StartSpan("run")
+	res, err := r.Run()
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Telemetry.Enabled() {
+		rec := telemetry.NewRecord("run").
+			Add("policy", res.Policy).
+			Add("benchmark", res.Benchmark).
+			Add("wall_ns", sp.Total().Nanoseconds()).
+			Add("epochs", res.Epochs).
+			Add("max_temp_c", res.MaxTempC).
+			Add("gradient_c", res.MaxGradientC).
+			Add("max_noise_pct", res.MaxNoisePct).
+			Add("avg_ploss_w", res.AvgPlossW).
+			Add("avg_eta", res.AvgEta).
+			Add("emergency_frac", res.EmergencyFrac)
+		if err := cfg.Telemetry.Emit(rec); err != nil {
+			return nil, fmt.Errorf("experiments: telemetry sink: %w", err)
+		}
+	}
+	return res, nil
 }
 
 // Sweep holds the results of the full benchmarks × policies evaluation,

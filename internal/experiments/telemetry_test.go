@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"thermogater/internal/core"
+	"thermogater/internal/telemetry"
+	"thermogater/internal/workload"
+)
+
+// lockedSink collects records; Emit is serialized by the registry, but the
+// mutex keeps the test honest if that contract ever changes.
+type lockedSink struct {
+	mu   sync.Mutex
+	recs []*telemetry.Record
+}
+
+func (s *lockedSink) Emit(r *telemetry.Record) error {
+	s.mu.Lock()
+	s.recs = append(s.recs, r)
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *lockedSink) Flush() error { return nil }
+
+func TestRunSweepSharesOneRegistryAcrossWorkers(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	sink := &lockedSink{}
+	reg.AddSink(sink)
+	opts := Options{DurationMS: 60, Seed: 1, Telemetry: reg}
+	policies := []core.PolicyKind{core.AllOn, core.OracT}
+
+	if _, err := RunSweep(policies, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	nRuns := len(policies) * len(workload.Suite())
+	var runRecs, epochRecs int
+	for _, rec := range sink.recs {
+		switch rec.Name {
+		case "run":
+			runRecs++
+			if v, ok := rec.Get("policy"); !ok || v == "" {
+				t.Errorf("run record missing policy: %+v", rec)
+			}
+		case "epoch":
+			epochRecs++
+		}
+	}
+	if runRecs != nRuns {
+		t.Errorf("run records = %d, want %d", runRecs, nRuns)
+	}
+	if want := nRuns * 60; epochRecs != want {
+		t.Errorf("epoch records = %d, want %d", epochRecs, want)
+	}
+	if got := reg.Counter("sim_epochs_total").Value(); got != float64(nRuns*60) {
+		t.Errorf("sim_epochs_total = %v, want %d", got, nRuns*60)
+	}
+	// The merged span tree must carry both the per-run and per-epoch roots.
+	sn := reg.Snapshot()
+	names := map[string]int{}
+	for _, s := range sn.Spans {
+		names[s.Name] = s.Count
+	}
+	if names["run"] != nRuns {
+		t.Errorf("run span count = %d, want %d", names["run"], nRuns)
+	}
+	if names["epoch"] != nRuns*60 {
+		t.Errorf("epoch span count = %d, want %d", names["epoch"], nRuns*60)
+	}
+}

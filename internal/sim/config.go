@@ -18,6 +18,7 @@ import (
 	"thermogater/internal/dvfs"
 	"thermogater/internal/floorplan"
 	"thermogater/internal/pdn"
+	"thermogater/internal/telemetry"
 	"thermogater/internal/thermal"
 	"thermogater/internal/uarch"
 	"thermogater/internal/vr"
@@ -76,6 +77,12 @@ type Config struct {
 	// V/f ladder, shrinking their domains' current demand and hence the
 	// number of regulators gating keeps active.
 	DVFS *dvfs.Config
+	// Telemetry, when non-nil, receives the run's instrumentation: a
+	// per-epoch span tree over the six phases of the loop (uarch, power,
+	// governor, vr, thermal, pdn), cumulative solver counters, and one
+	// "epoch" record per epoch streamed to the registry's sinks. Nil (the
+	// default) disables instrumentation at effectively zero cost.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig returns the paper's operating point for the given policy

@@ -48,6 +48,13 @@ type Runner struct {
 	prevDomainCur []float64
 	perVRLoss     []float64
 	masks         [][]bool
+
+	// Instrumentation. ins caches the telemetry handles (all nil-safe when
+	// telemetry is disabled); the solver counters below are plain ints so
+	// counting costs one increment whether or not telemetry is attached.
+	ins                *instruments
+	pdnSteadySolves    int64
+	pdnTransientSolves int64
 }
 
 // New builds a runner. The floorplan, power model, thermal network, PDN,
@@ -115,6 +122,7 @@ func New(cfg Config) (*Runner, error) {
 		prevDomainCur: make([]float64, len(chip.Domains)),
 		perVRLoss:     make([]float64, len(chip.Regulators)),
 		rng:           workload.NewRNG(cfg.Seed ^ 0x53e2),
+		ins:           newInstruments(cfg.Telemetry),
 	}
 	r.masks = make([][]bool, len(chip.Domains))
 	for d := range r.masks {
@@ -283,6 +291,7 @@ func (r *Runner) domainEmergency(d, count int, ranking []int, frameCurrents [][]
 	}
 	for s, f := range frames {
 		cur := frameCurrents[s]
+		r.pdnSteadySolves++
 		dn, err := r.grid.SteadyNoise(d, cur, mask)
 		if err != nil {
 			return false
@@ -295,6 +304,7 @@ func (r *Runner) domainEmergency(d, count int, ranking []int, frameCurrents [][]
 				continue
 			}
 			bi, surge := r.burstTarget(d, b, cur)
+			r.pdnTransientSolves++
 			peak := r.grid.BurstPeakPct(d, bi, dn.PerBlockPct[bi], surge, mask, b.Cycles, uarch.ClockGHz)
 			if peak > pdn.EmergencyThresholdPct {
 				return true
@@ -429,8 +439,15 @@ func (r *Runner) runMeasured() (*Result, error) {
 	epochVRLoss := make([]float64, len(r.chip.Regulators))
 	epochDomEmerg := make([]bool, len(r.chip.Domains))
 
+	r.ins.syncBaselines(r)
 	for e := 0; e < nEpochs; e++ {
+		// The per-epoch span tree: one fresh root per epoch whose children
+		// are the six phases of PhaseNames; End() merges it into the
+		// registry's cumulative tree. All span calls no-op on nil.
+		epSpan := r.cfg.Telemetry.StartSpan("epoch")
+		phase := epSpan.StartChild("uarch")
 		frames, err := r.epochFrames(usim)
+		phase.End()
 		if err != nil {
 			return nil, err
 		}
@@ -438,6 +455,7 @@ func (r *Runner) runMeasured() (*Result, error) {
 
 		// Epoch-average demand (oracle view of the upcoming interval),
 		// using leakage at current temperatures.
+		phase = epSpan.StartChild("power")
 		averageActivity(frames, avgActivity)
 		if err := r.updateDVFS(avgActivity); err != nil {
 			return nil, err
@@ -464,8 +482,11 @@ func (r *Runner) runMeasured() (*Result, error) {
 			}
 			frameCurrents[s] = cur
 		}
+		phase.End()
 
-		// Decision.
+		// Decision. The governor phase includes the emergency-oracle PDN
+		// solves the VT policies request through the callback below.
+		phase = epSpan.StartChild("governor")
 		r.tm.VRTemps(r.vrTemps)
 		in := &core.Inputs{
 			Epoch:               e,
@@ -483,12 +504,15 @@ func (r *Runner) runMeasured() (*Result, error) {
 			copy(r.prevDomainCur, avgDomainCur) // bootstrap history
 		}
 		dec, err := r.gov.Decide(in)
+		phase.End()
 		if err != nil {
 			return nil, err
 		}
+		epochOverrides := 0
 		for _, dd := range dec.Domains {
 			if dd.EmergencyOverride {
 				res.EmergencyOverrides++
+				epochOverrides++
 			}
 		}
 
@@ -502,13 +526,16 @@ func (r *Runner) runMeasured() (*Result, error) {
 			epochDomEmerg[i] = false
 		}
 		for s, f := range frames {
+			phase = epSpan.StartChild("power")
 			r.tm.BlockTemps(r.blockTemps)
 			if _, err := r.blockPowerScaled(f.Activity, r.blockTemps, r.blockPower); err != nil {
 				return nil, err
 			}
 			r.demand(r.blockPower)
+			phase.End()
 
 			// Apply the decision with hard-limit legalisation.
+			phase = epSpan.StartChild("vr")
 			for i := range r.vrPower {
 				r.vrPower[i] = 0
 				r.vrCurrent[i] = 0
@@ -551,28 +578,38 @@ func (r *Runner) runMeasured() (*Result, error) {
 					}
 				}
 			}
+			phase.End()
 
+			phase = epSpan.StartChild("thermal")
 			if err := r.tm.SetPower(r.blockPower, r.vrPower); err != nil {
 				return nil, err
 			}
 			if err := r.tm.Step(r.substepS); err != nil {
 				return nil, err
 			}
+			phase.End()
 
+			phase = epSpan.StartChild("power")
 			var chipPower float64
 			for _, p := range r.blockPower {
 				chipPower += p
 			}
 			epochChipPower += chipPower
+			phase.End()
 
 			if measuring && r.wear != nil {
+				phase = epSpan.StartChild("thermal")
 				r.tm.VRTemps(r.vrTemps)
 				if err := r.wear.Observe(r.vrTemps, r.vrCurrent, r.substepS); err != nil {
 					return nil, err
 				}
+				phase.End()
 			}
 
 			if measuring {
+				// Thermal-state sampling (MaxTemp/Gradient scan the RC
+				// network) accounts to the thermal phase.
+				phase = epSpan.StartChild("thermal")
 				measuredTime += r.substepS
 				plossIntegral += substepPloss * r.substepS
 				chipPowerInt += chipPower * r.substepS
@@ -583,17 +620,20 @@ func (r *Runner) runMeasured() (*Result, error) {
 				if g := r.tm.Gradient(); g > res.MaxGradientC {
 					res.MaxGradientC = g
 				}
+				phase.End()
 			}
 
 			// Voltage noise per domain. A substep counts toward emergency
 			// time once, no matter how many domains cross the threshold;
 			// short burst excursions add their own (cycle-scale) dwell.
 			if r.cfg.Policy != core.OffChip {
+				phase = epSpan.StartChild("pdn")
 				substepEmergency := false
 				var burstDwell float64
 				var substepNoise float64
 				for d := range r.chip.Domains {
 					mask := r.masks[d]
+					r.pdnSteadySolves++
 					dn, err := r.grid.SteadyNoise(d, r.blockCurrent, mask)
 					if err != nil {
 						return nil, err
@@ -611,6 +651,7 @@ func (r *Runner) runMeasured() (*Result, error) {
 							continue
 						}
 						bi, surge := r.burstTarget(d, b, r.blockCurrent)
+						r.pdnTransientSolves++
 						peak := r.grid.BurstPeakPct(d, bi, dn.PerBlockPct[bi], surge, mask, b.Cycles, uarch.ClockGHz)
 						if peak > noise {
 							noise = peak
@@ -644,6 +685,7 @@ func (r *Runner) runMeasured() (*Result, error) {
 						emergencyTime += burstDwell
 					}
 				}
+				phase.End()
 			}
 			if measuring {
 				measuredSteps++
@@ -669,16 +711,20 @@ func (r *Runner) runMeasured() (*Result, error) {
 			// Thermal sensors lag by one substep (100µs); optional
 			// Gaussian sensor error models parametric variation.
 			if s == r.stepsPerEpoch-2 || r.stepsPerEpoch == 1 {
+				phase = epSpan.StartChild("thermal")
 				r.tm.VRTemps(r.sensorVRTemps)
 				if r.cfg.SensorNoiseC > 0 {
 					for i := range r.sensorVRTemps {
 						r.sensorVRTemps[i] += r.cfg.SensorNoiseC * r.rng.Norm()
 					}
 				}
+				phase.End()
 			}
 		}
 
-		// Epoch bookkeeping.
+		// Epoch bookkeeping: the mask scan accounts to the vr phase, the
+		// governor feedback observations to the governor phase.
+		phase = epSpan.StartChild("vr")
 		activeCount := 0
 		for d := range r.chip.Domains {
 			for li, on := range r.masks[d] {
@@ -690,16 +736,19 @@ func (r *Runner) runMeasured() (*Result, error) {
 				}
 			}
 		}
+		phase.End()
 		copy(r.prevDomainCur, avgDomainCur)
 		for i := range epochVRLoss {
 			epochVRLoss[i] /= float64(r.stepsPerEpoch)
 		}
+		phase = epSpan.StartChild("governor")
 		if err := r.gov.Observe(avgDomainCur, epochVRLoss); err != nil {
 			return nil, err
 		}
 		if err := r.gov.ObserveEmergencies(epochDomEmerg); err != nil {
 			return nil, err
 		}
+		phase.End()
 		copy(r.perVRLoss, epochVRLoss)
 
 		if measuring {
@@ -735,6 +784,29 @@ func (r *Runner) runMeasured() (*Result, error) {
 					return nil, err
 				}
 				res.HeatMap = hm
+			}
+		}
+
+		epSpan.End()
+		if r.ins.enabled() {
+			var ploss float64
+			for _, l := range epochVRLoss {
+				ploss += l
+			}
+			tmax, _ := r.tm.MaxTemp()
+			if err := r.ins.observeEpoch(r, epSpan, epochStats{
+				epoch:      e,
+				timeMS:     float64(e) * r.cfg.EpochMS,
+				measuring:  measuring,
+				activeVRs:  activeCount,
+				chipPowerW: epochChipPower / float64(r.stepsPerEpoch),
+				plossW:     ploss,
+				maxTempC:   tmax,
+				gradientC:  r.tm.Gradient(),
+				noisePct:   epochMaxNoise,
+				overrides:  epochOverrides,
+			}); err != nil {
+				return nil, fmt.Errorf("sim: telemetry sink: %w", err)
 			}
 		}
 	}
@@ -776,6 +848,7 @@ func (r *Runner) runMeasured() (*Result, error) {
 	for i := range res.Trace {
 		res.Trace[i].Eta = res.AvgEta
 	}
+	r.ins.observeRun(res)
 	return res, nil
 }
 

@@ -1,0 +1,36 @@
+package telemetry
+
+// A Field is one key/value pair of a Record. Fields keep their insertion
+// order so streamed output (JSONL columns, CSV headers) is deterministic.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// A Record is one telemetry emission — a named event (e.g. "epoch", "run")
+// with ordered fields — streamed to the registry's sinks via Emit.
+type Record struct {
+	Name   string
+	Fields []Field
+}
+
+// NewRecord starts a record with the given event name.
+func NewRecord(name string) *Record {
+	return &Record{Name: name}
+}
+
+// Add appends one field and returns the record for chaining.
+func (r *Record) Add(key string, value any) *Record {
+	r.Fields = append(r.Fields, Field{Key: key, Value: value})
+	return r
+}
+
+// Get returns the value of the first field with the given key.
+func (r *Record) Get(key string) (any, bool) {
+	for _, f := range r.Fields {
+		if f.Key == key {
+			return f.Value, true
+		}
+	}
+	return nil, false
+}

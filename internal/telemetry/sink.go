@@ -1,0 +1,213 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"time"
+)
+
+// Sink receives the registry's record stream. Implementations must tolerate
+// records of different names (epoch records interleaved with run records);
+// Emit is serialized by the registry.
+type Sink interface {
+	Emit(rec *Record) error
+	Flush() error
+}
+
+// JSONLSink streams each record as one JSON object per line, fields in
+// emission order: {"record":"epoch","epoch":0,...}.
+type JSONLSink struct {
+	w *bufio.Writer
+}
+
+// NewJSONLSink wraps w in a buffered JSON-lines sink.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriter(w)}
+}
+
+// Emit writes one record as a JSON line.
+func (s *JSONLSink) Emit(rec *Record) error {
+	s.w.WriteString(`{"record":`)
+	writeJSONValue(s.w, rec.Name)
+	for _, f := range rec.Fields {
+		s.w.WriteByte(',')
+		writeJSONValue(s.w, f.Key)
+		s.w.WriteByte(':')
+		writeJSONValue(s.w, f.Value)
+	}
+	s.w.WriteString("}\n")
+	return nil
+}
+
+// Flush drains the buffer to the underlying writer.
+func (s *JSONLSink) Flush() error { return s.w.Flush() }
+
+func writeJSONValue(w *bufio.Writer, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(fmt.Sprint(v))
+	}
+	w.Write(b)
+}
+
+// CSVSink streams records as CSV rows. The header is fixed by the first
+// record: "record" followed by its field keys; later records contribute the
+// fields matching the header (missing fields render empty, extra fields are
+// dropped). Mixed-name record streams therefore fit a single table as long
+// as they share columns.
+type CSVSink struct {
+	w      *csv.Writer
+	header []string
+}
+
+// NewCSVSink wraps w in a CSV sink.
+func NewCSVSink(w io.Writer) *CSVSink {
+	return &CSVSink{w: csv.NewWriter(w)}
+}
+
+// Emit writes one record as a CSV row (plus the header on first use).
+func (s *CSVSink) Emit(rec *Record) error {
+	if s.header == nil {
+		s.header = append(s.header, "record")
+		for _, f := range rec.Fields {
+			s.header = append(s.header, f.Key)
+		}
+		if err := s.w.Write(s.header); err != nil {
+			return err
+		}
+	}
+	row := make([]string, len(s.header))
+	row[0] = rec.Name
+	for i, key := range s.header[1:] {
+		if v, ok := rec.Get(key); ok {
+			row[i+1] = csvCell(v)
+		}
+	}
+	return s.w.Write(row)
+}
+
+// Flush drains buffered rows.
+func (s *CSVSink) Flush() error {
+	s.w.Flush()
+	return s.w.Error()
+}
+
+func csvCell(v any) string {
+	switch x := v.(type) {
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case float32:
+		return strconv.FormatFloat(float64(x), 'g', -1, 32)
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// WriteSnapshotJSONL exports a full snapshot as one JSON line, suitable for
+// appending to the same stream a JSONLSink writes.
+func WriteSnapshotJSONL(w io.Writer, sn Snapshot) error {
+	b, err := json.Marshal(struct {
+		Record   string   `json:"record"`
+		Snapshot Snapshot `json:"snapshot"`
+	}{Record: "snapshot", Snapshot: sn})
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", b)
+	return err
+}
+
+// WriteSnapshotCSV exports a snapshot as a flat CSV table with one row per
+// metric, histogram and span node: kind,key,value,count.
+func WriteSnapshotCSV(w io.Writer, sn Snapshot) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"kind", "key", "value", "count"}); err != nil {
+		return err
+	}
+	for _, c := range sn.Counters {
+		cw.Write([]string{"counter", Key(c.Name, c.Labels), csvCell(c.Value), ""})
+	}
+	for _, g := range sn.Gauges {
+		cw.Write([]string{"gauge", Key(g.Name, g.Labels), csvCell(g.Value), ""})
+	}
+	for _, h := range sn.Histograms {
+		cw.Write([]string{"histogram", Key(h.Name, h.Labels), csvCell(h.Sum), strconv.FormatUint(h.Count, 10)})
+	}
+	var walk func(prefix string, s SpanSnapshot)
+	walk = func(prefix string, s SpanSnapshot) {
+		key := s.Name
+		if prefix != "" {
+			key = prefix + "/" + s.Name
+		}
+		cw.Write([]string{"span", key, strconv.FormatInt(s.TotalNS, 10), strconv.Itoa(s.Count)})
+		for _, c := range s.Children {
+			walk(key, c)
+		}
+	}
+	for _, s := range sn.Spans {
+		walk("", s)
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSummary renders a snapshot as a human-readable summary: metric
+// tables plus an indented span tree with per-node share of its root.
+func WriteSummary(w io.Writer, sn Snapshot) error {
+	bw := bufio.NewWriter(w)
+	if len(sn.Counters) > 0 {
+		fmt.Fprintln(bw, "counters:")
+		for _, c := range sn.Counters {
+			fmt.Fprintf(bw, "  %-44s %s\n", Key(c.Name, c.Labels), fmtValue(c.Value))
+		}
+	}
+	if len(sn.Gauges) > 0 {
+		fmt.Fprintln(bw, "gauges:")
+		for _, g := range sn.Gauges {
+			fmt.Fprintf(bw, "  %-44s %s\n", Key(g.Name, g.Labels), fmtValue(g.Value))
+		}
+	}
+	if len(sn.Histograms) > 0 {
+		fmt.Fprintln(bw, "histograms:")
+		for _, h := range sn.Histograms {
+			mean := 0.0
+			if h.Count > 0 {
+				mean = h.Sum / float64(h.Count)
+			}
+			fmt.Fprintf(bw, "  %-44s count=%d sum=%s mean=%s\n",
+				Key(h.Name, h.Labels), h.Count, fmtValue(h.Sum), fmtValue(mean))
+			for _, b := range h.Buckets {
+				le := "+Inf"
+				if !math.IsInf(b.UpperBound, 1) {
+					le = fmtValue(b.UpperBound)
+				}
+				fmt.Fprintf(bw, "    le=%-8s %d\n", le, b.Count)
+			}
+		}
+	}
+	if len(sn.Spans) > 0 {
+		fmt.Fprintln(bw, "spans:")
+		var walk func(s SpanSnapshot, depth int, rootNS int64)
+		walk = func(s SpanSnapshot, depth int, rootNS int64) {
+			pct := ""
+			if rootNS > 0 {
+				pct = fmt.Sprintf(" (%5.1f%%)", 100*float64(s.TotalNS)/float64(rootNS))
+			}
+			fmt.Fprintf(bw, "  %-*s%-*s %12s  ×%d%s\n",
+				2*depth, "", 28-2*depth, s.Name,
+				time.Duration(s.TotalNS).Round(time.Microsecond), s.Count, pct)
+			for _, c := range s.Children {
+				walk(c, depth+1, rootNS)
+			}
+		}
+		for _, s := range sn.Spans {
+			walk(s, 0, s.TotalNS)
+		}
+	}
+	return bw.Flush()
+}

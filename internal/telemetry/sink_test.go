@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureRegistry builds a deterministic registry state shared by the
+// golden-file tests.
+func fixtureRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	advance := manualClock(r)
+	r.Counter("sim_epochs_total").Add(2)
+	r.Counter("pdn_solves_total", L("kind", "steady")).Add(320)
+	r.Counter("pdn_solves_total", L("kind", "transient")).Add(12)
+	r.Gauge("run_max_temp_c").Set(92.5)
+	h := r.Histogram("epoch_wall_ms", []float64{1, 5, 25})
+	h.Observe(0.4)
+	h.Observe(3)
+	h.Observe(120)
+	for e := 0; e < 2; e++ {
+		ep := r.StartSpan("epoch")
+		for _, phase := range []struct {
+			name string
+			d    time.Duration
+		}{
+			{"uarch", 2 * time.Millisecond},
+			{"power", time.Millisecond},
+			{"governor", 3 * time.Millisecond},
+			{"vr", 500 * time.Microsecond},
+			{"thermal", 4 * time.Millisecond},
+			{"pdn", 1500 * time.Microsecond},
+		} {
+			ph := ep.StartChild(phase.name)
+			advance(phase.d)
+			ph.End()
+		}
+		advance(250 * time.Microsecond) // unattributed epoch overhead
+		ep.End()
+	}
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func fixtureRecords() []*Record {
+	return []*Record{
+		NewRecord("epoch").Add("epoch", 0).Add("time_ms", 0.0).
+			Add("wall_ns", int64(12250000)).Add("active_vrs", 96).Add("max_temp_c", 88.25),
+		NewRecord("epoch").Add("epoch", 1).Add("time_ms", 1.0).
+			Add("wall_ns", int64(12250000)).Add("active_vrs", 41).Add("max_temp_c", 92.5),
+		NewRecord("run").Add("policy", "oracT").Add("epoch", 2),
+	}
+}
+
+func TestJSONLSinkGolden(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	for _, rec := range fixtureRecords() {
+		if err := s.Emit(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "records.jsonl.golden", buf.Bytes())
+}
+
+func TestCSVSinkGolden(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewCSVSink(&buf)
+	for _, rec := range fixtureRecords() {
+		if err := s.Emit(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "records.csv.golden", buf.Bytes())
+}
+
+func TestSnapshotExportGolden(t *testing.T) {
+	sn := fixtureRegistry(t).Snapshot()
+
+	var jsonl bytes.Buffer
+	if err := WriteSnapshotJSONL(&jsonl, sn); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "snapshot.jsonl.golden", jsonl.Bytes())
+
+	var csvOut bytes.Buffer
+	if err := WriteSnapshotCSV(&csvOut, sn); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "snapshot.csv.golden", csvOut.Bytes())
+
+	var summary bytes.Buffer
+	if err := WriteSummary(&summary, sn); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "summary.golden", summary.Bytes())
+}
+
+func TestRegistryEmitFansOutToSinks(t *testing.T) {
+	r := NewRegistry()
+	var a, b bytes.Buffer
+	r.AddSink(NewJSONLSink(&a))
+	r.AddSink(NewJSONLSink(&b))
+	if err := r.Emit(NewRecord("epoch").Add("epoch", 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"record":"epoch","epoch":7}` + "\n"
+	if a.String() != want || b.String() != want {
+		t.Fatalf("fan-out wrong: %q / %q", a.String(), b.String())
+	}
+}

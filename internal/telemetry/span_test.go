@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// manualClock returns a registry clock plus an advance function.
+func manualClock(r *Registry) func(time.Duration) {
+	now := time.Unix(0, 0)
+	r.SetClock(func() time.Time { return now })
+	return func(d time.Duration) { now = now.Add(d) }
+}
+
+func TestSpanNestingAndAccounting(t *testing.T) {
+	r := NewRegistry()
+	advance := manualClock(r)
+
+	ep := r.StartSpan("epoch")
+	for i := 0; i < 3; i++ {
+		ph := ep.StartChild("thermal")
+		advance(2 * time.Millisecond)
+		ph.End()
+		ph = ep.StartChild("pdn")
+		advance(1 * time.Millisecond)
+		ph.End()
+	}
+	inner := ep.StartChild("thermal").StartChild("euler")
+	advance(500 * time.Microsecond)
+	inner.End()
+	ep.Child("thermal").End()
+	advance(time.Millisecond)
+	ep.End()
+
+	if got := ep.Child("thermal").Total(); got != 6*time.Millisecond+500*time.Microsecond {
+		t.Fatalf("thermal total %v", got)
+	}
+	if got := ep.Child("thermal").Count(); got != 4 {
+		t.Fatalf("thermal count %d", got)
+	}
+	if got := ep.Child("pdn").Total(); got != 3*time.Millisecond {
+		t.Fatalf("pdn total %v", got)
+	}
+	if got := ep.Child("thermal").Child("euler").Total(); got != 500*time.Microsecond {
+		t.Fatalf("nested euler total %v", got)
+	}
+	if got := ep.Total(); got != 10*time.Millisecond+500*time.Microsecond {
+		t.Fatalf("epoch total %v", got)
+	}
+}
+
+func TestRootMergeAccumulatesAcrossEpochs(t *testing.T) {
+	r := NewRegistry()
+	advance := manualClock(r)
+	for e := 0; e < 4; e++ {
+		ep := r.StartSpan("epoch")
+		ph := ep.StartChild("power")
+		advance(time.Millisecond)
+		ph.End()
+		ep.End()
+	}
+	sn := r.Snapshot()
+	if len(sn.Spans) != 1 {
+		t.Fatalf("want one merged root, got %d", len(sn.Spans))
+	}
+	root := sn.Spans[0]
+	if root.Name != "epoch" || root.Count != 4 {
+		t.Fatalf("root %q count %d", root.Name, root.Count)
+	}
+	if root.TotalNS != (4 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("root total %d", root.TotalNS)
+	}
+	if len(root.Children) != 1 || root.Children[0].Count != 4 {
+		t.Fatalf("child merge wrong: %+v", root.Children)
+	}
+}
+
+func TestEndedSpanRetainsValuesAndDoubleEndIsNoop(t *testing.T) {
+	r := NewRegistry()
+	advance := manualClock(r)
+	ep := r.StartSpan("epoch")
+	advance(time.Millisecond)
+	ep.End()
+	total, count := ep.Total(), ep.Count()
+	advance(time.Hour)
+	ep.End() // must not merge or accumulate again
+	if ep.Total() != total || ep.Count() != count {
+		t.Fatal("double End changed the span")
+	}
+	sn := r.Snapshot()
+	if sn.Spans[0].Count != 1 {
+		t.Fatalf("double End merged twice: count %d", sn.Spans[0].Count)
+	}
+}
+
+func TestStartChildWhileRunningKeepsEarlierStart(t *testing.T) {
+	r := NewRegistry()
+	advance := manualClock(r)
+	ep := r.StartSpan("epoch")
+	ph := ep.StartChild("vr")
+	advance(time.Millisecond)
+	if again := ep.StartChild("vr"); again != ph {
+		t.Fatal("StartChild created a duplicate node")
+	}
+	advance(time.Millisecond)
+	ph.End()
+	if got := ph.Total(); got != 2*time.Millisecond {
+		t.Fatalf("restart while running reset the clock: %v", got)
+	}
+	ep.End()
+}
+
+func TestSnapshotWhileRunning(t *testing.T) {
+	r := NewRegistry()
+	advance := manualClock(r)
+	ep := r.StartSpan("epoch")
+	ph := ep.StartChild("uarch")
+	advance(time.Millisecond)
+	ph.End()
+	// Root not yet ended: registry snapshot must not see it …
+	if sn := r.Snapshot(); len(sn.Spans) != 0 {
+		t.Fatal("unfinished root leaked into the registry snapshot")
+	}
+	// … but the live tree can be exported directly.
+	live := ep.Snapshot()
+	if live.Name != "epoch" || len(live.Children) != 1 || live.Children[0].TotalNS == 0 {
+		t.Fatalf("live snapshot wrong: %+v", live)
+	}
+	ep.End()
+}

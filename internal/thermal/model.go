@@ -36,6 +36,8 @@ type Model struct {
 	sumG    []float64 // cached Σg per node (incl. ambient), for stability + steady state
 	maxRate float64   // max over nodes of ΣG/C, 1/s
 	delta   []float64 // scratch buffer for Step
+
+	substeps int64 // cumulative internal Euler substeps across all Step calls
 }
 
 // NewModel builds the RC network for the chip, initialised to the ambient
@@ -189,6 +191,7 @@ func (m *Model) Step(dtS float64) error {
 	sub := math.Min(m.cfg.MaxEulerStepS, 0.5/m.maxRate)
 	steps := int(math.Ceil(dtS / sub))
 	h := dtS / float64(steps)
+	m.substeps += int64(steps)
 	if m.delta == nil {
 		m.delta = make([]float64, m.nNodes)
 	}
@@ -241,6 +244,11 @@ func (m *Model) SteadyState(tolC float64, maxIter int) (int, error) {
 	}
 	return maxIter, errors.New("thermal: steady state did not converge")
 }
+
+// Substeps returns the cumulative number of internal Euler substeps taken
+// by Step since construction — the solver-cost counter telemetry reports
+// per epoch.
+func (m *Model) Substeps() int64 { return m.substeps }
 
 // BlockTemp returns the die temperature of the given block.
 func (m *Model) BlockTemp(block int) float64 { return m.temp[block] }

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Regenerates BENCH_baseline.json at the repo root from the telemetry
+# layer's per-phase measurements, after a sanity pass of the Go benchmarks.
+# Run from anywhere; writes relative to the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== runner benchmarks (sanity, 3 iterations each) =="
+go test -bench 'BenchmarkRunner' -benchtime 3x -run '^$' ./internal/sim/
+
+echo "== recording telemetry baseline =="
+go run ./cmd/tgbench -out BENCH_baseline.json "$@"
