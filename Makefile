@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check verify bench bench-baseline
+.PHONY: build test race vet fmt-check lint verify bench bench-baseline
 
 build:
 	$(GO) build ./...
@@ -10,13 +10,19 @@ test:
 	$(GO) build ./...
 	$(GO) test ./...
 
-# Race coverage on the concurrency-bearing packages (telemetry registry,
-# parallel experiment sweep driving shared instrumentation).
+# Race coverage everywhere: the experiments sweep workers and the
+# telemetry registry share state, and new concurrency should be caught
+# without having to remember to list its package here.
 race:
-	$(GO) test -race ./internal/telemetry/... ./internal/sim/...
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
+
+# Domain-aware static analysis: unit-suffix safety, determinism,
+# float-compare, and error-sink passes (see docs/STATIC_ANALYSIS.md).
+lint:
+	$(GO) run ./cmd/tglint ./...
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -25,7 +31,7 @@ fmt-check:
 	fi
 
 # The full pre-merge check.
-verify: vet fmt-check test race
+verify: vet fmt-check lint test race
 
 # Quick runner benchmark (3 iterations, telemetry off vs. on).
 bench:

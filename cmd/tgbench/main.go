@@ -81,20 +81,25 @@ func main() {
 		os.Exit(1)
 	}
 	var w io.Writer = os.Stdout
+	var f *os.File
 	if *out != "-" {
-		f, err := os.Create(*out)
+		f, err = os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tgbench:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		w = f
 	}
 	if err := writeBaseline(w, b); err != nil {
 		fmt.Fprintln(os.Stderr, "tgbench:", err)
 		os.Exit(1)
 	}
-	if *out != "-" {
+	if f != nil {
+		// An unchecked Close here could silently truncate the baseline.
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "tgbench:", err)
+			os.Exit(1)
+		}
 		fmt.Printf("wrote %s (%d cases)\n", *out, len(b.Cases))
 	}
 }

@@ -1,0 +1,116 @@
+// Command tglint runs the repository's domain-aware static-analysis
+// passes (unitcheck, detcheck, floatcheck, errsink — see
+// docs/STATIC_ANALYSIS.md) over go list package patterns:
+//
+//	tglint ./...
+//	tglint -passes floatcheck,errsink ./internal/thermal
+//
+// Diagnostics print as "file:line:col: [pass] message". The process
+// exits 1 when any unsuppressed diagnostic is found, 2 on usage or load
+// failure, and 0 on a clean tree, so `make verify` and CI can gate on
+// it. Configuration is read from the nearest .tglint.json (walking up
+// from the working directory) unless -config overrides it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"thermogater/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tglint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		configPath = fs.String("config", "", "path to .tglint.json (default: nearest ancestor of the working directory)")
+		passList   = fs.String("passes", "", "comma-separated subset of passes to run (default: all)")
+		list       = fs.Bool("list", false, "list available passes and exit")
+		verbose    = fs.Bool("v", false, "also print soft type-check errors")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: tglint [flags] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	analyzers := analysis.All()
+	if *passList != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*passList, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(stderr, "tglint: unknown pass %q (try -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "tglint: %v\n", err)
+		return 2
+	}
+	cfg := analysis.DefaultConfig()
+	path := *configPath
+	if path == "" {
+		path = analysis.FindConfig(cwd)
+	}
+	if path != "" {
+		cfg, err = analysis.LoadConfig(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "tglint: %v\n", err)
+			return 2
+		}
+	}
+
+	pkgs, err := analysis.Load(cwd, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "tglint: %v\n", err)
+		return 2
+	}
+	if *verbose {
+		for _, pkg := range pkgs {
+			for _, terr := range pkg.TypeErrors {
+				fmt.Fprintf(stderr, "tglint: %s: type-check: %v\n", pkg.ImportPath, terr)
+			}
+		}
+	}
+
+	diags := analysis.Run(pkgs, analyzers, cfg)
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", name, d.Pos.Line, d.Pos.Column, d.Pass, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "tglint: %d diagnostic(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -122,10 +122,21 @@ func execute(w io.Writer, o options) error {
 			if err != nil {
 				return err
 			}
-			defer f.Close()
+			// Registered before reg.Close below, so LIFO order closes the
+			// file only after the registry's final flush — and a short
+			// write of the metrics file is reported, not swallowed.
+			defer func() {
+				if err := f.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "thermogater: metrics file:", err)
+				}
+			}()
 			reg.AddSink(out.mk(f))
 		}
-		defer reg.Close()
+		defer func() {
+			if err := reg.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "thermogater: telemetry:", err)
+			}
+		}()
 	}
 
 	if o.pprofAddr != "" {
@@ -141,7 +152,11 @@ func execute(w io.Writer, o options) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "thermogater: cpu profile:", err)
+			}
+		}()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			return err
 		}
@@ -154,9 +169,11 @@ func execute(w io.Writer, o options) error {
 				fmt.Fprintln(os.Stderr, "thermogater: heap profile:", err)
 				return
 			}
-			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "thermogater: heap profile:", err)
+			}
+			if err := f.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "thermogater: heap profile:", err)
 			}
 		}()
@@ -212,6 +229,7 @@ func runSingle(w io.Writer, reg *telemetry.Registry, policy, bench, profilePath 
 		if err != nil {
 			return err
 		}
+		//lint:ignore errsink read-only file: Close cannot lose data and its error carries no signal
 		defer f.Close()
 		prof, err = workload.ReadProfile(f)
 		if err != nil {

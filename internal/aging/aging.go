@@ -174,6 +174,7 @@ func (t *Tracker) ImbalanceRatio() float64 {
 			max = d
 		}
 	}
+	//lint:ignore floatcheck damage terms are nonnegative, so the sum is exactly zero iff nothing ever aged
 	if sum == 0 {
 		return 0
 	}

@@ -1,0 +1,160 @@
+// Package analysis is tglint's pass framework: a small, stdlib-only
+// counterpart of golang.org/x/tools/go/analysis tailored to this
+// repository's domain invariants. Four passes ride on it:
+//
+//   - unitcheck:  unit-suffix consistency (tempC vs tempK, W vs mW, ...)
+//   - detcheck:   nondeterminism sources in simulation packages
+//   - floatcheck: raw ==/!= on floating-point operands
+//   - errsink:    dropped error results from solver / sink APIs
+//
+// Packages are loaded with go/parser and type-checked with go/types
+// against the build cache's export data (see load.go), so the framework
+// needs no module dependencies and no network. Diagnostics can be
+// suppressed per line with
+//
+//	//lint:ignore <pass>[,<pass>...] <reason>
+//
+// on the offending line or the line directly above it (see suppress.go).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named pass. Run receives a fully type-checked package
+// and reports through Pass.Reportf.
+type Analyzer struct {
+	Name string // short lower-case name used in diagnostics and ignore directives
+	Doc  string // one-line description
+	Run  func(*Pass)
+}
+
+// Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Pos     token.Position
+	Pass    string
+	Message string
+}
+
+// String renders the canonical "file:line:col: [pass] message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Pass, d.Message)
+}
+
+// Pass is the per-(analyzer, package) invocation context handed to
+// Analyzer.Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	Config   *Config
+
+	// ImportPath is the package's import path as reported by go list;
+	// detcheck and errsink scope themselves with it.
+	ImportPath string
+
+	diags []Diagnostic
+}
+
+// Reportf records one diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Pass:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the static type of e, or nil when the checker could not
+// resolve it. Passes must tolerate nil: type information is best-effort
+// when a package has errors.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// ObjectOf resolves the object a call expression's function refers to
+// (function, method, or builtin), or nil.
+func (p *Pass) ObjectOf(fun ast.Expr) types.Object {
+	switch f := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		return p.Info.ObjectOf(f)
+	case *ast.SelectorExpr:
+		return p.Info.ObjectOf(f.Sel)
+	}
+	return nil
+}
+
+// All returns the four domain analyzers in their canonical order.
+func All() []*Analyzer {
+	return []*Analyzer{Unitcheck, Detcheck, Floatcheck, Errsink}
+}
+
+// ByName resolves a comma-less analyzer name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run applies the analyzers to every loaded package, filters suppressed
+// diagnostics, and returns the rest sorted by position. Malformed
+// suppression directives are themselves reported under the pass name
+// "tglint".
+func Run(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Diagnostic {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		idx, bad := buildSuppressions(pkg.Fset, pkg.Files)
+		out = append(out, bad...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				Info:       pkg.Info,
+				Config:     cfg,
+				ImportPath: pkg.ImportPath,
+			}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				if !idx.suppressed(a.Name, d.Pos) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Pass < b.Pass
+	})
+	return out
+}

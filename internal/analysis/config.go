@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Config tunes the passes. The repository ships one as .tglint.json at
+// the module root; zero values fall back to the defaults below so a
+// partial file only overrides what it mentions.
+type Config struct {
+	Detcheck struct {
+		// Packages lists the simulation packages detcheck polices, as
+		// import-path base names (e.g. "thermal") or full import paths.
+		Packages []string `json:"packages"`
+		// Allow exempts whole packages by import path (prefix match), e.g.
+		// internal/telemetry, which legitimately reads wall-clock time.
+		Allow []string `json:"allow"`
+	} `json:"detcheck"`
+
+	Floatcheck struct {
+		// Helpers names functions allowed to contain raw float ==/!= —
+		// the approved epsilon-comparison helpers themselves.
+		Helpers []string `json:"helpers"`
+	} `json:"floatcheck"`
+
+	Errsink struct {
+		// Methods are callee names whose error result must never be
+		// dropped, even via an explicit blank assignment.
+		Methods []string `json:"methods"`
+		// InternalPrefixes marks import-path prefixes considered "our"
+		// APIs: any discarded error from a callee in these packages is
+		// flagged (statement-position drops only).
+		InternalPrefixes []string `json:"internalPrefixes"`
+	} `json:"errsink"`
+}
+
+// DefaultConfig returns the built-in configuration, matching the
+// committed .tglint.json.
+func DefaultConfig() *Config {
+	c := &Config{}
+	c.Detcheck.Packages = []string{
+		"uarch", "workload", "power", "thermal", "pdn", "vr", "sim", "dvfs", "aging",
+	}
+	c.Detcheck.Allow = []string{"thermogater/internal/telemetry"}
+	c.Floatcheck.Helpers = []string{"approxEqual", "almostEqual", "floatsEqual", "withinTol"}
+	c.Errsink.Methods = []string{
+		"Step", "SetPower", "SteadyState", "Emit", "Flush", "Close", "Write",
+	}
+	c.Errsink.InternalPrefixes = []string{"thermogater/"}
+	return c
+}
+
+// LoadConfig reads a JSON config file and overlays it on the defaults.
+func LoadConfig(path string) (*Config, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := DefaultConfig()
+	dec := json.NewDecoder(strings.NewReader(string(b)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(cfg); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return cfg, nil
+}
+
+// FindConfig walks from dir toward the filesystem root looking for
+// .tglint.json, returning "" when none exists.
+func FindConfig(dir string) string {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return ""
+	}
+	for {
+		p := filepath.Join(dir, ".tglint.json")
+		if _, err := os.Stat(p); err == nil {
+			return p
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+}
+
+// detcheckApplies reports whether detcheck polices the package.
+func (c *Config) detcheckApplies(importPath string) bool {
+	for _, allow := range c.Detcheck.Allow {
+		if importPath == allow || strings.HasPrefix(importPath, allow+"/") {
+			return false
+		}
+	}
+	base := importPath[strings.LastIndex(importPath, "/")+1:]
+	for _, p := range c.Detcheck.Packages {
+		if p == base || p == importPath {
+			return true
+		}
+	}
+	return false
+}
+
+// floatcheckHelper reports whether raw float comparison is allowed
+// inside a function with this name.
+func (c *Config) floatcheckHelper(funcName string) bool {
+	for _, h := range c.Floatcheck.Helpers {
+		if h == funcName {
+			return true
+		}
+	}
+	return false
+}
+
+// errsinkMethod reports whether the callee name is on the strict list.
+func (c *Config) errsinkMethod(name string) bool {
+	for _, m := range c.Errsink.Methods {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// errsinkInternal reports whether the callee's package counts as a
+// module-internal API.
+func (c *Config) errsinkInternal(pkgPath string) bool {
+	for _, p := range c.Errsink.InternalPrefixes {
+		if strings.HasPrefix(pkgPath, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,236 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Detcheck forbids nondeterminism sources inside the simulation
+// packages (configurable; by default uarch, workload, power, thermal,
+// pdn, vr, sim, dvfs, aging — telemetry is allowlisted because it
+// legitimately timestamps with wall-clock time):
+//
+//   - time.Now / time.Since / time.Until — wall-clock reads make runs
+//     unreproducible; inject a clock instead,
+//   - package-level math/rand (and math/rand/v2) functions — the global
+//     generator couples every consumer's stream; use workload.RNG,
+//   - os environment reads (Getenv, LookupEnv, Environ, ExpandEnv) —
+//     hidden inputs the result file does not record,
+//   - map iteration whose body is order-sensitive: last-write-wins
+//     assignments derived from the iteration variables, floating-point
+//     accumulation, or appends of the iteration variables to a slice
+//     that is never sorted afterwards.
+var Detcheck = &Analyzer{
+	Name: "detcheck",
+	Doc:  "forbids wall-clock, global rand, env reads, and order-sensitive map iteration in simulation packages",
+	Run:  runDetcheck,
+}
+
+// randConstructors are the math/rand functions that merely build
+// generators (deterministic given a seed) rather than consuming the
+// global stream.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+var envReaders = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true, "ExpandEnv": true,
+}
+
+func runDetcheck(p *Pass) {
+	if !p.Config.detcheckApplies(p.ImportPath) {
+		return
+	}
+	for _, f := range p.Files {
+		// Walk top-level declarations so map-range analysis knows its
+		// enclosing function (for the sorted-afterwards carve-out).
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkDetFunc(p, fn)
+			return true
+		})
+	}
+}
+
+func checkDetFunc(p *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			checkForbiddenRef(p, n)
+		case *ast.RangeStmt:
+			checkMapRange(p, fn, n)
+		}
+		return true
+	})
+}
+
+// checkForbiddenRef flags any reference (call or value use) to a
+// forbidden stdlib function.
+func checkForbiddenRef(p *Pass, sel *ast.SelectorExpr) {
+	obj := p.Info.ObjectOf(sel.Sel)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn) are seeded and fine
+	}
+	name := fn.Name()
+	switch fn.Pkg().Path() {
+	case "time":
+		if name == "Now" || name == "Since" || name == "Until" {
+			p.Reportf(sel.Pos(), "time.%s in simulation package: wall-clock reads break reproducibility; inject a clock or move timing to telemetry", name)
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[name] {
+			p.Reportf(sel.Pos(), "global math/rand.%s in simulation package: the shared stream makes runs depend on unrelated consumers; use workload.RNG or a locally seeded rand.New", name)
+		}
+	case "os":
+		if envReaders[name] {
+			p.Reportf(sel.Pos(), "os.%s in simulation package: environment reads are hidden inputs; thread configuration through Config instead", name)
+		}
+	}
+}
+
+// checkMapRange flags order-sensitive writes inside a range over a map.
+func checkMapRange(p *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) {
+	t := p.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	keyObj := rangeVarObj(p, rng.Key)
+	valObj := rangeVarObj(p, rng.Value)
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range a.Lhs {
+			root := rootObj(p, lhs)
+			if root == nil || !declaredOutside(root, rng) {
+				continue
+			}
+			_, indexed := ast.Unparen(lhs).(*ast.IndexExpr)
+			var rhs ast.Expr
+			if i < len(a.Rhs) {
+				rhs = a.Rhs[i]
+			}
+			switch {
+			case indexed:
+				// Per-key writes into another map are deterministic; only
+				// positional containers make order visible.
+			case isAppendOf(p, rhs, root):
+				if usesObj(p, rhs, keyObj) || usesObj(p, rhs, valObj) {
+					if !sortedLater(p, fn, rng, root) {
+						p.Reportf(a.Pos(), "append of map-iteration values to %q: map order is nondeterministic; sort %q afterwards or iterate sorted keys", root.Name(), root.Name())
+					}
+				}
+			case a.Tok != token.ASSIGN && a.Tok != token.DEFINE:
+				// Compound assignment: float accumulation depends on
+				// iteration order through rounding.
+				if isFloatType(p.TypeOf(lhs)) {
+					p.Reportf(a.Pos(), "floating-point accumulation into %q while ranging over a map: summation order is nondeterministic; iterate sorted keys", root.Name())
+				}
+			default:
+				if rhs != nil && (usesObj(p, rhs, keyObj) || usesObj(p, rhs, valObj)) {
+					p.Reportf(a.Pos(), "last-write-wins assignment to %q from map-iteration variables: the surviving value depends on map order; iterate sorted keys", root.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+func rangeVarObj(p *Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return p.Info.ObjectOf(id)
+}
+
+// rootObj unwraps an assignable expression to the object of its base
+// identifier (x, x.f, x[i], *x → x).
+func rootObj(p *Pass, e ast.Expr) types.Object {
+	for {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return p.Info.ObjectOf(t)
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}
+
+func declaredOutside(obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+func isAppendOf(p *Pass, rhs ast.Expr, slice types.Object) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	return rootObj(p, call.Args[0]) == slice
+}
+
+// usesObj reports whether the expression references obj.
+func usesObj(p *Pass, e ast.Expr, obj types.Object) bool {
+	if e == nil || obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.Info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedLater accepts the collect-then-sort idiom: after the range, the
+// enclosing function calls into package sort or slices with the
+// collected slice.
+func sortedLater(p *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, slice types.Object) bool {
+	sorted := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if obj, ok := p.Info.ObjectOf(sel.Sel).(*types.Func); ok && obj.Pkg() != nil {
+			if path := obj.Pkg().Path(); path == "sort" || path == "slices" {
+				for _, arg := range call.Args {
+					if rootObj(p, arg) == slice {
+						sorted = true
+					}
+				}
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}

@@ -1,0 +1,30 @@
+package analysis
+
+import "testing"
+
+func TestDetcheckFixture(t *testing.T) {
+	checkFixture(t, Detcheck, "detcheck/sim")
+}
+
+// TestDetcheckAllowlist proves the config allowlist silences a package
+// that would otherwise be policed: the same fixture loaded with its
+// import path allowed yields nothing.
+func TestDetcheckAllowlist(t *testing.T) {
+	pkg := loadFixture(t, "detcheck/sim")
+	cfg := DefaultConfig()
+	cfg.Detcheck.Allow = append(cfg.Detcheck.Allow, pkg.ImportPath)
+	if diags := Run([]*Package{pkg}, []*Analyzer{Detcheck}, cfg); len(diags) != 0 {
+		t.Errorf("allowlisted package still produced %d diagnostics, e.g. %s", len(diags), diags[0])
+	}
+}
+
+// TestDetcheckScope proves detcheck ignores packages outside the
+// configured simulation list entirely.
+func TestDetcheckScope(t *testing.T) {
+	pkg := loadFixture(t, "detcheck/sim")
+	cfg := DefaultConfig()
+	cfg.Detcheck.Packages = []string{"somethingelse"}
+	if diags := Run([]*Package{pkg}, []*Analyzer{Detcheck}, cfg); len(diags) != 0 {
+		t.Errorf("out-of-scope package still produced %d diagnostics, e.g. %s", len(diags), diags[0])
+	}
+}

@@ -1,0 +1,20 @@
+package analysis
+
+import "testing"
+
+func TestErrsinkFixture(t *testing.T) {
+	checkFixture(t, Errsink, "errsink")
+}
+
+// TestErrsinkScopeConfig proves errsink is scoped by config: with the
+// strict-name list and the internal-prefix list both emptied, nothing
+// in the fixture is policed.
+func TestErrsinkScopeConfig(t *testing.T) {
+	pkg := loadFixture(t, "errsink")
+	cfg := DefaultConfig()
+	cfg.Errsink.Methods = nil
+	cfg.Errsink.InternalPrefixes = nil
+	if diags := Run([]*Package{pkg}, []*Analyzer{Errsink}, cfg); len(diags) != 0 {
+		t.Errorf("descoped errsink still produced %d diagnostics, e.g. %s", len(diags), diags[0])
+	}
+}

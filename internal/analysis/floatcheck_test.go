@@ -1,0 +1,21 @@
+package analysis
+
+import "testing"
+
+func TestFloatcheckFixture(t *testing.T) {
+	checkFixture(t, Floatcheck, "floatcheck")
+}
+
+// TestFloatcheckHelperConfig proves the helper exemption is config
+// driven: dropping approxEqual from the helper list makes its internal
+// comparison fire.
+func TestFloatcheckHelperConfig(t *testing.T) {
+	pkg := loadFixture(t, "floatcheck")
+	cfg := DefaultConfig()
+	cfg.Floatcheck.Helpers = nil
+	diags := Run([]*Package{pkg}, []*Analyzer{Floatcheck}, cfg)
+	base := Run([]*Package{pkg}, []*Analyzer{Floatcheck}, DefaultConfig())
+	if len(diags) != len(base)+1 {
+		t.Errorf("without helper exemption got %d diagnostics, want %d", len(diags), len(base)+1)
+	}
+}

@@ -1,0 +1,98 @@
+package analysis
+
+// Fixture harness in the spirit of golang.org/x/tools' analysistest:
+// each fixture package under testdata/src/ annotates every expected
+// diagnostic with a trailing
+//
+//	// want "substring"
+//
+// comment (several per line allowed). A fixture test fails when an
+// analyzer misses a want (the seeded violation did not fire), fires on
+// a line with no matching want (false positive), or fires through a
+// //lint:ignore suppression.
+
+import (
+	"strings"
+	"testing"
+)
+
+// loadFixture loads one fixture package by its path below testdata/src.
+func loadFixture(t *testing.T, rel string) *Package {
+	t.Helper()
+	pkgs, err := Load(".", []string{"./testdata/src/" + rel})
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", rel, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: loaded %d packages, want 1", rel, len(pkgs))
+	}
+	if len(pkgs[0].TypeErrors) > 0 {
+		t.Fatalf("fixture %s has type errors: %v", rel, pkgs[0].TypeErrors)
+	}
+	return pkgs[0]
+}
+
+// wantKey addresses one fixture line.
+type wantKey struct {
+	file string
+	line int
+}
+
+// collectWants parses the fixture's "// want" annotations.
+func collectWants(pkg *Package) map[wantKey][]string {
+	wants := make(map[wantKey][]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := wantKey{pos.Filename, pos.Line}
+				parts := strings.Split(text[len("want "):], `"`)
+				for i := 1; i < len(parts); i += 2 {
+					wants[key] = append(wants[key], parts[i])
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture runs one analyzer over a fixture and reconciles the
+// diagnostics against the want annotations.
+func checkFixture(t *testing.T, a *Analyzer, rel string) {
+	t.Helper()
+	pkg := loadFixture(t, rel)
+	wants := collectWants(pkg)
+	diags := Run([]*Package{pkg}, []*Analyzer{a}, DefaultConfig())
+
+	matched := make(map[wantKey][]bool)
+	for k, w := range wants {
+		matched[k] = make([]bool, len(w))
+	}
+	for _, d := range diags {
+		key := wantKey{d.Pos.Filename, d.Pos.Line}
+		ok := false
+		for i, w := range wants[key] {
+			if !matched[key][i] && strings.Contains(d.Message, w) {
+				matched[key][i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, w := range wants {
+		for i, m := range matched[key] {
+			if !m {
+				t.Errorf("%s:%d: analyzer %s never fired; want a diagnostic containing %q",
+					key.file, key.line, a.Name, w[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,11 @@
+// Package clean is a tglint fixture with no violations: the driver must
+// exit 0 on it.
+package clean
+
+import "math"
+
+// Warm converts and compares temperatures the approved way.
+func Warm(tempK float64) bool {
+	tempC := tempK - 273.15
+	return math.Abs(tempC-85) < 1e-9
+}

@@ -1,0 +1,58 @@
+// Package sim is a tglint fixture for detcheck. The directory is named
+// "sim" so the default simulation-package list covers it.
+package sim
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// Nondeterministic seeds one violation of every detcheck rule.
+func Nondeterministic(weights map[string]float64) (float64, string) {
+	t0 := time.Now()              // want "time.Now"
+	r := rand.Float64()           // want "math/rand"
+	mode := os.Getenv("SIM_MODE") // want "os.Getenv"
+
+	var sum float64
+	var last string
+	for k, w := range weights {
+		sum += w // want "floating-point accumulation"
+		last = k // want "last-write-wins"
+	}
+	_ = t0
+	_ = mode
+	return sum + r, last
+}
+
+// SortedKeys is the approved collect-then-sort idiom: silent.
+func SortedKeys(weights map[string]float64) []string {
+	keys := make([]string, 0, len(weights))
+	for k := range weights {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// UnsortedKeys drops the sort, leaving the append order-visible.
+func UnsortedKeys(weights map[string]float64) []string {
+	var keys []string
+	for k := range weights {
+		keys = append(keys, k) // want "append of map-iteration"
+	}
+	return keys
+}
+
+// Seeded generators and their methods are allowed.
+func Seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// Suppressed demonstrates an annotated wall-clock read.
+func Suppressed() time.Time {
+	//lint:ignore detcheck fixture demonstrates an annotated wall-clock read
+	return time.Now()
+}

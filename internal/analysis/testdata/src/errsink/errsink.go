@@ -1,0 +1,40 @@
+// Package errsink is a tglint fixture for the dropped-error pass.
+package errsink
+
+import "errors"
+
+// Solver mimics the thermal solver API surface.
+type Solver struct{ temp float64 }
+
+// Step advances the solver and can fail.
+func (s *Solver) Step(dtS float64) error {
+	if dtS <= 0 {
+		return errors.New("non-positive step")
+	}
+	s.temp += dtS
+	return nil
+}
+
+// SetPower injects power and can fail.
+func (s *Solver) SetPower(powerW float64) error {
+	if powerW < 0 {
+		return errors.New("negative power")
+	}
+	return nil
+}
+
+// Run seeds one violation of every errsink rule.
+func Run(s *Solver) float64 {
+	s.Step(0.1)       // want "error result of Step is silently discarded"
+	_ = s.SetPower(3) // want "error result of SetPower is blanked"
+	defer s.Step(0.2) // want "deferred error result of Step"
+
+	//lint:ignore errsink fixture demonstrates an annotated, deliberate drop
+	s.Step(0.3)
+
+	// Handled calls are silent.
+	if err := s.SetPower(1); err != nil {
+		return 0
+	}
+	return s.temp
+}

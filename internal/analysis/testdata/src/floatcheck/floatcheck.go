@@ -1,0 +1,39 @@
+// Package floatcheck is a tglint fixture for the float-equality pass.
+package floatcheck
+
+import "math"
+
+// approxEqual is an approved epsilon helper (config: floatcheck.helpers);
+// the raw comparison inside it is allowed.
+func approxEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) < 1e-9
+}
+
+// Converged compares solver outputs exactly: a latent bug.
+func Converged(prev, next float64) bool {
+	return prev == next // want "floating-point == comparison"
+}
+
+// Different is the same bug with !=.
+func Different(a, b float64) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+// IsNaN uses the x != x idiom, which only NaN satisfies: silent.
+func IsNaN(x float64) bool {
+	return x != x
+}
+
+// SentinelZero demonstrates an annotated intentional sentinel.
+func SentinelZero(sum float64) bool {
+	//lint:ignore floatcheck fixture demonstrates an annotated sentinel comparison
+	return sum == 0
+}
+
+// UsesHelper shows the approved path: silent.
+func UsesHelper(a, b float64) bool {
+	return approxEqual(a, b)
+}

@@ -1,0 +1,40 @@
+// Package unitcheck is a tglint fixture. Every "// want" line must
+// produce a diagnostic containing the quoted substring; the
+// //lint:ignore line must stay silent.
+package unitcheck
+
+// Config mimics a solver config with unit-suffixed fields.
+type Config struct {
+	AmbientC float64
+	EpochMS  float64
+}
+
+// Reset expects degrees Celsius.
+func Reset(tempC float64) float64 { return tempC }
+
+// Step expects seconds.
+func Step(dtS float64) float64 { return dtS }
+
+// Demo seeds one violation of every unitcheck rule.
+func Demo() []float64 {
+	tempK := 300.0
+	dtMS := 5.0
+
+	a := Reset(tempK) // want "scale mismatch"
+	b := Step(dtMS)   // want "scale mismatch"
+
+	tempC := tempK - 273.15 // recognised Kelvin→Celsius conversion: silent
+	c := Reset(tempC)
+
+	mix := tempC + dtMS // want "dimension mismatch"
+	tempC += dtMS       // want "dimension mismatch"
+
+	var windowMS float64 = tempK // want "dimension mismatch"
+
+	cfg := Config{AmbientC: tempK} // want "scale mismatch"
+
+	//lint:ignore unitcheck fixture demonstrates an annotated, intentional mismatch
+	d := Reset(tempK)
+
+	return []float64{a, b, c, mix, windowMS, cfg.EpochMS, d}
+}

@@ -1,0 +1,408 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Unitcheck enforces the repository's unit-suffix convention. Every
+// physical quantity is a bare float64 whose unit lives only in its
+// identifier suffix (tempC, dtS, PlossW, FreqGHz, ...). The pass learns
+// a unit from each identifier's suffix and flags
+//
+//   - call arguments whose unit contradicts the parameter's unit
+//     (passing tempK into func Reset(tempC float64)),
+//   - assignments / var declarations / keyed struct literals pairing
+//     mismatched units, and
+//   - additive arithmetic or comparisons mixing incompatible units.
+//
+// The Celsius↔Kelvin conversion idiom (± 273.15) is recognised, so
+// `tempK := tempC + 273.15` is accepted. Units are only inferred for
+// float-typed expressions, which keeps enum-ish names like core.OracV
+// out of scope, and suffixes preceded by "Per" (SinkResKPerW) are
+// treated as compound units and skipped.
+var Unitcheck = &Analyzer{
+	Name: "unitcheck",
+	Doc:  "flags identifier unit-suffix contradictions (C/K, W/mW, S/MS, ...)",
+	Run:  runUnitcheck,
+}
+
+// unitInfo is one entry of the suffix lattice.
+type unitInfo struct {
+	Suffix string // case-sensitive identifier suffix
+	Dim    string // dimension key: two units are convertible iff dims match
+	Name   string // human-readable unit name for diagnostics
+}
+
+// UnitLattice is the suffix → unit table, longest suffix first so that
+// FreqGHz matches GHz rather than Hz. Exported for the docs generator
+// and the tests.
+var UnitLattice = []unitInfo{
+	{"GHz", "frequency", "gigahertz"},
+	{"MHz", "frequency", "megahertz"},
+	{"KHz", "frequency", "kilohertz"},
+	{"Hz", "frequency", "hertz"},
+	{"mW", "power", "milliwatts"},
+	{"MW", "power", "milliwatts"}, // exported-identifier spelling of mW
+	{"mV", "voltage", "millivolts"},
+	{"MV", "voltage", "millivolts"},
+	{"NS", "time", "nanoseconds"},
+	{"Ns", "time", "nanoseconds"},
+	{"US", "time", "microseconds"},
+	{"MS", "time", "milliseconds"},
+	{"MM", "length", "millimetres"},
+	{"C", "temperature", "degrees Celsius"},
+	{"K", "temperature", "kelvin"},
+	{"W", "power", "watts"},
+	{"V", "voltage", "volts"},
+	{"A", "current", "amperes"},
+	{"S", "time", "seconds"},
+	{"J", "energy", "joules"},
+}
+
+// canonicalSuffix folds spelling variants (MW → mW, Ns → NS) so scale
+// comparison treats them as the same unit.
+func canonicalSuffix(s string) string {
+	switch s {
+	case "MW":
+		return "mW"
+	case "MV":
+		return "mV"
+	case "Ns":
+		return "NS"
+	}
+	return s
+}
+
+// suffixUnit extracts a unit from an identifier name, or nil. The
+// character before the suffix must be a lower-case letter or digit (the
+// camelCase boundary: MaxTempC yes, DVFS/CSV/NOC no), and "Per"
+// immediately before the suffix marks a compound unit (SinkResKPerW,
+// capJPerK) that carries no single-unit meaning.
+func suffixUnit(name string) *unitInfo {
+	for i := range UnitLattice {
+		u := &UnitLattice[i]
+		if !strings.HasSuffix(name, u.Suffix) {
+			continue
+		}
+		cut := len(name) - len(u.Suffix)
+		if cut == 0 {
+			continue // the whole name is the suffix: not a unit tag
+		}
+		prev := name[cut-1]
+		if !(prev >= 'a' && prev <= 'z' || prev >= '0' && prev <= '9') {
+			continue
+		}
+		if cut >= 3 && name[cut-3:cut] == "Per" {
+			continue
+		}
+		return u
+	}
+	return nil
+}
+
+// kelvinOffset is the Celsius↔Kelvin conversion constant the pass
+// recognises as an explicit unit conversion.
+const kelvinOffset = "273.15"
+
+func isKelvinOffset(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Kind == token.FLOAT && lit.Value == kelvinOffset
+}
+
+type unitChecker struct {
+	pass *Pass
+}
+
+func runUnitcheck(p *Pass) {
+	c := &unitChecker{pass: p}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				c.checkCall(n)
+			case *ast.AssignStmt:
+				c.checkAssign(n)
+			case *ast.ValueSpec:
+				c.checkValueSpec(n)
+			case *ast.CompositeLit:
+				c.checkCompositeLit(n)
+			case *ast.BinaryExpr:
+				c.checkArith(n)
+			}
+			return true
+		})
+	}
+}
+
+func (c *unitChecker) isFloat(e ast.Expr) bool {
+	return isFloatType(c.pass.TypeOf(e))
+}
+
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// unitOf infers the unit of an expression, best-effort. It never
+// reports; checkArith owns diagnostics for mixed operands.
+func (c *unitChecker) unitOf(e ast.Expr) *unitInfo {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if c.isFloat(e) {
+			return suffixUnit(e.Name)
+		}
+	case *ast.SelectorExpr:
+		if c.isFloat(e) {
+			return suffixUnit(e.Sel.Name)
+		}
+	case *ast.CallExpr:
+		if !c.isFloat(e) {
+			return nil
+		}
+		switch fun := ast.Unparen(e.Fun).(type) {
+		case *ast.Ident:
+			return suffixUnit(fun.Name)
+		case *ast.SelectorExpr:
+			return suffixUnit(fun.Sel.Name)
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return c.unitOf(e.X)
+		}
+	case *ast.BinaryExpr:
+		return c.binaryUnit(e)
+	}
+	return nil
+}
+
+// binaryUnit resolves the unit of an additive expression: the ±273.15
+// idiom converts between C and K, a unit plus a unitless term keeps the
+// unit, and mismatched operands resolve to no unit (checkArith reports
+// them separately).
+func (c *unitChecker) binaryUnit(e *ast.BinaryExpr) *unitInfo {
+	if e.Op != token.ADD && e.Op != token.SUB {
+		return nil // products and quotients change dimension: give up
+	}
+	lu, ru := c.unitOf(e.X), c.unitOf(e.Y)
+	if isKelvinOffset(e.Y) {
+		return convertTemp(lu, e.Op)
+	}
+	if isKelvinOffset(e.X) && e.Op == token.ADD {
+		return convertTemp(ru, e.Op)
+	}
+	switch {
+	case lu != nil && ru != nil:
+		if canonicalSuffix(lu.Suffix) == canonicalSuffix(ru.Suffix) {
+			return lu
+		}
+		return nil
+	case lu != nil:
+		return lu
+	default:
+		return ru
+	}
+}
+
+// convertTemp maps tempC + 273.15 → kelvin and tempK - 273.15 → Celsius;
+// any other combination with the offset constant is left unit-less.
+func convertTemp(u *unitInfo, op token.Token) *unitInfo {
+	if u == nil {
+		return nil
+	}
+	switch {
+	case u.Suffix == "C" && op == token.ADD:
+		return lookupSuffix("K")
+	case u.Suffix == "K" && op == token.SUB:
+		return lookupSuffix("C")
+	}
+	return nil
+}
+
+func lookupSuffix(s string) *unitInfo {
+	for i := range UnitLattice {
+		if UnitLattice[i].Suffix == s {
+			return &UnitLattice[i]
+		}
+	}
+	return nil
+}
+
+// mismatch classifies a unit pair: "" (compatible), "dimension", or
+// "scale".
+func mismatch(a, b *unitInfo) string {
+	if a == nil || b == nil {
+		return ""
+	}
+	if a.Dim != b.Dim {
+		return "dimension"
+	}
+	if canonicalSuffix(a.Suffix) != canonicalSuffix(b.Suffix) {
+		return "scale"
+	}
+	return ""
+}
+
+func (c *unitChecker) checkCall(call *ast.CallExpr) {
+	sig, ok := typeAsSignature(c.pass.TypeOf(call.Fun))
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	if np == 0 {
+		return
+	}
+	funcName := calleeName(call)
+	for i, arg := range call.Args {
+		pi := i
+		if pi >= np {
+			if !sig.Variadic() {
+				return
+			}
+			pi = np - 1
+		}
+		param := sig.Params().At(pi)
+		ptype := param.Type()
+		if sig.Variadic() && pi == np-1 {
+			if sl, ok := ptype.(*types.Slice); ok {
+				ptype = sl.Elem()
+			}
+		}
+		if !isFloatType(ptype) {
+			continue
+		}
+		pu := suffixUnit(param.Name())
+		if pu == nil {
+			continue
+		}
+		au := c.unitOf(arg)
+		if kind := mismatch(au, pu); kind != "" {
+			c.pass.Reportf(arg.Pos(),
+				"%s mismatch: argument in %s (%s) passed to parameter %q of %s (%s)",
+				kind, au.Name, au.Suffix, param.Name(), funcName, pu.Name)
+		}
+	}
+}
+
+func typeAsSignature(t types.Type) (*types.Signature, bool) {
+	if t == nil {
+		return nil, false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "function"
+}
+
+func (c *unitChecker) checkAssign(a *ast.AssignStmt) {
+	switch a.Tok {
+	case token.ASSIGN, token.DEFINE:
+		if len(a.Lhs) != len(a.Rhs) {
+			return // tuple assignment from a call: units come from the callee
+		}
+		for i := range a.Lhs {
+			c.checkPair(a.Rhs[i].Pos(), a.Lhs[i], a.Rhs[i], "assigned to")
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		if len(a.Lhs) == 1 && len(a.Rhs) == 1 {
+			c.checkPair(a.Rhs[0].Pos(), a.Lhs[0], a.Rhs[0], "accumulated into")
+		}
+	}
+}
+
+// checkPair flags rhs's unit contradicting the unit of the destination
+// expression dst.
+func (c *unitChecker) checkPair(pos token.Pos, dst, rhs ast.Expr, verb string) {
+	du := c.unitOf(dst)
+	if du == nil {
+		return
+	}
+	ru := c.unitOf(rhs)
+	if kind := mismatch(ru, du); kind != "" {
+		c.pass.Reportf(pos, "%s mismatch: %s (%s) %s %q (%s)",
+			kind, ru.Name, ru.Suffix, verb, exprName(dst), du.Name)
+	}
+}
+
+func exprName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return "expression"
+}
+
+func (c *unitChecker) checkValueSpec(vs *ast.ValueSpec) {
+	if len(vs.Names) != len(vs.Values) {
+		return
+	}
+	for i, name := range vs.Names {
+		du := suffixUnit(name.Name)
+		if du == nil || !c.isFloat(name) {
+			continue
+		}
+		ru := c.unitOf(vs.Values[i])
+		if kind := mismatch(ru, du); kind != "" {
+			c.pass.Reportf(vs.Values[i].Pos(), "%s mismatch: %s (%s) initialises %q (%s)",
+				kind, ru.Name, ru.Suffix, name.Name, du.Name)
+		}
+	}
+}
+
+func (c *unitChecker) checkCompositeLit(cl *ast.CompositeLit) {
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if !c.isFloat(kv.Value) {
+			continue
+		}
+		ku := suffixUnit(key.Name)
+		if ku == nil {
+			continue
+		}
+		vu := c.unitOf(kv.Value)
+		if kind := mismatch(vu, ku); kind != "" {
+			c.pass.Reportf(kv.Value.Pos(), "%s mismatch: %s (%s) assigned to field %q (%s)",
+				kind, vu.Name, vu.Suffix, key.Name, ku.Name)
+		}
+	}
+}
+
+// checkArith flags additive arithmetic and comparisons over operands
+// with contradictory units.
+func (c *unitChecker) checkArith(e *ast.BinaryExpr) {
+	switch e.Op {
+	case token.ADD, token.SUB, token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+	default:
+		return
+	}
+	if isKelvinOffset(e.X) || isKelvinOffset(e.Y) {
+		return // explicit C↔K conversion
+	}
+	lu, ru := c.unitOf(e.X), c.unitOf(e.Y)
+	if kind := mismatch(lu, ru); kind != "" {
+		c.pass.Reportf(e.OpPos, "%s mismatch: %s (%s) %s %s (%s) without conversion",
+			kind, lu.Name, lu.Suffix, e.Op, ru.Name, ru.Suffix)
+	}
+}

@@ -472,6 +472,7 @@ func (g *Governor) rankAscending(dom *floorplan.Domain, key func(rid int) float6
 		kvs[i] = kv{local: i, k: key(rid), rid: rid}
 	}
 	sort.SliceStable(kvs, func(a, b int) bool {
+		//lint:ignore floatcheck exact comparison is required: an epsilon would break the comparator's strict weak ordering
 		if kvs[a].k != kvs[b].k {
 			return kvs[a].k < kvs[b].k
 		}

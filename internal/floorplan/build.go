@@ -53,16 +53,16 @@ func BuildPOWER8() *Chip {
 
 	// Eight L3 banks: four rows in each of the two columns flanking the NOC.
 	bankH := uncoreH / l3RowCount
-	leftW := nocX - mcWidth
+	leftWidth := nocX - mcWidth
 	rightX := nocX + nocWidth
-	rightW := DieWidthMM - mcWidth - rightX
+	rightWidth := DieWidthMM - mcWidth - rightX
 	for bank := 0; bank < NumL3Banks; bank++ {
 		rowIdx := bank / 2
 		var r Rect
 		if bank%2 == 0 {
-			r = Rect{mcWidth, uncoreTop + float64(rowIdx)*bankH, leftW, bankH}
+			r = Rect{mcWidth, uncoreTop + float64(rowIdx)*bankH, leftWidth, bankH}
 		} else {
-			r = Rect{rightX, uncoreTop + float64(rowIdx)*bankH, rightW, bankH}
+			r = Rect{rightX, uncoreTop + float64(rowIdx)*bankH, rightWidth, bankH}
 		}
 		c.addL3Domain(bank, r)
 	}

@@ -85,13 +85,15 @@ func (n *Network) PathResistance(domain, bi, ri int) float64 {
 // Domain.Regulators). It is the parallel combination of the per-regulator
 // paths; with no active regulator it returns +Inf.
 func (n *Network) EffectiveResistance(domain, bi int, active []bool) float64 {
+	nActive := 0
 	var gsum float64
 	for ri, a := range active {
 		if a {
+			nActive++
 			gsum += 1 / n.pathR[domain][bi][ri]
 		}
 	}
-	if gsum == 0 {
+	if nActive == 0 {
 		return math.Inf(1)
 	}
 	return 1 / gsum

@@ -192,7 +192,7 @@ func (m *Model) StaticShare(activity, tempC []float64) (float64, error) {
 		d += dyn[i]
 		l += leak[i]
 	}
-	if d+l == 0 {
+	if d+l <= 0 {
 		return 0, nil
 	}
 	return l / (d + l), nil

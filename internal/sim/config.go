@@ -125,6 +125,7 @@ func (c Config) Validate() error {
 		return errors.New("sim: substep longer than epoch")
 	}
 	steps := c.EpochMS / c.SubstepMS
+	//lint:ignore floatcheck intentional integrality test: the epoch must divide into whole substeps
 	if steps != float64(int(steps)) {
 		return fmt.Errorf("sim: epoch %vms is not a whole number of %vms substeps", c.EpochMS, c.SubstepMS)
 	}

@@ -116,7 +116,9 @@ func RSquared(observed, predicted []float64) (float64, error) {
 		ssRes += r * r
 		ssTot += d * d
 	}
+	//lint:ignore floatcheck sums of squares are exactly zero iff every term is zero: a sentinel, not a tolerance
 	if ssTot == 0 {
+		//lint:ignore floatcheck sums of squares are exactly zero iff every term is zero: a sentinel, not a tolerance
 		if ssRes == 0 {
 			return 1, nil
 		}
@@ -140,6 +142,7 @@ func LinearFitThroughOrigin(xs, ys []float64) (float64, error) {
 		sxy += xs[i] * ys[i]
 		sxx += xs[i] * xs[i]
 	}
+	//lint:ignore floatcheck sum of squares is exactly zero iff every x is zero: degenerate-input sentinel
 	if sxx == 0 {
 		return 0, nil
 	}

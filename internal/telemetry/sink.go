@@ -30,7 +30,8 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 	return &JSONLSink{w: bufio.NewWriter(w)}
 }
 
-// Emit writes one record as a JSON line.
+// Emit writes one record as a JSON line. bufio errors are sticky, so
+// checking the final write surfaces any failure in the sequence.
 func (s *JSONLSink) Emit(rec *Record) error {
 	s.w.WriteString(`{"record":`)
 	writeJSONValue(s.w, rec.Name)
@@ -40,8 +41,8 @@ func (s *JSONLSink) Emit(rec *Record) error {
 		s.w.WriteByte(':')
 		writeJSONValue(s.w, f.Value)
 	}
-	s.w.WriteString("}\n")
-	return nil
+	_, err := s.w.WriteString("}\n")
+	return err
 }
 
 // Flush drains the buffer to the underlying writer.
@@ -52,6 +53,7 @@ func writeJSONValue(w *bufio.Writer, v any) {
 	if err != nil {
 		b, _ = json.Marshal(fmt.Sprint(v))
 	}
+	//lint:ignore errsink bufio write errors are sticky; Emit checks the final write and Flush reports the rest
 	w.Write(b)
 }
 
@@ -130,27 +132,40 @@ func WriteSnapshotCSV(w io.Writer, sn Snapshot) error {
 		return err
 	}
 	for _, c := range sn.Counters {
-		cw.Write([]string{"counter", Key(c.Name, c.Labels), csvCell(c.Value), ""})
+		if err := cw.Write([]string{"counter", Key(c.Name, c.Labels), csvCell(c.Value), ""}); err != nil {
+			return err
+		}
 	}
 	for _, g := range sn.Gauges {
-		cw.Write([]string{"gauge", Key(g.Name, g.Labels), csvCell(g.Value), ""})
+		if err := cw.Write([]string{"gauge", Key(g.Name, g.Labels), csvCell(g.Value), ""}); err != nil {
+			return err
+		}
 	}
 	for _, h := range sn.Histograms {
-		cw.Write([]string{"histogram", Key(h.Name, h.Labels), csvCell(h.Sum), strconv.FormatUint(h.Count, 10)})
+		if err := cw.Write([]string{"histogram", Key(h.Name, h.Labels), csvCell(h.Sum), strconv.FormatUint(h.Count, 10)}); err != nil {
+			return err
+		}
 	}
-	var walk func(prefix string, s SpanSnapshot)
-	walk = func(prefix string, s SpanSnapshot) {
+	var walk func(prefix string, s SpanSnapshot) error
+	walk = func(prefix string, s SpanSnapshot) error {
 		key := s.Name
 		if prefix != "" {
 			key = prefix + "/" + s.Name
 		}
-		cw.Write([]string{"span", key, strconv.FormatInt(s.TotalNS, 10), strconv.Itoa(s.Count)})
-		for _, c := range s.Children {
-			walk(key, c)
+		if err := cw.Write([]string{"span", key, strconv.FormatInt(s.TotalNS, 10), strconv.Itoa(s.Count)}); err != nil {
+			return err
 		}
+		for _, c := range s.Children {
+			if err := walk(key, c); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	for _, s := range sn.Spans {
-		walk("", s)
+		if err := walk("", s); err != nil {
+			return err
+		}
 	}
 	cw.Flush()
 	return cw.Error()

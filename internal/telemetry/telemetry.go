@@ -402,6 +402,7 @@ func (r *Registry) Snapshot() Snapshot {
 
 // fmtValue renders a float without trailing noise for summary tables.
 func fmtValue(v float64) string {
+	//lint:ignore floatcheck exact integrality test that only picks a display format
 	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
 		return fmt.Sprintf("%.0f", v)
 	}

@@ -175,6 +175,7 @@ func (h *HeteroNetwork) waterfill(mask int, iout float64) (shares []float64, los
 	for i := 0; i < n; i++ {
 		if mask&(1<<i) != 0 {
 			loss += h.curves[i].Loss.LossAt(shares[i])
+			//lint:ignore floatcheck masked-off shares are assigned exactly zero, never computed
 		} else if shares[i] != 0 {
 			return nil, 0, false
 		}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // profileJSON is the serialised form of a Profile. Field names are
@@ -42,6 +43,23 @@ var phaseKindNames = map[string]PhaseKind{
 	"barrier": Barrier,
 	"serial":  Serial,
 	"mixed":   Mixed,
+}
+
+// phaseKindName inverts phaseKindNames over sorted keys, so that if an
+// alias is ever added the encoded spelling stays stable instead of
+// depending on map-iteration order.
+func phaseKindName(kind PhaseKind) string {
+	names := make([]string, 0, len(phaseKindNames))
+	for n := range phaseKindNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if phaseKindNames[n] == kind {
+			return n
+		}
+	}
+	return ""
 }
 
 // ReadProfile parses a benchmark profile from JSON and validates it,
@@ -117,13 +135,7 @@ func WriteProfile(w io.Writer, p Profile) error {
 		BankSkew:         p.BankSkew,
 	}
 	for _, ph := range p.Phases {
-		name := ""
-		for n, k := range phaseKindNames {
-			if k == ph.Kind {
-				name = n
-				break
-			}
-		}
+		name := phaseKindName(ph.Kind)
 		if name == "" {
 			return fmt.Errorf("workload: phase kind %v has no JSON name", ph.Kind)
 		}
