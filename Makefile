@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: build test race vet fmt-check lint verify bench bench-baseline
+.PHONY: build test race vet fmt-check lint sanitize fuzz verify bench bench-baseline
 
 build:
 	$(GO) build ./...
@@ -30,8 +31,22 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 
+# Run the whole suite with the tgsan physics sanitizer compiled in: every
+# epoch is checked for energy conservation, temperature and droop bounds,
+# gating legality and NaN/Inf (see docs/INVARIANTS.md).
+sanitize:
+	$(GO) test -tags tgsan ./...
+
+# Coverage-guided fuzzing with the sanitizer as the oracle. FUZZTIME is per
+# target (default 30s); verify uses a quick 3s pass.
+fuzz:
+	$(GO) test -tags tgsan -run '^$$' -fuzz FuzzThermalStep -fuzztime $(FUZZTIME) ./internal/thermal/
+	$(GO) test -tags tgsan -run '^$$' -fuzz FuzzPDNTransient -fuzztime $(FUZZTIME) ./internal/pdn/
+	$(GO) test -tags tgsan -run '^$$' -fuzz FuzzSimConfig -fuzztime $(FUZZTIME) ./internal/sim/
+
 # The full pre-merge check.
-verify: vet fmt-check lint test race
+verify: vet fmt-check lint test race sanitize
+	$(MAKE) fuzz FUZZTIME=3s
 
 # Quick runner benchmark (3 iterations, telemetry off vs. on).
 bench:

@@ -264,7 +264,7 @@ func BenchmarkAblationPredictor(b *testing.B) {
 // BenchmarkAblationSampling varies the VoltSpot-style transient window
 // length, showing the 2K-cycle default captures the burst peak.
 func BenchmarkAblationSampling(b *testing.B) {
-	chip := floorplan.BuildPOWER8()
+	chip := floorplan.MustPOWER8()
 	grid, err := pdn.NewNetwork(chip, pdn.DefaultConfig())
 	if err != nil {
 		b.Fatal(err)
@@ -307,7 +307,7 @@ func BenchmarkAblationSampling(b *testing.B) {
 // orders of magnitude apart in cost — which is why the loop uses the fast
 // model and the mesh validates it.
 func BenchmarkAblationPDNModel(b *testing.B) {
-	chip := floorplan.BuildPOWER8()
+	chip := floorplan.MustPOWER8()
 	cur := make([]float64, len(chip.Blocks))
 	for i, blk := range chip.Blocks {
 		if blk.Kind == floorplan.Logic {
@@ -356,7 +356,7 @@ func BenchmarkAblationPDNModel(b *testing.B) {
 // BenchmarkAblationThermalModel compares the compact block-mode RC network
 // against the fine-grid solver on the same power map.
 func BenchmarkAblationThermalModel(b *testing.B) {
-	chip := floorplan.BuildPOWER8()
+	chip := floorplan.MustPOWER8()
 	bp := make([]float64, len(chip.Blocks))
 	vp := make([]float64, len(chip.Regulators))
 	for i, blk := range chip.Blocks {
@@ -431,7 +431,7 @@ func BenchmarkAgingTracking(b *testing.B) {
 // --- Micro-benchmarks of the hot simulation paths ---
 
 func BenchmarkThermalStep(b *testing.B) {
-	m, err := thermal.NewModel(floorplan.BuildPOWER8(), thermal.DefaultConfig())
+	m, err := thermal.NewModel(floorplan.MustPOWER8(), thermal.DefaultConfig())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -452,7 +452,7 @@ func BenchmarkThermalStep(b *testing.B) {
 }
 
 func BenchmarkPDNSteadyNoise(b *testing.B) {
-	chip := floorplan.BuildPOWER8()
+	chip := floorplan.MustPOWER8()
 	grid, err := pdn.NewNetwork(chip, pdn.DefaultConfig())
 	if err != nil {
 		b.Fatal(err)
@@ -472,7 +472,7 @@ func BenchmarkPDNSteadyNoise(b *testing.B) {
 
 func BenchmarkUarchStep(b *testing.B) {
 	bench, _ := workload.ByName("barnes")
-	s, err := uarch.New(floorplan.BuildPOWER8(), bench, 1)
+	s, err := uarch.New(floorplan.MustPOWER8(), bench, 1)
 	if err != nil {
 		b.Fatal(err)
 	}

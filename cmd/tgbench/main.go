@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"thermogater/internal/core"
+	"thermogater/internal/invariant"
 	"thermogater/internal/sim"
 	"thermogater/internal/telemetry"
 	"thermogater/internal/workload"
@@ -58,12 +59,16 @@ type CaseResult struct {
 
 // Baseline is the file tgbench writes.
 type Baseline struct {
-	Schema      string       `json:"schema"`
-	CreatedUnix int64        `json:"created_unix"`
-	GoVersion   string       `json:"go_version"`
-	GOMAXPROCS  int          `json:"gomaxprocs"`
-	DurationMS  int          `json:"duration_ms"`
-	Cases       []CaseResult `json:"cases"`
+	Schema      string `json:"schema"`
+	CreatedUnix int64  `json:"created_unix"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	DurationMS  int    `json:"duration_ms"`
+	// Sanitizer records whether the binary was built with -tags tgsan;
+	// numbers from a sanitized build are not comparable to the committed
+	// baseline and must never overwrite it.
+	Sanitizer bool         `json:"sanitizer"`
+	Cases     []CaseResult `json:"cases"`
 }
 
 func main() {
@@ -112,6 +117,7 @@ func measure(cases []benchCase, durationMS, reps int, seed uint64) (*Baseline, e
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		DurationMS:  durationMS,
+		Sanitizer:   invariant.Enabled,
 	}
 	for _, c := range cases {
 		best, err := measureCase(c, durationMS, reps, seed)

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"thermogater/internal/experiments"
+	"thermogater/internal/invariant"
 )
 
 func TestListAll(t *testing.T) {
@@ -158,8 +159,10 @@ func TestExecuteMetricsJSONLStream(t *testing.T) {
 	// The acceptance bar: per-phase durations must cover ≥90% of the
 	// measured epoch wall time. Assert it on the aggregate — individual
 	// sub-millisecond epochs can be preempted between two spans by the
-	// scheduler, which the aggregate absorbs.
-	if totalPhases < 0.9*totalWall {
+	// scheduler, which the aggregate absorbs. The sanitizer build (-tags
+	// tgsan) runs its composite checks between spans, so the bar only
+	// applies to the default build.
+	if !invariant.Enabled && totalPhases < 0.9*totalWall {
 		t.Errorf("phases cover %.1f%% of total epoch wall time, want >= 90%%",
 			100*totalPhases/totalWall)
 	}

@@ -10,20 +10,29 @@
 // rotating bias so no regulator is favoured forever, then compares its
 // regulator-utilisation spread against the built-in PracT.
 //
-//	go run ./examples/custompolicy
+//	go run ./examples/custompolicy [durationMS]
 package main
 
 import (
 	"fmt"
 	"log"
 	"math"
+	"os"
+	"strconv"
 
 	"thermogater"
 )
 
 func main() {
 	const bench = "water_nsquared"
-	const duration = 400
+	duration := 400
+	if len(os.Args) > 1 {
+		d, err := strconv.Atoi(os.Args[1])
+		if err != nil {
+			log.Fatalf("bad duration %q: %v", os.Args[1], err)
+		}
+		duration = d
+	}
 
 	domains := thermogater.DomainRegulators()
 

@@ -7,13 +7,14 @@
 // gating governor still sustains near-peak conversion efficiency on the
 // shrunken demand.
 //
-//	go run ./examples/dvfsdemo [benchmark]
+//	go run ./examples/dvfsdemo [benchmark [durationMS]]
 package main
 
 import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 
 	"thermogater"
 )
@@ -23,14 +24,22 @@ func main() {
 	if len(os.Args) > 1 {
 		bench = os.Args[1]
 	}
+	duration := 400
+	if len(os.Args) > 2 {
+		d, err := strconv.Atoi(os.Args[2])
+		if err != nil {
+			log.Fatalf("bad duration %q: %v", os.Args[2], err)
+		}
+		duration = d
+	}
 
 	base, err := thermogater.Run("pracVT", bench,
-		thermogater.WithDuration(400), thermogater.WithSeed(1))
+		thermogater.WithDuration(duration), thermogater.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
 	scaled, err := thermogater.Run("pracVT", bench,
-		thermogater.WithDuration(400), thermogater.WithSeed(1), thermogater.WithDVFS())
+		thermogater.WithDuration(duration), thermogater.WithSeed(1), thermogater.WithDVFS())
 	if err != nil {
 		log.Fatal(err)
 	}

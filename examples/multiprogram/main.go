@@ -6,23 +6,33 @@
 // regulator utilisation then splits accordingly, while chip-wide
 // efficiency stays at the peak.
 //
-//	go run ./examples/multiprogram
+//	go run ./examples/multiprogram [durationMS]
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
+	"strconv"
 
 	"thermogater"
 )
 
 func main() {
+	duration := 400
+	if len(os.Args) > 1 {
+		d, err := strconv.Atoi(os.Args[1])
+		if err != nil {
+			log.Fatalf("bad duration %q: %v", os.Args[1], err)
+		}
+		duration = d
+	}
 	mix := []string{
 		"cholesky", "cholesky", "cholesky", "cholesky",
 		"raytrace", "raytrace", "raytrace", "raytrace",
 	}
 	res, err := thermogater.RunMix("pracVT", mix,
-		thermogater.WithDuration(400),
+		thermogater.WithDuration(duration),
 		thermogater.WithSeed(1),
 	)
 	if err != nil {

@@ -3,13 +3,14 @@
 // chip temperature, maximum thermal gradient, maximum voltage noise, and
 // the sustained conversion efficiency.
 //
-//	go run ./examples/quickstart [benchmark]
+//	go run ./examples/quickstart [benchmark [durationMS]]
 package main
 
 import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 
 	"thermogater"
 )
@@ -19,12 +20,20 @@ func main() {
 	if len(os.Args) > 1 {
 		bench = os.Args[1]
 	}
+	duration := 500 // 500ms of the 3000ms region of interest
+	if len(os.Args) > 2 {
+		d, err := strconv.Atoi(os.Args[2])
+		if err != nil {
+			log.Fatalf("bad duration %q: %v", os.Args[2], err)
+		}
+		duration = d
+	}
 
 	fmt.Printf("ThermoGater quickstart: PracVT on %s (8 cores, %d regulators, %d Vdd-domains)\n\n",
 		bench, thermogater.NumRegulators, thermogater.NumDomains)
 
 	res, err := thermogater.Run("pracVT", bench,
-		thermogater.WithDuration(500), // 500ms of the 3000ms region of interest
+		thermogater.WithDuration(duration),
 		thermogater.WithSeed(1),
 	)
 	if err != nil {

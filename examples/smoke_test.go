@@ -1,0 +1,52 @@
+// Package examples_test smoke-tests every example program: each one must
+// build and run to completion (exit 0) on a tiny simulation window. The
+// examples double as the project's user-facing documentation, so a broken
+// example is a broken repo even when the library tests pass.
+package examples_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// smokeRuns lists each example with arguments that shrink the simulated
+// window to tens of milliseconds (still longer than the 20-epoch warm-up)
+// so the whole suite stays fast.
+var smokeRuns = []struct {
+	dir  string
+	args []string
+}{
+	{"quickstart", []string{"lu_ncb", "40"}},
+	{"policycompare", []string{"barnes", "40"}},
+	{"custompolicy", []string{"40"}},
+	{"multiprogram", []string{"40"}},
+	{"dvfsdemo", []string{"raytrace", "40"}},
+	{"thermalmap", []string{"cholesky", "40"}},
+}
+
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke runs are skipped in -short mode")
+	}
+	bindir := t.TempDir()
+	for _, run := range smokeRuns {
+		run := run
+		t.Run(run.dir, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(bindir, run.dir)
+			build := exec.Command("go", "build", "-o", bin, "./"+run.dir)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("go build ./%s: %v\n%s", run.dir, err, out)
+			}
+			cmd := exec.Command(bin, run.args...)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s %v: %v\n%s", run.dir, run.args, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("%s produced no output", run.dir)
+			}
+		})
+	}
+}

@@ -6,26 +6,32 @@
 // OracT the governor moves the active regulators over the cache, visibly
 // cooling the core band.
 //
-//	go run ./examples/thermalmap [benchmark]
+//	go run ./examples/thermalmap [benchmark [durationMS]]
 package main
 
 import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 
 	"thermogater"
 )
 
-const (
-	res      = 64
-	duration = 400
-)
+const res = 64
 
 func main() {
 	bench := "cholesky"
 	if len(os.Args) > 1 {
 		bench = os.Args[1]
+	}
+	duration := 400
+	if len(os.Args) > 2 {
+		d, err := strconv.Atoi(os.Args[2])
+		if err != nil {
+			log.Fatalf("bad duration %q: %v", os.Args[2], err)
+		}
+		duration = d
 	}
 
 	for _, policy := range []string{"all-on", "oracT"} {

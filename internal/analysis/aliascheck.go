@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Aliascheck polices the Runner-style scratch-buffer discipline of the
+// simulation packages: hot loops reuse the same backing arrays every
+// substep (sim.Runner.blockPower, masks, ...), so an exported method that
+// returns or stores a reference to such a receiver-held slice or map hands
+// its caller an alias that the next step silently rewrites. Flagged forms,
+// in exported methods of the configured packages:
+//
+//   - returning a slice/map field of the receiver directly (return r.buf),
+//     or one element deep (return r.masks[d]),
+//   - returning a composite literal (or &literal) that carries such a
+//     field in one of its elements,
+//   - assigning such a field to a package-level variable or through a
+//     parameter — the two stores that outlive the call.
+//
+// Copies are the approved idiom and stay silent: append([]T(nil), s...),
+// copy into a caller-provided buffer, or any other derived value.
+// Unexported helpers (e.g. Runner.buildMask) may alias freely —
+// intra-package callers are expected to know the reuse contract.
+var Aliascheck = &Analyzer{
+	Name: "aliascheck",
+	Doc:  "forbids exported methods from leaking references to receiver-held scratch slices/maps",
+	Run:  runAliascheck,
+}
+
+func runAliascheck(p *Pass) {
+	if !p.Config.aliascheckApplies(p.ImportPath) {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil || !fn.Name.IsExported() {
+				continue
+			}
+			recv := receiverVar(p, fn)
+			if recv == nil {
+				continue
+			}
+			checkAliasFunc(p, fn, recv)
+		}
+	}
+}
+
+// receiverVar resolves the method receiver's object (nil for anonymous
+// receivers, which cannot leak fields by name).
+func receiverVar(p *Pass, fn *ast.FuncDecl) types.Object {
+	if len(fn.Recv.List) != 1 || len(fn.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	return p.Info.ObjectOf(fn.Recv.List[0].Names[0])
+}
+
+func checkAliasFunc(p *Pass, fn *ast.FuncDecl, recv types.Object) {
+	params := make(map[types.Object]bool)
+	if fn.Type.Params != nil {
+		for _, fld := range fn.Type.Params.List {
+			for _, name := range fld.Names {
+				params[p.Info.ObjectOf(name)] = true
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Closures have their own call boundary; returns inside them do
+			// not return from the exported method.
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				checkAliasReturn(p, fn, recv, res)
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				leak := aliasedField(p, recv, n.Rhs[i])
+				if leak == "" {
+					continue
+				}
+				root := rootObj(p, lhs)
+				if root == nil || root == recv {
+					continue
+				}
+				if params[root] || isPackageLevel(p, root) {
+					p.Reportf(n.Pos(), "%s stores scratch field %s outside the receiver: the alias outlives the call and the next step rewrites it; store a copy (append([]T(nil), s...))",
+						fn.Name.Name, leak)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkAliasReturn(p *Pass, fn *ast.FuncDecl, recv types.Object, res ast.Expr) {
+	if leak := aliasedField(p, recv, res); leak != "" {
+		p.Reportf(res.Pos(), "exported method %s returns a reference to scratch field %s: callers alias a reused buffer; return a copy (append([]T(nil), s...))",
+			fn.Name.Name, leak)
+		return
+	}
+	// Composite results (Result{Data: r.buf}, &Result{...}) leak just as
+	// directly through their elements.
+	e := ast.Unparen(res)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	cl, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return
+	}
+	for _, el := range cl.Elts {
+		v := el
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			v = kv.Value
+		}
+		if leak := aliasedField(p, recv, v); leak != "" {
+			p.Reportf(v.Pos(), "exported method %s returns a composite carrying scratch field %s: callers alias a reused buffer; store a copy in the result",
+				fn.Name.Name, leak)
+		}
+	}
+}
+
+// aliasedField reports the "recv.field" form when e is a direct reference
+// to a slice- or map-typed field of the receiver, optionally through one
+// index expression (r.masks[d]); "" otherwise. Anything derived — an
+// append, a copy, a sub-slice of a fresh allocation — is not a direct
+// reference and passes.
+func aliasedField(p *Pass, recv types.Object, e ast.Expr) string {
+	e = ast.Unparen(e)
+	if !isRefType(p.TypeOf(e)) {
+		return ""
+	}
+	if ix, ok := e.(*ast.IndexExpr); ok {
+		e = ast.Unparen(ix.X)
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok || p.Info.ObjectOf(id) == nil || p.Info.ObjectOf(id) != recv {
+		return ""
+	}
+	if _, isField := p.Info.ObjectOf(sel.Sel).(*types.Var); !isField {
+		return "" // method value, not a field
+	}
+	return id.Name + "." + sel.Sel.Name
+}
+
+// isRefType reports whether t shares backing storage on assignment.
+func isRefType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// isPackageLevel reports whether obj is declared at package scope.
+func isPackageLevel(p *Pass, obj types.Object) bool {
+	return obj.Parent() == p.Pkg.Scope()
+}

@@ -1,0 +1,27 @@
+package analysis
+
+import "testing"
+
+func TestAliascheckFixture(t *testing.T) {
+	checkFixture(t, Aliascheck, "aliascheck/sim")
+}
+
+// TestAliascheckScope proves the pass ignores packages outside the
+// configured list entirely.
+func TestAliascheckScope(t *testing.T) {
+	pkg := loadFixture(t, "aliascheck/sim")
+	cfg := DefaultConfig()
+	cfg.Aliascheck.Packages = []string{"somethingelse"}
+	if diags := Run([]*Package{pkg}, []*Analyzer{Aliascheck}, cfg); len(diags) != 0 {
+		t.Errorf("out-of-scope package still produced %d diagnostics, e.g. %s", len(diags), diags[0])
+	}
+}
+
+// TestAliascheckCleanFixture proves the pass is quiet on the shared clean
+// fixture (no receivers, no scratch fields).
+func TestAliascheckCleanFixture(t *testing.T) {
+	pkg := loadFixture(t, "clean")
+	if diags := Run([]*Package{pkg}, []*Analyzer{Aliascheck}, DefaultConfig()); len(diags) != 0 {
+		t.Errorf("clean fixture produced %d diagnostics, e.g. %s", len(diags), diags[0])
+	}
+}

@@ -1,11 +1,14 @@
 // Package analysis is tglint's pass framework: a small, stdlib-only
 // counterpart of golang.org/x/tools/go/analysis tailored to this
-// repository's domain invariants. Four passes ride on it:
+// repository's domain invariants. Seven passes ride on it:
 //
-//   - unitcheck:  unit-suffix consistency (tempC vs tempK, W vs mW, ...)
-//   - detcheck:   nondeterminism sources in simulation packages
-//   - floatcheck: raw ==/!= on floating-point operands
-//   - errsink:    dropped error results from solver / sink APIs
+//   - unitcheck:      unit-suffix consistency (tempC vs tempK, W vs mW, ...)
+//   - detcheck:       nondeterminism sources in simulation packages
+//   - floatcheck:     raw ==/!= on floating-point operands
+//   - errsink:        dropped error results from solver / sink APIs
+//   - aliascheck:     exported methods leaking receiver-held scratch buffers
+//   - goroutinecheck: unsynchronized writes to captured state in go closures
+//   - invcheck:       stepping entry points detached from the tgsan hooks
 //
 // Packages are loaded with go/parser and type-checked with go/types
 // against the build cache's export data (see load.go), so the framework
@@ -98,9 +101,9 @@ func (p *Pass) ObjectOf(fun ast.Expr) types.Object {
 	return nil
 }
 
-// All returns the four domain analyzers in their canonical order.
+// All returns the domain analyzers in their canonical order.
 func All() []*Analyzer {
-	return []*Analyzer{Unitcheck, Detcheck, Floatcheck, Errsink}
+	return []*Analyzer{Unitcheck, Detcheck, Floatcheck, Errsink, Aliascheck, Goroutinecheck, Invcheck}
 }
 
 // ByName resolves a comma-less analyzer name, or nil.

@@ -36,6 +36,24 @@ type Config struct {
 		// flagged (statement-position drops only).
 		InternalPrefixes []string `json:"internalPrefixes"`
 	} `json:"errsink"`
+
+	Aliascheck struct {
+		// Packages lists the packages whose exported methods aliascheck
+		// polices, as import-path base names or full import paths.
+		Packages []string `json:"packages"`
+	} `json:"aliascheck"`
+
+	Goroutinecheck struct {
+		// Allow exempts whole packages by import path (prefix match).
+		Allow []string `json:"allow"`
+	} `json:"goroutinecheck"`
+
+	Invcheck struct {
+		// Entrypoints maps import-path base names to the exported stepping
+		// functions/methods that must route through the invariant
+		// sanitizer hooks.
+		Entrypoints map[string][]string `json:"entrypoints"`
+	} `json:"invcheck"`
 }
 
 // DefaultConfig returns the built-in configuration, matching the
@@ -51,6 +69,15 @@ func DefaultConfig() *Config {
 		"Step", "SetPower", "SteadyState", "Emit", "Flush", "Close", "Write",
 	}
 	c.Errsink.InternalPrefixes = []string{"thermogater/"}
+	c.Aliascheck.Packages = []string{
+		"uarch", "workload", "power", "thermal", "pdn", "vr", "sim", "dvfs", "aging",
+	}
+	c.Invcheck.Entrypoints = map[string][]string{
+		"sim":     {"Run"},
+		"thermal": {"Step", "SteadyState"},
+		"pdn":     {"SteadyNoise", "TransientWindow", "BurstPeakPct"},
+		"vr":      {"NOn", "PlossAt"},
+	}
 	return c
 }
 
@@ -103,6 +130,48 @@ func (c *Config) detcheckApplies(importPath string) bool {
 		}
 	}
 	return false
+}
+
+// aliascheckApplies reports whether aliascheck polices the package.
+func (c *Config) aliascheckApplies(importPath string) bool {
+	base := importPath[strings.LastIndex(importPath, "/")+1:]
+	for _, p := range c.Aliascheck.Packages {
+		if p == base || p == importPath {
+			return true
+		}
+	}
+	return false
+}
+
+// goroutinecheckApplies reports whether goroutinecheck polices the
+// package (it runs everywhere except the allow list).
+func (c *Config) goroutinecheckApplies(importPath string) bool {
+	for _, allow := range c.Goroutinecheck.Allow {
+		if importPath == allow || strings.HasPrefix(importPath, allow+"/") {
+			return false
+		}
+	}
+	return true
+}
+
+// invcheckEntrypoints returns the entry-point name set configured for the
+// package, keyed by import-path base name (or full import path).
+func (c *Config) invcheckEntrypoints(importPath string) map[string]bool {
+	base := importPath[strings.LastIndex(importPath, "/")+1:]
+	var names []string
+	if n, ok := c.Invcheck.Entrypoints[importPath]; ok {
+		names = n
+	} else if n, ok := c.Invcheck.Entrypoints[base]; ok {
+		names = n
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
+	return set
 }
 
 // floatcheckHelper reports whether raw float comparison is allowed

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Goroutinecheck flags unsynchronized writes to captured state inside
+// `go func` closures — the data-race shape the sweep worker in
+// internal/experiments must guard with its mutex. Inside a goroutine
+// closure, a write to a variable declared outside it is flagged when no
+// sync Lock call precedes it in the closure body:
+//
+//   - map writes (m[k] = v): concurrent map access faults at runtime,
+//   - appends to a captured slice (s = append(s, ...)): racing appends
+//     lose elements and corrupt the header,
+//   - plain assignment to a captured variable (firstErr = err): a classic
+//     last-write race.
+//
+// Per-index writes to captured slices (results[i] = ...) are the idiomatic
+// fan-out pattern — each goroutine owns its index — and stay silent, as do
+// writes after mu.Lock()/RLock() on any sync type (positional, not
+// path-sensitive: the pass trusts a Lock anywhere earlier in the closure).
+var Goroutinecheck = &Analyzer{
+	Name: "goroutinecheck",
+	Doc:  "flags unsynchronized writes to captured slices, maps and scalars inside go-routine closures",
+	Run:  runGoroutinecheck,
+}
+
+func runGoroutinecheck(p *Pass) {
+	if !p.Config.goroutinecheckApplies(p.ImportPath) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				checkGoClosure(p, lit)
+			}
+			return true
+		})
+	}
+}
+
+func checkGoClosure(p *Pass, lit *ast.FuncLit) {
+	locks := lockPositions(p, lit)
+	lockedAt := func(pos token.Pos) bool {
+		for _, lp := range locks {
+			if lp < pos {
+				return true
+			}
+		}
+		return false
+	}
+	captured := func(obj types.Object) bool {
+		return obj != nil && (obj.Pos() < lit.Pos() || obj.Pos() > lit.End())
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if a.Tok == token.DEFINE {
+			return true // := declares inside the closure
+		}
+		for i, lhs := range a.Lhs {
+			lhs = ast.Unparen(lhs)
+			if ix, ok := lhs.(*ast.IndexExpr); ok {
+				base := p.TypeOf(ix.X)
+				if base == nil {
+					continue
+				}
+				if _, isMap := base.Underlying().(*types.Map); !isMap {
+					continue // per-index slice writes: each goroutine owns its slot
+				}
+				root := rootObj(p, ix.X)
+				if captured(root) && !lockedAt(a.Pos()) {
+					p.Reportf(a.Pos(), "unsynchronized write to captured map %q inside go func: concurrent map writes fault; guard with a mutex", root.Name())
+				}
+				continue
+			}
+			root := rootObj(p, lhs)
+			if !captured(root) || lockedAt(a.Pos()) {
+				continue
+			}
+			var rhs ast.Expr
+			if len(a.Lhs) == len(a.Rhs) {
+				rhs = a.Rhs[i]
+			}
+			if isAppendOf(p, rhs, root) {
+				p.Reportf(a.Pos(), "unsynchronized append to captured slice %q inside go func: racing appends lose elements; guard with a mutex or give each goroutine its own index", root.Name())
+			} else {
+				p.Reportf(a.Pos(), "unsynchronized write to captured variable %q inside go func: a last-write race; guard with a mutex or report through a channel", root.Name())
+			}
+		}
+		return true
+	})
+}
+
+// lockPositions collects the positions of Lock/RLock calls on sync types
+// within the closure body.
+func lockPositions(p *Pass, lit *ast.FuncLit) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if fn, ok := p.Info.ObjectOf(sel.Sel).(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+			out = append(out, call.Pos())
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,27 @@
+package analysis
+
+import "testing"
+
+func TestGoroutinecheckFixture(t *testing.T) {
+	checkFixture(t, Goroutinecheck, "goroutinecheck/worker")
+}
+
+// TestGoroutinecheckAllowlist proves the config allowlist silences a
+// package wholesale.
+func TestGoroutinecheckAllowlist(t *testing.T) {
+	pkg := loadFixture(t, "goroutinecheck/worker")
+	cfg := DefaultConfig()
+	cfg.Goroutinecheck.Allow = append(cfg.Goroutinecheck.Allow, pkg.ImportPath)
+	if diags := Run([]*Package{pkg}, []*Analyzer{Goroutinecheck}, cfg); len(diags) != 0 {
+		t.Errorf("allowlisted package still produced %d diagnostics, e.g. %s", len(diags), diags[0])
+	}
+}
+
+// TestGoroutinecheckCleanFixture proves the pass is quiet on goroutine-free
+// code.
+func TestGoroutinecheckCleanFixture(t *testing.T) {
+	pkg := loadFixture(t, "clean")
+	if diags := Run([]*Package{pkg}, []*Analyzer{Goroutinecheck}, DefaultConfig()); len(diags) != 0 {
+		t.Errorf("clean fixture produced %d diagnostics, e.g. %s", len(diags), diags[0])
+	}
+}

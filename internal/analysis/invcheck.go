@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// invariantPath is the sanitizer package every stepping entry point must
+// route through.
+const invariantPath = "thermogater/internal/invariant"
+
+// Invcheck enforces the sanitizer-coverage contract: every exported
+// stepping entry point of the simulation packages (configured per package
+// base name — sim.Run, thermal.Step/SteadyState, pdn.SteadyNoise/...,
+// vr.NOn/PlossAt) must reach a use of the invariant package somewhere in
+// its same-package call graph. Without this pass, a refactor can detach an
+// entry point from its hooks and the tgsan build silently degrades to
+// checking nothing — the exact failure mode sanitizers exist to prevent.
+//
+// Reachability is transitive over same-package calls (Run → runMeasured →
+// sanitizeSubstep counts) and any reference into the invariant package —
+// a Check call, Reportf, or an invariant.Enabled guard — marks a function
+// as hooked.
+var Invcheck = &Analyzer{
+	Name: "invcheck",
+	Doc:  "requires exported stepping entry points to route through the invariant sanitizer hooks",
+	Run:  runInvcheck,
+}
+
+func runInvcheck(p *Pass) {
+	entries := p.Config.invcheckEntrypoints(p.ImportPath)
+	if len(entries) == 0 {
+		return
+	}
+
+	// Build the package-local call graph: one node per declared function,
+	// edges for direct same-package calls, plus a "touches invariant" bit.
+	type node struct {
+		decl    *ast.FuncDecl
+		touches bool
+		callees []types.Object
+	}
+	nodes := make(map[types.Object]*node)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj := p.Info.ObjectOf(fn.Name)
+			if obj == nil {
+				continue
+			}
+			nd := &node{decl: fn}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				ref := p.Info.ObjectOf(id)
+				if ref == nil || ref.Pkg() == nil {
+					return true
+				}
+				switch {
+				case ref.Pkg().Path() == invariantPath:
+					nd.touches = true
+				case ref.Pkg() == p.Pkg:
+					if _, isFunc := ref.(*types.Func); isFunc {
+						nd.callees = append(nd.callees, ref)
+					}
+				}
+				return true
+			})
+			nodes[obj] = nd
+		}
+	}
+
+	// reaches computes transitive reachability of an invariant touch.
+	memo := make(map[types.Object]bool)
+	var reaches func(obj types.Object, seen map[types.Object]bool) bool
+	reaches = func(obj types.Object, seen map[types.Object]bool) bool {
+		if v, ok := memo[obj]; ok {
+			return v
+		}
+		if seen[obj] {
+			return false
+		}
+		seen[obj] = true
+		nd := nodes[obj]
+		if nd == nil {
+			return false
+		}
+		if nd.touches {
+			memo[obj] = true
+			return true
+		}
+		for _, c := range nd.callees {
+			if reaches(c, seen) {
+				memo[obj] = true
+				return true
+			}
+		}
+		memo[obj] = false
+		return false
+	}
+
+	for obj, nd := range nodes {
+		fn := nd.decl
+		if !fn.Name.IsExported() || !entries[fn.Name.Name] {
+			continue
+		}
+		if !reaches(obj, make(map[types.Object]bool)) {
+			p.Reportf(fn.Name.Pos(), "exported stepping entry point %s does not route through the invariant sanitizer: add invariant hooks (or reach a helper that has them) so -tags tgsan covers this path", fn.Name.Name)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInvcheckFixture(t *testing.T) {
+	checkFixture(t, Invcheck, "invcheck/pdn")
+}
+
+// TestInvcheckScope proves packages with no configured entry points are
+// ignored entirely.
+func TestInvcheckScope(t *testing.T) {
+	pkg := loadFixture(t, "invcheck/pdn")
+	cfg := DefaultConfig()
+	cfg.Invcheck.Entrypoints = map[string][]string{"somethingelse": {"Run"}}
+	if diags := Run([]*Package{pkg}, []*Analyzer{Invcheck}, cfg); len(diags) != 0 {
+		t.Errorf("unconfigured package still produced %d diagnostics, e.g. %s", len(diags), diags[0])
+	}
+}
+
+// TestInvcheckFullPathKey proves a full import path key overrides the base
+// name: configuring only an unrelated entry point for the fixture's import
+// path silences the SteadyNoise finding.
+func TestInvcheckFullPathKey(t *testing.T) {
+	pkg := loadFixture(t, "invcheck/pdn")
+	cfg := DefaultConfig()
+	cfg.Invcheck.Entrypoints[pkg.ImportPath] = []string{"EffectiveResistance"}
+	diags := Run([]*Package{pkg}, []*Analyzer{Invcheck}, cfg)
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (EffectiveResistance unhooked): %v", len(diags), diags)
+	}
+	if want := "EffectiveResistance"; !strings.Contains(diags[0].Message, want) {
+		t.Errorf("diagnostic %q does not mention %s", diags[0].Message, want)
+	}
+}

@@ -1,0 +1,92 @@
+// Package sim is a tglint fixture for aliascheck. The directory is named
+// "sim" so the default simulation-package list covers it.
+package sim
+
+// Runner mimics the real sim.Runner's reused scratch buffers.
+type Runner struct {
+	blockPower []float64
+	masks      [][]bool
+	byName     map[string]float64
+	chip       *Chip
+}
+
+// Chip stands in for a shared, immutable structure: pointers are fine.
+type Chip struct{ Name string }
+
+// Snapshot is a result type an exported method might return.
+type Snapshot struct {
+	Power []float64
+	Label string
+}
+
+var lastPower []float64
+
+// Power leaks the scratch buffer directly.
+func (r *Runner) Power() []float64 {
+	return r.blockPower // want "scratch field r.blockPower"
+}
+
+// Mask leaks one element of the nested scratch slice.
+func (r *Runner) Mask(d int) []bool {
+	return r.masks[d] // want "scratch field r.masks"
+}
+
+// ByName leaks the scratch map.
+func (r *Runner) ByName() map[string]float64 {
+	return r.byName // want "scratch field r.byName"
+}
+
+// Snapshot leaks through a composite literal element.
+func (r *Runner) Snapshot() *Snapshot {
+	return &Snapshot{
+		Power: r.blockPower, // want "composite carrying scratch field r.blockPower"
+		Label: "epoch",
+	}
+}
+
+// Record stores the scratch buffer into a package-level variable.
+func (r *Runner) Record() {
+	lastPower = r.blockPower // want "stores scratch field r.blockPower"
+}
+
+// Fill stores the scratch buffer through a parameter.
+func (r *Runner) Fill(out *Snapshot) {
+	out.Power = r.blockPower // want "stores scratch field r.blockPower"
+}
+
+// PowerCopy is the approved idiom: silent.
+func (r *Runner) PowerCopy() []float64 {
+	return append([]float64(nil), r.blockPower...)
+}
+
+// PowerInto copies into a caller-provided buffer: silent.
+func (r *Runner) PowerInto(dst []float64) []float64 {
+	if len(dst) != len(r.blockPower) {
+		dst = make([]float64, len(r.blockPower))
+	}
+	copy(dst, r.blockPower)
+	return dst
+}
+
+// Chip returns a shared pointer, not a reused buffer: silent.
+func (r *Runner) Chip() *Chip { return r.chip }
+
+// Total derives a scalar from the scratch buffer: silent.
+func (r *Runner) Total() float64 {
+	var s float64
+	for _, p := range r.blockPower {
+		s += p
+	}
+	return s
+}
+
+// buildMask aliases freely — unexported helpers own the reuse contract.
+func (r *Runner) buildMask(d int) []bool {
+	return r.masks[d]
+}
+
+// Suppressed demonstrates an annotated intentional alias.
+func (r *Runner) Suppressed() []float64 {
+	//lint:ignore aliascheck fixture demonstrates a documented alias
+	return r.blockPower
+}

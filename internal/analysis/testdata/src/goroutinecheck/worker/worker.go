@@ -1,0 +1,90 @@
+// Package worker is a tglint fixture for goroutinecheck.
+package worker
+
+import "sync"
+
+// Sweep mimics the experiments fan-out with every race variant seeded.
+func Sweep(jobs []int) ([]float64, error) {
+	results := make([]float64, len(jobs))
+	index := make(map[int]float64)
+	var collected []float64
+	var firstErr error
+	var wg sync.WaitGroup
+
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i, j int) {
+			defer wg.Done()
+			v := float64(j) * 2
+			results[i] = v                   // per-index slice write: silent
+			index[j] = v                     // want "write to captured map"
+			collected = append(collected, v) // want "append to captured slice"
+			if v < 0 {
+				firstErr = errNegative // want "write to captured variable"
+			}
+		}(i, j)
+	}
+	wg.Wait()
+	_ = collected
+	_ = index
+	return results, firstErr
+}
+
+// SweepGuarded is the approved mutex discipline: silent.
+func SweepGuarded(jobs []int) ([]float64, error) {
+	results := make([]float64, len(jobs))
+	index := make(map[int]float64)
+	var firstErr error
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i, j int) {
+			defer wg.Done()
+			v := float64(j) * 2
+			results[i] = v
+			mu.Lock()
+			index[j] = v
+			if v < 0 && firstErr == nil {
+				firstErr = errNegative
+			}
+			mu.Unlock()
+		}(i, j)
+	}
+	wg.Wait()
+	return results, firstErr
+}
+
+// Local state born inside the closure is silent.
+func SweepLocal(jobs []int) {
+	var wg sync.WaitGroup
+	for range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make(map[int]float64)
+			sum := 0.0
+			for i := 0; i < 4; i++ {
+				local[i] = float64(i)
+				sum += float64(i)
+			}
+			_ = sum
+		}()
+	}
+	wg.Wait()
+}
+
+// Suppressed demonstrates an annotated single-writer pattern.
+func Suppressed(done *bool) {
+	go func() {
+		//lint:ignore goroutinecheck fixture demonstrates an annotated single-writer flag
+		*done = true
+	}()
+}
+
+type sweepError string
+
+func (e sweepError) Error() string { return string(e) }
+
+const errNegative = sweepError("negative value")

@@ -1,0 +1,44 @@
+// Package pdn is a tglint fixture for invcheck. The directory is named
+// "pdn" so the default entry-point table covers it: SteadyNoise,
+// TransientWindow and BurstPeakPct must route through the invariant
+// sanitizer.
+package pdn
+
+import "thermogater/internal/invariant"
+
+// Network mimics the real PDN model.
+type Network struct{ vdd float64 }
+
+// SteadyNoise misses the sanitizer entirely.
+func (n *Network) SteadyNoise(current []float64) float64 { // want "SteadyNoise does not route through the invariant sanitizer"
+	var worst float64
+	for _, c := range current {
+		if d := 100 * c * 0.001 / n.vdd; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TransientWindow reaches the sanitizer transitively through a helper.
+func (n *Network) TransientWindow(cycles int) []float64 {
+	out := make([]float64, cycles)
+	n.sanitize(out)
+	return out
+}
+
+func (n *Network) sanitize(vs []float64) {
+	if invariant.Enabled {
+		invariant.CheckFinite("pdn fixture", vs)
+	}
+}
+
+// BurstPeakPct hooks the sanitizer directly.
+func (n *Network) BurstPeakPct(steady, surge float64) float64 {
+	peak := steady + surge
+	invariant.CheckDroopPct("pdn fixture peak", peak)
+	return peak
+}
+
+// EffectiveResistance is not a configured entry point: silent.
+func (n *Network) EffectiveResistance() float64 { return 0.001 }

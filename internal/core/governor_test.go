@@ -18,7 +18,7 @@ type testRig struct {
 
 func newRig(t *testing.T) *testRig {
 	t.Helper()
-	chip := floorplan.BuildPOWER8()
+	chip := floorplan.MustPOWER8()
 	networks := make([]*vr.Network, len(chip.Domains))
 	for i, d := range chip.Domains {
 		nw, err := vr.NewNetwork(vr.FIVR(), len(d.Regulators))

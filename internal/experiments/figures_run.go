@@ -132,7 +132,10 @@ func Fig13ActivityBins(opts Options) (*report.Figure, error) {
 		XLabel: "regulator bin index",
 		YLabel: "% of execution time on",
 	}
-	chip := floorplan.BuildPOWER8()
+	chip, err := floorplan.BuildPOWER8()
+	if err != nil {
+		return nil, err
+	}
 	for _, p := range []core.PolicyKind{core.OracT, core.OracV} {
 		res, err := runOne(opts.simConfig(p, bench))
 		if err != nil {
@@ -190,7 +193,11 @@ func Fig14NoiseTransient(opts Options) (*report.Figure, error) {
 		if ws == nil {
 			return nil, fmt.Errorf("%v: no worst-noise snapshot", p)
 		}
-		grid, err := pdn.NewNetwork(floorplan.BuildPOWER8(), cfg.PDN)
+		chip, err := floorplan.BuildPOWER8()
+		if err != nil {
+			return nil, err
+		}
+		grid, err := pdn.NewNetwork(chip, cfg.PDN)
 		if err != nil {
 			return nil, err
 		}

@@ -23,8 +23,10 @@ const (
 // used throughout the paper's evaluation: one Vdd-domain per core (core +
 // private L2, 9 component VRs) and one per L3 bank (3 component VRs).
 // Regulators are placed uniformly, which Section 5 shows is within 0.4% of
-// the voltage-noise-optimal placement.
-func BuildPOWER8() *Chip {
+// the voltage-noise-optimal placement. The error reports a floorplan that
+// fails geometric validation; callers that treat that as unreachable can
+// use MustPOWER8.
+func BuildPOWER8() (*Chip, error) {
 	c := &Chip{WidthMM: DieWidthMM, HeightMM: DieHeightMM}
 
 	// Core tiles: cores 0-3 across the top row, cores 4-7 across the second.
@@ -69,8 +71,16 @@ func BuildPOWER8() *Chip {
 
 	c.index()
 	if err := c.Validate(); err != nil {
-		// The builder is deterministic; a validation failure is a programming
-		// error, not a runtime condition.
+		return nil, fmt.Errorf("floorplan: POWER8 layout failed validation: %w", err)
+	}
+	return c, nil
+}
+
+// MustPOWER8 is BuildPOWER8 for callers (tests, examples) that treat a
+// validation failure of the fixed layout as a programming error.
+func MustPOWER8() *Chip {
+	c, err := BuildPOWER8()
+	if err != nil {
 		panic(err)
 	}
 	return c

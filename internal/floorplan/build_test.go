@@ -7,14 +7,17 @@ import (
 )
 
 func TestBuildPOWER8Validates(t *testing.T) {
-	c := BuildPOWER8()
+	c, err := BuildPOWER8()
+	if err != nil {
+		t.Fatalf("BuildPOWER8() = %v", err)
+	}
 	if err := c.Validate(); err != nil {
 		t.Fatalf("Validate() = %v", err)
 	}
 }
 
 func TestBuildPOWER8Counts(t *testing.T) {
-	c := BuildPOWER8()
+	c := MustPOWER8()
 	if got := len(c.Regulators); got != 96 {
 		t.Errorf("regulator count = %d, want 96", got)
 	}
@@ -46,7 +49,7 @@ func TestBuildPOWER8Counts(t *testing.T) {
 }
 
 func TestBuildPOWER8DieArea(t *testing.T) {
-	c := BuildPOWER8()
+	c := MustPOWER8()
 	if got := c.WidthMM * c.HeightMM; math.Abs(got-441) > 1e-9 {
 		t.Errorf("die area = %v mm², want 441", got)
 	}
@@ -61,7 +64,7 @@ func TestBuildPOWER8DieArea(t *testing.T) {
 }
 
 func TestBuildPOWER8RegulatorsInsideDomains(t *testing.T) {
-	c := BuildPOWER8()
+	c := MustPOWER8()
 	for _, r := range c.Regulators {
 		d := c.Domains[r.Domain]
 		if !d.Bounds.Contains(r.Pos) {
@@ -79,7 +82,7 @@ func TestBuildPOWER8RegulatorsInsideDomains(t *testing.T) {
 }
 
 func TestLogicSideRegulators(t *testing.T) {
-	c := BuildPOWER8()
+	c := MustPOWER8()
 	for _, domID := range c.CoreDomains() {
 		logic, memory, err := c.LogicSideRegulators(domID)
 		if err != nil {
@@ -98,7 +101,7 @@ func TestLogicSideRegulators(t *testing.T) {
 }
 
 func TestBlockByName(t *testing.T) {
-	c := BuildPOWER8()
+	c := MustPOWER8()
 	b, err := c.BlockByName("core3/EXU")
 	if err != nil {
 		t.Fatalf("BlockByName = %v", err)
@@ -112,7 +115,7 @@ func TestBlockByName(t *testing.T) {
 }
 
 func TestBlockAtAndNearest(t *testing.T) {
-	c := BuildPOWER8()
+	c := MustPOWER8()
 	for _, b := range c.Blocks {
 		p := b.R.Center()
 		got := c.BlockAt(p)
@@ -126,7 +129,7 @@ func TestBlockAtAndNearest(t *testing.T) {
 }
 
 func TestCoreAndL3DomainOrdering(t *testing.T) {
-	c := BuildPOWER8()
+	c := MustPOWER8()
 	cores := c.CoreDomains()
 	if len(cores) != 8 {
 		t.Fatalf("CoreDomains() returned %d IDs", len(cores))
@@ -145,7 +148,7 @@ func TestCoreAndL3DomainOrdering(t *testing.T) {
 }
 
 func TestDomainOf(t *testing.T) {
-	c := BuildPOWER8()
+	c := MustPOWER8()
 	for _, r := range c.Regulators {
 		if got := c.DomainOf(r.ID); got.ID != r.Domain {
 			t.Errorf("DomainOf(%d) = %d, want %d", r.ID, got.ID, r.Domain)
@@ -154,7 +157,7 @@ func TestDomainOf(t *testing.T) {
 }
 
 func TestSortedBlockNamesStable(t *testing.T) {
-	c := BuildPOWER8()
+	c := MustPOWER8()
 	names := c.SortedBlockNames()
 	if len(names) != len(c.Blocks) {
 		t.Fatalf("SortedBlockNames returned %d names for %d blocks", len(names), len(c.Blocks))
@@ -167,7 +170,7 @@ func TestSortedBlockNamesStable(t *testing.T) {
 }
 
 func TestRelinkRegulators(t *testing.T) {
-	c := BuildPOWER8()
+	c := MustPOWER8()
 	orig := c.Regulators[0].NearestBlock
 	// Move the regulator into a different block of the same domain and relink.
 	l2, err := c.BlockByName("core0/L2")
@@ -185,7 +188,7 @@ func TestRelinkRegulators(t *testing.T) {
 }
 
 func TestValidateCatchesCorruption(t *testing.T) {
-	build := func() *Chip { return BuildPOWER8() }
+	build := func() *Chip { return MustPOWER8() }
 
 	c := build()
 	c.Blocks[3].Name = c.Blocks[2].Name

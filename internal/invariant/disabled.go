@@ -1,0 +1,45 @@
+//go:build !tgsan
+
+package invariant
+
+// Enabled reports that the sanitizer is compiled out: every function below
+// is an empty shell the compiler inlines to nothing, and `if
+// invariant.Enabled { ... }` blocks are dead-code eliminated.
+const Enabled = false
+
+// SetCtx is a no-op without the tgsan build tag.
+func SetCtx(epoch, substep int) {}
+
+// ResetCtx is a no-op without the tgsan build tag.
+func ResetCtx() {}
+
+// SetHandler is a no-op without the tgsan build tag; the returned restore
+// function does nothing.
+func SetHandler(h func(Violation)) (restore func()) { return func() {} }
+
+// Reportf is a no-op without the tgsan build tag.
+func Reportf(check string, index int, format string, args ...any) {}
+
+// CheckFinite is a no-op without the tgsan build tag.
+func CheckFinite(what string, vs []float64) {}
+
+// CheckScalarFinite is a no-op without the tgsan build tag.
+func CheckScalarFinite(what string, v float64) {}
+
+// CheckNonNegative is a no-op without the tgsan build tag.
+func CheckNonNegative(what string, vs []float64) {}
+
+// CheckTempBounds is a no-op without the tgsan build tag.
+func CheckTempBounds(what string, temps []float64, ambientC, maxC float64) {}
+
+// CheckStability is a no-op without the tgsan build tag.
+func CheckStability(what string, stepS, maxRatePerS float64) {}
+
+// CheckDroopPct is a no-op without the tgsan build tag.
+func CheckDroopPct(what string, pct float64) {}
+
+// CheckBalance is a no-op without the tgsan build tag.
+func CheckBalance(what string, got, want float64) {}
+
+// CheckCount is a no-op without the tgsan build tag.
+func CheckCount(what string, count, lo, hi int) {}

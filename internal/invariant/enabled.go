@@ -1,0 +1,158 @@
+//go:build tgsan
+
+package invariant
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Enabled reports that the tgsan build tag compiled the checks in.
+const Enabled = true
+
+// ctxWord packs (epoch, substep) into one atomic word so SetCtx costs a
+// single store in the substep loop and concurrent runners (the experiments
+// sweep) never tear a read. With several runners in flight the ambient
+// context is best-effort diagnostic information, not a synchronization
+// point.
+var ctxWord atomic.Uint64
+
+const ctxUnset = math.MaxUint64
+
+func init() { ctxWord.Store(ctxUnset) }
+
+// SetCtx records the Runner's current (epoch, substep) so package-level
+// hooks (thermal, pdn, vr) can locate their violations in simulated time.
+func SetCtx(epoch, substep int) {
+	ctxWord.Store(uint64(uint32(epoch))<<32 | uint64(uint32(substep)))
+}
+
+// ResetCtx marks the ambient context unknown (outside any epoch loop).
+func ResetCtx() { ctxWord.Store(ctxUnset) }
+
+func currentCtx() (epoch, substep int) {
+	w := ctxWord.Load()
+	if w == ctxUnset {
+		return -1, -1
+	}
+	return int(int32(w >> 32)), int(int32(w))
+}
+
+var handlerMu sync.RWMutex
+var handler func(Violation) = func(v Violation) { panic(v) }
+
+// SetHandler replaces the violation handler (default: panic) and returns a
+// function restoring the previous one. Tests use it to collect violations;
+// the fuzz targets keep the default so violations surface as crashers.
+func SetHandler(h func(Violation)) (restore func()) {
+	handlerMu.Lock()
+	prev := handler
+	handler = h
+	handlerMu.Unlock()
+	return func() {
+		handlerMu.Lock()
+		handler = prev
+		handlerMu.Unlock()
+	}
+}
+
+func report(check string, index int, format string, args ...any) {
+	epoch, substep := currentCtx()
+	v := Violation{
+		Check:   check,
+		Epoch:   epoch,
+		Substep: substep,
+		Index:   index,
+		Detail:  fmt.Sprintf(format, args...),
+	}
+	handlerMu.RLock()
+	h := handler
+	handlerMu.RUnlock()
+	h(v)
+}
+
+// Reportf lets composite checkers (the sim Runner's gating and energy
+// sweeps) report a violation of the named contract directly.
+func Reportf(check string, index int, format string, args ...any) {
+	report(check, index, format, args...)
+}
+
+// CheckFinite sweeps a state vector for NaN/Inf.
+func CheckFinite(what string, vs []float64) {
+	for i, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			report("finite", i, "%s[%d] = %v", what, i, v)
+		}
+	}
+}
+
+// CheckScalarFinite checks one scalar for NaN/Inf.
+func CheckScalarFinite(what string, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		report("finite", -1, "%s = %v", what, v)
+	}
+}
+
+// CheckNonNegative sweeps a vector for negative entries (powers, currents
+// and losses are magnitudes; a negative watt is a sign error upstream).
+func CheckNonNegative(what string, vs []float64) {
+	for i, v := range vs {
+		if v < 0 {
+			report("non-negative", i, "%s[%d] = %v < 0", what, i, v)
+		}
+	}
+}
+
+// CheckTempBounds enforces ambient ≤ T ≤ maxC on a temperature vector.
+// Pass maxC = +Inf to check only the ambient floor (package-level hooks
+// that do not know the configured junction limit).
+func CheckTempBounds(what string, temps []float64, ambientC, maxC float64) {
+	lo := ambientC - TempSlackC
+	for i, t := range temps {
+		if math.IsNaN(t) || t < lo || t > maxC {
+			report("temp-bounds", i, "%s[%d] = %v°C outside [%v, %v]°C",
+				what, i, t, ambientC, maxC)
+		}
+	}
+}
+
+// CheckStability enforces the explicit-Euler stability (CFL) condition:
+// the integration substep times the fastest node rate must not exceed 1/2.
+func CheckStability(what string, stepS, maxRatePerS float64) {
+	if stepS <= 0 || math.IsNaN(stepS) {
+		report("cfl-stability", -1, "%s: non-positive substep %v s", what, stepS)
+		return
+	}
+	if r := stepS * maxRatePerS; r > 0.5+StabilitySlack {
+		report("cfl-stability", -1, "%s: substep %v s × max rate %v /s = %v exceeds the 0.5 Euler stability bound",
+			what, stepS, maxRatePerS, r)
+	}
+}
+
+// CheckDroopPct enforces the PDN droop bounds on one noise figure: finite,
+// non-negative, and short of full supply collapse.
+func CheckDroopPct(what string, pct float64) {
+	if math.IsNaN(pct) || pct < 0 || pct >= DroopCollapsePct {
+		report("droop-bounds", -1, "%s: droop %v%% of Vdd outside [0, %v)", what, pct, DroopCollapsePct)
+	}
+}
+
+// CheckBalance compares two watt (or amp) figures that must agree up to
+// float association: |got-want| ≤ AbsTolW + RelTol·max(|got|,|want|).
+func CheckBalance(what string, got, want float64) {
+	diff := math.Abs(got - want)
+	scale := math.Max(math.Abs(got), math.Abs(want))
+	if math.IsNaN(diff) || diff > AbsTolW+RelTol*scale {
+		report("energy-balance", -1, "%s: got %v, want %v (diff %v)", what, got, want, diff)
+	}
+}
+
+// CheckCount enforces an integer range, e.g. active phase counts within
+// [1, N] for a vr.Network.
+func CheckCount(what string, count, lo, hi int) {
+	if count < lo || count > hi {
+		report("count-bounds", -1, "%s: count %d outside [%d, %d]", what, count, lo, hi)
+	}
+}

@@ -1,0 +1,49 @@
+//go:build !tgsan
+
+package invariant
+
+import (
+	"math"
+	"testing"
+)
+
+// Without the tgsan tag the sanitizer must be fully compiled out: Enabled
+// is false and every check swallows even blatant violations.
+func TestStubsAreInert(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without the tgsan build tag")
+	}
+	fired := false
+	restore := SetHandler(func(Violation) { fired = true })
+	defer restore()
+
+	SetCtx(3, 7)
+	CheckFinite("x", []float64{math.NaN(), math.Inf(1)})
+	CheckScalarFinite("x", math.NaN())
+	CheckNonNegative("x", []float64{-1})
+	CheckTempBounds("t", []float64{-400}, 35, 150)
+	CheckStability("s", 1, 100)
+	CheckDroopPct("d", 250)
+	CheckBalance("e", 1, 2)
+	CheckCount("c", 99, 1, 9)
+	Reportf("manual", 0, "boom")
+	ResetCtx()
+
+	if fired {
+		t.Fatal("stub checks must never invoke the handler")
+	}
+}
+
+// Violation formatting is shared between build modes.
+func TestViolationError(t *testing.T) {
+	v := Violation{Check: "temp-bounds", Epoch: 4, Substep: 2, Index: 17, Detail: "T = 200°C"}
+	want := "invariant: [temp-bounds] epoch 4 substep 2 index 17: T = 200°C"
+	if got := v.Error(); got != want {
+		t.Fatalf("Error() = %q, want %q", got, want)
+	}
+	v = Violation{Check: "finite", Epoch: -1, Substep: -1, Index: -1, Detail: "x = NaN"}
+	want = "invariant: [finite] outside epoch loop: x = NaN"
+	if got := v.Error(); got != want {
+		t.Fatalf("Error() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,156 @@
+//go:build tgsan
+
+package invariant
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// collect installs a gathering handler for one test.
+func collect(t *testing.T) *[]Violation {
+	t.Helper()
+	var got []Violation
+	restore := SetHandler(func(v Violation) { got = append(got, v) })
+	t.Cleanup(restore)
+	t.Cleanup(ResetCtx)
+	return &got
+}
+
+func TestEnabledFlag(t *testing.T) {
+	if !Enabled {
+		t.Fatal("Enabled must be true under the tgsan build tag")
+	}
+}
+
+func TestCtxLocatesViolations(t *testing.T) {
+	got := collect(t)
+	SetCtx(12, 5)
+	CheckScalarFinite("x", math.NaN())
+	ResetCtx()
+	CheckScalarFinite("y", math.Inf(-1))
+
+	if len(*got) != 2 {
+		t.Fatalf("got %d violations, want 2", len(*got))
+	}
+	if v := (*got)[0]; v.Epoch != 12 || v.Substep != 5 {
+		t.Fatalf("violation inside epoch loop located at (%d,%d), want (12,5)", v.Epoch, v.Substep)
+	}
+	if v := (*got)[1]; v.Epoch != -1 || v.Substep != -1 {
+		t.Fatalf("violation after ResetCtx located at (%d,%d), want (-1,-1)", v.Epoch, v.Substep)
+	}
+}
+
+func TestCheckFinite(t *testing.T) {
+	got := collect(t)
+	CheckFinite("p", []float64{0, 1.5, math.NaN(), 2, math.Inf(1)})
+	if len(*got) != 2 {
+		t.Fatalf("got %d violations, want 2: %v", len(*got), *got)
+	}
+	if (*got)[0].Index != 2 || (*got)[1].Index != 4 {
+		t.Fatalf("violation indices %d,%d want 2,4", (*got)[0].Index, (*got)[1].Index)
+	}
+	*got = (*got)[:0]
+	CheckFinite("p", []float64{0, 1, 2})
+	if len(*got) != 0 {
+		t.Fatalf("clean vector reported %v", *got)
+	}
+}
+
+func TestCheckNonNegative(t *testing.T) {
+	got := collect(t)
+	CheckNonNegative("w", []float64{0, -1e-3, 2})
+	if len(*got) != 1 || (*got)[0].Index != 1 {
+		t.Fatalf("got %v, want one violation at index 1", *got)
+	}
+}
+
+func TestCheckTempBounds(t *testing.T) {
+	got := collect(t)
+	// Within slack below ambient: fine. Far below or above max: violation.
+	CheckTempBounds("T", []float64{35 - TempSlackC/2, 34, 151, math.NaN()}, 35, 150)
+	if len(*got) != 3 {
+		t.Fatalf("got %d violations, want 3: %v", len(*got), *got)
+	}
+	*got = (*got)[:0]
+	// +Inf upper bound checks only the ambient floor.
+	CheckTempBounds("T", []float64{5000}, 35, math.Inf(1))
+	if len(*got) != 0 {
+		t.Fatalf("upper bound +Inf still fired: %v", *got)
+	}
+}
+
+func TestCheckStability(t *testing.T) {
+	got := collect(t)
+	CheckStability("euler", 1e-4, 4999) // h·rate ≈ 0.4999 < 0.5
+	if len(*got) != 0 {
+		t.Fatalf("stable step flagged: %v", *got)
+	}
+	CheckStability("euler", 1e-4, 5100) // 0.51 > 0.5
+	CheckStability("euler", -1, 100)
+	if len(*got) != 2 {
+		t.Fatalf("got %d violations, want 2: %v", len(*got), *got)
+	}
+}
+
+func TestCheckDroopPct(t *testing.T) {
+	got := collect(t)
+	CheckDroopPct("noise", 9.99)
+	CheckDroopPct("noise", 42) // an emergency, but physically representable
+	if len(*got) != 0 {
+		t.Fatalf("legal droops flagged: %v", *got)
+	}
+	CheckDroopPct("noise", -0.1)
+	CheckDroopPct("noise", 100)
+	CheckDroopPct("noise", math.NaN())
+	if len(*got) != 3 {
+		t.Fatalf("got %d violations, want 3: %v", len(*got), *got)
+	}
+}
+
+func TestCheckBalance(t *testing.T) {
+	got := collect(t)
+	CheckBalance("chip power", 100, 100*(1+RelTol/2))
+	if len(*got) != 0 {
+		t.Fatalf("within-tolerance balance flagged: %v", *got)
+	}
+	CheckBalance("chip power", 100, 101)
+	if len(*got) != 1 {
+		t.Fatalf("1%% imbalance not flagged")
+	}
+	if c := (*got)[0].Check; c != "energy-balance" {
+		t.Fatalf("check name %q, want energy-balance", c)
+	}
+}
+
+func TestCheckCount(t *testing.T) {
+	got := collect(t)
+	CheckCount("phases", 9, 1, 9)
+	CheckCount("phases", 1, 1, 9)
+	if len(*got) != 0 {
+		t.Fatalf("legal counts flagged: %v", *got)
+	}
+	CheckCount("phases", 0, 1, 9)
+	CheckCount("phases", 10, 1, 9)
+	if len(*got) != 2 {
+		t.Fatalf("got %d violations, want 2", len(*got))
+	}
+}
+
+func TestDefaultHandlerPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("default handler did not panic")
+		}
+		v, ok := r.(Violation)
+		if !ok {
+			t.Fatalf("panic value %T, want Violation", r)
+		}
+		if !strings.Contains(v.Error(), "finite") {
+			t.Fatalf("unexpected violation: %v", v)
+		}
+	}()
+	CheckScalarFinite("x", math.NaN())
+}

@@ -1,0 +1,84 @@
+package pdn
+
+import (
+	"math"
+	"testing"
+
+	"thermogater/internal/floorplan"
+	"thermogater/internal/workload"
+)
+
+// FuzzPDNTransient exercises the steady-state IR-drop profile, the di/dt
+// burst peak and the cycle-level transient window under randomized current
+// maps, masks and burst shapes inside the physical envelope (per-block
+// current at most 1A — the per-domain share of the 150W TDP at Vdd — so
+// the closed-loop droop bound genuinely applies to SteadyNoise and
+// BurstPeakPct). Run it with -tags tgsan so the sanitizer acts as the
+// oracle; the default build still asserts finiteness explicitly.
+func FuzzPDNTransient(f *testing.F) {
+	f.Add(uint64(1), 0.8, 0.8, 100, 12, 600, 2.5)
+	f.Add(uint64(9), 1.0, 1.5, 0, 1, 50, 4.0)
+	f.Add(uint64(33), 0.1, 0.0, 900, 200, 1000, 0.5)
+	f.Fuzz(func(t *testing.T, seed uint64, baseA, amp float64, startCycle, burstCycles, cycles int, clockGHz float64) {
+		if math.IsNaN(baseA) || baseA <= 0 || baseA > 1 {
+			t.Skip("per-block current outside (0, 1A] envelope")
+		}
+		if math.IsNaN(amp) || amp < 0 || amp > 1.5 {
+			t.Skip("surge fraction outside [0, 1.5] envelope")
+		}
+		if cycles <= 0 || cycles > 2000 || burstCycles <= 0 || burstCycles > 200 {
+			t.Skip("window or burst length outside envelope")
+		}
+		if startCycle < 0 || startCycle >= cycles {
+			t.Skip("burst onset outside the window")
+		}
+		if math.IsNaN(clockGHz) || clockGHz <= 0 || clockGHz > 5 {
+			t.Skip("clock outside (0, 5GHz] envelope")
+		}
+
+		chip := floorplan.MustPOWER8()
+		n, err := NewNetwork(chip, DefaultConfig())
+		if err != nil {
+			t.Fatalf("NewNetwork: %v", err)
+		}
+
+		rng := workload.NewRNG(seed)
+		domain := rng.Intn(len(chip.Domains))
+		d := &chip.Domains[domain]
+		blockCurrent := make([]float64, len(chip.Blocks))
+		for _, bid := range d.Blocks {
+			blockCurrent[bid] = rng.Float64() * baseA
+		}
+		active := make([]bool, len(d.Regulators))
+		for i := range active {
+			active[i] = rng.Float64() < 0.5
+		}
+		active[rng.Intn(len(active))] = true
+		bi := rng.Intn(len(d.Blocks))
+
+		dn, err := n.SteadyNoise(domain, blockCurrent, active)
+		if err != nil {
+			t.Fatalf("SteadyNoise: %v", err)
+		}
+		if math.IsNaN(dn.MaxPct) || dn.MaxPct < 0 {
+			t.Fatalf("SteadyNoise MaxPct = %v", dn.MaxPct)
+		}
+
+		surge := amp * blockCurrent[d.Blocks[bi]]
+		peak := n.BurstPeakPct(domain, bi, dn.PerBlockPct[bi], surge, active, burstCycles, clockGHz)
+		if math.IsNaN(peak) || peak < dn.PerBlockPct[bi] {
+			t.Fatalf("BurstPeakPct = %v below steady %v", peak, dn.PerBlockPct[bi])
+		}
+
+		bursts := []Burst{{StartCycle: startCycle, Cycles: burstCycles, Amp: amp}}
+		out, err := n.TransientWindow(domain, bi, blockCurrent, active, bursts, cycles, clockGHz, seed)
+		if err != nil {
+			t.Fatalf("TransientWindow: %v", err)
+		}
+		for c, v := range out {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("TransientWindow cycle %d = %v", c, v)
+			}
+		}
+	})
+}

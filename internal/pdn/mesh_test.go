@@ -9,7 +9,7 @@ import (
 
 func newMesh(t *testing.T, domain int) (*Mesh, *floorplan.Chip) {
 	t.Helper()
-	chip := floorplan.BuildPOWER8()
+	chip := floorplan.MustPOWER8()
 	m, err := NewMesh(chip, domain, DefaultMeshConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -18,7 +18,7 @@ func newMesh(t *testing.T, domain int) (*Mesh, *floorplan.Chip) {
 }
 
 func TestNewMeshValidation(t *testing.T) {
-	chip := floorplan.BuildPOWER8()
+	chip := floorplan.MustPOWER8()
 	if _, err := NewMesh(nil, 0, DefaultMeshConfig()); err == nil {
 		t.Error("nil chip accepted")
 	}
@@ -151,7 +151,7 @@ func TestMeshSolveValidation(t *testing.T) {
 // nodal solve on (a) which gating configuration is noisier and (b) the
 // rough magnitude of the worst drop.
 func TestMeshValidatesPathModel(t *testing.T) {
-	chip := floorplan.BuildPOWER8()
+	chip := floorplan.MustPOWER8()
 	grid, err := NewNetwork(chip, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -230,7 +230,7 @@ func TestMeshValidatesPathModel(t *testing.T) {
 
 func TestMeshL3Domain(t *testing.T) {
 	// L3 domains (3 regulators, wide flat banks) must solve too.
-	chip := floorplan.BuildPOWER8()
+	chip := floorplan.MustPOWER8()
 	domID := chip.L3Domains()[0]
 	m, err := NewMesh(chip, domID, DefaultMeshConfig())
 	if err != nil {
@@ -253,7 +253,7 @@ func TestMeshL3Domain(t *testing.T) {
 // TestMeshPerBlockRankCorrelation: both PDN models must agree on which
 // blocks are the noisy ones, not just on the maximum.
 func TestMeshPerBlockRankCorrelation(t *testing.T) {
-	chip := floorplan.BuildPOWER8()
+	chip := floorplan.MustPOWER8()
 	grid, err := NewNetwork(chip, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"thermogater/internal/floorplan"
+	"thermogater/internal/invariant"
 )
 
 // Network is the power delivery model for one chip: per Vdd-domain, the
@@ -159,6 +160,10 @@ func (n *Network) SteadyNoise(domain int, blockCurrent []float64, active []bool)
 			out.MaxBlock = bid
 		}
 	}
+	if invariant.Enabled {
+		invariant.CheckFinite("pdn.SteadyNoise pct", out.PerBlockPct)
+		invariant.CheckDroopPct("pdn.SteadyNoise max", out.MaxPct)
+	}
 	return out, nil
 }
 
@@ -175,7 +180,11 @@ func (n *Network) BurstPeakPct(domain, bi int, steadyPct, surgeAmps float64, act
 		return math.Inf(1)
 	}
 	z := reff + n.cfg.ZTransientOhm*n.cfg.TransientFactor(burstCycles, clockGHz)
-	return steadyPct + 100*surgeAmps*z/n.cfg.VddV
+	peak := steadyPct + 100*surgeAmps*z/n.cfg.VddV
+	if invariant.Enabled {
+		invariant.CheckDroopPct("pdn.BurstPeakPct", peak)
+	}
+	return peak
 }
 
 // VRCriticality scores each of a domain's regulators by how much voltage

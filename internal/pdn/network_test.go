@@ -10,7 +10,7 @@ import (
 
 func newNet(t *testing.T) (*Network, *floorplan.Chip) {
 	t.Helper()
-	chip := floorplan.BuildPOWER8()
+	chip := floorplan.MustPOWER8()
 	n, err := NewNetwork(chip, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -41,7 +41,7 @@ func TestNewNetworkValidation(t *testing.T) {
 	}
 	bad := DefaultConfig()
 	bad.R0Ohm = 0
-	if _, err := NewNetwork(floorplan.BuildPOWER8(), bad); err == nil {
+	if _, err := NewNetwork(floorplan.MustPOWER8(), bad); err == nil {
 		t.Error("invalid config accepted")
 	}
 }
@@ -313,7 +313,7 @@ func TestBurstPeakBehaviour(t *testing.T) {
 	}
 	// A faster regulator (smaller response time) lets less of the
 	// transient through.
-	fast, err := NewNetwork(floorplan.BuildPOWER8(), LDOConfig())
+	fast, err := NewNetwork(floorplan.MustPOWER8(), LDOConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

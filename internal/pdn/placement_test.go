@@ -7,13 +7,13 @@ import (
 )
 
 func TestOptimizePlacementImproves(t *testing.T) {
-	chip := floorplan.BuildPOWER8()
+	chip := floorplan.MustPOWER8()
 	n, err := NewNetwork(chip, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	cur := loadedCurrents(chip)
-	uniform, err := UniformPlacementNoise(floorplan.BuildPOWER8(), DefaultConfig(), cur)
+	uniform, err := UniformPlacementNoise(floorplan.MustPOWER8(), DefaultConfig(), cur)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func TestOptimizePlacementImproves(t *testing.T) {
 }
 
 func TestOptimizePlacementKeepsRegulatorsInDomains(t *testing.T) {
-	chip := floorplan.BuildPOWER8()
+	chip := floorplan.MustPOWER8()
 	n, err := NewNetwork(chip, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -58,7 +58,7 @@ func TestOptimizePlacementKeepsRegulatorsInDomains(t *testing.T) {
 }
 
 func TestOptimizePlacementValidation(t *testing.T) {
-	chip := floorplan.BuildPOWER8()
+	chip := floorplan.MustPOWER8()
 	n, _ := NewNetwork(chip, DefaultConfig())
 	cur := loadedCurrents(chip)
 	if _, err := OptimizePlacement(n, cur, 0, 3); err == nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"thermogater/internal/invariant"
 	"thermogater/internal/workload"
 )
 
@@ -97,6 +98,13 @@ func (n *Network) TransientWindow(domain, bi int, blockCurrent []float64, active
 		}
 		drop := i*reff + shared + surge*ztrans
 		out[t] = 100 * drop / n.cfg.VddV
+	}
+	// The sanitizer checks finiteness only: transient windows are open-loop
+	// what-if traces (Fig. 14 regenerates the worst window under thinner
+	// masks than the governor ever ran), so excursions past supply collapse
+	// are a legitimate output here, unlike in the closed-loop paths.
+	if invariant.Enabled {
+		invariant.CheckFinite("pdn.TransientWindow pct", out)
 	}
 	return out, nil
 }

@@ -162,7 +162,7 @@ func TestSampleSpec(t *testing.T) {
 func TestLDOvsFIVRWindow(t *testing.T) {
 	// Fig. 15: under all-on with identical workloads the LDO's faster
 	// response yields slightly lower maximum noise than the buck.
-	chip := floorplan.BuildPOWER8()
+	chip := floorplan.MustPOWER8()
 	cur := loadedCurrents(chip)
 	burst := []Burst{{StartCycle: 50, Cycles: 60, Amp: 1.2}}
 	run := func(cfg Config) float64 {

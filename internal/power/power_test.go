@@ -9,7 +9,7 @@ import (
 
 func newModel(t *testing.T) (*Model, *floorplan.Chip) {
 	t.Helper()
-	chip := floorplan.BuildPOWER8()
+	chip := floorplan.MustPOWER8()
 	m, err := NewModel(chip)
 	if err != nil {
 		t.Fatal(err)

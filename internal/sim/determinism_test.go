@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"thermogater/internal/core"
+	"thermogater/internal/telemetry"
+)
+
+// runJSONL executes one instrumented run and returns the telemetry JSONL
+// stream. A fake monotonic clock removes wall-time from the records so the
+// stream depends only on the simulation itself.
+func runJSONL(t *testing.T, cfg Config) ([]byte, *Result) {
+	t.Helper()
+	var buf bytes.Buffer
+	reg := telemetry.NewRegistry()
+	tick := time.Unix(0, 0)
+	reg.SetClock(func() time.Time {
+		tick = tick.Add(time.Microsecond)
+		return tick
+	})
+	sink := telemetry.NewJSONLSink(&buf)
+	reg.AddSink(sink)
+	cfg.Telemetry = reg
+
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), res
+}
+
+// TestRunDeterminismJSONL locks in bit-exact reproducibility: two runs
+// from the same seed must emit byte-identical telemetry JSONL and identical
+// summary metrics. Every source of nondeterminism — map iteration,
+// goroutine scheduling, uninitialized scratch reuse — would show up here.
+func TestRunDeterminismJSONL(t *testing.T) {
+	cfg := telemetryTestConfig(t, core.PracVT)
+	cfg.TraceEpochs = true
+
+	a, resA := runJSONL(t, cfg)
+	b, resB := runJSONL(t, cfg)
+
+	if len(a) == 0 {
+		t.Fatal("first run emitted no telemetry")
+	}
+	if !bytes.Equal(a, b) {
+		// Find the first differing line for a useful failure message.
+		la, lb := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+		for i := 0; i < len(la) && i < len(lb); i++ {
+			if !bytes.Equal(la[i], lb[i]) {
+				t.Fatalf("telemetry diverges at line %d:\n  run A: %s\n  run B: %s", i+1, la[i], lb[i])
+			}
+		}
+		t.Fatalf("telemetry streams differ in length: %d vs %d bytes", len(a), len(b))
+	}
+
+	if resA.MaxTempC != resB.MaxTempC || resA.MaxNoisePct != resB.MaxNoisePct ||
+		resA.AvgPlossW != resB.AvgPlossW || resA.AvgEta != resB.AvgEta {
+		t.Errorf("summary metrics differ between identical runs:\n  A: Tmax=%v noise=%v ploss=%v eta=%v\n  B: Tmax=%v noise=%v ploss=%v eta=%v",
+			resA.MaxTempC, resA.MaxNoisePct, resA.AvgPlossW, resA.AvgEta,
+			resB.MaxTempC, resB.MaxNoisePct, resB.AvgPlossW, resB.AvgEta)
+	}
+}

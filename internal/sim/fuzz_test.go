@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"thermogater/internal/core"
+	"thermogater/internal/workload"
+)
+
+// fuzzSubsteps maps a fuzz byte onto the substep lengths that divide a 1ms
+// epoch evenly; Config.Validate rejects the rest anyway.
+var fuzzSubsteps = []float64{0.1, 0.2, 0.25, 0.5, 1.0}
+
+// FuzzSimConfig runs short closed-loop simulations across the whole
+// policy × benchmark × seed space. Any configuration Validate accepts must
+// complete without error; with -tags tgsan every epoch additionally passes
+// through the full sanitizer (energy balance, gating legality, temperature
+// and droop bounds), making the run itself the oracle.
+func FuzzSimConfig(f *testing.F) {
+	f.Add(uint8(1), uint8(0), uint64(1), uint8(4), uint8(1), uint8(0))
+	f.Add(uint8(6), uint8(5), uint64(99), uint8(6), uint8(2), uint8(2))
+	f.Add(uint8(7), uint8(13), uint64(7), uint8(3), uint8(0), uint8(4))
+	f.Fuzz(func(t *testing.T, policy, bench uint8, seed uint64, durMS, warmup, substep uint8) {
+		// Custom needs a user-supplied ranking function; fuzz the eight
+		// built-in policies.
+		p := core.PolicyKind(policy) % core.Custom
+		suite := workload.Suite()
+		b := suite[int(bench)%len(suite)]
+
+		cfg := DefaultConfig(p, b)
+		cfg.Seed = seed
+		cfg.WarmupEpochs = int(warmup % 3)
+		// The measured window must outlast the warm-up.
+		cfg.DurationMS = cfg.WarmupEpochs + 2 + int(durMS%6)
+		// The practical policies' θ-extraction needs enough rotating-gating
+		// transitions; sweep short-but-plausible pass lengths.
+		cfg.ProfilingEpochs = 30 + int(warmup%3)*60
+		cfg.SubstepMS = fuzzSubsteps[int(substep)%len(fuzzSubsteps)]
+		if err := cfg.Validate(); err != nil {
+			t.Skipf("rejected by Validate: %v", err)
+		}
+
+		r, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New on validated config: %v", err)
+		}
+		res, err := r.Run()
+		if err != nil {
+			// Profiling adequacy is data-dependent (the pass may legitimately
+			// see too few power transitions on a short budget); a clean,
+			// descriptive rejection is in contract. Anything else is a bug.
+			if strings.Contains(err.Error(), "profiling") {
+				t.Skipf("profiling pass rejected: %v", err)
+			}
+			t.Fatalf("Run: %v", err)
+		}
+		for _, m := range []struct {
+			name string
+			v    float64
+		}{
+			{"MaxTempC", res.MaxTempC},
+			{"MaxGradientC", res.MaxGradientC},
+			{"MaxNoisePct", res.MaxNoisePct},
+			{"AvgPlossW", res.AvgPlossW},
+			{"AvgEta", res.AvgEta},
+			{"AvgChipPowerW", res.AvgChipPowerW},
+			{"EmergencyFrac", res.EmergencyFrac},
+		} {
+			if math.IsNaN(m.v) || math.IsInf(m.v, 0) {
+				t.Fatalf("%s = %v", m.name, m.v)
+			}
+		}
+		if res.MaxTempC < cfg.Thermal.AmbientC {
+			t.Fatalf("MaxTempC %v below ambient %v", res.MaxTempC, cfg.Thermal.AmbientC)
+		}
+	})
+}

@@ -129,7 +129,7 @@ func TestMixCoresReflectTheirPrograms(t *testing.T) {
 	// than the raytrace cores within the same chip.
 	chol, _ := workload.ByName("cholesky")
 	rayt, _ := workload.ByName("raytrace")
-	chip := floorplan.BuildPOWER8()
+	chip := floorplan.MustPOWER8()
 	s, err := uarch.NewMix(chip,
 		[]workload.Profile{chol, chol, chol, chol, rayt, rayt, rayt, rayt}, 7)
 	if err != nil {

@@ -9,6 +9,7 @@ import (
 	"thermogater/internal/core"
 	"thermogater/internal/dvfs"
 	"thermogater/internal/floorplan"
+	"thermogater/internal/invariant"
 	"thermogater/internal/pdn"
 	"thermogater/internal/power"
 	"thermogater/internal/thermal"
@@ -64,7 +65,10 @@ func New(cfg Config) (*Runner, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	chip := floorplan.BuildPOWER8()
+	chip, err := floorplan.BuildPOWER8()
+	if err != nil {
+		return nil, err
+	}
 	pm, err := power.NewModel(chip)
 	if err != nil {
 		return nil, err
@@ -378,6 +382,9 @@ func (r *Runner) Run() (*Result, error) {
 // runMeasured executes the measured run with whatever predictor state the
 // governor already holds.
 func (r *Runner) runMeasured() (*Result, error) {
+	if invariant.Enabled {
+		defer invariant.ResetCtx()
+	}
 	res := &Result{
 		Policy:       r.cfg.Policy.String(),
 		Benchmark:    r.cfg.benchmarkLabel(),
@@ -508,6 +515,9 @@ func (r *Runner) runMeasured() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		if invariant.Enabled {
+			r.sanitizeDecision(dec)
+		}
 		epochOverrides := 0
 		for _, dd := range dec.Domains {
 			if dd.EmergencyOverride {
@@ -526,6 +536,9 @@ func (r *Runner) runMeasured() (*Result, error) {
 			epochDomEmerg[i] = false
 		}
 		for s, f := range frames {
+			if invariant.Enabled {
+				invariant.SetCtx(e, s)
+			}
 			phase = epSpan.StartChild("power")
 			r.tm.BlockTemps(r.blockTemps)
 			if _, err := r.blockPowerScaled(f.Activity, r.blockTemps, r.blockPower); err != nil {
@@ -588,6 +601,9 @@ func (r *Runner) runMeasured() (*Result, error) {
 				return nil, err
 			}
 			phase.End()
+			if invariant.Enabled {
+				r.sanitizeSubstep()
+			}
 
 			phase = epSpan.StartChild("power")
 			var chipPower float64

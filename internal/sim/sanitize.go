@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"thermogater/internal/core"
+	"thermogater/internal/invariant"
+	"thermogater/internal/power"
+)
+
+// This file holds the Runner's composite sanitizer checks — the contracts
+// that span more than one subsystem and therefore cannot live inside
+// thermal, pdn or vr. Every call site guards on invariant.Enabled, so in
+// the default (non-tgsan) build the constant-false branch and everything
+// behind it is eliminated; tgbench verifies the zero-overhead claim.
+
+// sanitizeDecision vets a governor decision before it is applied: the
+// requested phase count must be representable and the ranking a permutation
+// of the domain's regulators.
+func (r *Runner) sanitizeDecision(dec *core.Decision) {
+	if r.cfg.Policy == core.OffChip {
+		return
+	}
+	for d := range dec.Domains {
+		dd := &dec.Domains[d]
+		n := r.nets[d].Size()
+		invariant.CheckCount("governor phase count", dd.Count, 0, n)
+		if len(dd.Ranking) != n {
+			invariant.Reportf("vr-gating", d, "domain %d: ranking of %d entries for %d regulators",
+				d, len(dd.Ranking), n)
+			continue
+		}
+		seen := make([]bool, n)
+		for _, li := range dd.Ranking {
+			if li < 0 || li >= n || seen[li] {
+				invariant.Reportf("vr-gating", d, "domain %d: ranking %v is not a permutation",
+					d, dd.Ranking)
+				break
+			}
+			seen[li] = true
+		}
+	}
+}
+
+// sanitizeSubstep runs once per substep, after the decision has been
+// applied and the thermal model stepped. It sweeps every reused scratch
+// vector for NaN/Inf, pins temperatures between ambient and the configured
+// junction limit, reconstructs the current and conversion-loss maps from
+// independent formulas (energy conservation), and checks gating legality:
+// a gated regulator must neither carry current nor dissipate loss, and
+// active phase counts must respect the network's per-phase current limit.
+func (r *Runner) sanitizeSubstep() {
+	invariant.CheckFinite("sim.blockPower", r.blockPower)
+	invariant.CheckFinite("sim.blockCurrent", r.blockCurrent)
+	invariant.CheckFinite("sim.vrPower", r.vrPower)
+	invariant.CheckFinite("sim.vrCurrent", r.vrCurrent)
+	invariant.CheckFinite("sim.domainCurrent", r.domainCurrent)
+	invariant.CheckFinite("sim.sensorVRTemps", r.sensorVRTemps)
+	invariant.CheckNonNegative("sim.blockPower", r.blockPower)
+	invariant.CheckNonNegative("sim.vrPower", r.vrPower)
+	invariant.CheckNonNegative("sim.vrCurrent", r.vrCurrent)
+	invariant.CheckNonNegative("sim.domainCurrent", r.domainCurrent)
+
+	// Temperature bounds against the configured junction limit. The
+	// package-level thermal hooks only know the ambient floor; the Runner
+	// knows the ceiling.
+	ambientC := r.cfg.Thermal.AmbientC
+	junctionC := r.cfg.Thermal.MaxJunction()
+	invariant.CheckTempBounds("sim.blockTemps", r.tm.BlockTemps(nil), ambientC, junctionC)
+	invariant.CheckTempBounds("sim.vrTemps", r.tm.VRTemps(nil), ambientC, junctionC)
+
+	// Energy conservation, part 1: the per-block current map and the
+	// per-domain demand must reconstruct from the power map. The domain sum
+	// is re-accumulated in reverse order so it is not the same float
+	// expression demand() evaluated.
+	for i, p := range r.blockPower {
+		//lint:ignore floatcheck demand() computes exactly this expression, so exact equality is the contract
+		if r.blockCurrent[i] != power.WattsToAmps(p) {
+			invariant.Reportf("energy-balance", i,
+				"blockCurrent[%d] = %v A does not match %v W at Vdd", i, r.blockCurrent[i], p)
+		}
+	}
+	for d := range r.chip.Domains {
+		blocks := r.chip.Domains[d].Blocks
+		var sum float64
+		for bi := len(blocks) - 1; bi >= 0; bi-- {
+			sum += r.blockCurrent[blocks[bi]]
+		}
+		invariant.CheckBalance("domain demand", r.domainCurrent[d], sum)
+	}
+
+	if r.cfg.Policy == core.OffChip {
+		return
+	}
+
+	// Gating legality and conversion-loss conservation, per domain.
+	for d := range r.chip.Domains {
+		dom := &r.chip.Domains[d]
+		mask := r.masks[d]
+		n := r.nets[d].Size()
+		count := 0
+		var lossSum, curSum float64
+		for li, on := range mask {
+			rid := dom.Regulators[li]
+			if on {
+				count++
+				lossSum += r.vrPower[rid]
+				curSum += r.vrCurrent[rid]
+				//lint:ignore floatcheck a gated regulator is zeroed exactly, not approximately
+			} else if r.vrPower[rid] != 0 || r.vrCurrent[rid] != 0 {
+				invariant.Reportf("vr-gating", rid,
+					"domain %s: gated regulator carries %v A and dissipates %v W",
+					dom.Name, r.vrCurrent[rid], r.vrPower[rid])
+			}
+		}
+		invariant.CheckCount("applied phase count", count, 1, n)
+		if count < 1 {
+			continue
+		}
+		iout := r.domainCurrent[d]
+		// Per-phase current limit, unless the whole network is overloaded
+		// (count == n): legalisation can only raise count to n.
+		share := iout / float64(count)
+		if imax := r.nets[d].Design().IMax; count < n && share > imax*(1+invariant.RelTol) {
+			invariant.Reportf("vr-gating", d,
+				"domain %s: per-phase share %v A exceeds IMax %v A with %d of %d phases on",
+				dom.Name, share, imax, count, n)
+		}
+		// Energy conservation, part 2: the per-VR losses injected into the
+		// thermal model (count repeated additions of PerVRLoss) must agree
+		// with the composite-curve total PlossAt — algebraically identical,
+		// differently associated formulas.
+		invariant.CheckBalance("domain conversion loss", lossSum, r.nets[d].PlossAt(iout, count))
+		// And the shared currents must re-sum to the domain demand.
+		invariant.CheckBalance("domain shared current", curSum, iout)
+	}
+}

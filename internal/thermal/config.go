@@ -51,6 +51,24 @@ type Config struct {
 	RegulatorCapJPerK float64
 	// MaxEulerStepS caps the internal integration substep.
 	MaxEulerStepS float64
+	// MaxJunctionC is the maximum junction temperature the tgsan sanitizer
+	// enforces on block and regulator nodes. Zero selects the default
+	// DefaultMaxJunctionC; read it through MaxJunction.
+	MaxJunctionC float64
+}
+
+// DefaultMaxJunctionC is the junction limit assumed when Config leaves
+// MaxJunctionC unset — comfortably above the ~85°C operating points the
+// paper's experiments reach, so only genuinely runaway physics trips it.
+const DefaultMaxJunctionC = 150.0
+
+// MaxJunction returns the junction temperature limit (°C), substituting
+// DefaultMaxJunctionC when the field is unset.
+func (c Config) MaxJunction() float64 {
+	if c.MaxJunctionC <= 0 {
+		return DefaultMaxJunctionC
+	}
+	return c.MaxJunctionC
 }
 
 // DefaultConfig returns the calibrated POWER7+-like package.

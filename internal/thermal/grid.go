@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"thermogater/internal/floorplan"
+	"thermogater/internal/invariant"
 )
 
 // GridModel is the fine-grid counterpart of the compact block-mode Model —
@@ -131,6 +132,9 @@ func (g *GridModel) Step(dtS float64) error {
 	sub := math.Min(g.cfg.MaxEulerStepS, 0.5/maxRate)
 	steps := int(math.Ceil(dtS / sub))
 	h := dtS / float64(steps)
+	if invariant.Enabled {
+		invariant.CheckStability("thermal.GridModel substep", h, maxRate)
+	}
 
 	if g.delta == nil {
 		g.delta = make([]float64, len(g.temp))
@@ -187,27 +191,17 @@ func (g *GridModel) Step(dtS float64) error {
 			g.temp[i] += g.delta[i]
 		}
 	}
+	if invariant.Enabled {
+		invariant.CheckTempBounds("thermal.GridModel.temp", g.temp, g.cfg.AmbientC, math.Inf(1))
+	}
 	return nil
 }
 
 // SetPower distributes the block power map over the die cells (area
 // shares) and injects each regulator's loss into the cell containing it.
 func (g *GridModel) SetPower(blockPower, vrPower []float64) error {
-	if len(blockPower) != len(g.chip.Blocks) {
-		return fmt.Errorf("thermal: %d block powers, chip has %d blocks", len(blockPower), len(g.chip.Blocks))
-	}
-	if len(vrPower) != len(g.chip.Regulators) {
-		return fmt.Errorf("thermal: %d regulator powers, chip has %d", len(vrPower), len(g.chip.Regulators))
-	}
-	for i, p := range blockPower {
-		if p < 0 || math.IsNaN(p) {
-			return fmt.Errorf("thermal: block %d power %v invalid", i, p)
-		}
-	}
-	for i, p := range vrPower {
-		if p < 0 || math.IsNaN(p) {
-			return fmt.Errorf("thermal: regulator %d power %v invalid", i, p)
-		}
+	if err := validatePowers(blockPower, vrPower, len(g.chip.Blocks), len(g.chip.Regulators)); err != nil {
+		return err
 	}
 	// Count cells per block for even distribution.
 	cells := make([]int, len(g.chip.Blocks))
@@ -325,6 +319,9 @@ func (g *GridModel) SteadyState(tolC float64, maxIter int) (int, error) {
 			g.temp[g.sink] = tNew
 		}
 		if maxDelta < tolC {
+			if invariant.Enabled {
+				invariant.CheckTempBounds("thermal.GridModel.temp", g.temp, g.cfg.AmbientC, math.Inf(1))
+			}
 			return it, nil
 		}
 	}

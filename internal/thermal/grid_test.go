@@ -9,7 +9,7 @@ import (
 
 func newGrid(t *testing.T, nx, ny int) *GridModel {
 	t.Helper()
-	g, err := NewGridModel(floorplan.BuildPOWER8(), DefaultConfig(), nx, ny)
+	g, err := NewGridModel(floorplan.MustPOWER8(), DefaultConfig(), nx, ny)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -20,19 +20,19 @@ func TestNewGridModelValidation(t *testing.T) {
 	if _, err := NewGridModel(nil, DefaultConfig(), 8, 8); err == nil {
 		t.Error("nil chip accepted")
 	}
-	if _, err := NewGridModel(floorplan.BuildPOWER8(), DefaultConfig(), 1, 8); err == nil {
+	if _, err := NewGridModel(floorplan.MustPOWER8(), DefaultConfig(), 1, 8); err == nil {
 		t.Error("1-wide grid accepted")
 	}
 	bad := DefaultConfig()
 	bad.KSiWPerMMK = 0
-	if _, err := NewGridModel(floorplan.BuildPOWER8(), bad, 8, 8); err == nil {
+	if _, err := NewGridModel(floorplan.MustPOWER8(), bad, 8, 8); err == nil {
 		t.Error("invalid config accepted")
 	}
 }
 
 func TestGridZeroPowerAtAmbient(t *testing.T) {
 	g := newGrid(t, 16, 16)
-	bp := make([]float64, len(floorplan.BuildPOWER8().Blocks))
+	bp := make([]float64, len(floorplan.MustPOWER8().Blocks))
 	vp := make([]float64, floorplan.TotalVRs)
 	if err := g.SetPower(bp, vp); err != nil {
 		t.Fatal(err)
@@ -48,7 +48,7 @@ func TestGridZeroPowerAtAmbient(t *testing.T) {
 
 func TestGridSinkEnergyBalance(t *testing.T) {
 	g := newGrid(t, 24, 24)
-	chip := floorplan.BuildPOWER8()
+	chip := floorplan.MustPOWER8()
 	bp := make([]float64, len(chip.Blocks))
 	vp := make([]float64, floorplan.TotalVRs)
 	var total float64
@@ -70,7 +70,7 @@ func TestGridSinkEnergyBalance(t *testing.T) {
 
 func TestGridSetPowerValidation(t *testing.T) {
 	g := newGrid(t, 8, 8)
-	chip := floorplan.BuildPOWER8()
+	chip := floorplan.MustPOWER8()
 	bp := make([]float64, len(chip.Blocks))
 	vp := make([]float64, floorplan.TotalVRs)
 	if err := g.SetPower(bp[:2], vp); err == nil {
@@ -91,7 +91,7 @@ func TestGridSetPowerValidation(t *testing.T) {
 
 func TestGridHotspotUnderPoweredBlock(t *testing.T) {
 	g := newGrid(t, 42, 42)
-	chip := floorplan.BuildPOWER8()
+	chip := floorplan.MustPOWER8()
 	bp := make([]float64, len(chip.Blocks))
 	vp := make([]float64, floorplan.TotalVRs)
 	exu, _ := chip.BlockByName("core0/EXU")
@@ -112,7 +112,7 @@ func TestGridHotspotUnderPoweredBlock(t *testing.T) {
 // same power map, block-average temperatures must agree within a couple of
 // degrees and the hottest block must be the same.
 func TestGridValidatesCompactModel(t *testing.T) {
-	chip := floorplan.BuildPOWER8()
+	chip := floorplan.MustPOWER8()
 	cfg := DefaultConfig()
 	compact, err := NewModel(chip, cfg)
 	if err != nil {
@@ -180,7 +180,7 @@ func TestGridValidatesCompactModel(t *testing.T) {
 // powered regulator produces a local peak sharper than its block average.
 func TestGridResolvesRegulatorHotspot(t *testing.T) {
 	g := newGrid(t, 84, 84)
-	chip := floorplan.BuildPOWER8()
+	chip := floorplan.MustPOWER8()
 	bp := make([]float64, len(chip.Blocks))
 	vp := make([]float64, floorplan.TotalVRs)
 	vp[0] = 0.25
@@ -220,7 +220,7 @@ func TestGridSteadyStateValidation(t *testing.T) {
 	if _, err := g.SteadyState(0, 10); err == nil {
 		t.Error("zero tolerance accepted")
 	}
-	chip := floorplan.BuildPOWER8()
+	chip := floorplan.MustPOWER8()
 	bp := make([]float64, len(chip.Blocks))
 	for i := range bp {
 		bp[i] = 2
@@ -235,7 +235,7 @@ func TestGridSteadyStateValidation(t *testing.T) {
 }
 
 func TestGridTransientApproachesSteadyState(t *testing.T) {
-	chip := floorplan.BuildPOWER8()
+	chip := floorplan.MustPOWER8()
 	bp := make([]float64, len(chip.Blocks))
 	vp := make([]float64, floorplan.TotalVRs)
 	for i := range bp {
@@ -284,7 +284,7 @@ func TestGridTransientMonotoneWarmup(t *testing.T) {
 	// From a cold uniform start with constant power, the hottest cell's
 	// temperature rises monotonically (no overshoot in a passive RC grid).
 	g := newGrid(t, 12, 12)
-	chip := floorplan.BuildPOWER8()
+	chip := floorplan.MustPOWER8()
 	bp := make([]float64, len(chip.Blocks))
 	vp := make([]float64, floorplan.TotalVRs)
 	exu, _ := chip.BlockByName("core0/EXU")

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"thermogater/internal/floorplan"
+	"thermogater/internal/invariant"
 )
 
 // edge is one conductive link of the RC network.
@@ -160,24 +161,11 @@ func (m *Model) Reset(tempC float64) {
 // blockPower holds total (dynamic + static) watts per functional block,
 // vrPower the conversion loss of each regulator (zero for gated ones).
 func (m *Model) SetPower(blockPower, vrPower []float64) error {
-	if len(blockPower) != m.nBlocks {
-		return fmt.Errorf("thermal: %d block powers, chip has %d blocks", len(blockPower), m.nBlocks)
+	if err := validatePowers(blockPower, vrPower, m.nBlocks, m.nVRs); err != nil {
+		return err
 	}
-	if len(vrPower) != m.nVRs {
-		return fmt.Errorf("thermal: %d regulator powers, chip has %d regulators", len(vrPower), m.nVRs)
-	}
-	for i, p := range blockPower {
-		if p < 0 || math.IsNaN(p) {
-			return fmt.Errorf("thermal: block %d power %v invalid", i, p)
-		}
-		m.power[i] = p
-	}
-	for r, p := range vrPower {
-		if p < 0 || math.IsNaN(p) {
-			return fmt.Errorf("thermal: regulator %d power %v invalid", r, p)
-		}
-		m.power[m.nBlocks+r] = p
-	}
+	copy(m.power, blockPower)
+	copy(m.power[m.nBlocks:], vrPower)
 	return nil
 }
 
@@ -192,6 +180,9 @@ func (m *Model) Step(dtS float64) error {
 	steps := int(math.Ceil(dtS / sub))
 	h := dtS / float64(steps)
 	m.substeps += int64(steps)
+	if invariant.Enabled {
+		invariant.CheckStability("thermal.Model substep", h, m.maxRate)
+	}
 	if m.delta == nil {
 		m.delta = make([]float64, m.nNodes)
 	}
@@ -211,6 +202,9 @@ func (m *Model) Step(dtS float64) error {
 		for i := range m.temp {
 			m.temp[i] += delta[i]
 		}
+	}
+	if invariant.Enabled {
+		invariant.CheckTempBounds("thermal.Model.temp", m.temp, m.cfg.AmbientC, math.Inf(1))
 	}
 	return nil
 }
@@ -239,6 +233,9 @@ func (m *Model) SteadyState(tolC float64, maxIter int) (int, error) {
 			m.temp[i] = tNew
 		}
 		if maxDelta < tolC {
+			if invariant.Enabled {
+				invariant.CheckTempBounds("thermal.Model.temp", m.temp, m.cfg.AmbientC, math.Inf(1))
+			}
 			return it, nil
 		}
 	}

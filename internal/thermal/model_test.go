@@ -10,7 +10,7 @@ import (
 
 func newModel(t *testing.T) *Model {
 	t.Helper()
-	m, err := NewModel(floorplan.BuildPOWER8(), DefaultConfig())
+	m, err := NewModel(floorplan.MustPOWER8(), DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +27,7 @@ func TestNewModelValidation(t *testing.T) {
 	}
 	bad := DefaultConfig()
 	bad.SinkResKPerW = 0
-	if _, err := NewModel(floorplan.BuildPOWER8(), bad); err == nil {
+	if _, err := NewModel(floorplan.MustPOWER8(), bad); err == nil {
 		t.Error("invalid config accepted")
 	}
 	var ce *ConfigError
@@ -351,7 +351,7 @@ func TestEnergyFlowDirection(t *testing.T) {
 // so steady-state temperature rises superpose: rise(P1+P2) =
 // rise(P1) + rise(P2).
 func TestCompactLinearity(t *testing.T) {
-	chip := floorplan.BuildPOWER8()
+	chip := floorplan.MustPOWER8()
 	amb := DefaultConfig().AmbientC
 	solve := func(fill func(bp, vp []float64)) []float64 {
 		m, err := NewModel(chip, DefaultConfig())

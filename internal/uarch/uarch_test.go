@@ -10,7 +10,7 @@ import (
 
 func newSim(t *testing.T, bench string, seed uint64) *Simulator {
 	t.Helper()
-	chip := floorplan.BuildPOWER8()
+	chip := floorplan.MustPOWER8()
 	p, err := workload.ByName(bench)
 	if err != nil {
 		t.Fatal(err)
@@ -29,7 +29,7 @@ func TestNewValidation(t *testing.T) {
 	}
 	bad := p
 	bad.DurationMS = 0
-	if _, err := New(floorplan.BuildPOWER8(), bad, 1); err == nil {
+	if _, err := New(floorplan.MustPOWER8(), bad, 1); err == nil {
 		t.Error("invalid profile accepted")
 	}
 }
@@ -41,7 +41,7 @@ func TestStepBounds(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(f.Activity) != len(floorplan.BuildPOWER8().Blocks) {
+		if len(f.Activity) != len(floorplan.MustPOWER8().Blocks) {
 			t.Fatalf("frame has %d activities", len(f.Activity))
 		}
 		for bid, a := range f.Activity {
@@ -124,7 +124,7 @@ func TestComputeVsMemoryCharacter(t *testing.T) {
 	// (memory streaming) the other way around.
 	meanUnit := func(bench string, class floorplan.UnitClass) float64 {
 		s := newSim(t, bench, 7)
-		chip := floorplan.BuildPOWER8()
+		chip := floorplan.MustPOWER8()
 		var sum float64
 		var n int
 		for i := 0; i < 500; i++ {
@@ -211,7 +211,7 @@ func TestSerialPhaseConcentratesWork(t *testing.T) {
 	p, _ := workload.ByName("fft")
 	p.Phases = []workload.Phase{{Kind: workload.Serial, Frac: 1, ComputeScale: 1, MemScale: 1}}
 	p.NoiseSigma = 0
-	chip := floorplan.BuildPOWER8()
+	chip := floorplan.MustPOWER8()
 	s, err := New(chip, p, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -235,7 +235,7 @@ func TestBarrierPhaseQuiesces(t *testing.T) {
 	p, _ := workload.ByName("fft")
 	p.Phases = []workload.Phase{{Kind: workload.Barrier, Frac: 1, ComputeScale: 0.05, MemScale: 0.05}}
 	p.NoiseSigma = 0
-	chip := floorplan.BuildPOWER8()
+	chip := floorplan.MustPOWER8()
 	s, _ := New(chip, p, 1)
 	f, _ := s.Step(DefaultStepMS)
 	for _, b := range chip.Blocks {
@@ -247,7 +247,7 @@ func TestBarrierPhaseQuiesces(t *testing.T) {
 
 func TestBankSkewBiasesTraffic(t *testing.T) {
 	p, _ := workload.ByName("raytrace") // BankSkew 0.30
-	chip := floorplan.BuildPOWER8()
+	chip := floorplan.MustPOWER8()
 	s, _ := New(chip, p, 5)
 	var first, last float64
 	for i := 0; i < 1000; i++ {
@@ -264,7 +264,7 @@ func TestBankSkewBiasesTraffic(t *testing.T) {
 
 func TestThreadSkewBiasesCores(t *testing.T) {
 	p, _ := workload.ByName("raytrace") // ThreadSkew 0.30
-	chip := floorplan.BuildPOWER8()
+	chip := floorplan.MustPOWER8()
 	s, _ := New(chip, p, 5)
 	var c0, c7 float64
 	exu0, _ := chip.BlockByName("core0/EXU")

@@ -1,6 +1,10 @@
 package vr
 
-import "fmt"
+import (
+	"fmt"
+
+	"thermogater/internal/invariant"
+)
 
 // Network models a parallel network of N electrically identical component
 // regulators dispersed across one Vdd-domain (Section 3.1). Active
@@ -74,6 +78,14 @@ func (nw *Network) Legal(iout float64, active int) bool {
 // regulators cannot legally carry iout, N is returned (the network is
 // overloaded and the caller may flag a demand violation via Legal).
 func (nw *Network) NOn(iout float64) int {
+	count := nw.nOn(iout)
+	if invariant.Enabled {
+		invariant.CheckCount("vr.NOn active phases", count, 1, nw.n)
+	}
+	return count
+}
+
+func (nw *Network) nOn(iout float64) int {
 	if iout <= 0 {
 		return 1
 	}
@@ -126,7 +138,14 @@ func (nw *Network) PlossAt(iout float64, active int) float64 {
 	if err != nil {
 		return 0
 	}
-	return c.Ploss(iout)
+	loss := c.Ploss(iout)
+	if invariant.Enabled {
+		invariant.CheckScalarFinite("vr.PlossAt loss", loss)
+		if loss < 0 {
+			invariant.Reportf("non-negative", -1, "vr.PlossAt(%v, %d) = %v < 0", iout, active, loss)
+		}
+	}
+	return loss
 }
 
 // PerVRLoss returns the heat dissipated by each *active* regulator when

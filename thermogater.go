@@ -311,7 +311,7 @@ func RunMix(policy string, benchmarks []string, opts ...Option) (*Result, error)
 // domains); useful for interpreting Result.VROnFrac and for writing custom
 // policies.
 func DomainRegulators() [][]int {
-	chip := floorplan.BuildPOWER8()
+	chip := floorplan.MustPOWER8()
 	out := make([][]int, len(chip.Domains))
 	for i, d := range chip.Domains {
 		out[i] = append([]int(nil), d.Regulators...)
@@ -324,7 +324,10 @@ func DomainRegulators() [][]int {
 // the distinction behind the paper's Fig. 13 and the thermal-vs-noise
 // trade-off. Returned IDs are global regulator IDs.
 func RegulatorSides(coreDomain int) (logic, memory []int, err error) {
-	chip := floorplan.BuildPOWER8()
+	chip, err := floorplan.BuildPOWER8()
+	if err != nil {
+		return nil, nil, err
+	}
 	if coreDomain < 0 || coreDomain >= NumCores {
 		return nil, nil, fmt.Errorf("thermogater: core domain %d outside [0, %d)", coreDomain, NumCores)
 	}
