@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test race vet fmt-check lint sanitize fuzz verify bench bench-baseline
+.PHONY: build test race vet fmt-check lint sanitize fuzz chaos verify bench bench-baseline
 
 build:
 	$(GO) build ./...
@@ -44,8 +44,14 @@ fuzz:
 	$(GO) test -tags tgsan -run '^$$' -fuzz FuzzPDNTransient -fuzztime $(FUZZTIME) ./internal/pdn/
 	$(GO) test -tags tgsan -run '^$$' -fuzz FuzzSimConfig -fuzztime $(FUZZTIME) ./internal/sim/
 
+# Chaos gate: every fault model under the sanitizer, kill-and-resume
+# byte-identity, degraded policy ladders, and the tolerant sweep paths
+# (see docs/ROBUSTNESS.md).
+chaos:
+	$(GO) test -tags tgsan -run 'TestFaultMatrix|TestCheckpoint|TestDegraded|TestSweepKeepGoing|TestSweepRecoversPanic|TestSweepAllCellsFailed|TestWatchdog' ./internal/sim/ ./internal/experiments/ ./internal/thermal/
+
 # The full pre-merge check.
-verify: vet fmt-check lint test race sanitize
+verify: vet fmt-check lint test race sanitize chaos
 	$(MAKE) fuzz FUZZTIME=3s
 
 # Quick runner benchmark (3 iterations, telemetry off vs. on).

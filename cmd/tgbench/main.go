@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"thermogater/internal/core"
+	"thermogater/internal/fault"
 	"thermogater/internal/invariant"
 	"thermogater/internal/sim"
 	"thermogater/internal/telemetry"
@@ -67,8 +68,13 @@ type Baseline struct {
 	// Sanitizer records whether the binary was built with -tags tgsan;
 	// numbers from a sanitized build are not comparable to the committed
 	// baseline and must never overwrite it.
-	Sanitizer bool         `json:"sanitizer"`
-	Cases     []CaseResult `json:"cases"`
+	Sanitizer bool `json:"sanitizer"`
+	// FaultOverheadPct is the per-epoch wall-time cost of arming the fault
+	// injector with a schedule that never fires, relative to the same run
+	// with no schedule at all — the price healthy runs pay for the
+	// robustness plumbing (first case only; expected ≈0).
+	FaultOverheadPct float64      `json:"fault_overhead_pct"`
+	Cases            []CaseResult `json:"cases"`
 }
 
 func main() {
@@ -120,16 +126,38 @@ func measure(cases []benchCase, durationMS, reps int, seed uint64) (*Baseline, e
 		Sanitizer:   invariant.Enabled,
 	}
 	for _, c := range cases {
-		best, err := measureCase(c, durationMS, reps, seed)
+		best, err := measureCase(c, durationMS, reps, seed, nil)
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: %w", c.Policy, c.Bench, err)
 		}
 		b.Cases = append(b.Cases, *best)
 	}
+	// Armed-but-idle fault injector on the first case: one event scheduled
+	// far past the end of the run, so only the plumbing cost is measured.
+	// The plain variant is re-measured here rather than reusing
+	// b.Cases[0]: that number was taken at process start, before the CPU
+	// and allocator warmed up, and the warm-up delta dwarfs the plumbing
+	// cost being measured. Back-to-back runs share machine conditions.
+	idle := &fault.Schedule{Events: []fault.Event{{
+		Kind:  fault.VRStuckOff,
+		Epoch: durationMS + 1000,
+		Unit:  0,
+	}}}
+	plain, err := measureCase(cases[0], durationMS, reps, seed, nil)
+	if err != nil {
+		return nil, fmt.Errorf("fault overhead %s/%s: %w", cases[0].Policy, cases[0].Bench, err)
+	}
+	armed, err := measureCase(cases[0], durationMS, reps, seed, idle)
+	if err != nil {
+		return nil, fmt.Errorf("fault overhead %s/%s: %w", cases[0].Policy, cases[0].Bench, err)
+	}
+	if plain.WallNSPerEpoch > 0 {
+		b.FaultOverheadPct = 100 * (armed.WallNSPerEpoch - plain.WallNSPerEpoch) / plain.WallNSPerEpoch
+	}
 	return b, nil
 }
 
-func measureCase(c benchCase, durationMS, reps int, seed uint64) (*CaseResult, error) {
+func measureCase(c benchCase, durationMS, reps int, seed uint64, faults *fault.Schedule) (*CaseResult, error) {
 	policy, err := core.ParsePolicy(c.Policy)
 	if err != nil {
 		return nil, err
@@ -151,6 +179,7 @@ func measureCase(c benchCase, durationMS, reps int, seed uint64) (*CaseResult, e
 		cfg.Seed = seed
 		cfg.DurationMS = durationMS
 		cfg.Telemetry = reg
+		cfg.Faults = faults
 		r, err := sim.New(cfg)
 		if err != nil {
 			return nil, err

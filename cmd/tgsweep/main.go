@@ -3,15 +3,25 @@
 // Table 2 and the Section 6.3 headline) in one pass. With -markdown the
 // tables are emitted as GitHub-flavoured markdown, ready to paste into
 // EXPERIMENTS.md.
+//
+// The sweep is fault-tolerant: a cell that fails (after one retry) is
+// reported on stderr and the remaining cells still complete and print.
+// With -faults every cell runs under the given fault schedule (see
+// docs/ROBUSTNESS.md for the grammar).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"thermogater/internal/core"
 	"thermogater/internal/experiments"
+	"thermogater/internal/fault"
 	"thermogater/internal/report"
+	"thermogater/internal/sim"
+	"thermogater/internal/workload"
 )
 
 func main() {
@@ -20,16 +30,39 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		parallel = flag.Int("parallel", 0, "max concurrent runs (0 = GOMAXPROCS)")
 		markdown = flag.Bool("markdown", false, "emit markdown tables")
+		faults   = flag.String("faults", "", "fault schedule armed in every run, e.g. 'vr-stuck-off@30:unit=12;sensor-noise@0:value=0.1'")
+		retries  = flag.Int("retries", 2, "attempts per (policy, benchmark) cell before recording it as failed")
 	)
 	flag.Parse()
 
-	opts := experiments.Options{DurationMS: *duration, Seed: *seed, Parallel: *parallel}
+	sched, err := fault.ParseSchedule(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tgsweep:", err)
+		os.Exit(2)
+	}
+
+	opts := experiments.Options{
+		DurationMS:   *duration,
+		Seed:         *seed,
+		Parallel:     *parallel,
+		KeepGoing:    true,
+		MaxAttempts:  *retries,
+		RetryBackoff: 100 * time.Millisecond,
+	}
+	if sched != nil {
+		opts.Mutate = func(policy core.PolicyKind, bench workload.Profile, cfg *sim.Config) {
+			cfg.Faults = sched
+		}
+	}
 	fmt.Fprintf(os.Stderr, "tgsweep: running 14 benchmarks × %d policies (duration %dms, seed %d)\n",
 		len(experiments.SweepPolicies()), *duration, *seed)
 	sweep, err := experiments.RunSweep(experiments.SweepPolicies(), opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tgsweep:", err)
 		os.Exit(1)
+	}
+	for _, f := range sweep.Failures {
+		fmt.Fprintln(os.Stderr, "tgsweep: failed run:", f)
 	}
 
 	tables := []struct {
@@ -52,8 +85,13 @@ func main() {
 	for _, t := range tables {
 		tab, err := t.get()
 		if err != nil {
+			// With failed cells a derived table can be incomplete; report
+			// and keep printing whatever else survives.
 			fmt.Fprintf(os.Stderr, "tgsweep: %s: %v\n", t.name, err)
-			os.Exit(1)
+			if len(sweep.Failures) == 0 {
+				os.Exit(1)
+			}
+			continue
 		}
 		render := tab.Render
 		if *markdown {
@@ -64,5 +102,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println()
+	}
+	if len(sweep.Failures) > 0 {
+		fmt.Fprintf(os.Stderr, "tgsweep: finished with %d failed run(s)\n", len(sweep.Failures))
+		os.Exit(1)
 	}
 }

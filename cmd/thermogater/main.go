@@ -17,6 +17,13 @@
 //	thermogater -run pracVT -bench lu_ncb -cpuprofile cpu.out
 //	thermogater -experiment fig9 -pprof localhost:6060
 //
+// Inject faults and checkpoint/resume a single run (see
+// docs/ROBUSTNESS.md):
+//
+//	thermogater -run pracT -bench lu_ncb -faults 'vr-stuck-off@30:unit=12'
+//	thermogater -run pracVT -bench lu_ncb -checkpoint run.ckpt -checkpoint-every 200
+//	thermogater -run pracVT -bench lu_ncb -resume run.ckpt
+//
 // List what is available:
 //
 //	thermogater -list
@@ -35,6 +42,7 @@ import (
 
 	"thermogater/internal/core"
 	"thermogater/internal/experiments"
+	"thermogater/internal/fault"
 	"thermogater/internal/report"
 	"thermogater/internal/sim"
 	"thermogater/internal/telemetry"
@@ -57,6 +65,10 @@ func main() {
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile covering the run to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		faults     = flag.String("faults", "", "fault schedule for -run, e.g. 'vr-stuck-off@30:unit=12;sensor-noise@0:value=0.1' (see docs/ROBUSTNESS.md)")
+		checkpoint = flag.String("checkpoint", "", "write periodic checkpoints of the -run simulation to this file")
+		ckptEvery  = flag.Int("checkpoint-every", 500, "checkpoint period in epochs for -checkpoint")
+		resume     = flag.String("resume", "", "resume the -run simulation from this checkpoint file")
 	)
 	flag.Parse()
 
@@ -79,6 +91,10 @@ func main() {
 		pprofAddr:  *pprofAddr,
 		cpuProf:    *cpuProf,
 		memProf:    *memProf,
+		faults:     *faults,
+		checkpoint: *checkpoint,
+		ckptEvery:  *ckptEvery,
+		resume:     *resume,
 	}); err != nil {
 		fatal(err)
 	}
@@ -99,6 +115,10 @@ type options struct {
 	pprofAddr  string
 	cpuProf    string
 	memProf    string
+	faults     string
+	checkpoint string
+	ckptEvery  int
+	resume     string
 }
 
 // execute wires up observability (telemetry registry, pprof endpoints,
@@ -184,7 +204,7 @@ func execute(w io.Writer, o options) error {
 	case o.list:
 		listAll(w)
 	case o.runPolicy != "":
-		err = runSingle(w, reg, o.runPolicy, o.bench, o.profile, o.duration, o.seed)
+		err = runSingle(w, reg, o)
 	case o.experiment != "":
 		opts := experiments.Options{DurationMS: o.duration, Seed: o.seed, Parallel: o.parallel, Telemetry: reg}
 		err = runExperiments(w, o.experiment, opts)
@@ -218,14 +238,33 @@ func listAll(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
-func runSingle(w io.Writer, reg *telemetry.Registry, policy, bench, profilePath string, duration int, seed uint64) error {
-	p, err := core.ParsePolicy(policy)
+// writeCheckpointFile atomically replaces path with the encoded snapshot,
+// so a kill mid-write leaves the previous checkpoint intact.
+func writeCheckpointFile(path string, cp *sim.Checkpoint) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := cp.Encode(f); err != nil {
+		//lint:ignore errsink the encode error is the one worth reporting
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func runSingle(w io.Writer, reg *telemetry.Registry, o options) error {
+	p, err := core.ParsePolicy(o.runPolicy)
 	if err != nil {
 		return err
 	}
 	var prof workload.Profile
-	if profilePath != "" {
-		f, err := os.Open(profilePath)
+	if o.profile != "" {
+		f, err := os.Open(o.profile)
 		if err != nil {
 			return err
 		}
@@ -236,20 +275,52 @@ func runSingle(w io.Writer, reg *telemetry.Registry, policy, bench, profilePath 
 			return err
 		}
 	} else {
-		prof, err = workload.ByName(bench)
+		prof, err = workload.ByName(o.bench)
 		if err != nil {
 			return err
 		}
 	}
 	cfg := sim.DefaultConfig(p, prof)
-	cfg.Seed = seed
+	cfg.Seed = o.seed
 	cfg.Telemetry = reg
-	if duration > 0 {
-		cfg.DurationMS = duration
+	if o.duration > 0 {
+		cfg.DurationMS = o.duration
+	}
+	if o.faults != "" {
+		sched, err := fault.ParseSchedule(o.faults)
+		if err != nil {
+			return err
+		}
+		cfg.Faults = sched
+	}
+	if o.checkpoint != "" {
+		path := o.checkpoint
+		cfg.Checkpoint = sim.CheckpointConfig{
+			EveryEpochs: o.ckptEvery,
+			Sink: func(cp *sim.Checkpoint) error {
+				return writeCheckpointFile(path, cp)
+			},
+		}
 	}
 	r, err := sim.New(cfg)
 	if err != nil {
 		return err
+	}
+	if o.resume != "" {
+		f, err := os.Open(o.resume)
+		if err != nil {
+			return err
+		}
+		//lint:ignore errsink read-only file: Close cannot lose data and its error carries no signal
+		defer f.Close()
+		cp, err := sim.ReadCheckpoint(f)
+		if err != nil {
+			return err
+		}
+		if err := r.Restore(cp); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "thermogater: resuming %s/%s from epoch %d\n", cp.Policy, cp.Benchmark, cp.Epoch+1)
 	}
 	res, err := r.Run()
 	if err != nil {
@@ -271,6 +342,16 @@ func runSingle(w io.Writer, reg *telemetry.Registry, policy, bench, profilePath 
 	t.AddRow("avg chip power (W)", fmt.Sprintf("%.1f", res.AvgChipPowerW))
 	if res.ThetaMeanR2 > 0 {
 		t.AddRow("theta predictor R²", fmt.Sprintf("%.3f", res.ThetaMeanR2))
+	}
+	if res.FaultEvents > 0 {
+		t.AddRow("fault events fired", fmt.Sprintf("%d", res.FaultEvents))
+		t.AddRow("sensor fallbacks", fmt.Sprintf("%d", res.SensorFallbacks))
+		t.AddRow("trace-gap frames", fmt.Sprintf("%d", res.TraceGapFrames))
+		t.AddRow("thermal fail-safe overrides", fmt.Sprintf("%d", res.ThermalOverrides))
+		t.AddRow("demand violations", fmt.Sprintf("%d", res.DemandViolations))
+	}
+	if res.WatchdogRetries > 0 {
+		t.AddRow("thermal watchdog retries", fmt.Sprintf("%d", res.WatchdogRetries))
 	}
 	return t.Render(w)
 }

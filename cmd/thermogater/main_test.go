@@ -24,9 +24,14 @@ func TestListAll(t *testing.T) {
 	}
 }
 
+// single builds the options for a plain runSingle call.
+func single(policy, bench, profilePath string, duration int) options {
+	return options{runPolicy: policy, bench: bench, profile: profilePath, duration: duration, seed: 1}
+}
+
 func TestRunSingle(t *testing.T) {
 	var buf bytes.Buffer
-	if err := runSingle(&buf, nil, "oracT", "rayt", "", 60, 1); err != nil {
+	if err := runSingle(&buf, nil, single("oracT", "rayt", "", 60)); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -35,24 +40,82 @@ func TestRunSingle(t *testing.T) {
 			t.Errorf("run summary missing %q:\n%s", want, out)
 		}
 	}
-	if err := runSingle(&buf, nil, "nope", "fft", "", 60, 1); err == nil {
+	if err := runSingle(&buf, nil, single("nope", "fft", "", 60)); err == nil {
 		t.Error("unknown policy accepted")
 	}
-	if err := runSingle(&buf, nil, "oracT", "nope", "", 60, 1); err == nil {
+	if err := runSingle(&buf, nil, single("oracT", "nope", "", 60)); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
-	if err := runSingle(&buf, nil, "oracT", "fft", "/does/not/exist.json", 60, 1); err == nil {
+	if err := runSingle(&buf, nil, single("oracT", "fft", "/does/not/exist.json", 60)); err == nil {
 		t.Error("missing profile file accepted")
 	}
 }
 
 func TestRunSingleOffChipOmitsNoise(t *testing.T) {
 	var buf bytes.Buffer
-	if err := runSingle(&buf, nil, "off-chip", "rayt", "", 60, 1); err != nil {
+	if err := runSingle(&buf, nil, single("off-chip", "rayt", "", 60)); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(buf.String(), "voltage noise") {
 		t.Error("off-chip summary reports voltage noise")
+	}
+}
+
+func TestRunSingleFaultSchedule(t *testing.T) {
+	var buf bytes.Buffer
+	o := single("pracT", "fft", "", 60)
+	o.faults = "vr-stuck-off@25:unit=5;sensor-dropout@25+20:unit=5"
+	if err := runSingle(&buf, nil, o); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fault events fired", "sensor fallbacks"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("faulted run summary missing %q:\n%s", want, buf.String())
+		}
+	}
+	o.faults = "not-a-fault@0"
+	if err := runSingle(&buf, nil, o); err == nil {
+		t.Error("malformed fault schedule accepted")
+	}
+}
+
+func TestRunSingleCheckpointAndResume(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+
+	var buf bytes.Buffer
+	o := single("oracT", "fft", "", 60)
+	o.checkpoint = path
+	o.ckptEvery = 20
+	if err := runSingle(&buf, nil, o); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("checkpoint file not written: %v", err)
+	}
+
+	// Resuming from the last snapshot replays only the tail and must
+	// reach the same summary as the uninterrupted run.
+	var resumed bytes.Buffer
+	ro := single("oracT", "fft", "", 60)
+	ro.resume = path
+	if err := runSingle(&resumed, nil, ro); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != resumed.String() {
+		t.Errorf("resumed summary differs:\n--- full ---\n%s--- resumed ---\n%s", buf.String(), resumed.String())
+	}
+
+	ro.resume = filepath.Join(dir, "missing.ckpt")
+	if err := runSingle(&resumed, nil, ro); err == nil {
+		t.Error("missing checkpoint file accepted")
+	}
+
+	// A checkpoint from a different run identity must be rejected.
+	wrong := single("pracT", "fft", "", 60)
+	wrong.resume = path
+	if err := runSingle(&resumed, nil, wrong); err == nil {
+		t.Error("checkpoint restored into a different policy")
 	}
 }
 

@@ -161,6 +161,34 @@ func (t *Tracker) MinMTTFYears() float64 {
 	return min
 }
 
+// State is a tracker snapshot for checkpointing; the model itself is
+// configuration and is rebuilt, not restored.
+type State struct {
+	Damage []float64
+	TimeS  float64
+}
+
+// State snapshots the tracker.
+func (t *Tracker) State() *State {
+	return &State{Damage: append([]float64(nil), t.damage...), TimeS: t.time}
+}
+
+// Restore loads a snapshot taken by State on a tracker of the same size.
+func (t *Tracker) Restore(s *State) error {
+	if s == nil {
+		return errors.New("aging: nil state")
+	}
+	if len(s.Damage) != len(t.damage) {
+		return fmt.Errorf("aging: state covers %d regulators, tracker has %d", len(s.Damage), len(t.damage))
+	}
+	if s.TimeS < 0 {
+		return errors.New("aging: negative observed time in state")
+	}
+	copy(t.damage, s.Damage)
+	t.time = s.TimeS
+	return nil
+}
+
 // ImbalanceRatio returns max damage / mean damage over all regulators:
 // 1.0 means perfectly balanced wear; large values mean a few regulators
 // absorb most of the stress while others idle (the wear-concentration

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"thermogater/internal/floorplan"
@@ -46,6 +47,15 @@ type Config struct {
 	// with time constant tau, the residual rise is exp(-T/tau) times the
 	// observed rise; 0.45 matches the calibrated tau of 1.2ms.
 	TrendGain float64
+	// ThermalEmergencyC is the fail-safe limit: when any of a domain's
+	// regulator sensors reads at or above this temperature, the domain is
+	// forced to all-on regardless of policy — spreading the load over every
+	// phase is the safe state when the thermal picture is alarming (or, with
+	// faulted sensors, no longer trustworthy). Zero disables the fail-safe.
+	// The default of 115°C sits well above any healthy operating point and
+	// below the 150°C junction limit, so it only trips under genuine (or
+	// injected) thermal emergencies.
+	ThermalEmergencyC float64
 	// Seed drives the stochastic emergency detector.
 	Seed uint64
 	// CustomRank supplies the regulator preference order for the Custom
@@ -66,6 +76,7 @@ func DefaultConfig(policy PolicyKind) Config {
 		EmergencyAccuracy:  0.90,
 		EmergencyFalseRate: 0.01,
 		TrendGain:          0.45,
+		ThermalEmergencyC:  115,
 		Seed:               1,
 	}
 }
@@ -75,23 +86,28 @@ func (c Config) Validate() error {
 	if c.Policy < 0 || c.Policy >= NumPolicies {
 		return fmt.Errorf("core: unknown policy %d", int(c.Policy))
 	}
-	if c.EpochMS <= 0 {
-		return errors.New("core: non-positive epoch")
+	// Bounds are phrased as !(inside) so NaN — for which every comparison
+	// is false — lands on the rejecting branch instead of slipping through.
+	if !(c.EpochMS > 0) || math.IsInf(c.EpochMS, 1) {
+		return errors.New("core: epoch must be positive and finite")
 	}
-	if c.SensorDelayMS < 0 || c.SensorDelayMS > c.EpochMS {
+	if !(c.SensorDelayMS >= 0 && c.SensorDelayMS <= c.EpochMS) {
 		return errors.New("core: sensor delay outside [0, epoch]")
 	}
 	if c.WMAWindow < 1 {
 		return errors.New("core: WMA window must be at least 1")
 	}
-	if c.EmergencyAccuracy < 0 || c.EmergencyAccuracy > 1 {
+	if !(c.EmergencyAccuracy >= 0 && c.EmergencyAccuracy <= 1) {
 		return errors.New("core: emergency accuracy outside [0,1]")
 	}
-	if c.EmergencyFalseRate < 0 || c.EmergencyFalseRate > 1 {
+	if !(c.EmergencyFalseRate >= 0 && c.EmergencyFalseRate <= 1) {
 		return errors.New("core: false alarm rate outside [0,1]")
 	}
-	if c.TrendGain < 0 || c.TrendGain > 1 {
+	if !(c.TrendGain >= 0 && c.TrendGain <= 1) {
 		return errors.New("core: trend gain outside [0,1]")
+	}
+	if !(c.ThermalEmergencyC >= 0) || math.IsInf(c.ThermalEmergencyC, 1) {
+		return errors.New("core: thermal emergency limit must be finite and non-negative")
 	}
 	if c.Policy == Custom && c.CustomRank == nil {
 		return errors.New("core: Custom policy needs CustomRank")
@@ -142,6 +158,11 @@ type DomainDecision struct {
 	// EmergencyOverride records that a voltage-emergency alert forced the
 	// domain to all-on this interval.
 	EmergencyOverride bool
+	// ThermalOverride records that the fail-safe thermal limit
+	// (Config.ThermalEmergencyC) forced the domain to all-on this interval,
+	// spreading the conversion loss across every regulator to cool the
+	// hottest one.
+	ThermalOverride bool
 }
 
 // Decision is the chip-wide gating decision for one interval.
@@ -428,6 +449,22 @@ func (g *Governor) decideDomain(d int, in *Inputs) (DomainDecision, error) {
 		if alert {
 			dd.Count = n
 			dd.EmergencyOverride = true
+		}
+	}
+
+	// Fail-safe thermal emergency (robustness, not in the paper): if any of
+	// the domain's sensors reads at or beyond the hard limit, force all-on.
+	// Spreading the load across every phase minimises per-regulator loss,
+	// which is the strongest cooling action the governor has. This uses the
+	// (possibly faulty) sensor readings on purpose — it is the last line of
+	// defence when the policy above mis-gated because of bad inputs.
+	if g.cfg.ThermalEmergencyC > 0 && len(in.SensorVRTemps) == len(g.chip.Regulators) {
+		for _, rid := range dom.Regulators {
+			if in.SensorVRTemps[rid] >= g.cfg.ThermalEmergencyC {
+				dd.Count = n
+				dd.ThermalOverride = true
+				break
+			}
 		}
 	}
 	return dd, nil

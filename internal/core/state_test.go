@@ -1,0 +1,147 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestThermalFailSafeOverride covers the last line of thermal defence: any
+// regulator sensor at or above ThermalEmergencyC forces its whole domain
+// to all-on, regardless of what the policy decided, and flags the decision
+// so the runner can count it.
+func TestThermalFailSafeOverride(t *testing.T) {
+	r := newRig(t)
+	g := r.governor(t, OracT)
+	in := r.flatInputs(20)
+
+	dec, err := g.Decide(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range dec.Domains {
+		if dec.Domains[d].ThermalOverride {
+			t.Fatalf("domain %d flagged ThermalOverride at a uniform 60°C", d)
+		}
+	}
+
+	// One runaway sensor in domain 2, above the 115°C default limit.
+	hot := r.chip.Domains[2].Regulators[1]
+	in.SensorVRTemps[hot] = 140
+	dec, err = g.Decide(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd := &dec.Domains[2]
+	if !dd.ThermalOverride {
+		t.Fatal("140°C sensor did not trigger the fail-safe")
+	}
+	if want := len(r.chip.Domains[2].Regulators); dd.Count != want {
+		t.Errorf("fail-safe count %d, want all %d regulators on", dd.Count, want)
+	}
+	for d := range dec.Domains {
+		if d != 2 && dec.Domains[d].ThermalOverride {
+			t.Errorf("domain %d overridden by domain 2's sensor", d)
+		}
+	}
+
+	// Disabled limit: no override even at an absurd reading.
+	cfg := DefaultConfig(OracT)
+	cfg.ThermalEmergencyC = 0
+	goff, err := NewGovernor(r.chip, r.networks, r.grid, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err = goff.Decide(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Domains[2].ThermalOverride {
+		t.Error("ThermalEmergencyC=0 should disable the fail-safe")
+	}
+}
+
+// TestGovernorStateRoundTrip verifies State/Restore carry every piece of
+// the governor's cross-epoch memory: a restored governor must make exactly
+// the decisions the original would have made.
+func TestGovernorStateRoundTrip(t *testing.T) {
+	r := newRig(t)
+	g := r.governor(t, PracVT)
+
+	// Accumulate non-trivial WMA, detector and predictor state.
+	in := r.flatInputs(25)
+	nD := len(r.chip.Domains)
+	nR := len(r.chip.Regulators)
+	theta := ThetaModel{Theta: make([]float64, nR), R2: make([]float64, nR)}
+	for i := range theta.Theta {
+		theta.Theta[i] = 25 + float64(i%9)
+		theta.R2[i] = 0.99
+	}
+	if err := g.SetTheta(theta); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := g.Decide(in); err != nil {
+			t.Fatal(err)
+		}
+		cur := make([]float64, nD)
+		loss := make([]float64, nR)
+		for d := range cur {
+			cur[d] = 20 + float64(i%5)
+		}
+		for v := range loss {
+			loss[v] = 0.1 + 0.01*float64(v%7)
+		}
+		if err := g.Observe(cur, loss); err != nil {
+			t.Fatal(err)
+		}
+		emerg := make([]bool, nD)
+		emerg[i%nD] = true
+		if err := g.ObserveEmergencies(emerg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := g.State()
+	g2 := r.governor(t, PracVT)
+	if err := g2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both governors must now evolve identically.
+	for i := 0; i < 5; i++ {
+		in.PrevDomainCurrent[0] = 18 + float64(i)
+		dA, err := g.Decide(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dB, err := g2.Decide(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(dA, dB) {
+			t.Fatalf("step %d: restored governor diverged:\n  original: %+v\n  restored: %+v", i, dA, dB)
+		}
+	}
+	if !reflect.DeepEqual(g.DetectorStats(), g2.DetectorStats()) {
+		t.Error("detector stats not carried across State/Restore")
+	}
+
+	// Rejections: nil, shape mismatch, policy mismatch.
+	if err := g2.Restore(nil); err == nil {
+		t.Error("nil state accepted")
+	}
+	bad := g.State()
+	bad.WMA = bad.WMA[:1]
+	if err := g2.Restore(bad); err == nil {
+		t.Error("short WMA state accepted")
+	}
+	sigCfg := DefaultConfig(PracVT)
+	sigCfg.Detector = DetectSignature
+	sigGov, err := NewGovernor(r.chip, r.networks, r.grid, sigCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sigGov.Restore(g.State()); err == nil {
+		t.Error("state restored across different detector configurations")
+	}
+}

@@ -15,6 +15,7 @@ package dvfs
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // OperatingPoint is one voltage/frequency pair.
@@ -59,8 +60,8 @@ func (c Config) Validate() error {
 		return errors.New("dvfs: need at least two operating points")
 	}
 	for i, p := range c.Points {
-		if p.VddV <= 0 || p.FreqGHz <= 0 {
-			return fmt.Errorf("dvfs: point %d not positive", i)
+		if !(p.VddV > 0) || !(p.FreqGHz > 0) || math.IsInf(p.VddV, 1) || math.IsInf(p.FreqGHz, 1) {
+			return fmt.Errorf("dvfs: point %d not positive and finite", i)
 		}
 		if i > 0 {
 			prev := c.Points[i-1]
@@ -167,6 +168,42 @@ func (g *Governor) Observe(domain int, utilisation float64) (int, error) {
 		g.downRun[domain] = 0
 	}
 	return g.level[domain], nil
+}
+
+// State is a governor snapshot for checkpointing.
+type State struct {
+	Level   []int
+	UpRun   []int
+	DownRun []int
+}
+
+// State snapshots the governor.
+func (g *Governor) State() *State {
+	return &State{
+		Level:   append([]int(nil), g.level...),
+		UpRun:   append([]int(nil), g.upRun...),
+		DownRun: append([]int(nil), g.downRun...),
+	}
+}
+
+// Restore loads a snapshot taken by State on a governor over the same
+// domain count and ladder.
+func (g *Governor) Restore(s *State) error {
+	if s == nil {
+		return errors.New("dvfs: nil state")
+	}
+	if len(s.Level) != len(g.level) || len(s.UpRun) != len(g.level) || len(s.DownRun) != len(g.level) {
+		return fmt.Errorf("dvfs: state covers %d domains, governor has %d", len(s.Level), len(g.level))
+	}
+	for d, l := range s.Level {
+		if l < 0 || l >= len(g.cfg.Points) {
+			return fmt.Errorf("dvfs: state level %d outside ladder of %d points", l, len(g.cfg.Points))
+		}
+		g.level[d] = l
+		g.upRun[d] = s.UpRun[d]
+		g.downRun[d] = s.DownRun[d]
+	}
+	return nil
 }
 
 // Reset returns every domain to the nominal point.

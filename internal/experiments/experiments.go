@@ -9,7 +9,9 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"time"
 
 	"thermogater/internal/core"
 	"thermogater/internal/pdn"
@@ -35,6 +37,21 @@ type Options struct {
 	// cell alongside the per-epoch stream. The registry is concurrency-safe,
 	// so parallel sweep workers share it directly.
 	Telemetry *telemetry.Registry
+	// MaxAttempts bounds how often a failing cell is retried before it is
+	// given up on (values below 1 mean 1 — no retry).
+	MaxAttempts int
+	// RetryBackoff is slept between attempts of the same cell, doubling
+	// each time (0 = retry immediately).
+	RetryBackoff time.Duration
+	// KeepGoing makes RunSweep finish the remaining cells when one fails
+	// (after its retries): the failed cells are recorded in
+	// Sweep.Failures instead of aborting the sweep. Only if every cell
+	// fails does RunSweep still return an error.
+	KeepGoing bool
+	// Mutate, when non-nil, edits each cell's configuration after it is
+	// built — the hook fault-injection campaigns use to arm schedules on
+	// selected (policy, benchmark) cells.
+	Mutate func(policy core.PolicyKind, bench workload.Profile, cfg *sim.Config)
 }
 
 // DefaultOptions runs the full-length evaluation.
@@ -58,7 +75,18 @@ func (o Options) simConfig(policy core.PolicyKind, bench workload.Profile) sim.C
 		cfg.DurationMS = o.DurationMS
 	}
 	cfg.Telemetry = o.Telemetry
+	if o.Mutate != nil {
+		o.Mutate(policy, bench, &cfg)
+	}
 	return cfg
+}
+
+// attempts returns the effective per-cell attempt budget.
+func (o Options) attempts() int {
+	if o.MaxAttempts < 1 {
+		return 1
+	}
+	return o.MaxAttempts
 }
 
 // BenchmarkOrder lists the suite in the order the paper's figures use.
@@ -102,15 +130,64 @@ func runOne(cfg sim.Config) (*sim.Result, error) {
 	return res, nil
 }
 
+// runOneRecover runs one cell with panic containment and the configured
+// retry budget: a panicking simulation surfaces as an error like any other
+// failure, and each failed attempt sleeps an exponentially growing backoff
+// before the next one. It returns the result, the number of attempts
+// actually spent, and the last error.
+func runOneRecover(cfg sim.Config, opts Options) (res *sim.Result, attempts int, err error) {
+	one := func() (r *sim.Result, rerr error) {
+		defer func() {
+			if p := recover(); p != nil {
+				r, rerr = nil, fmt.Errorf("experiments: run panicked: %v", p)
+			}
+		}()
+		return runOne(cfg)
+	}
+	backoff := opts.RetryBackoff
+	for attempts = 1; ; attempts++ {
+		res, err = one()
+		if err == nil || attempts >= opts.attempts() {
+			return res, attempts, err
+		}
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+}
+
+// RunError records one sweep cell that failed after exhausting its
+// attempts.
+type RunError struct {
+	Benchmark string
+	Policy    string
+	// Attempts is how many times the cell was tried.
+	Attempts int
+	// Err is the last attempt's error text.
+	Err string
+}
+
+func (e RunError) String() string {
+	return fmt.Sprintf("%s/%s after %d attempt(s): %s", e.Benchmark, e.Policy, e.Attempts, e.Err)
+}
+
 // Sweep holds the results of the full benchmarks × policies evaluation,
 // keyed by benchmark name then policy name.
 type Sweep struct {
 	Policies []core.PolicyKind
 	Results  map[string]map[string]*sim.Result
+	// Failures lists the cells that failed after their retries when
+	// Options.KeepGoing let the sweep continue past them; consumers must
+	// expect the corresponding Results cells to be absent. Sorted by
+	// benchmark then policy for deterministic reporting.
+	Failures []RunError
 }
 
 // RunSweep executes the given policies over the whole benchmark suite
-// concurrently and collects the results.
+// concurrently and collects the results. Without Options.KeepGoing the
+// first failed cell (after its retries) aborts the sweep; with it, failed
+// cells land in Sweep.Failures and every other cell still completes.
 func RunSweep(policies []core.PolicyKind, opts Options) (*Sweep, error) {
 	if len(policies) == 0 {
 		return nil, errors.New("experiments: no policies to sweep")
@@ -134,12 +211,20 @@ func RunSweep(policies []core.PolicyKind, opts Options) (*Sweep, error) {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				res, err := runOne(opts.simConfig(j.policy, j.bench))
+				res, attempts, err := runOneRecover(opts.simConfig(j.policy, j.bench), opts)
 				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = fmt.Errorf("%s/%s: %w", j.bench.Name, j.policy, err)
-				}
-				if err == nil {
+				if err != nil {
+					if opts.KeepGoing {
+						sw.Failures = append(sw.Failures, RunError{
+							Benchmark: j.bench.Name,
+							Policy:    j.policy.String(),
+							Attempts:  attempts,
+							Err:       err.Error(),
+						})
+					} else if firstErr == nil {
+						firstErr = fmt.Errorf("%s/%s: %w", j.bench.Name, j.policy, err)
+					}
+				} else {
 					sw.Results[j.bench.Name][j.policy.String()] = res
 				}
 				mu.Unlock()
@@ -155,6 +240,15 @@ func RunSweep(policies []core.PolicyKind, opts Options) (*Sweep, error) {
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	sort.Slice(sw.Failures, func(i, j int) bool {
+		if sw.Failures[i].Benchmark != sw.Failures[j].Benchmark {
+			return sw.Failures[i].Benchmark < sw.Failures[j].Benchmark
+		}
+		return sw.Failures[i].Policy < sw.Failures[j].Policy
+	})
+	if len(sw.Failures) == len(suite)*len(policies) {
+		return nil, fmt.Errorf("experiments: every cell failed; first: %s", sw.Failures[0])
 	}
 	return sw, nil
 }

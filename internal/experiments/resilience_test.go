@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"thermogater/internal/core"
+	"thermogater/internal/sim"
+	"thermogater/internal/workload"
+)
+
+// TestSweepKeepGoingRecordsFailures poisons exactly one sweep cell and
+// checks the tolerant mode: the sweep finishes, the poisoned cell appears
+// in Failures with its full retry count, and every other cell still holds
+// a result.
+func TestSweepKeepGoingRecordsFailures(t *testing.T) {
+	opts := testOptions()
+	opts.KeepGoing = true
+	opts.MaxAttempts = 2
+	opts.Mutate = func(policy core.PolicyKind, bench workload.Profile, cfg *sim.Config) {
+		if bench.Name == "fft" {
+			// Shorter than its own warm-up: fails deterministically at the
+			// end of the measured loop, on every attempt.
+			cfg.DurationMS = 10
+			cfg.WarmupEpochs = 50
+		}
+	}
+	sw, err := RunSweep([]core.PolicyKind{core.AllOn}, opts)
+	if err != nil {
+		t.Fatalf("tolerant sweep aborted: %v", err)
+	}
+	if len(sw.Failures) != 1 {
+		t.Fatalf("%d failures recorded, want 1: %v", len(sw.Failures), sw.Failures)
+	}
+	f := sw.Failures[0]
+	if f.Benchmark != "fft" || f.Policy != core.AllOn.String() {
+		t.Errorf("failure recorded for %s/%s, want fft/%s", f.Benchmark, f.Policy, core.AllOn)
+	}
+	if f.Attempts != 2 {
+		t.Errorf("failed cell spent %d attempts, want the full budget of 2", f.Attempts)
+	}
+	if !strings.Contains(f.Err, "warm-up") {
+		t.Errorf("failure text %q does not carry the root cause", f.Err)
+	}
+	if _, err := sw.Get("fft", core.AllOn); err == nil {
+		t.Error("failed cell still has a result")
+	}
+	for _, b := range BenchmarkOrder() {
+		if b == "fft" {
+			continue
+		}
+		if _, err := sw.Get(b, core.AllOn); err != nil {
+			t.Errorf("healthy cell %s missing after tolerant sweep: %v", b, err)
+		}
+	}
+}
+
+// TestSweepRecoversPanic wires a panicking ranking callback into one cell
+// and checks the panic is contained: it becomes a recorded failure, not a
+// crashed test binary.
+func TestSweepRecoversPanic(t *testing.T) {
+	opts := testOptions()
+	opts.KeepGoing = true
+	opts.Mutate = func(policy core.PolicyKind, bench workload.Profile, cfg *sim.Config) {
+		if bench.Name == "fft" {
+			cfg.Policy = core.Custom
+			cfg.Governor.CustomRank = func(domain int, in *core.Inputs, demandA float64, count int) []int {
+				panic("injected ranking panic")
+			}
+		}
+	}
+	sw, err := RunSweep([]core.PolicyKind{core.AllOn}, opts)
+	if err != nil {
+		t.Fatalf("sweep aborted on a contained panic: %v", err)
+	}
+	if len(sw.Failures) != 1 {
+		t.Fatalf("%d failures recorded, want 1: %v", len(sw.Failures), sw.Failures)
+	}
+	if !strings.Contains(sw.Failures[0].Err, "injected ranking panic") {
+		t.Errorf("failure text %q does not carry the panic value", sw.Failures[0].Err)
+	}
+}
+
+// TestSweepAllCellsFailed: tolerance must not turn a totally broken
+// campaign into a silent empty sweep.
+func TestSweepAllCellsFailed(t *testing.T) {
+	opts := testOptions()
+	opts.KeepGoing = true
+	opts.Mutate = func(policy core.PolicyKind, bench workload.Profile, cfg *sim.Config) {
+		cfg.EpochMS = -1 // rejected by Validate in every cell
+	}
+	if _, err := RunSweep([]core.PolicyKind{core.AllOn}, opts); err == nil {
+		t.Fatal("sweep with zero surviving cells reported success")
+	}
+}
+
+// TestRunOneRecoverRetriesThenSucceeds exercises the attempt loop's happy
+// ending: a healthy configuration succeeds on the first attempt and spends
+// exactly one attempt doing so.
+func TestRunOneRecoverRetriesThenSucceeds(t *testing.T) {
+	p, err := workload.ByName("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := testOptions()
+	opts.MaxAttempts = 3
+	cfg := opts.simConfig(core.AllOn, p)
+	res, attempts, err := runOneRecover(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 1 {
+		t.Errorf("healthy run spent %d attempts", attempts)
+	}
+	if res == nil || res.Epochs == 0 {
+		t.Error("healthy run returned an empty result")
+	}
+}

@@ -1,0 +1,332 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func testTopo() Topology {
+	return Topology{
+		NumVRs:   12,
+		NumCores: 4,
+		SensorGroups: [][]int{
+			{0, 1, 2, 3, 4, 5},
+			{6, 7, 8, 9, 10, 11},
+		},
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	bad := []Event{
+		{Kind: Kind(99), Epoch: 0},
+		{Kind: VRStuckOff, Epoch: -1},
+		{Kind: VRStuckOff, Epoch: 0, DurationEpochs: -2},
+		{Kind: VRStuckOff, Epoch: 0, Unit: -3},
+		{Kind: VRPhaseLoss, Epoch: 0, Value: 0},
+		{Kind: VRPhaseLoss, Epoch: 0, Value: 1.5},
+		{Kind: VRDerate, Epoch: 0, Value: -0.1},
+		{Kind: SensorStuckAt, Epoch: 0, Value: math.NaN()},
+		{Kind: SensorStuckAt, Epoch: 0, Value: math.Inf(1)},
+		{Kind: SensorStuckAt, Epoch: 0, Value: -500},
+		{Kind: SensorNoise, Epoch: 0, Value: 0},
+		{Kind: SensorQuantize, Epoch: 0, Value: -1},
+		{Kind: TraceSpike, Epoch: 0, Value: 0},
+	}
+	for i, e := range bad {
+		s := &Schedule{Events: []Event{e}}
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad event %d (%+v) accepted", i, e)
+		}
+	}
+	good := &Schedule{Events: []Event{
+		{Kind: VRStuckOff, Epoch: 3, Unit: 2},
+		{Kind: SensorNoise, Epoch: 0, Unit: -1, Value: 0.1},
+		{Kind: TraceGap, Epoch: 5, DurationEpochs: 10, Unit: 1},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good schedule rejected: %v", err)
+	}
+	var nilSched *Schedule
+	if err := nilSched.Validate(); err != nil {
+		t.Errorf("nil schedule rejected: %v", err)
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	s, err := ParseSchedule("vr-stuck-off@30:unit=12; sensor-noise@0:value=0.1 ; trace-gap@40+20:unit=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Kind: VRStuckOff, Epoch: 30, Unit: 12},
+		{Kind: SensorNoise, Epoch: 0, Unit: -1, Value: 0.1},
+		{Kind: TraceGap, Epoch: 40, DurationEpochs: 20, Unit: 3},
+	}
+	if len(s.Events) != len(want) {
+		t.Fatalf("parsed %d events, want %d", len(s.Events), len(want))
+	}
+	for i := range want {
+		if s.Events[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, s.Events[i], want[i])
+		}
+	}
+	if s, err := ParseSchedule("  "); err != nil || s != nil {
+		t.Errorf("blank spec: got %v, %v", s, err)
+	}
+	for _, bad := range []string{
+		"vr-stuck-off",                // no epoch
+		"nonsense@0",                  // unknown kind
+		"vr-stuck-off@x",              // bad epoch
+		"vr-stuck-off@0+0",            // zero duration
+		"vr-stuck-off@0:unit",         // bad option
+		"vr-stuck-off@0:frob=1",       // unknown option
+		"sensor-noise@0",              // missing required value
+		"sensor-noise@0:value=banana", // bad value
+	} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestInjectorLifecycle(t *testing.T) {
+	sched := &Schedule{Events: []Event{
+		{Kind: VRStuckOff, Epoch: 5, Unit: 3},
+		{Kind: VRStuckOn, Epoch: 5, DurationEpochs: 3, Unit: 4},
+		{Kind: VRPhaseLoss, Epoch: 2, Unit: 7, Value: 0.5},
+		{Kind: VRDerate, Epoch: 10, Unit: 8, Value: 0.5},
+	}}
+	inj, err := New(sched, testTopo(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, c := inj.Advance(0); f != 0 || c != 0 {
+		t.Errorf("epoch 0 transitions: fired=%d cleared=%d", f, c)
+	}
+	if inj.VRStatusOf(3) != VRHealthy || inj.IMaxFrac(7) != 1.0 {
+		t.Error("faults active before their epoch")
+	}
+	if f, _ := inj.Advance(2); f != 1 {
+		t.Errorf("epoch 2 fired %d, want 1 (phase loss)", f)
+	}
+	if inj.IMaxFrac(7) != 0.5 {
+		t.Errorf("IMaxFrac(7) = %v, want 0.5", inj.IMaxFrac(7))
+	}
+	if f, _ := inj.Advance(5); f != 2 {
+		t.Errorf("epoch 5 fired %d, want 2", f)
+	}
+	if inj.VRStatusOf(3) != VRFailedOff || inj.VRStatusOf(4) != VRFailedOn {
+		t.Errorf("stuck states: %v, %v", inj.VRStatusOf(3), inj.VRStatusOf(4))
+	}
+	if !inj.VRDirty() {
+		t.Error("VRDirty false with active VR faults")
+	}
+	if _, c := inj.Advance(8); c != 1 {
+		t.Error("stuck-on did not clear after its duration")
+	}
+	if inj.VRStatusOf(4) != VRHealthy {
+		t.Error("stuck-on persists past its duration")
+	}
+	// Derate grows linearly from onset and saturates.
+	inj.Advance(10)
+	if got := inj.LossMult(8); got != 1.0 {
+		t.Errorf("derate mult at onset = %v, want 1.0", got)
+	}
+	inj.Advance(12)
+	if got := inj.LossMult(8); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("derate mult after 2 epochs = %v, want 2.0", got)
+	}
+	inj.Advance(1000)
+	if got := inj.LossMult(8); got != MaxLossMultiplier {
+		t.Errorf("derate mult uncapped: %v", got)
+	}
+}
+
+func TestInjectorRejectsOutOfRangeUnit(t *testing.T) {
+	sched := &Schedule{Events: []Event{{Kind: VRStuckOff, Epoch: 0, Unit: 200}}}
+	if _, err := New(sched, testTopo(), 1); err == nil {
+		t.Error("unit beyond topology accepted")
+	}
+	sched = &Schedule{Events: []Event{{Kind: TraceGap, Epoch: 0, Unit: 9}}}
+	if _, err := New(sched, testTopo(), 1); err == nil {
+		t.Error("core unit beyond topology accepted")
+	}
+}
+
+func TestApplySensors(t *testing.T) {
+	sched := &Schedule{Events: []Event{
+		{Kind: SensorStuckAt, Epoch: 0, Unit: 0, Value: 40},
+		{Kind: SensorQuantize, Epoch: 0, Unit: 1, Value: 5},
+		{Kind: SensorNoise, Epoch: 0, Unit: 2, Value: 0.1},
+		{Kind: SensorDropout, Epoch: 1, Unit: 3},
+	}}
+	inj, err := New(sched, testTopo(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Advance(0)
+	raw := []float64{60, 61, 62, 63, 64, 65, 66, 67, 68, 69, 70, 71}
+	fb, err := inj.ApplySensors(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb != 0 {
+		t.Errorf("epoch 0 fallbacks = %d, want 0", fb)
+	}
+	if raw[0] != 40 {
+		t.Errorf("stuck sensor reads %v, want 40", raw[0])
+	}
+	if raw[1] != 60 {
+		t.Errorf("quantized sensor reads %v, want 60", raw[1])
+	}
+	if raw[2] == 62 {
+		t.Error("noisy sensor unperturbed")
+	}
+	if raw[4] != 64 {
+		t.Errorf("healthy sensor perturbed: %v", raw[4])
+	}
+	// Dropout falls back to last-good (63 recorded at epoch 0).
+	inj.Advance(1)
+	raw2 := []float64{60, 61, 62, 99, 64, 65, 66, 67, 68, 69, 70, 71}
+	fb, err = inj.ApplySensors(raw2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb != 1 {
+		t.Errorf("fallbacks = %d, want 1", fb)
+	}
+	if raw2[3] != 63 {
+		t.Errorf("dropout fallback reads %v, want last-good 63", raw2[3])
+	}
+}
+
+func TestApplySensorsNeighborMedian(t *testing.T) {
+	// Dropout active from epoch 0: no last-good exists, so the group
+	// median must fill in.
+	sched := &Schedule{Events: []Event{{Kind: SensorDropout, Epoch: 0, Unit: 2}}}
+	inj, err := New(sched, testTopo(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Advance(0)
+	raw := []float64{50, 52, 999, 54, 56, 58, 70, 70, 70, 70, 70, 70}
+	fb, err := inj.ApplySensors(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb != 1 {
+		t.Errorf("fallbacks = %d, want 1", fb)
+	}
+	// Neighbors in group 0 excluding unit 2: 50, 52, 54, 56, 58 → median 54.
+	if raw[2] != 54 {
+		t.Errorf("median fallback reads %v, want 54", raw[2])
+	}
+}
+
+func TestInjectorDeterminismAndRestore(t *testing.T) {
+	sched := &Schedule{Events: []Event{
+		{Kind: SensorNoise, Epoch: 0, Unit: -1, Value: 0.05},
+		{Kind: SensorDropout, Epoch: 3, Unit: 5},
+	}}
+	runFrom := func(inj *Injector, from, to int) [][]float64 {
+		var out [][]float64
+		for e := from; e < to; e++ {
+			inj.Advance(e)
+			raw := make([]float64, 12)
+			for i := range raw {
+				raw[i] = 50 + float64(i) + float64(e)
+			}
+			if _, err := inj.ApplySensors(raw); err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, raw)
+		}
+		return out
+	}
+	a, err := New(sched, testTopo(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := runFrom(a, 0, 10)
+
+	b, err := New(sched, testTopo(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := runFrom(b, 0, 6)
+	snap := b.State()
+
+	c, err := New(sched, testTopo(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	suffix := runFrom(c, 6, 10)
+
+	resumed := append(prefix, suffix...)
+	for e := range full {
+		for i := range full[e] {
+			if full[e][i] != resumed[e][i] {
+				t.Fatalf("epoch %d sensor %d: full %v, resumed %v", e, i, full[e][i], resumed[e][i])
+			}
+		}
+	}
+}
+
+func TestRestoreRejectsMismatch(t *testing.T) {
+	sched := &Schedule{Events: []Event{{Kind: SensorDropout, Epoch: 0, Unit: 1}}}
+	inj, err := New(sched, testTopo(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Restore(nil); err == nil {
+		t.Error("nil state accepted")
+	}
+	if err := inj.Restore(&State{LastGood: make([]float64, 3), HaveGood: make([]bool, 3)}); err == nil {
+		t.Error("short state accepted")
+	}
+	if err := inj.Restore(&State{
+		LastGood: make([]float64, 12), HaveGood: make([]bool, 12), Active: make([]bool, 5),
+	}); err == nil {
+		t.Error("event-count mismatch accepted")
+	}
+}
+
+func TestTraceAccessors(t *testing.T) {
+	sched := &Schedule{Events: []Event{
+		{Kind: TraceGap, Epoch: 1, Unit: 0},
+		{Kind: TraceSpike, Epoch: 1, Unit: 2, Value: 1.8},
+	}}
+	inj, err := New(sched, testTopo(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Advance(0)
+	if inj.TraceGap(0) {
+		t.Error("gap active early")
+	}
+	inj.Advance(1)
+	if !inj.TraceGap(0) {
+		t.Error("gap not active")
+	}
+	if amp, on := inj.TraceSpike(2); !on || amp != 1.8 {
+		t.Errorf("spike = %v, %v", amp, on)
+	}
+	if _, on := inj.TraceSpike(1); on {
+		t.Error("spike active on wrong core")
+	}
+}
+
+func TestKindRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("bogus kind parsed")
+	}
+}

@@ -1,0 +1,367 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"thermogater/internal/workload"
+)
+
+// VRStatus is the effective health of one regulator this epoch.
+type VRStatus int
+
+const (
+	// VRHealthy regulators obey the governor.
+	VRHealthy VRStatus = iota
+	// VRFailedOff regulators cannot be activated and carry no current.
+	VRFailedOff
+	// VRFailedOn regulators conduct regardless of the gating decision.
+	VRFailedOn
+)
+
+// Injector interprets a Schedule over a run. It is advanced once per epoch
+// and then queried for the per-unit fault state; only ApplySensors consumes
+// randomness, so the injector perturbs no other random stream and its state
+// checkpoints in O(sensors).
+type Injector struct {
+	sched Schedule
+	topo  Topology
+	rng   *workload.RNG
+
+	active []bool // per event, as of the last Advance
+
+	// Per-regulator electrical state, rebuilt by Advance.
+	vrStatus   []VRStatus
+	vrIMaxFrac []float64
+	vrLossMult []float64
+
+	// Per-sensor state, rebuilt by Advance.
+	senStuck    []bool
+	senStuckVal []float64
+	senSigma    []float64 // relative gaussian sigma; 0 = clean
+	senQuant    []float64 // quantization step; 0 = full resolution
+	senDrop     []bool
+
+	// Sensor fallback memory, updated by ApplySensors.
+	lastGood []float64
+	haveGood []bool
+
+	// Per-core trace state, rebuilt by Advance.
+	gapCore   []bool
+	spikeCore []float64 // amplitude multiplier; 0 = none
+
+	// group[i] is the sensor group containing regulator i (nil if none).
+	group [][]int
+
+	vrDirty     bool // any VR-layer fault active this epoch
+	sensorDirty bool // any sensor-layer fault active this epoch
+}
+
+// New builds an injector for the schedule over the given topology, seeded
+// from the run's PRNG (fork a dedicated stream so healthy consumers keep
+// their sequences).
+func New(sched *Schedule, topo Topology, seed uint64) (*Injector, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	var events []Event
+	if sched != nil {
+		events = append(events, sched.Events...)
+	}
+	s := Schedule{Events: events}
+	if err := s.checkUnits(topo); err != nil {
+		return nil, err
+	}
+	inj := &Injector{
+		sched:       s,
+		topo:        topo,
+		rng:         workload.NewRNG(seed),
+		active:      make([]bool, len(events)),
+		vrStatus:    make([]VRStatus, topo.NumVRs),
+		vrIMaxFrac:  make([]float64, topo.NumVRs),
+		vrLossMult:  make([]float64, topo.NumVRs),
+		senStuck:    make([]bool, topo.NumVRs),
+		senStuckVal: make([]float64, topo.NumVRs),
+		senSigma:    make([]float64, topo.NumVRs),
+		senQuant:    make([]float64, topo.NumVRs),
+		senDrop:     make([]bool, topo.NumVRs),
+		lastGood:    make([]float64, topo.NumVRs),
+		haveGood:    make([]bool, topo.NumVRs),
+		gapCore:     make([]bool, topo.NumCores),
+		spikeCore:   make([]float64, topo.NumCores),
+		group:       make([][]int, topo.NumVRs),
+	}
+	for _, g := range topo.SensorGroups {
+		g := append([]int(nil), g...)
+		sort.Ints(g)
+		for _, rid := range g {
+			inj.group[rid] = g
+		}
+	}
+	inj.rebuild(0, false)
+	return inj, nil
+}
+
+// Advance recomputes the per-unit fault state for the given epoch and
+// returns how many events newly fired and newly cleared relative to the
+// previous call — the runner's telemetry feed. Advance never consumes
+// randomness, so calling it is free of side effects on the fault RNG.
+func (j *Injector) Advance(epoch int) (fired, cleared int) {
+	for i := range j.sched.Events {
+		now := j.sched.Events[i].activeAt(epoch)
+		if now && !j.active[i] {
+			fired++
+		}
+		if !now && j.active[i] {
+			cleared++
+		}
+		j.active[i] = now
+	}
+	j.rebuild(epoch, true)
+	return fired, cleared
+}
+
+// rebuild recomputes every per-unit array from the active events. Later
+// events override earlier ones on the same unit. useActive selects between
+// the cached activity flags (Advance) and a fresh epoch test (New, before
+// any Advance).
+func (j *Injector) rebuild(epoch int, useActive bool) {
+	for i := range j.vrStatus {
+		j.vrStatus[i] = VRHealthy
+		j.vrIMaxFrac[i] = 1
+		j.vrLossMult[i] = 1
+		j.senStuck[i] = false
+		j.senSigma[i] = 0
+		j.senQuant[i] = 0
+		j.senDrop[i] = false
+	}
+	for c := range j.gapCore {
+		j.gapCore[c] = false
+		j.spikeCore[c] = 0
+	}
+	j.vrDirty, j.sensorDirty = false, false
+
+	for i, e := range j.sched.Events {
+		on := j.sched.Events[i].activeAt(epoch)
+		if useActive {
+			on = j.active[i]
+		}
+		if !on {
+			continue
+		}
+		units := func(n int) (lo, hi int) {
+			if e.Unit < 0 {
+				return 0, n
+			}
+			return e.Unit, e.Unit + 1
+		}
+		switch e.Kind {
+		case VRStuckOff:
+			lo, hi := units(j.topo.NumVRs)
+			for u := lo; u < hi; u++ {
+				j.vrStatus[u] = VRFailedOff
+			}
+			j.vrDirty = true
+		case VRStuckOn:
+			lo, hi := units(j.topo.NumVRs)
+			for u := lo; u < hi; u++ {
+				j.vrStatus[u] = VRFailedOn
+			}
+			j.vrDirty = true
+		case VRPhaseLoss:
+			lo, hi := units(j.topo.NumVRs)
+			for u := lo; u < hi; u++ {
+				j.vrIMaxFrac[u] = e.Value
+			}
+			j.vrDirty = true
+		case VRDerate:
+			mult := 1 + e.Value*float64(epoch-e.Epoch)
+			if mult > MaxLossMultiplier {
+				mult = MaxLossMultiplier
+			}
+			lo, hi := units(j.topo.NumVRs)
+			for u := lo; u < hi; u++ {
+				j.vrLossMult[u] = mult
+			}
+			j.vrDirty = true
+		case SensorStuckAt:
+			lo, hi := units(j.topo.NumVRs)
+			for u := lo; u < hi; u++ {
+				j.senStuck[u] = true
+				j.senStuckVal[u] = e.Value
+			}
+			j.sensorDirty = true
+		case SensorNoise:
+			lo, hi := units(j.topo.NumVRs)
+			for u := lo; u < hi; u++ {
+				j.senSigma[u] = e.Value
+			}
+			j.sensorDirty = true
+		case SensorQuantize:
+			lo, hi := units(j.topo.NumVRs)
+			for u := lo; u < hi; u++ {
+				j.senQuant[u] = e.Value
+			}
+			j.sensorDirty = true
+		case SensorDropout:
+			lo, hi := units(j.topo.NumVRs)
+			for u := lo; u < hi; u++ {
+				j.senDrop[u] = true
+			}
+			j.sensorDirty = true
+		case TraceGap:
+			lo, hi := units(j.topo.NumCores)
+			for u := lo; u < hi; u++ {
+				j.gapCore[u] = true
+			}
+		case TraceSpike:
+			lo, hi := units(j.topo.NumCores)
+			for u := lo; u < hi; u++ {
+				j.spikeCore[u] = e.Value
+			}
+		}
+	}
+}
+
+// VRDirty reports whether any regulator-layer fault is active this epoch —
+// when false the runner keeps its healthy decision path.
+func (j *Injector) VRDirty() bool { return j.vrDirty }
+
+// VRStatusOf returns the regulator's effective health this epoch.
+func (j *Injector) VRStatusOf(rid int) VRStatus { return j.vrStatus[rid] }
+
+// IMaxFrac returns the remaining fraction of the regulator's per-phase
+// current limit (1 = healthy).
+func (j *Injector) IMaxFrac(rid int) float64 { return j.vrIMaxFrac[rid] }
+
+// LossMult returns the regulator's conversion-loss multiplier (1 = healthy).
+func (j *Injector) LossMult(rid int) float64 { return j.vrLossMult[rid] }
+
+// TraceGap reports whether the core's activity input is gapped this epoch.
+func (j *Injector) TraceGap(core int) bool { return j.gapCore[core] }
+
+// TraceSpike returns the core's activity-spike amplitude and whether a
+// spike fault is active.
+func (j *Injector) TraceSpike(core int) (float64, bool) {
+	amp := j.spikeCore[core]
+	return amp, amp > 0
+}
+
+// ApplySensors filters one epoch's raw sensor readings in place: stuck,
+// noisy and quantized sensors corrupt their reading; dropped-out sensors
+// fall back to their last good value, or — before any good reading exists —
+// to the median of their delivering neighbors. The return value counts the
+// fallbacks taken (the governor's degraded-input telemetry).
+//
+// This is the only Injector method that consumes randomness; the runner
+// must call it exactly once per epoch, in epoch order, for faulted runs to
+// stay reproducible and resumable.
+func (j *Injector) ApplySensors(raw []float64) (fallbacks int, err error) {
+	if len(raw) != j.topo.NumVRs {
+		return 0, fmt.Errorf("fault: got %d sensor readings for %d regulators", len(raw), j.topo.NumVRs)
+	}
+	if !j.sensorDirty {
+		return 0, nil
+	}
+	for i := range raw {
+		v := raw[i]
+		if j.senStuck[i] {
+			v = j.senStuckVal[i]
+		}
+		if s := j.senSigma[i]; s > 0 {
+			v += s * math.Abs(v) * j.rng.Norm()
+		}
+		if q := j.senQuant[i]; q > 0 {
+			v = math.Round(v/q) * q
+		}
+		if !j.senDrop[i] {
+			raw[i] = v
+			j.lastGood[i] = v
+			j.haveGood[i] = true
+		}
+	}
+	for i := range raw {
+		if !j.senDrop[i] {
+			continue
+		}
+		fallbacks++
+		if j.haveGood[i] {
+			raw[i] = j.lastGood[i]
+			continue
+		}
+		if med, ok := j.neighborMedian(i, raw); ok {
+			raw[i] = med
+		}
+		// With no last-good value and no delivering neighbor, the raw
+		// reading passes through — the best available estimate.
+	}
+	return fallbacks, nil
+}
+
+// neighborMedian returns the median of the delivering sensors in rid's
+// group, excluding rid itself.
+func (j *Injector) neighborMedian(rid int, readings []float64) (float64, bool) {
+	g := j.group[rid]
+	if g == nil {
+		return 0, false
+	}
+	var vals []float64
+	for _, other := range g {
+		if other == rid || j.senDrop[other] {
+			continue
+		}
+		vals = append(vals, readings[other])
+	}
+	if len(vals) == 0 {
+		return 0, false
+	}
+	sort.Float64s(vals)
+	mid := len(vals) / 2
+	if len(vals)%2 == 1 {
+		return vals[mid], true
+	}
+	return (vals[mid-1] + vals[mid]) / 2, true
+}
+
+// State is the injector's checkpointable state. The schedule and topology
+// are configuration, not state — a resumed run rebuilds them from its
+// Config and restores only what evolved.
+type State struct {
+	RNG      uint64
+	LastGood []float64
+	HaveGood []bool
+	Active   []bool
+}
+
+// State snapshots the injector.
+func (j *Injector) State() *State {
+	return &State{
+		RNG:      j.rng.State(),
+		LastGood: append([]float64(nil), j.lastGood...),
+		HaveGood: append([]bool(nil), j.haveGood...),
+		Active:   append([]bool(nil), j.active...),
+	}
+}
+
+// Restore loads a snapshot taken by State on an injector built from the
+// same schedule and topology.
+func (j *Injector) Restore(s *State) error {
+	if s == nil {
+		return fmt.Errorf("fault: nil state")
+	}
+	if len(s.LastGood) != j.topo.NumVRs || len(s.HaveGood) != j.topo.NumVRs {
+		return fmt.Errorf("fault: state covers %d sensors, injector has %d", len(s.LastGood), j.topo.NumVRs)
+	}
+	if len(s.Active) != len(j.sched.Events) {
+		return fmt.Errorf("fault: state covers %d events, schedule has %d", len(s.Active), len(j.sched.Events))
+	}
+	j.rng.SetState(s.RNG)
+	copy(j.lastGood, s.LastGood)
+	copy(j.haveGood, s.HaveGood)
+	copy(j.active, s.Active)
+	return nil
+}

@@ -1,0 +1,97 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSchedule parses the CLI fault-schedule syntax: semicolon-separated
+// events of the form
+//
+//	kind@epoch[+duration][:key=value,...]
+//
+// where kind is a Kind spelling (vr-stuck-off, sensor-noise, ...), epoch is
+// the 0-based firing epoch, the optional +duration bounds the fault in
+// epochs (omitted = permanent), and the keys are "unit" (default -1 = all
+// units of the layer) and "value" (the model parameter). Examples:
+//
+//	vr-stuck-off@30:unit=12
+//	sensor-noise@0:value=0.1
+//	trace-gap@40+20:unit=3;vr-derate@10:unit=7,value=0.05
+func ParseSchedule(spec string) (*Schedule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	s := &Schedule{}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		e, err := parseEvent(part)
+		if err != nil {
+			return nil, fmt.Errorf("fault: %q: %w", part, err)
+		}
+		s.Events = append(s.Events, e)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func parseEvent(spec string) (Event, error) {
+	e := Event{Unit: -1}
+	head, opts, hasOpts := strings.Cut(spec, ":")
+	name, when, ok := strings.Cut(head, "@")
+	if !ok {
+		return e, fmt.Errorf("missing @epoch")
+	}
+	kind, err := ParseKind(strings.TrimSpace(name))
+	if err != nil {
+		return e, err
+	}
+	e.Kind = kind
+	epochStr, durStr, hasDur := strings.Cut(when, "+")
+	e.Epoch, err = strconv.Atoi(strings.TrimSpace(epochStr))
+	if err != nil {
+		return e, fmt.Errorf("bad epoch %q", epochStr)
+	}
+	if hasDur {
+		e.DurationEpochs, err = strconv.Atoi(strings.TrimSpace(durStr))
+		if err != nil || e.DurationEpochs < 1 {
+			return e, fmt.Errorf("bad duration %q", durStr)
+		}
+	}
+	sawValue := false
+	if hasOpts {
+		for _, kv := range strings.Split(opts, ",") {
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return e, fmt.Errorf("bad option %q (want key=value)", kv)
+			}
+			key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+			switch key {
+			case "unit":
+				e.Unit, err = strconv.Atoi(val)
+				if err != nil {
+					return e, fmt.Errorf("bad unit %q", val)
+				}
+			case "value":
+				e.Value, err = strconv.ParseFloat(val, 64)
+				if err != nil {
+					return e, fmt.Errorf("bad value %q", val)
+				}
+				sawValue = true
+			default:
+				return e, fmt.Errorf("unknown option %q", key)
+			}
+		}
+	}
+	if e.Kind.needsValue() && !sawValue {
+		return e, fmt.Errorf("%v requires value=", e.Kind)
+	}
+	return e, nil
+}

@@ -43,3 +43,9 @@ func CheckBalance(what string, got, want float64) {}
 
 // CheckCount is a no-op without the tgsan build tag.
 func CheckCount(what string, count, lo, hi int) {}
+
+// CheckGatedVR is a no-op without the tgsan build tag.
+func CheckGatedVR(what string, rid int, currentA, powerW float64, class VRFaultClass) {}
+
+// CheckPhaseShare is a no-op without the tgsan build tag.
+func CheckPhaseShare(what string, index int, shareA, imaxA, derateFrac float64, atCapacity bool) {}

@@ -156,3 +156,36 @@ func CheckCount(what string, count, lo, hi int) {
 		report("count-bounds", -1, "%s: count %d outside [%d, %d]", what, count, lo, hi)
 	}
 }
+
+// CheckGatedVR enforces the gated-regulator contract on one regulator the
+// applied mask turns off, honoring its fault class: healthy, derated and
+// stuck-off regulators must be zeroed exactly; a stuck-on regulator's power
+// switch is wedged closed, so it legally carries current and dissipates
+// loss while "gated". On healthy runs every caller passes VRHealthy and the
+// check is fully strict.
+func CheckGatedVR(what string, rid int, currentA, powerW float64, class VRFaultClass) {
+	if class == VRStuckOn {
+		return
+	}
+	//lint:ignore floatcheck a gated regulator is zeroed exactly, not approximately
+	if currentA != 0 || powerW != 0 {
+		report("vr-gating", rid, "%s: gated regulator carries %v A and dissipates %v W",
+			what, currentA, powerW)
+	}
+}
+
+// CheckPhaseShare enforces the per-phase current limit on one domain's
+// equal current share: share ≤ IMax·derateFrac, where derateFrac < 1
+// models an active phase-loss fault (VRDerated class). atCapacity exempts
+// the check — when every in-service regulator is already on, overload
+// legalisation deliberately exceeds the limit and the runner reports a
+// demand violation through its own counter instead.
+func CheckPhaseShare(what string, index int, shareA, imaxA, derateFrac float64, atCapacity bool) {
+	if atCapacity {
+		return
+	}
+	if shareA > imaxA*derateFrac*(1+RelTol) {
+		report("vr-gating", index, "%s: per-phase share %v A exceeds IMax %v A × derate %v",
+			what, shareA, imaxA, derateFrac)
+	}
+}

@@ -60,6 +60,29 @@ func (v Violation) Error() string {
 	return fmt.Sprintf("invariant: [%s] %s%s: %s", v.Check, loc, at, v.Detail)
 }
 
+// VRFaultClass tells the gating-legality checks how a regulator may
+// legally deviate from the governor's decision under an active fault
+// schedule (see docs/INVARIANTS.md, "Fault vocabulary"). On healthy runs
+// every regulator is VRHealthy and the checks stay fully strict; the sim
+// Runner maps the fault injector's per-unit status onto these classes only
+// while a schedule is active.
+type VRFaultClass int
+
+const (
+	// VRHealthy regulators obey the strict contract: gated ⇒ exactly zero
+	// current and loss.
+	VRHealthy VRFaultClass = iota
+	// VRStuckOff regulators are out of service: they must never carry
+	// current or dissipate loss, gated or not.
+	VRStuckOff
+	// VRStuckOn regulators legally carry current and dissipate loss while
+	// "gated" — their power switch is wedged closed.
+	VRStuckOn
+	// VRDerated regulators are in service with a reduced per-phase IMax
+	// share and/or elevated loss; the share checks scale accordingly.
+	VRDerated
+)
+
 // Tolerances shared by the enabled checks and documented in
 // docs/INVARIANTS.md. They are declared unconditionally so tests and docs
 // can reference them in either build mode.

@@ -10,7 +10,10 @@
 // separates the LDO from the buck design in Fig. 15.
 package pdn
 
-import "errors"
+import (
+	"errors"
+	"math"
+)
 
 // EmergencyThresholdPct is the voltage emergency threshold: maximum noise
 // exceeding 10% of nominal Vdd (Section 6.2.4, the horizontal line in
@@ -79,21 +82,25 @@ func LDOConfig() Config {
 	return c
 }
 
-// Validate rejects non-physical configurations.
+// Validate rejects non-physical configurations. Bounds are phrased as
+// !(inside) so NaN — for which every comparison is false — is rejected
+// rather than propagated into every downstream voltage figure.
 func (c Config) Validate() error {
-	if c.R0Ohm <= 0 || c.RhoOhmPerMM <= 0 || c.RSharedOhm < 0 {
-		return errors.New("pdn: resistances must be positive")
+	if !(c.R0Ohm > 0) || !(c.RhoOhmPerMM > 0) || !(c.RSharedOhm >= 0) ||
+		math.IsInf(c.R0Ohm, 1) || math.IsInf(c.RhoOhmPerMM, 1) || math.IsInf(c.RSharedOhm, 1) {
+		return errors.New("pdn: resistances must be positive and finite")
 	}
-	if c.ZTransientOhm < 0 || c.ResponseTimeNS < 0 {
-		return errors.New("pdn: transient parameters must be non-negative")
+	if !(c.ZTransientOhm >= 0) || !(c.ResponseTimeNS >= 0) ||
+		math.IsInf(c.ZTransientOhm, 1) || math.IsInf(c.ResponseTimeNS, 1) {
+		return errors.New("pdn: transient parameters must be non-negative and finite")
 	}
-	if c.ServiceAreaMM2 <= 0 {
-		return errors.New("pdn: service area must be positive")
+	if !(c.ServiceAreaMM2 > 0) || math.IsInf(c.ServiceAreaMM2, 1) {
+		return errors.New("pdn: service area must be positive and finite")
 	}
-	if c.VddV <= 0 {
-		return errors.New("pdn: Vdd must be positive")
+	if !(c.VddV > 0) || math.IsInf(c.VddV, 1) {
+		return errors.New("pdn: Vdd must be positive and finite")
 	}
-	if c.RippleSigma < 0 || c.RipplePhi < 0 || c.RipplePhi >= 1 {
+	if !(c.RippleSigma >= 0) || !(c.RipplePhi >= 0 && c.RipplePhi < 1) || math.IsInf(c.RippleSigma, 1) {
 		return errors.New("pdn: ripple parameters out of range")
 	}
 	if c.BurstRiseCycles <= 0 || c.BurstDecayCycles <= 0 {

@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"thermogater/internal/aging"
+	"thermogater/internal/core"
+	"thermogater/internal/dvfs"
+	"thermogater/internal/fault"
+	"thermogater/internal/pdn"
+	"thermogater/internal/thermal"
+	"thermogater/internal/uarch"
+)
+
+// CheckpointSchema identifies the checkpoint wire format; bump on any
+// incompatible change to Checkpoint or the states it embeds.
+const CheckpointSchema = "thermogater/checkpoint/v1"
+
+// CheckpointConfig enables periodic run snapshots. After every
+// EveryEpochs-th completed epoch the runner assembles a Checkpoint and
+// hands it to Sink; a sink error aborts the run (which is also how the
+// kill-and-resume tests interrupt a run deterministically). The zero value
+// disables checkpointing.
+type CheckpointConfig struct {
+	// EveryEpochs is the snapshot period; 0 disables.
+	EveryEpochs int
+	// Sink receives each snapshot, e.g. writing it to disk via Encode.
+	Sink func(*Checkpoint) error
+}
+
+func (c CheckpointConfig) validate() error {
+	if c.EveryEpochs < 0 {
+		return errors.New("sim: negative checkpoint period")
+	}
+	if c.EveryEpochs > 0 && c.Sink == nil {
+		return errors.New("sim: checkpoint period set without a sink")
+	}
+	return nil
+}
+
+// MeasureState holds the measured-loop accumulators so a resumed run
+// continues the aggregation exactly where the interrupted one stopped.
+// All fields mirror what used to be locals of the epoch loop.
+type MeasureState struct {
+	MeasuredTime    float64
+	EmergencyTime   float64
+	PlossIntegral   float64
+	ChipPowerInt    float64
+	EtaWeighted     float64
+	EtaWeight       float64
+	WorstNoise      float64
+	SampledWorst    float64
+	MeasuredSteps   int
+	MeasuredEpochs  int
+	HeatMapDeadline int
+	DvfsVddSum      []float64
+	DvfsPerfSum     float64
+	Res             *Result
+}
+
+// Checkpoint is a complete snapshot of a run after some epoch: every piece
+// of cross-epoch mutable state, from the activity simulator's RNGs to the
+// governor's predictor tables to the partially aggregated result. A run
+// resumed from a checkpoint is bit-identical — including its streamed
+// telemetry records — to the same run never interrupted; the determinism
+// harness in checkpoint_test.go is the oracle for that claim.
+//
+// Deliberately NOT checkpointed (recomputed every epoch from checkpointed
+// state): the gating masks, the DVFS power-scaling factors, per-epoch
+// scratch buffers, and the telemetry instrument baselines (realigned via
+// syncBaselines against the restored solver counters).
+type Checkpoint struct {
+	// Schema is CheckpointSchema; ReadCheckpoint rejects anything else.
+	Schema string
+	// Policy, Benchmark and Seed identify the run; Restore rejects a
+	// checkpoint taken from a differently configured runner.
+	Policy    string
+	Benchmark string
+	Seed      uint64
+	// Epoch is the last completed epoch; the resumed run starts at Epoch+1.
+	Epoch int
+
+	Uarch         *uarch.State
+	Thermal       *thermal.State
+	Governor      *core.GovernorState
+	RNG           uint64
+	SensorVRTemps []float64
+	PrevDomainCur []float64
+	PerVRLoss     []float64
+	FaultActGood  []float64
+	DVFS          *dvfs.State
+	Aging         *aging.State
+	Fault         *fault.State
+
+	PDNSteadySolves    int64
+	PDNTransientSolves int64
+
+	Measure MeasureState
+}
+
+// Encode serialises the checkpoint with encoding/gob.
+func (c *Checkpoint) Encode(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(c)
+}
+
+// ReadCheckpoint deserialises a checkpoint written by Encode and verifies
+// its schema tag.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := gob.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("sim: decoding checkpoint: %w", err)
+	}
+	if c.Schema != CheckpointSchema {
+		return nil, fmt.Errorf("sim: checkpoint schema %q, want %q", c.Schema, CheckpointSchema)
+	}
+	return &c, nil
+}
+
+// clone deep-copies the measure state so neither a checkpoint nor a run
+// resumed from one aliases buffers another run keeps mutating.
+func (m MeasureState) clone() MeasureState {
+	m.DvfsVddSum = append([]float64(nil), m.DvfsVddSum...)
+	m.Res = cloneResult(m.Res)
+	return m
+}
+
+// cloneResult deep-copies a partially aggregated result, preserving the
+// nil-ness of every optional slice (gob round-trips rely on that).
+func cloneResult(res *Result) *Result {
+	if res == nil {
+		return nil
+	}
+	c := *res
+	c.VROnFrac = append([]float64(nil), res.VROnFrac...)
+	c.MTTFYears = append([]float64(nil), res.MTTFYears...)
+	c.DVFSAvgVddV = append([]float64(nil), res.DVFSAvgVddV...)
+	c.Trace = append([]EpochStats(nil), res.Trace...)
+	c.VRTrace = append([]VRSample(nil), res.VRTrace...)
+	if res.HeatMap != nil {
+		c.HeatMap = make([][]float64, len(res.HeatMap))
+		for i, row := range res.HeatMap {
+			c.HeatMap[i] = append([]float64(nil), row...)
+		}
+	}
+	if res.WorstNoise != nil {
+		w := *res.WorstNoise
+		w.BlockCurrent = append([]float64(nil), res.WorstNoise.BlockCurrent...)
+		w.Active = append([]bool(nil), res.WorstNoise.Active...)
+		w.Bursts = append([]pdn.Burst(nil), res.WorstNoise.Bursts...)
+		c.WorstNoise = &w
+	}
+	return &c
+}
+
+// snapshot assembles the checkpoint for the just-completed epoch e.
+func (r *Runner) snapshot(e int, usim *uarch.Simulator, ms *MeasureState) *Checkpoint {
+	cp := &Checkpoint{
+		Schema:             CheckpointSchema,
+		Policy:             r.cfg.Policy.String(),
+		Benchmark:          r.cfg.benchmarkLabel(),
+		Seed:               r.cfg.Seed,
+		Epoch:              e,
+		Uarch:              usim.State(),
+		Thermal:            r.tm.State(),
+		Governor:           r.gov.State(),
+		RNG:                r.rng.State(),
+		SensorVRTemps:      append([]float64(nil), r.sensorVRTemps...),
+		PrevDomainCur:      append([]float64(nil), r.prevDomainCur...),
+		PerVRLoss:          append([]float64(nil), r.perVRLoss...),
+		PDNSteadySolves:    r.pdnSteadySolves,
+		PDNTransientSolves: r.pdnTransientSolves,
+		Measure:            ms.clone(),
+	}
+	if r.faultActGood != nil {
+		cp.FaultActGood = append([]float64(nil), r.faultActGood...)
+	}
+	if r.vf != nil {
+		cp.DVFS = r.vf.State()
+	}
+	if r.wear != nil {
+		cp.Aging = r.wear.State()
+	}
+	if r.flt != nil {
+		cp.Fault = r.flt.State()
+	}
+	return cp
+}
+
+// Restore loads a checkpoint into a freshly constructed runner (same
+// Config) so the next Run continues from Checkpoint.Epoch+1. It applies
+// the thermal, governor, RNG, DVFS, aging and fault-injector state
+// immediately and stashes the rest for the measured loop; identity or
+// shape mismatches are rejected before anything is applied.
+func (r *Runner) Restore(cp *Checkpoint) error {
+	if cp == nil {
+		return errors.New("sim: nil checkpoint")
+	}
+	if cp.Schema != CheckpointSchema {
+		return fmt.Errorf("sim: checkpoint schema %q, want %q", cp.Schema, CheckpointSchema)
+	}
+	if cp.Policy != r.cfg.Policy.String() || cp.Benchmark != r.cfg.benchmarkLabel() || cp.Seed != r.cfg.Seed {
+		return fmt.Errorf("sim: checkpoint is for %s/%s seed %d, runner is %s/%s seed %d",
+			cp.Policy, cp.Benchmark, cp.Seed, r.cfg.Policy, r.cfg.benchmarkLabel(), r.cfg.Seed)
+	}
+	if cp.Epoch < 0 || cp.Uarch == nil || cp.Thermal == nil || cp.Governor == nil || cp.Measure.Res == nil {
+		return errors.New("sim: incomplete checkpoint")
+	}
+	nr, nd := len(r.chip.Regulators), len(r.chip.Domains)
+	if len(cp.SensorVRTemps) != nr || len(cp.PerVRLoss) != nr || len(cp.PrevDomainCur) != nd {
+		return errors.New("sim: checkpoint state shape does not match the chip")
+	}
+	if (r.vf != nil) != (cp.DVFS != nil) {
+		return errors.New("sim: checkpoint DVFS state does not match the configuration")
+	}
+	if (r.wear != nil) != (cp.Aging != nil) {
+		return errors.New("sim: checkpoint aging state does not match the configuration")
+	}
+	if (r.flt != nil) != (cp.Fault != nil) {
+		return errors.New("sim: checkpoint fault state does not match the configuration")
+	}
+	if err := r.tm.Restore(cp.Thermal); err != nil {
+		return err
+	}
+	if err := r.gov.Restore(cp.Governor); err != nil {
+		return err
+	}
+	r.rng.SetState(cp.RNG)
+	copy(r.sensorVRTemps, cp.SensorVRTemps)
+	copy(r.prevDomainCur, cp.PrevDomainCur)
+	copy(r.perVRLoss, cp.PerVRLoss)
+	if r.faultActGood != nil && len(cp.FaultActGood) == len(r.faultActGood) {
+		copy(r.faultActGood, cp.FaultActGood)
+	}
+	if r.vf != nil {
+		if err := r.vf.Restore(cp.DVFS); err != nil {
+			return err
+		}
+	}
+	if r.wear != nil {
+		if err := r.wear.Restore(cp.Aging); err != nil {
+			return err
+		}
+	}
+	if r.flt != nil {
+		if err := r.flt.Restore(cp.Fault); err != nil {
+			return err
+		}
+	}
+	r.pdnSteadySolves = cp.PDNSteadySolves
+	r.pdnTransientSolves = cp.PDNTransientSolves
+	r.resume = cp
+	return nil
+}

@@ -13,9 +13,11 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"thermogater/internal/core"
 	"thermogater/internal/dvfs"
+	"thermogater/internal/fault"
 	"thermogater/internal/floorplan"
 	"thermogater/internal/pdn"
 	"thermogater/internal/telemetry"
@@ -83,6 +85,15 @@ type Config struct {
 	// "epoch" record per epoch streamed to the registry's sinks. Nil (the
 	// default) disables instrumentation at effectively zero cost.
 	Telemetry *telemetry.Registry
+	// Faults, when non-nil and non-empty, arms the deterministic fault
+	// injector: scheduled regulator failures, sensor corruption and
+	// activity-trace faults are applied at their scheduled epochs and the
+	// governor stack degrades as documented in docs/ROBUSTNESS.md. Nil (the
+	// default) leaves the healthy path untouched.
+	Faults *fault.Schedule
+	// Checkpoint configures periodic state snapshots for resumable runs;
+	// the zero value disables checkpointing.
+	Checkpoint CheckpointConfig
 }
 
 // DefaultConfig returns the paper's operating point for the given policy
@@ -118,8 +129,11 @@ func (c Config) Validate() error {
 	} else if err := c.Benchmark.Validate(); err != nil {
 		return err
 	}
-	if c.EpochMS <= 0 || c.SubstepMS <= 0 {
-		return errors.New("sim: epoch and substep must be positive")
+	// !(v > 0) rather than v <= 0 so NaN — every comparison false — is
+	// rejected here instead of silently poisoning the whole run.
+	if !(c.EpochMS > 0) || !(c.SubstepMS > 0) ||
+		math.IsInf(c.EpochMS, 1) || math.IsInf(c.SubstepMS, 1) {
+		return errors.New("sim: epoch and substep must be positive and finite")
 	}
 	if c.SubstepMS > c.EpochMS {
 		return errors.New("sim: substep longer than epoch")
@@ -132,8 +146,16 @@ func (c Config) Validate() error {
 	if c.DurationMS < 0 || c.WarmupEpochs < 0 || c.ProfilingEpochs < 0 {
 		return errors.New("sim: negative duration/warmup/profiling")
 	}
-	if c.SensorNoiseC < 0 {
-		return errors.New("sim: negative sensor noise")
+	if !(c.SensorNoiseC >= 0) || math.IsInf(c.SensorNoiseC, 1) {
+		return errors.New("sim: sensor noise must be non-negative and finite")
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+	}
+	if err := c.Checkpoint.validate(); err != nil {
+		return err
 	}
 	if c.DVFS != nil {
 		if err := c.DVFS.Validate(); err != nil {

@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"testing"
+
+	"thermogater/internal/core"
+	"thermogater/internal/fault"
+	"thermogater/internal/workload"
+)
+
+// faultMatrix is one scheduled instance of every fault model, each with a
+// representative parameterisation. TestFaultMatrixSmoke asserts the set
+// covers fault.Kinds() exactly, so adding a model without extending the
+// matrix fails loudly.
+var faultMatrix = []string{
+	"vr-stuck-off@25:unit=5",
+	"vr-stuck-on@25:unit=5",
+	"vr-phase-loss@25:unit=5,value=0.5",
+	"vr-derate@25:unit=5,value=0.05",
+	"sensor-stuck@25:unit=5,value=140",
+	"sensor-noise@25+20:unit=5,value=0.1",
+	"sensor-quantize@25+20:unit=5,value=2",
+	"sensor-dropout@25+20:unit=5",
+	"trace-gap@25+10:unit=2",
+	"trace-spike@25+10:unit=2,value=0.5",
+}
+
+// TestFaultMatrixSmoke runs every fault model against a practical policy
+// (the sensor-consuming worst case) and requires the run to complete with
+// the fault's footprint visible in the robustness counters. Under the
+// tgsan build tag this additionally proves the degraded gating path keeps
+// every physics invariant that is not explicitly exempted for the faulted
+// units (make chaos runs it that way).
+func TestFaultMatrixSmoke(t *testing.T) {
+	covered := make(map[fault.Kind]bool)
+	for _, spec := range faultMatrix {
+		sched, err := fault.ParseSchedule(spec)
+		if err != nil {
+			t.Fatalf("%q: %v", spec, err)
+		}
+		covered[sched.Events[0].Kind] = true
+	}
+	for _, k := range fault.Kinds() {
+		if !covered[k] {
+			t.Fatalf("fault matrix does not cover %v — extend faultMatrix", k)
+		}
+	}
+
+	for _, spec := range faultMatrix {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			cfg := telemetryTestConfig(t, core.PracT)
+			sched, err := fault.ParseSchedule(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Faults = sched
+			r, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := r.Run()
+			if err != nil {
+				t.Fatalf("run with %q failed: %v", spec, err)
+			}
+			if res.FaultEvents == 0 {
+				t.Error("fault never fired")
+			}
+			switch sched.Events[0].Kind {
+			case fault.SensorDropout:
+				if res.SensorFallbacks == 0 {
+					t.Error("dropout produced no sensor fallbacks")
+				}
+			case fault.TraceGap:
+				if res.TraceGapFrames == 0 {
+					t.Error("trace gap froze no frames")
+				}
+			case fault.SensorStuckAt:
+				// Stuck at 140°C, far above ThermalEmergencyC: the
+				// fail-safe must force the affected domain to all-on.
+				if res.ThermalOverrides == 0 {
+					t.Error("140°C stuck sensor never triggered the thermal fail-safe")
+				}
+			}
+		})
+	}
+}
+
+// TestDegradedPolicyLadderThermal checks the paper's thermal policy ladder
+// survives a compound fault: with one regulator failed off from the start
+// and 10% relative noise on every sensor, thermally-aware gating must
+// still beat the all-on baseline, and the practical policy must stay close
+// to its oracle. The failed unit must also never appear in the on-time
+// accounting.
+func TestDegradedPolicyLadderThermal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-policy ladder run")
+	}
+	p, err := workload.ByName("lu_ncb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(policy core.PolicyKind) *Result {
+		cfg := DefaultConfig(policy, p)
+		cfg.DurationMS = 200
+		cfg.WarmupEpochs = 25
+		cfg.ProfilingEpochs = 80
+		sched, err := fault.ParseSchedule("vr-stuck-off@0:unit=12; sensor-noise@0:value=0.1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Faults = sched
+		r, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil {
+			t.Fatalf("%v under faults: %v", policy, err)
+		}
+		if res.FaultEvents == 0 {
+			t.Fatalf("%v: fault schedule never fired", policy)
+		}
+		return res
+	}
+	allOn := run(core.AllOn)
+	oracT := run(core.OracT)
+	pracT := run(core.PracT)
+
+	if oracT.MaxTempC >= allOn.MaxTempC {
+		t.Errorf("degraded OracT Tmax %v ≥ AllOn %v — gating no longer helps under faults",
+			oracT.MaxTempC, allOn.MaxTempC)
+	}
+	if d := pracT.MaxTempC - oracT.MaxTempC; d > 3.0 {
+		t.Errorf("degraded PracT trails its oracle by %v°C (limit 3.0)", d)
+	}
+	//lint:ignore floatcheck a stuck-off regulator must never be counted on, exactly
+	if oracT.VROnFrac[12] != 0 {
+		t.Errorf("stuck-off regulator 12 shows on-fraction %v", oracT.VROnFrac[12])
+	}
+}
+
+// TestDegradedPolicyLadderNoise checks the voltage-noise leg of the ladder
+// under the same compound fault: the VT oracle — which guards emergencies —
+// must not spend more time in emergency than the thermal-only oracle, and
+// its worst noise must stay in the same regime as the healthy run rather
+// than exploding.
+func TestDegradedPolicyLadderNoise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-policy ladder run")
+	}
+	p, err := workload.ByName("barnes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(policy core.PolicyKind, faults string) *Result {
+		cfg := DefaultConfig(policy, p)
+		cfg.DurationMS = 200
+		cfg.WarmupEpochs = 25
+		if faults != "" {
+			sched, err := fault.ParseSchedule(faults)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Faults = sched
+		}
+		r, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		return res
+	}
+	const compound = "vr-stuck-off@0:unit=12; sensor-noise@0:value=0.1"
+	oracT := run(core.OracT, compound)
+	oracVT := run(core.OracVT, compound)
+	healthyVT := run(core.OracVT, "")
+
+	if oracVT.EmergencyFrac > oracT.EmergencyFrac {
+		t.Errorf("degraded OracVT emergency fraction %v above OracT %v — the noise guard stopped working",
+			oracVT.EmergencyFrac, oracT.EmergencyFrac)
+	}
+	if healthyVT.MaxNoisePct > 0 && oracVT.MaxNoisePct > 1.2*healthyVT.MaxNoisePct {
+		t.Errorf("degraded OracVT worst noise %v%% blew past 1.2× the healthy run's %v%%",
+			oracVT.MaxNoisePct, healthyVT.MaxNoisePct)
+	}
+}

@@ -125,4 +125,22 @@ type Result struct {
 
 	// Epochs is the number of measured (post-warm-up) epochs.
 	Epochs int
+
+	// Robustness bookkeeping (all zero on healthy runs with no fault
+	// schedule; see docs/ROBUSTNESS.md).
+	//
+	// FaultEvents counts fault-schedule events that fired during the run.
+	FaultEvents int
+	// SensorFallbacks counts sensor readings replaced by last-good or
+	// neighbor-median values because the sensor was dropped out.
+	SensorFallbacks int
+	// TraceGapFrames counts (core, substep) frames frozen to last-good
+	// activity because of an injected trace gap.
+	TraceGapFrames int
+	// ThermalOverrides counts domain-epochs the fail-safe thermal limit
+	// (core.Config.ThermalEmergencyC) forced to all-on.
+	ThermalOverrides int
+	// WatchdogRetries counts thermal-solver substeps that had to be retried
+	// at a reduced integration step.
+	WatchdogRetries int
 }

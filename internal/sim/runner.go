@@ -8,6 +8,7 @@ import (
 	"thermogater/internal/aging"
 	"thermogater/internal/core"
 	"thermogater/internal/dvfs"
+	"thermogater/internal/fault"
 	"thermogater/internal/floorplan"
 	"thermogater/internal/invariant"
 	"thermogater/internal/pdn"
@@ -49,6 +50,19 @@ type Runner struct {
 	prevDomainCur []float64
 	perVRLoss     []float64
 	masks         [][]bool
+
+	// Robustness machinery. flt is nil unless a fault schedule is armed;
+	// wd wraps every transient thermal step with divergence detection;
+	// resume, when non-nil, holds the checkpoint the next Run continues
+	// from. The flt* caches are refreshed once per epoch by
+	// refreshFaultDomains.
+	flt          *fault.Injector
+	wd           *thermal.Watchdog
+	faultActGood []float64
+	fltAvailN    []int
+	fltMinFrac   []float64
+	fltDomDirty  []bool
+	resume       *Checkpoint
 
 	// Instrumentation. ins caches the telemetry handles (all nil-safe when
 	// telemetry is disabled); the solver counters below are plain ints so
@@ -151,6 +165,27 @@ func New(cfg Config) (*Runner, error) {
 			return nil, err
 		}
 		r.vf = vf
+	}
+	r.wd = thermal.NewWatchdog(tm)
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		groups := make([][]int, len(chip.Domains))
+		for d := range chip.Domains {
+			groups[d] = append([]int(nil), chip.Domains[d].Regulators...)
+		}
+		inj, err := fault.New(cfg.Faults, fault.Topology{
+			NumVRs:       len(chip.Regulators),
+			NumCores:     floorplan.NumCores,
+			SensorGroups: groups,
+		}, cfg.Seed^0x9f4a)
+		if err != nil {
+			return nil, err
+		}
+		r.flt = inj
+		r.faultActGood = make([]float64, len(chip.Blocks))
+		r.fltAvailN = make([]int, len(chip.Domains))
+		r.fltMinFrac = make([]float64, len(chip.Domains))
+		r.fltDomDirty = make([]bool, len(chip.Domains))
+		r.refreshFaultDomains()
 	}
 	return r, nil
 }
@@ -385,26 +420,50 @@ func (r *Runner) runMeasured() (*Result, error) {
 	if invariant.Enabled {
 		defer invariant.ResetCtx()
 	}
-	res := &Result{
-		Policy:       r.cfg.Policy.String(),
-		Benchmark:    r.cfg.benchmarkLabel(),
-		NoiseModeled: r.cfg.Policy != core.OffChip,
-		VROnFrac:     make([]float64, len(r.chip.Regulators)),
-		ThetaMeanR2:  r.gov.Theta().MeanR2(),
-	}
+	resume := r.resume
+	r.resume = nil
 
 	usim, err := r.cfg.newUarch(r.chip, r.cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
 
-	// Initialise the thermal state: steady state for the first epoch's
-	// power with everything on (a neutral, reproducible starting point).
-	if err := r.initThermal(); err != nil {
-		return nil, err
+	var ms *MeasureState
+	startEpoch := 0
+	if resume != nil {
+		if err := usim.Restore(resume.Uarch); err != nil {
+			return nil, err
+		}
+		// Clone so the checkpoint stays reusable: the same snapshot can be
+		// restored into several runners without them sharing result buffers.
+		m := resume.Measure.clone()
+		ms = &m
+		startEpoch = resume.Epoch + 1
+	} else {
+		ms = &MeasureState{
+			WorstNoise:      -1,
+			SampledWorst:    -1,
+			HeatMapDeadline: -1, // epoch index whose end should capture the map
+			Res: &Result{
+				Policy:       r.cfg.Policy.String(),
+				Benchmark:    r.cfg.benchmarkLabel(),
+				NoiseModeled: r.cfg.Policy != core.OffChip,
+				VROnFrac:     make([]float64, len(r.chip.Regulators)),
+				ThetaMeanR2:  r.gov.Theta().MeanR2(),
+			},
+		}
+		if r.vf != nil {
+			ms.DvfsVddSum = make([]float64, floorplan.NumCores)
+		}
+		// Initialise the thermal state: steady state for the first epoch's
+		// power with everything on (a neutral, reproducible starting point).
+		if err := r.initThermal(); err != nil {
+			return nil, err
+		}
+		r.tm.VRTemps(r.vrTemps)
+		copy(r.sensorVRTemps, r.vrTemps)
 	}
-	r.tm.VRTemps(r.vrTemps)
-	copy(r.sensorVRTemps, r.vrTemps)
+	res := ms.Res
 
 	totalEpochs := r.cfg.durationMS()
 	if totalEpochs < 1 {
@@ -414,30 +473,11 @@ func (r *Runner) runMeasured() (*Result, error) {
 	if nEpochs < 1 {
 		nEpochs = 1
 	}
-
-	var (
-		measuredTime    float64
-		emergencyTime   float64
-		plossIntegral   float64
-		chipPowerInt    float64
-		etaWeighted     float64
-		etaWeight       float64
-		worstNoise      = -1.0
-		sampledWorst    = -1.0
-		measuredSteps   int
-		measuredEpochs  int
-		heatMapDeadline = -1 // epoch index whose end should capture the map
-	)
 	// The paper's VoltSpot methodology: 200 equally distant noise samples
 	// across the measured run.
 	sampleEvery := ((nEpochs - r.cfg.WarmupEpochs) * r.stepsPerEpoch) / 200
 	if sampleEvery < 1 {
 		sampleEvery = 1
-	}
-	var dvfsVddSum []float64
-	var dvfsPerfSum float64
-	if r.vf != nil {
-		dvfsVddSum = make([]float64, floorplan.NumCores)
 	}
 	avgActivity := make([]float64, len(r.chip.Blocks))
 	avgBlockPower := make([]float64, len(r.chip.Blocks))
@@ -447,7 +487,10 @@ func (r *Runner) runMeasured() (*Result, error) {
 	epochDomEmerg := make([]bool, len(r.chip.Domains))
 
 	r.ins.syncBaselines(r)
-	for e := 0; e < nEpochs; e++ {
+	for e := startEpoch; e < nEpochs; e++ {
+		if r.flt != nil {
+			r.advanceFaults(e, res)
+		}
 		// The per-epoch span tree: one fresh root per epoch whose children
 		// are the six phases of PhaseNames; End() merges it into the
 		// registry's cumulative tree. All span calls no-op on nil.
@@ -457,6 +500,9 @@ func (r *Runner) runMeasured() (*Result, error) {
 		phase.End()
 		if err != nil {
 			return nil, err
+		}
+		if r.flt != nil {
+			r.applyActivityFaults(frames, res)
 		}
 		measuring := e >= r.cfg.WarmupEpochs
 
@@ -518,11 +564,18 @@ func (r *Runner) runMeasured() (*Result, error) {
 		if invariant.Enabled {
 			r.sanitizeDecision(dec)
 		}
+		if r.flt != nil {
+			r.resolveDecisionFaults(dec, avgDomainCur, measuring, res)
+		}
 		epochOverrides := 0
 		for _, dd := range dec.Domains {
 			if dd.EmergencyOverride {
 				res.EmergencyOverrides++
 				epochOverrides++
+			}
+			if dd.ThermalOverride {
+				res.ThermalOverrides++
+				r.ins.thermalOverrides.Inc()
 			}
 		}
 
@@ -556,6 +609,15 @@ func (r *Runner) runMeasured() (*Result, error) {
 			var substepPloss float64
 			for d := range r.chip.Domains {
 				dd := &dec.Domains[d]
+				if r.flt != nil && r.fltDomDirty[d] {
+					lossW, pout, eta := r.applyDomainFaulted(d, dd, measuring, res, epochVRLoss)
+					substepPloss += lossW
+					if measuring && pout > 0 && eta > 0 {
+						ms.EtaWeighted += eta * pout * r.substepS
+						ms.EtaWeight += pout * r.substepS
+					}
+					continue
+				}
 				count := dd.Count
 				if r.cfg.Policy != core.OffChip {
 					mLegal, overload := r.legalCount(d, r.domainCurrent[d])
@@ -586,8 +648,8 @@ func (r *Runner) runMeasured() (*Result, error) {
 					pout := r.domainCurrent[d] * power.Vdd
 					eta := r.nets[d].EtaAt(r.domainCurrent[d], count)
 					if measuring && pout > 0 && eta > 0 {
-						etaWeighted += eta * pout * r.substepS
-						etaWeight += pout * r.substepS
+						ms.EtaWeighted += eta * pout * r.substepS
+						ms.EtaWeight += pout * r.substepS
 					}
 				}
 			}
@@ -597,7 +659,12 @@ func (r *Runner) runMeasured() (*Result, error) {
 			if err := r.tm.SetPower(r.blockPower, r.vrPower); err != nil {
 				return nil, err
 			}
-			if err := r.tm.Step(r.substepS); err != nil {
+			retries, err := r.wd.Step(r.substepS)
+			if retries > 0 {
+				res.WatchdogRetries += retries
+				r.ins.watchdogRetries.Add(float64(retries))
+			}
+			if err != nil {
 				return nil, err
 			}
 			phase.End()
@@ -626,12 +693,12 @@ func (r *Runner) runMeasured() (*Result, error) {
 				// Thermal-state sampling (MaxTemp/Gradient scan the RC
 				// network) accounts to the thermal phase.
 				phase = epSpan.StartChild("thermal")
-				measuredTime += r.substepS
-				plossIntegral += substepPloss * r.substepS
-				chipPowerInt += chipPower * r.substepS
+				ms.MeasuredTime += r.substepS
+				ms.PlossIntegral += substepPloss * r.substepS
+				ms.ChipPowerInt += chipPower * r.substepS
 				if t, at := r.tm.MaxTemp(); t > res.MaxTempC {
 					res.MaxTempC, res.MaxTempAt = t, at
-					heatMapDeadline = e
+					ms.HeatMapDeadline = e
 				}
 				if g := r.tm.Gradient(); g > res.MaxGradientC {
 					res.MaxGradientC = g
@@ -649,6 +716,16 @@ func (r *Runner) runMeasured() (*Result, error) {
 				var substepNoise float64
 				for d := range r.chip.Domains {
 					mask := r.masks[d]
+					if r.flt != nil && r.fltAvailN[d] == 0 {
+						// Dead domain (every regulator stuck off): there is
+						// no active regulator to solve the grid against; the
+						// blocks are browned out, which counts as a standing
+						// emergency. The demand violation was recorded when
+						// the decision was applied.
+						substepEmergency = true
+						epochDomEmerg[d] = true
+						continue
+					}
 					r.pdnSteadySolves++
 					dn, err := r.grid.SteadyNoise(d, r.blockCurrent, mask)
 					if err != nil {
@@ -683,28 +760,28 @@ func (r *Runner) runMeasured() (*Result, error) {
 					if noise > substepNoise {
 						substepNoise = noise
 					}
-					if measuring && noise > worstNoise {
-						worstNoise = noise
+					if measuring && noise > ms.WorstNoise {
+						ms.WorstNoise = noise
 						res.WorstNoise = r.snapshotWorstNoise(d, dn, f, frames)
 					}
 				}
 				if measuring {
-					if measuredSteps%sampleEvery == 0 && substepNoise > sampledWorst {
-						sampledWorst = substepNoise
+					if ms.MeasuredSteps%sampleEvery == 0 && substepNoise > ms.SampledWorst {
+						ms.SampledWorst = substepNoise
 					}
 					if substepEmergency {
-						emergencyTime += r.substepS
+						ms.EmergencyTime += r.substepS
 					} else if burstDwell > 0 {
 						if burstDwell > r.substepS {
 							burstDwell = r.substepS
 						}
-						emergencyTime += burstDwell
+						ms.EmergencyTime += burstDwell
 					}
 				}
 				phase.End()
 			}
 			if measuring {
-				measuredSteps++
+				ms.MeasuredSteps++
 			}
 
 			// Regulator temperature trace (Fig. 8).
@@ -732,6 +809,20 @@ func (r *Runner) runMeasured() (*Result, error) {
 				if r.cfg.SensorNoiseC > 0 {
 					for i := range r.sensorVRTemps {
 						r.sensorVRTemps[i] += r.cfg.SensorNoiseC * r.rng.Norm()
+					}
+				}
+				// Injected sensor faults apply on top of the parametric
+				// noise: stuck-at, multiplicative noise, quantization, and
+				// dropouts replaced by last-good / neighbor-median values.
+				if r.flt != nil {
+					fb, ferr := r.flt.ApplySensors(r.sensorVRTemps)
+					if ferr != nil {
+						phase.End()
+						return nil, ferr
+					}
+					if fb > 0 {
+						res.SensorFallbacks += fb
+						r.ins.sensorFallbacks.Add(float64(fb))
 					}
 				}
 				phase.End()
@@ -768,13 +859,13 @@ func (r *Runner) runMeasured() (*Result, error) {
 		copy(r.perVRLoss, epochVRLoss)
 
 		if measuring {
-			measuredEpochs++
+			ms.MeasuredEpochs++
 			if r.vf != nil {
 				cfgVF := r.vf.Config()
 				for c := 0; c < floorplan.NumCores; c++ {
 					p := r.vf.Point(c)
-					dvfsVddSum[c] += p.VddV
-					dvfsPerfSum += cfgVF.PerformanceScale(p)
+					ms.DvfsVddSum[c] += p.VddV
+					ms.DvfsPerfSum += cfgVF.PerformanceScale(p)
 				}
 			}
 			if r.cfg.TraceEpochs {
@@ -794,7 +885,7 @@ func (r *Runner) runMeasured() (*Result, error) {
 					Eta:         0, // filled in aggregate below
 				})
 			}
-			if r.cfg.HeatMapRes > 0 && heatMapDeadline == e {
+			if r.cfg.HeatMapRes > 0 && ms.HeatMapDeadline == e {
 				hm, err := r.tm.HeatMap(r.cfg.HeatMapRes, r.cfg.HeatMapRes)
 				if err != nil {
 					return nil, err
@@ -825,28 +916,39 @@ func (r *Runner) runMeasured() (*Result, error) {
 				return nil, fmt.Errorf("sim: telemetry sink: %w", err)
 			}
 		}
+
+		// Periodic checkpoint: snapshot after the epoch's telemetry so the
+		// resumed run re-emits exactly the remaining records. A sink error
+		// aborts the run — it is also the hook the kill-and-resume tests
+		// use to interrupt deterministically.
+		if r.cfg.Checkpoint.EveryEpochs > 0 && (e+1)%r.cfg.Checkpoint.EveryEpochs == 0 {
+			r.ins.checkpoints.Inc()
+			if err := r.cfg.Checkpoint.Sink(r.snapshot(e, usim, ms)); err != nil {
+				return nil, fmt.Errorf("sim: checkpoint sink: %w", err)
+			}
+		}
 	}
 
-	if measuredEpochs == 0 {
+	if ms.MeasuredEpochs == 0 {
 		return nil, errors.New("sim: run shorter than the warm-up window")
 	}
-	res.Epochs = measuredEpochs
+	res.Epochs = ms.MeasuredEpochs
 	for i := range res.VROnFrac {
-		res.VROnFrac[i] /= float64(measuredEpochs)
+		res.VROnFrac[i] /= float64(ms.MeasuredEpochs)
 	}
-	if measuredTime > 0 {
-		res.AvgPlossW = plossIntegral / measuredTime
-		res.AvgChipPowerW = chipPowerInt / measuredTime
-		res.EmergencyFrac = emergencyTime / measuredTime
+	if ms.MeasuredTime > 0 {
+		res.AvgPlossW = ms.PlossIntegral / ms.MeasuredTime
+		res.AvgChipPowerW = ms.ChipPowerInt / ms.MeasuredTime
+		res.EmergencyFrac = ms.EmergencyTime / ms.MeasuredTime
 	}
-	if etaWeight > 0 {
-		res.AvgEta = etaWeighted / etaWeight
+	if ms.EtaWeight > 0 {
+		res.AvgEta = ms.EtaWeighted / ms.EtaWeight
 	}
-	if worstNoise >= 0 {
-		res.MaxNoisePct = worstNoise
+	if ms.WorstNoise >= 0 {
+		res.MaxNoisePct = ms.WorstNoise
 	}
-	if sampledWorst >= 0 {
-		res.SampledMaxNoisePct = sampledWorst
+	if ms.SampledWorst >= 0 {
+		res.SampledMaxNoisePct = ms.SampledWorst
 	}
 	if r.wear != nil {
 		res.MTTFYears = r.wear.MTTFYears()
@@ -857,9 +959,9 @@ func (r *Runner) runMeasured() (*Result, error) {
 	if r.vf != nil {
 		res.DVFSAvgVddV = make([]float64, floorplan.NumCores)
 		for c := range res.DVFSAvgVddV {
-			res.DVFSAvgVddV[c] = dvfsVddSum[c] / float64(measuredEpochs)
+			res.DVFSAvgVddV[c] = ms.DvfsVddSum[c] / float64(ms.MeasuredEpochs)
 		}
-		res.DVFSAvgPerf = dvfsPerfSum / float64(measuredEpochs*floorplan.NumCores)
+		res.DVFSAvgPerf = ms.DvfsPerfSum / float64(ms.MeasuredEpochs*floorplan.NumCores)
 	}
 	for i := range res.Trace {
 		res.Trace[i].Eta = res.AvgEta
@@ -938,6 +1040,10 @@ func (r *Runner) initThermal() error {
 	if err := r.tm.SetPower(bp, vp); err != nil {
 		return err
 	}
-	_, err = r.tm.SteadyState(1e-4, 0)
+	if _, err = r.tm.SteadyState(1e-4, 0); err != nil {
+		// One bounded retry with a quadrupled iteration budget before the
+		// non-convergence is surfaced to the caller.
+		_, err = r.tm.SteadyState(1e-4, 80000)
+	}
 	return err
 }

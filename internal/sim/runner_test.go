@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"thermogater/internal/core"
+	"thermogater/internal/fault"
 	"thermogater/internal/pdn"
 	"thermogater/internal/workload"
 )
@@ -51,6 +52,36 @@ func TestConfigValidate(t *testing.T) {
 		func(c *Config) { c.Thermal.SinkResKPerW = 0 },
 		func(c *Config) { c.PDN.R0Ohm = 0 },
 		func(c *Config) { c.Governor.WMAWindow = 0 },
+		// NaN and Inf must be rejected everywhere a positive/bounded float
+		// is expected: NaN fails every ordered comparison, so naive
+		// `v <= 0` guards silently accept it and poison the whole run.
+		func(c *Config) { c.EpochMS = math.NaN() },
+		func(c *Config) { c.EpochMS = math.Inf(1) },
+		func(c *Config) { c.SubstepMS = math.NaN() },
+		func(c *Config) { c.SensorNoiseC = math.NaN() },
+		func(c *Config) { c.SensorNoiseC = math.Inf(1) },
+		func(c *Config) { c.SensorNoiseC = -0.1 },
+		func(c *Config) { c.Thermal.SinkResKPerW = math.NaN() },
+		func(c *Config) { c.Thermal.SinkResKPerW = math.Inf(1) },
+		func(c *Config) { c.Thermal.AmbientC = math.NaN() },
+		func(c *Config) { c.Thermal.MaxJunctionC = math.Inf(1) },
+		func(c *Config) { c.PDN.R0Ohm = math.NaN() },
+		func(c *Config) { c.PDN.R0Ohm = math.Inf(1) },
+		func(c *Config) { c.PDN.RippleSigma = math.NaN() },
+		func(c *Config) { c.PDN.VddV = math.NaN() },
+		func(c *Config) { c.Governor.EpochMS = math.NaN() },
+		func(c *Config) { c.Governor.TrendGain = math.NaN() },
+		func(c *Config) { c.Governor.EmergencyAccuracy = math.NaN() },
+		func(c *Config) { c.Governor.ThermalEmergencyC = math.NaN() },
+		func(c *Config) { c.Governor.ThermalEmergencyC = math.Inf(1) },
+		func(c *Config) { c.Checkpoint.EveryEpochs = -1 },
+		func(c *Config) { c.Checkpoint = CheckpointConfig{EveryEpochs: 5} }, // period without a sink
+		func(c *Config) {
+			c.Faults = &fault.Schedule{Events: []fault.Event{{Kind: fault.VRStuckOff, Epoch: -1}}}
+		},
+		func(c *Config) {
+			c.Faults = &fault.Schedule{Events: []fault.Event{{Kind: fault.SensorNoise, Unit: 0, Value: math.NaN()}}}
+		},
 	}
 	for i, mut := range muts {
 		c := DefaultConfig(core.AllOn, p)

@@ -91,44 +91,73 @@ func (r *Runner) sanitizeSubstep() {
 		return
 	}
 
-	// Gating legality and conversion-loss conservation, per domain.
+	// Gating legality and conversion-loss conservation, per domain. With an
+	// armed fault injector the legality vocabulary widens (a stuck-on unit
+	// legally carries current while "gated", a derated unit has a reduced
+	// per-phase limit) but only for the units the schedule actually touched:
+	// healthy runs — and healthy units within faulted runs — stay fully
+	// strict. See docs/INVARIANTS.md for the fault-class exemption table.
 	for d := range r.chip.Domains {
 		dom := &r.chip.Domains[d]
 		mask := r.masks[d]
 		n := r.nets[d].Size()
+		dirty := r.flt != nil && r.fltDomDirty[d]
 		count := 0
 		var lossSum, curSum float64
 		for li, on := range mask {
 			rid := dom.Regulators[li]
+			class := r.faultClass(rid)
 			if on {
+				if class == invariant.VRStuckOff {
+					invariant.Reportf("vr-gating", rid,
+						"domain %s: stuck-off regulator was activated", dom.Name)
+				}
 				count++
 				lossSum += r.vrPower[rid]
 				curSum += r.vrCurrent[rid]
-				//lint:ignore floatcheck a gated regulator is zeroed exactly, not approximately
-			} else if r.vrPower[rid] != 0 || r.vrCurrent[rid] != 0 {
-				invariant.Reportf("vr-gating", rid,
-					"domain %s: gated regulator carries %v A and dissipates %v W",
-					dom.Name, r.vrCurrent[rid], r.vrPower[rid])
+				//lint:ignore floatcheck a gated healthy regulator is zeroed exactly; the cheap pre-test keeps the hot path allocation-free
+			} else if class != invariant.VRHealthy || r.vrPower[rid] != 0 || r.vrCurrent[rid] != 0 {
+				invariant.CheckGatedVR("domain "+dom.Name, rid, r.vrCurrent[rid], r.vrPower[rid], class)
 			}
 		}
-		invariant.CheckCount("applied phase count", count, 1, n)
+		lo := 1
+		if dirty && r.fltAvailN[d] == 0 {
+			lo = 0
+		}
+		invariant.CheckCount("applied phase count", count, lo, n)
 		if count < 1 {
 			continue
 		}
 		iout := r.domainCurrent[d]
-		// Per-phase current limit, unless the whole network is overloaded
-		// (count == n): legalisation can only raise count to n.
-		share := iout / float64(count)
-		if imax := r.nets[d].Design().IMax; count < n && share > imax*(1+invariant.RelTol) {
-			invariant.Reportf("vr-gating", d,
-				"domain %s: per-phase share %v A exceeds IMax %v A with %d of %d phases on",
-				dom.Name, share, imax, count, n)
+		// Per-phase current limit, unless the network is at capacity: with
+		// every usable phase already on, legalisation has nothing left to
+		// raise. The derated fraction tightens the limit for faulted domains.
+		derate := 1.0
+		atCapacity := count == n
+		if dirty {
+			derate = r.fltMinFrac[d]
+			atCapacity = atCapacity || count >= r.fltAvailN[d]
 		}
+		share := iout / float64(count)
+		invariant.CheckPhaseShare("domain "+dom.Name, d, share, r.nets[d].Design().IMax, derate, atCapacity)
 		// Energy conservation, part 2: the per-VR losses injected into the
 		// thermal model (count repeated additions of PerVRLoss) must agree
 		// with the composite-curve total PlossAt — algebraically identical,
-		// differently associated formulas.
-		invariant.CheckBalance("domain conversion loss", lossSum, r.nets[d].PlossAt(iout, count))
+		// differently associated formulas. Faulted domains scale each unit's
+		// loss by its derating multiplier, so the expectation is rebuilt the
+		// same way, associated in reverse.
+		if dirty {
+			perVR := r.nets[d].PerVRLoss(iout, count)
+			var expected float64
+			for li := len(mask) - 1; li >= 0; li-- {
+				if mask[li] {
+					expected += perVR * r.flt.LossMult(dom.Regulators[li])
+				}
+			}
+			invariant.CheckBalance("domain conversion loss", lossSum, expected)
+		} else {
+			invariant.CheckBalance("domain conversion loss", lossSum, r.nets[d].PlossAt(iout, count))
+		}
 		// And the shared currents must re-sum to the domain demand.
 		invariant.CheckBalance("domain shared current", curSum, iout)
 	}

@@ -25,36 +25,50 @@ var PhaseNames = []string{"uarch", "power", "governor", "vr", "thermal", "pdn"}
 type instruments struct {
 	reg *telemetry.Registry
 
-	epochs         *telemetry.Counter
-	substeps       *telemetry.Counter
-	thermalSub     *telemetry.Counter
-	pdnSteady      *telemetry.Counter
-	pdnTransient   *telemetry.Counter
-	overrides      *telemetry.Counter
-	epochWallMS    *telemetry.Histogram
-	maxTempC       *telemetry.Gauge
-	avgEta         *telemetry.Gauge
-	emergencyFrac  *telemetry.Gauge
-	prevThermalSub int64
-	prevPDNSteady  int64
-	prevPDNTrans   int64
+	epochs           *telemetry.Counter
+	substeps         *telemetry.Counter
+	thermalSub       *telemetry.Counter
+	pdnSteady        *telemetry.Counter
+	pdnTransient     *telemetry.Counter
+	overrides        *telemetry.Counter
+	faultFired       *telemetry.Counter
+	faultCleared     *telemetry.Counter
+	sensorFallbacks  *telemetry.Counter
+	traceGaps        *telemetry.Counter
+	thermalOverrides *telemetry.Counter
+	watchdogRetries  *telemetry.Counter
+	checkpoints      *telemetry.Counter
+	epochWallMS      *telemetry.Histogram
+	maxTempC         *telemetry.Gauge
+	avgEta           *telemetry.Gauge
+	emergencyFrac    *telemetry.Gauge
+	prevThermalSub   int64
+	prevPDNSteady    int64
+	prevPDNTrans     int64
 }
 
 // newInstruments registers the runner's metrics. Safe on a nil registry:
 // the returned instruments carry nil handles throughout.
 func newInstruments(reg *telemetry.Registry) *instruments {
 	return &instruments{
-		reg:           reg,
-		epochs:        reg.Counter("sim_epochs_total"),
-		substeps:      reg.Counter("sim_substeps_total"),
-		thermalSub:    reg.Counter("thermal_euler_substeps_total"),
-		pdnSteady:     reg.Counter("pdn_solves_total", telemetry.L("kind", "steady")),
-		pdnTransient:  reg.Counter("pdn_solves_total", telemetry.L("kind", "transient")),
-		overrides:     reg.Counter("governor_emergency_overrides_total"),
-		epochWallMS:   reg.Histogram("epoch_wall_ms", []float64{0.5, 1, 2, 5, 10, 25, 50, 100}),
-		maxTempC:      reg.Gauge("run_max_temp_c"),
-		avgEta:        reg.Gauge("run_avg_eta"),
-		emergencyFrac: reg.Gauge("run_emergency_frac"),
+		reg:              reg,
+		epochs:           reg.Counter("sim_epochs_total"),
+		substeps:         reg.Counter("sim_substeps_total"),
+		thermalSub:       reg.Counter("thermal_euler_substeps_total"),
+		pdnSteady:        reg.Counter("pdn_solves_total", telemetry.L("kind", "steady")),
+		pdnTransient:     reg.Counter("pdn_solves_total", telemetry.L("kind", "transient")),
+		overrides:        reg.Counter("governor_emergency_overrides_total"),
+		faultFired:       reg.Counter("fault_events_total", telemetry.L("kind", "fired")),
+		faultCleared:     reg.Counter("fault_events_total", telemetry.L("kind", "cleared")),
+		sensorFallbacks:  reg.Counter("sensor_fallbacks_total"),
+		traceGaps:        reg.Counter("trace_gap_frames_total"),
+		thermalOverrides: reg.Counter("governor_thermal_overrides_total"),
+		watchdogRetries:  reg.Counter("thermal_watchdog_retries_total"),
+		checkpoints:      reg.Counter("checkpoints_written_total"),
+		epochWallMS:      reg.Histogram("epoch_wall_ms", []float64{0.5, 1, 2, 5, 10, 25, 50, 100}),
+		maxTempC:         reg.Gauge("run_max_temp_c"),
+		avgEta:           reg.Gauge("run_avg_eta"),
+		emergencyFrac:    reg.Gauge("run_emergency_frac"),
 	}
 }
 

@@ -205,3 +205,30 @@ func (w *WMA) Reset() {
 	w.filled = 0
 	w.next = 0
 }
+
+// WMAState is a forecaster snapshot for checkpointing.
+type WMAState struct {
+	Window []float64
+	Filled int
+	Next   int
+}
+
+// State snapshots the forecaster.
+func (w *WMA) State() WMAState {
+	return WMAState{Window: append([]float64(nil), w.window...), Filled: w.filled, Next: w.next}
+}
+
+// Restore loads a snapshot taken by State on a forecaster of the same
+// window size.
+func (w *WMA) Restore(s WMAState) error {
+	if len(s.Window) != len(w.window) {
+		return errors.New("stats: WMA state window size mismatch")
+	}
+	if s.Filled < 0 || s.Filled > len(w.window) || s.Next < 0 || s.Next >= len(w.window) {
+		return errors.New("stats: WMA state indices out of range")
+	}
+	copy(w.window, s.Window)
+	w.filled = s.Filled
+	w.next = s.Next
+	return nil
+}

@@ -12,6 +12,8 @@
 // gating decision period, which is exactly the regime Fig. 8 shows.
 package thermal
 
+import "math"
+
 // Config collects the physical constants of the package model. All lengths
 // are millimetres, conductances W/K, capacitances J/K, temperatures °C.
 type Config struct {
@@ -112,14 +114,23 @@ func (c Config) Validate() error {
 		{"MaxEulerStepS", c.MaxEulerStepS},
 	}
 	for _, p := range pos {
-		if p.v <= 0 {
+		// !(v > 0) rather than v <= 0 so NaN — every comparison false —
+		// is rejected instead of slipping into the solver.
+		if !(p.v > 0) || math.IsInf(p.v, 1) {
 			return &ConfigError{Field: p.name, Value: p.v}
 		}
+	}
+	if math.IsNaN(c.AmbientC) || math.IsInf(c.AmbientC, 0) {
+		return &ConfigError{Field: "AmbientC", Value: c.AmbientC}
+	}
+	if math.IsNaN(c.MaxJunctionC) || math.IsInf(c.MaxJunctionC, 0) {
+		return &ConfigError{Field: "MaxJunctionC", Value: c.MaxJunctionC}
 	}
 	return nil
 }
 
-// ConfigError reports a non-positive physical constant.
+// ConfigError reports a physical constant that is not positive and finite
+// (or, for the temperature fields, not finite).
 type ConfigError struct {
 	Field string
 	Value float64
@@ -127,5 +138,5 @@ type ConfigError struct {
 
 // Error implements the error interface.
 func (e *ConfigError) Error() string {
-	return "thermal: config field " + e.Field + " must be positive"
+	return "thermal: config field " + e.Field + " must be finite (and positive where physical)"
 }

@@ -172,11 +172,27 @@ func (m *Model) SetPower(blockPower, vrPower []float64) error {
 // Step advances the transient solution by dtS seconds using explicit Euler
 // with internal substepping chosen for stability.
 func (m *Model) Step(dtS float64) error {
+	if err := m.stepCapped(dtS, m.cfg.MaxEulerStepS); err != nil {
+		return err
+	}
+	if invariant.Enabled {
+		invariant.CheckTempBounds("thermal.Model.temp", m.temp, m.cfg.AmbientC, math.Inf(1))
+	}
+	return nil
+}
+
+// stepCapped is Step with an explicit substep cap and without the post-step
+// invariant sweep, so the watchdog can retry a diverged attempt at a reduced
+// cap before the sanitizer sees (and panics on) the transient garbage.
+func (m *Model) stepCapped(dtS, capS float64) error {
 	if dtS <= 0 {
 		return fmt.Errorf("thermal: non-positive step %v", dtS)
 	}
-	// Stability: substep ≤ min(MaxEulerStep, 0.5/maxRate).
-	sub := math.Min(m.cfg.MaxEulerStepS, 0.5/m.maxRate)
+	if !(capS > 0) {
+		return fmt.Errorf("thermal: non-positive substep cap %v", capS)
+	}
+	// Stability: substep ≤ min(cap, 0.5/maxRate).
+	sub := math.Min(capS, 0.5/m.maxRate)
 	steps := int(math.Ceil(dtS / sub))
 	h := dtS / float64(steps)
 	m.substeps += int64(steps)
@@ -203,9 +219,48 @@ func (m *Model) Step(dtS float64) error {
 			m.temp[i] += delta[i]
 		}
 	}
-	if invariant.Enabled {
-		invariant.CheckTempBounds("thermal.Model.temp", m.temp, m.cfg.AmbientC, math.Inf(1))
+	return nil
+}
+
+// State is a deep snapshot of the model's mutable fields; see
+// Model.State/Restore and the checkpoint format in docs/ROBUSTNESS.md.
+type State struct {
+	Temp     []float64
+	Power    []float64
+	Substeps int64
+}
+
+// State captures the temperature field, installed power map and the
+// cumulative substep counter. The returned value shares nothing with the
+// model.
+func (m *Model) State() *State {
+	return &State{
+		Temp:     append([]float64(nil), m.temp...),
+		Power:    append([]float64(nil), m.power...),
+		Substeps: m.substeps,
 	}
+}
+
+// Restore loads a snapshot previously taken by State. The model must have
+// been built for the same chip; shape mismatches are rejected.
+func (m *Model) Restore(s *State) error {
+	if s == nil {
+		return errors.New("thermal: nil state")
+	}
+	if len(s.Temp) != m.nNodes || len(s.Power) != m.nNodes {
+		return fmt.Errorf("thermal: state sized for %d nodes, model has %d", len(s.Temp), m.nNodes)
+	}
+	if s.Substeps < 0 {
+		return errors.New("thermal: negative substep counter")
+	}
+	for i, t := range s.Temp {
+		if math.IsNaN(t) || math.IsInf(t, 0) {
+			return fmt.Errorf("thermal: state temperature %d = %v not finite", i, t)
+		}
+	}
+	copy(m.temp, s.Temp)
+	copy(m.power, s.Power)
+	m.substeps = s.Substeps
 	return nil
 }
 

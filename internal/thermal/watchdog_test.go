@@ -1,0 +1,128 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"thermogater/internal/floorplan"
+)
+
+func watchdogModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := NewModel(floorplan.MustPOWER8(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestWatchdogHealthyPath pins that a well-posed step consumes zero
+// retries and matches a plain Model.Step bit-for-bit.
+func TestWatchdogHealthyPath(t *testing.T) {
+	a, b := watchdogModel(t), watchdogModel(t)
+	bp := make([]float64, len(a.Chip().Blocks))
+	vp := make([]float64, len(a.Chip().Regulators))
+	for i := range bp {
+		bp[i] = 2.0
+	}
+	if err := a.SetPower(bp, vp); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetPower(bp, vp); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWatchdog(a)
+	for s := 0; s < 20; s++ {
+		retries, err := w.Step(1e-4)
+		if err != nil {
+			t.Fatalf("step %d: %v", s, err)
+		}
+		if retries != 0 {
+			t.Fatalf("step %d: healthy step used %d retries", s, retries)
+		}
+		if err := b.Step(1e-4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range a.temp {
+		//lint:ignore floatcheck the watchdog's accepted path must be the identical float sequence
+		if a.temp[i] != b.temp[i] {
+			t.Fatalf("node %d: watchdog %v != plain %v", i, a.temp[i], b.temp[i])
+		}
+	}
+}
+
+// TestWatchdogRollsBackOnDivergence injects a pathological power map (an
+// enormous heat spike) and checks the watchdog exhausts its retries,
+// returns an error, and leaves the pre-step temperatures intact.
+func TestWatchdogRollsBackOnDivergence(t *testing.T) {
+	m := watchdogModel(t)
+	bp := make([]float64, len(m.Chip().Blocks))
+	vp := make([]float64, len(m.Chip().Regulators))
+	bp[0] = 1e12 // megawatt-scale spike: diverges past any junction limit
+	if err := m.SetPower(bp, vp); err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float64(nil), m.temp...)
+	w := NewWatchdog(m)
+	retries, err := w.Step(1e-4)
+	if err == nil {
+		t.Fatal("watchdog accepted a divergent step")
+	}
+	if retries != DefaultMaxRetries {
+		t.Errorf("retries = %d, want %d", retries, DefaultMaxRetries)
+	}
+	for i := range m.temp {
+		//lint:ignore floatcheck rollback must restore the exact pre-step field
+		if m.temp[i] != before[i] {
+			t.Fatalf("node %d not rolled back: %v != %v", i, m.temp[i], before[i])
+		}
+	}
+}
+
+// TestModelStateRoundTrip pins that Restore reproduces the captured field
+// and rejects shape mismatches and non-finite temperatures.
+func TestModelStateRoundTrip(t *testing.T) {
+	m := watchdogModel(t)
+	bp := make([]float64, len(m.Chip().Blocks))
+	vp := make([]float64, len(m.Chip().Regulators))
+	for i := range bp {
+		bp[i] = 1.5
+	}
+	if err := m.SetPower(bp, vp); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Step(5e-4); err != nil {
+		t.Fatal(err)
+	}
+	st := m.State()
+
+	// Diverge the model, then restore and compare the full field.
+	if err := m.Step(5e-3); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.temp {
+		//lint:ignore floatcheck restore must be exact
+		if m.temp[i] != st.Temp[i] {
+			t.Fatalf("node %d: %v != %v", i, m.temp[i], st.Temp[i])
+		}
+	}
+	if m.Substeps() != st.Substeps {
+		t.Errorf("substeps %d != %d", m.Substeps(), st.Substeps)
+	}
+
+	if err := m.Restore(nil); err == nil {
+		t.Error("nil state accepted")
+	}
+	if err := m.Restore(&State{Temp: []float64{1}, Power: []float64{1}}); err == nil {
+		t.Error("short state accepted")
+	}
+	bad := m.State()
+	bad.Temp[0] = math.NaN()
+	if err := m.Restore(bad); err == nil {
+		t.Error("NaN temperature accepted")
+	}
+}

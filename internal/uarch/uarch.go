@@ -190,6 +190,53 @@ func (s *Simulator) Done() bool {
 	return true
 }
 
+// State is the simulator's mutable state for checkpointing; the chip,
+// profiles and cached indices are configuration and are rebuilt.
+type State struct {
+	TimeMS   float64
+	Noise    []float64
+	InStorm  []bool
+	CoreRNG  []uint64
+	BurstRNG uint64
+}
+
+// State snapshots the simulator.
+func (s *Simulator) State() *State {
+	st := &State{
+		TimeMS:   s.time,
+		Noise:    append([]float64(nil), s.noise...),
+		InStorm:  append([]bool(nil), s.inStorm...),
+		CoreRNG:  make([]uint64, len(s.coreRNG)),
+		BurstRNG: s.burstRNG.State(),
+	}
+	for i, r := range s.coreRNG {
+		st.CoreRNG[i] = r.State()
+	}
+	return st
+}
+
+// Restore loads a snapshot taken by State on a simulator built from the
+// same chip, profiles and seed.
+func (s *Simulator) Restore(st *State) error {
+	if st == nil {
+		return errors.New("uarch: nil state")
+	}
+	if len(st.Noise) != s.threads || len(st.InStorm) != s.threads || len(st.CoreRNG) != s.threads {
+		return fmt.Errorf("uarch: state covers %d threads, simulator has %d", len(st.Noise), s.threads)
+	}
+	if st.TimeMS < 0 || math.IsNaN(st.TimeMS) || math.IsInf(st.TimeMS, 0) {
+		return fmt.Errorf("uarch: state time %v invalid", st.TimeMS)
+	}
+	s.time = st.TimeMS
+	copy(s.noise, st.Noise)
+	copy(s.inStorm, st.InStorm)
+	for i := range s.coreRNG {
+		s.coreRNG[i].SetState(st.CoreRNG[i])
+	}
+	s.burstRNG.SetState(st.BurstRNG)
+	return nil
+}
+
 // clamp01 saturates an activity factor into [0, 1].
 func clamp01(x float64) float64 {
 	if x < 0 {

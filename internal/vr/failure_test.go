@@ -1,0 +1,118 @@
+package vr
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestNOnAvailable pins the degraded re-solve: with survivors the count
+// stays within the surviving subset and demand spills to them; with none,
+// the network reports zero capacity.
+func TestNOnAvailable(t *testing.T) {
+	nw, err := NewNetwork(FIVR(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := nw.Design()
+
+	// Healthy network: NOnAvailable(n) must agree with NOn exactly.
+	for _, iout := range []float64{0, 0.5, 2, 5, 8, 12} {
+		count, over := nw.NOnAvailable(iout, nw.Size())
+		if count != nw.NOn(iout) {
+			t.Errorf("NOnAvailable(%v, all) = %d, NOn = %d", iout, count, nw.NOn(iout))
+		}
+		if over != !nw.Legal(iout, count) {
+			t.Errorf("NOnAvailable(%v, all) overload flag %v inconsistent with Legal", iout, over)
+		}
+	}
+
+	// Demand that needs 4 healthy regulators, solved over 2 survivors:
+	// the count is capped at the survivors and the overload flag trips
+	// exactly when their combined IMax cannot carry the load.
+	iout := 3.5 * d.IPeak
+	count, over := nw.NOnAvailable(iout, 2)
+	if count < 1 || count > 2 {
+		t.Fatalf("count %d outside surviving [1, 2]", count)
+	}
+	if wantOver := 2*d.IMax < iout; over != wantOver {
+		t.Errorf("overload = %v, want %v (2·IMax=%v vs iout=%v)", over, wantOver, 2*d.IMax, iout)
+	}
+
+	// No survivors.
+	if count, over := nw.NOnAvailable(1.0, 0); count != 0 || !over {
+		t.Errorf("no survivors: count=%d over=%v, want 0, true", count, over)
+	}
+	if count, over := nw.NOnAvailable(0, 0); count != 0 || over {
+		t.Errorf("no survivors, no demand: count=%d over=%v, want 0, false", count, over)
+	}
+
+	// available beyond the network size clamps.
+	if count, _ := nw.NOnAvailable(2, 99); count != nw.NOn(2) {
+		t.Error("oversized available not clamped to network size")
+	}
+}
+
+// TestAllocateExcluding pins the heterogeneous re-solve around failures.
+func TestAllocateExcluding(t *testing.T) {
+	designs := []Design{FIVR(), FIVR(), POWER8LDO()}
+	h, err := NewHeteroNetwork(designs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// nil failure set must reproduce Allocate bit-for-bit.
+	iout := 0.8 * h.MaxCurrent()
+	base, err := h.Allocate(iout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := h.AllocateExcluding(iout, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.PlossW != base.PlossW || same.Eta != base.Eta {
+		t.Errorf("AllocateExcluding(nil) diverges from Allocate: %v vs %v", same.PlossW, base.PlossW)
+	}
+
+	// Failing one component spills its share to the survivors and never
+	// activates it.
+	failed := []bool{true, false, false}
+	survivingCap := designs[1].IMax + designs[2].IMax
+	a, err := h.AllocateExcluding(0.9*survivingCap, failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Active[0] || a.ShareA[0] != 0 {
+		t.Errorf("failed component activated: active=%v share=%v", a.Active[0], a.ShareA[0])
+	}
+	var sum float64
+	for _, s := range a.ShareA {
+		sum += s
+	}
+	if math.Abs(sum-0.9*survivingCap) > 1e-9 {
+		t.Errorf("shares sum %v, want %v", sum, 0.9*survivingCap)
+	}
+
+	// Demand beyond the surviving capacity is a typed brown-out error.
+	_, err = h.AllocateExcluding(survivingCap*1.5, failed)
+	if !errors.Is(err, ErrCapacity) {
+		t.Errorf("over-capacity error = %v, want ErrCapacity", err)
+	}
+	// The same demand fits the healthy network.
+	if survivingCap*1.5 < h.MaxCurrent() {
+		if _, err := h.Allocate(survivingCap * 1.5); err != nil {
+			t.Errorf("healthy network rejected feasible demand: %v", err)
+		}
+	}
+
+	// Everything failed: any positive demand is infeasible.
+	if _, err := h.AllocateExcluding(0.1, []bool{true, true, true}); err == nil {
+		t.Error("all-failed network accepted demand")
+	}
+
+	// Mis-sized failure slice is rejected.
+	if _, err := h.AllocateExcluding(1, []bool{true}); err == nil {
+		t.Error("short failure slice accepted")
+	}
+}

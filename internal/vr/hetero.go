@@ -7,6 +7,10 @@ import (
 	"sort"
 )
 
+// ErrCapacity marks demand beyond the (surviving) network's total IMax —
+// callers report it as a brown-out rather than a programming error.
+var ErrCapacity = errors.New("vr: demand exceeds capacity")
+
 // HeteroNetwork models a distributed power delivery network whose component
 // regulators are *heterogeneous* in topology and electrical characteristics
 // (Section 3.1, after Vaisband & Friedman): e.g. a few large buck phases
@@ -68,25 +72,49 @@ type Allocation struct {
 // clamped at the per-component current limits), keeping the best. An error
 // is returned when even the full network cannot carry iout.
 func (h *HeteroNetwork) Allocate(iout float64) (*Allocation, error) {
+	return h.AllocateExcluding(iout, nil)
+}
+
+// AllocateExcluding is Allocate over the surviving subset of the network:
+// components with failed[i] set are removed from both the capacity budget
+// and the subset search, spilling their share to the survivors. The error
+// distinguishes demand beyond the surviving capacity (a reportable
+// brown-out, wrapped around ErrCapacity) from an internally infeasible
+// split. A nil failed slice means every component is in service.
+func (h *HeteroNetwork) AllocateExcluding(iout float64, failed []bool) (*Allocation, error) {
 	if iout < 0 {
 		return nil, fmt.Errorf("vr: negative demand %v", iout)
 	}
 	n := len(h.designs)
+	if failed != nil && len(failed) != n {
+		return nil, fmt.Errorf("vr: %d failure flags for %d components", len(failed), n)
+	}
+	isFailed := func(i int) bool { return failed != nil && failed[i] }
 	var capacity float64
-	for _, d := range h.designs {
-		capacity += d.IMax
+	for i, d := range h.designs {
+		if !isFailed(i) {
+			capacity += d.IMax
+		}
 	}
 	if iout > capacity+1e-12 {
-		return nil, fmt.Errorf("vr: demand %vA exceeds network capacity %vA", iout, capacity)
+		return nil, fmt.Errorf("%w: demand %vA exceeds surviving capacity %vA", ErrCapacity, iout, capacity)
 	}
 
 	best := (*Allocation)(nil)
 	for mask := 1; mask < 1<<n; mask++ {
+		excluded := false
 		var capSum float64
 		for i := 0; i < n; i++ {
 			if mask&(1<<i) != 0 {
+				if isFailed(i) {
+					excluded = true
+					break
+				}
 				capSum += h.designs[i].IMax
 			}
+		}
+		if excluded {
+			continue
 		}
 		if capSum+1e-12 < iout {
 			continue

@@ -78,14 +78,36 @@ func (nw *Network) Legal(iout float64, active int) bool {
 // regulators cannot legally carry iout, N is returned (the network is
 // overloaded and the caller may flag a demand violation via Legal).
 func (nw *Network) NOn(iout float64) int {
-	count := nw.nOn(iout)
+	count := nw.nOn(iout, nw.n)
 	if invariant.Enabled {
 		invariant.CheckCount("vr.NOn active phases", count, 1, nw.n)
 	}
 	return count
 }
 
-func (nw *Network) nOn(iout float64) int {
+// NOnAvailable is NOn restricted to a surviving subset of the network:
+// with only `available` regulators in service (the rest failed off), it
+// returns the peak-efficiency count within [1, available] and whether even
+// all survivors cannot legally carry iout (demand spilled past the
+// surviving IMax — the caller's demand-violation signal). With no
+// survivors at all it returns (0, iout > 0).
+func (nw *Network) NOnAvailable(iout float64, available int) (count int, overloaded bool) {
+	if available <= 0 {
+		return 0, iout > 0
+	}
+	if available > nw.n {
+		available = nw.n
+	}
+	count = nw.nOn(iout, available)
+	overloaded = !nw.Legal(iout, count)
+	if invariant.Enabled {
+		invariant.CheckCount("vr.NOnAvailable active phases", count, 1, available)
+	}
+	return count, overloaded
+}
+
+// nOn picks the peak-efficiency active count within [1, maxActive].
+func (nw *Network) nOn(iout float64, maxActive int) int {
 	if iout <= 0 {
 		return 1
 	}
@@ -96,8 +118,8 @@ func (nw *Network) nOn(iout float64) int {
 		if cand < 1 {
 			cand = 1
 		}
-		if cand > nw.n {
-			cand = nw.n
+		if cand > maxActive {
+			cand = maxActive
 		}
 		if !nw.Legal(iout, cand) {
 			continue
@@ -109,13 +131,13 @@ func (nw *Network) nOn(iout float64) int {
 	}
 	if best == 0 {
 		// Overloaded: turn everything on. Minimum count that is legal would
-		// not exist, so N is the best the network can do.
-		for cand := lo; cand <= nw.n; cand++ {
+		// not exist, so maxActive is the best the network can do.
+		for cand := lo; cand <= maxActive; cand++ {
 			if cand >= 1 && nw.Legal(iout, cand) {
 				return cand
 			}
 		}
-		return nw.n
+		return maxActive
 	}
 	return best
 }

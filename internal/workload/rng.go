@@ -59,3 +59,10 @@ func (r *RNG) Intn(n int) int {
 func (r *RNG) Fork(tag uint64) *RNG {
 	return NewRNG(r.Uint64() ^ (tag * 0xd1342543de82ef95))
 }
+
+// State exposes the generator's internal word for checkpointing; a
+// generator restored with SetState continues the exact same sequence.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState restores a state previously captured with State.
+func (r *RNG) SetState(s uint64) { r.state = s }
