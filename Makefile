@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test race vet fmt-check lint sanitize fuzz chaos verify bench bench-baseline
+.PHONY: build test race vet fmt-check lint lint-json sanitize fuzz chaos verify bench bench-baseline
 
 build:
 	$(GO) build ./...
@@ -20,10 +20,17 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Domain-aware static analysis: unit-suffix safety, determinism,
-# float-compare, and error-sink passes (see docs/STATIC_ANALYSIS.md).
+# Domain-aware static analysis: the seven syntactic passes plus the
+# three interprocedural tgflow passes — cross-call unit propagation,
+# NaN-taint tracking, and checkpoint field coverage (see
+# docs/STATIC_ANALYSIS.md).
 lint:
 	$(GO) run ./cmd/tglint ./...
+
+# Same findings as a JSON artifact; CI diffs this against the committed
+# zero-findings baseline in .github/tglint-baseline.json.
+lint-json:
+	$(GO) run ./cmd/tglint -json ./...
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \

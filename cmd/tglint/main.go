@@ -1,18 +1,25 @@
 // Command tglint runs the repository's domain-aware static-analysis
-// passes (unitcheck, detcheck, floatcheck, errsink — see
-// docs/STATIC_ANALYSIS.md) over go list package patterns:
+// passes — seven syntactic ones (unitcheck, detcheck, floatcheck,
+// errsink, aliascheck, goroutinecheck, invcheck) and three
+// interprocedural tgflow passes (unitflow, nanflow, statecover); see
+// docs/STATIC_ANALYSIS.md — over go list package patterns:
 //
 //	tglint ./...
 //	tglint -passes floatcheck,errsink ./internal/thermal
+//	tglint -json ./... > findings.json
 //
-// Diagnostics print as "file:line:col: [pass] message". The process
-// exits 1 when any unsuppressed diagnostic is found, 2 on usage or load
-// failure, and 0 on a clean tree, so `make verify` and CI can gate on
-// it. Configuration is read from the nearest .tglint.json (walking up
-// from the working directory) unless -config overrides it.
+// Diagnostics print as "file:line:col: [pass] message", or with -json
+// as a JSON array of {file,line,col,pass,message} objects (an empty
+// array on a clean tree) for CI artifact collection and the GitHub
+// problem matcher. The process exits 1 when any unsuppressed
+// diagnostic is found, 2 on usage or load failure, and 0 on a clean
+// tree, so `make verify` and CI can gate on it. Configuration is read
+// from the nearest .tglint.json (walking up from the working
+// directory) unless -config overrides it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -22,6 +29,16 @@ import (
 
 	"thermogater/internal/analysis"
 )
+
+// jsonDiagnostic is the -json output schema, kept in lockstep with
+// .github/tglint-problem-matcher.json.
+type jsonDiagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Pass    string `json:"pass"`
+	Message string `json:"message"`
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -34,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		configPath = fs.String("config", "", "path to .tglint.json (default: nearest ancestor of the working directory)")
 		passList   = fs.String("passes", "", "comma-separated subset of passes to run (default: all)")
 		list       = fs.Bool("list", false, "list available passes and exit")
+		jsonOut    = fs.Bool("json", false, "emit diagnostics as a JSON array instead of plain text")
 		verbose    = fs.Bool("v", false, "also print soft type-check errors")
 	)
 	fs.Usage = func() {
@@ -101,16 +119,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	diags := analysis.Run(pkgs, analyzers, cfg)
-	for _, d := range diags {
-		name := d.Pos.Filename
-		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-			name = rel
+	if *jsonOut {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				File:    relName(cwd, d.Pos.Filename),
+				Line:    d.Pos.Line,
+				Col:     d.Pos.Column,
+				Pass:    d.Pass,
+				Message: d.Message,
+			})
 		}
-		fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", name, d.Pos.Line, d.Pos.Column, d.Pass, d.Message)
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "tglint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", relName(cwd, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Pass, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "tglint: %d diagnostic(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// relName shortens a diagnostic path to be cwd-relative when possible.
+func relName(cwd, name string) string {
+	if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return name
 }

@@ -131,19 +131,23 @@ func (t *Tracker) Damage() []float64 {
 // acceleration. Regulators that never aged return +Inf.
 func (t *Tracker) MTTFYears() []float64 {
 	out := make([]float64, len(t.damage))
-	if t.time <= 0 {
+	obsHours := t.time / 3600
+	if obsHours <= 0 {
 		for i := range out {
 			out[i] = math.Inf(1)
 		}
 		return out
 	}
-	obsHours := t.time / 3600
 	for i, d := range t.damage {
 		if d <= 0 {
 			out[i] = math.Inf(1)
 			continue
 		}
 		avgAccel := d / obsHours
+		if avgAccel <= 0 {
+			out[i] = math.Inf(1) // damage too small to register over this horizon
+			continue
+		}
 		out[i] = t.model.RefLifetimeHours / avgAccel / (365.25 * 24)
 	}
 	return out

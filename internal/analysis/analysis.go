@@ -1,6 +1,6 @@
 // Package analysis is tglint's pass framework: a small, stdlib-only
 // counterpart of golang.org/x/tools/go/analysis tailored to this
-// repository's domain invariants. Seven passes ride on it:
+// repository's domain invariants. Ten passes ride on it:
 //
 //   - unitcheck:      unit-suffix consistency (tempC vs tempK, W vs mW, ...)
 //   - detcheck:       nondeterminism sources in simulation packages
@@ -9,6 +9,13 @@
 //   - aliascheck:     exported methods leaking receiver-held scratch buffers
 //   - goroutinecheck: unsynchronized writes to captured state in go closures
 //   - invcheck:       stepping entry points detached from the tgsan hooks
+//
+// plus three interprocedural passes built on the tgflow engine (cfg.go,
+// callgraph.go, dataflow.go, summary.go):
+//
+//   - unitflow:  unit propagation across call boundaries and struct fields
+//   - nanflow:   NaN taint from unchecked sources to persistent state sinks
+//   - statecover: checkpoint State()/Restore() field-coverage verification
 //
 // Packages are loaded with go/parser and type-checked with go/types
 // against the build cache's export data (see load.go), so the framework
@@ -25,7 +32,9 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Analyzer is one named pass. Run receives a fully type-checked package
@@ -34,6 +43,13 @@ type Analyzer struct {
 	Name string // short lower-case name used in diagnostics and ignore directives
 	Doc  string // one-line description
 	Run  func(*Pass)
+
+	// NeedsProgram marks interprocedural (tgflow) passes: the runner
+	// builds one Program over every loaded package and exposes it via
+	// Pass.Program. The pass still runs once per package and must report
+	// only into that package's files; the program supplies the
+	// cross-package call graph and summaries.
+	NeedsProgram bool
 }
 
 // Diagnostic is one finding, already resolved to a file position.
@@ -62,6 +78,10 @@ type Pass struct {
 	// detcheck and errsink scope themselves with it.
 	ImportPath string
 
+	// Program is the whole-repo interprocedural context, set only for
+	// analyzers with NeedsProgram.
+	Program *Program
+
 	diags []Diagnostic
 }
 
@@ -78,11 +98,18 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // resolve it. Passes must tolerate nil: type information is best-effort
 // when a package has errors.
 func (p *Pass) TypeOf(e ast.Expr) types.Type {
-	if tv, ok := p.Info.Types[e]; ok && tv.Type != nil {
+	return typeOf(p.Info, e)
+}
+
+// typeOf is TypeOf against a bare types.Info, shared with the tgflow
+// machinery, which evaluates expressions in packages other than the one
+// a Pass is reporting into.
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
 		return tv.Type
 	}
 	if id, ok := e.(*ast.Ident); ok {
-		if obj := p.Info.ObjectOf(id); obj != nil {
+		if obj := info.ObjectOf(id); obj != nil {
 			return obj.Type()
 		}
 	}
@@ -101,9 +128,13 @@ func (p *Pass) ObjectOf(fun ast.Expr) types.Object {
 	return nil
 }
 
-// All returns the domain analyzers in their canonical order.
+// All returns the domain analyzers in their canonical order. The last
+// three are the interprocedural (tgflow) passes.
 func All() []*Analyzer {
-	return []*Analyzer{Unitcheck, Detcheck, Floatcheck, Errsink, Aliascheck, Goroutinecheck, Invcheck}
+	return []*Analyzer{
+		Unitcheck, Detcheck, Floatcheck, Errsink, Aliascheck, Goroutinecheck, Invcheck,
+		Unitflow, Nanflow, Statecover,
+	}
 }
 
 // ByName resolves a comma-less analyzer name, or nil.
@@ -119,32 +150,59 @@ func ByName(name string) *Analyzer {
 // Run applies the analyzers to every loaded package, filters suppressed
 // diagnostics, and returns the rest sorted by position. Malformed
 // suppression directives are themselves reported under the pass name
-// "tglint".
+// "tglint". Packages are analyzed concurrently across GOMAXPROCS
+// workers; the final sort keeps the output deterministic regardless of
+// scheduling.
 func Run(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Diagnostic {
 	if cfg == nil {
 		cfg = DefaultConfig()
 	}
-	var out []Diagnostic
-	for _, pkg := range pkgs {
-		idx, bad := buildSuppressions(pkg.Fset, pkg.Files)
-		out = append(out, bad...)
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer:   a,
-				Fset:       pkg.Fset,
-				Files:      pkg.Files,
-				Pkg:        pkg.Types,
-				Info:       pkg.Info,
-				Config:     cfg,
-				ImportPath: pkg.ImportPath,
-			}
-			a.Run(pass)
-			for _, d := range pass.diags {
-				if !idx.suppressed(a.Name, d.Pos) {
-					out = append(out, d)
+	var prog *Program
+	for _, a := range analyzers {
+		if a.NeedsProgram {
+			prog = BuildProgram(pkgs)
+			prog.Config = cfg
+			break
+		}
+	}
+
+	perPkg := make([][]Diagnostic, len(pkgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			idx, bad := buildSuppressions(pkg.Fset, pkg.Files)
+			out := bad
+			for _, a := range analyzers {
+				pass := &Pass{
+					Analyzer:   a,
+					Fset:       pkg.Fset,
+					Files:      pkg.Files,
+					Pkg:        pkg.Types,
+					Info:       pkg.Info,
+					Config:     cfg,
+					ImportPath: pkg.ImportPath,
+					Program:    prog,
+				}
+				a.Run(pass)
+				for _, d := range pass.diags {
+					if !idx.suppressed(a.Name, d.Pos) {
+						out = append(out, d)
+					}
 				}
 			}
-		}
+			perPkg[i] = out
+		}(i, pkg)
+	}
+	wg.Wait()
+
+	var out []Diagnostic
+	for _, diags := range perPkg {
+		out = append(out, diags...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

@@ -1,0 +1,483 @@
+package analysis
+
+// cfg.go — per-function control-flow graphs for the tgflow engine.
+//
+// A CFG is a list of basic blocks of *simple* statements: compound
+// statements never appear in Block.Stmts. Branch points keep their
+// interesting sub-parts on the block instead — an if/for/switch
+// condition in Block.Cond, a range loop's binding in Block.Range — so a
+// dataflow transfer function can walk Stmts, then Cond/Range, without
+// ever recursing into a nested body (the bodies are blocks of their
+// own, wired up through Succs).
+//
+// The builder covers the full statement grammar the simulator uses:
+// if/else chains, for and range loops (with break/continue, labeled or
+// not), expression and type switches with fallthrough, select, goto,
+// and labeled statements. Unreachable code after a return or jump
+// still gets a block (kind "dead", no predecessors) so passes can
+// analyze it rather than silently skip it.
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// CFG is the control-flow graph of one function body. Blocks[0] is the
+// entry block and Blocks[1] the (always empty) exit block; every return
+// statement and the fall-off end of the body link to the exit.
+type CFG struct {
+	Name   string
+	Blocks []*Block
+}
+
+// Block is one basic block.
+type Block struct {
+	Index int
+	Kind  string // entry, exit, body, if.then, for.head, case, dead, ...
+
+	// Stmts holds the block's simple statements in execution order.
+	Stmts []ast.Stmt
+	// Cond is the branch condition terminating the block (if/for/switch
+	// tag), or nil. Evaluated after Stmts.
+	Cond ast.Expr
+	// Range is set on range-loop header blocks: the loop binding
+	// (Key/Value := range X) executes here on every iteration.
+	Range *ast.RangeStmt
+
+	Succs []*Block
+}
+
+// Entry and Exit return the distinguished blocks.
+func (c *CFG) Entry() *Block { return c.Blocks[0] }
+func (c *CFG) Exit() *Block  { return c.Blocks[1] }
+
+// BuildCFG constructs the CFG of a function declaration. A nil or
+// body-less declaration yields a two-block (entry→exit) graph.
+func BuildCFG(decl *ast.FuncDecl) *CFG {
+	name := "func"
+	if decl != nil && decl.Name != nil {
+		name = decl.Name.Name
+	}
+	b := &cfgBuilder{cfg: &CFG{Name: name}, labels: map[string]*cfgLabel{}}
+	entry := b.newBlock("entry")
+	b.exit = b.newBlock("exit")
+	b.cur = entry
+	if decl != nil && decl.Body != nil {
+		b.stmtList(decl.Body.List)
+	}
+	if b.cur != nil {
+		b.link(b.cur, b.exit)
+	}
+	return b.cfg
+}
+
+// cfgLabel tracks one label's blocks: the goto/entry target, plus the
+// break and continue destinations when the labeled statement is a loop
+// or switch.
+type cfgLabel struct {
+	target     *Block
+	breakTo    *Block
+	continueTo *Block
+}
+
+type cfgBuilder struct {
+	cfg  *CFG
+	cur  *Block // nil after an unconditional jump
+	exit *Block
+
+	breaks    []*Block // innermost-last break targets
+	continues []*Block // innermost-last continue targets
+	labels    map[string]*cfgLabel
+
+	// pendingLabel is the label naming the *next* loop/switch statement,
+	// so `outer: for ...` registers outer's break/continue targets.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) link(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// block returns the current block, resurrecting a fresh "dead" block
+// when the previous one ended in an unconditional jump.
+func (b *cfgBuilder) block() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock("dead")
+	}
+	return b.cur
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// labelFor returns the goto/entry block for a label, creating it on
+// first reference (forward gotos).
+func (b *cfgBuilder) labelFor(name string) *cfgLabel {
+	l, ok := b.labels[name]
+	if !ok {
+		l = &cfgLabel{target: b.newBlock("label." + name)}
+		b.labels[name] = l
+	}
+	return l
+}
+
+// pushLoop registers break/continue targets, wiring them to the pending
+// label when the construct is labeled.
+func (b *cfgBuilder) pushLoop(breakTo, continueTo *Block) {
+	b.breaks = append(b.breaks, breakTo)
+	b.continues = append(b.continues, continueTo)
+	if b.pendingLabel != "" {
+		l := b.labelFor(b.pendingLabel)
+		l.breakTo = breakTo
+		l.continueTo = continueTo
+		b.pendingLabel = ""
+	}
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.switchBody(s.Tag, nil, s.Body, "case")
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.switchBody(nil, s.Assign, s.Body, "typecase")
+
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+
+	case *ast.LabeledStmt:
+		l := b.labelFor(s.Label.Name)
+		b.link(b.block(), l.target)
+		b.cur = l.target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+
+	case *ast.ReturnStmt:
+		blk := b.block()
+		blk.Stmts = append(blk.Stmts, s)
+		b.link(blk, b.exit)
+		b.cur = nil
+
+	default:
+		// Simple statements: assignments, declarations, expression and
+		// send statements, defer, go, inc/dec, empty.
+		b.block().Stmts = append(b.block().Stmts, s)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.block()
+	head.Cond = s.Cond
+	then := b.newBlock("if.then")
+	b.link(head, then)
+	join := b.newBlock("if.join")
+
+	b.cur = then
+	b.stmt(s.Body)
+	if b.cur != nil {
+		b.link(b.cur, join)
+	}
+
+	if s.Else != nil {
+		els := b.newBlock("if.else")
+		b.link(head, els)
+		b.cur = els
+		b.stmt(s.Else)
+		if b.cur != nil {
+			b.link(b.cur, join)
+		}
+	} else {
+		b.link(head, join)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock("for.head")
+	b.link(b.block(), head)
+	head.Cond = s.Cond
+
+	exit := b.newBlock("for.exit")
+	if s.Cond != nil {
+		b.link(head, exit)
+	}
+
+	body := b.newBlock("for.body")
+	b.link(head, body)
+
+	// The continue target is the post-statement block when there is one.
+	latch := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		post.Stmts = append(post.Stmts, s.Post)
+		b.link(post, head)
+		latch = post
+	}
+
+	b.pushLoop(exit, latch)
+	b.cur = body
+	b.stmt(s.Body)
+	if b.cur != nil {
+		b.link(b.cur, latch)
+	}
+	b.popLoop()
+	b.cur = exit
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	head := b.newBlock("range.head")
+	b.link(b.block(), head)
+	head.Range = s
+
+	exit := b.newBlock("range.exit")
+	b.link(head, exit)
+	body := b.newBlock("range.body")
+	b.link(head, body)
+
+	b.pushLoop(exit, head)
+	b.cur = body
+	b.stmt(s.Body)
+	if b.cur != nil {
+		b.link(b.cur, head)
+	}
+	b.popLoop()
+	b.cur = exit
+}
+
+// switchBody wires an expression or type switch: the header block
+// branches to every case, cases link to the join, and fallthrough
+// links a case body to the next case's block.
+func (b *cfgBuilder) switchBody(tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, kind string) {
+	head := b.block()
+	head.Cond = tag
+	if assign != nil {
+		head.Stmts = append(head.Stmts, assign)
+	}
+	join := b.newBlock("switch.join")
+
+	// Create all case blocks first so fallthrough can target the next.
+	var clauses []*ast.CaseClause
+	var blocks []*Block
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		clauses = append(clauses, cc)
+		blk := b.newBlock(kind)
+		b.link(head, blk)
+		blocks = append(blocks, blk)
+	}
+	if !hasDefault {
+		b.link(head, join)
+	}
+
+	b.pushLoop(join, b.currentContinue())
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		// fallthrough is only legal as the final statement; detect it so
+		// the tail edge goes to the next case instead of the join.
+		list := cc.Body
+		fallsTo := -1
+		if n := len(list); n > 0 {
+			if br, ok := list[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				list = list[:n-1]
+				fallsTo = i + 1
+			}
+		}
+		b.stmtList(list)
+		if b.cur != nil {
+			if fallsTo >= 0 && fallsTo < len(blocks) {
+				b.link(b.cur, blocks[fallsTo])
+			} else {
+				b.link(b.cur, join)
+			}
+		}
+	}
+	b.popLoop()
+	b.cur = join
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	head := b.block()
+	join := b.newBlock("select.join")
+	b.pushLoop(join, b.currentContinue())
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock("comm")
+		b.link(head, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		if b.cur != nil {
+			b.link(b.cur, join)
+		}
+	}
+	b.popLoop()
+	b.cur = join
+}
+
+// currentContinue returns the innermost continue target, or nil outside
+// a loop (switch/select push it back unchanged so `continue` inside a
+// case still reaches the enclosing loop).
+func (b *cfgBuilder) currentContinue() *Block {
+	if len(b.continues) == 0 {
+		return nil
+	}
+	return b.continues[len(b.continues)-1]
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	blk := b.block()
+	switch s.Tok {
+	case token.BREAK:
+		to := b.innermostBreak()
+		if s.Label != nil {
+			if l := b.labels[s.Label.Name]; l != nil && l.breakTo != nil {
+				to = l.breakTo
+			}
+		}
+		if to != nil {
+			b.link(blk, to)
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		to := b.currentContinue()
+		if s.Label != nil {
+			if l := b.labels[s.Label.Name]; l != nil && l.continueTo != nil {
+				to = l.continueTo
+			}
+		}
+		if to != nil {
+			b.link(blk, to)
+		}
+		b.cur = nil
+	case token.GOTO:
+		if s.Label != nil {
+			b.link(blk, b.labelFor(s.Label.Name).target)
+		}
+		b.cur = nil
+	case token.FALLTHROUGH:
+		// Handled by switchBody; a stray one (malformed code) is dropped.
+	}
+}
+
+func (b *cfgBuilder) innermostBreak() *Block {
+	for i := len(b.breaks) - 1; i >= 0; i-- {
+		if b.breaks[i] != nil {
+			return b.breaks[i]
+		}
+	}
+	return nil
+}
+
+// String renders the CFG in a stable, human-diffable text form used by
+// the golden-file tests:
+//
+//	b0 entry -> b2
+//	b2 for.head [cond: i < n] -> b3 b4
+//	  stmts...
+func (c *CFG) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cfg %s\n", c.Name)
+	for _, blk := range c.Blocks {
+		fmt.Fprintf(&sb, "b%d %s", blk.Index, blk.Kind)
+		if blk.Cond != nil {
+			fmt.Fprintf(&sb, " [cond: %s]", nodeText(blk.Cond))
+		}
+		if blk.Range != nil {
+			fmt.Fprintf(&sb, " [range: %s]", nodeText(rangeBinding(blk.Range)))
+		}
+		if len(blk.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range blk.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		sb.WriteString("\n")
+		for _, s := range blk.Stmts {
+			fmt.Fprintf(&sb, "  %s\n", nodeText(s))
+		}
+	}
+	return sb.String()
+}
+
+// rangeBinding renders only the binding part of a range statement.
+func rangeBinding(r *ast.RangeStmt) ast.Node {
+	return &ast.RangeStmt{Key: r.Key, Value: r.Value, Tok: r.Tok, X: r.X,
+		Body: &ast.BlockStmt{}}
+}
+
+// nodeText prints a node compactly on one line, truncated for goldens.
+func nodeText(n ast.Node) string {
+	var buf bytes.Buffer
+	_ = printer.Fprint(&buf, token.NewFileSet(), n)
+	text := strings.Join(strings.Fields(buf.String()), " ")
+	text = strings.TrimSuffix(text, "{ }")
+	text = strings.TrimSpace(text)
+	if len(text) > 72 {
+		text = text[:69] + "..."
+	}
+	return text
+}

@@ -54,6 +54,41 @@ type Config struct {
 		// sanitizer hooks.
 		Entrypoints map[string][]string `json:"entrypoints"`
 	} `json:"invcheck"`
+
+	Unitflow struct {
+		// Allow exempts whole packages by import path (prefix match).
+		Allow []string `json:"allow"`
+	} `json:"unitflow"`
+
+	Nanflow struct {
+		// SinkPackages lists the packages (base names or import paths)
+		// whose struct-field writes count as persistent-state sinks.
+		SinkPackages []string `json:"sinkPackages"`
+		// Guards are lower-case name fragments; a call to any function or
+		// method whose name contains one is treated as a NaN guard for its
+		// arguments (and receiver), killing taint.
+		Guards []string `json:"guards"`
+		// Sources adds NaN-introducing functions by canonical key
+		// ("path.Name" or "path.(Recv).Name") to the built-in table
+		// (math.Log/Sqrt/Pow/..., strconv.ParseFloat, unchecked division).
+		Sources []string `json:"sources"`
+		// DistrustFields makes division by a struct-field divisor a taint
+		// source too; by default fields are trusted as construction-time
+		// validated configuration.
+		DistrustFields bool `json:"distrustFields"`
+		// Allow exempts whole packages by import path (prefix match).
+		Allow []string `json:"allow"`
+	} `json:"nanflow"`
+
+	Statecover struct {
+		// Producers names the snapshot-constructing functions (State,
+		// snapshot); every exported field of the snapshot struct must be
+		// written by one of them.
+		Producers []string `json:"producers"`
+		// Consumers names the snapshot-applying functions (Restore); a
+		// consumer taking a named struct S anchors the coverage check.
+		Consumers []string `json:"consumers"`
+	} `json:"statecover"`
 }
 
 // DefaultConfig returns the built-in configuration, matching the
@@ -78,6 +113,10 @@ func DefaultConfig() *Config {
 		"pdn":     {"SteadyNoise", "TransientWindow", "BurstPeakPct"},
 		"vr":      {"NOn", "PlossAt"},
 	}
+	c.Nanflow.SinkPackages = []string{"thermal", "pdn", "vr", "sim"}
+	c.Nanflow.Guards = []string{"validate", "clamp", "sanitize", "finite", "isnan", "isinf"}
+	c.Statecover.Producers = []string{"State", "snapshot"}
+	c.Statecover.Consumers = []string{"Restore"}
 	return c
 }
 
@@ -200,6 +239,59 @@ func (c *Config) errsinkMethod(name string) bool {
 func (c *Config) errsinkInternal(pkgPath string) bool {
 	for _, p := range c.Errsink.InternalPrefixes {
 		if strings.HasPrefix(pkgPath, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// allowedBy reports whether importPath is covered by an allow list of
+// import-path prefixes.
+func allowedBy(allow []string, importPath string) bool {
+	for _, a := range allow {
+		if importPath == a || strings.HasPrefix(importPath, a+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// nanflowSinkPackage reports whether field writes in the package count
+// as persistent-state sinks.
+func (c *Config) nanflowSinkPackage(importPath string) bool {
+	base := importPath[strings.LastIndex(importPath, "/")+1:]
+	for _, p := range c.Nanflow.SinkPackages {
+		if p == base || p == importPath {
+			return true
+		}
+	}
+	return false
+}
+
+// nanflowGuardName reports whether a callee name acts as a NaN guard.
+func (c *Config) nanflowGuardName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, g := range c.Nanflow.Guards {
+		if g != "" && strings.Contains(lower, g) {
+			return true
+		}
+	}
+	return false
+}
+
+// statecoverProducer / statecoverConsumer classify function names.
+func (c *Config) statecoverProducer(name string) bool {
+	for _, p := range c.Statecover.Producers {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Config) statecoverConsumer(name string) bool {
+	for _, p := range c.Statecover.Consumers {
+		if p == name {
 			return true
 		}
 	}

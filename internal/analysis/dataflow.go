@@ -1,0 +1,83 @@
+package analysis
+
+// dataflow.go — a small generic forward dataflow engine over the CFGs
+// of cfg.go. A pass supplies the lattice as four functions; the engine
+// owns the worklist and the fixpoint:
+//
+//	eng := &Dataflow[unitEnv]{
+//		CFG:      fn.CFG(),
+//		Bottom:   func() unitEnv { return unitEnv{} },
+//		Clone:    cloneUnitEnv,
+//		Join:     joinUnitEnv,           // in-place merge, reports change
+//		Transfer: func(b *Block, s unitEnv) unitEnv { ... },
+//	}
+//	in := eng.Forward()                  // block -> state at block entry
+//
+// Forward iterates in block-index order (the builder emits blocks
+// roughly in reverse postorder) until no out-state changes, so loops —
+// including loop-carried facts through for/range back edges — reach
+// their fixpoint. Transfer must not mutate shared structure it did not
+// Clone; the engine clones the in-state before every Transfer call.
+
+// Dataflow is one forward analysis instance over a single CFG.
+type Dataflow[S any] struct {
+	CFG *CFG
+
+	// Bottom produces the empty (entry) state.
+	Bottom func() S
+	// Clone deep-copies a state.
+	Clone func(S) S
+	// Join merges src into dst, returning the merged state and whether
+	// dst changed (the fixpoint condition).
+	Join func(dst, src S) (S, bool)
+	// Transfer applies one block's effect to a private copy of its
+	// in-state and returns the out-state.
+	Transfer func(*Block, S) S
+}
+
+// Forward runs to fixpoint and returns each block's in-state. The
+// returned map lets a pass replay Transfer once per block afterwards
+// with reporting enabled, so diagnostics are emitted exactly once.
+func (d *Dataflow[S]) Forward() map[*Block]S {
+	in := make(map[*Block]S, len(d.CFG.Blocks))
+	out := make(map[*Block]S, len(d.CFG.Blocks))
+	haveIn := make(map[*Block]bool, len(d.CFG.Blocks))
+
+	entry := d.CFG.Entry()
+	in[entry] = d.Bottom()
+	haveIn[entry] = true
+
+	// Seed every block so unreachable ("dead") blocks are analyzed too,
+	// starting from the empty state.
+	for _, b := range d.CFG.Blocks {
+		if !haveIn[b] {
+			in[b] = d.Bottom()
+			haveIn[b] = true
+		}
+	}
+
+	work := make([]*Block, len(d.CFG.Blocks))
+	copy(work, d.CFG.Blocks)
+	queued := make(map[*Block]bool, len(work))
+	for _, b := range work {
+		queued[b] = true
+	}
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		o := d.Transfer(b, d.Clone(in[b]))
+		out[b] = o
+		for _, s := range b.Succs {
+			merged, changed := d.Join(in[s], d.Clone(o))
+			in[s] = merged
+			if changed && !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}

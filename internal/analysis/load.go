@@ -13,6 +13,8 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
+	"sync"
 )
 
 // Package is one loaded, parsed, and (best-effort) type-checked target.
@@ -46,8 +48,9 @@ type listPackage struct {
 // it. Imports — stdlib and module-internal alike — are resolved from the
 // compiler export data `go list -export` places in the build cache, so
 // loading works offline and never re-type-checks dependencies from
-// source. Test files are not loaded: tglint's passes lint production
-// code only.
+// source. Targets are parsed and checked concurrently across GOMAXPROCS
+// workers with deterministic result order. Test files are not loaded:
+// tglint's passes lint production code only.
 func Load(dir string, patterns []string) ([]*Package, error) {
 	args := append([]string{
 		"list", "-e", "-deps", "-export",
@@ -92,36 +95,73 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		}
 		return os.Open(f)
 	}
-	imp := importer.ForCompiler(fset, "gc", lookup)
 
-	var pkgs []*Package
-	for _, t := range targets {
-		if t.Error != nil && len(t.GoFiles) == 0 {
-			return nil, fmt.Errorf("package %s: %s", t.ImportPath, t.Error.Err)
-		}
-		pkg := &Package{ImportPath: t.ImportPath, Dir: t.Dir, Fset: fset}
-		for _, name := range t.GoFiles {
-			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
-			if err != nil {
-				return nil, fmt.Errorf("parse %s: %v", name, err)
+	// Parse and type-check targets in parallel. The FileSet's methods are
+	// internally synchronized, so one fset serves every worker; the gc
+	// export-data importer's package cache is NOT documented thread-safe,
+	// so each worker owns a private importer (it still amortizes export
+	// reads across that worker's share of the targets). Results land in a
+	// position-indexed slice, keeping output order — and thus diagnostic
+	// order — identical to the sequential loader's.
+	pkgs := make([]*Package, len(targets))
+	errs := make([]error, len(targets))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			imp := importer.ForCompiler(fset, "gc", lookup)
+			for i := range next {
+				pkgs[i], errs[i] = checkTarget(fset, imp, targets[i])
 			}
-			pkg.Files = append(pkg.Files, f)
+		}()
+	}
+	for i := range targets {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
-		pkg.Info = &types.Info{
-			Types:      make(map[ast.Expr]types.TypeAndValue),
-			Defs:       make(map[*ast.Ident]types.Object),
-			Uses:       make(map[*ast.Ident]types.Object),
-			Selections: make(map[*ast.SelectorExpr]*types.Selection),
-			Scopes:     make(map[ast.Node]*types.Scope),
-		}
-		conf := types.Config{
-			Importer: imp,
-			Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
-		}
-		// Check never fails hard: the Error hook swallows problems so the
-		// passes can run on partial information.
-		pkg.Types, _ = conf.Check(t.ImportPath, fset, pkg.Files, pkg.Info)
-		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
+}
+
+// checkTarget parses and type-checks one go list target. imp must not be
+// shared across goroutines.
+func checkTarget(fset *token.FileSet, imp types.Importer, t listPackage) (*Package, error) {
+	if t.Error != nil && len(t.GoFiles) == 0 {
+		return nil, fmt.Errorf("package %s: %s", t.ImportPath, t.Error.Err)
+	}
+	pkg := &Package{ImportPath: t.ImportPath, Dir: t.Dir, Fset: fset}
+	for _, name := range t.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", name, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Check never fails hard: the Error hook swallows problems so the
+	// passes can run on partial information.
+	pkg.Types, _ = conf.Check(t.ImportPath, fset, pkg.Files, pkg.Info)
+	return pkg, nil
 }

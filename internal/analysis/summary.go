@@ -1,0 +1,133 @@
+package analysis
+
+// summary.go — the summary engine tgflow's interprocedural passes sit
+// on. A pass derives one summary per function (what the function's
+// results and side effects look like as a function of its inputs) and
+// consults callee summaries while analyzing each caller, so facts cross
+// call boundaries without inlining.
+//
+// Summaries are computed bottom-up over the call graph's strongly
+// connected components (Program.SCCs): when a function is analyzed,
+// everything it calls — outside its own SCC — already has a final
+// summary. Within an SCC (direct or mutual recursion) the driver
+// re-runs the members until none of their summaries changes; both
+// summary lattices here are finite and monotone (units only move
+// unknown → known → conflict, taint bits only switch on), so the
+// fixpoint terminates.
+
+// forEachSCCFixpoint drives one summary computation: visit grows the
+// summary for a single function and reports whether it changed.
+func forEachSCCFixpoint(p *Program, visit func(fn *FlowFunc) bool) {
+	for _, scc := range p.SCCs() {
+		for changed := true; changed; {
+			changed = false
+			for _, fn := range scc {
+				if visit(fn) {
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// ---- unitflow summaries ----
+
+// unitSummary describes a function for the unitflow pass.
+type unitSummary struct {
+	// results[i] is the inferred unit of result i: nil while unknown,
+	// unitConflict when return paths disagree.
+	results []*unitInfo
+}
+
+// unitConflict marks "multiple contradictory units": it joins to itself
+// and is treated as unknown by every check (no diagnostics are built on
+// a conflicting inference).
+var unitConflict = &unitInfo{Suffix: "!conflict", Dim: "!conflict", Name: "conflicting units"}
+
+// joinUnit is the unit lattice join: unknown ⊔ u = u, u ⊔ u = u,
+// u ⊔ v = conflict.
+func joinUnit(a, b *unitInfo) *unitInfo {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	case canonicalSuffix(a.Suffix) == canonicalSuffix(b.Suffix):
+		return a
+	default:
+		return unitConflict
+	}
+}
+
+// knownUnit filters the conflict sentinel out of checking logic.
+func knownUnit(u *unitInfo) *unitInfo {
+	if u == unitConflict {
+		return nil
+	}
+	return u
+}
+
+// UnitSummaries computes (once) and returns the unit summary table,
+// keyed by FuncKey.
+func (p *Program) UnitSummaries() map[string]*unitSummary {
+	p.unitOnce.Do(func() {
+		p.unitSums = make(map[string]*unitSummary, len(p.Funcs))
+		for key, fn := range p.Funcs {
+			nres := 0
+			if fn.Sig != nil {
+				nres = fn.Sig.Results().Len()
+			}
+			p.unitSums[key] = &unitSummary{results: make([]*unitInfo, nres)}
+		}
+		forEachSCCFixpoint(p, func(fn *FlowFunc) bool {
+			return updateUnitSummary(p, fn, p.unitSums)
+		})
+	})
+	return p.unitSums
+}
+
+// ---- nanflow summaries ----
+
+// taintSummary describes a function for the nanflow pass. Taint is a
+// bitmask (see nanflow.go): bit 0 is "may actually be NaN here", bit
+// i+1 is "depends on parameter i".
+type taintSummary struct {
+	// resultMayNaN[i]: result i can be NaN even with NaN-free arguments
+	// (the function itself contains an unguarded source).
+	resultMayNaN []bool
+	// resultFromParam[i][j]: parameter j flows into result i, so a
+	// NaN-tainted argument taints the result.
+	resultFromParam [][]bool
+	// paramSink[j] is a non-empty description when parameter j reaches a
+	// persistent-state sink inside the callee without a guard; callers
+	// passing a tainted argument report at the call site.
+	paramSink []string
+}
+
+// TaintSummaries computes (once) and returns the NaN-taint summary
+// table, keyed by FuncKey.
+func (p *Program) TaintSummaries() map[string]*taintSummary {
+	p.taintOnce.Do(func() {
+		p.taintSums = make(map[string]*taintSummary, len(p.Funcs))
+		for key, fn := range p.Funcs {
+			nres, npar := 0, 0
+			if fn.Sig != nil {
+				nres = fn.Sig.Results().Len()
+				npar = fn.Sig.Params().Len()
+			}
+			s := &taintSummary{
+				resultMayNaN:    make([]bool, nres),
+				resultFromParam: make([][]bool, nres),
+				paramSink:       make([]string, npar),
+			}
+			for i := range s.resultFromParam {
+				s.resultFromParam[i] = make([]bool, npar)
+			}
+			p.taintSums[key] = s
+		}
+		forEachSCCFixpoint(p, func(fn *FlowFunc) bool {
+			return updateTaintSummary(p, fn, p.taintSums)
+		})
+	})
+	return p.taintSums
+}

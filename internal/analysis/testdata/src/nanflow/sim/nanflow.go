@@ -1,0 +1,105 @@
+// Package sim is a tglint fixture for the NaN-taint pass. Its base
+// name makes it a sink package under the default configuration, so
+// struct-field writes here are persistent-state sinks. Each "want"
+// seeds one source→sink path; the guarded variants below it must stay
+// silent.
+package sim
+
+import (
+	"math"
+	"strconv"
+)
+
+// Model stands in for a solver whose fields persist across epochs.
+type Model struct {
+	Temp  float64
+	ratio float64
+}
+
+// BadLog stores a raw logarithm: Log(x) is NaN for any x < 0.
+func (m *Model) BadLog(x float64) {
+	m.Temp = math.Log(x) // want "math.Log"
+}
+
+// GoodLog is the same computation with an explicit finiteness check.
+func (m *Model) GoodLog(x float64) {
+	v := math.Log(x)
+	if math.IsNaN(v) {
+		v = 0
+	}
+	m.Temp = v
+}
+
+// GoodSelfCheck uses the x != x idiom instead of math.IsNaN.
+func (m *Model) GoodSelfCheck(x float64) {
+	v := math.Log(x)
+	//lint:ignore floatcheck the x != x NaN idiom is the point of this fixture
+	if v != v {
+		v = -1
+	}
+	m.Temp = v
+}
+
+// BadDiv divides by an unvalidated parameter: 0/0 is NaN.
+func (m *Model) BadDiv(num, den float64) {
+	m.ratio = num / den // want "unchecked division"
+}
+
+// GoodDiv validates the divisor first; any comparison counts.
+func (m *Model) GoodDiv(num, den float64) {
+	if den <= 0 {
+		return
+	}
+	m.ratio = num / den
+}
+
+// halfLife never touches a sink itself, but its result can be NaN —
+// the fact crosses the call boundary through its summary.
+func halfLife(x float64) float64 {
+	return math.Sqrt(x)
+}
+
+// BadCall stores a tainted callee result.
+func (m *Model) BadCall(x float64) {
+	m.Temp = halfLife(x) // want "stored into sim.Model.Temp"
+}
+
+// store sinks its parameter; the diagnostic belongs at call sites that
+// hand it a tainted value, not here.
+func (m *Model) store(v float64) {
+	m.Temp = v
+}
+
+// BadStore passes a NaN-capable value into a summarised sink.
+func (m *Model) BadStore(x float64) {
+	m.store(math.Sqrt(x)) // want "stores it into sim.Model.Temp"
+}
+
+// GoodStore launders the value through a clamp-named helper first.
+func (m *Model) GoodStore(x float64) {
+	m.store(clampUnit(math.Sqrt(x)))
+}
+
+// clampUnit's name marks it as a guard: its results are trusted.
+func clampUnit(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// BadParse trusts a parsed float: the string "NaN" parses without
+// error, so trace and config readers must validate.
+func (m *Model) BadParse(s string) {
+	v, _ := strconv.ParseFloat(s, 64)
+	m.Temp = v // want "strconv.ParseFloat"
+}
+
+// Sentinel shows the annotated escape hatch for intentional NaN use.
+func (m *Model) Sentinel() {
+	//lint:ignore nanflow NaN is this model's deliberate "unmeasured" sentinel
+	m.Temp = math.NaN()
+}

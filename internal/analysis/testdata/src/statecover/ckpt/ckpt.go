@@ -1,0 +1,124 @@
+// Package ckpt is a tglint fixture for the checkpoint-coverage pass.
+// Each State/Restore pair below exercises one coverage rule: a field
+// the producer forgets (checkpoints as zero), a field the consumer
+// forgets (silently dropped on resume), helper delegation through the
+// call graph, and the whole-value escape that ends the analysis.
+package ckpt
+
+// Checkpoint is a snapshot schema with a deliberately uncovered field.
+type Checkpoint struct {
+	Epoch int
+	Seed  int64
+	Temp  []float64
+	Skew  float64
+}
+
+// Runner round-trips everything except Skew on the producer side.
+type Runner struct {
+	epoch int
+	seed  int64
+	temp  []float64
+	skew  float64
+}
+
+func (r *Runner) State() Checkpoint { // want "never sets field Skew"
+	return Checkpoint{
+		Epoch: r.epoch,
+		Seed:  r.seed,
+		Temp:  r.temp,
+	}
+}
+
+func (r *Runner) Restore(cp *Checkpoint) {
+	r.epoch = cp.Epoch
+	r.seed = cp.Seed
+	r.temp = cp.Temp
+	r.skew = cp.Skew
+}
+
+// WMAState checks the consumer direction with value (non-pointer)
+// semantics: Restore applies Window but drops Sum.
+type WMAState struct {
+	Window []float64
+	Sum    float64
+}
+
+type WMA struct {
+	window []float64
+	sum    float64
+}
+
+func (w *WMA) State() WMAState {
+	return WMAState{Window: w.window, Sum: w.sum}
+}
+
+func (w *WMA) Restore(s WMAState) { // want "never reads field Sum"
+	w.window = s.Window
+}
+
+// GovState is fully covered, but only through helpers — the pass has
+// to follow the call graph on both sides to prove it.
+type GovState struct {
+	Level int
+	Boost float64
+}
+
+type Gov struct {
+	level int
+	boost float64
+}
+
+func (g *Gov) State() GovState {
+	var st GovState
+	g.fill(&st)
+	return st
+}
+
+func (g *Gov) fill(st *GovState) {
+	st.Level = g.level
+	st.Boost = g.boost
+}
+
+func (g *Gov) Restore(s GovState) {
+	g.level = s.Level
+	g.apply(s)
+}
+
+func (g *Gov) apply(s GovState) {
+	g.boost = s.Boost
+}
+
+// TraceState's consumer stashes the whole snapshot for later use; the
+// escape counts every field as read.
+type TraceState struct {
+	Cursor int64
+	Path   string
+}
+
+type Trace struct {
+	resume *TraceState
+	cursor int64
+}
+
+func (t *Trace) State() *TraceState {
+	return &TraceState{Cursor: t.cursor, Path: "trace.bin"}
+}
+
+func (t *Trace) Restore(s *TraceState) {
+	t.cursor = s.Cursor
+	t.resume = s
+}
+
+// OrphanState has a consumer but no producer: the schema cannot be
+// verified at all, which is itself a finding.
+type OrphanState struct {
+	X float64
+}
+
+type Orphan struct {
+	x float64
+}
+
+func (o *Orphan) Restore(s OrphanState) { // want "no producer"
+	o.x = s.X
+}

@@ -1,0 +1,78 @@
+// Package tgflow is the golden-file fixture for the CFG builder and
+// call-graph indexer. Each function exercises one slice of the
+// statement grammar; the expected CFG shapes live in
+// testdata/tgflow_cfg.golden and the call edges in
+// testdata/tgflow_callgraph.golden.
+package tgflow
+
+// riser: if/else diamond with an early return.
+func riser(x float64) float64 {
+	if x < 0 {
+		return 0
+	} else if x > 1 {
+		x = 1
+	}
+	return x
+}
+
+// looper: three-clause for loop with continue and break.
+func looper(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			continue
+		}
+		if total > 100 {
+			break
+		}
+		total += i
+	}
+	return total
+}
+
+// ranger: range loop whose body calls another fixture function.
+func ranger(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += riser(x)
+	}
+	return sum
+}
+
+// switcher: expression switch with fallthrough and default.
+func switcher(mode int) int {
+	out := 0
+	switch mode {
+	case 0:
+		out = 1
+		fallthrough
+	case 1:
+		out += 2
+	default:
+		out = -1
+	}
+	return out
+}
+
+// even and odd: mutual recursion, the smallest nontrivial SCC.
+func even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(n - 1)
+}
+
+func odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return even(n - 1)
+}
+
+// drive ties the graph together so the SCC order test has callers
+// above the even/odd component.
+func drive(xs []float64) bool {
+	s := ranger(xs)
+	c := looper(len(xs)) + switcher(int(s))
+	return even(c)
+}

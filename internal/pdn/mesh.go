@@ -252,6 +252,11 @@ func (m *Mesh) Solve(blockCurrent []float64, active []bool) (*MeshSolution, erro
 				isum += g * v[idx+m.nx]
 			}
 			gsum += srcG[idx] // source node pulled toward zero drop
+			if !(gsum > 0) {
+				// A 1×1 mesh with no active regulator has no conductance
+				// anywhere; dividing would seed the solution with NaN.
+				return nil, fmt.Errorf("pdn: mesh node %d in %s is isolated (no neighbors, no source)", idx, d.Name)
+			}
 			vNew := (isum + load[idx]) / gsum
 			vNew = v[idx] + m.cfg.Omega*(vNew-v[idx])
 			if dlt := math.Abs(vNew - v[idx]); dlt > maxDelta {

@@ -94,7 +94,9 @@ func (n *Network) EffectiveResistance(domain, bi int, active []bool) float64 {
 			gsum += 1 / n.pathR[domain][bi][ri]
 		}
 	}
-	if nActive == 0 {
+	if nActive == 0 || !(gsum > 0) {
+		// No active regulator, or every active path has infinite
+		// resistance: the block sees an open circuit either way.
 		return math.Inf(1)
 	}
 	return 1 / gsum
@@ -152,7 +154,12 @@ func (n *Network) SteadyNoise(domain int, blockCurrent []float64, active []bool)
 			i = 0
 		}
 		i *= n.conc[domain][bi]
-		drop := i*n.EffectiveResistance(domain, bi, active) + shared
+		// An idle block only sees the shared-rail drop; skipping the
+		// product also avoids 0·Inf = NaN when no regulator is active.
+		drop := shared
+		if i > 0 {
+			drop += i * n.EffectiveResistance(domain, bi, active)
+		}
 		pct := 100 * drop / n.cfg.VddV
 		out.PerBlockPct[bi] = pct
 		if pct > out.MaxPct {

@@ -215,7 +215,8 @@ func (c Config) newUarch(chip *floorplan.Chip, seed uint64) (*uarch.Simulator, e
 
 // meanIntensity averages the workload intensity for thermal initialisation.
 func (c Config) meanIntensity() (compute, memory float64) {
-	if len(c.Mix) == 0 {
+	n := float64(len(c.Mix))
+	if n <= 0 {
 		return c.Benchmark.MeanIntensity()
 	}
 	for _, p := range c.Mix {
@@ -223,6 +224,5 @@ func (c Config) meanIntensity() (compute, memory float64) {
 		compute += cc
 		memory += mm
 	}
-	n := float64(len(c.Mix))
 	return compute / n, memory / n
 }

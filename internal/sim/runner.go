@@ -388,6 +388,11 @@ func (r *Runner) legalCount(d int, demandA float64) (int, bool) {
 	if demandA <= 0 {
 		return 1, false
 	}
+	if !(imax > 0) {
+		// A regulator with no current rating can never meet positive
+		// demand; everything on, flagged as overload.
+		return n, true
+	}
 	need := int(math.Ceil(demandA / imax))
 	if need < 1 {
 		need = 1

@@ -76,21 +76,29 @@ func NewGridModel(chip *floorplan.Chip, cfg Config, nx, ny int) (*GridModel, err
 
 	// Conductances from the same physical constants as the compact model.
 	// Lateral: k·t·(cross-section)/(distance); for square-ish cells the
-	// cross-section is the shared cell edge.
-	g.gLatDie = cfg.KSiWPerMMK * cfg.DieThicknessMM * g.ch / g.cw // x-direction
-	// For simplicity use the geometric mean so x/y conduction is uniform
-	// on mildly anisotropic cells.
+	// cross-section is the shared cell edge. Use the geometric mean so
+	// x/y conduction is uniform on mildly anisotropic cells.
 	gx := cfg.KSiWPerMMK * cfg.DieThicknessMM * g.ch / g.cw
 	gy := cfg.KSiWPerMMK * cfg.DieThicknessMM * g.cw / g.ch
-	g.gLatDie = math.Sqrt(gx * gy)
+	latDie := math.Sqrt(gx * gy)
 	gx = cfg.KCuWPerMMK * cfg.SpreaderThicknessMM * g.ch / g.cw
 	gy = cfg.KCuWPerMMK * cfg.SpreaderThicknessMM * g.cw / g.ch
-	g.gLatSpread = math.Sqrt(gx * gy)
+	latSpread := math.Sqrt(gx * gy)
+	if math.IsNaN(latDie) || math.IsNaN(latSpread) {
+		return nil, fmt.Errorf("thermal: grid conductances are NaN (negative conductivity or thickness in config)")
+	}
+	g.gLatDie, g.gLatSpread = latDie, latSpread
 
 	cellArea := g.cw * g.ch
 	g.gVert = cfg.GVertWPerKmm2 * cellArea
 	g.gSink = cfg.GSpreaderSinkWPerKmm2 * cellArea
 	g.ambientG = 1 / cfg.SinkResKPerW
+	if !(g.gVert > 0) || !(g.gSink > 0) || !(g.ambientG > 0) {
+		// The steady-state relaxation divides by conductance sums that
+		// are only guaranteed positive when these three are.
+		return nil, fmt.Errorf("thermal: non-positive grid conductances (gVert=%v gSink=%v ambientG=%v)",
+			g.gVert, g.gSink, g.ambientG)
+	}
 
 	g.Reset(cfg.AmbientC)
 	return g, nil
@@ -125,11 +133,19 @@ func (g *GridModel) Step(dtS float64) error {
 	cellArea := g.cw * g.ch
 	cDie := g.cfg.CSiJPerMM3K * cellArea * g.cfg.DieThicknessMM
 	cSp := g.cfg.CCuJPerMM3K * cellArea * g.cfg.SpreaderThicknessMM
+	if !(cDie > 0) || !(cSp > 0) {
+		return fmt.Errorf("thermal: non-positive cell heat capacity (cDie=%v cSp=%v)", cDie, cSp)
+	}
 	// Stability: the fastest node rate bounds the substep.
 	dieRate := (4*g.gLatDie + g.gVert) / cDie
 	spRate := (4*g.gLatSpread + g.gVert + g.gSink) / cSp
 	maxRate := math.Max(dieRate, spRate)
 	sub := math.Min(g.cfg.MaxEulerStepS, 0.5/maxRate)
+	if !(maxRate > 0) || !(sub > 0) {
+		// maxRate = +Inf (zero capacity) or MaxEulerStepS ≤ 0 would make
+		// the substep count meaningless.
+		return fmt.Errorf("thermal: degenerate substep %v (maxRate=%v)", sub, maxRate)
+	}
 	steps := int(math.Ceil(dtS / sub))
 	h := dtS / float64(steps)
 	if invariant.Enabled {
@@ -273,6 +289,7 @@ func (g *GridModel) SteadyState(tolC float64, maxIter int) (int, error) {
 			if d := math.Abs(tNew - g.temp[idx]); d > maxDelta {
 				maxDelta = d
 			}
+			//lint:ignore nanflow den >= gVert+gSink > 0, validated in NewGrid
 			g.temp[idx] = tNew
 		}
 		// Spreader layer.
@@ -302,6 +319,7 @@ func (g *GridModel) SteadyState(tolC float64, maxIter int) (int, error) {
 			if d := math.Abs(tNew - g.temp[s]); d > maxDelta {
 				maxDelta = d
 			}
+			//lint:ignore nanflow den >= gVert+gSink > 0, validated in NewGrid
 			g.temp[s] = tNew
 		}
 		// Sink node.
@@ -316,6 +334,7 @@ func (g *GridModel) SteadyState(tolC float64, maxIter int) (int, error) {
 			if d := math.Abs(tNew - g.temp[g.sink]); d > maxDelta {
 				maxDelta = d
 			}
+			//lint:ignore nanflow den >= ambientG > 0, validated in NewGrid
 			g.temp[g.sink] = tNew
 		}
 		if maxDelta < tolC {

@@ -85,6 +85,9 @@ func NewModel(chip *floorplan.Chip, cfg Config) (*Model, error) {
 				continue
 			}
 			dist := bi.Center().DistanceTo(bj.Center())
+			if !(dist > 0) {
+				return nil, fmt.Errorf("thermal: blocks %d and %d have coincident centers", i, j)
+			}
 			g := cfg.KSiWPerMMK * cfg.DieThicknessMM * shared / dist
 			m.link(i, j, g)
 		}
@@ -103,6 +106,9 @@ func NewModel(chip *floorplan.Chip, cfg Config) (*Model, error) {
 				continue
 			}
 			dist := bi.Center().DistanceTo(bj.Center())
+			if !(dist > 0) {
+				return nil, fmt.Errorf("thermal: blocks %d and %d have coincident centers", i, j)
+			}
 			g := cfg.KCuWPerMMK * cfg.SpreaderThicknessMM * shared / dist
 			m.link(m.spread0+i, m.spread0+j, g)
 		}
@@ -193,6 +199,11 @@ func (m *Model) stepCapped(dtS, capS float64) error {
 	}
 	// Stability: substep ≤ min(cap, 0.5/maxRate).
 	sub := math.Min(capS, 0.5/m.maxRate)
+	if !(sub > 0) {
+		// maxRate = +Inf (a zero heat capacity slipped through) would
+		// zero the substep and overflow the step count.
+		return fmt.Errorf("thermal: degenerate substep %v (maxRate=%v)", sub, m.maxRate)
+	}
 	steps := int(math.Ceil(dtS / sub))
 	h := dtS / float64(steps)
 	m.substeps += int64(steps)
