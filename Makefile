@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test race vet fmt-check lint lint-json sanitize fuzz chaos verify bench bench-baseline
+.PHONY: build test race vet fmt-check lint lint-json sanitize fuzz chaos verify bench bench-baseline bench-parallel
 
 build:
 	$(GO) build ./...
@@ -68,3 +68,8 @@ bench:
 # Regenerate the committed performance baseline from telemetry snapshots.
 bench-baseline:
 	./scripts/bench_baseline.sh
+
+# Regenerate the committed worker-matrix report (with the paired
+# cache-disabled control) and validate it.
+bench-parallel:
+	./scripts/bench_parallel.sh

@@ -9,6 +9,24 @@
 // Every future perf PR reruns tgbench and compares against the committed
 // baseline; the per-phase figures say *where* a speedup (or regression)
 // landed.
+//
+// Two further modes (see docs/PERFORMANCE.md for the methodology):
+//
+//	go run ./cmd/tgbench -parallel          # writes BENCH_parallel.json:
+//	                                        # the worker-count matrix plus a
+//	                                        # paired cache-disabled control,
+//	                                        # with per-row speedups and the
+//	                                        # PDN mask-cache hit rate
+//	go run ./cmd/tgbench -check BENCH_parallel.json
+//	                                        # CI smoke: parse the committed
+//	                                        # report and assert its claims
+//	                                        # are self-consistent
+//
+// Ratios are only ever taken within one interleaved session: repetition
+// r of every cell (cache off, workers 0, 2, ...) runs before repetition
+// r+1 of any, so all cells sample the same machine-noise windows. A
+// cross-file comparison against the committed baseline has no such
+// pairing and is deliberately not computed.
 package main
 
 import (
@@ -19,11 +37,15 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"thermogater/internal/core"
 	"thermogater/internal/fault"
 	"thermogater/internal/invariant"
+	"thermogater/internal/pdn"
 	"thermogater/internal/sim"
 	"thermogater/internal/telemetry"
 	"thermogater/internal/workload"
@@ -56,6 +78,9 @@ type CaseResult struct {
 	ThermalSubsteps   float64          `json:"thermal_substeps_per_epoch"`
 	PDNSteadySolves   float64          `json:"pdn_steady_solves_per_epoch"`
 	PDNTransientSolve float64          `json:"pdn_transient_solves_per_epoch"`
+	// CacheHitRate is hits/(hits+misses) of the PDN per-mask resistance
+	// cache over the run; 0 when the counters never moved.
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
 }
 
 // Baseline is the file tgbench writes.
@@ -69,31 +94,134 @@ type Baseline struct {
 	// numbers from a sanitized build are not comparable to the committed
 	// baseline and must never overwrite it.
 	Sanitizer bool `json:"sanitizer"`
+	// NoiseFloorPct is the paired null measurement: a third cell running
+	// the exact same configuration as the plain one joins every
+	// interleaved round, and this records the median |per-round ratio −
+	// 1| between the two identical cells — what the paired estimator
+	// reports when the true effect is zero. Deltas below it (like a
+	// small fault_overhead_pct, positive or negative) are measurement
+	// noise, not effects.
+	NoiseFloorPct float64 `json:"noise_floor_pct"`
 	// FaultOverheadPct is the per-epoch wall-time cost of arming the fault
 	// injector with a schedule that never fires, relative to the same run
 	// with no schedule at all — the price healthy runs pay for the
-	// robustness plumbing (first case only; expected ≈0).
+	// robustness plumbing (first case only; expected within the noise
+	// floor of zero).
 	FaultOverheadPct float64      `json:"fault_overhead_pct"`
 	Cases            []CaseResult `json:"cases"`
 }
 
+// ParallelSchema tags BENCH_parallel.json; -check rejects anything else.
+const ParallelSchema = "thermogater/bench-parallel/v1"
+
+// ParallelRow is one worker count of a case's matrix. WallNSPerEpoch is
+// the cell's own best repetition; SpeedupVsBaseline is the median over
+// rounds of the paired per-round ratio against the workers=0 cell (so
+// the two figures are estimated differently and their quotient need not
+// reproduce the ratio exactly).
+type ParallelRow struct {
+	Workers           int              `json:"workers"`
+	WallNSPerEpoch    float64          `json:"wall_ns_per_epoch"`
+	SpeedupVsBaseline float64          `json:"speedup_vs_baseline"`
+	CacheHitRate      float64          `json:"cache_hit_rate"`
+	PhaseNSPerEpoch   map[string]int64 `json:"phase_ns_per_epoch"`
+}
+
+// ParallelCase is one (policy, benchmark) across the worker matrix plus
+// the paired cache control. The baseline of every speedup_vs_baseline is
+// this file's own workers=0 cell (same binary, same machine, interleaved
+// repetitions, per-round paired ratios); the cache_speedup figures
+// compare that cell against the same configuration with the per-mask
+// cache disabled, measured in the same interleaved session.
+type ParallelCase struct {
+	Name        string `json:"name"`
+	Policy      string `json:"policy"`
+	Benchmark   string `json:"benchmark"`
+	Epochs      int    `json:"epochs"`
+	Repetitions int    `json:"repetitions"`
+	// NoCacheWallNSPerEpoch is the sequential run with
+	// pdn.CacheDisabled — the uncached control every caching claim is
+	// paired against.
+	NoCacheWallNSPerEpoch float64 `json:"nocache_wall_ns_per_epoch"`
+	// CacheSpeedup is uncached/cached whole-run wall time. The win is
+	// diluted across all six phases, so this ratio sits near 1.
+	CacheSpeedup float64 `json:"cache_speedup"`
+	// CacheSpeedupPDNPhase is the same ratio on the pdn phase alone,
+	// where the cached work lives; -check requires it >= 1.
+	CacheSpeedupPDNPhase float64       `json:"cache_speedup_pdn_phase"`
+	Rows                 []ParallelRow `json:"rows"`
+}
+
+// ParallelReport is BENCH_parallel.json.
+type ParallelReport struct {
+	Schema        string         `json:"schema"`
+	CreatedUnix   int64          `json:"created_unix"`
+	GoVersion     string         `json:"go_version"`
+	GOMAXPROCS    int            `json:"gomaxprocs"`
+	NumCPU        int            `json:"num_cpu"`
+	DurationMS    int            `json:"duration_ms"`
+	Sanitizer     bool           `json:"sanitizer"`
+	NoiseFloorPct float64        `json:"noise_floor_pct"`
+	WorkersMatrix []int          `json:"workers_matrix"`
+	Cases         []ParallelCase `json:"cases"`
+}
+
 func main() {
 	var (
-		out      = flag.String("out", "BENCH_baseline.json", "output file (- for stdout)")
+		out      = flag.String("out", "", "output file (- for stdout; default BENCH_baseline.json, or BENCH_parallel.json with -parallel)")
 		duration = flag.Int("duration", 150, "run length per case in ms")
-		reps     = flag.Int("reps", 3, "repetitions per case (best is kept)")
+		reps     = flag.Int("reps", 3, "timed repetitions per case (best is kept)")
+		warmup   = flag.Int("warmup", 1, "discarded warm-up repetitions per case")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		parallel = flag.Bool("parallel", false, "measure the worker-count matrix and write a bench-parallel report")
+		workers  = flag.String("workers", "0,2,4,8", "comma-separated worker counts for -parallel")
+		check    = flag.String("check", "", "validate a committed bench-parallel report and exit")
 	)
 	flag.Parse()
 
-	b, err := measure(defaultCases, *duration, *reps, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tgbench:", err)
-		os.Exit(1)
+	if *check != "" {
+		if err := checkParallelFile(*check); err != nil {
+			fmt.Fprintln(os.Stderr, "tgbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: ok\n", *check)
+		return
 	}
+
+	if *out == "" {
+		*out = "BENCH_baseline.json"
+		if *parallel {
+			*out = "BENCH_parallel.json"
+		}
+	}
+
+	var payload any
+	var nCases int
+	if *parallel {
+		matrix, err := parseWorkers(*workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tgbench:", err)
+			os.Exit(1)
+		}
+		rep, err := measureParallel(defaultCases, *duration, *reps, *warmup, *seed, matrix)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tgbench:", err)
+			os.Exit(1)
+		}
+		payload, nCases = rep, len(rep.Cases)
+	} else {
+		b, err := measure(defaultCases, *duration, *reps, *warmup, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tgbench:", err)
+			os.Exit(1)
+		}
+		payload, nCases = b, len(b.Cases)
+	}
+
 	var w io.Writer = os.Stdout
 	var f *os.File
 	if *out != "-" {
+		var err error
 		f, err = os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tgbench:", err)
@@ -101,7 +229,7 @@ func main() {
 		}
 		w = f
 	}
-	if err := writeBaseline(w, b); err != nil {
+	if err := writeJSON(w, payload); err != nil {
 		fmt.Fprintln(os.Stderr, "tgbench:", err)
 		os.Exit(1)
 	}
@@ -111,12 +239,28 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tgbench:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s (%d cases)\n", *out, len(b.Cases))
+		fmt.Printf("wrote %s (%d cases)\n", *out, nCases)
 	}
 }
 
-// measure runs every case reps times and keeps the fastest repetition.
-func measure(cases []benchCase, durationMS, reps int, seed uint64) (*Baseline, error) {
+func parseWorkers(s string) ([]int, error) {
+	var matrix []int
+	for _, part := range strings.Split(s, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad -workers entry %q", part)
+		}
+		matrix = append(matrix, w)
+	}
+	if len(matrix) == 0 {
+		return nil, fmt.Errorf("empty -workers matrix")
+	}
+	return matrix, nil
+}
+
+// measure runs every case warmup+reps times (warm-ups discarded) and
+// keeps the fastest timed repetition.
+func measure(cases []benchCase, durationMS, reps, warmup int, seed uint64) (*Baseline, error) {
 	b := &Baseline{
 		Schema:      "thermogater/bench/v1",
 		CreatedUnix: time.Now().Unix(),
@@ -126,7 +270,7 @@ func measure(cases []benchCase, durationMS, reps int, seed uint64) (*Baseline, e
 		Sanitizer:   invariant.Enabled,
 	}
 	for _, c := range cases {
-		best, err := measureCase(c, durationMS, reps, seed, nil)
+		best, _, err := measureCase(c, caseOpts{durationMS: durationMS, reps: reps, warmup: warmup, seed: seed})
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: %w", c.Policy, c.Bench, err)
 		}
@@ -134,30 +278,215 @@ func measure(cases []benchCase, durationMS, reps int, seed uint64) (*Baseline, e
 	}
 	// Armed-but-idle fault injector on the first case: one event scheduled
 	// far past the end of the run, so only the plumbing cost is measured.
-	// The plain variant is re-measured here rather than reusing
-	// b.Cases[0]: that number was taken at process start, before the CPU
-	// and allocator warmed up, and the warm-up delta dwarfs the plumbing
-	// cost being measured. Back-to-back runs share machine conditions.
+	// Plain and armed repetitions are interleaved rather than batched, and
+	// the overhead is the median of the per-round paired ratios — the
+	// plumbing cost is far below this machine's minute-scale drift, so
+	// only adjacent-in-time pairs can resolve it at all (the recorded
+	// noise_floor_pct says how little even they can resolve).
 	idle := &fault.Schedule{Events: []fault.Event{{
 		Kind:  fault.VRStuckOff,
 		Epoch: durationMS + 1000,
 		Unit:  0,
 	}}}
-	plain, err := measureCase(cases[0], durationMS, reps, seed, nil)
+	plainOpt := caseOpts{durationMS: durationMS, reps: reps, warmup: warmup, seed: seed}
+	armedOpt := plainOpt
+	armedOpt.faults = idle
+	// The third cell is the null: plain again, so every round also pairs
+	// two runs of the identical configuration.
+	_, rounds, err := measureInterleaved(cases[0], []caseOpts{plainOpt, armedOpt, plainOpt})
 	if err != nil {
 		return nil, fmt.Errorf("fault overhead %s/%s: %w", cases[0].Policy, cases[0].Bench, err)
 	}
-	armed, err := measureCase(cases[0], durationMS, reps, seed, idle)
-	if err != nil {
-		return nil, fmt.Errorf("fault overhead %s/%s: %w", cases[0].Policy, cases[0].Bench, err)
+	if ratio := medianRatio(rounds, 1, 0, wallOf); ratio > 0 {
+		b.FaultOverheadPct = 100 * (ratio - 1)
 	}
-	if plain.WallNSPerEpoch > 0 {
-		b.FaultOverheadPct = 100 * (armed.WallNSPerEpoch - plain.WallNSPerEpoch) / plain.WallNSPerEpoch
-	}
+	b.NoiseFloorPct = nullFloorPct(rounds, 2, 0)
 	return b, nil
 }
 
-func measureCase(c benchCase, durationMS, reps int, seed uint64, faults *fault.Schedule) (*CaseResult, error) {
+// nullFloorPct measures the paired estimator's resolution from a null
+// pair: cells a and b ran the *same* configuration in every round, so
+// the median |per-round wall ratio − 1| between them is what medianRatio
+// reports when the true effect is zero. A cross-cell delta below this
+// floor is indistinguishable from noise on this machine.
+func nullFloorPct(rounds [][]*CaseResult, a, b int) float64 {
+	var devs []float64
+	for _, row := range rounds {
+		x, y := row[a].WallNSPerEpoch, row[b].WallNSPerEpoch
+		if x > 0 && y > 0 {
+			devs = append(devs, math.Abs(x/y-1))
+		}
+	}
+	return 100 * median(devs)
+}
+
+// median of a slice; 0 when empty. The input is not modified.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return 0.5 * (s[n/2-1] + s[n/2])
+	}
+}
+
+// measureParallel sweeps the worker matrix for every case, plus one
+// cache-disabled sequential cell as the paired control for the caching
+// claim. All cells of a case run interleaved in one session.
+func measureParallel(cases []benchCase, durationMS, reps, warmup int, seed uint64, matrix []int) (*ParallelReport, error) {
+	rep := &ParallelReport{
+		Schema:        ParallelSchema,
+		CreatedUnix:   time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		DurationMS:    durationMS,
+		Sanitizer:     invariant.Enabled,
+		WorkersMatrix: matrix,
+	}
+	for _, c := range cases {
+		pc := ParallelCase{
+			Name:        "pipeline/" + c.Policy + "/" + c.Bench,
+			Policy:      c.Policy,
+			Benchmark:   c.Bench,
+			Repetitions: reps,
+		}
+		// Cell 0 is the cache-disabled control, cell 1 the null (a second
+		// workers=0 run per round, for the noise floor), and the matrix
+		// cells follow.
+		base := caseOpts{durationMS: durationMS, reps: reps, warmup: warmup, seed: seed}
+		nocacheOpt := base
+		nocacheOpt.nocache = true
+		opts := []caseOpts{nocacheOpt, base}
+		for _, w := range matrix {
+			o := base
+			o.workers = w
+			opts = append(opts, o)
+		}
+		bests, rounds, err := measureInterleaved(c, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", pc.Name, err)
+		}
+		seqCell := -1
+		for i, w := range matrix {
+			if bests[i+2] == nil {
+				return nil, fmt.Errorf("%s workers=%d: no timed repetitions", pc.Name, w)
+			}
+			if pc.Epochs == 0 {
+				pc.Epochs = bests[i+2].Epochs
+			}
+			if w == 0 {
+				seqCell = i + 2
+				// The report-level floor comes from the first case's
+				// null pair.
+				if len(rep.Cases) == 0 {
+					rep.NoiseFloorPct = nullFloorPct(rounds, 1, seqCell)
+				}
+			}
+		}
+		for i, w := range matrix {
+			best := bests[i+2]
+			row := ParallelRow{
+				Workers:         w,
+				WallNSPerEpoch:  best.WallNSPerEpoch,
+				CacheHitRate:    best.CacheHitRate,
+				PhaseNSPerEpoch: best.PhaseNSPerEpoch,
+			}
+			if seqCell >= 0 {
+				row.SpeedupVsBaseline = medianRatio(rounds, seqCell, i+2, wallOf)
+			}
+			pc.Rows = append(pc.Rows, row)
+		}
+		if nocache := bests[0]; nocache != nil && seqCell >= 0 {
+			pc.NoCacheWallNSPerEpoch = nocache.WallNSPerEpoch
+			pc.CacheSpeedup = medianRatio(rounds, 0, seqCell, wallOf)
+			pc.CacheSpeedupPDNPhase = medianRatio(rounds, 0, seqCell, func(r *CaseResult) float64 {
+				return float64(r.PhaseNSPerEpoch["pdn"])
+			})
+		}
+		rep.Cases = append(rep.Cases, pc)
+	}
+	return rep, nil
+}
+
+// checkParallelFile is the CI smoke over the committed report: it must
+// parse, carry the right schema, and every recorded claim must be
+// self-consistent — a workers=0 row at speedup 1, monotone-sane speedups
+// (the best row at least 1.0), hit rates inside [0, 1], a recorded
+// cache-disabled control, and a pdn-phase caching win over it.
+func checkParallelFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep ParallelReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != ParallelSchema {
+		return fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, ParallelSchema)
+	}
+	if len(rep.Cases) == 0 {
+		return fmt.Errorf("%s: no cases", path)
+	}
+	for _, c := range rep.Cases {
+		if len(c.Rows) == 0 {
+			return fmt.Errorf("%s: case %s has no rows", path, c.Name)
+		}
+		if c.Epochs <= 0 {
+			return fmt.Errorf("%s: case %s has %d epochs", path, c.Name, c.Epochs)
+		}
+		bestSpeedup := 0.0
+		sawBase := false
+		for _, r := range c.Rows {
+			if r.WallNSPerEpoch <= 0 {
+				return fmt.Errorf("%s: case %s workers=%d has wall %v ns/epoch", path, c.Name, r.Workers, r.WallNSPerEpoch)
+			}
+			if r.CacheHitRate < 0 || r.CacheHitRate > 1 {
+				return fmt.Errorf("%s: case %s workers=%d hit rate %v outside [0,1]", path, c.Name, r.Workers, r.CacheHitRate)
+			}
+			if r.Workers == 0 {
+				sawBase = true
+				if math.Abs(r.SpeedupVsBaseline-1) > 1e-9 {
+					return fmt.Errorf("%s: case %s workers=0 speedup %v, want 1", path, c.Name, r.SpeedupVsBaseline)
+				}
+			}
+			if r.SpeedupVsBaseline > bestSpeedup {
+				bestSpeedup = r.SpeedupVsBaseline
+			}
+		}
+		if !sawBase {
+			return fmt.Errorf("%s: case %s has no workers=0 row", path, c.Name)
+		}
+		if bestSpeedup < 1.0 {
+			return fmt.Errorf("%s: case %s best speedup %v < 1.0", path, c.Name, bestSpeedup)
+		}
+		if c.NoCacheWallNSPerEpoch <= 0 {
+			return fmt.Errorf("%s: case %s has no cache-disabled control (%v ns/epoch)", path, c.Name, c.NoCacheWallNSPerEpoch)
+		}
+		if c.CacheSpeedupPDNPhase < 1.0 {
+			return fmt.Errorf("%s: case %s pdn-phase cache speedup %v < 1.0 — the caching claim fails its own paired control", path, c.Name, c.CacheSpeedupPDNPhase)
+		}
+	}
+	return nil
+}
+
+// caseOpts parameterises one measurement cell.
+type caseOpts struct {
+	durationMS, reps, warmup, workers int
+	seed                              uint64
+	faults                            *fault.Schedule
+	// nocache disables the PDN per-mask resistance cache — the paired
+	// control for the caching claim.
+	nocache bool
+}
+
+// runOnce executes one full run of a case and distils its telemetry.
+func runOnce(c benchCase, opt caseOpts) (*CaseResult, error) {
 	policy, err := core.ParsePolicy(c.Policy)
 	if err != nil {
 		return nil, err
@@ -166,37 +495,107 @@ func measureCase(c benchCase, durationMS, reps int, seed uint64, faults *fault.S
 	if err != nil {
 		return nil, err
 	}
-	best := &CaseResult{
-		Name:           "runner/" + c.Policy + "/" + c.Bench,
-		Policy:         c.Policy,
-		Benchmark:      c.Bench,
-		Repetitions:    reps,
-		WallNSPerEpoch: math.Inf(1),
+	reg := telemetry.NewRegistry()
+	cfg := sim.DefaultConfig(policy, bench)
+	cfg.Seed = opt.seed
+	cfg.DurationMS = opt.durationMS
+	cfg.Telemetry = reg
+	cfg.Faults = opt.faults
+	cfg.Workers = opt.workers
+	if opt.nocache {
+		cfg.PDN.MaskCacheSize = pdn.CacheDisabled
 	}
-	for rep := 0; rep < reps; rep++ {
-		reg := telemetry.NewRegistry()
-		cfg := sim.DefaultConfig(policy, bench)
-		cfg.Seed = seed
-		cfg.DurationMS = durationMS
-		cfg.Telemetry = reg
-		cfg.Faults = faults
-		r, err := sim.New(cfg)
-		if err != nil {
-			return nil, err
+	r, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := r.Run(); err != nil {
+		return nil, err
+	}
+	res, err := fromSnapshot(reg.Snapshot())
+	if err != nil {
+		return nil, err
+	}
+	res.Name = "runner/" + c.Policy + "/" + c.Bench
+	res.Policy, res.Benchmark = c.Policy, c.Bench
+	res.Repetitions = opt.reps
+	return res, nil
+}
+
+// measureInterleaved times several cells of one case round-robin:
+// repetition r of every cell runs before repetition r+1 of any, so all
+// cells sample the same machine-noise windows. Warm-up rounds run every
+// cell and are discarded; each cell keeps its fastest timed repetition
+// as its own wall figure. rounds[r][i] is cell i's result in timed round
+// r — cross-cell ratios must be taken per round (adjacent runs, drift
+// cancels) and aggregated with the median (see medianRatio), never
+// between independently-chosen best repetitions: on a machine that
+// drifts several percent minute to minute, one lucky repetition in one
+// cell would otherwise set the whole figure. Repetition counts come
+// from opts[0]; a cell with zero timed repetitions yields a nil best.
+func measureInterleaved(c benchCase, opts []caseOpts) (bests []*CaseResult, rounds [][]*CaseResult, err error) {
+	bests = make([]*CaseResult, len(opts))
+	for rep := 0; rep < opts[0].warmup+opts[0].reps; rep++ {
+		row := make([]*CaseResult, len(opts))
+		for i, opt := range opts {
+			res, err := runOnce(c, opt)
+			if err != nil {
+				return nil, nil, err
+			}
+			row[i] = res
 		}
-		if _, err := r.Run(); err != nil {
-			return nil, err
+		if rep < opts[0].warmup {
+			continue
 		}
-		res, err := fromSnapshot(reg.Snapshot())
-		if err != nil {
-			return nil, err
-		}
-		if res.WallNSPerEpoch < best.WallNSPerEpoch {
-			res.Name, res.Policy, res.Benchmark, res.Repetitions = best.Name, best.Policy, best.Benchmark, reps
-			best = res
+		rounds = append(rounds, row)
+		for i, res := range row {
+			if bests[i] == nil || res.WallNSPerEpoch < bests[i].WallNSPerEpoch {
+				bests[i] = res
+			}
 		}
 	}
-	return best, nil
+	return bests, rounds, nil
+}
+
+// cellWalls extracts cell i's timed wall figures from the rounds, in
+// round order, for noise-floor estimation.
+func cellWalls(rounds [][]*CaseResult, i int) []float64 {
+	walls := make([]float64, 0, len(rounds))
+	for _, row := range rounds {
+		walls = append(walls, row[i].WallNSPerEpoch)
+	}
+	return walls
+}
+
+// medianRatio aggregates a cross-cell ratio over the timed rounds:
+// f(numerator cell)/f(denominator cell) within each round, median across
+// rounds. Rounds where either figure is non-positive are skipped.
+func medianRatio(rounds [][]*CaseResult, num, den int, f func(*CaseResult) float64) float64 {
+	var ratios []float64
+	for _, row := range rounds {
+		n, d := f(row[num]), f(row[den])
+		if n > 0 && d > 0 {
+			ratios = append(ratios, n/d)
+		}
+	}
+	return median(ratios)
+}
+
+// wallOf reads a result's per-epoch wall time (the default medianRatio
+// metric).
+func wallOf(r *CaseResult) float64 { return r.WallNSPerEpoch }
+
+// measureCase returns the best timed repetition of a single cell and its
+// timed wall figures.
+func measureCase(c benchCase, opt caseOpts) (*CaseResult, []float64, error) {
+	bests, rounds, err := measureInterleaved(c, []caseOpts{opt})
+	if err != nil {
+		return nil, nil, err
+	}
+	if bests[0] == nil {
+		return nil, nil, fmt.Errorf("no timed repetitions (reps=%d)", opt.reps)
+	}
+	return bests[0], cellWalls(rounds, 0), nil
 }
 
 // fromSnapshot distils one run's telemetry snapshot into per-epoch figures.
@@ -230,11 +629,16 @@ func fromSnapshot(sn telemetry.Snapshot) (*CaseResult, error) {
 	res.ThermalSubsteps = counter("thermal_euler_substeps_total") / n
 	res.PDNSteadySolves = counter("pdn_solves_total{kind=steady}") / n
 	res.PDNTransientSolve = counter("pdn_solves_total{kind=transient}") / n
+	hits := counter("pdn_mask_cache_total{kind=hit}")
+	misses := counter("pdn_mask_cache_total{kind=miss}")
+	if hits+misses > 0 {
+		res.CacheHitRate = hits / (hits + misses)
+	}
 	return res, nil
 }
 
-func writeBaseline(w io.Writer, b *Baseline) error {
+func writeJSON(w io.Writer, payload any) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(b)
+	return enc.Encode(payload)
 }

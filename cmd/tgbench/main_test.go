@@ -3,17 +3,18 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"testing"
 )
 
 func TestMeasureProducesCompleteBaseline(t *testing.T) {
 	cases := []benchCase{{"all-on", "fft"}}
-	b, err := measure(cases, 30, 1, 1)
+	b, err := measure(cases, 30, 1, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := writeBaseline(&buf, b); err != nil {
+	if err := writeJSON(&buf, b); err != nil {
 		t.Fatal(err)
 	}
 	var back Baseline
@@ -50,10 +51,159 @@ func TestMeasureProducesCompleteBaseline(t *testing.T) {
 }
 
 func TestMeasureRejectsUnknownCase(t *testing.T) {
-	if _, err := measure([]benchCase{{"nope", "fft"}}, 30, 1, 1); err == nil {
+	if _, err := measure([]benchCase{{"nope", "fft"}}, 30, 1, 0, 1); err == nil {
 		t.Error("unknown policy accepted")
 	}
-	if _, err := measure([]benchCase{{"all-on", "nope"}}, 30, 1, 1); err == nil {
+	if _, err := measure([]benchCase{{"all-on", "nope"}}, 30, 1, 0, 1); err == nil {
 		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestParseWorkers(t *testing.T) {
+	got, err := parseWorkers("0, 2,8")
+	if err != nil || len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 8 {
+		t.Fatalf("parseWorkers = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "x", "-1", "1,,2"} {
+		if _, err := parseWorkers(bad); err == nil {
+			t.Errorf("parseWorkers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("median odd = %v, want 2", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Errorf("median even = %v, want 2.5", m)
+	}
+	if m := median(nil); m != 0 {
+		t.Errorf("median empty = %v, want 0", m)
+	}
+}
+
+func TestPairedEstimators(t *testing.T) {
+	wall := func(ns float64) *CaseResult {
+		return &CaseResult{WallNSPerEpoch: ns, PhaseNSPerEpoch: map[string]int64{"pdn": int64(ns / 10)}}
+	}
+	// Three rounds with a 2x drift between rounds: per-round pairing must
+	// still resolve cell 1 running 10% slower than cell 0.
+	rounds := [][]*CaseResult{
+		{wall(100), wall(110), wall(102)},
+		{wall(200), wall(220), wall(198)},
+		{wall(150), wall(165), wall(151)},
+	}
+	if r := medianRatio(rounds, 1, 0, wallOf); r < 1.099 || r > 1.101 {
+		t.Errorf("medianRatio = %v, want 1.10 despite 2x drift", r)
+	}
+	// The null pair (cells 0 and 2, same configuration) bounds the floor:
+	// deviations are 2%, 1%, ~0.67% -> median 1%.
+	if nf := nullFloorPct(rounds, 2, 0); nf < 0.9 || nf > 1.1 {
+		t.Errorf("nullFloorPct = %v, want ~1", nf)
+	}
+	if r := medianRatio(rounds, 0, 0, wallOf); r != 1 {
+		t.Errorf("self ratio = %v, want exactly 1", r)
+	}
+}
+
+// TestMeasureParallelMatrix: a tiny matrix sweep must produce a
+// self-consistent report — the exact property -check later enforces on
+// the committed file.
+func TestMeasureParallelMatrix(t *testing.T) {
+	rep, err := measureParallel([]benchCase{{"oracT", "fft"}}, 30, 1, 0, 1, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != ParallelSchema {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if len(rep.Cases) != 1 || len(rep.Cases[0].Rows) != 2 {
+		t.Fatalf("report shape wrong: %+v", rep)
+	}
+	c := rep.Cases[0]
+	if c.Rows[0].Workers != 0 || c.Rows[0].SpeedupVsBaseline != 1 {
+		t.Errorf("workers=0 row: %+v", c.Rows[0])
+	}
+	if c.Rows[1].Workers != 2 || c.Rows[1].SpeedupVsBaseline <= 0 {
+		t.Errorf("workers=2 row: %+v", c.Rows[1])
+	}
+	if c.Rows[0].CacheHitRate <= 0.5 {
+		t.Errorf("cache hit rate = %v, want the per-mask cache mostly hitting", c.Rows[0].CacheHitRate)
+	}
+	if c.NoCacheWallNSPerEpoch <= 0 {
+		t.Errorf("nocache control wall = %v, want positive", c.NoCacheWallNSPerEpoch)
+	}
+	if c.CacheSpeedup <= 0 {
+		t.Errorf("cache_speedup = %v, want positive", c.CacheSpeedup)
+	}
+	// The interleaved control and the cached run are seconds apart, and
+	// the pdn-phase ratio is a work ratio (a full effective-resistance
+	// recompute per substep per domain vs a lookup), so even a single
+	// repetition on a noisy box keeps it above 1.
+	if c.CacheSpeedupPDNPhase <= 1 {
+		t.Errorf("cache_speedup_pdn_phase = %v, want > 1", c.CacheSpeedupPDNPhase)
+	}
+}
+
+func TestCheckParallelFile(t *testing.T) {
+	write := func(t *testing.T, rep *ParallelReport) string {
+		t.Helper()
+		path := t.TempDir() + "/p.json"
+		var buf bytes.Buffer
+		if err := writeJSON(&buf, rep); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	good := &ParallelReport{
+		Schema: ParallelSchema,
+		Cases: []ParallelCase{{
+			Name: "pipeline/oracT/fft", Epochs: 30,
+			NoCacheWallNSPerEpoch: 120,
+			CacheSpeedup:          1.2,
+			CacheSpeedupPDNPhase:  1.8,
+			Rows: []ParallelRow{
+				{Workers: 0, WallNSPerEpoch: 100, SpeedupVsBaseline: 1, CacheHitRate: 0.9},
+				{Workers: 4, WallNSPerEpoch: 40, SpeedupVsBaseline: 2.5, CacheHitRate: 0.9},
+			},
+		}},
+	}
+	if err := checkParallelFile(write(t, good)); err != nil {
+		t.Errorf("valid report rejected: %v", err)
+	}
+
+	for name, mutate := range map[string]func(*ParallelReport){
+		"wrong schema":      func(r *ParallelReport) { r.Schema = "nope" },
+		"no cases":          func(r *ParallelReport) { r.Cases = nil },
+		"no base row":       func(r *ParallelReport) { r.Cases[0].Rows = r.Cases[0].Rows[1:] },
+		"base speedup != 1": func(r *ParallelReport) { r.Cases[0].Rows[0].SpeedupVsBaseline = 1.2 },
+		"hit rate > 1":      func(r *ParallelReport) { r.Cases[0].Rows[1].CacheHitRate = 1.5 },
+		"missing cache control": func(r *ParallelReport) {
+			r.Cases[0].NoCacheWallNSPerEpoch = 0
+		},
+		"pdn-phase cache regression": func(r *ParallelReport) {
+			r.Cases[0].CacheSpeedupPDNPhase = 0.8
+		},
+		"zero wall": func(r *ParallelReport) { r.Cases[0].Rows[0].WallNSPerEpoch = 0 },
+	} {
+		var rep ParallelReport
+		var buf bytes.Buffer
+		if err := writeJSON(&buf, good); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+			t.Fatal(err)
+		}
+		mutate(&rep)
+		if err := checkParallelFile(write(t, &rep)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if err := checkParallelFile(t.TempDir() + "/missing.json"); err == nil {
+		t.Error("missing file accepted")
 	}
 }

@@ -1,0 +1,157 @@
+// Package par provides the deterministic worker pool the simulator's
+// parallel epoch pipeline runs on. It is deliberately tiny: a fixed set
+// of persistent workers and a blocking parallel-for over index ranges.
+//
+// Determinism contract: For partitions [0, n) into at most Workers()
+// contiguous chunks and runs each chunk exactly once. Callers get
+// bit-identical results to a serial loop as long as the body writes only
+// to locations owned by its index range (disjoint writes) and every
+// cross-range reduction happens after For returns, in a fixed order.
+// That contract — fan out over disjoint state, reduce serially — is what
+// keeps the byte-identical-telemetry determinism test passing at any
+// worker count (see docs/PERFORMANCE.md, "The deterministic-reduction
+// contract").
+//
+// A nil *Pool is valid and runs everything inline on the caller's
+// goroutine, so sequential mode shares the exact code path with parallel
+// mode — there is no separate serial implementation to drift.
+package par
+
+import (
+	"fmt"
+	"sync"
+)
+
+// task is one chunk of a parallel-for: run fn over [lo, hi).
+type task struct {
+	lo, hi int
+	fn     func(lo, hi int)
+	wg     *sync.WaitGroup
+	panics *panicBox
+}
+
+// panicBox captures the first panic raised by any chunk so For can
+// re-raise it on the calling goroutine — a worker crashing must look
+// exactly like the serial loop crashing (the experiments sweep's
+// per-run recovery and the tgsan panic-by-default handler both rely on
+// panics surfacing on the goroutine that owns the run).
+type panicBox struct {
+	mu  sync.Mutex
+	val any
+	set bool
+}
+
+func (b *panicBox) capture(v any) {
+	b.mu.Lock()
+	if !b.set {
+		b.val, b.set = v, true
+	}
+	b.mu.Unlock()
+}
+
+// Pool is a fixed-size set of persistent workers. The zero of *Pool
+// (nil) is the inline pool: every For runs serially on the caller.
+type Pool struct {
+	workers int
+	tasks   chan task
+	closeMu sync.Mutex
+	closed  bool
+}
+
+// New starts a pool of the given size. Sizes below 2 need no worker
+// goroutines at all, so New returns nil — the inline pool — and callers
+// can treat "no parallelism" and "parallelism disabled" identically.
+func New(workers int) *Pool {
+	if workers < 2 {
+		return nil
+	}
+	p := &Pool{
+		workers: workers,
+		tasks:   make(chan task),
+	}
+	// workers-1 background goroutines: the caller's goroutine always
+	// executes one chunk itself, so a For over W chunks occupies exactly
+	// W threads with no handoff for the last chunk.
+	for i := 0; i < workers-1; i++ {
+		go p.work()
+	}
+	return p
+}
+
+func (p *Pool) work() {
+	for t := range p.tasks {
+		p.runChunk(t)
+	}
+}
+
+func (p *Pool) runChunk(t task) {
+	defer t.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			t.panics.capture(r)
+		}
+	}()
+	t.fn(t.lo, t.hi)
+}
+
+// Workers returns the parallel width: 1 for the inline (nil) pool.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// For runs fn over [0, n) split into at most Workers() contiguous
+// chunks and blocks until every chunk finished. On the nil pool it is a
+// plain call of fn(0, n). If any chunk panics, For re-panics with the
+// first captured value after all chunks have finished, so no chunk is
+// ever still running when the panic unwinds the caller.
+func (p *Pool) For(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || p.workers < 2 || n == 1 {
+		fn(0, n)
+		return
+	}
+	chunks := p.workers
+	if chunks > n {
+		chunks = n
+	}
+	var wg sync.WaitGroup
+	box := &panicBox{}
+	// Ceil-split so every chunk is within one element of the others and
+	// the partition depends only on (n, chunks) — never on scheduling.
+	size := (n + chunks - 1) / chunks
+	lo := 0
+	wg.Add(chunks)
+	for c := 0; c < chunks-1; c++ {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		p.tasks <- task{lo: lo, hi: hi, fn: fn, wg: &wg, panics: box}
+		lo = hi
+	}
+	// Last chunk runs inline on the caller.
+	p.runChunk(task{lo: lo, hi: n, fn: fn, wg: &wg, panics: box})
+	wg.Wait()
+	if box.set {
+		panic(fmt.Sprintf("par: worker panic: %v", box.val))
+	}
+}
+
+// Close shuts the workers down. Safe to call more than once and on the
+// nil pool; For must not be running or called afterwards.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	p.closeMu.Lock()
+	defer p.closeMu.Unlock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+}

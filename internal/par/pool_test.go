@@ -1,0 +1,124 @@
+package par
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForCoversEveryIndexOnce drives every pool width over awkward sizes
+// and checks the partition is exact: each index touched exactly once.
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 4, 8} {
+		p := New(workers)
+		for _, n := range []int{0, 1, 2, 3, 7, 8, 9, 64, 1000} {
+			hits := make([]int32, n)
+			p.For(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d touched %d times", workers, n, i, h)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestForDisjointWritesMatchSerial is the determinism contract: writes to
+// owned slots produce bit-identical output at any width.
+func TestForDisjointWritesMatchSerial(t *testing.T) {
+	const n = 513
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = float64(i)*1.5 + 0.25
+	}
+	for _, workers := range []int{1, 2, 5, 16} {
+		p := New(workers)
+		got := make([]float64, n)
+		p.For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				got[i] = float64(i)*1.5 + 0.25
+			}
+		})
+		p.Close()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: got[%d] = %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestNilPoolRunsInline proves the nil pool is the serial path.
+func TestNilPoolRunsInline(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool width %d, want 1", p.Workers())
+	}
+	calls := 0
+	p.For(10, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 10 {
+			t.Fatalf("nil pool chunk [%d,%d), want [0,10)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("nil pool made %d chunks, want 1", calls)
+	}
+	p.Close() // must not panic
+}
+
+// TestForPanicPropagates: a chunk panic must surface on the caller after
+// every other chunk has finished, with the original value in the message.
+func TestForPanicPropagates(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var finished atomic.Int32
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if !strings.Contains(r.(string), "boom-7") {
+			t.Fatalf("panic lost its payload: %v", r)
+		}
+	}()
+	p.For(64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i == 7 {
+				panic("boom-7")
+			}
+		}
+		finished.Add(1)
+	})
+}
+
+// TestCloseIdempotent: double Close must not panic.
+func TestCloseIdempotent(t *testing.T) {
+	p := New(3)
+	p.Close()
+	p.Close()
+}
+
+// TestForAfterForReusesWorkers: many sequential For calls on one pool.
+func TestForAfterForReusesWorkers(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	total := make([]int64, 128)
+	for round := 0; round < 50; round++ {
+		p.For(len(total), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				total[i]++
+			}
+		})
+	}
+	for i, v := range total {
+		if v != 50 {
+			t.Fatalf("slot %d saw %d rounds, want 50", i, v)
+		}
+	}
+}

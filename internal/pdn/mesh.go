@@ -32,6 +32,23 @@ type MeshConfig struct {
 	MaxIter int
 	// Omega is the SOR over-relaxation factor in (0, 2).
 	Omega float64
+	// FactorCacheSize bounds the LRU of per-mask Cholesky factorizations
+	// Solve keeps (see cache.go). Zero selects the default; CacheDisabled
+	// refactorizes on every Solve (the benchmarks' uncached control).
+	FactorCacheSize int
+}
+
+// defaultFactorCacheSize is the factorization cache capacity used when
+// MeshConfig.FactorCacheSize is zero. A governor cycles through few
+// masks per domain, so a handful of factors covers the working set.
+const defaultFactorCacheSize = 8
+
+// factorCacheSize resolves the configured capacity, applying the default.
+func (c MeshConfig) factorCacheSize() int {
+	if c.FactorCacheSize == 0 {
+		return defaultFactorCacheSize
+	}
+	return c.FactorCacheSize
 }
 
 // DefaultMeshConfig matches the calibrated path model: with the default
@@ -61,6 +78,9 @@ func (c MeshConfig) Validate() error {
 	if c.Omega <= 0 || c.Omega >= 2 {
 		return errors.New("pdn: SOR omega outside (0, 2)")
 	}
+	if c.FactorCacheSize < CacheDisabled {
+		return errors.New("pdn: factor cache size must be non-negative (or CacheDisabled)")
+	}
 	return nil
 }
 
@@ -79,6 +99,10 @@ type Mesh struct {
 	blockNodes [][]int
 	// vrNode[ri] is the node index nearest the ri-th regulator.
 	vrNode []int
+	// factors caches the banded Cholesky factorization per active-VR
+	// mask. The mesh geometry is immutable after NewMesh, so entries
+	// never invalidate; they only rotate out of the LRU.
+	factors *maskLRU[*meshFactor]
 }
 
 // NewMesh builds the grid for one domain.
@@ -130,6 +154,9 @@ func NewMesh(chip *floorplan.Chip, domain int, cfg MeshConfig) (*Mesh, error) {
 	for ri, rid := range d.Regulators {
 		m.vrNode[ri] = m.nearestNode(chip.Regulators[rid].Pos)
 	}
+	if cfg.FactorCacheSize != CacheDisabled {
+		m.factors = newMaskLRU[*meshFactor](cfg.factorCacheSize())
+	}
 	return m, nil
 }
 
@@ -172,25 +199,24 @@ type MeshSolution struct {
 	// PerBlockPct is the worst drop under each domain block (indexed like
 	// Domain.Blocks).
 	PerBlockPct []float64
-	// Iterations is the SOR iteration count used.
+	// Iterations is the SOR iteration count used; the direct solver
+	// (Solve) reports 0.
 	Iterations int
 	// SupplyA is the total current delivered by the active regulators
 	// (equals the total load current at convergence — Kirchhoff).
 	SupplyA float64
 }
 
-// Solve computes the steady IR-drop field for the given per-block currents
-// (amps, by global block ID) and the domain's active-regulator mask. Each
-// block's current is drawn uniformly by the grid nodes under the block;
-// each active regulator injects through its R0 at its grid node.
-func (m *Mesh) Solve(blockCurrent []float64, active []bool) (*MeshSolution, error) {
+// prepare validates the inputs and assembles the per-node load vector
+// and per-node source conductances both solvers share.
+func (m *Mesh) prepare(blockCurrent []float64, active []bool) (load, srcG []float64, err error) {
 	d := &m.chip.Domains[m.domain]
 	if len(blockCurrent) != len(m.chip.Blocks) {
-		return nil, fmt.Errorf("pdn: %d block currents, chip has %d blocks",
+		return nil, nil, fmt.Errorf("pdn: %d block currents, chip has %d blocks",
 			len(blockCurrent), len(m.chip.Blocks))
 	}
 	if len(active) != len(d.Regulators) {
-		return nil, fmt.Errorf("pdn: mask size %d, domain has %d regulators",
+		return nil, nil, fmt.Errorf("pdn: mask size %d, domain has %d regulators",
 			len(active), len(d.Regulators))
 	}
 	anyActive := false
@@ -198,12 +224,12 @@ func (m *Mesh) Solve(blockCurrent []float64, active []bool) (*MeshSolution, erro
 		anyActive = anyActive || a
 	}
 	if !anyActive {
-		return nil, fmt.Errorf("pdn: domain %s has no active regulator", d.Name)
+		return nil, nil, fmt.Errorf("pdn: domain %s has no active regulator", d.Name)
 	}
 
 	n := m.nx * m.ny
 	// Load current per node (positive = drawn from the grid).
-	load := make([]float64, n)
+	load = make([]float64, n)
 	for bi, bid := range d.Blocks {
 		i := blockCurrent[bid]
 		if i <= 0 {
@@ -215,13 +241,92 @@ func (m *Mesh) Solve(blockCurrent []float64, active []bool) (*MeshSolution, erro
 		}
 	}
 	// Source conductance per node (active regulators).
-	srcG := make([]float64, n)
+	srcG = make([]float64, n)
 	g0 := 1 / m.cfg.R0Ohm
 	for ri, a := range active {
 		if a {
 			srcG[m.vrNode[ri]] += g0
 		}
 	}
+	return load, srcG, nil
+}
+
+// finish derives the per-block profile and supply current from the
+// solved drop field v, which the solution takes ownership of.
+func (m *Mesh) finish(sol *MeshSolution, v []float64, active []bool) {
+	d := &m.chip.Domains[m.domain]
+	g0 := 1 / m.cfg.R0Ohm
+	sol.DropV = v
+	sol.PerBlockPct = make([]float64, len(d.Blocks))
+	for bi := range d.Blocks {
+		var worst float64
+		for _, idx := range m.blockNodes[bi] {
+			if v[idx] > worst {
+				worst = v[idx]
+			}
+		}
+		sol.PerBlockPct[bi] = 100 * worst / m.cfg.VddV
+		if sol.PerBlockPct[bi] > sol.MaxPct {
+			sol.MaxPct = sol.PerBlockPct[bi]
+		}
+	}
+	for ri, a := range active {
+		if a {
+			sol.SupplyA += v[m.vrNode[ri]] * g0
+		}
+	}
+}
+
+// Solve computes the steady IR-drop field for the given per-block currents
+// (amps, by global block ID) and the domain's active-regulator mask. Each
+// block's current is drawn uniformly by the grid nodes under the block;
+// each active regulator injects through its R0 at its grid node.
+//
+// Solve is direct: the nodal matrix depends only on the mask, so its
+// banded Cholesky factorization is looked up in a per-mask LRU (factored
+// on miss) and the load vector is re-solved by substitution. SolveSOR
+// retains the iterative solver for cross-validation.
+func (m *Mesh) Solve(blockCurrent []float64, active []bool) (*MeshSolution, error) {
+	load, srcG, err := m.prepare(blockCurrent, active)
+	if err != nil {
+		return nil, err
+	}
+	key := MaskKey(active)
+	f, ok := m.factors.get(key)
+	if !ok {
+		f, err = m.factorize(srcG, 1/m.cfg.SheetOhm)
+		if err != nil {
+			return nil, err
+		}
+		m.factors.put(key, f)
+	}
+	// The substitution solves A·v = load in place: load becomes the drop
+	// field.
+	f.solve(load, m.nx)
+	sol := &MeshSolution{}
+	m.finish(sol, load, active)
+	return sol, nil
+}
+
+// CacheStats returns the cumulative factorization cache counters.
+func (m *Mesh) CacheStats() CacheStats {
+	if m.factors == nil {
+		return CacheStats{}
+	}
+	return m.factors.stats
+}
+
+// SolveSOR solves the same nodal system iteratively with successive
+// over-relaxation. It is the validation reference for the direct solver
+// (they must agree within the SOR tolerance) and the fallback for
+// configurations a direct factorization cannot represent.
+func (m *Mesh) SolveSOR(blockCurrent []float64, active []bool) (*MeshSolution, error) {
+	load, srcG, err := m.prepare(blockCurrent, active)
+	if err != nil {
+		return nil, err
+	}
+	d := &m.chip.Domains[m.domain]
+	n := m.nx * m.ny
 
 	// SOR over the nodal equations: for drop v (volts below nominal),
 	//   Σ_adj g·(v_i − v_j) + srcG_i·v_i = −load_i + 0
@@ -273,24 +378,6 @@ func (m *Mesh) Solve(blockCurrent []float64, active []bool) (*MeshSolution, erro
 		}
 	}
 
-	sol.DropV = v
-	sol.PerBlockPct = make([]float64, len(d.Blocks))
-	for bi := range d.Blocks {
-		var worst float64
-		for _, idx := range m.blockNodes[bi] {
-			if v[idx] > worst {
-				worst = v[idx]
-			}
-		}
-		sol.PerBlockPct[bi] = 100 * worst / m.cfg.VddV
-		if sol.PerBlockPct[bi] > sol.MaxPct {
-			sol.MaxPct = sol.PerBlockPct[bi]
-		}
-	}
-	for ri, a := range active {
-		if a {
-			sol.SupplyA += v[m.vrNode[ri]] * g0
-		}
-	}
+	m.finish(sol, v, active)
 	return sol, nil
 }

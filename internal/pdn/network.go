@@ -22,6 +22,12 @@ type Network struct {
 	// conc[d][bi] is the concentration factor min(1, ServiceArea/area):
 	// the fraction of a block's current that stresses a single grid path.
 	conc [][]float64
+	// eff[d] caches, per active-VR mask, the per-block effective
+	// resistances of domain d. Unsynchronized: parallel callers must
+	// partition by domain (see cache.go). All nil when the cache is
+	// disabled; effFor then fills effScratch[d] instead.
+	eff        []*maskLRU[[]float64]
+	effScratch [][]float64
 }
 
 // NewNetwork precomputes the grid model for the chip.
@@ -34,13 +40,27 @@ func NewNetwork(chip *floorplan.Chip, cfg Config) (*Network, error) {
 	}
 	n := &Network{chip: chip, cfg: cfg}
 	n.pathR = make([][][]float64, len(chip.Domains))
+	n.eff = make([]*maskLRU[[]float64], len(chip.Domains))
+	n.effScratch = make([][]float64, len(chip.Domains))
+	for di := range n.eff {
+		if cfg.MaskCacheSize != CacheDisabled {
+			n.eff[di] = newMaskLRU[[]float64](cfg.maskCacheSize())
+		}
+		n.effScratch[di] = make([]float64, len(chip.Domains[di].Blocks))
+	}
 	n.rebuildPaths()
 	return n, nil
 }
 
 // rebuildPaths recomputes all block→regulator path resistances; the
-// placement optimiser calls it after moving regulators.
+// placement optimiser calls it after moving regulators. Moving a
+// regulator changes every effective resistance derived from the paths,
+// so this is the cache invalidation point: every per-mask cache entry
+// is flushed here (the cumulative hit/miss counters survive).
 func (n *Network) rebuildPaths() {
+	for _, c := range n.eff {
+		c.flush()
+	}
 	n.conc = make([][]float64, len(n.chip.Domains))
 	for di := range n.chip.Domains {
 		d := &n.chip.Domains[di]
@@ -102,6 +122,43 @@ func (n *Network) EffectiveResistance(domain, bi int, active []bool) float64 {
 	return 1 / gsum
 }
 
+// effFor returns the per-block effective resistances of the domain for
+// the given active mask, cached by mask key. A miss computes each block
+// with EffectiveResistance — regulators summed in ascending index order
+// — so cached and freshly-computed values are bit-identical.
+func (n *Network) effFor(domain int, active []bool) []float64 {
+	d := &n.chip.Domains[domain]
+	if n.eff[domain] == nil { // cache disabled: recompute into scratch
+		effR := n.effScratch[domain]
+		for bi := range d.Blocks {
+			effR[bi] = n.EffectiveResistance(domain, bi, active)
+		}
+		return effR
+	}
+	key := MaskKey(active)
+	if effR, ok := n.eff[domain].get(key); ok {
+		return effR
+	}
+	effR := make([]float64, len(d.Blocks))
+	for bi := range d.Blocks {
+		effR[bi] = n.EffectiveResistance(domain, bi, active)
+	}
+	n.eff[domain].put(key, effR)
+	return effR
+}
+
+// CacheStats returns the cumulative per-mask cache counters summed over
+// all domains.
+func (n *Network) CacheStats() CacheStats {
+	var total CacheStats
+	for _, c := range n.eff {
+		if c != nil {
+			total.add(c.stats)
+		}
+	}
+	return total
+}
+
 // DomainNoise is the steady-state voltage noise profile of one domain.
 type DomainNoise struct {
 	// MaxPct is the worst per-block noise in percent of nominal Vdd.
@@ -123,13 +180,25 @@ func (dn DomainNoise) Emergency() bool {
 // mask over the domain's regulators. At least one regulator must be
 // active.
 func (n *Network) SteadyNoise(domain int, blockCurrent []float64, active []bool) (DomainNoise, error) {
+	var out DomainNoise
+	if err := n.SteadyNoiseInto(domain, blockCurrent, active, &out); err != nil {
+		return DomainNoise{}, err
+	}
+	return out, nil
+}
+
+// SteadyNoiseInto is SteadyNoise writing into a caller-owned profile,
+// reusing out.PerBlockPct when it has capacity. The simulator's pdn
+// fan-out calls this once per substep per domain; with the per-mask
+// resistance cache warm it allocates nothing.
+func (n *Network) SteadyNoiseInto(domain int, blockCurrent []float64, active []bool, out *DomainNoise) error {
 	d := &n.chip.Domains[domain]
 	if len(blockCurrent) != len(n.chip.Blocks) {
-		return DomainNoise{}, fmt.Errorf("pdn: %d block currents, chip has %d blocks",
+		return fmt.Errorf("pdn: %d block currents, chip has %d blocks",
 			len(blockCurrent), len(n.chip.Blocks))
 	}
 	if len(active) != len(d.Regulators) {
-		return DomainNoise{}, fmt.Errorf("pdn: %d active flags, domain %s has %d regulators",
+		return fmt.Errorf("pdn: %d active flags, domain %s has %d regulators",
 			len(active), d.Name, len(d.Regulators))
 	}
 	anyActive := false
@@ -137,7 +206,7 @@ func (n *Network) SteadyNoise(domain int, blockCurrent []float64, active []bool)
 		anyActive = anyActive || a
 	}
 	if !anyActive {
-		return DomainNoise{}, fmt.Errorf("pdn: domain %s has no active regulator", d.Name)
+		return fmt.Errorf("pdn: domain %s has no active regulator", d.Name)
 	}
 
 	var domCurrent float64
@@ -146,7 +215,13 @@ func (n *Network) SteadyNoise(domain int, blockCurrent []float64, active []bool)
 			domCurrent += c
 		}
 	}
-	out := DomainNoise{MaxBlock: -1, PerBlockPct: make([]float64, len(d.Blocks))}
+	effR := n.effFor(domain, active)
+	out.MaxPct, out.MaxBlock = 0, -1
+	if cap(out.PerBlockPct) < len(d.Blocks) {
+		out.PerBlockPct = make([]float64, len(d.Blocks))
+	} else {
+		out.PerBlockPct = out.PerBlockPct[:len(d.Blocks)]
+	}
 	shared := domCurrent * n.cfg.RSharedOhm
 	for bi, bid := range d.Blocks {
 		i := blockCurrent[bid]
@@ -158,7 +233,7 @@ func (n *Network) SteadyNoise(domain int, blockCurrent []float64, active []bool)
 		// product also avoids 0·Inf = NaN when no regulator is active.
 		drop := shared
 		if i > 0 {
-			drop += i * n.EffectiveResistance(domain, bi, active)
+			drop += i * effR[bi]
 		}
 		pct := 100 * drop / n.cfg.VddV
 		out.PerBlockPct[bi] = pct
@@ -171,7 +246,7 @@ func (n *Network) SteadyNoise(domain int, blockCurrent []float64, active []bool)
 		invariant.CheckFinite("pdn.SteadyNoise pct", out.PerBlockPct)
 		invariant.CheckDroopPct("pdn.SteadyNoise max", out.MaxPct)
 	}
-	return out, nil
+	return nil
 }
 
 // BurstPeakPct returns the peak noise reached when a di/dt burst surges
@@ -182,7 +257,7 @@ func (n *Network) BurstPeakPct(domain, bi int, steadyPct, surgeAmps float64, act
 	if surgeAmps <= 0 {
 		return steadyPct
 	}
-	reff := n.EffectiveResistance(domain, bi, active)
+	reff := n.effFor(domain, active)[bi]
 	if math.IsInf(reff, 1) {
 		return math.Inf(1)
 	}

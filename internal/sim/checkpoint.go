@@ -156,14 +156,18 @@ func cloneResult(res *Result) *Result {
 }
 
 // snapshot assembles the checkpoint for the just-completed epoch e.
-func (r *Runner) snapshot(e int, usim *uarch.Simulator, ms *MeasureState) *Checkpoint {
+// ustate is the activity simulator's state right after that epoch's
+// frames were generated — captured by the producer, since under the
+// parallel pipeline the simulator may already be an epoch ahead by the
+// time the sink fires.
+func (r *Runner) snapshot(e int, ustate *uarch.State, ms *MeasureState) *Checkpoint {
 	cp := &Checkpoint{
 		Schema:             CheckpointSchema,
 		Policy:             r.cfg.Policy.String(),
 		Benchmark:          r.cfg.benchmarkLabel(),
 		Seed:               r.cfg.Seed,
 		Epoch:              e,
-		Uarch:              usim.State(),
+		Uarch:              ustate,
 		Thermal:            r.tm.State(),
 		Governor:           r.gov.State(),
 		RNG:                r.rng.State(),

@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"thermogater/internal/core"
+)
+
+// parallelTestConfig is a run that exercises every fan-out surface of the
+// pipeline: a practical policy (oracle PDN solves in the governor phase),
+// aging, sensor noise and an armed fault schedule (dead domains and
+// per-substep mask changes in the deferred PDN phase).
+func parallelTestConfig(t *testing.T, workers int) Config {
+	t.Helper()
+	cfg := checkpointTestConfig(t)
+	cfg.Workers = workers
+	return cfg
+}
+
+// TestParallelResultEquality: the worker-pool pipeline must produce a
+// Result deeply equal to sequential execution — same noise maxima, same
+// emergency time, same wear, down to the last bit.
+func TestParallelResultEquality(t *testing.T) {
+	run := func(workers int) *Result {
+		r, err := New(parallelTestConfig(t, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := run(0)
+	for _, w := range []int{2, 4, 8} {
+		par := run(w)
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d result differs from sequential:\n  seq: %+v\n  par: %+v", w, seq, par)
+		}
+	}
+}
+
+// TestParallelTelemetryByteIdentical: under the frozen clock the streamed
+// JSONL depends only on simulation state, and the deterministic-reduction
+// contract says that state is independent of the worker count. This is
+// the oracle docs/PERFORMANCE.md points at.
+func TestParallelTelemetryByteIdentical(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Log("GOMAXPROCS=1: workers interleave rather than run in parallel; the determinism contract is still exercised")
+	}
+	stream := func(workers int) []byte {
+		reg, buf, sink := constantClockRegistry()
+		cfg := parallelTestConfig(t, workers)
+		cfg.Telemetry = reg
+		r, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	seq := stream(0)
+	if len(seq) == 0 {
+		t.Fatal("sequential run emitted no telemetry")
+	}
+	par := stream(4)
+	if !bytes.Equal(seq, par) {
+		ls, lp := bytes.Split(seq, []byte("\n")), bytes.Split(par, []byte("\n"))
+		for i := 0; i < len(ls) && i < len(lp); i++ {
+			if !bytes.Equal(ls[i], lp[i]) {
+				t.Fatalf("telemetry diverges at line %d:\n  workers=0: %s\n  workers=4: %s", i+1, ls[i], lp[i])
+			}
+		}
+		t.Fatalf("telemetry streams differ in length: %d vs %d bytes", len(seq), len(par))
+	}
+}
+
+// TestParallelCheckpointResume: a run interrupted under the parallel
+// pipeline and resumed sequentially (and vice versa) must converge on the
+// uninterrupted sequential result — checkpoints are mode-agnostic.
+func TestParallelCheckpointResume(t *testing.T) {
+	reference := func() *Result {
+		r, err := New(parallelTestConfig(t, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}()
+
+	interrupt := func(workers int) *Checkpoint {
+		var cpBytes bytes.Buffer
+		cfg := parallelTestConfig(t, workers)
+		cfg.Checkpoint = CheckpointConfig{
+			EveryEpochs: 9,
+			Sink: func(cp *Checkpoint) error {
+				cpBytes.Reset()
+				if err := cp.Encode(&cpBytes); err != nil {
+					return err
+				}
+				return errInterrupt
+			},
+		}
+		r, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Run(); !errors.Is(err, errInterrupt) {
+			t.Fatalf("workers=%d interrupted run returned %v, want sentinel", workers, err)
+		}
+		cp, err := ReadCheckpoint(&cpBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cp.Epoch != 8 {
+			t.Fatalf("checkpoint at epoch %d, want 8", cp.Epoch)
+		}
+		return cp
+	}
+
+	resume := func(cp *Checkpoint, workers int) *Result {
+		r, err := New(parallelTestConfig(t, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Restore(cp); err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	// Parallel interrupt → sequential resume, and the transpose.
+	if got := resume(interrupt(4), 0); !reflect.DeepEqual(reference, got) {
+		t.Errorf("parallel checkpoint + sequential resume differs from reference:\n  ref: %+v\n  got: %+v", reference, got)
+	}
+	if got := resume(interrupt(0), 4); !reflect.DeepEqual(reference, got) {
+		t.Errorf("sequential checkpoint + parallel resume differs from reference:\n  ref: %+v\n  got: %+v", reference, got)
+	}
+}
+
+// TestWorkersValidation: negative worker counts are a configuration
+// error, not a silent fallback.
+func TestWorkersValidation(t *testing.T) {
+	cfg := telemetryTestConfig(t, core.OracT)
+	cfg.Workers = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate accepted a negative worker count")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"thermogater/internal/fault"
 	"thermogater/internal/floorplan"
 	"thermogater/internal/invariant"
+	"thermogater/internal/par"
 	"thermogater/internal/pdn"
 	"thermogater/internal/power"
 	"thermogater/internal/thermal"
@@ -70,6 +71,47 @@ type Runner struct {
 	ins                *instruments
 	pdnSteadySolves    int64
 	pdnTransientSolves int64
+
+	// Parallel epoch pipeline state, set up per runMeasured call. pool is
+	// nil when Workers < 2; the nil pool runs the identical deferred
+	// pipeline inline, so there is no separate sequential code path.
+	// stepCurrents/stepMasks capture the per-substep current map and
+	// gating masks so the PDN phase can be evaluated once per epoch,
+	// fanned out by domain (each domain's grid caches are touched by
+	// exactly one worker) and reduced serially in (substep, domain)
+	// order. The per-domain solver tallies keep workers off the shared
+	// counters.
+	pool            *par.Pool
+	stepCurrents    [][]float64
+	stepMasks       [][][]bool
+	pdnCells        [][]pdnCell
+	pdnScratch      []pdn.DomainNoise
+	pdnDomSteady    []int64
+	pdnDomTransient []int64
+}
+
+// pdnCell is one (substep, domain) result of the deferred PDN phase: the
+// fan-out writes cells, the serial reduction folds them into the epoch
+// accumulators in the same order the former per-substep loop did.
+type pdnCell struct {
+	noise      float64 // max of the steady MaxPct and any burst peak
+	maxBlock   int     // global block ID of the steady-noise maximum
+	burstDwell float64 // seconds of burst excursions above threshold
+	steadyEmg  bool    // steady IR drop crossed the emergency threshold
+	burstEmg   bool    // a burst peak crossed it while the steady drop did not
+	dead       bool    // every regulator stuck off; standing emergency
+	err        error
+}
+
+// frameBatch is one epoch of activity frames handed from the producer to
+// the physics loop, plus the uarch snapshot when the epoch ends at a
+// checkpoint boundary. panicked carries a producer panic so it can be
+// re-raised on the goroutine that owns the run.
+type frameBatch struct {
+	frames   []uarch.Frame
+	state    *uarch.State
+	err      error
+	panicked any
 }
 
 // New builds a runner. The floorplan, power model, thermal network, PDN,
@@ -353,6 +395,134 @@ func (r *Runner) domainEmergency(d, count int, ranking []int, frameCurrents [][]
 	return false
 }
 
+// pdnDomain evaluates one domain's voltage noise for every substep of the
+// epoch, writing r.pdnCells[d]. It reads only the per-substep captures
+// (stepCurrents, stepMasks) and domain-local state (the grid's per-domain
+// resistance cache, r.pdnScratch[d], the per-domain solve tallies), so
+// concurrent calls for distinct domains never share mutable state — the
+// disjoint-writes half of the par.Pool determinism contract.
+func (r *Runner) pdnDomain(d int, frames []uarch.Frame) {
+	cells := r.pdnCells[d]
+	for s, f := range frames {
+		c := &cells[s]
+		*c = pdnCell{maxBlock: -1}
+		if r.flt != nil && r.fltAvailN[d] == 0 {
+			// Dead domain (every regulator stuck off): there is no active
+			// regulator to solve the grid against; the blocks are browned
+			// out, which counts as a standing emergency. The demand
+			// violation was recorded when the decision was applied.
+			c.dead = true
+			continue
+		}
+		cur := r.stepCurrents[s]
+		mask := r.stepMasks[s][d]
+		dn := &r.pdnScratch[d]
+		r.pdnDomSteady[d]++
+		if err := r.grid.SteadyNoiseInto(d, cur, mask, dn); err != nil {
+			c.err = err
+			continue
+		}
+		c.noise = dn.MaxPct
+		c.maxBlock = dn.MaxBlock
+		c.steadyEmg = dn.Emergency()
+		// Burst peaks within this substep.
+		t0 := f.TimeMS
+		t1 := f.TimeMS + f.DtMS
+		for _, b := range f.Bursts {
+			if b.Core != r.burstDomainCore(d) || b.TimeMS < t0 || b.TimeMS >= t1 {
+				continue
+			}
+			bi, surge := r.burstTarget(d, b, cur)
+			r.pdnDomTransient[d]++
+			peak := r.grid.BurstPeakPct(d, bi, dn.PerBlockPct[bi], surge, mask, b.Cycles, uarch.ClockGHz)
+			if peak > c.noise {
+				c.noise = peak
+			}
+			if peak > pdn.EmergencyThresholdPct && !c.steadyEmg {
+				c.burstDwell += float64(b.Cycles) / (uarch.ClockGHz * 1e9)
+				c.burstEmg = true
+			}
+		}
+	}
+}
+
+// pdnEpoch is the deferred PDN phase: the noise of every (substep, domain)
+// pair of the just-executed epoch, fanned out by domain and reduced
+// serially in (substep, domain) order — exactly the order the former
+// per-substep loop visited, so every accumulator, tie-break and sampling
+// decision lands on the same values at any worker count. Deferring is
+// legal because nothing inside the epoch reads the PDN's outputs: the
+// masks and currents are captured per substep, and the results feed only
+// the measurement accumulators and the end-of-epoch governor feedback. A
+// substep counts toward emergency time once, no matter how many domains
+// cross the threshold; short burst excursions add their own (cycle-scale)
+// dwell.
+func (r *Runner) pdnEpoch(frames []uarch.Frame, measuring bool, sampleEvery, msBase int, epochDomEmerg []bool, epochMaxNoise *float64, ms *MeasureState, res *Result) error {
+	nd := len(r.chip.Domains)
+	r.pool.For(nd, func(lo, hi int) {
+		for d := lo; d < hi; d++ {
+			r.pdnDomain(d, frames)
+		}
+	})
+	for d := 0; d < nd; d++ {
+		r.pdnSteadySolves += r.pdnDomSteady[d]
+		r.pdnTransientSolves += r.pdnDomTransient[d]
+		r.pdnDomSteady[d] = 0
+		r.pdnDomTransient[d] = 0
+	}
+	for s := range frames {
+		substepEmergency := false
+		var burstDwell float64
+		var substepNoise float64
+		for d := 0; d < nd; d++ {
+			c := &r.pdnCells[d][s]
+			if c.err != nil {
+				return c.err
+			}
+			if c.dead {
+				substepEmergency = true
+				epochDomEmerg[d] = true
+				continue
+			}
+			if c.steadyEmg {
+				substepEmergency = true
+				epochDomEmerg[d] = true
+			}
+			if c.burstEmg {
+				epochDomEmerg[d] = true
+			}
+			burstDwell += c.burstDwell
+			if c.noise > *epochMaxNoise {
+				*epochMaxNoise = c.noise
+			}
+			if c.noise > substepNoise {
+				substepNoise = c.noise
+			}
+			if measuring && c.noise > ms.WorstNoise {
+				ms.WorstNoise = c.noise
+				res.WorstNoise = r.snapshotWorstNoise(d, c.maxBlock, r.stepCurrents[s], r.stepMasks[s][d], frames[s], frames)
+			}
+		}
+		if measuring {
+			// msBase+s reconstructs what MeasuredSteps read at substep s:
+			// it increments once per measured substep, and measuring is
+			// constant within an epoch.
+			if (msBase+s)%sampleEvery == 0 && substepNoise > ms.SampledWorst {
+				ms.SampledWorst = substepNoise
+			}
+			if substepEmergency {
+				ms.EmergencyTime += r.substepS
+			} else if burstDwell > 0 {
+				if burstDwell > r.substepS {
+					burstDwell = r.substepS
+				}
+				ms.EmergencyTime += burstDwell
+			}
+		}
+	}
+	return nil
+}
+
 // burstDomainCore maps a core-domain ID to its core index (-1 for L3
 // domains, which see no core bursts).
 func (r *Runner) burstDomainCore(d int) int {
@@ -428,6 +598,19 @@ func (r *Runner) runMeasured() (*Result, error) {
 	resume := r.resume
 	r.resume = nil
 
+	// The worker pool lives for exactly one measured run; the nil pool
+	// (Workers < 2) runs every fan-out inline. The fine-grid thermal
+	// model row-partitions its substeps on the same pool; the compact
+	// model ignores it below its node threshold.
+	pool := par.New(r.cfg.Workers)
+	r.pool = pool
+	r.tm.SetPool(pool)
+	defer func() {
+		r.tm.SetPool(nil)
+		r.pool = nil
+		pool.Close()
+	}()
+
 	usim, err := r.cfg.newUarch(r.chip, r.cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -491,6 +674,73 @@ func (r *Runner) runMeasured() (*Result, error) {
 	epochVRLoss := make([]float64, len(r.chip.Regulators))
 	epochDomEmerg := make([]bool, len(r.chip.Domains))
 
+	// Scratch for the deferred PDN phase: per-substep captures of the
+	// current map and gating masks, per-(domain, substep) result cells,
+	// and per-domain noise/tally buffers the fan-out owns exclusively.
+	r.stepCurrents = make([][]float64, r.stepsPerEpoch)
+	r.stepMasks = make([][][]bool, r.stepsPerEpoch)
+	for s := range r.stepCurrents {
+		r.stepCurrents[s] = make([]float64, len(r.chip.Blocks))
+		r.stepMasks[s] = make([][]bool, len(r.chip.Domains))
+		for d := range r.stepMasks[s] {
+			r.stepMasks[s][d] = make([]bool, len(r.chip.Domains[d].Regulators))
+		}
+	}
+	r.pdnCells = make([][]pdnCell, len(r.chip.Domains))
+	for d := range r.pdnCells {
+		r.pdnCells[d] = make([]pdnCell, r.stepsPerEpoch)
+	}
+	r.pdnScratch = make([]pdn.DomainNoise, len(r.chip.Domains))
+	r.pdnDomSteady = make([]int64, len(r.chip.Domains))
+	r.pdnDomTransient = make([]int64, len(r.chip.Domains))
+
+	// Activity production. With a pool the uarch simulator advances on
+	// its own goroutine, one epoch ahead of the physics; without one the
+	// same accessor computes inline. Either way the producer is the sole
+	// owner of usim from here on, and it captures the uarch snapshot for
+	// exactly the epochs the checkpoint sink will want — the state right
+	// after an epoch's frames is what the sequential loop would have
+	// snapshotted at that epoch's end.
+	wantState := func(e int) bool {
+		return r.cfg.Checkpoint.EveryEpochs > 0 && (e+1)%r.cfg.Checkpoint.EveryEpochs == 0
+	}
+	produce := func(e int) frameBatch {
+		frames, ferr := r.epochFrames(usim)
+		b := frameBatch{frames: frames, err: ferr}
+		if ferr == nil && wantState(e) {
+			b.state = usim.State()
+		}
+		return b
+	}
+	nextFrames := produce
+	if pool != nil {
+		frameCh := make(chan frameBatch)
+		quit := make(chan struct{})
+		defer close(quit)
+		go func() {
+			defer func() {
+				if p := recover(); p != nil {
+					select {
+					case frameCh <- frameBatch{panicked: p}:
+					case <-quit:
+					}
+				}
+			}()
+			for e := startEpoch; e < nEpochs; e++ {
+				b := produce(e)
+				select {
+				case frameCh <- b:
+				case <-quit:
+					return
+				}
+				if b.err != nil {
+					return
+				}
+			}
+		}()
+		nextFrames = func(int) frameBatch { return <-frameCh }
+	}
+
 	r.ins.syncBaselines(r)
 	for e := startEpoch; e < nEpochs; e++ {
 		if r.flt != nil {
@@ -501,11 +751,15 @@ func (r *Runner) runMeasured() (*Result, error) {
 		// registry's cumulative tree. All span calls no-op on nil.
 		epSpan := r.cfg.Telemetry.StartSpan("epoch")
 		phase := epSpan.StartChild("uarch")
-		frames, err := r.epochFrames(usim)
+		batch := nextFrames(e)
 		phase.End()
-		if err != nil {
-			return nil, err
+		if batch.panicked != nil {
+			panic(fmt.Sprintf("sim: uarch producer panic: %v", batch.panicked))
 		}
+		if batch.err != nil {
+			return nil, batch.err
+		}
+		frames := batch.frames
 		if r.flt != nil {
 			r.applyActivityFaults(frames, res)
 		}
@@ -528,19 +782,29 @@ func (r *Runner) runMeasured() (*Result, error) {
 
 		// Per-substep current maps for the emergency oracle (leakage at
 		// epoch-start temperatures, like the rest of the decision inputs).
+		// Frames are independent given the epoch-start temperatures, so
+		// this fans out; the per-index writes are disjoint.
 		frameCurrents := make([][]float64, len(frames))
-		for s, f := range frames {
-			bp, err := r.blockPowerScaled(f.Activity, r.blockTemps, nil)
-			if err != nil {
-				return nil, err
+		frameErrs := make([]error, len(frames))
+		r.pool.For(len(frames), func(lo, hi int) {
+			for s := lo; s < hi; s++ {
+				bp, ferr := r.blockPowerScaled(frames[s].Activity, r.blockTemps, nil)
+				if ferr != nil {
+					frameErrs[s] = ferr
+					continue
+				}
+				for i, p := range bp {
+					bp[i] = power.WattsToAmps(p)
+				}
+				frameCurrents[s] = bp
 			}
-			cur := make([]float64, len(bp))
-			for i, p := range bp {
-				cur[i] = power.WattsToAmps(p)
-			}
-			frameCurrents[s] = cur
-		}
+		})
 		phase.End()
+		for _, ferr := range frameErrs {
+			if ferr != nil {
+				return nil, ferr
+			}
+		}
 
 		// Decision. The governor phase includes the emergency-oracle PDN
 		// solves the VT policies request through the callback below.
@@ -593,6 +857,7 @@ func (r *Runner) runMeasured() (*Result, error) {
 		for i := range epochDomEmerg {
 			epochDomEmerg[i] = false
 		}
+		msBase := ms.MeasuredSteps
 		for s, f := range frames {
 			if invariant.Enabled {
 				invariant.SetCtx(e, s)
@@ -604,6 +869,7 @@ func (r *Runner) runMeasured() (*Result, error) {
 			}
 			r.demand(r.blockPower)
 			phase.End()
+			copy(r.stepCurrents[s], r.blockCurrent)
 
 			// Apply the decision with hard-limit legalisation.
 			phase = epSpan.StartChild("vr")
@@ -659,6 +925,11 @@ func (r *Runner) runMeasured() (*Result, error) {
 				}
 			}
 			phase.End()
+			// Capture this substep's masks (after any fault legalisation)
+			// for the deferred PDN phase and the worst-noise snapshot.
+			for d := range r.chip.Domains {
+				copy(r.stepMasks[s][d], r.masks[d])
+			}
 
 			phase = epSpan.StartChild("thermal")
 			if err := r.tm.SetPower(r.blockPower, r.vrPower); err != nil {
@@ -711,80 +982,6 @@ func (r *Runner) runMeasured() (*Result, error) {
 				phase.End()
 			}
 
-			// Voltage noise per domain. A substep counts toward emergency
-			// time once, no matter how many domains cross the threshold;
-			// short burst excursions add their own (cycle-scale) dwell.
-			if r.cfg.Policy != core.OffChip {
-				phase = epSpan.StartChild("pdn")
-				substepEmergency := false
-				var burstDwell float64
-				var substepNoise float64
-				for d := range r.chip.Domains {
-					mask := r.masks[d]
-					if r.flt != nil && r.fltAvailN[d] == 0 {
-						// Dead domain (every regulator stuck off): there is
-						// no active regulator to solve the grid against; the
-						// blocks are browned out, which counts as a standing
-						// emergency. The demand violation was recorded when
-						// the decision was applied.
-						substepEmergency = true
-						epochDomEmerg[d] = true
-						continue
-					}
-					r.pdnSteadySolves++
-					dn, err := r.grid.SteadyNoise(d, r.blockCurrent, mask)
-					if err != nil {
-						return nil, err
-					}
-					noise := dn.MaxPct
-					if dn.Emergency() {
-						substepEmergency = true
-						epochDomEmerg[d] = true
-					}
-					// Burst peaks within this substep.
-					t0 := f.TimeMS
-					t1 := f.TimeMS + f.DtMS
-					for _, b := range f.Bursts {
-						if b.Core != r.burstDomainCore(d) || b.TimeMS < t0 || b.TimeMS >= t1 {
-							continue
-						}
-						bi, surge := r.burstTarget(d, b, r.blockCurrent)
-						r.pdnTransientSolves++
-						peak := r.grid.BurstPeakPct(d, bi, dn.PerBlockPct[bi], surge, mask, b.Cycles, uarch.ClockGHz)
-						if peak > noise {
-							noise = peak
-						}
-						if peak > pdn.EmergencyThresholdPct && !dn.Emergency() {
-							burstDwell += float64(b.Cycles) / (uarch.ClockGHz * 1e9)
-							epochDomEmerg[d] = true
-						}
-					}
-					if noise > epochMaxNoise {
-						epochMaxNoise = noise
-					}
-					if noise > substepNoise {
-						substepNoise = noise
-					}
-					if measuring && noise > ms.WorstNoise {
-						ms.WorstNoise = noise
-						res.WorstNoise = r.snapshotWorstNoise(d, dn, f, frames)
-					}
-				}
-				if measuring {
-					if ms.MeasuredSteps%sampleEvery == 0 && substepNoise > ms.SampledWorst {
-						ms.SampledWorst = substepNoise
-					}
-					if substepEmergency {
-						ms.EmergencyTime += r.substepS
-					} else if burstDwell > 0 {
-						if burstDwell > r.substepS {
-							burstDwell = r.substepS
-						}
-						ms.EmergencyTime += burstDwell
-					}
-				}
-				phase.End()
-			}
 			if measuring {
 				ms.MeasuredSteps++
 			}
@@ -831,6 +1028,19 @@ func (r *Runner) runMeasured() (*Result, error) {
 					}
 				}
 				phase.End()
+			}
+		}
+
+		// Voltage noise, deferred to epoch end: the per-substep captures
+		// above hold everything the PDN needs, and its outputs feed only
+		// the measurement accumulators and the end-of-epoch governor
+		// feedback — nothing inside the substep loop reads them.
+		if r.cfg.Policy != core.OffChip {
+			phase = epSpan.StartChild("pdn")
+			perr := r.pdnEpoch(frames, measuring, sampleEvery, msBase, epochDomEmerg, &epochMaxNoise, ms, res)
+			phase.End()
+			if perr != nil {
+				return nil, perr
 			}
 		}
 
@@ -926,9 +1136,12 @@ func (r *Runner) runMeasured() (*Result, error) {
 		// resumed run re-emits exactly the remaining records. A sink error
 		// aborts the run — it is also the hook the kill-and-resume tests
 		// use to interrupt deterministically.
-		if r.cfg.Checkpoint.EveryEpochs > 0 && (e+1)%r.cfg.Checkpoint.EveryEpochs == 0 {
+		if wantState(e) {
 			r.ins.checkpoints.Inc()
-			if err := r.cfg.Checkpoint.Sink(r.snapshot(e, usim, ms)); err != nil {
+			if batch.state == nil {
+				return nil, errors.New("sim: checkpoint epoch without a captured uarch state")
+			}
+			if err := r.cfg.Checkpoint.Sink(r.snapshot(e, batch.state, ms)); err != nil {
 				return nil, fmt.Errorf("sim: checkpoint sink: %w", err)
 			}
 		}
@@ -976,12 +1189,14 @@ func (r *Runner) runMeasured() (*Result, error) {
 }
 
 // snapshotWorstNoise captures enough state at the worst-noise moment to
-// regenerate a transient window later.
-func (r *Runner) snapshotWorstNoise(d int, dn pdn.DomainNoise, f uarch.Frame, frames []uarch.Frame) *WorstNoiseState {
+// regenerate a transient window later. maxBlock is the global block ID of
+// the steady-noise maximum; blockCurrent and mask are the substep's
+// captured current map and gating mask.
+func (r *Runner) snapshotWorstNoise(d, maxBlock int, blockCurrent []float64, mask []bool, f uarch.Frame, frames []uarch.Frame) *WorstNoiseState {
 	dom := &r.chip.Domains[d]
 	bi := 0
 	for i, bid := range dom.Blocks {
-		if bid == dn.MaxBlock {
+		if bid == maxBlock {
 			bi = i
 		}
 	}
@@ -989,8 +1204,8 @@ func (r *Runner) snapshotWorstNoise(d int, dn pdn.DomainNoise, f uarch.Frame, fr
 		Domain:       d,
 		BlockIndex:   bi,
 		TimeMS:       f.TimeMS,
-		BlockCurrent: append([]float64(nil), r.blockCurrent...),
-		Active:       append([]bool(nil), r.masks[d]...),
+		BlockCurrent: append([]float64(nil), blockCurrent...),
+		Active:       append([]bool(nil), mask...),
 	}
 	// Map the epoch's bursts (for this domain's core) onto window cycles.
 	coreIdx := r.burstDomainCore(d)

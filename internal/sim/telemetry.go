@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"thermogater/internal/pdn"
 	"thermogater/internal/telemetry"
 )
 
@@ -38,6 +39,9 @@ type instruments struct {
 	thermalOverrides *telemetry.Counter
 	watchdogRetries  *telemetry.Counter
 	checkpoints      *telemetry.Counter
+	maskCacheHit     *telemetry.Counter
+	maskCacheMiss    *telemetry.Counter
+	maskCacheEvict   *telemetry.Counter
 	epochWallMS      *telemetry.Histogram
 	maxTempC         *telemetry.Gauge
 	avgEta           *telemetry.Gauge
@@ -45,6 +49,7 @@ type instruments struct {
 	prevThermalSub   int64
 	prevPDNSteady    int64
 	prevPDNTrans     int64
+	prevMaskCache    pdn.CacheStats
 }
 
 // newInstruments registers the runner's metrics. Safe on a nil registry:
@@ -65,6 +70,9 @@ func newInstruments(reg *telemetry.Registry) *instruments {
 		thermalOverrides: reg.Counter("governor_thermal_overrides_total"),
 		watchdogRetries:  reg.Counter("thermal_watchdog_retries_total"),
 		checkpoints:      reg.Counter("checkpoints_written_total"),
+		maskCacheHit:     reg.Counter("pdn_mask_cache_total", telemetry.L("kind", "hit")),
+		maskCacheMiss:    reg.Counter("pdn_mask_cache_total", telemetry.L("kind", "miss")),
+		maskCacheEvict:   reg.Counter("pdn_mask_cache_total", telemetry.L("kind", "evict")),
 		epochWallMS:      reg.Histogram("epoch_wall_ms", []float64{0.5, 1, 2, 5, 10, 25, 50, 100}),
 		maxTempC:         reg.Gauge("run_max_temp_c"),
 		avgEta:           reg.Gauge("run_avg_eta"),
@@ -85,6 +93,7 @@ func (in *instruments) syncBaselines(r *Runner) {
 	in.prevThermalSub = r.tm.Substeps()
 	in.prevPDNSteady = r.pdnSteadySolves
 	in.prevPDNTrans = r.pdnTransientSolves
+	in.prevMaskCache = r.grid.CacheStats()
 }
 
 // epochStats carries the loop-local figures the per-epoch record reports.
@@ -120,6 +129,14 @@ func (in *instruments) observeEpoch(r *Runner, ep *telemetry.Span, st epochStats
 	dTrans := r.pdnTransientSolves - in.prevPDNTrans
 	in.prevPDNTrans = r.pdnTransientSolves
 	in.pdnTransient.Add(float64(dTrans))
+	cs := r.grid.CacheStats()
+	dHit := int64(cs.Hits - in.prevMaskCache.Hits)
+	dMiss := int64(cs.Misses - in.prevMaskCache.Misses)
+	dEvict := int64(cs.Evictions - in.prevMaskCache.Evictions)
+	in.prevMaskCache = cs
+	in.maskCacheHit.Add(float64(dHit))
+	in.maskCacheMiss.Add(float64(dMiss))
+	in.maskCacheEvict.Add(float64(dEvict))
 	in.overrides.Add(float64(st.overrides))
 	in.epochWallMS.Observe(float64(ep.Total().Nanoseconds()) / 1e6)
 
@@ -131,6 +148,10 @@ func (in *instruments) observeEpoch(r *Runner, ep *telemetry.Span, st epochStats
 	for _, phase := range PhaseNames {
 		rec.Add(phase+"_ns", ep.Child(phase).Total().Nanoseconds())
 	}
+	// The mask-cache tallies go to the pdn_mask_cache_total counters but
+	// deliberately NOT into this record: cache warmth is process state,
+	// not simulation state (a resumed run starts cold), and the record
+	// stream must be byte-identical across resume and worker counts.
 	rec.Add("thermal_substeps", dThermal).
 		Add("pdn_steady_solves", dSteady).
 		Add("pdn_transient_solves", dTrans).

@@ -7,6 +7,7 @@ import (
 
 	"thermogater/internal/floorplan"
 	"thermogater/internal/invariant"
+	"thermogater/internal/par"
 )
 
 // edge is one conductive link of the RC network.
@@ -38,8 +39,24 @@ type Model struct {
 	maxRate float64   // max over nodes of ΣG/C, 1/s
 	delta   []float64 // scratch buffer for Step
 
+	// CSR flattening of adj, rebuilt by cacheRates: the neighbours of
+	// node i are flatTo[rowStart[i]:rowStart[i+1]] with conductances
+	// flatG at the same offsets, in adj order — so the flat sweep in
+	// stepCapped sums in exactly the order the nested loop did and the
+	// temperatures stay bit-identical.
+	rowStart []int32
+	flatTo   []int32
+	flatG    []float64
+
+	pool *par.Pool // optional row-partitioning pool (see SetPool)
+
 	substeps int64 // cumulative internal Euler substeps across all Step calls
 }
+
+// parRowThreshold is the node count below which stepCapped ignores the
+// pool: the compact model's ~200 nodes finish in well under the cost of
+// waking workers, so only fine-grid models (GridModel) fan out.
+const parRowThreshold = 2048
 
 // NewModel builds the RC network for the chip, initialised to the ambient
 // temperature with zero power.
@@ -134,9 +151,15 @@ func (m *Model) link(i, j int, g float64) {
 	m.adj[j] = append(m.adj[j], edge{to: i, g: g})
 }
 
+// cacheRates precomputes everything the transient sweep needs that does
+// not change between substeps, hotspot3D-style: the per-node conductance
+// sums and stability rate, and the CSR (flat structure-of-arrays) form
+// of the adjacency so stepCapped touches three dense arrays instead of
+// chasing per-node edge slices.
 func (m *Model) cacheRates() {
 	m.sumG = make([]float64, m.nNodes)
 	m.maxRate = 0
+	nEdges := 0
 	for i := range m.adj {
 		var s float64
 		for _, e := range m.adj[i] {
@@ -147,8 +170,28 @@ func (m *Model) cacheRates() {
 		if r := s / m.capJPerK[i]; r > m.maxRate {
 			m.maxRate = r
 		}
+		nEdges += len(m.adj[i])
 	}
+	m.rowStart = make([]int32, m.nNodes+1)
+	m.flatTo = make([]int32, nEdges)
+	m.flatG = make([]float64, nEdges)
+	k := 0
+	for i := range m.adj {
+		m.rowStart[i] = int32(k)
+		for _, e := range m.adj[i] {
+			m.flatTo[k] = int32(e.to)
+			m.flatG[k] = e.g
+			k++
+		}
+	}
+	m.rowStart[m.nNodes] = int32(k)
 }
+
+// SetPool hands the model a worker pool for row-partitioned substeps.
+// Only models above parRowThreshold nodes use it; the compact network
+// stays serial either way, so temperatures are identical at any width.
+// A nil pool (or nil receiver use) reverts to inline execution.
+func (m *Model) SetPool(p *par.Pool) { m.pool = p }
 
 // Chip returns the floorplan the model was built from.
 func (m *Model) Chip() *floorplan.Chip { return m.chip }
@@ -214,21 +257,37 @@ func (m *Model) stepCapped(dtS, capS float64) error {
 		m.delta = make([]float64, m.nNodes)
 	}
 	delta := m.delta
-	for s := 0; s < steps; s++ {
-		for i := 0; i < m.nNodes; i++ {
+	// Flat SoA sweep over the CSR arrays built by cacheRates. Each row i
+	// reads the whole temperature field but writes only delta[i], so the
+	// sweep row-partitions across the pool; the in-place temperature
+	// update runs after the full delta pass (two barriers per substep),
+	// keeping the arithmetic — and hence the trajectory — bit-identical
+	// to the serial loop at any worker count.
+	rows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
 			q := m.power[i]
 			ti := m.temp[i]
-			for _, e := range m.adj[i] {
-				q += e.g * (m.temp[e.to] - ti)
+			for k := m.rowStart[i]; k < m.rowStart[i+1]; k++ {
+				q += m.flatG[k] * (m.temp[m.flatTo[k]] - ti)
 			}
 			if m.ambientG[i] > 0 {
 				q += m.ambientG[i] * (m.cfg.AmbientC - ti)
 			}
 			delta[i] = h * q / m.capJPerK[i]
 		}
-		for i := range m.temp {
+	}
+	apply := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
 			m.temp[i] += delta[i]
 		}
+	}
+	pool := m.pool
+	if m.nNodes < parRowThreshold {
+		pool = nil // inline: barrier cost would dominate the compact model
+	}
+	for s := 0; s < steps; s++ {
+		pool.For(m.nNodes, rows)
+		pool.For(m.nNodes, apply)
 	}
 	return nil
 }

@@ -1,0 +1,97 @@
+package thermal
+
+import (
+	"testing"
+
+	"thermogater/internal/floorplan"
+	"thermogater/internal/par"
+)
+
+// TestGridStepParallelBitIdentical: the row-partitioned fine-grid sweep
+// must reproduce the serial trajectory exactly — not approximately —
+// because the determinism suite compares telemetry bytes.
+func TestGridStepParallelBitIdentical(t *testing.T) {
+	chip := floorplan.MustPOWER8()
+	cfg := DefaultConfig()
+	build := func() *GridModel {
+		g, err := NewGridModel(chip, cfg, 64, 64) // 4096 cells ≥ parRowThreshold
+		if err != nil {
+			t.Fatal(err)
+		}
+		bp := make([]float64, len(chip.Blocks))
+		vp := make([]float64, len(chip.Regulators))
+		for i := range bp {
+			bp[i] = 2.0 + 0.1*float64(i)
+		}
+		for i := range vp {
+			vp[i] = 0.2
+		}
+		if err := g.SetPower(bp, vp); err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+
+	serial := build()
+	pooled := build()
+	pool := par.New(4)
+	defer pool.Close()
+	pooled.SetPool(pool)
+
+	for step := 0; step < 5; step++ {
+		if err := serial.Step(1e-3); err != nil {
+			t.Fatal(err)
+		}
+		if err := pooled.Step(1e-3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range serial.temp {
+		if serial.temp[i] != pooled.temp[i] {
+			t.Fatalf("node %d: serial %v vs pooled %v (bit drift)", i, serial.temp[i], pooled.temp[i])
+		}
+	}
+}
+
+// TestCompactModelIgnoresPoolBelowThreshold: the ~200-node compact model
+// must not fan out (barrier cost dominates), and handing it a pool must
+// not change a single bit.
+func TestCompactModelIgnoresPoolBelowThreshold(t *testing.T) {
+	chip := floorplan.MustPOWER8()
+	build := func() *Model {
+		m, err := NewModel(chip, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		bp := make([]float64, len(chip.Blocks))
+		vp := make([]float64, len(chip.Regulators))
+		for i := range bp {
+			bp[i] = 3.0
+		}
+		if err := m.SetPower(bp, vp); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	serial := build()
+	pooled := build()
+	if pooled.nNodes >= parRowThreshold {
+		t.Fatalf("compact model has %d nodes, expected < %d", pooled.nNodes, parRowThreshold)
+	}
+	pool := par.New(4)
+	defer pool.Close()
+	pooled.SetPool(pool)
+	for step := 0; step < 5; step++ {
+		if err := serial.Step(1e-3); err != nil {
+			t.Fatal(err)
+		}
+		if err := pooled.Step(1e-3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range serial.temp {
+		if serial.temp[i] != pooled.temp[i] {
+			t.Fatalf("node %d: serial %v vs pooled %v", i, serial.temp[i], pooled.temp[i])
+		}
+	}
+}

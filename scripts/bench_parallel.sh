@@ -1,0 +1,18 @@
+#!/bin/sh
+# Regenerates BENCH_parallel.json at the repo root: the worker-count
+# matrix plus the paired cache-disabled control, then re-validates the
+# freshly-written report with the same check CI runs on the committed
+# one. Run from anywhere; writes relative to the repo root.
+#
+# The defaults favour stability over speed (see docs/PERFORMANCE.md for
+# why repetitions are interleaved and how the noise floor is defined);
+# pass tgbench flags to override, e.g. `scripts/bench_parallel.sh -reps 3`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== recording worker matrix + cache control =="
+go run ./cmd/tgbench -parallel -reps 7 -warmup 2 "$@"
+
+echo "== validating the report =="
+go run ./cmd/tgbench -check BENCH_parallel.json
