@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test race vet fmt-check lint lint-json sanitize fuzz chaos verify bench bench-baseline bench-parallel
+.PHONY: build test race vet fmt-check lint lint-json lint-incremental sanitize fuzz chaos verify bench bench-baseline bench-parallel
 
 build:
 	$(GO) build ./...
@@ -20,10 +20,11 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Domain-aware static analysis: the seven syntactic passes plus the
-# three interprocedural tgflow passes — cross-call unit propagation,
-# NaN-taint tracking, and checkpoint field coverage (see
-# docs/STATIC_ANALYSIS.md).
+# Domain-aware static analysis: the seven syntactic passes, the three
+# interprocedural tgflow passes (cross-call unit propagation, NaN-taint
+# tracking, checkpoint field coverage), and the four tgpar
+# concurrency/cache-contract passes (parwrite, redorder, cacheflush,
+# workerpure) — see docs/STATIC_ANALYSIS.md.
 lint:
 	$(GO) run ./cmd/tglint ./...
 
@@ -31,6 +32,13 @@ lint:
 # zero-findings baseline in .github/tglint-baseline.json.
 lint-json:
 	$(GO) run ./cmd/tglint -json ./...
+
+# Incremental lint: per-package fingerprint cache under .tglint-cache/.
+# A no-change rerun skips loading entirely and replays cached findings;
+# output is byte-identical to the full run (see docs/STATIC_ANALYSIS.md,
+# "Incremental analysis"). Cache-hit stats go to stderr.
+lint-incremental:
+	$(GO) run ./cmd/tglint -cache .tglint-cache ./...
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \

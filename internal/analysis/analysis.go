@@ -1,6 +1,6 @@
 // Package analysis is tglint's pass framework: a small, stdlib-only
 // counterpart of golang.org/x/tools/go/analysis tailored to this
-// repository's domain invariants. Ten passes ride on it:
+// repository's domain invariants. Fourteen passes ride on it:
 //
 //   - unitcheck:      unit-suffix consistency (tempC vs tempK, W vs mW, ...)
 //   - detcheck:       nondeterminism sources in simulation packages
@@ -16,6 +16,14 @@
 //   - unitflow:  unit propagation across call boundaries and struct fields
 //   - nanflow:   NaN taint from unchecked sources to persistent state sinks
 //   - statecover: checkpoint State()/Restore() field-coverage verification
+//
+// plus the tgpar family policing the parallel-pipeline and cache
+// contracts from docs/PERFORMANCE.md (parutil.go):
+//
+//   - parwrite:   workers write only chunk-indexed or worker-owned state
+//   - redorder:   reductions reachable from phases are serial/deterministic
+//   - cacheflush: topology/geometry mutations are followed by their flush
+//   - workerpure: workers may bump counters, never the record stream
 //
 // Packages are loaded with go/parser and type-checked with go/types
 // against the build cache's export data (see load.go), so the framework
@@ -128,12 +136,14 @@ func (p *Pass) ObjectOf(fun ast.Expr) types.Object {
 	return nil
 }
 
-// All returns the domain analyzers in their canonical order. The last
-// three are the interprocedural (tgflow) passes.
+// All returns the domain analyzers in their canonical order: the seven
+// syntactic passes, the three interprocedural (tgflow) passes, then the
+// four tgpar concurrency/cache-contract passes.
 func All() []*Analyzer {
 	return []*Analyzer{
 		Unitcheck, Detcheck, Floatcheck, Errsink, Aliascheck, Goroutinecheck, Invcheck,
 		Unitflow, Nanflow, Statecover,
+		Parwrite, Redorder, Cacheflush, Workerpure,
 	}
 }
 
@@ -154,6 +164,22 @@ func ByName(name string) *Analyzer {
 // workers; the final sort keeps the output deterministic regardless of
 // scheduling.
 func Run(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Diagnostic {
+	perPkg := runPerPkg(pkgs, analyzers, cfg, nil)
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		out = append(out, perPkg[pkg.ImportPath]...)
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// runPerPkg is Run's core: it analyzes every package not listed in skip
+// and returns the diagnostics keyed by import path. Skipped packages
+// still participate in Program construction — interprocedural passes see
+// the whole program either way — they just don't re-run their passes;
+// the incremental driver (incremental.go) substitutes their cached
+// findings.
+func runPerPkg(pkgs []*Package, analyzers []*Analyzer, cfg *Config, skip map[string]bool) map[string][]Diagnostic {
 	if cfg == nil {
 		cfg = DefaultConfig()
 	}
@@ -170,6 +196,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Diagnostic {
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	var wg sync.WaitGroup
 	for i, pkg := range pkgs {
+		if skip[pkg.ImportPath] {
+			continue
+		}
 		wg.Add(1)
 		go func(i int, pkg *Package) {
 			defer wg.Done()
@@ -200,10 +229,19 @@ func Run(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Diagnostic {
 	}
 	wg.Wait()
 
-	var out []Diagnostic
-	for _, diags := range perPkg {
-		out = append(out, diags...)
+	out := make(map[string][]Diagnostic, len(pkgs))
+	for i, pkg := range pkgs {
+		if !skip[pkg.ImportPath] {
+			out[pkg.ImportPath] = perPkg[i]
+		}
 	}
+	return out
+}
+
+// sortDiagnostics orders diagnostics by file, line, column, then pass —
+// the one canonical order every tglint entry point emits, so full and
+// incremental runs are byte-comparable.
+func sortDiagnostics(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -217,5 +255,4 @@ func Run(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Diagnostic {
 		}
 		return a.Pass < b.Pass
 	})
-	return out
 }

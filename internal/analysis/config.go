@@ -80,6 +80,44 @@ type Config struct {
 		Allow []string `json:"allow"`
 	} `json:"nanflow"`
 
+	Parwrite struct {
+		// Allow exempts whole packages by import path (prefix match): their
+		// fan-out sites are not analyzed (the pool's own internals).
+		Allow []string `json:"allow"`
+		// GoPackages lists the pipeline packages (base names or import
+		// paths) whose `go` statements are analyzed as zero-chunk workers.
+		GoPackages []string `json:"goPackages"`
+		// AllowCallees lists import-path prefixes treated as safe to call
+		// from workers without descending (audited leaf APIs: the invariant
+		// checker, registry counters, the pool itself).
+		AllowCallees []string `json:"allowCallees"`
+	} `json:"parwrite"`
+
+	Redorder struct {
+		// GoPackages lists the pipeline packages whose go-statement
+		// functions anchor a reduction scope.
+		GoPackages []string `json:"goPackages"`
+		// AllowCallees lists import-path prefixes the reachability walk
+		// does not enter (the telemetry registry's CAS counters are the
+		// sanctioned atomic-accumulate exception).
+		AllowCallees []string `json:"allowCallees"`
+	} `json:"redorder"`
+
+	Cacheflush struct {
+		// Rules lists the watched type/fields/flush triples; see
+		// CacheflushRule.
+		Rules []CacheflushRule `json:"rules"`
+	} `json:"cacheflush"`
+
+	Workerpure struct {
+		// GoPackages lists the pipeline packages whose go statements count
+		// as fan-out sites.
+		GoPackages []string `json:"goPackages"`
+		// Forbidden lists canonical function-key prefixes workers must not
+		// reach (the record-stream APIs).
+		Forbidden []string `json:"forbidden"`
+	} `json:"workerpure"`
+
 	Statecover struct {
 		// Producers names the snapshot-constructing functions (State,
 		// snapshot); every exported field of the snapshot struct must be
@@ -89,6 +127,18 @@ type Config struct {
 		// consumer taking a named struct S anchors the coverage check.
 		Consumers []string `json:"consumers"`
 	} `json:"statecover"`
+}
+
+// CacheflushRule declares one mutation-implies-flush invariant for the
+// cacheflush pass: mutating any of Fields on a value of Type must be
+// followed by a call to one of the Flush callees on every path to
+// return. Type is a named type's base name, or "importpath.Name" to pin
+// the package. An empty Flush list declares the fields frozen after
+// construction.
+type CacheflushRule struct {
+	Type   string   `json:"type"`
+	Fields []string `json:"fields"`
+	Flush  []string `json:"flush"`
 }
 
 // DefaultConfig returns the built-in configuration, matching the
@@ -117,6 +167,37 @@ func DefaultConfig() *Config {
 	c.Nanflow.Guards = []string{"validate", "clamp", "sanitize", "finite", "isnan", "isinf"}
 	c.Statecover.Producers = []string{"State", "snapshot"}
 	c.Statecover.Consumers = []string{"Restore"}
+	c.Parwrite.Allow = []string{"thermogater/internal/par"}
+	c.Parwrite.GoPackages = []string{"sim"}
+	c.Parwrite.AllowCallees = []string{
+		"thermogater/internal/invariant",
+		"thermogater/internal/telemetry",
+		"thermogater/internal/par",
+	}
+	c.Redorder.GoPackages = []string{"sim"}
+	c.Redorder.AllowCallees = []string{
+		"thermogater/internal/invariant",
+		"thermogater/internal/telemetry",
+		"thermogater/internal/par",
+	}
+	c.Cacheflush.Rules = []CacheflushRule{
+		{Type: "Network", Fields: []string{"pathR", "conc"}, Flush: []string{"rebuildPaths"}},
+		{Type: "Regulator", Fields: []string{"Pos"}, Flush: []string{"rebuildPaths"}},
+		{Type: "Mesh", Fields: []string{"nodeBlock", "blockNodes", "vrNode", "nx", "ny", "x0", "y0"}, Flush: nil},
+	}
+	c.Workerpure.GoPackages = []string{"sim"}
+	c.Workerpure.Forbidden = []string{
+		"thermogater/internal/telemetry.(Registry).Emit",
+		"thermogater/internal/telemetry.(Registry).StartSpan",
+		"thermogater/internal/telemetry.(Registry).AddSink",
+		"thermogater/internal/telemetry.(Registry).Close",
+		"thermogater/internal/telemetry.(Span).",
+		"thermogater/internal/telemetry.(JSONLSink).",
+		"thermogater/internal/telemetry.(CSVSink).",
+		"thermogater/internal/telemetry.(Record).",
+		"thermogater/internal/telemetry.NewRecord",
+		"thermogater/internal/telemetry.Write",
+	}
 	return c
 }
 

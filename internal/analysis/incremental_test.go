@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// writeIncrModule lays out a throwaway module with two packages, b
+// importing a, each carrying one floatcheck violation.
+func writeIncrModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tgincr\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+// Eq compares raw floats: a seeded floatcheck violation.
+func Eq(x, y float64) bool { return x == y }
+`,
+		"b/b.go": `package b
+
+import "tgincr/a"
+
+func Same(x, y float64) bool {
+	if x != y { // another seeded violation
+		return false
+	}
+	return a.Eq(x, y)
+}
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestIncrementalGolden is the cache contract end to end: a cold run
+// analyzes everything, a no-change rerun serves every package from the
+// cache without even loading, an edit re-analyzes only the edited
+// package and its dependents — and every variant returns identical
+// findings.
+func TestIncrementalGolden(t *testing.T) {
+	dir := writeIncrModule(t)
+	cacheDir := filepath.Join(dir, ".tglint-cache")
+	analyzers := []*Analyzer{Floatcheck}
+	run := func() ([]Diagnostic, *CacheStats) {
+		diags, stats, err := RunIncremental(dir, []string{"./..."}, analyzers, DefaultConfig(), cacheDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return diags, stats
+	}
+
+	cold, st := run()
+	if st.Targets != 2 || st.Misses != 2 || st.Hits != 0 || st.SkippedLoad {
+		t.Fatalf("cold run stats: %+v", st)
+	}
+	if len(cold) != 2 {
+		t.Fatalf("cold run found %d diagnostics, want 2: %v", len(cold), cold)
+	}
+
+	warm, st := run()
+	if st.Hits != 2 || st.Misses != 0 || !st.SkippedLoad {
+		t.Fatalf("no-change rerun stats: %+v (want all hits, load skipped)", st)
+	}
+	if !reflect.DeepEqual(warm, cold) {
+		t.Fatalf("no-change rerun drifted:\ncold: %v\nwarm: %v", cold, warm)
+	}
+
+	// Touch the leaf package b with a semantics-preserving edit: only b
+	// re-analyzes (a does not import it), findings stay identical.
+	bPath := filepath.Join(dir, "b", "b.go")
+	src, err := os.ReadFile(bPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bPath, append(src, []byte("\n// trailing comment\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	editB, st := run()
+	if st.Hits != 1 || st.Misses != 1 || st.SkippedLoad {
+		t.Fatalf("after editing b: %+v (want 1 hit, 1 miss)", st)
+	}
+	if !reflect.DeepEqual(editB, cold) {
+		t.Fatalf("findings drifted after comment-only edit of b:\ncold: %v\ngot:  %v", cold, editB)
+	}
+
+	// Editing a must also invalidate its dependent b.
+	aPath := filepath.Join(dir, "a", "a.go")
+	src, err = os.ReadFile(aPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(aPath, append(src, []byte("\n// trailing comment\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	editA, st := run()
+	if st.Hits != 0 || st.Misses != 2 {
+		t.Fatalf("after editing a: %+v (want both re-analyzed: b depends on a)", st)
+	}
+	if !reflect.DeepEqual(editA, cold) {
+		t.Fatalf("findings drifted after comment-only edit of a:\ncold: %v\ngot:  %v", cold, editA)
+	}
+
+	// A config change must drop the cache wholesale (engine mismatch).
+	cfg := DefaultConfig()
+	cfg.Floatcheck.Helpers = append(cfg.Floatcheck.Helpers, "customEq")
+	_, st2, err := RunIncremental(dir, []string{"./..."}, analyzers, cfg, cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Hits != 0 || st2.Misses != 2 {
+		t.Fatalf("after config change: %+v (want full re-analysis)", st2)
+	}
+}

@@ -1,0 +1,276 @@
+package analysis
+
+// parutil.go — shared machinery for the tgpar pass family (parwrite,
+// redorder, workerpure). The three passes police the parallel-pipeline
+// contract documented in docs/PERFORMANCE.md: par.Pool.For fans work out
+// over disjoint index chunks, every reduction is serial and fixed-order,
+// and worker-reachable code never writes the per-epoch record stream.
+//
+// This file contributes the two ingredients every pass needs:
+//
+//   - fan-out site discovery: every (*par.Pool).For call with its worker
+//     body resolved (inline func literal, local variable initialized with
+//     one, or a named function), plus `go` statements in the configured
+//     pipeline packages;
+//
+//   - the //par: annotation grammar for audited exceptions:
+//
+//       //par:disjoint <reason>   writes are disjoint for a reason the
+//                                 analysis cannot see (parwrite)
+//       //par:ordered <reason>    ordering is deterministic for a reason
+//                                 the analysis cannot see (redorder)
+//
+//     A directive covers its own line (trailing form) and the line below
+//     (standalone form), mirroring //lint:ignore. The reason is
+//     mandatory and unknown kinds are reported, so every exception in
+//     the tree carries its justification.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"sync"
+)
+
+// ---------------------------------------------------------------------------
+// //par: annotations
+
+const parAnnPrefix = "//par:"
+
+// parAnnIndex maps file → line → annotation kinds covering that line.
+type parAnnIndex map[string]map[int]map[string]bool
+
+// covered reports whether an annotation of the given kind covers pos.
+func (idx parAnnIndex) covered(kind string, pos token.Position) bool {
+	return idx[pos.Filename][pos.Line][kind]
+}
+
+var parAnnKinds = map[string]bool{"disjoint": true, "ordered": true}
+
+// buildParAnns scans the files for //par: directives. Malformed ones
+// (unknown kind or missing reason) come back as diagnostics attributed
+// to the given pass name; parwrite reports them so they surface exactly
+// once per package.
+func buildParAnns(fset *token.FileSet, files []*ast.File, reportPass string) (parAnnIndex, []Diagnostic) {
+	idx := make(parAnnIndex)
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, parAnnPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, parAnnPrefix)
+				fields := strings.Fields(rest)
+				if len(fields) == 0 || !parAnnKinds[fields[0]] {
+					if reportPass != "" {
+						kind := "(none)"
+						if len(fields) > 0 {
+							kind = fields[0]
+						}
+						bad = append(bad, Diagnostic{
+							Pos:     pos,
+							Pass:    reportPass,
+							Message: "unknown //par: annotation kind " + kind + " (want disjoint or ordered)",
+						})
+					}
+					continue
+				}
+				if len(fields) < 2 {
+					if reportPass != "" {
+						bad = append(bad, Diagnostic{
+							Pos:     pos,
+							Pass:    reportPass,
+							Message: "malformed //par:" + fields[0] + " annotation: a reason is mandatory",
+						})
+					}
+					continue
+				}
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					idx[pos.Filename] = byLine
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					kinds := byLine[line]
+					if kinds == nil {
+						kinds = make(map[string]bool)
+						byLine[line] = kinds
+					}
+					kinds[fields[0]] = true
+				}
+			}
+		}
+	}
+	return idx, bad
+}
+
+// parAnnsOnce lazily builds the program-wide annotation index: a worker
+// write in package B may carry its //par:disjoint locally even though
+// the finding is reported at the fan-out site in package A.
+type parAnnState struct {
+	once sync.Once
+	idx  parAnnIndex
+}
+
+var parAnnCache sync.Map // *Program → *parAnnState
+
+// parAnns returns the annotation index over every package of the
+// program (malformed directives are reported separately, per package,
+// by parwrite).
+func parAnns(prog *Program) parAnnIndex {
+	v, _ := parAnnCache.LoadOrStore(prog, &parAnnState{})
+	st := v.(*parAnnState)
+	st.once.Do(func() {
+		st.idx = make(parAnnIndex)
+		for _, pkg := range prog.Pkgs {
+			idx, _ := buildParAnns(pkg.Fset, pkg.Files, "")
+			for file, byLine := range idx {
+				st.idx[file] = byLine
+			}
+		}
+	})
+	return st.idx
+}
+
+// ---------------------------------------------------------------------------
+// Fan-out sites
+
+// fanoutSite is one place worker goroutines are spawned: a
+// (*par.Pool).For call or a `go` statement.
+type fanoutSite struct {
+	pos  token.Pos // anchor for diagnostics: the call or the go keyword
+	desc string    // "par.Pool.For fan-out" or "go statement"
+	encl *ast.FuncDecl
+
+	lits []*ast.FuncLit // resolved worker bodies
+	fns  []*FlowFunc    // named worker functions with bodies in the program
+
+	unresolved ast.Expr // worker argument nobody could resolve, or nil
+	isFor      bool     // true for For sites: the worker's params are chunk bounds
+}
+
+// isPoolFor reports whether the call invokes (*par.Pool).For from the
+// par package (matched by canonical key suffix, so fixture packages that
+// import the real pool are recognized too).
+func isPoolFor(pkg *Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(pkg, call)
+	if fn == nil {
+		return false
+	}
+	key := FuncKey(fn)
+	return key == "par.(Pool).For" || strings.HasSuffix(key, "/par.(Pool).For")
+}
+
+// findFanouts collects the package's fan-out sites. includeGo adds `go`
+// statements (parwrite/workerpure enable it for the configured pipeline
+// packages only; a go statement has no chunk bounds, so every captured
+// write is shared by construction).
+func findFanouts(pkg *Package, prog *Program, includeGo bool) []*fanoutSite {
+	var sites []*fanoutSite
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if isPoolFor(pkg, n) && len(n.Args) == 2 {
+						site := &fanoutSite{pos: n.Pos(), desc: "par.Pool.For fan-out", encl: fd, isFor: true}
+						resolveWorker(pkg, prog, fd, n.Args[1], site)
+						sites = append(sites, site)
+					}
+				case *ast.GoStmt:
+					if !includeGo {
+						return true
+					}
+					site := &fanoutSite{pos: n.Pos(), desc: "go statement", encl: fd}
+					resolveWorker(pkg, prog, fd, n.Call.Fun, site)
+					sites = append(sites, site)
+				}
+				return true
+			})
+		}
+	}
+	return sites
+}
+
+// resolveWorker resolves a fan-out's worker argument to concrete bodies:
+// an inline func literal, a local variable assigned func literals, or a
+// declared function/method. Anything else is recorded as unresolved and
+// parwrite reports it (an unanalyzable worker body is itself a contract
+// violation).
+func resolveWorker(pkg *Package, prog *Program, encl *ast.FuncDecl, arg ast.Expr, site *fanoutSite) {
+	switch a := ast.Unparen(arg).(type) {
+	case *ast.FuncLit:
+		site.lits = append(site.lits, a)
+		return
+	case *ast.Ident, *ast.SelectorExpr:
+		var obj types.Object
+		switch a := a.(type) {
+		case *ast.Ident:
+			obj = pkg.Info.ObjectOf(a)
+		case *ast.SelectorExpr:
+			obj = pkg.Info.ObjectOf(a.Sel)
+		}
+		switch obj := obj.(type) {
+		case *types.Func:
+			if fn := prog.Funcs[FuncKey(obj)]; fn != nil {
+				site.fns = append(site.fns, fn)
+				return
+			}
+		case *types.Var:
+			// A local like `rows := func(lo, hi int) { ... }` later passed
+			// as pool.For(n, rows): collect every func literal the variable
+			// is ever assigned in the enclosing function.
+			var lits []*ast.FuncLit
+			ast.Inspect(encl.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for i, lhs := range as.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || pkg.Info.ObjectOf(id) != obj || i >= len(as.Rhs) {
+						continue
+					}
+					if lit, ok := ast.Unparen(as.Rhs[i]).(*ast.FuncLit); ok {
+						lits = append(lits, lit)
+					}
+				}
+				return true
+			})
+			if len(lits) > 0 {
+				site.lits = append(site.lits, lits...)
+				return
+			}
+		}
+	}
+	site.unresolved = arg
+}
+
+// pkgByPath finds a loaded package by import path.
+func (p *Program) pkgByPath(path string) *Package {
+	for _, pkg := range p.Pkgs {
+		if pkg.ImportPath == path {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// pkgMatches reports whether an import path matches a configured list of
+// base names or full import paths (the convention detcheck/nanflow use).
+func pkgMatches(list []string, importPath string) bool {
+	base := importPath[strings.LastIndex(importPath, "/")+1:]
+	for _, p := range list {
+		if p == base || p == importPath {
+			return true
+		}
+	}
+	return false
+}

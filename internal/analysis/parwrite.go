@@ -1,0 +1,902 @@
+package analysis
+
+// parwrite verifies the disjoint-write half of the parallel-pipeline
+// determinism contract (docs/PERFORMANCE.md): a worker body handed to
+// (*par.Pool).For may write only
+//
+//   - locations indexed by a value derived from its chunk bounds
+//     [lo, hi) — x[i] with i computed from lo/hi by +, - or *, or a
+//     sub-slice x[lo:hi];
+//   - memory the worker owns: locals, make/new/composite-literal
+//     allocations, value-typed copies, and anything reached from them;
+//   - nothing else. Writes to captured variables, shared struct fields,
+//     shared maps, and calls that hand shared mutable state to callees
+//     outside the program are violations.
+//
+// The check is interprocedural: internal callees are re-analyzed under
+// the ownership context of their arguments (a method writing
+// r.scratch[d] is fine exactly when d came in as a chunk index), with
+// context-sensitive memoization. `go` statements in the configured
+// pipeline packages are analyzed the same way with no chunk bounds, so
+// every captured write there must carry its own justification.
+//
+// Audited exceptions use the //par:disjoint annotation (parutil.go) at
+// the offending write or at the fan-out site; the reason is mandatory.
+//
+// Known soundness limits, accepted for a lint: the analysis is
+// flow-insensitive per function, treats reads of shared state as stable
+// during a fan-out (which is exactly what the pass itself enforces), and
+// does not track reference fields smuggled inside copied structs or
+// composite literals.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// pwOwn is the ownership lattice parwrite evaluates expressions in.
+type pwOwn uint8
+
+const (
+	pwShared pwOwn = iota // reachable by other workers — the unsafe default
+	pwNil                 // the nil literal
+	pwConst               // constants and worker-invariant scalar values
+	pwChunk               // an integer derived from the chunk bounds [lo, hi)
+	pwFresh               // memory owned by this worker invocation
+)
+
+func (o pwOwn) String() string {
+	switch o {
+	case pwNil:
+		return "nil"
+	case pwConst:
+		return "const"
+	case pwChunk:
+		return "chunk"
+	case pwFresh:
+		return "owned"
+	}
+	return "shared"
+}
+
+// pwJoin merges the ownership a variable gets from several assignments.
+func pwJoin(a, b pwOwn) pwOwn {
+	switch {
+	case a == b:
+		return a
+	case a == pwShared || b == pwShared:
+		return pwShared
+	case a == pwNil:
+		return b
+	case b == pwNil:
+		return a
+	case a == pwConst:
+		return b
+	case b == pwConst:
+		return a
+	}
+	return pwShared // {chunk, owned} — an index that is sometimes memory
+}
+
+// pwViolation is one unproven write, positioned wherever it happened
+// (possibly another package) with the call chain that reached it.
+type pwViolation struct {
+	pos   token.Pos
+	msg   string
+	chain []string // callee keys from the fan-out site inward
+}
+
+// Parwrite is the disjoint-write analyzer.
+var Parwrite = &Analyzer{
+	Name:         "parwrite",
+	Doc:          "parallel workers must write only chunk-indexed or worker-owned state",
+	Run:          runParwrite,
+	NeedsProgram: true,
+}
+
+// pwSummary is the memoized result of analyzing one (function, context)
+// pair: the unproven writes plus the ownership of each result value, so
+// callers can see that e.g. blockPowerScaled(act, temps, nil) returns
+// memory the callee allocated.
+type pwSummary struct {
+	vios []pwViolation
+	rets []pwOwn
+}
+
+type pwChecker struct {
+	pass *Pass
+	prog *Program
+	memo map[string]pwSummary
+	busy map[string]bool
+}
+
+func runParwrite(pass *Pass) {
+	// Malformed //par: directives surface here, once per package.
+	_, bad := buildParAnns(pass.Fset, pass.Files, "parwrite")
+	pass.diags = append(pass.diags, bad...)
+
+	cfg := pass.Config
+	if allowedBy(cfg.Parwrite.Allow, pass.ImportPath) {
+		return
+	}
+	pkg := pass.Program.pkgByPath(pass.ImportPath)
+	if pkg == nil {
+		return
+	}
+	includeGo := pkgMatches(cfg.Parwrite.GoPackages, pass.ImportPath)
+	sites := findFanouts(pkg, pass.Program, includeGo)
+	if len(sites) == 0 {
+		return
+	}
+
+	ck := &pwChecker{pass: pass, prog: pass.Program, memo: map[string]pwSummary{}, busy: map[string]bool{}}
+	anns := parAnns(pass.Program)
+	own := make(map[string]bool, len(pass.Files))
+	for _, f := range pass.Files {
+		own[pass.Fset.Position(f.Pos()).Filename] = true
+	}
+	seen := map[string]bool{}
+
+	for _, site := range sites {
+		if site.unresolved != nil {
+			pass.Reportf(site.pos, "cannot resolve the worker body of this %s; pass a func literal, a local assigned one, or a declared function", site.desc)
+			continue
+		}
+		var vios []pwViolation
+		for _, lit := range site.lits {
+			v, _ := ck.scan(pkg, lit, seedLitParams(pkg, lit, site.isFor))
+			vios = append(vios, v...)
+		}
+		for _, fn := range site.fns {
+			sum := ck.analyzeFunc(fn, pwFresh, seedFnOwns(fn, site.isFor))
+			vios = append(vios, sum.vios...)
+		}
+		sitePos := pass.Fset.Position(site.pos)
+		for _, v := range vios {
+			vPos := pass.Fset.Position(v.pos)
+			if anns.covered("disjoint", vPos) || anns.covered("disjoint", sitePos) {
+				continue
+			}
+			var d Diagnostic
+			if own[vPos.Filename] {
+				d = Diagnostic{Pos: vPos, Pass: pass.Analyzer.Name,
+					Message: fmt.Sprintf("%s (reached from %s at %s)", v.msg, site.desc, shortPos(sitePos))}
+			} else {
+				d = Diagnostic{Pos: sitePos, Pass: pass.Analyzer.Name,
+					Message: fmt.Sprintf("%s: %s at %s (via %s)", site.desc, v.msg, shortPos(vPos), strings.Join(v.chain, " -> "))}
+			}
+			key := d.Pos.Filename + "|" + fmt.Sprint(d.Pos.Line) + "|" + d.Message
+			if !seen[key] {
+				seen[key] = true
+				pass.diags = append(pass.diags, d)
+			}
+		}
+	}
+}
+
+// shortPos renders a cross-reference position compactly.
+func shortPos(p token.Position) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// seedLitParams binds a func literal's parameters: the two chunk bounds
+// for For workers; go-statement parameters own their copies (reference
+// types stay shared — they alias the spawner's state).
+func seedLitParams(pkg *Package, lit *ast.FuncLit, isFor bool) map[types.Object]pwOwn {
+	seed := map[types.Object]pwOwn{}
+	i := 0
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pkg.Info.Defs[name]
+			if obj == nil {
+				i++
+				continue
+			}
+			seed[obj] = paramOwn(obj.Type(), isFor && i < 2)
+			i++
+		}
+	}
+	return seed
+}
+
+// seedFnOwns builds the ownership context for a named worker function.
+func seedFnOwns(fn *FlowFunc, isFor bool) []pwOwn {
+	if fn.Sig == nil {
+		return nil
+	}
+	owns := make([]pwOwn, fn.Sig.Params().Len())
+	for i := range owns {
+		owns[i] = paramOwn(fn.Sig.Params().At(i).Type(), isFor && i < 2)
+	}
+	return owns
+}
+
+// paramOwn classifies what a parameter owns when the caller's argument
+// context is unknown: chunk bounds for For workers, shared for anything
+// that aliases (pointer-ish), a fresh copy otherwise.
+func paramOwn(t types.Type, chunk bool) pwOwn {
+	if chunk && isIntType(t) {
+		return pwChunk
+	}
+	if isAliasType(t) {
+		return pwShared
+	}
+	if isIntType(t) {
+		return pwConst
+	}
+	return pwFresh
+}
+
+// isAliasType is broader than aliascheck's isRefType: anything a callee
+// could reach the caller's memory through.
+func isAliasType(t types.Type) bool {
+	if t == nil {
+		return true
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}
+
+func isIntType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// analyzeFunc re-analyzes an internal callee under the caller's
+// ownership context, memoized per (function, context).
+func (ck *pwChecker) analyzeFunc(fn *FlowFunc, recvOwn pwOwn, paramOwns []pwOwn) pwSummary {
+	var sb strings.Builder
+	sb.WriteString(fn.Key)
+	sb.WriteByte('|')
+	sb.WriteString(recvOwn.String())
+	for _, o := range paramOwns {
+		sb.WriteByte(',')
+		sb.WriteString(o.String())
+	}
+	key := sb.String()
+	if v, ok := ck.memo[key]; ok {
+		return v
+	}
+	if ck.busy[key] {
+		return pwSummary{} // recursion: trust the outer frame's result
+	}
+	ck.busy[key] = true
+	defer delete(ck.busy, key)
+
+	seed := map[types.Object]pwOwn{}
+	if fn.Sig != nil {
+		if r := fn.Sig.Recv(); r != nil {
+			if _, ptr := r.Type().(*types.Pointer); ptr {
+				seed[r] = recvOwn
+			} else {
+				seed[r] = pwFresh // value receiver: the method gets a copy
+			}
+		}
+		for i := 0; i < fn.Sig.Params().Len() && i < len(paramOwns); i++ {
+			seed[fn.Sig.Params().At(i)] = paramOwns[i]
+		}
+	}
+	vios, rets := ck.scan(fn.Pkg, fn.Decl, seed)
+	out := pwSummary{vios: make([]pwViolation, len(vios)), rets: rets}
+	for i, v := range vios {
+		out.vios[i] = pwViolation{pos: v.pos, msg: v.msg, chain: append([]string{fn.Key}, v.chain...)}
+	}
+	ck.memo[key] = out
+	return out
+}
+
+// pwScan analyzes one function body (declaration or literal) under an
+// ownership seeding of its parameters.
+type pwScan struct {
+	ck     *pwChecker
+	pkg    *Package
+	node   ast.Node // *ast.FuncDecl or *ast.FuncLit, scanned whole
+	locals map[types.Object]bool
+	env    map[types.Object]pwOwn
+	vios   []pwViolation
+}
+
+func (ck *pwChecker) scan(pkg *Package, node ast.Node, seed map[types.Object]pwOwn) ([]pwViolation, []pwOwn) {
+	s := &pwScan{ck: ck, pkg: pkg, node: node, locals: map[types.Object]bool{}, env: map[types.Object]pwOwn{}}
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				s.locals[obj] = true
+			}
+		}
+		return true
+	})
+	for obj, own := range seed {
+		s.locals[obj] = true
+		s.env[obj] = own
+	}
+	// Flow-insensitive fixpoint over local bindings: ownership flows
+	// through straight assignments until nothing changes.
+	for iter := 0; iter < 8; iter++ {
+		if !s.propagate() {
+			break
+		}
+	}
+	s.check()
+	return s.vios, s.resultOwns()
+}
+
+// propagate runs one joining pass over every binding form, reporting
+// whether any variable's ownership changed.
+func (s *pwScan) propagate() bool {
+	changed := false
+	bind := func(lhs ast.Expr, own pwOwn) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := s.pkg.Info.ObjectOf(id)
+		if obj == nil || !s.locals[obj] {
+			return
+		}
+		next := own
+		if cur, ok := s.env[obj]; ok {
+			next = pwJoin(cur, own)
+		}
+		if cur, ok := s.env[obj]; !ok || cur != next {
+			s.env[obj] = next
+			changed = true
+		}
+	}
+	ast.Inspect(s.node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			switch {
+			case len(n.Rhs) == 1 && len(n.Lhs) > 1:
+				// v, ok := m[k] / x.(T): the comma-ok forms keep the
+				// container's ownership; f() spreads the callee's result
+				// summary across the targets.
+				if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+					owns := s.callResultOwns(call)
+					for i, lhs := range n.Lhs {
+						o := pwShared
+						if i < len(owns) {
+							o = owns[i]
+						}
+						bind(lhs, o)
+					}
+					break
+				}
+				own := pwShared
+				switch r := ast.Unparen(n.Rhs[0]).(type) {
+				case *ast.IndexExpr:
+					own = s.evalOwn(r.X)
+				case *ast.TypeAssertExpr:
+					own = s.evalOwn(r.X)
+				case *ast.UnaryExpr:
+					if r.Op == token.ARROW {
+						own = pwShared
+					}
+				}
+				for _, lhs := range n.Lhs {
+					bind(lhs, own)
+				}
+			case n.Tok == token.ASSIGN || n.Tok == token.DEFINE:
+				for i, lhs := range n.Lhs {
+					if i < len(n.Rhs) {
+						bind(lhs, s.evalOwn(n.Rhs[i]))
+					}
+				}
+			case n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN || n.Tok == token.MUL_ASSIGN:
+				// i += 1 keeps i in its class (chunk stays chunk).
+			default:
+				// /=, %=, &=, ...: a chunk index no longer provably disjoint.
+				for _, lhs := range n.Lhs {
+					bind(lhs, pwConst)
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					bind(name, s.evalOwn(n.Values[i]))
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Key != nil {
+				// Range indices enumerate the whole container in every
+				// worker — never a chunk index.
+				bind(n.Key, pwConst)
+			}
+			if n.Value != nil {
+				xo := s.evalOwn(n.X)
+				own := xo
+				if !isAliasType(rangeElemType(typeOf(s.pkg.Info, n.X))) {
+					own = pwFresh // the binding is a copy
+				}
+				bind(n.Value, own)
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// rangeElemType returns the element a range binding copies out of t.
+func rangeElemType(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return u.Elem()
+	case *types.Array:
+		return u.Elem()
+	case *types.Pointer:
+		if a, ok := u.Elem().Underlying().(*types.Array); ok {
+			return a.Elem()
+		}
+	case *types.Map:
+		return u.Elem()
+	case *types.Chan:
+		return u.Elem()
+	}
+	return nil
+}
+
+// evalOwn evaluates what an expression's value owns.
+func (s *pwScan) evalOwn(e ast.Expr) pwOwn {
+	e = ast.Unparen(e)
+	if tv, ok := s.pkg.Info.Types[e]; ok {
+		if tv.IsNil() {
+			return pwNil
+		}
+		if tv.Value != nil {
+			return pwConst
+		}
+	}
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return pwConst
+	case *ast.Ident:
+		obj := s.pkg.Info.ObjectOf(e)
+		if obj == nil {
+			return pwShared
+		}
+		if _, ok := obj.(*types.Const); ok {
+			return pwConst
+		}
+		if own, ok := s.env[obj]; ok {
+			return own
+		}
+		if s.locals[obj] {
+			return pwFresh // declared here, zero value, never rebound
+		}
+		return pwShared // captured or package-level
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			if _, isPkg := s.pkg.Info.ObjectOf(id).(*types.PkgName); isPkg {
+				return pwShared // qualified package-level symbol
+			}
+		}
+		return s.evalOwn(e.X)
+	case *ast.IndexExpr:
+		if t := typeOf(s.pkg.Info, e.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				return s.evalOwn(e.X)
+			}
+		}
+		if s.evalOwn(e.Index) == pwChunk {
+			return pwFresh // element at a chunk index is this worker's
+		}
+		return s.evalOwn(e.X)
+	case *ast.SliceExpr:
+		if (e.Low != nil && s.evalOwn(e.Low) == pwChunk) || (e.High != nil && s.evalOwn(e.High) == pwChunk) {
+			return pwFresh // x[lo:hi] carves out the worker's chunk
+		}
+		return s.evalOwn(e.X)
+	case *ast.StarExpr:
+		return s.evalOwn(e.X)
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case token.AND:
+			return s.evalOwn(e.X)
+		case token.ARROW:
+			return pwShared
+		}
+		if o := s.evalOwn(e.X); o != pwChunk {
+			return o
+		}
+		return pwConst // -i etc. is no longer a chunk index
+	case *ast.BinaryExpr:
+		a, b := s.evalOwn(e.X), s.evalOwn(e.Y)
+		switch e.Op {
+		case token.ADD, token.SUB, token.MUL:
+			// Chunk indices survive affine offsets: the other operand is
+			// worker-invariant because workers only read shared state —
+			// the very contract this pass enforces.
+			if a == pwChunk || b == pwChunk {
+				return pwChunk
+			}
+		}
+		if a == pwShared || b == pwShared {
+			return pwShared
+		}
+		return pwConst
+	case *ast.CompositeLit:
+		return pwFresh
+	case *ast.FuncLit:
+		return pwFresh
+	case *ast.TypeAssertExpr:
+		return s.evalOwn(e.X)
+	case *ast.CallExpr:
+		return s.evalCallOwn(e)
+	}
+	return pwShared
+}
+
+// evalCallOwn classifies a call used as a single value: the first entry
+// of callResultOwns, shared when nothing better is known.
+func (s *pwScan) evalCallOwn(call *ast.CallExpr) pwOwn {
+	if owns := s.callResultOwns(call); len(owns) > 0 {
+		return owns[0]
+	}
+	return pwShared
+}
+
+// callResultOwns evaluates the ownership of each value a call produces.
+// Conversions and allocation builtins are handled directly; internal
+// callees are analyzed under the call's argument context so their result
+// summaries (ck.memo) say whether each result is callee-allocated. nil
+// means unknown — every result shared.
+func (s *pwScan) callResultOwns(call *ast.CallExpr) []pwOwn {
+	if tv, ok := s.pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return []pwOwn{s.evalOwn(call.Args[0])} // conversion
+	}
+	fun := ast.Unparen(call.Fun)
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := s.pkg.Info.ObjectOf(id).(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				return []pwOwn{pwFresh}
+			case "append":
+				if len(call.Args) > 0 && s.evalOwn(call.Args[0]) == pwShared {
+					return []pwOwn{pwShared}
+				}
+				return []pwOwn{pwFresh}
+			}
+			return []pwOwn{pwConst} // len, cap, min, max, ...
+		}
+	}
+	callee := calleeFunc(s.pkg, call)
+	if callee == nil || callee.Pkg() == nil || allowedBy(s.ck.pass.Config.Parwrite.AllowCallees, callee.Pkg().Path()) {
+		return nil
+	}
+	fn := s.ck.prog.Funcs[FuncKey(callee)]
+	if fn == nil || fn.Sig == nil {
+		return nil
+	}
+	recvOwn := pwFresh
+	if fn.Sig.Recv() != nil {
+		if sel, ok := fun.(*ast.SelectorExpr); ok {
+			recvOwn = s.evalOwn(sel.X)
+		} else {
+			recvOwn = pwShared
+		}
+	}
+	return s.ck.analyzeFunc(fn, recvOwn, s.argOwns(fn.Sig, call)).rets
+}
+
+// resultOwns evaluates, after the fixpoint, what each of the scanned
+// function's results owns: the join over every return site, with bare
+// returns reading the named results out of the environment. Returns
+// belonging to nested literals are not this function's.
+func (s *pwScan) resultOwns() []pwOwn {
+	var ft *ast.FuncType
+	switch n := s.node.(type) {
+	case *ast.FuncDecl:
+		ft = n.Type
+	case *ast.FuncLit:
+		ft = n.Type
+	}
+	if ft == nil || ft.Results == nil {
+		return nil
+	}
+	var resObjs []types.Object // named results, nil entries when unnamed
+	nres := 0
+	for _, f := range ft.Results.List {
+		if len(f.Names) == 0 {
+			resObjs = append(resObjs, nil)
+			nres++
+			continue
+		}
+		for _, name := range f.Names {
+			resObjs = append(resObjs, s.pkg.Info.Defs[name])
+			nres++
+		}
+	}
+	rets := make([]pwOwn, nres)
+	for i := range rets {
+		rets[i] = pwNil // join identity; panic-only functions return nothing
+	}
+	joinAt := func(i int, o pwOwn) {
+		if i < nres {
+			rets[i] = pwJoin(rets[i], o)
+		}
+	}
+	walkSkippingLits(s.node, func(n ast.Node) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return
+		}
+		switch {
+		case len(ret.Results) == 0:
+			for i, obj := range resObjs {
+				switch {
+				case obj == nil:
+					joinAt(i, pwShared)
+				default:
+					if own, ok := s.env[obj]; ok {
+						joinAt(i, own)
+					} else {
+						joinAt(i, pwFresh) // never rebound: still its zero value
+					}
+				}
+			}
+		case len(ret.Results) == 1 && nres > 1:
+			// return f(): spread a multi-value call.
+			var owns []pwOwn
+			if call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr); ok {
+				owns = s.callResultOwns(call)
+			}
+			for i := 0; i < nres; i++ {
+				if i < len(owns) {
+					joinAt(i, owns[i])
+				} else {
+					joinAt(i, pwShared)
+				}
+			}
+		default:
+			for i, res := range ret.Results {
+				joinAt(i, s.evalOwn(res))
+			}
+		}
+	})
+	return rets
+}
+
+// walkSkippingLits visits n's tree without descending into nested
+// function literals (used to attribute return statements correctly).
+func walkSkippingLits(root ast.Node, visit func(ast.Node)) {
+	first := true
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit && !first {
+			return false
+		}
+		first = false
+		visit(n)
+		return true
+	})
+}
+
+// check walks the body once reporting unproven writes and unsafe calls.
+func (s *pwScan) check() {
+	ast.Inspect(s.node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				s.checkWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			s.checkWrite(n.X)
+		case *ast.CallExpr:
+			s.checkCall(n)
+		}
+		return true
+	})
+}
+
+func (s *pwScan) violate(pos token.Pos, format string, args ...any) {
+	s.vios = append(s.vios, pwViolation{pos: pos, msg: fmt.Sprintf(format, args...)})
+}
+
+// owned reports whether writing through a base with this ownership is
+// provably private to the worker.
+func owned(o pwOwn) bool { return o == pwFresh || o == pwNil }
+
+func (s *pwScan) checkWrite(lhs ast.Expr) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		obj := s.pkg.Info.ObjectOf(l)
+		if obj == nil || s.locals[obj] {
+			return // rebinding a local is private by construction
+		}
+		s.violate(l.Pos(), "worker assigns captured variable %q", l.Name)
+	case *ast.IndexExpr:
+		if t := typeOf(s.pkg.Info, l.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				if !owned(s.evalOwn(l.X)) {
+					s.violate(l.Pos(), "worker writes shared map %s", nodeText(l.X))
+				}
+				return
+			}
+		}
+		if s.evalOwn(l.Index) == pwChunk || owned(s.evalOwn(l.X)) {
+			return
+		}
+		s.violate(l.Pos(), "worker writes %s at an index not derived from the chunk bounds", nodeText(l.X))
+	case *ast.SelectorExpr:
+		if !owned(s.evalOwn(l.X)) {
+			s.violate(l.Pos(), "worker writes field %s of shared state", nodeText(l))
+		}
+	case *ast.StarExpr:
+		if !owned(s.evalOwn(l.X)) {
+			s.violate(l.Pos(), "worker writes through shared pointer %s", nodeText(l.X))
+		}
+	default:
+		s.violate(lhs.Pos(), "worker write to %s cannot be classified", nodeText(lhs))
+	}
+}
+
+func (s *pwScan) checkCall(call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := s.pkg.Info.Types[fun]; ok && tv.IsType() {
+		return // conversion
+	}
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := s.pkg.Info.ObjectOf(id).(*types.Builtin); ok {
+			s.checkBuiltin(b.Name(), call)
+			return
+		}
+	}
+	callee := calleeFunc(s.pkg, call)
+	if callee == nil {
+		if _, inline := fun.(*ast.FuncLit); inline {
+			return // the literal's body is scanned in place
+		}
+		if id, ok := fun.(*ast.Ident); ok {
+			if obj := s.pkg.Info.ObjectOf(id); obj != nil && s.locals[obj] && s.litAssignedInBody(obj) {
+				return // local closure defined in this body: already scanned
+			}
+		}
+		s.violate(call.Pos(), "worker calls through function value %s; its writes cannot be verified", nodeText(fun))
+		return
+	}
+	if callee.Pkg() != nil && allowedBy(s.ck.pass.Config.Parwrite.AllowCallees, callee.Pkg().Path()) {
+		return
+	}
+	key := FuncKey(callee)
+	if fn := s.ck.prog.Funcs[key]; fn != nil && fn.Sig != nil {
+		recvOwn := pwFresh
+		if fn.Sig.Recv() != nil {
+			if sel, ok := fun.(*ast.SelectorExpr); ok {
+				recvOwn = s.evalOwn(sel.X)
+			} else {
+				recvOwn = pwShared // method value / expression
+			}
+		}
+		sum := s.ck.analyzeFunc(fn, recvOwn, s.argOwns(fn.Sig, call))
+		s.vios = append(s.vios, sum.vios...)
+		return
+	}
+	// External callee (no body in the program): handing it shared mutable
+	// state is unverifiable.
+	if sig, ok := callee.Type().(*types.Signature); ok {
+		if r := sig.Recv(); r != nil {
+			if _, ptr := r.Type().(*types.Pointer); ptr {
+				if sel, ok := fun.(*ast.SelectorExpr); ok && !owned(s.evalOwn(sel.X)) && s.evalOwn(sel.X) != pwConst {
+					s.violate(call.Pos(), "worker calls external %s on shared receiver", key)
+					return
+				}
+			}
+		}
+	}
+	for _, arg := range call.Args {
+		if t := typeOf(s.pkg.Info, arg); t != nil && isMutableRef(t) && s.evalOwn(arg) == pwShared {
+			s.violate(call.Pos(), "worker passes shared %s to external %s", nodeText(arg), key)
+			return
+		}
+	}
+}
+
+// isMutableRef limits the external-callee argument check to carriers a
+// callee could write through (interfaces and funcs excluded: too noisy
+// for error/fmt-style plumbing, and internal callees dominate here).
+func isMutableRef(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// litAssignedInBody reports whether obj is bound to a func literal
+// somewhere inside the scanned body (its writes were scanned in place).
+func (s *pwScan) litAssignedInBody(obj types.Object) bool {
+	found := false
+	ast.Inspect(s.node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || s.pkg.Info.ObjectOf(id) != obj || i >= len(as.Rhs) {
+				continue
+			}
+			if _, isLit := ast.Unparen(as.Rhs[i]).(*ast.FuncLit); isLit {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (s *pwScan) checkBuiltin(name string, call *ast.CallExpr) {
+	switch name {
+	case "append":
+		if len(call.Args) > 0 && s.evalOwn(call.Args[0]) == pwShared {
+			s.violate(call.Pos(), "worker appends to shared slice %s", nodeText(call.Args[0]))
+		}
+	case "copy":
+		if len(call.Args) > 0 && !owned(s.evalOwn(call.Args[0])) {
+			s.violate(call.Pos(), "worker copies into shared slice %s", nodeText(call.Args[0]))
+		}
+	case "delete":
+		if len(call.Args) > 0 && !owned(s.evalOwn(call.Args[0])) {
+			s.violate(call.Pos(), "worker deletes from shared map %s", nodeText(call.Args[0]))
+		}
+	}
+}
+
+// argOwns evaluates the ownership context a call hands its callee.
+func (s *pwScan) argOwns(sig *types.Signature, call *ast.CallExpr) []pwOwn {
+	n := sig.Params().Len()
+	owns := make([]pwOwn, n)
+	for i := 0; i < n; i++ {
+		pt := sig.Params().At(i).Type()
+		if sig.Variadic() && i == n-1 {
+			// Join every argument feeding the variadic slot.
+			own := pwNil
+			for j := i; j < len(call.Args); j++ {
+				own = pwJoin(own, s.argOwn(pt, call.Args[j]))
+			}
+			owns[i] = own
+			continue
+		}
+		if i < len(call.Args) {
+			owns[i] = s.argOwn(pt, call.Args[i])
+		} else {
+			owns[i] = pwShared
+		}
+	}
+	return owns
+}
+
+// argOwn translates an argument's ownership into the callee's frame:
+// references keep their ownership, integers keep chunkness, everything
+// else arrives as a private copy.
+func (s *pwScan) argOwn(paramType types.Type, arg ast.Expr) pwOwn {
+	o := s.evalOwn(arg)
+	if isAliasType(paramType) {
+		return o
+	}
+	if isIntType(paramType) {
+		if o == pwChunk {
+			return pwChunk
+		}
+		return pwConst
+	}
+	return pwFresh
+}

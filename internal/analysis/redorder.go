@@ -1,0 +1,178 @@
+package analysis
+
+// redorder verifies the serial-reduction half of the parallel-pipeline
+// determinism contract (docs/PERFORMANCE.md): every fan-in site
+// reachable from a pipeline phase must be serial and deterministic, or
+// DeepEqual-identical results and byte-identical telemetry stop holding
+// across worker counts. Concretely, inside the reduction scope —
+// functions containing a (*par.Pool).For fan-out or (in the configured
+// pipeline packages) a `go` statement, plus everything they transitively
+// call — the pass flags:
+//
+//   - map iteration (Go randomizes range order, so any order-sensitive
+//     fold diverges between runs); packages detcheck already polices for
+//     map order are skipped to avoid duplicate findings;
+//   - select statements (arrival order is scheduler-dependent);
+//   - atomic read-modify-write calls (sync/atomic Add/Swap/
+//     CompareAndSwap, including the method forms) — the
+//     atomic-accumulate-of-floats idiom commits values in completion
+//     order, which is exactly the race the serial-reduction rule exists
+//     to prevent.
+//
+// Audited exceptions use //par:ordered <reason> at the construct (the
+// telemetry registry's CAS counters are exempted wholesale through
+// redorder.allowCallees: counters feed monotone snapshots, never the
+// record stream). Constructs in other packages reached from a phase are
+// reported at the phase function, naming the remote location.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Redorder is the serial-reduction analyzer.
+var Redorder = &Analyzer{
+	Name:         "redorder",
+	Doc:          "reductions reachable from pipeline phases must be serial and deterministic",
+	Run:          runRedorder,
+	NeedsProgram: true,
+}
+
+func runRedorder(pass *Pass) {
+	cfg := pass.Config
+	pkg := pass.Program.pkgByPath(pass.ImportPath)
+	if pkg == nil {
+		return
+	}
+
+	// Roots: this package's functions that fan work out.
+	includeGo := pkgMatches(cfg.Redorder.GoPackages, pass.ImportPath)
+	roots := map[string]*FlowFunc{}
+	for key, fn := range pass.Program.Funcs {
+		if fn.Pkg != pkg {
+			continue
+		}
+		hasFanout := false
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isPoolFor(pkg, n) {
+					hasFanout = true
+				}
+			case *ast.GoStmt:
+				if includeGo {
+					hasFanout = true
+				}
+			}
+			return !hasFanout
+		})
+		if hasFanout {
+			roots[key] = fn
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+
+	// Reachable scope: BFS over the call graph, remembering one root per
+	// function for attribution, skipping the allow-listed packages.
+	type entry struct {
+		fn   *FlowFunc
+		root *FlowFunc
+	}
+	scope := map[string]entry{}
+	rootKeys := make([]string, 0, len(roots))
+	for k := range roots {
+		rootKeys = append(rootKeys, k)
+	}
+	sort.Strings(rootKeys)
+	queue := make([]string, 0, len(rootKeys))
+	for _, k := range rootKeys {
+		scope[k] = entry{fn: roots[k], root: roots[k]}
+		queue = append(queue, k)
+	}
+	for len(queue) > 0 {
+		key := queue[0]
+		queue = queue[1:]
+		cur := scope[key]
+		for _, ck := range pass.Program.Callees[key] {
+			if _, seen := scope[ck]; seen {
+				continue
+			}
+			fn := pass.Program.Funcs[ck]
+			if fn == nil || allowedBy(cfg.Redorder.AllowCallees, fn.Pkg.ImportPath) {
+				continue
+			}
+			scope[ck] = entry{fn: fn, root: cur.root}
+			queue = append(queue, ck)
+		}
+	}
+
+	anns := parAnns(pass.Program)
+	seen := map[string]bool{}
+	report := func(pos ast.Node, e entry, what string) {
+		p := e.fn.Pkg.Fset.Position(pos.Pos())
+		if anns.covered("ordered", p) {
+			return
+		}
+		var d Diagnostic
+		if e.fn.Pkg == pkg {
+			d = Diagnostic{Pos: p, Pass: pass.Analyzer.Name,
+				Message: fmt.Sprintf("%s in the reduction scope of pipeline phase %s", what, e.root.Key)}
+		} else {
+			d = Diagnostic{Pos: pass.Fset.Position(e.root.Decl.Name.Pos()), Pass: pass.Analyzer.Name,
+				Message: fmt.Sprintf("pipeline phase %s reaches %s in %s at %s", e.root.Key, what, e.fn.Key, shortPos(p))}
+		}
+		key := d.Pos.Filename + "|" + fmt.Sprint(d.Pos.Line) + "|" + d.Message
+		if !seen[key] {
+			seen[key] = true
+			pass.diags = append(pass.diags, d)
+		}
+	}
+
+	keys := make([]string, 0, len(scope))
+	for k := range scope {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e := scope[k]
+		ast.Inspect(e.fn.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if cfg.detcheckApplies(e.fn.Pkg.ImportPath) {
+					return true // detcheck owns map-order findings there
+				}
+				if t := typeOf(e.fn.Pkg.Info, n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						report(n, e, "map iteration (randomized order)")
+					}
+				}
+			case *ast.SelectStmt:
+				report(n, e, "select statement (scheduler-dependent arrival order)")
+			case *ast.CallExpr:
+				if callee := calleeFunc(e.fn.Pkg, n); callee != nil {
+					if key := FuncKey(callee); isAtomicRMW(key) {
+						report(n, e, "atomic read-modify-write "+key+" (commits in completion order)")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isAtomicRMW matches sync/atomic's accumulate primitives, both the
+// package functions (atomic.AddUint64, atomic.CompareAndSwapUint64) and
+// the typed method forms (atomic.Int64.Add, atomic.Uint64.CompareAndSwap).
+func isAtomicRMW(key string) bool {
+	if !strings.HasPrefix(key, "sync/atomic.") {
+		return false
+	}
+	name := key[strings.LastIndex(key, ".")+1:]
+	return strings.HasPrefix(name, "Add") || strings.HasPrefix(name, "Swap") ||
+		strings.HasPrefix(name, "CompareAndSwap")
+}

@@ -1,0 +1,10 @@
+// Package baddir seeds malformed //par: directives; the dedicated test
+// (not the want harness — these diagnostics land on comment-only lines)
+// asserts parwrite reports both.
+package baddir
+
+//par:sequential this kind does not exist
+
+//par:disjoint
+
+var placeholder = 0

@@ -1,0 +1,179 @@
+// Package sim is a tglint fixture for the parwrite pass. The package
+// base name matters: "sim" is in the default GoPackages list, so `go`
+// statements here are analyzed like pool fan-outs. Each seeded
+// violation sits next to a guarded twin proving the analysis knows the
+// difference between a shared write and a chunk-indexed or owned one.
+package sim
+
+import (
+	"sort"
+
+	"thermogater/internal/par"
+)
+
+type grid struct {
+	vals    []float64
+	scratch []float64
+	total   float64
+	byName  map[string]int
+	n       int
+}
+
+// fill writes only through its parameter: safe whenever the argument is
+// worker-owned (a chunk sub-slice or a fresh allocation).
+func (g *grid) fill(dst []float64) {
+	for i := range dst {
+		dst[i] = 1
+	}
+}
+
+// bump writes vals at its parameter index: safe exactly when the caller
+// passes a chunk-derived index.
+func (g *grid) bump(i int) {
+	g.vals[i] += 1
+}
+
+// stamp unconditionally writes a shared field; any worker reaching it is
+// a violation, reported at the write.
+func (g *grid) stamp() {
+	g.total = 0 // want "shared state"
+}
+
+// alloc returns memory the callee allocated — the result-ownership
+// summary must prove the caller owns it.
+func alloc(n int) []float64 {
+	return make([]float64, n)
+}
+
+// chunkSafe is the guarded twin bundle: chunk-indexed writes, a chunk
+// sub-slice handed to a callee, and writes into a fresh allocation.
+func chunkSafe(p *par.Pool, g *grid) {
+	p.For(len(g.vals), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			g.vals[i] = float64(i)
+		}
+		g.fill(g.vals[lo:hi])
+		own := make([]float64, 8)
+		for i := range own {
+			own[i] = 2
+		}
+	})
+}
+
+// offsetSafe: chunk indices survive affine offsets.
+func offsetSafe(p *par.Pool, g *grid) {
+	p.For(g.n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			g.scratch[g.n+i] = 0
+		}
+	})
+}
+
+// interprocSafe: the callee's write is proven under the caller's
+// argument context (i is a chunk index inside bump).
+func interprocSafe(p *par.Pool, g *grid) {
+	p.For(len(g.vals), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			g.bump(i)
+		}
+	})
+}
+
+// resultOwned: a callee-allocated buffer belongs to the worker.
+func resultOwned(p *par.Pool) {
+	p.For(4, func(lo, hi int) {
+		buf := alloc(8)
+		for i := range buf {
+			buf[i] = 1
+		}
+	})
+}
+
+func capturedScalar(p *par.Pool) {
+	sum := 0.0
+	p.For(4, func(lo, hi int) {
+		sum += 1 // want "assigns captured variable"
+	})
+	_ = sum
+}
+
+func nonChunkIndex(p *par.Pool, g *grid) {
+	p.For(len(g.vals), func(lo, hi int) {
+		g.vals[0] = 1 // want "index not derived from the chunk bounds"
+	})
+}
+
+func sharedMap(p *par.Pool, g *grid) {
+	p.For(4, func(lo, hi int) {
+		g.byName["x"] = lo // want "shared map"
+	})
+}
+
+// interprocViolation reaches stamp's shared-field write (reported up at
+// the write line inside stamp — same package).
+func interprocViolation(p *par.Pool, g *grid) {
+	p.For(len(g.vals), func(lo, hi int) {
+		g.stamp()
+	})
+}
+
+func indirectCall(p *par.Pool, f func()) {
+	p.For(4, func(lo, hi int) {
+		f() // want "calls through function value"
+	})
+}
+
+func externalShared(p *par.Pool, g *grid) {
+	p.For(4, func(lo, hi int) {
+		sort.Float64s(g.vals) // want "passes shared"
+	})
+}
+
+// annotated is the audited-exception twin: the same shared write as
+// nonChunkIndex, justified away.
+func annotated(p *par.Pool, g *grid) {
+	p.For(4, func(lo, hi int) {
+		//par:disjoint audited: each worker rewrites the same sentinel with the same value
+		g.vals[0] = 2
+	})
+}
+
+var table = make([]float64, 64)
+
+// namedWorker is resolved through the identifier passed to For; its
+// parameters are seeded as chunk bounds.
+func namedWorker(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		table[i] = float64(i)
+	}
+	table[0] = 0 // want "index not derived from the chunk bounds"
+}
+
+func runNamed(p *par.Pool) {
+	p.For(len(table), namedWorker)
+}
+
+// runOpaque hands For a worker the analysis cannot see the body of.
+func runOpaque(p *par.Pool, w func(lo, hi int)) {
+	p.For(8, w) // want "cannot resolve the worker body"
+}
+
+// goWrites: `go` statements in pipeline packages carry no chunk bounds,
+// so a captured-slice write needs its own justification.
+func goWrites(done chan struct{}) {
+	x := []int{1}
+	go func() {
+		x[0] = 2 // want "index not derived from the chunk bounds"
+		done <- struct{}{}
+	}()
+}
+
+// goAnnotated is goWrites with the audited-exception annotation.
+func goAnnotated(done chan struct{}) {
+	x := []int{1}
+	go func() {
+		//par:disjoint the spawner never touches x again; ownership moved into the goroutine
+		x[0] = 3
+		done <- struct{}{}
+	}()
+}

@@ -1,0 +1,78 @@
+// Package pipe is a tglint fixture for the redorder pass. Its base name
+// is deliberately NOT in detcheck's package list, so map-iteration
+// findings here belong to redorder alone (in the real tree detcheck owns
+// them for the simulation packages).
+package pipe
+
+import (
+	"sync/atomic"
+
+	"thermogater/internal/par"
+)
+
+var counts = map[string]float64{}
+var legacy uint64
+var acc atomic.Uint64
+
+// reduceBad fans out, then folds a map in randomized order.
+func reduceBad(p *par.Pool, out []float64) {
+	p.For(len(out), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = float64(i)
+		}
+	})
+	for _, v := range counts { // want "map iteration"
+		out[0] += v
+	}
+}
+
+// drain is reachable from a phase; its select is flagged where it is.
+func drain(ch, quit chan int) int {
+	select { // want "select statement"
+	case v := <-ch:
+		return v
+	case <-quit:
+		return 0
+	}
+}
+
+func reduceSelect(p *par.Pool, ch, quit chan int, out []float64) {
+	p.For(len(out), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = 1
+		}
+	})
+	out[0] = float64(drain(ch, quit))
+}
+
+// reduceAtomic commits in completion order — inside the worker and in
+// the fan-in alike, both package-function and typed-method forms.
+func reduceAtomic(p *par.Pool, out []float64) {
+	p.For(len(out), func(lo, hi int) {
+		atomic.AddUint64(&legacy, 1) // want "atomic read-modify-write"
+	})
+	acc.Add(2) // want "atomic read-modify-write"
+}
+
+// reduceOrdered is the audited twin: the same construct, justified.
+func reduceOrdered(p *par.Pool, done chan struct{}, out []float64) {
+	p.For(len(out), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = 2
+		}
+	})
+	//par:ordered single non-blocking receive after the barrier; nothing races it
+	select {
+	case <-done:
+	default:
+	}
+}
+
+// serialOnly never fans out, so its map fold is out of scope.
+func serialOnly(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}

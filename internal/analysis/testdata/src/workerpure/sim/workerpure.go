@@ -1,0 +1,56 @@
+// Package sim is a tglint fixture for the workerpure pass: workers may
+// bump registry counters (order-independent, monotone) but must never
+// touch the per-epoch record stream. The base name "sim" puts `go`
+// statements in scope too.
+package sim
+
+import (
+	"thermogater/internal/par"
+	"thermogater/internal/telemetry"
+)
+
+// countSafe: counters are the sanctioned worker-side telemetry.
+func countSafe(p *par.Pool, c *telemetry.Counter) {
+	p.For(4, func(lo, hi int) {
+		c.Add(float64(hi - lo))
+		c.Inc()
+	})
+}
+
+// emitDirect writes the record stream straight from the worker body.
+func emitDirect(p *par.Pool, reg *telemetry.Registry) {
+	p.For(4, func(lo, hi int) {
+		rec := telemetry.NewRecord("epoch") // want "record stream"
+		_ = reg.Emit(rec)                   // want "record stream"
+	})
+}
+
+// logEpoch is a serial-looking helper; calling it from a worker drags
+// the record stream into the fan-out.
+func logEpoch(reg *telemetry.Registry) {
+	rec := telemetry.NewRecord("epoch")
+	_ = reg.Emit(rec)
+}
+
+func emitReachable(p *par.Pool, reg *telemetry.Registry) {
+	p.For(4, func(lo, hi int) { // want "NewRecord" "Emit"
+		logEpoch(reg)
+	})
+}
+
+// goEmit: `go` statements are fan-outs too.
+func goEmit(reg *telemetry.Registry, done chan struct{}) {
+	go func() {
+		_ = reg.Emit(telemetry.NewRecord("x")) // want "NewRecord" "Emit"
+		done <- struct{}{}
+	}()
+}
+
+// reduceAfter emits on the serial side — after the fan-out returned —
+// which is exactly where records belong.
+func reduceAfter(p *par.Pool, reg *telemetry.Registry, c *telemetry.Counter) {
+	p.For(4, func(lo, hi int) {
+		c.Inc()
+	})
+	_ = reg.Emit(telemetry.NewRecord("epoch"))
+}

@@ -1,0 +1,123 @@
+package analysis
+
+// workerpure enforces the byte-identical-across-resume telemetry rule
+// from PR 6 (docs/PERFORMANCE.md): worker-reachable code may bump
+// registry counters — they aggregate order-independently into monotone
+// snapshots — but must never touch the per-epoch record stream (Record
+// construction, Registry.Emit, sink Emit/Flush, span trees), whose
+// byte-identity across worker counts and checkpoint resume is a tested
+// guarantee. A record emitted from inside a fan-out would interleave
+// nondeterministically with the serial stream.
+//
+// The pass walks everything reachable from each fan-out site (the same
+// sites parwrite analyzes: (*par.Pool).For workers plus `go` statements
+// in the configured pipeline packages) over the tgflow call graph and
+// reports any call whose canonical key matches a configured forbidden
+// prefix, naming the call chain that reached it.
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// Workerpure is the record-stream purity analyzer.
+var Workerpure = &Analyzer{
+	Name:         "workerpure",
+	Doc:          "worker-reachable code may touch counters but not the record stream",
+	Run:          runWorkerpure,
+	NeedsProgram: true,
+}
+
+func runWorkerpure(pass *Pass) {
+	cfg := pass.Config
+	if len(cfg.Workerpure.Forbidden) == 0 {
+		return
+	}
+	pkg := pass.Program.pkgByPath(pass.ImportPath)
+	if pkg == nil {
+		return
+	}
+	includeGo := pkgMatches(cfg.Workerpure.GoPackages, pass.ImportPath)
+	sites := findFanouts(pkg, pass.Program, includeGo)
+
+	forbidden := func(key string) bool {
+		for _, p := range cfg.Workerpure.Forbidden {
+			if strings.HasPrefix(key, p) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, site := range sites {
+		// Direct calls in the worker bodies, then BFS through the program.
+		roots := map[string]bool{}
+		for _, lit := range site.lits {
+			ast.Inspect(lit, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := calleeFunc(pkg, call); callee != nil {
+					key := FuncKey(callee)
+					if forbidden(key) {
+						pass.Reportf(call.Pos(), "worker calls %s; workers must not write the record stream", key)
+					} else {
+						roots[key] = true
+					}
+				}
+				return true
+			})
+		}
+		for _, fn := range site.fns {
+			roots[fn.Key] = true
+		}
+
+		parent := map[string]string{}
+		queue := make([]string, 0, len(roots))
+		for k := range roots {
+			queue = append(queue, k)
+		}
+		sort.Strings(queue)
+		reported := map[string]bool{}
+		for len(queue) > 0 {
+			key := queue[0]
+			queue = queue[1:]
+			if forbidden(key) {
+				if !reported[key] {
+					reported[key] = true
+					pass.Reportf(site.pos, "%s reaches %s (via %s); workers must not write the record stream",
+						site.desc, key, chainTo(parent, key))
+				}
+				continue
+			}
+			if pass.Program.Funcs[key] == nil {
+				continue // external leaf
+			}
+			for _, ck := range pass.Program.Callees[key] {
+				if _, seen := parent[ck]; seen || roots[ck] {
+					continue
+				}
+				parent[ck] = key
+				queue = append(queue, ck)
+			}
+		}
+	}
+}
+
+// chainTo renders the BFS path from a fan-out root to key.
+func chainTo(parent map[string]string, key string) string {
+	var chain []string
+	for cur := key; cur != ""; cur = parent[cur] {
+		chain = append(chain, cur)
+		if _, ok := parent[cur]; !ok {
+			break
+		}
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return fmt.Sprint(strings.Join(chain, " -> "))
+}

@@ -1,0 +1,7 @@
+//go:build !tgsan
+
+package par
+
+// assertChunkInvariant is compiled out without the tgsan build tag; the
+// call in For is dead-code eliminated.
+func assertChunkInvariant(n, chunks int) {}

@@ -1,0 +1,38 @@
+//go:build tgsan
+
+package par
+
+import "fmt"
+
+// assertChunkInvariant re-derives the full partition of [0, n) into
+// `chunks` pieces and panics if any chunkBounds property is violated:
+// coverage from 0 to n, contiguity, and per-chunk balance within one
+// element. Compiled in only under the tgsan build tag, like the
+// invariant package's checks; the release build's twin is a no-op the
+// compiler eliminates.
+func assertChunkInvariant(n, chunks int) {
+	lo := 0
+	min, max := n+1, -1
+	for c := 0; c < chunks; c++ {
+		clo, chi := chunkBounds(n, chunks, c)
+		if clo != lo {
+			panic(fmt.Sprintf("par: chunk %d/%d of n=%d starts at %d, want %d (not contiguous)", c, chunks, n, clo, lo))
+		}
+		if chi < clo {
+			panic(fmt.Sprintf("par: chunk %d/%d of n=%d is inverted [%d,%d)", c, chunks, n, clo, chi))
+		}
+		if size := chi - clo; size < min {
+			min = size
+		}
+		if size := chi - clo; size > max {
+			max = size
+		}
+		lo = chi
+	}
+	if lo != n {
+		panic(fmt.Sprintf("par: %d chunks of n=%d cover [0,%d), want [0,%d)", chunks, n, lo, n))
+	}
+	if chunks <= n && (min == 0 || max-min > 1) {
+		panic(fmt.Sprintf("par: chunks of n=%d unbalanced: sizes span [%d,%d]", n, min, max))
+	}
+}

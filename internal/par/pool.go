@@ -102,11 +102,32 @@ func (p *Pool) Workers() int {
 	return p.workers
 }
 
+// chunkBounds returns the half-open range [lo, hi) of chunk c when [0, n)
+// is split into `chunks` pieces. This is the contiguous-chunk invariant
+// every parallel pass and the tgpar parwrite analysis build on:
+//
+//   - the partition is a pure function of (n, chunks) — never of
+//     scheduling, pool state, or previous calls;
+//   - chunks are contiguous and ascending: chunk c ends exactly where
+//     chunk c+1 begins, chunk 0 starts at 0, the last ends at n;
+//   - sizes are balanced within one element (⌊n/chunks⌋ or ⌈n/chunks⌉),
+//     so no chunk is empty while chunks <= n.
+//
+// The closed form c*n/chunks is exact in ints for the sizes involved
+// (n, chunks are slice lengths and worker counts; the product fits int64
+// and int is 64-bit on every supported platform).
+func chunkBounds(n, chunks, c int) (lo, hi int) {
+	return c * n / chunks, (c + 1) * n / chunks
+}
+
 // For runs fn over [0, n) split into at most Workers() contiguous
 // chunks and blocks until every chunk finished. On the nil pool it is a
 // plain call of fn(0, n). If any chunk panics, For re-panics with the
 // first captured value after all chunks have finished, so no chunk is
 // ever still running when the panic unwinds the caller.
+//
+// The partition obeys the chunkBounds contract above; under the tgsan
+// build tag For additionally re-derives and asserts it on every call.
 func (p *Pool) For(n int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -119,23 +140,17 @@ func (p *Pool) For(n int, fn func(lo, hi int)) {
 	if chunks > n {
 		chunks = n
 	}
+	assertChunkInvariant(n, chunks)
 	var wg sync.WaitGroup
 	box := &panicBox{}
-	// Ceil-split so every chunk is within one element of the others and
-	// the partition depends only on (n, chunks) — never on scheduling.
-	size := (n + chunks - 1) / chunks
-	lo := 0
 	wg.Add(chunks)
 	for c := 0; c < chunks-1; c++ {
-		hi := lo + size
-		if hi > n {
-			hi = n
-		}
+		lo, hi := chunkBounds(n, chunks, c)
 		p.tasks <- task{lo: lo, hi: hi, fn: fn, wg: &wg, panics: box}
-		lo = hi
 	}
 	// Last chunk runs inline on the caller.
-	p.runChunk(task{lo: lo, hi: n, fn: fn, wg: &wg, panics: box})
+	lo, hi := chunkBounds(n, chunks, chunks-1)
+	p.runChunk(task{lo: lo, hi: hi, fn: fn, wg: &wg, panics: box})
 	wg.Wait()
 	if box.set {
 		panic(fmt.Sprintf("par: worker panic: %v", box.val))

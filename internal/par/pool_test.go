@@ -53,6 +53,63 @@ func TestForDisjointWritesMatchSerial(t *testing.T) {
 	}
 }
 
+// TestChunkBoundsSmallN pins the contiguous-chunk invariant where it is
+// easiest to break: fewer elements than workers. Every chunk must be
+// non-empty, contiguous, balanced within one element, and the partition
+// must cover [0, n) exactly — for every (n, chunks) with chunks <= n,
+// plus the degenerate chunks > n shapes For clamps away.
+func TestChunkBoundsSmallN(t *testing.T) {
+	for n := 1; n <= 33; n++ {
+		for chunks := 1; chunks <= n; chunks++ {
+			lo := 0
+			minSize, maxSize := n+1, -1
+			for c := 0; c < chunks; c++ {
+				clo, chi := chunkBounds(n, chunks, c)
+				if clo != lo {
+					t.Fatalf("n=%d chunks=%d: chunk %d starts at %d, want %d", n, chunks, c, clo, lo)
+				}
+				size := chi - clo
+				if size < 1 {
+					t.Fatalf("n=%d chunks=%d: chunk %d empty [%d,%d)", n, chunks, c, clo, chi)
+				}
+				if size < minSize {
+					minSize = size
+				}
+				if size > maxSize {
+					maxSize = size
+				}
+				lo = chi
+			}
+			if lo != n {
+				t.Fatalf("n=%d chunks=%d: partition ends at %d", n, chunks, lo)
+			}
+			if maxSize-minSize > 1 {
+				t.Fatalf("n=%d chunks=%d: sizes span [%d,%d]", n, chunks, minSize, maxSize)
+			}
+		}
+	}
+	// Through For itself: more workers than elements must still touch
+	// every index exactly once with per-chunk width 1.
+	p := New(8)
+	defer p.Close()
+	for n := 2; n < 8; n++ {
+		hits := make([]int32, n)
+		p.For(n, func(lo, hi int) {
+			if hi-lo != 1 {
+				t.Errorf("n=%d workers=8: chunk [%d,%d), want width 1", n, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d workers=8: index %d touched %d times", n, i, h)
+			}
+		}
+	}
+}
+
 // TestNilPoolRunsInline proves the nil pool is the serial path.
 func TestNilPoolRunsInline(t *testing.T) {
 	var p *Pool

@@ -37,6 +37,16 @@ func MaskKey(active []bool) uint64 {
 // CacheStats counts lookups against a per-mask cache. Counters are
 // cumulative: flushing a cache's entries does not reset them, so the
 // telemetry layer can emit monotone deltas.
+//
+// Registry interaction (audited): CacheStats itself holds plain uint64
+// fields and registers nothing — the telemetry counters fed from it
+// ("pdn_mask_cache_total") are registered by the simulator's
+// instruments, and telemetry.Registry.Counter is get-or-create keyed by
+// name+labels, so any number of domains, meshes, or whole runners
+// sharing one registry re-resolve the same counter rather than
+// colliding; there is no duplicate-name panic path. Per-domain stats
+// summed by Network.CacheStats therefore aggregate cleanly into one
+// shared counter (see sim's TestSharedRegistryCacheCounters).
 type CacheStats struct {
 	Hits, Misses, Evictions uint64
 }

@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"testing"
+
+	"thermogater/internal/telemetry"
+)
+
+// TestSharedRegistryCacheCounters is the regression test for the
+// pdn.CacheStats registration audit: telemetry.Registry.Counter is
+// get-or-create, so two instrument sets (two runners, or one runner
+// re-created after checkpoint resume) sharing one registry must resolve
+// the same "pdn_mask_cache_total" counters instead of panicking or
+// double-registering, and their increments must aggregate.
+func TestSharedRegistryCacheCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+
+	a := newInstruments(reg)
+	var b *instruments
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("second newInstruments on a shared registry panicked: %v", r)
+			}
+		}()
+		b = newInstruments(reg)
+	}()
+
+	if a.maskCacheHit != b.maskCacheHit || a.maskCacheMiss != b.maskCacheMiss || a.maskCacheEvict != b.maskCacheEvict {
+		t.Fatal("shared registry returned distinct counters for the same name+labels")
+	}
+
+	a.maskCacheHit.Add(3)
+	b.maskCacheHit.Add(4)
+	if got := a.maskCacheHit.Value(); got != 7 {
+		t.Fatalf("shared counter did not aggregate: got %v, want 7", got)
+	}
+
+	// The registry must hold exactly one series per (name, labels) pair:
+	// hit/miss/evict under one metric name, each registered once.
+	snap := reg.Snapshot()
+	seen := map[string]int{}
+	for _, c := range snap.Counters {
+		if c.Name == "pdn_mask_cache_total" {
+			seen[telemetry.Key(c.Name, c.Labels)]++
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("want 3 pdn_mask_cache_total series (hit/miss/evict), got %d: %v", len(seen), seen)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("series %s registered %d times", k, n)
+		}
+	}
+}

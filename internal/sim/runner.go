@@ -720,6 +720,7 @@ func (r *Runner) runMeasured() (*Result, error) {
 		go func() {
 			defer func() {
 				if p := recover(); p != nil {
+					//par:ordered sole producer handing the consumer its last batch; quit only fires on teardown
 					select {
 					case frameCh <- frameBatch{panicked: p}:
 					case <-quit:
@@ -727,7 +728,9 @@ func (r *Runner) runMeasured() (*Result, error) {
 				}
 			}()
 			for e := startEpoch; e < nEpochs; e++ {
+				//par:disjoint the producer goroutine is the sole owner of usim; batches transfer ownership through frameCh
 				b := produce(e)
+				//par:ordered unbuffered 1:1 producer->consumer handoff; epochs arrive in loop order
 				select {
 				case frameCh <- b:
 				case <-quit:
