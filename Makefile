@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test race vet fmt-check lint lint-json lint-incremental sanitize fuzz chaos verify bench bench-baseline bench-parallel
+.PHONY: build test race vet fmt-check lint lint-json lint-incremental alloc-gate sanitize fuzz chaos verify bench bench-baseline bench-parallel
 
 build:
 	$(GO) build ./...
@@ -22,9 +22,10 @@ vet:
 
 # Domain-aware static analysis: the seven syntactic passes, the three
 # interprocedural tgflow passes (cross-call unit propagation, NaN-taint
-# tracking, checkpoint field coverage), and the four tgpar
+# tracking, checkpoint field coverage), the four tgpar
 # concurrency/cache-contract passes (parwrite, redorder, cacheflush,
-# workerpure) — see docs/STATIC_ANALYSIS.md.
+# workerpure), and the three tgperf hot-path passes (allocfree,
+# boxcheck, capgrow) — see docs/STATIC_ANALYSIS.md.
 lint:
 	$(GO) run ./cmd/tglint ./...
 
@@ -39,6 +40,14 @@ lint-json:
 # "Incremental analysis"). Cache-hit stats go to stderr.
 lint-incremental:
 	$(GO) run ./cmd/tglint -cache .tglint-cache ./...
+
+# Hard zero-allocation gate on the steady-state epoch loop (the dynamic
+# counterpart of the tgperf lint passes — see docs/PERFORMANCE.md, "The
+# zero-allocation contract"). -count=1 defeats cached test verdicts;
+# never add -race here: its instrumentation allocates and the gate
+# requires exactly zero.
+alloc-gate:
+	$(GO) test -run TestStepEpochZeroAllocs -count=1 ./internal/sim/
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \

@@ -15,12 +15,15 @@
 //	go run ./cmd/tgbench -parallel          # writes BENCH_parallel.json:
 //	                                        # the worker-count matrix plus a
 //	                                        # paired cache-disabled control,
-//	                                        # with per-row speedups and the
-//	                                        # PDN mask-cache hit rate
+//	                                        # with per-row speedups, the PDN
+//	                                        # mask-cache hit rate, and the
+//	                                        # paired-differencing steady-state
+//	                                        # allocs/bytes per epoch
 //	go run ./cmd/tgbench -check BENCH_parallel.json
 //	                                        # CI smoke: parse the committed
 //	                                        # report and assert its claims
-//	                                        # are self-consistent
+//	                                        # are self-consistent, including
+//	                                        # allocs_per_epoch < 0.5
 //
 // Ratios are only ever taken within one interleaved session: repetition
 // r of every cell (cache off, workers 0, 2, ...) runs before repetition
@@ -125,6 +128,16 @@ type ParallelRow struct {
 	SpeedupVsBaseline float64          `json:"speedup_vs_baseline"`
 	CacheHitRate      float64          `json:"cache_hit_rate"`
 	PhaseNSPerEpoch   map[string]int64 `json:"phase_ns_per_epoch"`
+	// AllocsPerEpoch and BytesPerEpoch are the steady-state heap cost of
+	// one epoch, measured by paired differencing: the same cell runs
+	// (without telemetry) at durations D and 2D with runtime.MemStats
+	// read around each run, and (Δmallocs, Δbytes)/Δepochs between the
+	// two cancels every fixed cost — construction, θ-profiling, warm-up
+	// buffer growth, cache fill. The epoch loop's zero-allocation
+	// contract (internal/sim/alloc_test.go, the allocfree lint pass)
+	// pins this at ~0; -check fails any row at or above 0.5.
+	AllocsPerEpoch float64 `json:"allocs_per_epoch"`
+	BytesPerEpoch  float64 `json:"bytes_per_epoch"`
 }
 
 // ParallelCase is one (policy, benchmark) across the worker matrix plus
@@ -401,6 +414,16 @@ func measureParallel(cases []benchCase, durationMS, reps, warmup int, seed uint6
 			}
 			pc.Rows = append(pc.Rows, row)
 		}
+		for i := range pc.Rows {
+			o := base
+			o.workers = pc.Rows[i].Workers
+			al, by, err := measureAllocsPerEpoch(c, o)
+			if err != nil {
+				return nil, fmt.Errorf("%s workers=%d allocation pass: %w", pc.Name, o.workers, err)
+			}
+			pc.Rows[i].AllocsPerEpoch = al
+			pc.Rows[i].BytesPerEpoch = by
+		}
 		if nocache := bests[0]; nocache != nil && seqCell >= 0 {
 			pc.NoCacheWallNSPerEpoch = nocache.WallNSPerEpoch
 			pc.CacheSpeedup = medianRatio(rounds, 0, seqCell, wallOf)
@@ -458,6 +481,9 @@ func checkParallelFile(path string) error {
 			if r.SpeedupVsBaseline > bestSpeedup {
 				bestSpeedup = r.SpeedupVsBaseline
 			}
+			if math.Abs(r.AllocsPerEpoch) >= 0.5 {
+				return fmt.Errorf("%s: case %s workers=%d allocates %.2f times per steady-state epoch — the zero-allocation contract (internal/sim/alloc_test.go, docs/PERFORMANCE.md) is broken", path, c.Name, r.Workers, r.AllocsPerEpoch)
+			}
 		}
 		if !sawBase {
 			return fmt.Errorf("%s: case %s has no workers=0 row", path, c.Name)
@@ -473,6 +499,65 @@ func checkParallelFile(path string) error {
 		}
 	}
 	return nil
+}
+
+// runMallocs executes one full run without a telemetry registry (record
+// emission allocates by design and would mask the epoch loop's contract)
+// and returns the process-wide malloc and allocated-byte deltas across
+// Run. Construction stays outside the measured window, but the paired
+// differencing in measureAllocsPerEpoch would cancel it anyway.
+func runMallocs(c benchCase, opt caseOpts) (mallocs, bytes uint64, err error) {
+	policy, err := core.ParsePolicy(c.Policy)
+	if err != nil {
+		return 0, 0, err
+	}
+	bench, err := workload.ByName(c.Bench)
+	if err != nil {
+		return 0, 0, err
+	}
+	cfg := sim.DefaultConfig(policy, bench)
+	cfg.Seed = opt.seed
+	cfg.DurationMS = opt.durationMS
+	cfg.Faults = opt.faults
+	cfg.Workers = opt.workers
+	if opt.nocache {
+		cfg.PDN.MaskCacheSize = pdn.CacheDisabled
+	}
+	r, err := sim.New(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	var m1, m2 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	if _, err := r.Run(); err != nil {
+		return 0, 0, err
+	}
+	runtime.ReadMemStats(&m2)
+	return m2.Mallocs - m1.Mallocs, m2.TotalAlloc - m1.TotalAlloc, nil
+}
+
+// measureAllocsPerEpoch runs one cell at durations D and 2D and divides
+// the malloc/byte difference by the epoch difference. Every fixed cost —
+// runner construction, θ-profiling (ProfilingEpochs is
+// duration-independent), warm-up slice growth, LRU fill — appears in
+// both runs and cancels; what remains is the marginal heap cost of one
+// steady-state epoch. Exact counter arithmetic, not timing: a single
+// pair suffices.
+func measureAllocsPerEpoch(c benchCase, opt caseOpts) (allocs, bytes float64, err error) {
+	long := opt
+	long.durationMS = 2 * opt.durationMS
+	a1, b1, err := runMallocs(c, opt)
+	if err != nil {
+		return 0, 0, err
+	}
+	a2, b2, err := runMallocs(c, long)
+	if err != nil {
+		return 0, 0, err
+	}
+	// EpochMS is 1.0 in DefaultConfig, so epochs == durationMS.
+	dEpochs := float64(long.durationMS - opt.durationMS)
+	return (float64(a2) - float64(a1)) / dEpochs, (float64(b2) - float64(b1)) / dEpochs, nil
 }
 
 // caseOpts parameterises one measurement cell.

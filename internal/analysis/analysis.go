@@ -25,6 +25,15 @@
 //   - cacheflush: topology/geometry mutations are followed by their flush
 //   - workerpure: workers may bump counters, never the record stream
 //
+// plus the tgperf family policing the steady-state performance
+// contract — zero allocations and zero dynamic dispatch on the
+// per-epoch hot path (perfutil.go):
+//
+//   - allocfree: heap-allocating constructs in the hot set, classified
+//     on the StackLocal/ReusedScratch/Escapes lattice
+//   - boxcheck:  interface dispatch and reflection sorts in the hot set
+//   - capgrow:   loop appends without established capacity
+//
 // Packages are loaded with go/parser and type-checked with go/types
 // against the build cache's export data (see load.go), so the framework
 // needs no module dependencies and no network. Diagnostics can be
@@ -137,13 +146,15 @@ func (p *Pass) ObjectOf(fun ast.Expr) types.Object {
 }
 
 // All returns the domain analyzers in their canonical order: the seven
-// syntactic passes, the three interprocedural (tgflow) passes, then the
-// four tgpar concurrency/cache-contract passes.
+// syntactic passes, the three interprocedural (tgflow) passes, the four
+// tgpar concurrency/cache-contract passes, then the three tgperf
+// hot-path performance passes.
 func All() []*Analyzer {
 	return []*Analyzer{
 		Unitcheck, Detcheck, Floatcheck, Errsink, Aliascheck, Goroutinecheck, Invcheck,
 		Unitflow, Nanflow, Statecover,
 		Parwrite, Redorder, Cacheflush, Workerpure,
+		Allocfree, Boxcheck, Capgrow,
 	}
 }
 

@@ -1,0 +1,168 @@
+package analysis
+
+// capgrow — the tgperf capacity pass. A loop that appends to a slice
+// whose capacity was not established before the loop reallocates
+// O(log n) times and copies O(n) elements; in the configured
+// simulation packages that shape is reported. Capacity counts as
+// established by a make (any arity), by a [:0] reslice-reset of the
+// same slice, or by a nil-/cap-guard somewhere earlier in the
+// function; suppress intentional cases with //lint:ignore capgrow.
+// Unlike allocfree/boxcheck this pass is syntactic and package-local —
+// it polices whole packages, not just the hot set, because a growing
+// append hurts wherever it sits in a loop.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var Capgrow = &Analyzer{
+	Name: "capgrow",
+	Doc:  "loop appends to slices without established capacity",
+	Run:  runCapgrow,
+}
+
+func runCapgrow(pass *Pass) {
+	if !pkgMatches(pass.Config.Tgperf.CapgrowPackages, pass.ImportPath) {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &capgrowWalker{pass: pass, est: make(map[string]bool)}
+			w.stmts(fd.Body.List, 0)
+		}
+	}
+}
+
+// capgrowWalker walks one function in source order, tracking which
+// slices have established capacity. The est set is flow-insensitive on
+// branches (an establishment inside an if counts afterwards — that is
+// exactly the nil-guard scratch idiom), which keeps the pass cheap and
+// its findings easy to act on.
+type capgrowWalker struct {
+	pass *Pass
+	est  map[string]bool
+}
+
+func (w *capgrowWalker) stmts(list []ast.Stmt, loopDepth int) {
+	for _, s := range list {
+		w.stmt(s, loopDepth)
+	}
+}
+
+func (w *capgrowWalker) stmt(s ast.Stmt, loopDepth int) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.stmts(s.List, loopDepth)
+	case *ast.IfStmt:
+		w.stmt(s.Init, loopDepth)
+		if guard := guardTarget(w.pass.Info, s.Cond); guard != "" {
+			w.est[guard] = true
+		}
+		w.stmts(s.Body.List, loopDepth)
+		w.stmt(s.Else, loopDepth)
+	case *ast.ForStmt:
+		w.stmt(s.Init, loopDepth)
+		w.stmt(s.Post, loopDepth+1)
+		w.stmts(s.Body.List, loopDepth+1)
+	case *ast.RangeStmt:
+		w.stmts(s.Body.List, loopDepth+1)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, loopDepth)
+		for _, c := range s.Body.List {
+			w.stmts(c.(*ast.CaseClause).Body, loopDepth)
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, loopDepth)
+		w.stmt(s.Assign, loopDepth)
+		for _, c := range s.Body.List {
+			w.stmts(c.(*ast.CaseClause).Body, loopDepth)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			w.stmt(cc.Comm, loopDepth)
+			w.stmts(cc.Body, loopDepth)
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, loopDepth)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, v := range vs.Values {
+				if isBuiltinCall(w.pass.Info, ast.Unparen(v), "make") && i < len(vs.Names) {
+					w.est[vs.Names[i].Name] = true
+				}
+				w.exprLits(v, loopDepth)
+			}
+		}
+	case *ast.AssignStmt:
+		for i := range s.Lhs {
+			if i >= len(s.Rhs) {
+				break
+			}
+			lhs := types.ExprString(ast.Unparen(s.Lhs[i]))
+			rhs := ast.Unparen(s.Rhs[i])
+			switch {
+			case isBuiltinCall(w.pass.Info, rhs, "make"):
+				w.est[lhs] = true
+			case isSelfReslice(rhs, lhs):
+				w.est[lhs] = true
+			default:
+				if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinCall(w.pass.Info, call, "append") &&
+					len(call.Args) > 0 {
+					arg0 := types.ExprString(ast.Unparen(call.Args[0]))
+					if arg0 == lhs {
+						if loopDepth > 0 && !w.est[lhs] && !isZeroReslice(call.Args[0]) {
+							w.pass.Reportf(call.Pos(),
+								"append grows %s inside a loop without established capacity — preallocate with make or reset with %s = %s[:0] before the loop",
+								lhs, lhs, lhs)
+							w.est[lhs] = true // one finding per slice per function
+						}
+						continue
+					}
+				}
+				delete(w.est, lhs)
+			}
+			w.exprLits(s.Rhs[i], loopDepth)
+		}
+	case *ast.ExprStmt:
+		w.exprLits(s.X, loopDepth)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.exprLits(r, loopDepth)
+		}
+	case *ast.DeferStmt:
+		w.exprLits(s.Call, loopDepth)
+	case *ast.GoStmt:
+		w.exprLits(s.Call, loopDepth)
+	}
+}
+
+// exprLits chases func literals inside expressions; their bodies are
+// walked with the surrounding loop depth (a literal built inside a
+// loop runs inside that loop).
+func (w *capgrowWalker) exprLits(e ast.Expr, loopDepth int) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			w.stmts(lit.Body.List, loopDepth)
+			return false
+		}
+		return true
+	})
+}

@@ -118,6 +118,24 @@ type Config struct {
 		Forbidden []string `json:"forbidden"`
 	} `json:"workerpure"`
 
+	Tgperf struct {
+		// Roots maps import-path base names (or full import paths) to the
+		// hot-loop entry functions ("Name" or "(Recv).Name") whose
+		// transitive callees form the tgperf hot set. A package's roots
+		// apply while analyzing that package or any package that depends
+		// on it — exactly the closure the incremental fingerprints hash.
+		Roots map[string][]string `json:"roots"`
+		// AllowCallees lists import-path prefixes the hot-set walk does
+		// not enter (audited allocation-free leaf APIs: the release-build
+		// no-op invariant checker, the telemetry registry's recycled
+		// spans and CAS counters).
+		AllowCallees []string `json:"allowCallees"`
+		// CapgrowPackages lists the packages capgrow polices, as base
+		// names or full import paths (broader than the hot set: a growing
+		// append in a loop hurts wherever it sits).
+		CapgrowPackages []string `json:"capgrowPackages"`
+	} `json:"tgperf"`
+
 	Statecover struct {
 		// Producers names the snapshot-constructing functions (State,
 		// snapshot); every exported field of the snapshot struct must be
@@ -184,6 +202,27 @@ func DefaultConfig() *Config {
 		{Type: "Network", Fields: []string{"pathR", "conc"}, Flush: []string{"rebuildPaths"}},
 		{Type: "Regulator", Fields: []string{"Pos"}, Flush: []string{"rebuildPaths"}},
 		{Type: "Mesh", Fields: []string{"nodeBlock", "blockNodes", "vrNode", "nx", "ny", "x0", "y0"}, Flush: nil},
+	}
+	c.Tgperf.Roots = map[string][]string{
+		"sim":      {"(Runner).stepEpoch", "(Runner).produceEpoch", "(Runner).domainEmergency"},
+		"thermal":  {"(Model).Step", "(Watchdog).Step"},
+		"pdn":      {"(Network).SteadyNoiseInto", "(Network).BurstPeakPct", "(Network).EffectiveResistance"},
+		"core":     {"(Governor).Decide", "(Governor).Observe", "(Governor).ObserveEmergencies"},
+		"uarch":    {"(Simulator).StepInto"},
+		"vr":       {"(Network).NOn", "(Network).EtaAt", "(Network).PerVRLoss", "(Network).PlossAt"},
+		"power":    {"(Model).Dynamic", "(Model).LeakageAt", "(Model).Total", "(Model).DomainDemand"},
+		"stats":    {"(WMA).Observe", "(WMA).Predict"},
+		"dvfs":     {"(Governor).Observe"},
+		"aging":    {"(Tracker).Observe"},
+		"workload": {"(Profile).PhaseAt"},
+		"par":      {"(Pool).For"},
+	}
+	c.Tgperf.AllowCallees = []string{
+		"thermogater/internal/invariant",
+		"thermogater/internal/telemetry",
+	}
+	c.Tgperf.CapgrowPackages = []string{
+		"uarch", "workload", "power", "thermal", "pdn", "vr", "sim", "dvfs", "aging", "core",
 	}
 	c.Workerpure.GoPackages = []string{"sim"}
 	c.Workerpure.Forbidden = []string{

@@ -53,18 +53,26 @@ var parAnnKinds = map[string]bool{"disjoint": true, "ordered": true}
 // to the given pass name; parwrite reports them so they surface exactly
 // once per package.
 func buildParAnns(fset *token.FileSet, files []*ast.File, reportPass string) (parAnnIndex, []Diagnostic) {
+	return buildAnnIndex(fset, files, parAnnPrefix, parAnnKinds, "disjoint or ordered", reportPass)
+}
+
+// buildAnnIndex is the shared directive scanner behind the //par: and
+// //perf: grammars: a directive is "<prefix><kind> <reason...>", the
+// reason is mandatory, unknown kinds are findings, and a directive
+// covers its own line plus the line below it (mirroring //lint:ignore).
+func buildAnnIndex(fset *token.FileSet, files []*ast.File, prefix string, kinds map[string]bool, kindsHint, reportPass string) (parAnnIndex, []Diagnostic) {
 	idx := make(parAnnIndex)
 	var bad []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, parAnnPrefix) {
+				if !strings.HasPrefix(c.Text, prefix) {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				rest := strings.TrimPrefix(c.Text, parAnnPrefix)
+				rest := strings.TrimPrefix(c.Text, prefix)
 				fields := strings.Fields(rest)
-				if len(fields) == 0 || !parAnnKinds[fields[0]] {
+				if len(fields) == 0 || !kinds[fields[0]] {
 					if reportPass != "" {
 						kind := "(none)"
 						if len(fields) > 0 {
@@ -73,7 +81,7 @@ func buildParAnns(fset *token.FileSet, files []*ast.File, reportPass string) (pa
 						bad = append(bad, Diagnostic{
 							Pos:     pos,
 							Pass:    reportPass,
-							Message: "unknown //par: annotation kind " + kind + " (want disjoint or ordered)",
+							Message: "unknown " + prefix + " annotation kind " + kind + " (want " + kindsHint + ")",
 						})
 					}
 					continue
@@ -83,7 +91,7 @@ func buildParAnns(fset *token.FileSet, files []*ast.File, reportPass string) (pa
 						bad = append(bad, Diagnostic{
 							Pos:     pos,
 							Pass:    reportPass,
-							Message: "malformed //par:" + fields[0] + " annotation: a reason is mandatory",
+							Message: "malformed " + prefix + fields[0] + " annotation: a reason is mandatory",
 						})
 					}
 					continue
@@ -224,6 +232,21 @@ func resolveWorker(pkg *Package, prog *Program, encl *ast.FuncDecl, arg ast.Expr
 				return
 			}
 		case *types.Var:
+			if obj.IsField() {
+				// A prebuilt worker hoisted into a struct field (the
+				// allocation-free idiom tgperf pushes hot code toward):
+				// collect every func literal the field is assigned anywhere
+				// in its own package — plain assignments and composite
+				// literal values both count.
+				if lits := fieldFuncLits(pkg, obj); len(lits) > 0 {
+					site.lits = append(site.lits, lits...)
+					return
+				}
+				break
+			}
+			if encl == nil {
+				break
+			}
 			// A local like `rows := func(lo, hi int) { ... }` later passed
 			// as pool.For(n, rows): collect every func literal the variable
 			// is ever assigned in the enclosing function.
@@ -251,6 +274,43 @@ func resolveWorker(pkg *Package, prog *Program, encl *ast.FuncDecl, arg ast.Expr
 		}
 	}
 	site.unresolved = arg
+}
+
+// fieldFuncLits collects the func literals assigned to a struct field
+// in the field's own package. Cross-package field workers stay
+// unresolved: the literals would carry a foreign types.Info, and no hot
+// path in this repository stores a worker outside its defining package.
+func fieldFuncLits(pkg *Package, obj *types.Var) []*ast.FuncLit {
+	if obj.Pkg() == nil || obj.Pkg().Path() != pkg.ImportPath {
+		return nil
+	}
+	var lits []*ast.FuncLit
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if !ok || pkg.Info.ObjectOf(sel.Sel) != obj || i >= len(n.Rhs) {
+						continue
+					}
+					if lit, ok := ast.Unparen(n.Rhs[i]).(*ast.FuncLit); ok {
+						lits = append(lits, lit)
+					}
+				}
+			case *ast.KeyValueExpr:
+				id, ok := n.Key.(*ast.Ident)
+				if !ok || pkg.Info.ObjectOf(id) != obj {
+					return true
+				}
+				if lit, ok := ast.Unparen(n.Value).(*ast.FuncLit); ok {
+					lits = append(lits, lit)
+				}
+			}
+			return true
+		})
+	}
+	return lits
 }
 
 // pkgByPath finds a loaded package by import path.

@@ -1,0 +1,10 @@
+// Package baddir seeds malformed //perf: directives; the dedicated
+// test (not the want harness — these diagnostics land on comment-only
+// lines) asserts allocfree reports both.
+package baddir
+
+//perf:speed this kind does not exist
+
+//perf:alloc
+
+var placeholder = 0

@@ -1,0 +1,63 @@
+// Package sim is a tglint fixture for the boxcheck pass: interface
+// method calls and reflection sorts inside the hot set are findings,
+// while calls through plain func values (the prebuilt-worker idiom)
+// and concrete sorts are not.
+package sim
+
+import (
+	"errors"
+	"sort"
+)
+
+type stepper interface{ Step() }
+
+type impl struct{ n int }
+
+func (i *impl) Step() { i.n++ }
+
+var errStep = errors.New("step failed")
+
+type Runner struct {
+	s    stepper
+	f    func()
+	vals []float64
+	bad  bool
+}
+
+// insertionSort is the concrete replacement a hot path should use.
+func insertionSort(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// emitRecord mirrors telemetry record emission: dispatch-heavy but off
+// the steady-state path, exempted whole by the function-scope directive.
+//
+//perf:dispatch record emission runs only on instrumented runs
+func (r *Runner) emitRecord() {
+	r.s.Step()
+	sort.Stable(sort.Float64Slice(r.vals))
+}
+
+func (r *Runner) stepEpoch() error {
+	r.s.Step()                                                                     // want "interface method call"
+	r.f()                                                                          // func-value call: a code pointer, not an itable — clean
+	sort.SliceStable(r.vals, func(i, j int) bool { return r.vals[i] < r.vals[j] }) // want "sort.SliceStable"
+	insertionSort(r.vals)
+
+	r.s.Step() //perf:dispatch audited: one implementation per build
+	r.emitRecord()
+
+	if r.bad {
+		// Cold block: dispatch on an error path is not a finding.
+		err := r.check()
+		_ = err.Error()
+		return errStep
+	}
+	return nil
+}
+
+func (r *Runner) check() error { return errStep }

@@ -1,0 +1,64 @@
+// Package sim is a tglint fixture for the capgrow pass: appends inside
+// loops must target slices whose capacity was established — by a make,
+// a [:0] reslice-reset, or a nil/cap guard — before the loop.
+package sim
+
+func collectBad(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want "without established capacity"
+	}
+	return out
+}
+
+func collectGood(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+type buf struct{ vals []float64 }
+
+// reset establishes capacity by reslicing to zero length.
+func (b *buf) reset(n int) {
+	b.vals = b.vals[:0]
+	for i := 0; i < n; i++ {
+		b.vals = append(b.vals, float64(i))
+	}
+}
+
+// guarded establishes capacity through the scratch cap-guard idiom.
+func (b *buf) guarded(n int) {
+	if cap(b.vals) < n {
+		b.vals = make([]float64, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		b.vals = append(b.vals, 1)
+	}
+}
+
+func nested(rows [][]int) []int {
+	var flat []int
+	for _, r := range rows {
+		for _, v := range r {
+			flat = append(flat, v) // want "without established capacity"
+		}
+	}
+	return flat
+}
+
+// inLoopMake is clean: the inner slice's make sits inside the outer
+// loop but still precedes the appends that grow it.
+func inLoopMake(n int) [][]int {
+	out := make([][]int, 0, n)
+	for i := 0; i < n; i++ {
+		row := make([]int, 0, n)
+		for j := 0; j < n; j++ {
+			row = append(row, j)
+		}
+		out = append(out, row)
+	}
+	return out
+}

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"thermogater/internal/floorplan"
 	"thermogater/internal/pdn"
@@ -199,6 +198,18 @@ type Governor struct {
 	lastEmergency []bool
 	lastDemand    []float64
 	actedLast     []bool
+
+	// Decision scratch, reused across Decide calls so a steady-state
+	// decision allocates nothing (see Decide's ownership contract).
+	// identity holds one read-only identity ranking per domain; rankBuf
+	// one mutable ranking buffer per domain; rankKeys/rankSeen/critBuf
+	// are sized for the largest domain and reused serially.
+	dec      Decision
+	identity [][]int
+	rankBuf  [][]int
+	rankKeys []float64
+	rankSeen []bool
+	critBuf  []float64
 }
 
 // NewGovernor builds a governor for the chip. networks holds one regulator
@@ -248,6 +259,24 @@ func NewGovernor(chip *floorplan.Chip, networks []*vr.Network, grid *pdn.Network
 		}
 		g.wma[i] = w
 	}
+	g.dec.Domains = make([]DomainDecision, len(chip.Domains))
+	g.identity = make([][]int, len(chip.Domains))
+	g.rankBuf = make([][]int, len(chip.Domains))
+	maxN := 0
+	for d := range chip.Domains {
+		n := len(chip.Domains[d].Regulators)
+		if n > maxN {
+			maxN = n
+		}
+		g.identity[d] = make([]int, n)
+		for i := range g.identity[d] {
+			g.identity[d][i] = i
+		}
+		g.rankBuf[d] = make([]int, n)
+	}
+	g.rankKeys = make([]float64, maxN)
+	g.rankSeen = make([]bool, maxN)
+	g.critBuf = make([]float64, maxN)
 	return g, nil
 }
 
@@ -315,11 +344,18 @@ func (g *Governor) DetectorStats() PredictorStats {
 }
 
 // Decide produces the gating decision for the upcoming interval.
+//
+// Ownership: the returned Decision (including every Ranking slice) is
+// owned by the governor and reused on the next Decide call. Callers
+// that need a decision beyond the current interval — or across two
+// Decide calls on the same governor — must copy what they keep. The
+// epoch loop consumes each decision within its interval, so the reuse
+// keeps the steady-state decision path allocation-free.
 func (g *Governor) Decide(in *Inputs) (*Decision, error) {
 	if in == nil {
 		return nil, errors.New("core: nil inputs")
 	}
-	dec := &Decision{Domains: make([]DomainDecision, len(g.chip.Domains))}
+	dec := &g.dec
 	for d := range g.chip.Domains {
 		dd, err := g.decideDomain(d, in)
 		if err != nil {
@@ -338,10 +374,7 @@ func (g *Governor) Decide(in *Inputs) (*Decision, error) {
 func (g *Governor) decideDomain(d int, in *Inputs) (DomainDecision, error) {
 	dom := &g.chip.Domains[d]
 	n := len(dom.Regulators)
-	identity := make([]int, n)
-	for i := range identity {
-		identity[i] = i
-	}
+	identity := g.identity[d]
 
 	switch g.cfg.Policy {
 	case OffChip:
@@ -356,36 +389,48 @@ func (g *Governor) decideDomain(d int, in *Inputs) (DomainDecision, error) {
 	}
 	count := g.networks[d].NOn(demand)
 
+	// Every key-driven policy fills rankKeys[i] for local index i and
+	// then sorts the domain's ranking buffer by it. Computing the keys
+	// into the governor-held buffer up front (exactly once per element,
+	// like the old sort's key snapshot) keeps the decision free of both
+	// the key closure and the sort's allocations.
 	var ranking []int
+	keys := g.rankKeys
 	switch g.cfg.Policy {
 	case Naive:
 		if len(in.VRTemps) != len(g.chip.Regulators) {
 			return DomainDecision{}, errors.New("core: Naive needs instantaneous VR temperatures")
 		}
-		ranking = g.rankAscending(dom, func(rid int) float64 { return in.VRTemps[rid] })
+		for i, rid := range dom.Regulators {
+			keys[i] = in.VRTemps[rid]
+		}
+		ranking = g.rankAscending(d, dom)
 
 	case OracT, OracVT:
 		if in.PredictVRTempOn == nil {
 			return DomainDecision{}, errors.New("core: oracle policies need PredictVRTempOn")
 		}
 		loss := g.networks[d].PerVRLoss(demand, count)
-		ranking = g.rankAscending(dom, func(rid int) float64 {
-			return in.PredictVRTempOn(rid, loss)
-		})
+		for i, rid := range dom.Regulators {
+			keys[i] = in.PredictVRTempOn(rid, loss)
+		}
+		ranking = g.rankAscending(d, dom)
 
 	case OracV:
 		if len(in.FutureBlockCurrent) != len(g.chip.Blocks) {
 			return DomainDecision{}, errors.New("core: OracV needs the future block current map")
 		}
-		crit, err := g.grid.VRCriticality(d, in.FutureBlockCurrent)
-		if err != nil {
+		crit := g.critBuf[:n]
+		if err := g.grid.VRCriticalityInto(d, in.FutureBlockCurrent, crit); err != nil {
 			return DomainDecision{}, err
 		}
 		// Highest criticality first: keep the regulators closest to the
-		// voltage-noise-critical load on.
-		ranking = g.rankAscending(dom, func(rid int) float64 {
-			return -crit[g.localIndex(dom, rid)]
-		})
+		// voltage-noise-critical load on. crit is indexed by local index
+		// already, so the key for local index i is just -crit[i].
+		for i := range dom.Regulators {
+			keys[i] = -crit[i]
+		}
+		ranking = g.rankAscending(d, dom)
 
 	case PracT, PracVT:
 		if len(g.theta.Theta) == 0 {
@@ -395,15 +440,16 @@ func (g *Governor) decideDomain(d int, in *Inputs) (DomainDecision, error) {
 			return DomainDecision{}, errors.New("core: PracT needs sensor VR temperatures")
 		}
 		lossIfOn := g.networks[d].PerVRLoss(demand, count)
-		ranking = g.rankAscending(dom, func(rid int) float64 {
+		for i, rid := range dom.Regulators {
 			dP := lossIfOn - g.lastPerVRLoss[rid]
 			anticipated := g.theta.Predict(rid, in.SensorVRTemps[rid], dP)
 			// Sensor-trend compensation for mid-transient regulators.
 			if g.haveSensor && g.cfg.TrendGain > 0 {
 				anticipated += g.cfg.TrendGain * (in.SensorVRTemps[rid] - g.prevSensor[rid])
 			}
-			return anticipated
-		})
+			keys[i] = anticipated
+		}
+		ranking = g.rankAscending(d, dom)
 
 	case Custom:
 		ranking = g.cfg.CustomRank(d, in, demand, count)
@@ -493,31 +539,38 @@ func (g *Governor) anticipatedDemand(d int, in *Inputs) (float64, error) {
 		}
 		return 0, nil
 	}
+	//perf:alloc unreachable fall-through for configurations that pass Validate; kept as a guard
 	return 0, fmt.Errorf("core: policy %v does not size n_on", g.cfg.Policy)
 }
 
-// rankAscending orders the domain's regulators (as local indices) by the
-// given key, lowest first, breaking ties by regulator ID for determinism.
-func (g *Governor) rankAscending(dom *floorplan.Domain, key func(rid int) float64) []int {
-	type kv struct {
-		local int
-		k     float64
-		rid   int
+// rankAscending orders domain d's regulators (as local indices) by the
+// keys the caller filled into g.rankKeys, lowest first, breaking ties
+// by regulator ID for determinism. The (key, ID) pair is a strict total
+// order over finite keys — IDs are unique — so any comparison sort
+// yields the same unique permutation the previous sort.SliceStable did;
+// a stable insertion sort over the governor-held buffer gets it without
+// allocating (domains hold a handful of regulators, so O(n²) is cheap).
+func (g *Governor) rankAscending(d int, dom *floorplan.Domain) []int {
+	keys := g.rankKeys
+	out := g.rankBuf[d]
+	for i := range out {
+		out[i] = i
 	}
-	kvs := make([]kv, len(dom.Regulators))
-	for i, rid := range dom.Regulators {
-		kvs[i] = kv{local: i, k: key(rid), rid: rid}
-	}
-	sort.SliceStable(kvs, func(a, b int) bool {
-		//lint:ignore floatcheck exact comparison is required: an epsilon would break the comparator's strict weak ordering
-		if kvs[a].k != kvs[b].k {
-			return kvs[a].k < kvs[b].k
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			var less bool
+			//lint:ignore floatcheck exact comparison is required: an epsilon would break the comparator's strict weak ordering
+			if keys[b] != keys[a] {
+				less = keys[b] < keys[a]
+			} else {
+				less = dom.Regulators[b] < dom.Regulators[a]
+			}
+			if !less {
+				break
+			}
+			out[j-1], out[j] = b, a
 		}
-		return kvs[a].rid < kvs[b].rid
-	})
-	out := make([]int, len(kvs))
-	for i, e := range kvs {
-		out[i] = e.local
 	}
 	return out
 }
@@ -530,7 +583,10 @@ func (g *Governor) validRanking(dom *floorplan.Domain, ranking []int) error {
 		return fmt.Errorf("core: custom ranking for domain %s has %d entries, want %d",
 			dom.Name, len(ranking), n)
 	}
-	seen := make([]bool, n)
+	seen := g.rankSeen[:n]
+	for i := range seen {
+		seen[i] = false
+	}
 	for _, idx := range ranking {
 		if idx < 0 || idx >= n || seen[idx] {
 			return fmt.Errorf("core: custom ranking for domain %s is not a permutation", dom.Name)
@@ -538,14 +594,4 @@ func (g *Governor) validRanking(dom *floorplan.Domain, ranking []int) error {
 		seen[idx] = true
 	}
 	return nil
-}
-
-// localIndex maps a global regulator ID to its index within the domain.
-func (g *Governor) localIndex(dom *floorplan.Domain, rid int) int {
-	for i, r := range dom.Regulators {
-		if r == rid {
-			return i
-		}
-	}
-	return -1
 }

@@ -146,16 +146,19 @@ func TestNOnTracksDemandAcrossPolicies(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", p, err)
 		}
+		// Decide reuses its Decision across calls, so copy the count
+		// before deciding again on the same governor.
+		loCount := lo.Domains[0].Count
 		hi, err := g.Decide(r.flatInputs(12.0))
 		if err != nil {
 			t.Fatalf("%v: %v", p, err)
 		}
-		if lo.Domains[0].Count >= hi.Domains[0].Count {
+		if loCount >= hi.Domains[0].Count {
 			t.Errorf("%v: count did not grow with demand (%d vs %d)",
-				p, lo.Domains[0].Count, hi.Domains[0].Count)
+				p, loCount, hi.Domains[0].Count)
 		}
-		if lo.Domains[0].Count != 1 {
-			t.Errorf("%v: at 1.5A expected n_on = 1, got %d", p, lo.Domains[0].Count)
+		if loCount != 1 {
+			t.Errorf("%v: at 1.5A expected n_on = 1, got %d", p, loCount)
 		}
 	}
 }

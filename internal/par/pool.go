@@ -51,9 +51,18 @@ func (b *panicBox) capture(v any) {
 
 // Pool is a fixed-size set of persistent workers. The zero of *Pool
 // (nil) is the inline pool: every For runs serially on the caller.
+//
+// The wait group and panic box live in the Pool rather than on For's
+// stack so a steady-state For performs zero heap allocations (the
+// tgperf allocfree pass and the sim package's allocs-per-epoch gate
+// both check this). The cost is that For is not reentrant: at most one
+// For may be in flight per pool at a time, which matches every caller —
+// the epoch loop fans out one phase at a time from a single goroutine.
 type Pool struct {
 	workers int
 	tasks   chan task
+	wg      sync.WaitGroup
+	box     panicBox
 	closeMu sync.Mutex
 	closed  bool
 }
@@ -128,6 +137,12 @@ func chunkBounds(n, chunks, c int) (lo, hi int) {
 //
 // The partition obeys the chunkBounds contract above; under the tgsan
 // build tag For additionally re-derives and asserts it on every call.
+//
+// For allocates nothing in steady state: the synchronization state is
+// pool-owned and task structs travel the channel by value. With n <= 0
+// it returns immediately without touching the pool at all — no channel
+// send, no wait-group traffic, no allocation — so degenerate fan-outs
+// (an empty domain, a zero-length trace) cost nothing.
 func (p *Pool) For(n int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -141,19 +156,20 @@ func (p *Pool) For(n int, fn func(lo, hi int)) {
 		chunks = n
 	}
 	assertChunkInvariant(n, chunks)
-	var wg sync.WaitGroup
-	box := &panicBox{}
-	wg.Add(chunks)
+	// Safe without the mutex: the previous For's wg.Wait() ordered every
+	// chunk's capture() before this reset, and For is not reentrant.
+	p.box.val, p.box.set = nil, false
+	p.wg.Add(chunks)
 	for c := 0; c < chunks-1; c++ {
 		lo, hi := chunkBounds(n, chunks, c)
-		p.tasks <- task{lo: lo, hi: hi, fn: fn, wg: &wg, panics: box}
+		p.tasks <- task{lo: lo, hi: hi, fn: fn, wg: &p.wg, panics: &p.box}
 	}
 	// Last chunk runs inline on the caller.
 	lo, hi := chunkBounds(n, chunks, chunks-1)
-	p.runChunk(task{lo: lo, hi: hi, fn: fn, wg: &wg, panics: box})
-	wg.Wait()
-	if box.set {
-		panic(fmt.Sprintf("par: worker panic: %v", box.val))
+	p.runChunk(task{lo: lo, hi: hi, fn: fn, wg: &p.wg, panics: &p.box})
+	p.wg.Wait()
+	if p.box.set {
+		panic(fmt.Sprintf("par: worker panic: %v", p.box.val))
 	}
 }
 

@@ -161,6 +161,51 @@ func TestCloseIdempotent(t *testing.T) {
 	p.Close()
 }
 
+// TestForZeroNTouchesNothing: For with n <= 0 must return before any
+// pool machinery runs — zero allocations, zero chunks, no channel
+// traffic — so callers can fan out over possibly-empty ranges without
+// guarding.
+func TestForZeroNTouchesNothing(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	calls := 0
+	fn := func(lo, hi int) { calls++ }
+	for _, n := range []int{0, -1, -100} {
+		allocs := testing.AllocsPerRun(100, func() {
+			p.For(n, fn)
+		})
+		if allocs != 0 {
+			t.Fatalf("For(n=%d) allocated %.1f times per call, want 0", n, allocs)
+		}
+	}
+	if calls != 0 {
+		t.Fatalf("For with n <= 0 invoked the body %d times, want 0", calls)
+	}
+}
+
+// TestForSteadyStateZeroAllocs pins the pool-owned synchronization
+// design: after the first call, For itself adds no heap allocations at
+// any width (the closure here is prebuilt, as hot callers must do).
+func TestForSteadyStateZeroAllocs(t *testing.T) {
+	sink := make([]float64, 256)
+	for _, workers := range []int{0, 1, 2, 4} {
+		p := New(workers)
+		fn := func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sink[i] = float64(i)
+			}
+		}
+		p.For(len(sink), fn) // warm up
+		allocs := testing.AllocsPerRun(50, func() {
+			p.For(len(sink), fn)
+		})
+		p.Close()
+		if allocs != 0 {
+			t.Fatalf("workers=%d: For allocated %.1f times per call, want 0", workers, allocs)
+		}
+	}
+}
+
 // TestForAfterForReusesWorkers: many sequential For calls on one pool.
 func TestForAfterForReusesWorkers(t *testing.T) {
 	p := New(4)

@@ -108,6 +108,24 @@ func (c *maskLRU[V]) get(key uint64) (V, bool) {
 	return zero, false
 }
 
+// evictIfFull removes and returns the LRU entry's value when the cache
+// is at capacity, so a caller about to insert can recycle the evicted
+// value's backing storage instead of allocating. After it returns true
+// the follow-up put is guaranteed not to evict.
+func (c *maskLRU[V]) evictIfFull() (V, bool) {
+	var zero V
+	if c == nil || len(c.keys) < c.limit {
+		return zero, false
+	}
+	last := len(c.keys) - 1
+	v := c.vals[last]
+	c.vals[last] = zero
+	c.keys = c.keys[:last]
+	c.vals = c.vals[:last]
+	c.stats.Evictions++
+	return v, true
+}
+
 // put inserts a value at the MRU position, evicting the LRU entry when
 // the cache is full. The caller has already observed a miss via get.
 func (c *maskLRU[V]) put(key uint64, v V) {
@@ -120,8 +138,8 @@ func (c *maskLRU[V]) put(key uint64, v V) {
 		c.stats.Evictions++
 	}
 	var zero V
-	c.keys = append(c.keys, 0)
-	c.vals = append(c.vals, zero)
+	c.keys = append(c.keys, 0)    //perf:alloc capacity preallocated to limit in newMaskLRU; len never exceeds it
+	c.vals = append(c.vals, zero) //perf:alloc same bounded-capacity invariant as keys
 	copy(c.keys[1:], c.keys[:len(c.keys)-1])
 	copy(c.vals[1:], c.vals[:len(c.vals)-1])
 	c.keys[0], c.vals[0] = key, v

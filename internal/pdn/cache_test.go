@@ -59,6 +59,43 @@ func TestMaskLRUHitMissEviction(t *testing.T) {
 	}
 }
 
+// TestMaskLRUEvictIfFullRecycles: the pre-eviction hook must hand back
+// the LRU entry's value exactly when the cache is at capacity, count it
+// as an eviction, and leave room so the follow-up put evicts nothing —
+// the contract effFor relies on to recycle slice backings in steady
+// state instead of allocating per miss.
+func TestMaskLRUEvictIfFullRecycles(t *testing.T) {
+	c := newMaskLRU[[]float64](2)
+	if v, ok := c.evictIfFull(); ok || v != nil {
+		t.Fatalf("evictIfFull on a non-full cache = %v, %v", v, ok)
+	}
+	a, b := []float64{1}, []float64{2}
+	c.put(1, a)
+	c.put(2, b)
+	got, ok := c.evictIfFull()
+	if !ok || &got[0] != &a[0] {
+		t.Fatalf("evictIfFull did not return the LRU value's backing (ok=%v)", ok)
+	}
+	if c.size() != 1 {
+		t.Fatalf("size after evictIfFull = %d, want 1", c.size())
+	}
+	evBefore := c.stats.Evictions
+	c.put(3, got)
+	if c.stats.Evictions != evBefore {
+		t.Fatal("put after evictIfFull evicted again")
+	}
+	if v, ok := c.get(2); !ok || &v[0] != &b[0] {
+		t.Fatal("surviving entry 2 disturbed by the recycle cycle")
+	}
+	if v, ok := c.get(3); !ok || &v[0] != &a[0] {
+		t.Fatal("recycled backing not installed for the new key")
+	}
+	var nilCache *maskLRU[[]float64]
+	if _, ok := nilCache.evictIfFull(); ok {
+		t.Fatal("nil cache reported an eviction")
+	}
+}
+
 // TestEffCacheHitsAreBitIdentical: cached noise profiles must match the
 // uncached first computation exactly, bit for bit.
 func TestEffCacheHitsAreBitIdentical(t *testing.T) {

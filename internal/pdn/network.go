@@ -28,6 +28,13 @@ type Network struct {
 	// disabled; effFor then fills effScratch[d] instead.
 	eff        []*maskLRU[[]float64]
 	effScratch [][]float64
+	// effFree[d] is the preallocated slice pool the fill phase of eff[d]
+	// draws from: limit slices carved up front so effFor never allocates
+	// — below capacity a miss pops here, at capacity it recycles the
+	// evicted entry's backing. Flushed entries' slices are lost to the
+	// pool, so the first misses after a rebuild fall back to make (cold,
+	// annotated).
+	effFree [][][]float64
 }
 
 // NewNetwork precomputes the grid model for the chip.
@@ -42,9 +49,18 @@ func NewNetwork(chip *floorplan.Chip, cfg Config) (*Network, error) {
 	n.pathR = make([][][]float64, len(chip.Domains))
 	n.eff = make([]*maskLRU[[]float64], len(chip.Domains))
 	n.effScratch = make([][]float64, len(chip.Domains))
+	n.effFree = make([][][]float64, len(chip.Domains))
 	for di := range n.eff {
 		if cfg.MaskCacheSize != CacheDisabled {
-			n.eff[di] = newMaskLRU[[]float64](cfg.maskCacheSize())
+			limit := cfg.maskCacheSize()
+			n.eff[di] = newMaskLRU[[]float64](limit)
+			nb := len(chip.Domains[di].Blocks)
+			backing := make([]float64, limit*nb)
+			free := make([][]float64, limit)
+			for s := range free {
+				free[s] = backing[s*nb : (s+1)*nb : (s+1)*nb]
+			}
+			n.effFree[di] = free
 		}
 		n.effScratch[di] = make([]float64, len(chip.Domains[di].Blocks))
 	}
@@ -125,7 +141,10 @@ func (n *Network) EffectiveResistance(domain, bi int, active []bool) float64 {
 // effFor returns the per-block effective resistances of the domain for
 // the given active mask, cached by mask key. A miss computes each block
 // with EffectiveResistance — regulators summed in ascending index order
-// — so cached and freshly-computed values are bit-identical.
+// — so cached and freshly-computed values are bit-identical. The
+// returned slice is owned by the cache and valid only until the next
+// effFor call for the same domain: a later miss may recycle its backing
+// array for the evicted entry's replacement.
 func (n *Network) effFor(domain int, active []bool) []float64 {
 	d := &n.chip.Domains[domain]
 	if n.eff[domain] == nil { // cache disabled: recompute into scratch
@@ -139,7 +158,15 @@ func (n *Network) effFor(domain int, active []bool) []float64 {
 	if effR, ok := n.eff[domain].get(key); ok {
 		return effR
 	}
-	effR := make([]float64, len(d.Blocks))
+	effR, _ := n.eff[domain].evictIfFull()
+	if effR == nil {
+		if fl := n.effFree[domain]; len(fl) > 0 {
+			effR = fl[len(fl)-1]
+			n.effFree[domain] = fl[:len(fl)-1]
+		} else {
+			effR = make([]float64, len(d.Blocks)) //perf:alloc refill after a rebuild flush dropped the pooled slices; steady state never reaches this
+		}
+	}
 	for bi := range d.Blocks {
 		effR[bi] = n.EffectiveResistance(domain, bi, active)
 	}
@@ -274,22 +301,39 @@ func (n *Network) BurstPeakPct(domain, bi int, steadyPct, surgeAmps float64, act
 // current-weighted conductance of its paths to every load block. OracV
 // keeps the non highest-scoring (i.e. closest-to-the-noise) regulators on.
 func (n *Network) VRCriticality(domain int, blockCurrent []float64) ([]float64, error) {
+	crit := make([]float64, len(n.chip.Domains[domain].Regulators))
+	if err := n.VRCriticalityInto(domain, blockCurrent, crit); err != nil {
+		return nil, err
+	}
+	return crit, nil
+}
+
+// VRCriticalityInto is VRCriticality writing into dst, which must be
+// sized to the domain's regulator count. Per-epoch callers (the OracV
+// governor) hold a reusable buffer so the scoring allocates nothing.
+func (n *Network) VRCriticalityInto(domain int, blockCurrent, dst []float64) error {
 	d := &n.chip.Domains[domain]
 	if len(blockCurrent) != len(n.chip.Blocks) {
-		return nil, fmt.Errorf("pdn: %d block currents, chip has %d blocks",
+		return fmt.Errorf("pdn: %d block currents, chip has %d blocks",
 			len(blockCurrent), len(n.chip.Blocks))
 	}
-	crit := make([]float64, len(d.Regulators))
+	if len(dst) != len(d.Regulators) {
+		return fmt.Errorf("pdn: criticality buffer sized %d, domain has %d regulators",
+			len(dst), len(d.Regulators))
+	}
+	for ri := range dst {
+		dst[ri] = 0
+	}
 	for bi, bid := range d.Blocks {
 		i := blockCurrent[bid] * n.conc[domain][bi]
 		if i <= 0 {
 			continue
 		}
 		for ri := range d.Regulators {
-			crit[ri] += i / n.pathR[domain][bi][ri]
+			dst[ri] += i / n.pathR[domain][bi][ri]
 		}
 	}
-	return crit, nil
+	return nil
 }
 
 // AllOnMask returns a fully-active regulator mask for the domain.

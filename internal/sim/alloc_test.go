@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"testing"
+
+	"thermogater/internal/core"
+	"thermogater/internal/workload"
+)
+
+// allocGateConfig is the steady-state shape the zero-allocation contract
+// covers: no telemetry registry, no epoch trace, no VR tracking, no
+// faults and no checkpoint sink — the pure physics loop that dominates
+// sweep wall-clock. Everything the config leaves off is an annotated
+// //perf:alloc exception in the source, not part of the contract.
+func allocGateConfig(t *testing.T, policy core.PolicyKind, workers int) Config {
+	t.Helper()
+	bench, err := workload.ByName("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(policy, bench)
+	cfg.DurationMS = 120
+	cfg.WarmupEpochs = 10
+	cfg.Workers = workers
+	return cfg
+}
+
+// testStepEpochAllocs drives the epoch loop directly: beginRun, a warm-up
+// stretch long enough to fill every scratch buffer, grow the uarch frame
+// slices and pass the worst-noise transient, then testing.AllocsPerRun
+// over single epochs. The simulation is deterministic per seed, so the
+// measured window is reproducible — this is a hard gate, not a heuristic.
+func testStepEpochAllocs(t *testing.T, policy core.PolicyKind, workers int) {
+	r, err := New(allocGateConfig(t, policy, workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if policy == core.PracT || policy == core.PracVT {
+		theta, err := r.profileTheta()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.gov.SetTheta(theta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cleanup, err := r.beginRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+
+	const warmEpochs = 60
+	const runs = 40
+	e := r.runStart
+	for ; e < warmEpochs; e++ {
+		if err := r.stepEpoch(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// AllocsPerRun invokes the body runs+1 times (one warm-up call).
+	if e+runs+1 > r.runNEpochs {
+		t.Fatalf("config too short: need %d epochs, have %d", e+runs+1, r.runNEpochs)
+	}
+	avg := testing.AllocsPerRun(runs, func() {
+		if err := r.stepEpoch(e); err != nil {
+			t.Fatal(err)
+		}
+		e++
+	})
+	if avg != 0 {
+		t.Fatalf("%v workers=%d: %v allocations per steady-state epoch, want 0", policy, workers, avg)
+	}
+	if _, err := r.finishRun(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStepEpochZeroAllocs gates the epoch loop across the policy cost
+// spectrum (no decision work, oracle PDN solving, practical predictor)
+// and both pipelines. The parallel cells additionally pin the prebuilt
+// fan-out workers, the double-buffered producer and the reused governor
+// inputs: AllocsPerRun counts mallocs on every goroutine, producer
+// included.
+func TestStepEpochZeroAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		policy  core.PolicyKind
+		workers int
+	}{
+		{"allon/seq", core.AllOn, 0},
+		{"oracT/seq", core.OracT, 0},
+		{"oracT/par", core.OracT, 4},
+		{"pracVT/seq", core.PracVT, 0},
+		{"pracVT/par", core.PracVT, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			testStepEpochAllocs(t, tc.policy, tc.workers)
+		})
+	}
+}

@@ -121,6 +121,8 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 
 // clone deep-copies the measure state so neither a checkpoint nor a run
 // resumed from one aliases buffers another run keeps mutating.
+//
+//perf:alloc checkpoint capture deep-copies by design; runs only on checkpoint epochs
 func (m MeasureState) clone() MeasureState {
 	m.DvfsVddSum = append([]float64(nil), m.DvfsVddSum...)
 	m.Res = cloneResult(m.Res)
@@ -129,6 +131,8 @@ func (m MeasureState) clone() MeasureState {
 
 // cloneResult deep-copies a partially aggregated result, preserving the
 // nil-ness of every optional slice (gob round-trips rely on that).
+//
+//perf:alloc checkpoint capture deep-copies by design; runs only on checkpoint epochs
 func cloneResult(res *Result) *Result {
 	if res == nil {
 		return nil
@@ -160,6 +164,8 @@ func cloneResult(res *Result) *Result {
 // frames were generated — captured by the producer, since under the
 // parallel pipeline the simulator may already be an epoch ahead by the
 // time the sink fires.
+//
+//perf:alloc checkpoint assembly allocates by design; runs only on checkpoint epochs
 func (r *Runner) snapshot(e int, ustate *uarch.State, ms *MeasureState) *Checkpoint {
 	cp := &Checkpoint{
 		Schema:             CheckpointSchema,

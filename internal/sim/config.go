@@ -202,6 +202,8 @@ func (c Config) durationMS() int {
 }
 
 // benchmarkLabel names the run for reporting.
+//
+//perf:alloc label construction runs at run setup and checkpoint capture, never per epoch
 func (c Config) benchmarkLabel() string {
 	if len(c.Mix) == 0 {
 		return c.Benchmark.Name

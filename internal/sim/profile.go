@@ -39,6 +39,11 @@ func (r *Runner) profileTheta() (core.ThetaModel, error) {
 	lastTemp := make([]float64, nVR)
 	dP := make([][]float64, nVR)
 	dT := make([][]float64, nVR)
+	for i := 0; i < nVR; i++ {
+		// At most one (ΔP, ΔT) sample lands per profiling epoch.
+		dP[i] = make([]float64, 0, r.cfg.ProfilingEpochs)
+		dT[i] = make([]float64, 0, r.cfg.ProfilingEpochs)
+	}
 
 	for e := 0; e < r.cfg.ProfilingEpochs; e++ {
 		frames, err := r.epochFrames(usim)

@@ -14,6 +14,7 @@ import (
 	"thermogater/internal/par"
 	"thermogater/internal/pdn"
 	"thermogater/internal/power"
+	"thermogater/internal/telemetry"
 	"thermogater/internal/thermal"
 	"thermogater/internal/uarch"
 	"thermogater/internal/vr"
@@ -88,6 +89,36 @@ type Runner struct {
 	pdnScratch      []pdn.DomainNoise
 	pdnDomSteady    []int64
 	pdnDomTransient []int64
+
+	// Per-epoch hot-path scratch, sized once in New so the steady-state
+	// epoch loop (stepEpoch, produceEpoch) allocates nothing — the
+	// contract the allocfree lint pass checks statically and
+	// alloc_test.go checks dynamically.
+	avgActivity     []float64
+	avgBlockPower   []float64
+	avgBlockCurrent []float64
+	avgDomainCur    []float64
+	epochVRLoss     []float64
+	epochDomEmerg   []bool
+	frameCur        [][]float64      // per-substep oracle current maps
+	frameErrs       []error          // per-substep fan-out errors
+	frameBufs       [2][]uarch.Frame // producer's alternating epoch buffers
+	frameBuf        int              // buffer produceEpoch fills next
+	curFrames       []uarch.Frame    // frames of the epoch being decided
+	emgMasks        [][]bool         // domainEmergency's tentative masks
+	emgNoise        []pdn.DomainNoise
+	govIn           core.Inputs      // reused governor inputs, closures bound once
+	epochSpan       *telemetry.Span  // recycled per-epoch span tree
+	frameCurFn      func(lo, hi int) // prebuilt oracle-current fan-out worker
+	pdnDomFn        func(lo, hi int) // prebuilt deferred-PDN fan-out worker
+
+	// Per-run epoch-loop state, assembled by beginRun, advanced one
+	// epoch per stepEpoch call, aggregated by finishRun.
+	runMS          *MeasureState
+	runStart       int
+	runNEpochs     int
+	runSampleEvery int
+	runNextFrames  func(e int) frameBatch
 }
 
 // pdnCell is one (substep, domain) result of the deferred PDN phase: the
@@ -188,6 +219,82 @@ func New(cfg Config) (*Runner, error) {
 	for d := range r.masks {
 		r.masks[d] = make([]bool, len(chip.Domains[d].Regulators))
 	}
+
+	// Per-epoch scratch and the deferred-PDN capture buffers: everything
+	// the epoch loop touches is sized here, once, so stepEpoch runs
+	// allocation-free in steady state.
+	r.avgActivity = make([]float64, len(chip.Blocks))
+	r.avgBlockPower = make([]float64, len(chip.Blocks))
+	r.avgBlockCurrent = make([]float64, len(chip.Blocks))
+	r.avgDomainCur = make([]float64, len(chip.Domains))
+	r.epochVRLoss = make([]float64, len(chip.Regulators))
+	r.epochDomEmerg = make([]bool, len(chip.Domains))
+	r.frameCur = make([][]float64, r.stepsPerEpoch)
+	for s := range r.frameCur {
+		r.frameCur[s] = make([]float64, len(chip.Blocks))
+	}
+	r.frameErrs = make([]error, r.stepsPerEpoch)
+	for b := range r.frameBufs {
+		// The frames' interior slices (Activity, IPC, Bursts) grow to
+		// their steady sizes during the first two epochs and are
+		// recycled by uarch.StepInto from then on.
+		r.frameBufs[b] = make([]uarch.Frame, r.stepsPerEpoch)
+	}
+	r.emgMasks = make([][]bool, len(chip.Domains))
+	for d := range r.emgMasks {
+		r.emgMasks[d] = make([]bool, len(chip.Domains[d].Regulators))
+	}
+	r.emgNoise = make([]pdn.DomainNoise, len(chip.Domains))
+	r.stepCurrents = make([][]float64, r.stepsPerEpoch)
+	r.stepMasks = make([][][]bool, r.stepsPerEpoch)
+	for s := range r.stepCurrents {
+		r.stepCurrents[s] = make([]float64, len(chip.Blocks))
+		r.stepMasks[s] = make([][]bool, len(chip.Domains))
+		for d := range r.stepMasks[s] {
+			r.stepMasks[s][d] = make([]bool, len(chip.Domains[d].Regulators))
+		}
+	}
+	r.pdnCells = make([][]pdnCell, len(chip.Domains))
+	for d := range r.pdnCells {
+		r.pdnCells[d] = make([]pdnCell, r.stepsPerEpoch)
+	}
+	r.pdnScratch = make([]pdn.DomainNoise, len(chip.Domains))
+	r.pdnDomSteady = make([]int64, len(chip.Domains))
+	r.pdnDomTransient = make([]int64, len(chip.Domains))
+	// The governor inputs are reused every epoch: the slice fields alias
+	// the runner's scratch (refreshed in place each epoch) and the two
+	// callbacks are bound once so the decision phase allocates nothing.
+	r.govIn = core.Inputs{
+		PrevDomainCurrent:   r.prevDomainCur,
+		SensorVRTemps:       r.sensorVRTemps,
+		VRTemps:             r.vrTemps,
+		FutureDomainCurrent: r.avgDomainCur,
+		FutureBlockCurrent:  r.avgBlockCurrent,
+		PredictVRTempOn:     r.predictVRTempOn,
+	}
+	r.govIn.DomainEmergency = func(d, count int, ranking []int) bool {
+		return r.domainEmergency(d, count, ranking, r.frameCur, r.curFrames)
+	}
+	// Prebuilt fan-out workers: a closure created inside the epoch loop
+	// would allocate per epoch, so both workers are bound once here and
+	// read the current epoch's frames through r.curFrames.
+	r.frameCurFn = func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			bp, ferr := r.blockPowerScaled(r.curFrames[s].Activity, r.blockTemps, r.frameCur[s])
+			if ferr != nil {
+				r.frameErrs[s] = ferr
+				continue
+			}
+			for i, p := range bp {
+				bp[i] = power.WattsToAmps(p)
+			}
+		}
+	}
+	r.pdnDomFn = func(lo, hi int) {
+		for d := lo; d < hi; d++ {
+			r.pdnDomain(d, r.curFrames)
+		}
+	}
 	if cfg.TrackAging {
 		tr, err := aging.NewTracker(len(chip.Regulators), aging.DefaultModel())
 		if err != nil {
@@ -285,7 +392,9 @@ func (r *Runner) updateDVFS(avgActivity []float64) error {
 func (r *Runner) Chip() *floorplan.Chip { return r.chip }
 
 // epochFrames advances the activity simulator by one epoch and returns its
-// substep frames.
+// substep frames. The measured run uses produceEpoch's recycled buffers
+// instead; this allocating variant serves the θ-profiling pass, which
+// runs once before measurement.
 func (r *Runner) epochFrames(sim *uarch.Simulator) ([]uarch.Frame, error) {
 	frames := make([]uarch.Frame, r.stepsPerEpoch)
 	for s := range frames {
@@ -296,6 +405,42 @@ func (r *Runner) epochFrames(sim *uarch.Simulator) ([]uarch.Frame, error) {
 		frames[s] = f
 	}
 	return frames, nil
+}
+
+// produceEpoch advances the activity simulator one epoch, filling the
+// next of the runner's two recycled frame buffers in place. Two buffers
+// suffice at any worker count: the producer→consumer handoff is an
+// unbuffered channel, so by the time the send of batch N+1 completes the
+// consumer has finished epoch N — the buffer being refilled is never the
+// one being read. Everything the physics loop retains across epochs
+// (stepCurrents, the worst-noise snapshot, uarch.State) is copied out of
+// the frames, never aliased.
+func (r *Runner) produceEpoch(usim *uarch.Simulator) ([]uarch.Frame, error) {
+	frames := r.frameBufs[r.frameBuf]
+	r.frameBuf = 1 - r.frameBuf
+	for s := range frames {
+		if err := usim.StepInto(r.cfg.SubstepMS, &frames[s]); err != nil {
+			return nil, err
+		}
+	}
+	return frames, nil
+}
+
+// produceBatch wraps one produceEpoch call into the handoff envelope,
+// capturing the uarch snapshot on checkpoint epochs.
+func (r *Runner) produceBatch(usim *uarch.Simulator, e int) frameBatch {
+	frames, ferr := r.produceEpoch(usim)
+	b := frameBatch{frames: frames, err: ferr}
+	if ferr == nil && r.wantCheckpoint(e) {
+		//perf:alloc uarch snapshot on checkpoint epochs only
+		b.state = usim.State()
+	}
+	return b
+}
+
+// wantCheckpoint reports whether epoch e ends at a checkpoint boundary.
+func (r *Runner) wantCheckpoint(e int) bool {
+	return r.cfg.Checkpoint.EveryEpochs > 0 && (e+1)%r.cfg.Checkpoint.EveryEpochs == 0
 }
 
 // averageActivity fills dst with the epoch-average per-block activity.
@@ -366,15 +511,18 @@ func (r *Runner) domainEmergency(d, count int, ranking []int, frameCurrents [][]
 	if count < 1 {
 		return false
 	}
-	mask := make([]bool, len(r.chip.Domains[d].Regulators))
+	mask := r.emgMasks[d]
+	for i := range mask {
+		mask[i] = false
+	}
 	for i := 0; i < count && i < len(ranking); i++ {
 		mask[ranking[i]] = true
 	}
 	for s, f := range frames {
 		cur := frameCurrents[s]
 		r.pdnSteadySolves++
-		dn, err := r.grid.SteadyNoise(d, cur, mask)
-		if err != nil {
+		dn := &r.emgNoise[d]
+		if err := r.grid.SteadyNoiseInto(d, cur, mask, dn); err != nil {
 			return false
 		}
 		if dn.Emergency() {
@@ -459,11 +607,7 @@ func (r *Runner) pdnDomain(d int, frames []uarch.Frame) {
 // dwell.
 func (r *Runner) pdnEpoch(frames []uarch.Frame, measuring bool, sampleEvery, msBase int, epochDomEmerg []bool, epochMaxNoise *float64, ms *MeasureState, res *Result) error {
 	nd := len(r.chip.Domains)
-	r.pool.For(nd, func(lo, hi int) {
-		for d := lo; d < hi; d++ {
-			r.pdnDomain(d, frames)
-		}
-	})
+	r.pool.For(nd, r.pdnDomFn)
 	for d := 0; d < nd; d++ {
 		r.pdnSteadySolves += r.pdnDomSteady[d]
 		r.pdnTransientSolves += r.pdnDomTransient[d]
@@ -590,11 +734,32 @@ func (r *Runner) Run() (*Result, error) {
 }
 
 // runMeasured executes the measured run with whatever predictor state the
-// governor already holds.
+// governor already holds: beginRun assembles the per-run state (pool,
+// producer, measurement accumulators), stepEpoch advances one epoch at a
+// time, and finishRun folds the accumulators into the Result.
 func (r *Runner) runMeasured() (*Result, error) {
 	if invariant.Enabled {
 		defer invariant.ResetCtx()
 	}
+	cleanup, err := r.beginRun()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	for e := r.runStart; e < r.runNEpochs; e++ {
+		if err := r.stepEpoch(e); err != nil {
+			return nil, err
+		}
+	}
+	return r.finishRun()
+}
+
+// beginRun assembles the per-run state: the worker pool, the uarch
+// producer (its own goroutine when a pool is attached), the measurement
+// accumulators — restored from a checkpoint when resuming — and the
+// initial thermal field. The returned cleanup tears the pipeline down;
+// runMeasured defers it so it also runs when the epoch loop fails.
+func (r *Runner) beginRun() (func(), error) {
 	resume := r.resume
 	r.resume = nil
 
@@ -605,28 +770,37 @@ func (r *Runner) runMeasured() (*Result, error) {
 	pool := par.New(r.cfg.Workers)
 	r.pool = pool
 	r.tm.SetPool(pool)
-	defer func() {
+	var quit chan struct{}
+	cleanup := func() {
+		if quit != nil {
+			close(quit) // unblocks the producer before the pool goes away
+		}
 		r.tm.SetPool(nil)
 		r.pool = nil
 		pool.Close()
-	}()
-
-	usim, err := r.cfg.newUarch(r.chip, r.cfg.Seed)
-	if err != nil {
+		r.runNextFrames = nil
+	}
+	fail := func(err error) (func(), error) {
+		cleanup()
 		return nil, err
 	}
 
+	usim, err := r.cfg.newUarch(r.chip, r.cfg.Seed)
+	if err != nil {
+		return fail(err)
+	}
+
 	var ms *MeasureState
-	startEpoch := 0
+	r.runStart = 0
 	if resume != nil {
 		if err := usim.Restore(resume.Uarch); err != nil {
-			return nil, err
+			return fail(err)
 		}
 		// Clone so the checkpoint stays reusable: the same snapshot can be
 		// restored into several runners without them sharing result buffers.
 		m := resume.Measure.clone()
 		ms = &m
-		startEpoch = resume.Epoch + 1
+		r.runStart = resume.Epoch + 1
 	} else {
 		ms = &MeasureState{
 			WorstNoise:      -1,
@@ -646,53 +820,42 @@ func (r *Runner) runMeasured() (*Result, error) {
 		// Initialise the thermal state: steady state for the first epoch's
 		// power with everything on (a neutral, reproducible starting point).
 		if err := r.initThermal(); err != nil {
-			return nil, err
+			return fail(err)
 		}
 		r.tm.VRTemps(r.vrTemps)
 		copy(r.sensorVRTemps, r.vrTemps)
 	}
+	r.runMS = ms
 	res := ms.Res
 
 	totalEpochs := r.cfg.durationMS()
 	if totalEpochs < 1 {
-		return nil, errors.New("sim: empty run")
+		return fail(errors.New("sim: empty run"))
 	}
 	nEpochs := int(float64(totalEpochs) / r.cfg.EpochMS)
 	if nEpochs < 1 {
 		nEpochs = 1
 	}
+	r.runNEpochs = nEpochs
 	// The paper's VoltSpot methodology: 200 equally distant noise samples
 	// across the measured run.
 	sampleEvery := ((nEpochs - r.cfg.WarmupEpochs) * r.stepsPerEpoch) / 200
 	if sampleEvery < 1 {
 		sampleEvery = 1
 	}
-	avgActivity := make([]float64, len(r.chip.Blocks))
-	avgBlockPower := make([]float64, len(r.chip.Blocks))
-	avgBlockCurrent := make([]float64, len(r.chip.Blocks))
-	avgDomainCur := make([]float64, len(r.chip.Domains))
-	epochVRLoss := make([]float64, len(r.chip.Regulators))
-	epochDomEmerg := make([]bool, len(r.chip.Domains))
+	r.runSampleEvery = sampleEvery
 
-	// Scratch for the deferred PDN phase: per-substep captures of the
-	// current map and gating masks, per-(domain, substep) result cells,
-	// and per-domain noise/tally buffers the fan-out owns exclusively.
-	r.stepCurrents = make([][]float64, r.stepsPerEpoch)
-	r.stepMasks = make([][][]bool, r.stepsPerEpoch)
-	for s := range r.stepCurrents {
-		r.stepCurrents[s] = make([]float64, len(r.chip.Blocks))
-		r.stepMasks[s] = make([][]bool, len(r.chip.Domains))
-		for d := range r.stepMasks[s] {
-			r.stepMasks[s][d] = make([]bool, len(r.chip.Domains[d].Regulators))
-		}
+	// Trace capacities up front so the per-epoch appends never grow in
+	// steady state. A resumed run's clone may carry capacity == length
+	// and regrow once; that is the annotated exception in stepEpoch.
+	if r.cfg.TraceEpochs && res.Trace == nil {
+		res.Trace = make([]EpochStats, 0, nEpochs)
 	}
-	r.pdnCells = make([][]pdnCell, len(r.chip.Domains))
-	for d := range r.pdnCells {
-		r.pdnCells[d] = make([]pdnCell, r.stepsPerEpoch)
+	if r.cfg.TrackVR >= 0 && r.cfg.TrackVR < len(r.chip.Regulators) && res.VRTrace == nil {
+		res.VRTrace = make([]VRSample, 0, (nEpochs-r.runStart)*r.stepsPerEpoch)
 	}
-	r.pdnScratch = make([]pdn.DomainNoise, len(r.chip.Domains))
-	r.pdnDomSteady = make([]int64, len(r.chip.Domains))
-	r.pdnDomTransient = make([]int64, len(r.chip.Domains))
+	r.epochSpan = nil
+	r.frameBuf = 0
 
 	// Activity production. With a pool the uarch simulator advances on
 	// its own goroutine, one epoch ahead of the physics; without one the
@@ -701,22 +864,12 @@ func (r *Runner) runMeasured() (*Result, error) {
 	// exactly the epochs the checkpoint sink will want — the state right
 	// after an epoch's frames is what the sequential loop would have
 	// snapshotted at that epoch's end.
-	wantState := func(e int) bool {
-		return r.cfg.Checkpoint.EveryEpochs > 0 && (e+1)%r.cfg.Checkpoint.EveryEpochs == 0
-	}
-	produce := func(e int) frameBatch {
-		frames, ferr := r.epochFrames(usim)
-		b := frameBatch{frames: frames, err: ferr}
-		if ferr == nil && wantState(e) {
-			b.state = usim.State()
-		}
-		return b
-	}
-	nextFrames := produce
+	r.runNextFrames = func(e int) frameBatch { return r.produceBatch(usim, e) }
 	if pool != nil {
+		start := r.runStart
 		frameCh := make(chan frameBatch)
-		quit := make(chan struct{})
-		defer close(quit)
+		quit = make(chan struct{})
+		//par:disjoint the goroutine solely owns usim and the frame buffers; each batch's ownership transfers to the consumer through the unbuffered frameCh handoff
 		go func() {
 			defer func() {
 				if p := recover(); p != nil {
@@ -727,9 +880,9 @@ func (r *Runner) runMeasured() (*Result, error) {
 					}
 				}
 			}()
-			for e := startEpoch; e < nEpochs; e++ {
-				//par:disjoint the producer goroutine is the sole owner of usim; batches transfer ownership through frameCh
-				b := produce(e)
+			for e := start; e < nEpochs; e++ {
+				//par:disjoint the producer goroutine is the sole owner of usim and the frame buffers; batches transfer ownership through frameCh
+				b := r.produceBatch(usim, e)
 				//par:ordered unbuffered 1:1 producer->consumer handoff; epochs arrive in loop order
 				select {
 				case frameCh <- b:
@@ -741,415 +894,426 @@ func (r *Runner) runMeasured() (*Result, error) {
 				}
 			}
 		}()
-		nextFrames = func(int) frameBatch { return <-frameCh }
+		r.runNextFrames = func(int) frameBatch { return <-frameCh }
 	}
 
 	r.ins.syncBaselines(r)
-	for e := startEpoch; e < nEpochs; e++ {
-		if r.flt != nil {
-			r.advanceFaults(e, res)
-		}
-		// The per-epoch span tree: one fresh root per epoch whose children
-		// are the six phases of PhaseNames; End() merges it into the
-		// registry's cumulative tree. All span calls no-op on nil.
-		epSpan := r.cfg.Telemetry.StartSpan("epoch")
-		phase := epSpan.StartChild("uarch")
-		batch := nextFrames(e)
-		phase.End()
-		if batch.panicked != nil {
-			panic(fmt.Sprintf("sim: uarch producer panic: %v", batch.panicked))
-		}
-		if batch.err != nil {
-			return nil, batch.err
-		}
-		frames := batch.frames
-		if r.flt != nil {
-			r.applyActivityFaults(frames, res)
-		}
-		measuring := e >= r.cfg.WarmupEpochs
+	return cleanup, nil
+}
 
-		// Epoch-average demand (oracle view of the upcoming interval),
-		// using leakage at current temperatures.
-		phase = epSpan.StartChild("power")
-		averageActivity(frames, avgActivity)
-		if err := r.updateDVFS(avgActivity); err != nil {
-			return nil, err
-		}
-		r.tm.BlockTemps(r.blockTemps)
-		if _, err := r.blockPowerScaled(avgActivity, r.blockTemps, avgBlockPower); err != nil {
-			return nil, err
-		}
-		r.demand(avgBlockPower)
-		copy(avgBlockCurrent, r.blockCurrent)
-		copy(avgDomainCur, r.domainCurrent)
+// stepEpoch advances the measured run by one epoch: frames from the
+// producer, the epoch-average demand, the governor decision, the substep
+// physics loop, the deferred PDN phase, epoch bookkeeping, telemetry and
+// checkpointing. It is the hot root of the tgperf lint passes: in steady
+// state — buffers sized, caches warm, telemetry detached — one call
+// performs no heap allocation at any worker count, and
+// internal/sim/alloc_test.go holds that line dynamically.
+func (r *Runner) stepEpoch(e int) error {
+	ms := r.runMS
+	res := ms.Res
+	if r.flt != nil {
+		r.advanceFaults(e, res)
+	}
+	// The per-epoch span tree: the six phases of PhaseNames under one
+	// "epoch" root; End() merges each interval into the registry's
+	// cumulative tree. The tree is allocated on the run's first epoch and
+	// recycled ever after — Restart zeroes it so End merges exactly one
+	// epoch — and on nil telemetry every span call no-ops for free.
+	epSpan := r.epochSpan
+	if epSpan != nil {
+		epSpan.Restart()
+	} else {
+		//perf:alloc one span tree per run; every later epoch recycles it
+		epSpan = r.cfg.Telemetry.StartSpan("epoch")
+		r.epochSpan = epSpan
+	}
+	phase := epSpan.StartChild("uarch")
+	batch := r.runNextFrames(e)
+	phase.End()
+	if batch.panicked != nil {
+		panic(fmt.Sprintf("sim: uarch producer panic: %v", batch.panicked))
+	}
+	if batch.err != nil {
+		return batch.err
+	}
+	frames := batch.frames
+	r.curFrames = frames
+	if r.flt != nil {
+		r.applyActivityFaults(frames, res)
+	}
+	measuring := e >= r.cfg.WarmupEpochs
 
-		// Per-substep current maps for the emergency oracle (leakage at
-		// epoch-start temperatures, like the rest of the decision inputs).
-		// Frames are independent given the epoch-start temperatures, so
-		// this fans out; the per-index writes are disjoint.
-		frameCurrents := make([][]float64, len(frames))
-		frameErrs := make([]error, len(frames))
-		r.pool.For(len(frames), func(lo, hi int) {
-			for s := lo; s < hi; s++ {
-				bp, ferr := r.blockPowerScaled(frames[s].Activity, r.blockTemps, nil)
-				if ferr != nil {
-					frameErrs[s] = ferr
-					continue
-				}
-				for i, p := range bp {
-					bp[i] = power.WattsToAmps(p)
-				}
-				frameCurrents[s] = bp
-			}
-		})
-		phase.End()
-		for _, ferr := range frameErrs {
-			if ferr != nil {
-				return nil, ferr
-			}
-		}
+	// Epoch-average demand (oracle view of the upcoming interval),
+	// using leakage at current temperatures.
+	phase = epSpan.StartChild("power")
+	averageActivity(frames, r.avgActivity)
+	if err := r.updateDVFS(r.avgActivity); err != nil {
+		return err
+	}
+	r.tm.BlockTemps(r.blockTemps)
+	if _, err := r.blockPowerScaled(r.avgActivity, r.blockTemps, r.avgBlockPower); err != nil {
+		return err
+	}
+	r.demand(r.avgBlockPower)
+	copy(r.avgBlockCurrent, r.blockCurrent)
+	copy(r.avgDomainCur, r.domainCurrent)
 
-		// Decision. The governor phase includes the emergency-oracle PDN
-		// solves the VT policies request through the callback below.
-		phase = epSpan.StartChild("governor")
-		r.tm.VRTemps(r.vrTemps)
-		in := &core.Inputs{
-			Epoch:               e,
-			PrevDomainCurrent:   r.prevDomainCur,
-			SensorVRTemps:       r.sensorVRTemps,
-			VRTemps:             r.vrTemps,
-			FutureDomainCurrent: avgDomainCur,
-			FutureBlockCurrent:  avgBlockCurrent,
-			PredictVRTempOn:     r.predictVRTempOn,
-			DomainEmergency: func(d, count int, ranking []int) bool {
-				return r.domainEmergency(d, count, ranking, frameCurrents, frames)
-			},
-		}
-		if e == 0 {
-			copy(r.prevDomainCur, avgDomainCur) // bootstrap history
-		}
-		dec, err := r.gov.Decide(in)
-		phase.End()
-		if err != nil {
-			return nil, err
-		}
-		if invariant.Enabled {
-			r.sanitizeDecision(dec)
-		}
-		if r.flt != nil {
-			r.resolveDecisionFaults(dec, avgDomainCur, measuring, res)
-		}
-		epochOverrides := 0
-		for _, dd := range dec.Domains {
-			if dd.EmergencyOverride {
-				res.EmergencyOverrides++
-				epochOverrides++
-			}
-			if dd.ThermalOverride {
-				res.ThermalOverrides++
-				r.ins.thermalOverrides.Inc()
-			}
-		}
-
-		// Execute the epoch substep by substep with leakage feedback.
-		for i := range epochVRLoss {
-			epochVRLoss[i] = 0
-		}
-		var epochMaxNoise float64
-		var epochChipPower float64
-		for i := range epochDomEmerg {
-			epochDomEmerg[i] = false
-		}
-		msBase := ms.MeasuredSteps
-		for s, f := range frames {
-			if invariant.Enabled {
-				invariant.SetCtx(e, s)
-			}
-			phase = epSpan.StartChild("power")
-			r.tm.BlockTemps(r.blockTemps)
-			if _, err := r.blockPowerScaled(f.Activity, r.blockTemps, r.blockPower); err != nil {
-				return nil, err
-			}
-			r.demand(r.blockPower)
-			phase.End()
-			copy(r.stepCurrents[s], r.blockCurrent)
-
-			// Apply the decision with hard-limit legalisation.
-			phase = epSpan.StartChild("vr")
-			for i := range r.vrPower {
-				r.vrPower[i] = 0
-				r.vrCurrent[i] = 0
-			}
-			var substepPloss float64
-			for d := range r.chip.Domains {
-				dd := &dec.Domains[d]
-				if r.flt != nil && r.fltDomDirty[d] {
-					lossW, pout, eta := r.applyDomainFaulted(d, dd, measuring, res, epochVRLoss)
-					substepPloss += lossW
-					if measuring && pout > 0 && eta > 0 {
-						ms.EtaWeighted += eta * pout * r.substepS
-						ms.EtaWeight += pout * r.substepS
-					}
-					continue
-				}
-				count := dd.Count
-				if r.cfg.Policy != core.OffChip {
-					mLegal, overload := r.legalCount(d, r.domainCurrent[d])
-					if overload && measuring {
-						res.DemandViolations++
-					}
-					if count < mLegal {
-						count = mLegal
-					}
-				}
-				mask := r.buildMask(d, count, dd.Ranking)
-				if count > 0 {
-					loss := r.nets[d].PerVRLoss(r.domainCurrent[d], count)
-					share := r.domainCurrent[d] / float64(count)
-					if share < 0 {
-						share = 0
-					}
-					dom := &r.chip.Domains[d]
-					for li, on := range mask {
-						if on {
-							rid := dom.Regulators[li]
-							r.vrPower[rid] = loss
-							r.vrCurrent[rid] = share
-							epochVRLoss[rid] += loss
-							substepPloss += loss
-						}
-					}
-					pout := r.domainCurrent[d] * power.Vdd
-					eta := r.nets[d].EtaAt(r.domainCurrent[d], count)
-					if measuring && pout > 0 && eta > 0 {
-						ms.EtaWeighted += eta * pout * r.substepS
-						ms.EtaWeight += pout * r.substepS
-					}
-				}
-			}
-			phase.End()
-			// Capture this substep's masks (after any fault legalisation)
-			// for the deferred PDN phase and the worst-noise snapshot.
-			for d := range r.chip.Domains {
-				copy(r.stepMasks[s][d], r.masks[d])
-			}
-
-			phase = epSpan.StartChild("thermal")
-			if err := r.tm.SetPower(r.blockPower, r.vrPower); err != nil {
-				return nil, err
-			}
-			retries, err := r.wd.Step(r.substepS)
-			if retries > 0 {
-				res.WatchdogRetries += retries
-				r.ins.watchdogRetries.Add(float64(retries))
-			}
-			if err != nil {
-				return nil, err
-			}
-			phase.End()
-			if invariant.Enabled {
-				r.sanitizeSubstep()
-			}
-
-			phase = epSpan.StartChild("power")
-			var chipPower float64
-			for _, p := range r.blockPower {
-				chipPower += p
-			}
-			epochChipPower += chipPower
-			phase.End()
-
-			if measuring && r.wear != nil {
-				phase = epSpan.StartChild("thermal")
-				r.tm.VRTemps(r.vrTemps)
-				if err := r.wear.Observe(r.vrTemps, r.vrCurrent, r.substepS); err != nil {
-					return nil, err
-				}
-				phase.End()
-			}
-
-			if measuring {
-				// Thermal-state sampling (MaxTemp/Gradient scan the RC
-				// network) accounts to the thermal phase.
-				phase = epSpan.StartChild("thermal")
-				ms.MeasuredTime += r.substepS
-				ms.PlossIntegral += substepPloss * r.substepS
-				ms.ChipPowerInt += chipPower * r.substepS
-				if t, at := r.tm.MaxTemp(); t > res.MaxTempC {
-					res.MaxTempC, res.MaxTempAt = t, at
-					ms.HeatMapDeadline = e
-				}
-				if g := r.tm.Gradient(); g > res.MaxGradientC {
-					res.MaxGradientC = g
-				}
-				phase.End()
-			}
-
-			if measuring {
-				ms.MeasuredSteps++
-			}
-
-			// Regulator temperature trace (Fig. 8).
-			if r.cfg.TrackVR >= 0 && r.cfg.TrackVR < len(r.chip.Regulators) {
-				rid := r.cfg.TrackVR
-				dom := r.chip.Regulators[rid].Domain
-				li := 0
-				for i, id := range r.chip.Domains[dom].Regulators {
-					if id == rid {
-						li = i
-					}
-				}
-				res.VRTrace = append(res.VRTrace, VRSample{
-					TimeMS: f.TimeMS + f.DtMS,
-					TempC:  r.tm.VRTemp(rid),
-					On:     r.masks[dom][li],
-				})
-			}
-
-			// Thermal sensors lag by one substep (100µs); optional
-			// Gaussian sensor error models parametric variation.
-			if s == r.stepsPerEpoch-2 || r.stepsPerEpoch == 1 {
-				phase = epSpan.StartChild("thermal")
-				r.tm.VRTemps(r.sensorVRTemps)
-				if r.cfg.SensorNoiseC > 0 {
-					for i := range r.sensorVRTemps {
-						r.sensorVRTemps[i] += r.cfg.SensorNoiseC * r.rng.Norm()
-					}
-				}
-				// Injected sensor faults apply on top of the parametric
-				// noise: stuck-at, multiplicative noise, quantization, and
-				// dropouts replaced by last-good / neighbor-median values.
-				if r.flt != nil {
-					fb, ferr := r.flt.ApplySensors(r.sensorVRTemps)
-					if ferr != nil {
-						phase.End()
-						return nil, ferr
-					}
-					if fb > 0 {
-						res.SensorFallbacks += fb
-						r.ins.sensorFallbacks.Add(float64(fb))
-					}
-				}
-				phase.End()
-			}
-		}
-
-		// Voltage noise, deferred to epoch end: the per-substep captures
-		// above hold everything the PDN needs, and its outputs feed only
-		// the measurement accumulators and the end-of-epoch governor
-		// feedback — nothing inside the substep loop reads them.
-		if r.cfg.Policy != core.OffChip {
-			phase = epSpan.StartChild("pdn")
-			perr := r.pdnEpoch(frames, measuring, sampleEvery, msBase, epochDomEmerg, &epochMaxNoise, ms, res)
-			phase.End()
-			if perr != nil {
-				return nil, perr
-			}
-		}
-
-		// Epoch bookkeeping: the mask scan accounts to the vr phase, the
-		// governor feedback observations to the governor phase.
-		phase = epSpan.StartChild("vr")
-		activeCount := 0
-		for d := range r.chip.Domains {
-			for li, on := range r.masks[d] {
-				if on {
-					activeCount++
-					if measuring {
-						res.VROnFrac[r.chip.Domains[d].Regulators[li]]++
-					}
-				}
-			}
-		}
-		phase.End()
-		copy(r.prevDomainCur, avgDomainCur)
-		for i := range epochVRLoss {
-			epochVRLoss[i] /= float64(r.stepsPerEpoch)
-		}
-		phase = epSpan.StartChild("governor")
-		if err := r.gov.Observe(avgDomainCur, epochVRLoss); err != nil {
-			return nil, err
-		}
-		if err := r.gov.ObserveEmergencies(epochDomEmerg); err != nil {
-			return nil, err
-		}
-		phase.End()
-		copy(r.perVRLoss, epochVRLoss)
-
-		if measuring {
-			ms.MeasuredEpochs++
-			if r.vf != nil {
-				cfgVF := r.vf.Config()
-				for c := 0; c < floorplan.NumCores; c++ {
-					p := r.vf.Point(c)
-					ms.DvfsVddSum[c] += p.VddV
-					ms.DvfsPerfSum += cfgVF.PerformanceScale(p)
-				}
-			}
-			if r.cfg.TraceEpochs {
-				var ploss float64
-				for _, l := range epochVRLoss {
-					ploss += l
-				}
-				tmax, _ := r.tm.MaxTemp()
-				res.Trace = append(res.Trace, EpochStats{
-					TimeMS:      float64(e) * r.cfg.EpochMS,
-					TotalPowerW: epochChipPower / float64(r.stepsPerEpoch),
-					ActiveVRs:   activeCount,
-					MaxTempC:    tmax,
-					GradientC:   r.tm.Gradient(),
-					MaxNoisePct: epochMaxNoise,
-					PlossW:      ploss,
-					Eta:         0, // filled in aggregate below
-				})
-			}
-			if r.cfg.HeatMapRes > 0 && ms.HeatMapDeadline == e {
-				hm, err := r.tm.HeatMap(r.cfg.HeatMapRes, r.cfg.HeatMapRes)
-				if err != nil {
-					return nil, err
-				}
-				res.HeatMap = hm
-			}
-		}
-
-		epSpan.End()
-		if r.ins.enabled() {
-			var ploss float64
-			for _, l := range epochVRLoss {
-				ploss += l
-			}
-			tmax, _ := r.tm.MaxTemp()
-			if err := r.ins.observeEpoch(r, epSpan, epochStats{
-				epoch:      e,
-				timeMS:     float64(e) * r.cfg.EpochMS,
-				measuring:  measuring,
-				activeVRs:  activeCount,
-				chipPowerW: epochChipPower / float64(r.stepsPerEpoch),
-				plossW:     ploss,
-				maxTempC:   tmax,
-				gradientC:  r.tm.Gradient(),
-				noisePct:   epochMaxNoise,
-				overrides:  epochOverrides,
-			}); err != nil {
-				return nil, fmt.Errorf("sim: telemetry sink: %w", err)
-			}
-		}
-
-		// Periodic checkpoint: snapshot after the epoch's telemetry so the
-		// resumed run re-emits exactly the remaining records. A sink error
-		// aborts the run — it is also the hook the kill-and-resume tests
-		// use to interrupt deterministically.
-		if wantState(e) {
-			r.ins.checkpoints.Inc()
-			if batch.state == nil {
-				return nil, errors.New("sim: checkpoint epoch without a captured uarch state")
-			}
-			if err := r.cfg.Checkpoint.Sink(r.snapshot(e, batch.state, ms)); err != nil {
-				return nil, fmt.Errorf("sim: checkpoint sink: %w", err)
-			}
+	// Per-substep current maps for the emergency oracle (leakage at
+	// epoch-start temperatures, like the rest of the decision inputs),
+	// written into the preallocated frameCur rows. Frames are independent
+	// given the epoch-start temperatures, so this fans out; the
+	// per-index writes are disjoint.
+	for s := range r.frameErrs {
+		r.frameErrs[s] = nil
+	}
+	r.pool.For(len(frames), r.frameCurFn)
+	phase.End()
+	for _, ferr := range r.frameErrs {
+		if ferr != nil {
+			return ferr
 		}
 	}
 
+	// Decision. The governor phase includes the emergency-oracle PDN
+	// solves the VT policies request through the callbacks bound in New;
+	// every other govIn field aliases runner scratch refreshed above.
+	phase = epSpan.StartChild("governor")
+	r.tm.VRTemps(r.vrTemps)
+	r.govIn.Epoch = e
+	if e == 0 {
+		copy(r.prevDomainCur, r.avgDomainCur) // bootstrap history
+	}
+	dec, err := r.gov.Decide(&r.govIn)
+	phase.End()
+	if err != nil {
+		return err
+	}
+	if invariant.Enabled {
+		r.sanitizeDecision(dec)
+	}
+	if r.flt != nil {
+		r.resolveDecisionFaults(dec, r.avgDomainCur, measuring, res)
+	}
+	epochOverrides := 0
+	for _, dd := range dec.Domains {
+		if dd.EmergencyOverride {
+			res.EmergencyOverrides++
+			epochOverrides++
+		}
+		if dd.ThermalOverride {
+			res.ThermalOverrides++
+			r.ins.thermalOverrides.Inc()
+		}
+	}
+
+	// Execute the epoch substep by substep with leakage feedback.
+	for i := range r.epochVRLoss {
+		r.epochVRLoss[i] = 0
+	}
+	var epochMaxNoise float64
+	var epochChipPower float64
+	for i := range r.epochDomEmerg {
+		r.epochDomEmerg[i] = false
+	}
+	msBase := ms.MeasuredSteps
+	for s, f := range frames {
+		if invariant.Enabled {
+			invariant.SetCtx(e, s)
+		}
+		phase = epSpan.StartChild("power")
+		r.tm.BlockTemps(r.blockTemps)
+		if _, err := r.blockPowerScaled(f.Activity, r.blockTemps, r.blockPower); err != nil {
+			return err
+		}
+		r.demand(r.blockPower)
+		phase.End()
+		copy(r.stepCurrents[s], r.blockCurrent)
+
+		// Apply the decision with hard-limit legalisation.
+		phase = epSpan.StartChild("vr")
+		for i := range r.vrPower {
+			r.vrPower[i] = 0
+			r.vrCurrent[i] = 0
+		}
+		var substepPloss float64
+		for d := range r.chip.Domains {
+			dd := &dec.Domains[d]
+			if r.flt != nil && r.fltDomDirty[d] {
+				lossW, pout, eta := r.applyDomainFaulted(d, dd, measuring, res, r.epochVRLoss)
+				substepPloss += lossW
+				if measuring && pout > 0 && eta > 0 {
+					ms.EtaWeighted += eta * pout * r.substepS
+					ms.EtaWeight += pout * r.substepS
+				}
+				continue
+			}
+			count := dd.Count
+			if r.cfg.Policy != core.OffChip {
+				mLegal, overload := r.legalCount(d, r.domainCurrent[d])
+				if overload && measuring {
+					res.DemandViolations++
+				}
+				if count < mLegal {
+					count = mLegal
+				}
+			}
+			mask := r.buildMask(d, count, dd.Ranking)
+			if count > 0 {
+				loss := r.nets[d].PerVRLoss(r.domainCurrent[d], count)
+				share := r.domainCurrent[d] / float64(count)
+				if share < 0 {
+					share = 0
+				}
+				dom := &r.chip.Domains[d]
+				for li, on := range mask {
+					if on {
+						rid := dom.Regulators[li]
+						r.vrPower[rid] = loss
+						r.vrCurrent[rid] = share
+						r.epochVRLoss[rid] += loss
+						substepPloss += loss
+					}
+				}
+				pout := r.domainCurrent[d] * power.Vdd
+				eta := r.nets[d].EtaAt(r.domainCurrent[d], count)
+				if measuring && pout > 0 && eta > 0 {
+					ms.EtaWeighted += eta * pout * r.substepS
+					ms.EtaWeight += pout * r.substepS
+				}
+			}
+		}
+		phase.End()
+		// Capture this substep's masks (after any fault legalisation)
+		// for the deferred PDN phase and the worst-noise snapshot.
+		for d := range r.chip.Domains {
+			copy(r.stepMasks[s][d], r.masks[d])
+		}
+
+		phase = epSpan.StartChild("thermal")
+		if err := r.tm.SetPower(r.blockPower, r.vrPower); err != nil {
+			return err
+		}
+		retries, err := r.wd.Step(r.substepS)
+		if retries > 0 {
+			res.WatchdogRetries += retries
+			r.ins.watchdogRetries.Add(float64(retries))
+		}
+		if err != nil {
+			return err
+		}
+		phase.End()
+		if invariant.Enabled {
+			r.sanitizeSubstep()
+		}
+
+		phase = epSpan.StartChild("power")
+		var chipPower float64
+		for _, p := range r.blockPower {
+			chipPower += p
+		}
+		epochChipPower += chipPower
+		phase.End()
+
+		if measuring && r.wear != nil {
+			phase = epSpan.StartChild("thermal")
+			r.tm.VRTemps(r.vrTemps)
+			if err := r.wear.Observe(r.vrTemps, r.vrCurrent, r.substepS); err != nil {
+				return err
+			}
+			phase.End()
+		}
+
+		if measuring {
+			// Thermal-state sampling (MaxTemp/Gradient scan the RC
+			// network) accounts to the thermal phase.
+			phase = epSpan.StartChild("thermal")
+			ms.MeasuredTime += r.substepS
+			ms.PlossIntegral += substepPloss * r.substepS
+			ms.ChipPowerInt += chipPower * r.substepS
+			if t, at := r.tm.MaxTemp(); t > res.MaxTempC {
+				res.MaxTempC, res.MaxTempAt = t, at
+				ms.HeatMapDeadline = e
+			}
+			if g := r.tm.Gradient(); g > res.MaxGradientC {
+				res.MaxGradientC = g
+			}
+			phase.End()
+		}
+
+		if measuring {
+			ms.MeasuredSteps++
+		}
+
+		// Regulator temperature trace (Fig. 8).
+		if r.cfg.TrackVR >= 0 && r.cfg.TrackVR < len(r.chip.Regulators) {
+			rid := r.cfg.TrackVR
+			dom := r.chip.Regulators[rid].Domain
+			li := 0
+			for i, id := range r.chip.Domains[dom].Regulators {
+				if id == rid {
+					li = i
+				}
+			}
+			//perf:alloc capacity preallocated in beginRun; a resumed run regrows once
+			res.VRTrace = append(res.VRTrace, VRSample{ //lint:ignore capgrow capacity preallocated in beginRun (cross-function, so per-function capacity tracking cannot see it)
+				TimeMS: f.TimeMS + f.DtMS,
+				TempC:  r.tm.VRTemp(rid),
+				On:     r.masks[dom][li],
+			})
+		}
+
+		// Thermal sensors lag by one substep (100µs); optional
+		// Gaussian sensor error models parametric variation.
+		if s == r.stepsPerEpoch-2 || r.stepsPerEpoch == 1 {
+			phase = epSpan.StartChild("thermal")
+			r.tm.VRTemps(r.sensorVRTemps)
+			if r.cfg.SensorNoiseC > 0 {
+				for i := range r.sensorVRTemps {
+					r.sensorVRTemps[i] += r.cfg.SensorNoiseC * r.rng.Norm()
+				}
+			}
+			// Injected sensor faults apply on top of the parametric
+			// noise: stuck-at, multiplicative noise, quantization, and
+			// dropouts replaced by last-good / neighbor-median values.
+			if r.flt != nil {
+				fb, ferr := r.flt.ApplySensors(r.sensorVRTemps)
+				if ferr != nil {
+					phase.End()
+					return ferr
+				}
+				if fb > 0 {
+					res.SensorFallbacks += fb
+					r.ins.sensorFallbacks.Add(float64(fb))
+				}
+			}
+			phase.End()
+		}
+	}
+
+	// Voltage noise, deferred to epoch end: the per-substep captures
+	// above hold everything the PDN needs, and its outputs feed only
+	// the measurement accumulators and the end-of-epoch governor
+	// feedback — nothing inside the substep loop reads them.
+	if r.cfg.Policy != core.OffChip {
+		phase = epSpan.StartChild("pdn")
+		perr := r.pdnEpoch(frames, measuring, r.runSampleEvery, msBase, r.epochDomEmerg, &epochMaxNoise, ms, res)
+		phase.End()
+		if perr != nil {
+			return perr
+		}
+	}
+
+	// Epoch bookkeeping: the mask scan accounts to the vr phase, the
+	// governor feedback observations to the governor phase.
+	phase = epSpan.StartChild("vr")
+	activeCount := 0
+	for d := range r.chip.Domains {
+		for li, on := range r.masks[d] {
+			if on {
+				activeCount++
+				if measuring {
+					res.VROnFrac[r.chip.Domains[d].Regulators[li]]++
+				}
+			}
+		}
+	}
+	phase.End()
+	copy(r.prevDomainCur, r.avgDomainCur)
+	for i := range r.epochVRLoss {
+		r.epochVRLoss[i] /= float64(r.stepsPerEpoch)
+	}
+	phase = epSpan.StartChild("governor")
+	if err := r.gov.Observe(r.avgDomainCur, r.epochVRLoss); err != nil {
+		return err
+	}
+	if err := r.gov.ObserveEmergencies(r.epochDomEmerg); err != nil {
+		return err
+	}
+	phase.End()
+	copy(r.perVRLoss, r.epochVRLoss)
+
+	if measuring {
+		ms.MeasuredEpochs++
+		if r.vf != nil {
+			cfgVF := r.vf.Config()
+			for c := 0; c < floorplan.NumCores; c++ {
+				p := r.vf.Point(c)
+				ms.DvfsVddSum[c] += p.VddV
+				ms.DvfsPerfSum += cfgVF.PerformanceScale(p)
+			}
+		}
+		if r.cfg.TraceEpochs {
+			var ploss float64
+			for _, l := range r.epochVRLoss {
+				ploss += l
+			}
+			tmax, _ := r.tm.MaxTemp()
+			//perf:alloc capacity preallocated in beginRun; a resumed run regrows once
+			res.Trace = append(res.Trace, EpochStats{ //lint:ignore capgrow capacity preallocated in beginRun (cross-function, so per-function capacity tracking cannot see it)
+				TimeMS:      float64(e) * r.cfg.EpochMS,
+				TotalPowerW: epochChipPower / float64(r.stepsPerEpoch),
+				ActiveVRs:   activeCount,
+				MaxTempC:    tmax,
+				GradientC:   r.tm.Gradient(),
+				MaxNoisePct: epochMaxNoise,
+				PlossW:      ploss,
+				Eta:         0, // filled in aggregate below
+			})
+		}
+		if r.cfg.HeatMapRes > 0 && ms.HeatMapDeadline == e {
+			//perf:alloc heat-map capture fires on at most one epoch per run
+			hm, err := r.tm.HeatMap(r.cfg.HeatMapRes, r.cfg.HeatMapRes)
+			if err != nil {
+				return err
+			}
+			res.HeatMap = hm
+		}
+	}
+
+	epSpan.End()
+	if r.ins.enabled() {
+		var ploss float64
+		for _, l := range r.epochVRLoss {
+			ploss += l
+		}
+		tmax, _ := r.tm.MaxTemp()
+		if err := r.ins.observeEpoch(r, epSpan, epochStats{
+			epoch:      e,
+			timeMS:     float64(e) * r.cfg.EpochMS,
+			measuring:  measuring,
+			activeVRs:  activeCount,
+			chipPowerW: epochChipPower / float64(r.stepsPerEpoch),
+			plossW:     ploss,
+			maxTempC:   tmax,
+			gradientC:  r.tm.Gradient(),
+			noisePct:   epochMaxNoise,
+			overrides:  epochOverrides,
+		}); err != nil {
+			return fmt.Errorf("sim: telemetry sink: %w", err)
+		}
+	}
+
+	// Periodic checkpoint: snapshot after the epoch's telemetry so the
+	// resumed run re-emits exactly the remaining records. A sink error
+	// aborts the run — it is also the hook the kill-and-resume tests
+	// use to interrupt deterministically.
+	if r.wantCheckpoint(e) {
+		r.ins.checkpoints.Inc()
+		if batch.state == nil {
+			return errors.New("sim: checkpoint epoch without a captured uarch state")
+		}
+		if err := r.cfg.Checkpoint.Sink(r.snapshot(e, batch.state, ms)); err != nil {
+			return fmt.Errorf("sim: checkpoint sink: %w", err)
+		}
+	}
+	return nil
+}
+
+// finishRun folds the measurement accumulators into the Result once the
+// epoch loop completes.
+func (r *Runner) finishRun() (*Result, error) {
+	ms := r.runMS
+	res := ms.Res
 	if ms.MeasuredEpochs == 0 {
 		return nil, errors.New("sim: run shorter than the warm-up window")
 	}
@@ -1195,6 +1359,8 @@ func (r *Runner) runMeasured() (*Result, error) {
 // regenerate a transient window later. maxBlock is the global block ID of
 // the steady-noise maximum; blockCurrent and mask are the substep's
 // captured current map and gating mask.
+//
+//perf:alloc fires only when a new run-wide worst-noise maximum is found
 func (r *Runner) snapshotWorstNoise(d, maxBlock int, blockCurrent []float64, mask []bool, f uarch.Frame, frames []uarch.Frame) *WorstNoiseState {
 	dom := &r.chip.Domains[d]
 	bi := 0
@@ -1222,7 +1388,7 @@ func (r *Runner) snapshotWorstNoise(d, maxBlock int, blockCurrent []float64, mas
 			if startCycle < 0 {
 				startCycle = 0
 			}
-			ws.Bursts = append(ws.Bursts, pdn.Burst{
+			ws.Bursts = append(ws.Bursts, pdn.Burst{ //lint:ignore capgrow worst-noise capture is rare and the burst count per epoch is small
 				StartCycle: startCycle % 2000,
 				Cycles:     b.Cycles,
 				Amp:        b.Amp,

@@ -75,6 +75,30 @@ func (s *Span) End() {
 	}
 }
 
+// Restart rearms an ended root span for a new interval: the whole
+// tree's accumulated totals and counts are zeroed (End already merged
+// them into the registry) and the root starts timing again. The child
+// nodes survive, so a hot loop can allocate one span tree on its first
+// iteration and recycle it ever after — StartChild finds the existing
+// nodes and the steady state allocates nothing. Restarting a span that
+// was never Ended discards its unmerged interval. Nil-safe.
+func (s *Span) Restart() {
+	if s == nil {
+		return
+	}
+	s.resetTree()
+	s.start = s.reg.now()
+	s.running = true
+}
+
+// resetTree zeroes the per-interval accumulation of the subtree.
+func (s *Span) resetTree() {
+	s.total, s.count, s.running = 0, 0, false
+	for _, c := range s.children {
+		c.resetTree()
+	}
+}
+
 // Name returns the span's name ("" on nil).
 func (s *Span) Name() string {
 	if s == nil {

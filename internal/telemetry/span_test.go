@@ -110,6 +110,44 @@ func TestStartChildWhileRunningKeepsEarlierStart(t *testing.T) {
 	ep.End()
 }
 
+func TestRestartRecyclesTreeWithoutDoubleCounting(t *testing.T) {
+	r := NewRegistry()
+	advance := manualClock(r)
+	ep := r.StartSpan("epoch")
+	for e := 0; e < 3; e++ {
+		if e > 0 {
+			ep.Restart()
+		}
+		ph := ep.StartChild("power")
+		advance(time.Millisecond)
+		ph.End()
+		advance(time.Millisecond)
+		ep.End()
+		// After End the recycled tree reports only this interval.
+		if ep.Total() != 2*time.Millisecond || ep.Count() != 1 {
+			t.Fatalf("epoch %d: per-interval total %v count %d", e, ep.Total(), ep.Count())
+		}
+		if ep.Child("power").Total() != time.Millisecond {
+			t.Fatalf("epoch %d: child total %v", e, ep.Child("power").Total())
+		}
+	}
+	// The registry accumulated all three intervals, same as three fresh
+	// roots would have.
+	sn := r.Snapshot()
+	if len(sn.Spans) != 1 || sn.Spans[0].Count != 3 {
+		t.Fatalf("merged root wrong: %+v", sn.Spans)
+	}
+	if sn.Spans[0].TotalNS != (6 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("merged total %d", sn.Spans[0].TotalNS)
+	}
+	if len(sn.Spans[0].Children) != 1 || sn.Spans[0].Children[0].Count != 3 {
+		t.Fatalf("merged children wrong: %+v", sn.Spans[0].Children)
+	}
+	// Restart on a nil span stays a no-op.
+	var nilSpan *Span
+	nilSpan.Restart()
+}
+
 func TestSnapshotWhileRunning(t *testing.T) {
 	r := NewRegistry()
 	advance := manualClock(r)

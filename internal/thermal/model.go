@@ -28,6 +28,7 @@ type Model struct {
 	nNodes  int
 	sink    int
 	spread0 int
+	vrNames []string // "vr<r>@<nearest block>", prebuilt so MaxTemp never formats
 
 	adj      [][]edge
 	capJPerK []float64
@@ -38,6 +39,14 @@ type Model struct {
 	sumG    []float64 // cached Σg per node (incl. ambient), for stability + steady state
 	maxRate float64   // max over nodes of ΣG/C, 1/s
 	delta   []float64 // scratch buffer for Step
+
+	// Prebuilt sweep workers for stepCapped. Building them once in
+	// NewModel keeps the per-substep fan-out allocation-free; they read
+	// the substep size from stepH (set by stepCapped before each pass)
+	// and the scratch buffer from delta at call time.
+	stepH   float64
+	rowsFn  func(lo, hi int)
+	applyFn func(lo, hi int)
 
 	// CSR flattening of adj, rebuilt by cacheRates: the neighbours of
 	// node i are flatTo[rowStart[i]:rowStart[i+1]] with conductances
@@ -76,12 +85,41 @@ func NewModel(chip *floorplan.Chip, cfg Config) (*Model, error) {
 	m.spread0 = m.nBlocks + m.nVRs
 	m.sink = m.spread0 + m.nBlocks
 	m.nNodes = m.sink + 1
+	m.vrNames = make([]string, m.nVRs)
+	for r := 0; r < m.nVRs; r++ {
+		m.vrNames[r] = fmt.Sprintf("vr%d@%s", r, chip.Blocks[chip.Regulators[r].NearestBlock].Name)
+	}
 
 	m.adj = make([][]edge, m.nNodes)
 	m.capJPerK = make([]float64, m.nNodes)
 	m.ambientG = make([]float64, m.nNodes)
 	m.power = make([]float64, m.nNodes)
 	m.temp = make([]float64, m.nNodes)
+
+	// The stepCapped sweep workers, built once so per-substep fan-outs
+	// hand the pool an existing closure instead of allocating one. They
+	// load delta and stepH through m because both change after this
+	// point (delta is lazily sized, stepH per stepCapped call).
+	m.rowsFn = func(lo, hi int) {
+		delta, h := m.delta, m.stepH
+		for i := lo; i < hi; i++ {
+			q := m.power[i]
+			ti := m.temp[i]
+			for k := m.rowStart[i]; k < m.rowStart[i+1]; k++ {
+				q += m.flatG[k] * (m.temp[m.flatTo[k]] - ti)
+			}
+			if m.ambientG[i] > 0 {
+				q += m.ambientG[i] * (m.cfg.AmbientC - ti)
+			}
+			delta[i] = h * q / m.capJPerK[i]
+		}
+	}
+	m.applyFn = func(lo, hi int) {
+		delta := m.delta
+		for i := lo; i < hi; i++ {
+			m.temp[i] += delta[i]
+		}
+	}
 
 	// Node capacitances.
 	for i, b := range chip.Blocks {
@@ -256,38 +294,21 @@ func (m *Model) stepCapped(dtS, capS float64) error {
 	if m.delta == nil {
 		m.delta = make([]float64, m.nNodes)
 	}
-	delta := m.delta
 	// Flat SoA sweep over the CSR arrays built by cacheRates. Each row i
 	// reads the whole temperature field but writes only delta[i], so the
 	// sweep row-partitions across the pool; the in-place temperature
 	// update runs after the full delta pass (two barriers per substep),
 	// keeping the arithmetic — and hence the trajectory — bit-identical
-	// to the serial loop at any worker count.
-	rows := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			q := m.power[i]
-			ti := m.temp[i]
-			for k := m.rowStart[i]; k < m.rowStart[i+1]; k++ {
-				q += m.flatG[k] * (m.temp[m.flatTo[k]] - ti)
-			}
-			if m.ambientG[i] > 0 {
-				q += m.ambientG[i] * (m.cfg.AmbientC - ti)
-			}
-			delta[i] = h * q / m.capJPerK[i]
-		}
-	}
-	apply := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			m.temp[i] += delta[i]
-		}
-	}
+	// to the serial loop at any worker count. The workers themselves are
+	// prebuilt in NewModel; only the substep size changes per call.
+	m.stepH = h
 	pool := m.pool
 	if m.nNodes < parRowThreshold {
 		pool = nil // inline: barrier cost would dominate the compact model
 	}
 	for s := 0; s < steps; s++ {
-		pool.For(m.nNodes, rows)
-		pool.For(m.nNodes, apply)
+		pool.For(m.nNodes, m.rowsFn)
+		pool.For(m.nNodes, m.applyFn)
 	}
 	return nil
 }
@@ -411,7 +432,7 @@ func (m *Model) MaxTemp() (float64, string) {
 	for r := 0; r < m.nVRs; r++ {
 		if t := m.temp[m.nBlocks+r]; t > best {
 			best = t
-			where = fmt.Sprintf("vr%d@%s", r, m.chip.Blocks[m.chip.Regulators[r].NearestBlock].Name)
+			where = m.vrNames[r]
 		}
 	}
 	return best, where

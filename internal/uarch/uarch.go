@@ -75,6 +75,10 @@ type Simulator struct {
 	l3Blocks   []int   // bank -> block ID
 	nocBlock   int
 	mcBlocks   []int
+
+	// bankScratch accumulates per-bank L3 traffic within one StepInto;
+	// held on the simulator so the per-step fill allocates nothing.
+	bankScratch []float64
 }
 
 // New creates a simulator for the given chip and benchmark profile, with
@@ -141,14 +145,28 @@ func NewMix(chip *floorplan.Chip, profiles []workload.Profile, seed uint64) (*Si
 		s.bankWeight[c] = w
 	}
 
+	// Size the per-core and MC index caches exactly before filling them.
 	s.coreBlocks = make([][]int, floorplan.NumCores)
-	s.mcBlocks = nil
+	perCore := make([]int, floorplan.NumCores)
+	nMC := 0
+	for _, b := range chip.Blocks {
+		switch {
+		case b.Core >= 0:
+			perCore[b.Core]++
+		case b.Class == floorplan.UnitMC:
+			nMC++
+		}
+	}
+	for c := range s.coreBlocks {
+		s.coreBlocks[c] = make([]int, 0, perCore[c])
+	}
+	s.mcBlocks = make([]int, 0, nMC)
 	s.l3Blocks = make([]int, floorplan.NumL3Banks)
 	bank := 0
 	for _, b := range chip.Blocks {
 		switch {
 		case b.Core >= 0:
-			s.coreBlocks[b.Core] = append(s.coreBlocks[b.Core], b.ID)
+			s.coreBlocks[b.Core] = append(s.coreBlocks[b.Core], b.ID) //lint:ignore capgrow capacity set per core just above; the establishing index is spelled c, not b.Core
 		case b.Class == floorplan.UnitL3:
 			s.l3Blocks[bank] = b.ID
 			bank++
@@ -161,6 +179,7 @@ func NewMix(chip *floorplan.Chip, profiles []workload.Profile, seed uint64) (*Si
 	if bank != floorplan.NumL3Banks {
 		return nil, fmt.Errorf("uarch: found %d L3 banks, want %d", bank, floorplan.NumL3Banks)
 	}
+	s.bankScratch = make([]float64, floorplan.NumL3Banks)
 	return s, nil
 }
 
@@ -249,34 +268,62 @@ func clamp01(x float64) float64 {
 }
 
 // Step advances the simulation by dtMS milliseconds and returns the
-// resulting activity frame. dtMS must be positive.
+// resulting activity frame. dtMS must be positive. It is the
+// convenience wrapper over StepInto and allocates a fresh frame per
+// call; per-epoch callers (the sim runner's producer) use StepInto
+// with recycled frames instead.
 func (s *Simulator) Step(dtMS float64) (Frame, error) {
+	var f Frame
+	if err := s.StepInto(dtMS, &f); err != nil {
+		return Frame{}, err
+	}
+	return f, nil
+}
+
+// StepInto is Step writing into a caller-owned frame: the Activity and
+// IPC slices are resized in place when their capacity suffices and the
+// burst list is reset and appended to, so a frame reused across steps
+// makes the steady-state step allocation-free. The frame's previous
+// contents are fully overwritten.
+func (s *Simulator) StepInto(dtMS float64, f *Frame) error {
 	if dtMS <= 0 {
-		return Frame{}, fmt.Errorf("uarch: non-positive step %v", dtMS)
+		return fmt.Errorf("uarch: non-positive step %v", dtMS)
 	}
-	f := Frame{
-		TimeMS:   s.time,
-		DtMS:     dtMS,
-		Activity: make([]float64, len(s.chip.Blocks)),
-		IPC:      make([]float64, s.threads),
+	f.TimeMS = s.time
+	f.DtMS = dtMS
+	if cap(f.Activity) < len(s.chip.Blocks) {
+		f.Activity = make([]float64, len(s.chip.Blocks))
 	}
+	f.Activity = f.Activity[:len(s.chip.Blocks)]
+	for i := range f.Activity {
+		f.Activity[i] = 0
+	}
+	if cap(f.IPC) < s.threads {
+		f.IPC = make([]float64, s.threads)
+	}
+	f.IPC = f.IPC[:s.threads]
+	f.Bursts = f.Bursts[:0]
+
 	var totalL3Traffic float64
-	bankTraffic := make([]float64, floorplan.NumL3Banks)
+	bankTraffic := s.bankScratch
+	for i := range bankTraffic {
+		bankTraffic[i] = 0
+	}
 	var mcTraffic float64
 	for c := 0; c < s.threads; c++ {
 		p := &s.profiles[c]
 		ph := p.PhaseAt(s.time)
 		compute, mem := s.threadIntensity(c, ph)
 
-		// Per-unit activity. The ISU and IFU track overall issue/fetch
-		// pressure; the L2 sees the L1 miss stream.
-		act := map[floorplan.UnitClass]float64{
-			floorplan.UnitEXU: clamp01(compute),
-			floorplan.UnitLSU: clamp01(mem),
-			floorplan.UnitISU: clamp01(0.55*compute + 0.25*mem),
-			floorplan.UnitIFU: clamp01(0.45*compute + 0.25*mem),
-			floorplan.UnitL2:  clamp01(6 * mem * p.L1Miss),
-		}
+		// Per-unit activity, indexed by unit class. The ISU and IFU track
+		// overall issue/fetch pressure; the L2 sees the L1 miss stream.
+		// A fixed-size array keeps this per-thread table on the stack.
+		var act [floorplan.NumUnitClasses]float64
+		act[floorplan.UnitEXU] = clamp01(compute)
+		act[floorplan.UnitLSU] = clamp01(mem)
+		act[floorplan.UnitISU] = clamp01(0.55*compute + 0.25*mem)
+		act[floorplan.UnitIFU] = clamp01(0.45*compute + 0.25*mem)
+		act[floorplan.UnitL2] = clamp01(6 * mem * p.L1Miss)
 		for _, bid := range s.coreBlocks[c] {
 			f.Activity[bid] = act[s.chip.Blocks[bid].Class]
 		}
@@ -331,7 +378,7 @@ func (s *Simulator) Step(dtMS float64) (Frame, error) {
 	}
 
 	s.time += dtMS
-	return f, nil
+	return nil
 }
 
 // stepStorm advances one core's two-state burst-storm process: mean storm

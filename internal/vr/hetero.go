@@ -33,6 +33,7 @@ func NewHeteroNetwork(designs []Design) (*HeteroNetwork, error) {
 		return nil, fmt.Errorf("vr: heterogeneous network of %d exceeds the 16-component limit", len(designs))
 	}
 	h := &HeteroNetwork{designs: append([]Design(nil), designs...)}
+	h.curves = make([]Curve, 0, len(designs))
 	for i, d := range designs {
 		if d.IMax < d.IPeak {
 			return nil, fmt.Errorf("vr: component %d has IMax %v below IPeak %v", i, d.IMax, d.IPeak)
@@ -181,7 +182,7 @@ func (h *HeteroNetwork) waterfill(mask int, iout float64) (shares []float64, los
 				clamped = true
 				continue
 			}
-			next = append(next, i)
+			next = append(next, i) //lint:ignore capgrow in-place filter over free[:0]; never exceeds len(free)
 		}
 		free = next
 		if !clamped {

@@ -114,7 +114,10 @@ func (nw *Network) nOn(iout float64, maxActive int) int {
 	ideal := iout / nw.design.IPeak
 	lo := int(ideal)
 	best, bestLoss := 0, 0.0
-	for _, cand := range []int{lo, lo + 1} {
+	// The two candidates are lo and lo+1; iterating by offset avoids
+	// materializing a slice on this hot path.
+	for delta := 0; delta <= 1; delta++ {
+		cand := lo + delta
 		if cand < 1 {
 			cand = 1
 		}

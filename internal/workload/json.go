@@ -91,6 +91,7 @@ func ReadProfile(r io.Reader) (Profile, error) {
 		BurstStormMS:     pj.BurstStormMS,
 		BankSkew:         pj.BankSkew,
 	}
+	p.Phases = make([]Phase, 0, len(pj.Phases))
 	for i, ph := range pj.Phases {
 		kind, ok := phaseKindNames[ph.Kind]
 		if !ok {
@@ -134,6 +135,7 @@ func WriteProfile(w io.Writer, p Profile) error {
 		BurstStormMS:     p.BurstStormMS,
 		BankSkew:         p.BankSkew,
 	}
+	pj.Phases = make([]phaseJSON, 0, len(p.Phases))
 	for _, ph := range p.Phases {
 		name := phaseKindName(ph.Kind)
 		if name == "" {
