@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test race vet fmt-check lint lint-json lint-incremental alloc-gate sanitize fuzz chaos verify bench bench-baseline bench-parallel
+.PHONY: build test race vet fmt-check lint lint-json lint-incremental alloc-gate sanitize fuzz chaos chaos-serve verify bench bench-baseline bench-parallel bench-serve
 
 build:
 	$(GO) build ./...
@@ -74,8 +74,14 @@ fuzz:
 chaos:
 	$(GO) test -tags tgsan -run 'TestFaultMatrix|TestCheckpoint|TestDegraded|TestSweepKeepGoing|TestSweepRecoversPanic|TestSweepAllCellsFailed|TestWatchdog' ./internal/sim/ ./internal/experiments/ ./internal/thermal/
 
+# Service chaos gate: kill workers mid-job, preempt, drain/restart, abuse
+# the streaming path, then verify no job was lost, duplicated, or made
+# non-deterministic (see docs/SERVICE.md).
+chaos-serve:
+	./scripts/chaos_serve.sh
+
 # The full pre-merge check.
-verify: vet fmt-check lint test race sanitize chaos
+verify: vet fmt-check lint test race sanitize chaos chaos-serve
 	$(MAKE) fuzz FUZZTIME=3s
 
 # Quick runner benchmark (3 iterations, telemetry off vs. on).
@@ -90,3 +96,9 @@ bench-baseline:
 # cache-disabled control) and validate it.
 bench-parallel:
 	./scripts/bench_parallel.sh
+
+# Regenerate the committed service baseline (BENCH_serve.json): latency
+# percentiles + throughput for 1000 concurrent small jobs, and the
+# preemption byte-identity oracle. Validated by `tgserve -check`.
+bench-serve:
+	$(GO) run ./cmd/tgserve -bench -out BENCH_serve.json

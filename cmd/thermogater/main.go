@@ -30,15 +30,20 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
+	"time"
 
 	"thermogater/internal/core"
 	"thermogater/internal/experiments"
@@ -69,6 +74,7 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "write periodic checkpoints of the -run simulation to this file")
 		ckptEvery  = flag.Int("checkpoint-every", 500, "checkpoint period in epochs for -checkpoint")
 		resume     = flag.String("resume", "", "resume the -run simulation from this checkpoint file")
+		frozen     = flag.Bool("frozen-clock", false, "pin telemetry clocks to the Unix epoch (byte-deterministic JSONL; for resume tests)")
 	)
 	flag.Parse()
 
@@ -95,6 +101,7 @@ func main() {
 		checkpoint: *checkpoint,
 		ckptEvery:  *ckptEvery,
 		resume:     *resume,
+		frozen:     *frozen,
 	}); err != nil {
 		fatal(err)
 	}
@@ -119,6 +126,7 @@ type options struct {
 	checkpoint string
 	ckptEvery  int
 	resume     string
+	frozen     bool
 }
 
 // execute wires up observability (telemetry registry, pprof endpoints,
@@ -128,6 +136,10 @@ func execute(w io.Writer, o options) error {
 	var reg *telemetry.Registry
 	if o.metrics {
 		reg = telemetry.NewRegistry()
+		if o.frozen {
+			epoch := time.Unix(0, 0)
+			reg.SetClock(func() time.Time { return epoch })
+		}
 		for _, out := range []struct {
 			path string
 			mk   func(io.Writer) telemetry.Sink
@@ -322,7 +334,25 @@ func runSingle(w io.Writer, reg *telemetry.Registry, o options) error {
 		}
 		fmt.Fprintf(os.Stderr, "thermogater: resuming %s/%s from epoch %d\n", cp.Policy, cp.Benchmark, cp.Epoch+1)
 	}
-	res, err := r.Run()
+	// SIGINT/SIGTERM cancels the run at the next epoch boundary instead of
+	// killing the process mid-write: a final checkpoint lands (with
+	// -checkpoint), telemetry flushes through execute's deferred close,
+	// and the process exits 0 so supervisors treat the stop as clean.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	res, err := r.RunContext(ctx)
+	var ce *sim.CancelError
+	if errors.As(err, &ce) {
+		if o.checkpoint != "" && ce.Checkpoint != nil {
+			if werr := writeCheckpointFile(o.checkpoint, ce.Checkpoint); werr != nil {
+				return fmt.Errorf("writing final checkpoint: %w", werr)
+			}
+			fmt.Fprintf(os.Stderr, "thermogater: interrupted after epoch %d; resume with -resume %s\n", ce.Epoch, o.checkpoint)
+		} else {
+			fmt.Fprintf(os.Stderr, "thermogater: interrupted after epoch %d (no -checkpoint file to resume from)\n", ce.Epoch)
+		}
+		return nil
+	}
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"thermogater/internal/core"
+	"thermogater/internal/sim"
+	"thermogater/internal/workload"
+)
+
+// poisonedConfig fails deterministically on every attempt (measured loop
+// shorter than its own warm-up).
+func poisonedConfig(t *testing.T, opts Options) sim.Config {
+	t.Helper()
+	p, err := workload.ByName("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := opts.simConfig(core.AllOn, p)
+	cfg.DurationMS = 10
+	cfg.WarmupEpochs = 50
+	return cfg
+}
+
+// TestRetryBackoffScheduleDeterministic pins the retry schedule down under
+// an injected (frozen) clock: a cell that fails all its attempts must
+// sleep exactly RetryBackoff·2^k between attempts k and k+1, and two
+// identical campaigns must observe the identical schedule — no wall-clock
+// dependence anywhere in the loop.
+func TestRetryBackoffScheduleDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		var slept []time.Duration
+		opts := testOptions()
+		opts.MaxAttempts = 5
+		opts.RetryBackoff = 100 * time.Millisecond
+		opts.Sleep = func(d time.Duration) { slept = append(slept, d) }
+		_, attempts, err := runOneRecover(poisonedConfig(t, opts), opts)
+		if err == nil {
+			t.Fatal("poisoned cell succeeded")
+		}
+		if attempts != 5 {
+			t.Fatalf("spent %d attempts, want the full budget of 5", attempts)
+		}
+		return slept
+	}
+	first := run()
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+	}
+	if !reflect.DeepEqual(first, want) {
+		t.Fatalf("backoff schedule %v, want %v", first, want)
+	}
+	if second := run(); !reflect.DeepEqual(first, second) {
+		t.Fatalf("schedule not deterministic across campaigns: %v vs %v", first, second)
+	}
+}
+
+// TestRetryBackoffZeroMeansImmediate: with no backoff configured the loop
+// must never sleep, whatever the attempt count.
+func TestRetryBackoffZeroMeansImmediate(t *testing.T) {
+	opts := testOptions()
+	opts.MaxAttempts = 3
+	opts.Sleep = func(d time.Duration) { t.Fatalf("slept %v with zero backoff", d) }
+	if _, attempts, err := runOneRecover(poisonedConfig(t, opts), opts); err == nil || attempts != 3 {
+		t.Fatalf("attempts=%d err=%v, want 3 attempts and an error", attempts, err)
+	}
+}
+
+// TestSweepKeepGoingReportsEachFailureExactlyOnce poisons two cells across
+// two policies and retries them: the tolerant sweep must report each
+// failed cell exactly once — retries must not multiply failure records,
+// and no healthy cell may appear among them.
+func TestSweepKeepGoingReportsEachFailureExactlyOnce(t *testing.T) {
+	opts := testOptions()
+	opts.KeepGoing = true
+	opts.MaxAttempts = 3
+	opts.RetryBackoff = time.Hour // would hang the test if the frozen clock leaked
+	opts.Sleep = func(time.Duration) {}
+	poison := map[string]bool{"fft": true, "lu_ncb": true}
+	opts.Mutate = func(policy core.PolicyKind, bench workload.Profile, cfg *sim.Config) {
+		if poison[bench.Name] && policy == core.AllOn {
+			cfg.DurationMS = 10
+			cfg.WarmupEpochs = 50
+		}
+	}
+	sw, err := RunSweep([]core.PolicyKind{core.AllOn, core.OracT}, opts)
+	if err != nil {
+		t.Fatalf("tolerant sweep aborted: %v", err)
+	}
+	if len(sw.Failures) != 2 {
+		t.Fatalf("%d failures recorded, want 2: %v", len(sw.Failures), sw.Failures)
+	}
+	seen := map[string]int{}
+	for _, f := range sw.Failures {
+		if f.Policy != core.AllOn.String() {
+			t.Errorf("healthy policy %s reported failed for %s", f.Policy, f.Benchmark)
+		}
+		if !poison[f.Benchmark] {
+			t.Errorf("healthy cell %s/%s reported failed", f.Benchmark, f.Policy)
+		}
+		if f.Attempts != 3 {
+			t.Errorf("cell %s/%s recorded %d attempts, want the full budget of 3", f.Benchmark, f.Policy, f.Attempts)
+		}
+		seen[f.Benchmark+"/"+f.Policy]++
+	}
+	for cell, n := range seen {
+		if n != 1 {
+			t.Errorf("cell %s reported %d times, want exactly once", cell, n)
+		}
+	}
+	// Failures are sorted for deterministic reporting.
+	if len(sw.Failures) == 2 && sw.Failures[0].Benchmark > sw.Failures[1].Benchmark {
+		t.Errorf("failures not sorted: %v", sw.Failures)
+	}
+	// The poisoned cells hold no result; every other cell does.
+	for _, b := range BenchmarkOrder() {
+		for _, p := range []core.PolicyKind{core.AllOn, core.OracT} {
+			_, err := sw.Get(b, p)
+			broken := poison[b] && p == core.AllOn
+			if broken && err == nil {
+				t.Errorf("failed cell %s/%s still has a result", b, p)
+			}
+			if !broken && err != nil {
+				t.Errorf("healthy cell %s/%s missing: %v", b, p, err)
+			}
+		}
+	}
+}

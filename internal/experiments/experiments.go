@@ -43,6 +43,10 @@ type Options struct {
 	// RetryBackoff is slept between attempts of the same cell, doubling
 	// each time (0 = retry immediately).
 	RetryBackoff time.Duration
+	// Sleep replaces time.Sleep between retry attempts (nil = time.Sleep).
+	// Tests inject a recording clock here to pin the backoff schedule down
+	// without waiting it out.
+	Sleep func(time.Duration)
 	// KeepGoing makes RunSweep finish the remaining cells when one fails
 	// (after its retries): the failed cells are recorded in
 	// Sweep.Failures instead of aborting the sweep. Only if every cell
@@ -144,6 +148,10 @@ func runOneRecover(cfg sim.Config, opts Options) (res *sim.Result, attempts int,
 		}()
 		return runOne(cfg)
 	}
+	sleep := opts.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
 	backoff := opts.RetryBackoff
 	for attempts = 1; ; attempts++ {
 		res, err = one()
@@ -151,7 +159,7 @@ func runOneRecover(cfg sim.Config, opts Options) (res *sim.Result, attempts int,
 			return res, attempts, err
 		}
 		if backoff > 0 {
-			time.Sleep(backoff)
+			sleep(backoff)
 			backoff *= 2
 		}
 	}

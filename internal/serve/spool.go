@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// spoolSchema tags spool entries; loadSpool skips anything else.
+const spoolSchema = "thermogater/serve-spool/v1"
+
+// spoolEntry is the on-disk form of an unfinished job: its identity
+// (spec), its retry accounting, and its exact resume point — the framed
+// checkpoint plus the stream prefix that belongs to it. A restarted
+// service re-admits the job and continues byte-identically.
+type spoolEntry struct {
+	Schema   string  `json:"schema"`
+	Spec     JobSpec `json:"spec"`
+	Attempts int     `json:"attempts"`
+	Epoch    int     `json:"epoch"`
+	// Stream is the job's telemetry stream up to the checkpoint
+	// boundary (base64 via encoding/json's []byte rule).
+	Stream []byte `json:"stream,omitempty"`
+	// Ckpt is the framed checkpoint (sim.Checkpoint.Encode bytes).
+	Ckpt []byte `json:"ckpt,omitempty"`
+}
+
+func (s *Supervisor) spoolPath(id string) string {
+	return filepath.Join(s.cfg.SpoolDir, id+".job")
+}
+
+// writeSpool persists one unfinished job atomically (tmp + rename), so a
+// kill mid-write leaves either the old entry or none — never a torn one.
+func (s *Supervisor) writeSpool(j *Job) error {
+	if s.cfg.SpoolDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.cfg.SpoolDir, 0o755); err != nil {
+		return err
+	}
+	j.mu.Lock()
+	e := spoolEntry{
+		Schema:   spoolSchema,
+		Spec:     j.Spec,
+		Attempts: j.attempts,
+		Epoch:    j.epoch,
+		Ckpt:     j.ckpt,
+	}
+	if j.ckptLen > 0 {
+		e.Stream = j.stream.Bytes()
+		if len(e.Stream) > j.ckptLen {
+			e.Stream = e.Stream[:j.ckptLen]
+		}
+	}
+	j.mu.Unlock()
+	b, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	path := s.spoolPath(j.ID)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// removeSpool deletes a settled job's entry; a missing file is fine.
+func (s *Supervisor) removeSpool(id string) {
+	if s.cfg.SpoolDir == "" {
+		return
+	}
+	//lint:ignore errsink best-effort cleanup: a stale entry is re-settled on the next load
+	os.Remove(s.spoolPath(id))
+}
+
+// loadSpool re-admits every spooled job at startup. Sweep parents
+// re-expand through Submit's fan-out (their children dedup against
+// spooled child entries); sim jobs restore their stream prefix and
+// checkpoint and queue for resumption. Unreadable entries are skipped
+// with their files left in place for forensics — one bad entry must not
+// keep the service down.
+func (s *Supervisor) loadSpool() error {
+	if s.cfg.SpoolDir == "" {
+		return nil
+	}
+	entries, err := os.ReadDir(s.cfg.SpoolDir)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	// Two passes: sim jobs first so sweep parents' fan-out dedups onto
+	// the restored (checkpoint-carrying) children instead of creating
+	// fresh ones.
+	var parents []spoolEntry
+	for _, de := range entries {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".job") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(s.cfg.SpoolDir, de.Name()))
+		if err != nil {
+			continue
+		}
+		var e spoolEntry
+		if json.Unmarshal(b, &e) != nil || e.Schema != spoolSchema {
+			continue
+		}
+		if e.Spec.canonical().Kind == KindSweep {
+			parents = append(parents, e)
+			continue
+		}
+		if err := s.admitSpooled(e); err != nil {
+			return fmt.Errorf("serve: re-admitting spooled job %s: %w", e.Spec.ID(), err)
+		}
+	}
+	for _, e := range parents {
+		if _, _, err := s.Submit(e.Spec); err != nil {
+			return fmt.Errorf("serve: re-admitting spooled sweep %s: %w", e.Spec.ID(), err)
+		}
+	}
+	return nil
+}
+
+// admitSpooled recreates one sim job from its spool entry and queues it.
+func (s *Supervisor) admitSpooled(e spoolEntry) error {
+	if err := e.Spec.Validate(); err != nil {
+		return err
+	}
+	id := e.Spec.ID()
+	s.mu.Lock()
+	if _, ok := s.jobs[id]; ok {
+		s.mu.Unlock()
+		return nil
+	}
+	s.seq++
+	j := newJob(e.Spec, s.seq)
+	j.attempts = e.Attempts
+	j.epoch = e.Epoch
+	if len(e.Ckpt) > 0 {
+		j.ckpt = e.Ckpt
+		if len(e.Stream) > 0 {
+			//lint:ignore errsink StreamBuf.Write cannot fail
+			j.stream.Write(e.Stream)
+			j.ckptLen = len(e.Stream)
+		}
+	}
+	s.jobs[id] = j
+	s.mu.Unlock()
+	return s.q.Push(j, true)
+}

@@ -1,0 +1,857 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"thermogater/internal/sim"
+	"thermogater/internal/telemetry"
+)
+
+// ErrDraining reports a submission against a supervisor that is shutting
+// down; the HTTP layer maps it to 503.
+var ErrDraining = errors.New("serve: draining, not accepting jobs")
+
+// ErrUnknownJob reports a lookup for an ID the supervisor has never seen
+// (or has evicted from the result cache).
+var ErrUnknownJob = errors.New("serve: unknown job")
+
+// Cancellation causes, distinguishable via errors.Is on the job's
+// CancelError chain.
+var (
+	// causePreempt parks a long-running job so queued work gets a turn;
+	// the job resumes from its checkpoint on any free worker.
+	causePreempt = errors.New("serve: preempted")
+	// causeDrain parks a job for spooling during graceful shutdown.
+	causeDrain = errors.New("serve: draining")
+	// causeClientCancel terminates a job at the client's request.
+	causeClientCancel = errors.New("serve: canceled by client")
+)
+
+// crashError is a recovered panic: the attempt died mid-flight and its
+// in-memory run state is gone, so recovery restores the job's last saved
+// checkpoint and rewinds its stream to that boundary.
+type crashError struct{ msg string }
+
+func (e *crashError) Error() string { return "serve: attempt panicked: " + e.msg }
+
+// permanentError marks failures retrying cannot fix (invalid
+// configuration, checkpoint/config identity mismatch).
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Config tunes the supervisor. The zero value is usable: every field
+// falls back to the default documented on it.
+type Config struct {
+	// Workers is the worker-goroutine count (default 2).
+	Workers int
+	// QueueLimit bounds the intake queue; submissions beyond it are shed
+	// with ErrQueueFull (default 256).
+	QueueLimit int
+	// MaxAttempts bounds attempts per job, first try included (default 3).
+	MaxAttempts int
+	// RetryBackoff is the first retry's backoff, doubling per attempt
+	// (default 100ms).
+	RetryBackoff time.Duration
+	// MaxBackoff caps a single backoff (default 5s).
+	MaxBackoff time.Duration
+	// RetryBudget caps a job's total backoff; beyond it the job fails
+	// even with attempts left (default 30s).
+	RetryBudget time.Duration
+	// PreemptAfter parks a running job once it has run this long while
+	// other work is queued; 0 disables elastic preemption.
+	PreemptAfter time.Duration
+	// CheckpointEvery is the crash-snapshot period in epochs (default
+	// 200). Every job runs with periodic checkpoints at this cadence so
+	// a panicked attempt resumes instead of restarting.
+	CheckpointEvery int
+	// SimWorkers is the per-run pipeline worker count (default 0 =
+	// inline; the service scales by running jobs concurrently, not by
+	// parallelising single runs).
+	SimWorkers int
+	// SpoolDir persists parked/queued jobs across restarts; "" disables
+	// spooling (drain then abandons unfinished jobs).
+	SpoolDir string
+	// FrozenClock pins every job's telemetry clock to the Unix epoch so
+	// streams are byte-deterministic — the mode the chaos suite and the
+	// preemption byte-identity oracle run the service in.
+	FrozenClock bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = 2
+	}
+	if c.QueueLimit < 1 {
+		c.QueueLimit = 256
+	}
+	if c.MaxAttempts < 1 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 100 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 30 * time.Second
+	}
+	if c.CheckpointEvery < 1 {
+		c.CheckpointEvery = 200
+	}
+	return c
+}
+
+// Stats is the supervisor's operational snapshot (GET /stats).
+type Stats struct {
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
+	Submitted int64 `json:"submitted"`
+	Deduped   int64 `json:"deduped"`
+	Shed      int64 `json:"shed"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+	Preempted int64 `json:"preempted"`
+	Crashes   int64 `json:"crashes"`
+	Retries   int64 `json:"retries"`
+	Draining  bool  `json:"draining"`
+}
+
+// Supervisor owns the job table, the queue and the worker pool. One
+// instance serves the whole process; NewSupervisor starts the workers
+// immediately and Drain stops them.
+type Supervisor struct {
+	cfg Config
+	q   *queue
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	seq    uint64
+	timers map[*time.Timer]struct{}
+
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	draining atomic.Bool
+
+	submitted, deduped, shed, completed atomic.Int64
+	failed, canceled                    atomic.Int64
+	preempted, crashes, retries         atomic.Int64
+}
+
+// NewSupervisor builds the supervisor, reloads any spooled jobs from
+// cfg.SpoolDir, and starts the worker pool.
+func NewSupervisor(cfg Config) (*Supervisor, error) {
+	cfg = cfg.withDefaults()
+	s := &Supervisor{
+		cfg:    cfg,
+		q:      newQueue(cfg.QueueLimit),
+		jobs:   make(map[string]*Job),
+		timers: make(map[*time.Timer]struct{}),
+		stop:   make(chan struct{}),
+	}
+	if err := s.loadSpool(); err != nil {
+		return nil, err
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker(w)
+	}
+	if cfg.PreemptAfter > 0 {
+		s.wg.Add(1)
+		go s.preemptMonitor()
+	}
+	return s, nil
+}
+
+// Submit validates, dedups and enqueues a job, returning the job and
+// whether this submission created it (false = dedup hit on a live or
+// completed identical job). Sweep jobs fan out into child sim jobs that
+// each go through the queue individually; the parent occupies no worker.
+func (s *Supervisor) Submit(spec JobSpec) (*Job, bool, error) {
+	if s.draining.Load() {
+		return nil, false, ErrDraining
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, false, err
+	}
+	s.submitted.Add(1)
+	id := spec.ID()
+
+	s.mu.Lock()
+	if j, ok := s.jobs[id]; ok {
+		s.mu.Unlock()
+		s.deduped.Add(1)
+		return j, false, nil
+	}
+	s.seq++
+	j := newJob(spec, s.seq)
+	s.jobs[id] = j
+	s.mu.Unlock()
+
+	if spec.canonical().Kind == KindSweep {
+		return s.submitSweep(j)
+	}
+	if err := s.q.Push(j, false); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		if errors.Is(err, ErrQueueFull) {
+			s.shed.Add(1)
+		}
+		return nil, false, err
+	}
+	return j, true, nil
+}
+
+// submitSweep fans a sweep out into child sim jobs. Children dedup
+// against existing jobs (including other sweeps' children and directly
+// submitted sims); cells the cache already completed cost nothing. The
+// whole fan-out is admitted or shed atomically enough for safety: a
+// mid-fan-out queue-full sheds the parent and every child this sweep
+// created that no one else references.
+func (s *Supervisor) submitSweep(parent *Job) (*Job, bool, error) {
+	specs := parent.Spec.children()
+	var created []*Job
+	admit := func() error {
+		for _, cs := range specs {
+			id := cs.ID()
+			s.mu.Lock()
+			child, ok := s.jobs[id]
+			if !ok {
+				s.seq++
+				child = newJob(cs, s.seq)
+				s.jobs[id] = child
+				created = append(created, child)
+			}
+			child.mu.Lock()
+			child.parents = append(child.parents, parent)
+			childTerminal := terminal(child.state)
+			child.mu.Unlock()
+			parent.mu.Lock()
+			parent.children = append(parent.children, child)
+			if !childTerminal {
+				parent.pending++
+			}
+			parent.mu.Unlock()
+			s.mu.Unlock()
+			if !ok {
+				if err := s.q.Push(child, false); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := admit(); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, parent.ID)
+		for _, c := range created {
+			c.mu.Lock()
+			dead := c.state == StateQueued && len(c.parents) == 1
+			c.mu.Unlock()
+			if dead {
+				c.finishLocked(StateCanceled)
+				delete(s.jobs, c.ID)
+			}
+		}
+		s.mu.Unlock()
+		if errors.Is(err, ErrQueueFull) {
+			s.shed.Add(1)
+		}
+		return nil, false, err
+	}
+	parent.mu.Lock()
+	parent.state = StateRunning
+	allDone := parent.pending == 0
+	parent.mu.Unlock()
+	if allDone {
+		s.aggregateSweep(parent)
+	}
+	return parent, true, nil
+}
+
+// finishLocked is Job.finish behind the job's own lock.
+func (j *Job) finishLocked(st JobState) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.finish(st)
+}
+
+// Get looks a job up by ID.
+func (s *Supervisor) Get(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		return j, nil
+	}
+	return nil, ErrUnknownJob
+}
+
+// Cancel terminates a job at the client's request: queued and parked
+// jobs finish immediately, running jobs are cancelled at the next epoch
+// boundary. Sweep parents cancel every child they solely own.
+func (s *Supervisor) Cancel(id string) error {
+	j, err := s.Get(id)
+	if err != nil {
+		return err
+	}
+	s.cancelJob(j, causeClientCancel)
+	return nil
+}
+
+func (s *Supervisor) cancelJob(j *Job, cause error) {
+	j.mu.Lock()
+	var kids []*Job
+	switch j.state {
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel(cause) // the worker finishes the transition
+		} else {
+			// A sweep parent: terminal once its owned children are.
+			kids = append(kids, j.children...)
+		}
+	case StateQueued, StateParked:
+		if j.finish(StateCanceled) {
+			s.canceled.Add(1)
+		}
+	}
+	j.mu.Unlock()
+	for _, c := range kids {
+		c.mu.Lock()
+		sole := len(c.parents) == 1
+		c.mu.Unlock()
+		if sole {
+			s.cancelJob(c, cause)
+		}
+	}
+}
+
+// Preempt parks a running job now (the elastic monitor's trigger, also
+// exposed for the chaos suite). The job checkpoints at the next epoch
+// boundary and requeues.
+func (s *Supervisor) Preempt(id string) error {
+	j, err := s.Get(id)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateRunning && j.cancel != nil {
+		j.cancel(causePreempt)
+	}
+	return nil
+}
+
+// Kill arms a deterministic mid-job crash: the job's next telemetry
+// record panics the attempt, exercising the real panic-recovery and
+// checkpoint-restore path. The chaos suite's stand-in for a dying
+// worker.
+func (s *Supervisor) Kill(id string) error {
+	j, err := s.Get(id)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.crashArmed = true
+	return nil
+}
+
+// Stats snapshots the operational counters.
+func (s *Supervisor) Stats() Stats {
+	s.mu.Lock()
+	running := 0
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.state == StateRunning && j.cancel != nil {
+			running++
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	return Stats{
+		Queued:    s.q.Len(),
+		Running:   running,
+		Submitted: s.submitted.Load(),
+		Deduped:   s.deduped.Load(),
+		Shed:      s.shed.Load(),
+		Completed: s.completed.Load(),
+		Failed:    s.failed.Load(),
+		Canceled:  s.canceled.Load(),
+		Preempted: s.preempted.Load(),
+		Crashes:   s.crashes.Load(),
+		Retries:   s.retries.Load(),
+		Draining:  s.draining.Load(),
+	}
+}
+
+// worker is one supervised execution loop. Panics inside a job are
+// recovered by attempt; the loop itself only does state bookkeeping.
+func (s *Supervisor) worker(id int) {
+	defer s.wg.Done()
+	for {
+		j := s.q.Pop(s.stop)
+		if j == nil {
+			return
+		}
+		s.runJob(id, j)
+	}
+}
+
+// runJob executes one attempt of a job and classifies the outcome:
+// success, park (preempt/drain), client cancel, or failure with the
+// retry policy applied.
+func (s *Supervisor) runJob(worker int, j *Job) {
+	j.mu.Lock()
+	if j.state != StateQueued {
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	j.state = StateRunning
+	j.attempts++
+	j.cancel = cancel
+	j.worker = worker
+	j.startedAt = time.Now()
+	j.mu.Unlock()
+	defer cancel(nil)
+
+	res, err := s.attempt(j, ctx)
+
+	j.mu.Lock()
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.result = res
+		j.clearResumeState()
+		j.finish(StateDone)
+		j.mu.Unlock()
+		s.completed.Add(1)
+		s.jobSettled(j)
+
+	case isCancel(err):
+		ce := asCancel(err)
+		cause := ce.Cause
+		if ce.Checkpoint != nil {
+			// The stream holds records exactly through the stopping
+			// epoch, so its current length IS the checkpoint boundary.
+			if enc := encodeCheckpoint(ce.Checkpoint); enc != nil {
+				j.ckpt, j.ckptLen, j.epoch = enc, j.stream.Len(), ce.Epoch
+			}
+		}
+		switch {
+		case errors.Is(cause, causeClientCancel):
+			j.finish(StateCanceled)
+			j.mu.Unlock()
+			s.canceled.Add(1)
+			s.jobSettled(j)
+		case errors.Is(cause, causeDrain):
+			// Preemption and a run attempt are not failures: give the
+			// attempt back.
+			j.attempts--
+			j.state = StateParked
+			j.mu.Unlock() // drain spools parked jobs
+		default: // preemption (elastic or explicit)
+			j.attempts--
+			j.state = StateParked
+			j.mu.Unlock()
+			s.preempted.Add(1)
+			s.requeue(j)
+		}
+
+	default:
+		s.classifyFailure(j, err)
+	}
+}
+
+// classifyFailure applies the retry policy to a failed attempt. Callers
+// hold j.mu; it is released before returning.
+func (s *Supervisor) classifyFailure(j *Job, err error) {
+	var crash *crashError
+	if errors.As(err, &crash) {
+		s.crashes.Add(1)
+	}
+	var perm *permanentError
+	permanent := errors.As(err, &perm)
+
+	budgetLeft := s.cfg.RetryBudget - j.backoff
+	if permanent || j.attempts >= s.cfg.MaxAttempts || budgetLeft <= 0 {
+		j.failure = &Failure{
+			Error:     err.Error(),
+			Attempts:  j.attempts,
+			Panicked:  crash != nil,
+			BackoffMS: j.backoff.Milliseconds(),
+		}
+		j.finish(StateFailed)
+		j.mu.Unlock()
+		s.failed.Add(1)
+		s.jobSettled(j)
+		return
+	}
+
+	// Exponential backoff with deterministic jitter, capped per-wait and
+	// by the job's total budget.
+	d := s.cfg.RetryBackoff << (j.attempts - 1)
+	if d > s.cfg.MaxBackoff || d <= 0 {
+		d = s.cfg.MaxBackoff
+	}
+	d = jitter(j.ID, j.attempts, d)
+	if d > budgetLeft {
+		d = budgetLeft
+	}
+	j.backoff += d
+	j.state = StateParked
+	j.mu.Unlock()
+	s.retries.Add(1)
+
+	t := time.AfterFunc(d, func() { s.requeue(j) })
+	s.mu.Lock()
+	if s.draining.Load() {
+		t.Stop() // drain already swept the timer set; park for spooling
+	} else {
+		s.timers[t] = struct{}{}
+	}
+	s.mu.Unlock()
+}
+
+// jitter scales d by a deterministic factor in [0.75, 1.25) derived from
+// the job ID and attempt number: spread in the fleet, reproducible in
+// tests.
+func jitter(id string, attempt int, d time.Duration) time.Duration {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", id, attempt)
+	frac := float64(h.Sum64()%1000) / 1000 // [0, 1)
+	return time.Duration(float64(d) * (0.75 + frac/2))
+}
+
+// requeue re-admits a parked job (after preemption or backoff).
+func (s *Supervisor) requeue(j *Job) {
+	j.mu.Lock()
+	if j.state != StateParked {
+		j.mu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	s.seq++
+	j.seq = s.seq
+	s.mu.Unlock()
+	j.state = StateQueued
+	j.mu.Unlock()
+	if err := s.q.Push(j, true); err != nil {
+		// Queue closed mid-requeue: park again so drain spools the job.
+		j.mu.Lock()
+		if j.state == StateQueued {
+			j.state = StateParked
+		}
+		j.mu.Unlock()
+	}
+}
+
+// clearResumeState drops the parked checkpoint. Callers hold j.mu.
+func (j *Job) clearResumeState() { j.ckpt, j.ckptLen = nil, 0 }
+
+// encodeCheckpoint frames a checkpoint into bytes, or nil on failure
+// (the job then restarts from its previous resume point).
+func encodeCheckpoint(cp *sim.Checkpoint) []byte {
+	var buf bytes.Buffer
+	if err := cp.Encode(&buf); err != nil {
+		return nil
+	}
+	return buf.Bytes()
+}
+
+func isCancel(err error) bool { return asCancel(err) != nil }
+
+func asCancel(err error) *sim.CancelError {
+	var ce *sim.CancelError
+	if errors.As(err, &ce) {
+		return ce
+	}
+	return nil
+}
+
+// attempt runs one try of the job with panic containment. It rewinds the
+// stream to the resume boundary, restores the parked checkpoint if any,
+// and runs under the job's cancellation context with periodic crash
+// snapshots.
+func (s *Supervisor) attempt(j *Job, ctx context.Context) (res *sim.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, &crashError{fmt.Sprint(p)}
+		}
+	}()
+
+	cfg, err := j.Spec.simConfig(s.cfg.SimWorkers)
+	if err != nil {
+		return nil, &permanentError{err}
+	}
+
+	j.mu.Lock()
+	ckpt := j.ckpt
+	ckptLen := j.ckptLen
+	j.mu.Unlock()
+	// A fresh attempt after a crash may have stream bytes past the last
+	// snapshot; rewind so the final stream holds every record exactly
+	// once.
+	j.stream.Truncate(ckptLen)
+
+	reg := telemetry.NewRegistry()
+	if s.cfg.FrozenClock {
+		epoch := time.Unix(0, 0)
+		reg.SetClock(func() time.Time { return epoch })
+	}
+	reg.AddSink(&jobSink{sink: telemetry.NewJSONLSink(j.stream), job: j})
+	cfg.Telemetry = reg
+	cfg.Checkpoint = sim.CheckpointConfig{
+		EveryEpochs: s.cfg.CheckpointEvery,
+		Sink:        func(cp *sim.Checkpoint) error { return j.saveSnapshot(cp) },
+	}
+
+	r, err := sim.New(cfg)
+	if err != nil {
+		return nil, &permanentError{err}
+	}
+	if len(ckpt) > 0 {
+		cp, err := sim.ReadCheckpoint(bytes.NewReader(ckpt))
+		switch {
+		case errors.Is(err, sim.ErrCorruptCheckpoint):
+			// A damaged resume point costs the progress, not the job:
+			// drop it and restart the run from scratch.
+			j.mu.Lock()
+			j.clearResumeState()
+			j.epoch = -1
+			j.mu.Unlock()
+			j.stream.Truncate(0)
+		case err != nil:
+			return nil, err
+		default:
+			if rerr := r.Restore(cp); rerr != nil {
+				return nil, &permanentError{rerr}
+			}
+		}
+	}
+	return r.RunContext(ctx)
+}
+
+// saveSnapshot is the periodic checkpoint sink: it stores the framed
+// bytes and the stream boundary that belongs to them. The runner invokes
+// it after the epoch's record is emitted (and our sink flushes per
+// record), so the stream length here is exactly the boundary.
+func (j *Job) saveSnapshot(cp *sim.Checkpoint) error {
+	enc := encodeCheckpoint(cp)
+	if enc == nil {
+		return nil // a failed snapshot skips an update, never kills the run
+	}
+	j.mu.Lock()
+	j.ckpt, j.ckptLen, j.epoch = enc, j.stream.Len(), cp.Epoch
+	j.mu.Unlock()
+	return nil
+}
+
+// jobSink adapts the JSONL sink for service use: every record is flushed
+// through to the stream immediately (live streaming), and an armed chaos
+// kill fires here, inside the run, so the panic takes the real recovery
+// path.
+type jobSink struct {
+	sink *telemetry.JSONLSink
+	job  *Job
+}
+
+func (s *jobSink) Emit(rec *telemetry.Record) error {
+	s.job.mu.Lock()
+	killed := s.job.crashArmed
+	s.job.crashArmed = false
+	s.job.mu.Unlock()
+	if killed {
+		panic("chaos: worker killed mid-job")
+	}
+	if err := s.sink.Emit(rec); err != nil {
+		return err
+	}
+	return s.sink.Flush()
+}
+
+func (s *jobSink) Flush() error { return s.sink.Flush() }
+
+// jobSettled runs after a job reaches a terminal state: sweep parents
+// are notified and the spool entry (if any) is deleted.
+func (s *Supervisor) jobSettled(j *Job) {
+	s.removeSpool(j.ID)
+	j.mu.Lock()
+	parents := append([]*Job(nil), j.parents...)
+	j.mu.Unlock()
+	for _, p := range parents {
+		p.mu.Lock()
+		p.pending--
+		ready := p.pending == 0 && !terminal(p.state)
+		p.mu.Unlock()
+		if ready {
+			s.aggregateSweep(p)
+		}
+	}
+}
+
+// aggregateSweep assembles a sweep parent's result once every child is
+// terminal: each cell exactly once, in grid order, with failed cells
+// carrying their child's failure text (the service-side KeepGoing
+// contract — partial sweeps complete, failures are reported, nothing is
+// double-counted).
+func (s *Supervisor) aggregateSweep(p *Job) {
+	p.mu.Lock()
+	sw := &SweepResult{}
+	for _, c := range p.children {
+		c.mu.Lock()
+		cell := SweepCell{
+			Benchmark: c.Spec.Benchmark,
+			Policy:    c.Spec.Policy,
+			JobID:     c.ID,
+			State:     string(c.state),
+		}
+		switch c.state {
+		case StateDone:
+			sw.Done++
+		case StateFailed:
+			sw.Failed++
+			if c.failure != nil {
+				cell.Error = c.failure.Error
+			}
+		}
+		c.mu.Unlock()
+		sw.Cells = append(sw.Cells, cell)
+	}
+	p.sweep = sw
+	st := StateDone
+	if sw.Done == 0 && len(sw.Cells) > 0 {
+		st = StateFailed
+		p.failure = &Failure{Error: "serve: every sweep cell failed", Attempts: 1}
+	}
+	p.finish(st)
+	p.mu.Unlock()
+	if st == StateDone {
+		s.completed.Add(1)
+	} else {
+		s.failed.Add(1)
+	}
+	s.removeSpool(p.ID)
+}
+
+// Sweep returns a sweep parent's aggregate, if the job is one and done.
+func (j *Job) Sweep() (*SweepResult, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.sweep, j.sweep != nil
+}
+
+// preemptMonitor implements elastic preemption: while work is queued, a
+// job that has held a worker longer than PreemptAfter is parked (it
+// checkpoints and requeues behind its priority peers) so small jobs are
+// not starved by long sweeps.
+func (s *Supervisor) preemptMonitor() {
+	defer s.wg.Done()
+	period := s.cfg.PreemptAfter / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+		}
+		if s.q.Len() == 0 {
+			continue
+		}
+		s.mu.Lock()
+		victims := make([]*Job, 0, 4)
+		for _, j := range s.jobs {
+			j.mu.Lock()
+			if j.state == StateRunning && j.cancel != nil && time.Since(j.startedAt) > s.cfg.PreemptAfter {
+				victims = append(victims, j)
+			}
+			j.mu.Unlock()
+		}
+		s.mu.Unlock()
+		for _, j := range victims {
+			j.mu.Lock()
+			if j.state == StateRunning && j.cancel != nil {
+				j.cancel(causePreempt)
+			}
+			j.mu.Unlock()
+		}
+	}
+}
+
+// Drain is graceful shutdown: stop intake, stop the workers (in-flight
+// jobs are cancelled with checkpoint capture), then spool every
+// unfinished job to disk so a restarted service resumes it. Idempotent;
+// returns once the pool is down and the spool is written.
+func (s *Supervisor) Drain() error {
+	if s.draining.Swap(true) {
+		return nil
+	}
+	// Stop the retry timers first: their jobs stay parked and spool.
+	s.mu.Lock()
+	for t := range s.timers {
+		t.Stop()
+	}
+	s.timers = make(map[*time.Timer]struct{})
+	s.mu.Unlock()
+
+	close(s.stop)
+	// Cancel running jobs with the drain cause; their workers park them.
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.state == StateRunning && j.cancel != nil {
+			j.cancel(causeDrain)
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+
+	// Everything still queued or parked gets spooled.
+	leftovers := s.q.Close()
+	spooled := make(map[string]bool)
+	var firstErr error
+	spool := func(j *Job) {
+		if spooled[j.ID] {
+			return
+		}
+		spooled[j.ID] = true
+		if err := s.writeSpool(j); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, j := range leftovers {
+		spool(j)
+	}
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		pending := j.state == StateQueued || j.state == StateParked ||
+			(j.state == StateRunning && j.cancel == nil && !terminal(j.state))
+		j.mu.Unlock()
+		if pending {
+			spool(j)
+		}
+	}
+	return firstErr
+}

@@ -1,9 +1,12 @@
 package sim
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"thermogater/internal/aging"
@@ -101,22 +104,126 @@ type Checkpoint struct {
 	Measure MeasureState
 }
 
-// Encode serialises the checkpoint with encoding/gob.
-func (c *Checkpoint) Encode(w io.Writer) error {
-	return gob.NewEncoder(w).Encode(c)
+// Checkpoints are framed on the wire so a half-written or bit-rotted file
+// is a diagnosable error, not a gob panic or a silent restart-from-scratch:
+//
+//	magic "TGCKPT1\n" | uint64 LE payload length | uint32 LE CRC-32 (IEEE)
+//	of the payload | gob payload
+//
+// The length bounds the read before any allocation, and the checksum is
+// verified before gob ever sees a byte, so every corruption mode —
+// truncation, bit flips, a foreign file — surfaces as a *CorruptError
+// carrying the byte offset where the frame stopped making sense.
+const checkpointMagic = "TGCKPT1\n"
+
+// checkpointHeaderLen is magic + length + checksum.
+const checkpointHeaderLen = len(checkpointMagic) + 8 + 4
+
+// maxCheckpointPayload caps the length field so a corrupted header cannot
+// drive an arbitrarily large allocation. Real checkpoints are megabytes at
+// the very most.
+const maxCheckpointPayload = 1 << 31
+
+// ErrCorruptCheckpoint is the sentinel every corruption failure matches:
+// errors.Is(err, ErrCorruptCheckpoint) distinguishes "this file is damaged"
+// (keep it for forensics, restart from scratch or an older snapshot) from
+// I/O or schema-version errors. The concrete error is a *CorruptError with
+// the byte offset.
+var ErrCorruptCheckpoint = errors.New("sim: corrupt checkpoint")
+
+// CorruptError reports a damaged checkpoint frame: truncated, checksum
+// mismatch, bad magic, or a gob stream the checksum somehow failed to
+// protect. It matches ErrCorruptCheckpoint under errors.Is.
+type CorruptError struct {
+	// Offset is the byte offset into the checkpoint stream at which the
+	// corruption was detected: where a truncated read stopped, or the
+	// start of the region (magic, length field, payload) that failed
+	// validation.
+	Offset int64
+	// Err describes the specific failure.
+	Err error
 }
 
-// ReadCheckpoint deserialises a checkpoint written by Encode and verifies
-// its schema tag.
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("sim: corrupt checkpoint at byte %d: %v", e.Offset, e.Err)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// Is makes errors.Is(err, ErrCorruptCheckpoint) hold for every CorruptError.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorruptCheckpoint }
+
+// Encode serialises the checkpoint as one framed record: header (magic,
+// payload length, CRC-32) followed by the gob payload.
+func (c *Checkpoint) Encode(w io.Writer) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
+		return fmt.Errorf("sim: encoding checkpoint: %w", err)
+	}
+	payload := buf.Bytes()
+	var hdr [checkpointHeaderLen]byte
+	copy(hdr[:], checkpointMagic)
+	binary.LittleEndian.PutUint64(hdr[len(checkpointMagic):], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[len(checkpointMagic)+8:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadCheckpoint deserialises a checkpoint written by Encode, verifying the
+// frame (magic, length, checksum) before decoding and the schema tag after.
+// Damage of any kind returns a *CorruptError (match with
+// errors.Is(err, ErrCorruptCheckpoint)); a schema-version mismatch — a
+// well-formed frame from an incompatible build — is a plain error.
 func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
-	var c Checkpoint
-	if err := gob.NewDecoder(r).Decode(&c); err != nil {
-		return nil, fmt.Errorf("sim: decoding checkpoint: %w", err)
+	var hdr [checkpointHeaderLen]byte
+	n, err := io.ReadFull(r, hdr[:])
+	if err != nil {
+		return nil, &CorruptError{Offset: int64(n), Err: fmt.Errorf("frame header truncated after %d of %d bytes: %w", n, checkpointHeaderLen, err)}
+	}
+	if string(hdr[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, &CorruptError{Offset: 0, Err: fmt.Errorf("bad magic %q (not a framed checkpoint)", hdr[:len(checkpointMagic)])}
+	}
+	length := binary.LittleEndian.Uint64(hdr[len(checkpointMagic) : len(checkpointMagic)+8])
+	if length > maxCheckpointPayload {
+		return nil, &CorruptError{Offset: int64(len(checkpointMagic)), Err: fmt.Errorf("implausible payload length %d", length)}
+	}
+	wantCRC := binary.LittleEndian.Uint32(hdr[len(checkpointMagic)+8:])
+	payload := make([]byte, length)
+	n, err = io.ReadFull(r, payload)
+	if err != nil {
+		return nil, &CorruptError{Offset: int64(checkpointHeaderLen + n), Err: fmt.Errorf("payload truncated after %d of %d bytes: %w", n, length, err)}
+	}
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return nil, &CorruptError{Offset: int64(checkpointHeaderLen), Err: fmt.Errorf("payload checksum %08x, header says %08x", got, wantCRC)}
+	}
+	c, err := decodeCheckpoint(payload)
+	if err != nil {
+		return nil, &CorruptError{Offset: int64(checkpointHeaderLen), Err: err}
 	}
 	if c.Schema != CheckpointSchema {
 		return nil, fmt.Errorf("sim: checkpoint schema %q, want %q", c.Schema, CheckpointSchema)
 	}
-	return &c, nil
+	return c, nil
+}
+
+// decodeCheckpoint gob-decodes a checksum-verified payload. The recover
+// guard exists because encoding/gob has historically panicked on
+// pathological inputs; with the CRC in front this should be unreachable,
+// but a panic here must never take down a serve worker.
+func decodeCheckpoint(payload []byte) (c *Checkpoint, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			c, err = nil, fmt.Errorf("gob decode panicked: %v", p)
+		}
+	}()
+	c = new(Checkpoint)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(c); err != nil {
+		return nil, fmt.Errorf("gob: %w", err)
+	}
+	return c, nil
 }
 
 // clone deep-copies the measure state so neither a checkpoint nor a run

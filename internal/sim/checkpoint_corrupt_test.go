@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// corruptFixture returns the framed bytes of a small but structurally
+// complete checkpoint. ReadCheckpoint only validates the frame and schema
+// tag, so the embedded states can stay minimal.
+func corruptFixture(t *testing.T) []byte {
+	t.Helper()
+	cp := &Checkpoint{
+		Schema:        CheckpointSchema,
+		Policy:        "pracVT",
+		Benchmark:     "synthetic",
+		Seed:          42,
+		Epoch:         7,
+		RNG:           0xdeadbeef,
+		SensorVRTemps: []float64{61.5, 62.25},
+		PrevDomainCur: []float64{10.0},
+		PerVRLoss:     []float64{0.5, 0.75},
+	}
+	var buf bytes.Buffer
+	if err := cp.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReadCheckpointRejectsTruncation feeds ReadCheckpoint every
+// interesting prefix of a valid frame and demands a CorruptError whose
+// offset points at the byte where the stream ran dry.
+func TestReadCheckpointRejectsTruncation(t *testing.T) {
+	frame := corruptFixture(t)
+	if len(frame) <= checkpointHeaderLen {
+		t.Fatalf("fixture frame is only %d bytes", len(frame))
+	}
+
+	cuts := []int{0, 1, len(checkpointMagic) - 1, len(checkpointMagic), checkpointHeaderLen - 1,
+		checkpointHeaderLen, checkpointHeaderLen + 1, (checkpointHeaderLen + len(frame)) / 2, len(frame) - 1}
+	for _, cut := range cuts {
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			_, err := ReadCheckpoint(bytes.NewReader(frame[:cut]))
+			if err == nil {
+				t.Fatal("ReadCheckpoint accepted a truncated frame")
+			}
+			if !errors.Is(err, ErrCorruptCheckpoint) {
+				t.Fatalf("truncation at %d returned %v, want ErrCorruptCheckpoint", cut, err)
+			}
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("error is not a *CorruptError: %v", err)
+			}
+			if ce.Offset != int64(cut) {
+				t.Errorf("truncation at byte %d reported offset %d", cut, ce.Offset)
+			}
+		})
+	}
+
+	// The untruncated frame still round-trips.
+	cp, err := ReadCheckpoint(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatalf("full frame failed to decode: %v", err)
+	}
+	if cp.Epoch != 7 || cp.Seed != 42 {
+		t.Errorf("round-trip lost fields: epoch=%d seed=%d", cp.Epoch, cp.Seed)
+	}
+}
+
+// TestReadCheckpointRejectsBitFlips flips a single bit at every byte
+// position in the frame (header and payload) and demands each flip is
+// caught as ErrCorruptCheckpoint — never a silent success, never a panic.
+func TestReadCheckpointRejectsBitFlips(t *testing.T) {
+	frame := corruptFixture(t)
+	for pos := 0; pos < len(frame); pos++ {
+		for _, bit := range []byte{0x01, 0x80} {
+			mut := append([]byte(nil), frame...)
+			mut[pos] ^= bit
+			_, err := ReadCheckpoint(bytes.NewReader(mut))
+			if err == nil {
+				t.Fatalf("bit flip at byte %d (mask %#x) decoded successfully", pos, bit)
+			}
+			if !errors.Is(err, ErrCorruptCheckpoint) {
+				t.Fatalf("bit flip at byte %d (mask %#x) returned %v, want ErrCorruptCheckpoint", pos, bit, err)
+			}
+		}
+	}
+}
+
+// TestReadCheckpointCorruptionModes pins the offset semantics per
+// corruption mode: bad magic points at 0, an oversized length field at the
+// length field, a checksum mismatch at the payload start.
+func TestReadCheckpointCorruptionModes(t *testing.T) {
+	frame := corruptFixture(t)
+	offsetOf := func(mutate func([]byte)) int64 {
+		t.Helper()
+		mut := append([]byte(nil), frame...)
+		mutate(mut)
+		_, err := ReadCheckpoint(bytes.NewReader(mut))
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("mutation returned %v, want *CorruptError", err)
+		}
+		return ce.Offset
+	}
+
+	if off := offsetOf(func(b []byte) { b[0] = 'X' }); off != 0 {
+		t.Errorf("bad magic reported offset %d, want 0", off)
+	}
+	if off := offsetOf(func(b []byte) {
+		binary.LittleEndian.PutUint64(b[len(checkpointMagic):], maxCheckpointPayload+1)
+	}); off != int64(len(checkpointMagic)) {
+		t.Errorf("oversized length reported offset %d, want %d", off, len(checkpointMagic))
+	}
+	if off := offsetOf(func(b []byte) { b[len(b)-1] ^= 0xff }); off != int64(checkpointHeaderLen) {
+		t.Errorf("payload corruption reported offset %d, want %d", off, checkpointHeaderLen)
+	}
+
+	// A legacy bare-gob stream (no frame) is corruption, not a crash.
+	var legacy bytes.Buffer
+	legacy.WriteString("\x1f\xff\x81\x03\x01\x01\nCheckpoint")
+	if _, err := ReadCheckpoint(&legacy); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Errorf("bare gob stream returned %v, want ErrCorruptCheckpoint", err)
+	}
+
+	// An empty stream reports offset 0.
+	_, err := ReadCheckpoint(bytes.NewReader(nil))
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Offset != 0 {
+		t.Errorf("empty stream returned %v, want *CorruptError at offset 0", err)
+	}
+
+	// A well-formed frame with a wrong schema tag is a version error, NOT
+	// corruption — callers must not quarantine it as damaged.
+	bad := &Checkpoint{Schema: "thermogater/checkpoint/v0", Epoch: 1}
+	var bbuf bytes.Buffer
+	if err := bad.Encode(&bbuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCheckpoint(&bbuf); err == nil {
+		t.Error("wrong schema tag accepted")
+	} else if errors.Is(err, ErrCorruptCheckpoint) {
+		t.Errorf("schema mismatch misclassified as corruption: %v", err)
+	}
+}

@@ -46,6 +46,11 @@ func (r *Runner) profileTheta() (core.ThetaModel, error) {
 	}
 
 	for e := 0; e < r.cfg.ProfilingEpochs; e++ {
+		// The profiling pass is cancellable but not checkpointable: it is
+		// cheap to redo, so a canceled pass reports no resumable state.
+		if r.ctxErr() != nil {
+			return core.ThetaModel{}, &CancelError{Epoch: -1, Cause: cancelCause(r.runCtx)}
+		}
 		frames, err := r.epochFrames(usim)
 		if err != nil {
 			return core.ThetaModel{}, err

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -119,6 +120,14 @@ type Runner struct {
 	runNEpochs     int
 	runSampleEvery int
 	runNextFrames  func(e int) frameBatch
+
+	// runCtx is the cancellation context of the current run (nil when the
+	// run was started without one — see ctxErr). It is set before the
+	// producer goroutine spawns and only read afterwards, by both the
+	// producer (to capture a resumable uarch snapshot once cancellation is
+	// requested) and the epoch loop (to stop at the next boundary that has
+	// one).
+	runCtx context.Context
 }
 
 // pdnCell is one (substep, domain) result of the deferred PDN phase: the
@@ -431,8 +440,11 @@ func (r *Runner) produceEpoch(usim *uarch.Simulator) ([]uarch.Frame, error) {
 func (r *Runner) produceBatch(usim *uarch.Simulator, e int) frameBatch {
 	frames, ferr := r.produceEpoch(usim)
 	b := frameBatch{frames: frames, err: ferr}
-	if ferr == nil && r.wantCheckpoint(e) {
-		//perf:alloc uarch snapshot on checkpoint epochs only
+	if ferr == nil && (r.wantCheckpoint(e) || r.ctxErr() != nil) {
+		// Once cancellation is requested, every produced epoch carries a
+		// snapshot so the consumer can stop at its next boundary with a
+		// complete resumable state (checkpoint-on-cancel).
+		//perf:alloc uarch snapshot on checkpoint epochs and after cancellation only
 		b.state = usim.State()
 	}
 	return b
@@ -719,8 +731,28 @@ func (r *Runner) legalCount(d int, demandA float64) (int, bool) {
 
 // Run executes the configured simulation and aggregates the results. For
 // the practical policies it first runs the θ-extraction profiling pass,
-// unless a theta model was installed already.
+// unless a theta model was installed already. It is equivalent to
+// RunContext with a background (never-canceled) context, which keeps every
+// pre-existing caller compiling and behaving unchanged.
 func (r *Runner) Run() (*Result, error) {
+	return r.RunContext(context.Background())
+}
+
+// RunContext executes the configured simulation under ctx. Cancellation
+// is epoch-granular: the loop polls the context once per epoch and stops
+// at the next epoch boundary where the activity producer has captured a
+// uarch snapshot, returning a *CancelError whose Checkpoint resumes the
+// run byte-identically (see cancel.go). The poll is a single interface
+// call, so the steady-state epoch loop stays allocation-free.
+func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r.runCtx = ctx
+	if ctx.Err() != nil {
+		// Already canceled: nothing ran, nothing to resume.
+		return nil, &CancelError{Epoch: -1, Cause: cancelCause(ctx)}
+	}
 	if (r.cfg.Policy == core.PracT || r.cfg.Policy == core.PracVT) && len(r.gov.Theta().Theta) == 0 {
 		theta, err := r.profileTheta()
 		if err != nil {
@@ -1304,6 +1336,20 @@ func (r *Runner) stepEpoch(e int) error {
 		}
 		if err := r.cfg.Checkpoint.Sink(r.snapshot(e, batch.state, ms)); err != nil {
 			return fmt.Errorf("sim: checkpoint sink: %w", err)
+		}
+	}
+
+	// Cancellation stop: once the context is done, the first epoch whose
+	// batch carries a producer-captured uarch snapshot is the boundary the
+	// run halts at, with a complete resumable checkpoint in the error. An
+	// epoch consumed after cancellation but produced before it (the
+	// parallel producer runs one epoch ahead) has no snapshot and simply
+	// completes; the next one stops.
+	if r.ctxErr() != nil && batch.state != nil {
+		return &CancelError{
+			Epoch:      e,
+			Checkpoint: r.snapshot(e, batch.state, ms),
+			Cause:      cancelCause(r.runCtx),
 		}
 	}
 	return nil
