@@ -43,6 +43,7 @@ func main() {
 		preemptAfter = flag.Duration("preempt-after", 0, "park running jobs after this long when work is queued (0 = off)")
 		ckptEvery    = flag.Int("checkpoint-every", 200, "crash-snapshot period in epochs")
 		spool        = flag.String("spool", "", "directory for drain/restart job spooling (empty = off)")
+		resultTTL    = flag.Duration("result-ttl", 15*time.Minute, "evict finished jobs (results + streams) this long after they settle (negative = keep forever)")
 		frozenClock  = flag.Bool("frozen-clock", false, "pin telemetry clocks to the Unix epoch (byte-deterministic streams; chaos-suite mode)")
 		bench        = flag.Bool("bench", false, "run the service benchmark instead of serving")
 		benchJobs    = flag.Int("bench-jobs", 1000, "small-job burst size for -bench")
@@ -74,6 +75,7 @@ func main() {
 				PreemptAfter:    *preemptAfter,
 				CheckpointEvery: *ckptEvery,
 				SpoolDir:        *spool,
+				ResultTTL:       *resultTTL,
 				FrozenClock:     *frozenClock,
 			},
 		}); err != nil {

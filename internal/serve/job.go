@@ -67,16 +67,17 @@ type Job struct {
 	Spec JobSpec
 	seq  uint64 // FIFO tie-break within a priority band
 
-	mu       sync.Mutex
-	state    JobState
-	attempts int
-	failure  *Failure
-	result   *sim.Result
-	sweep    *SweepResult
-	epoch    int // last checkpointed epoch, -1 before the first
-	worker   int // worker running (or last to run) the job
-	backoff  time.Duration
-	stream   *StreamBuf
+	mu        sync.Mutex
+	state     JobState
+	settledAt time.Time // when the job reached its terminal state (result-TTL eviction)
+	attempts  int
+	failure   *Failure
+	result    *sim.Result
+	sweep     *SweepResult
+	epoch     int // last checkpointed epoch, -1 before the first
+	worker    int // worker running (or last to run) the job
+	backoff   time.Duration
+	stream    *StreamBuf
 
 	// ckpt holds the latest framed checkpoint (periodic crash snapshot,
 	// or the one captured by checkpoint-on-cancel at park time) and the
@@ -150,6 +151,7 @@ func (j *Job) finish(s JobState) bool {
 		return false
 	}
 	j.state = s
+	j.settledAt = time.Now()
 	j.stream.Close()
 	close(j.done)
 	return true

@@ -136,8 +136,7 @@ func (s *Supervisor) admitSpooled(e spoolEntry) error {
 		s.mu.Unlock()
 		return nil
 	}
-	s.seq++
-	j := newJob(e.Spec, s.seq)
+	j := newJob(e.Spec, s.seq.Add(1))
 	j.attempts = e.Attempts
 	j.epoch = e.Epoch
 	if len(e.Ckpt) > 0 {

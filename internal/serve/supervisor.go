@@ -80,6 +80,12 @@ type Config struct {
 	// SpoolDir persists parked/queued jobs across restarts; "" disables
 	// spooling (drain then abandons unfinished jobs).
 	SpoolDir string
+	// ResultTTL evicts terminal jobs — results, failure records and
+	// telemetry streams — from the job table this long after they settle,
+	// bounding memory over the process lifetime. An identical spec
+	// resubmitted after eviction runs fresh (default 15m; negative
+	// disables eviction).
+	ResultTTL time.Duration
 	// FrozenClock pins every job's telemetry clock to the Unix epoch so
 	// streams are byte-deterministic — the mode the chaos suite and the
 	// preemption byte-identity oracle run the service in.
@@ -108,6 +114,9 @@ func (c Config) withDefaults() Config {
 	if c.CheckpointEvery < 1 {
 		c.CheckpointEvery = 200
 	}
+	if c.ResultTTL == 0 {
+		c.ResultTTL = 15 * time.Minute
+	}
 	return c
 }
 
@@ -124,6 +133,7 @@ type Stats struct {
 	Preempted int64 `json:"preempted"`
 	Crashes   int64 `json:"crashes"`
 	Retries   int64 `json:"retries"`
+	Evicted   int64 `json:"evicted"`
 	Draining  bool  `json:"draining"`
 }
 
@@ -136,15 +146,20 @@ type Supervisor struct {
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
-	seq    uint64
 	timers map[*time.Timer]struct{}
+
+	// seq allocates the queue's FIFO tie-break numbers. Atomic rather
+	// than s.mu-guarded: requeue bumps it while holding j.mu, and the
+	// lock order everywhere else is s.mu → j.mu (Stats, preemptMonitor,
+	// Drain, Submit), so taking s.mu there would be an ABBA deadlock.
+	seq atomic.Uint64
 
 	stop     chan struct{}
 	wg       sync.WaitGroup
 	draining atomic.Bool
 
 	submitted, deduped, shed, completed atomic.Int64
-	failed, canceled                    atomic.Int64
+	failed, canceled, evicted           atomic.Int64
 	preempted, crashes, retries         atomic.Int64
 }
 
@@ -170,6 +185,10 @@ func NewSupervisor(cfg Config) (*Supervisor, error) {
 		s.wg.Add(1)
 		go s.preemptMonitor()
 	}
+	if cfg.ResultTTL > 0 {
+		s.wg.Add(1)
+		go s.janitor()
+	}
 	return s, nil
 }
 
@@ -188,13 +207,20 @@ func (s *Supervisor) Submit(spec JobSpec) (*Job, bool, error) {
 	id := spec.ID()
 
 	s.mu.Lock()
-	if j, ok := s.jobs[id]; ok {
-		s.mu.Unlock()
-		s.deduped.Add(1)
-		return j, false, nil
+	if old, ok := s.jobs[id]; ok {
+		old.mu.Lock()
+		st := old.state
+		old.mu.Unlock()
+		if st != StateFailed && st != StateCanceled {
+			s.mu.Unlock()
+			s.deduped.Add(1)
+			return old, false, nil
+		}
+		// Failed and canceled jobs are tombstones, not cached results:
+		// resubmitting the spec replaces them with a fresh run instead of
+		// returning the dead job forever.
 	}
-	s.seq++
-	j := newJob(spec, s.seq)
+	j := newJob(spec, s.seq.Add(1))
 	s.jobs[id] = j
 	s.mu.Unlock()
 
@@ -221,27 +247,49 @@ func (s *Supervisor) Submit(spec JobSpec) (*Job, bool, error) {
 // created that no one else references.
 func (s *Supervisor) submitSweep(parent *Job) (*Job, bool, error) {
 	specs := parent.Spec.children()
+	// The parent holds one pending slot for the duration of the fan-out
+	// so fast-settling children cannot drive pending to zero — and
+	// trigger aggregation over a partial grid — while siblings are still
+	// being admitted. The hold is released after the fan-out; exactly one
+	// decrement observes pending hit zero, so the final aggregation runs
+	// once, from either the release below or a later jobSettled.
+	parent.mu.Lock()
+	parent.pending = 1
+	parent.mu.Unlock()
 	var created []*Job
 	admit := func() error {
 		for _, cs := range specs {
 			id := cs.ID()
 			s.mu.Lock()
 			child, ok := s.jobs[id]
+			if ok {
+				child.mu.Lock()
+				// Failed/canceled children are tombstones: the new sweep
+				// runs the cell fresh instead of inheriting a dead job.
+				if child.state == StateFailed || child.state == StateCanceled {
+					ok = false
+				}
+				child.mu.Unlock()
+			}
 			if !ok {
-				s.seq++
-				child = newJob(cs, s.seq)
+				child = newJob(cs, s.seq.Add(1))
 				s.jobs[id] = child
 				created = append(created, child)
 			}
-			child.mu.Lock()
-			child.parents = append(child.parents, parent)
-			childTerminal := terminal(child.state)
-			child.mu.Unlock()
+			// Back-link and pending++ must be atomic under child.mu: if
+			// the child settles concurrently, jobSettled either sees the
+			// parent and finds the matching increment, or sees neither. A
+			// child that is already terminal is counted as settled by not
+			// incrementing — back-linking it would earn a decrement that
+			// was never paid for.
 			parent.mu.Lock()
-			parent.children = append(parent.children, child)
-			if !childTerminal {
+			child.mu.Lock()
+			if !terminal(child.state) {
+				child.parents = append(child.parents, parent)
 				parent.pending++
 			}
+			parent.children = append(parent.children, child)
+			child.mu.Unlock()
 			parent.mu.Unlock()
 			s.mu.Unlock()
 			if !ok {
@@ -253,6 +301,9 @@ func (s *Supervisor) submitSweep(parent *Job) (*Job, bool, error) {
 		return nil
 	}
 	if err := admit(); err != nil {
+		// The fan-out hold is deliberately never released on this path:
+		// pending stays >= 1, so settling children that still back-link
+		// the dead parent can never trigger its aggregation.
 		s.mu.Lock()
 		delete(s.jobs, parent.ID)
 		for _, c := range created {
@@ -271,10 +322,16 @@ func (s *Supervisor) submitSweep(parent *Job) (*Job, bool, error) {
 		return nil, false, err
 	}
 	parent.mu.Lock()
-	parent.state = StateRunning
-	allDone := parent.pending == 0
+	if !terminal(parent.state) {
+		// Guarded: a cancel that landed mid-fan-out must not be clobbered
+		// back to running (finish would then pass its terminal check and
+		// close done a second time).
+		parent.state = StateRunning
+	}
+	parent.pending-- // release the fan-out hold
+	ready := parent.pending == 0 && !terminal(parent.state)
 	parent.mu.Unlock()
-	if allDone {
+	if ready {
 		s.aggregateSweep(parent)
 	}
 	return parent, true, nil
@@ -312,6 +369,7 @@ func (s *Supervisor) Cancel(id string) error {
 func (s *Supervisor) cancelJob(j *Job, cause error) {
 	j.mu.Lock()
 	var kids []*Job
+	settled := false
 	switch j.state {
 	case StateRunning:
 		if j.cancel != nil {
@@ -321,11 +379,16 @@ func (s *Supervisor) cancelJob(j *Job, cause error) {
 			kids = append(kids, j.children...)
 		}
 	case StateQueued, StateParked:
-		if j.finish(StateCanceled) {
-			s.canceled.Add(1)
-		}
+		settled = j.finish(StateCanceled)
 	}
 	j.mu.Unlock()
+	if settled {
+		s.canceled.Add(1)
+		// A queued/parked job has no worker to run its settlement:
+		// notify sweep parents (the pending decrement) and drop the
+		// spool entry here, mirroring runJob's cancel path.
+		s.jobSettled(j)
+	}
 	for _, c := range kids {
 		c.mu.Lock()
 		sole := len(c.parents) == 1
@@ -391,8 +454,58 @@ func (s *Supervisor) Stats() Stats {
 		Preempted: s.preempted.Load(),
 		Crashes:   s.crashes.Load(),
 		Retries:   s.retries.Load(),
+		Evicted:   s.evicted.Load(),
 		Draining:  s.draining.Load(),
 	}
+}
+
+// janitor periodically evicts expired terminal jobs so the job table —
+// and with it every retained result and telemetry stream — stays bounded
+// no matter how long the process runs.
+func (s *Supervisor) janitor() {
+	defer s.wg.Done()
+	period := s.cfg.ResultTTL / 4
+	if period < time.Second {
+		period = time.Second
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			s.evictExpired(time.Now())
+		}
+	}
+}
+
+// evictExpired drops terminal jobs that settled more than ResultTTL
+// before now from the job table, returning the eviction count. Sweep
+// aggregation is unaffected: parents hold their children by pointer, not
+// through the table. An evicted ID reads as ErrUnknownJob and an
+// identical resubmission runs fresh.
+func (s *Supervisor) evictExpired(now time.Time) int {
+	if s.cfg.ResultTTL <= 0 {
+		return 0
+	}
+	n := 0
+	s.mu.Lock()
+	for id, j := range s.jobs {
+		j.mu.Lock()
+		dead := terminal(j.state) && !j.settledAt.IsZero() &&
+			now.Sub(j.settledAt) >= s.cfg.ResultTTL
+		j.mu.Unlock()
+		if dead {
+			delete(s.jobs, id)
+			n++
+		}
+	}
+	s.mu.Unlock()
+	if n > 0 {
+		s.evicted.Add(int64(n))
+	}
+	return n
 }
 
 // worker is one supervised execution loop. Panics inside a job are
@@ -514,13 +627,24 @@ func (s *Supervisor) classifyFailure(j *Job, err error) {
 	j.mu.Unlock()
 	s.retries.Add(1)
 
-	t := time.AfterFunc(d, func() { s.requeue(j) })
 	s.mu.Lock()
 	if s.draining.Load() {
-		t.Stop() // drain already swept the timer set; park for spooling
-	} else {
-		s.timers[t] = struct{}{}
+		// Drain already swept the timer set; stay parked for spooling.
+		s.mu.Unlock()
+		return
 	}
+	var t *time.Timer
+	t = time.AfterFunc(d, func() {
+		// The lock acquisition orders this callback after the
+		// registration below, so t is fully assigned here even when the
+		// timer fires immediately. Deleting the fired timer keeps the
+		// set from growing by one entry per retry forever.
+		s.mu.Lock()
+		delete(s.timers, t)
+		s.mu.Unlock()
+		s.requeue(j)
+	})
+	s.timers[t] = struct{}{}
 	s.mu.Unlock()
 }
 
@@ -534,17 +658,16 @@ func jitter(id string, attempt int, d time.Duration) time.Duration {
 	return time.Duration(float64(d) * (0.75 + frac/2))
 }
 
-// requeue re-admits a parked job (after preemption or backoff).
+// requeue re-admits a parked job (after preemption or backoff). It must
+// not touch s.mu while holding j.mu — every other path takes them in the
+// opposite order — which is why seq is an atomic counter.
 func (s *Supervisor) requeue(j *Job) {
 	j.mu.Lock()
 	if j.state != StateParked {
 		j.mu.Unlock()
 		return
 	}
-	s.mu.Lock()
-	s.seq++
-	j.seq = s.seq
-	s.mu.Unlock()
+	j.seq = s.seq.Add(1)
 	j.state = StateQueued
 	j.mu.Unlock()
 	if err := s.q.Push(j, true); err != nil {

@@ -1,0 +1,299 @@
+package serve
+
+// Regression tests for supervisor lifecycle edges: canceled queued work
+// settling its sweep parent, tombstone resubmission, result-cache
+// eviction, retry-timer cleanup, and the Stats/requeue lock ordering.
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// longSpec occupies a worker long enough for the test to act while it
+// runs.
+func longSpec(seed uint64) JobSpec {
+	return JobSpec{Policy: "all-on", Benchmark: "fft", Seed: seed, DurationMS: 5000, WarmupEpochs: 2}
+}
+
+// occupyWorker parks a long job on the supervisor's only worker and
+// returns a release func that cancels it and waits for it to settle.
+func occupyWorker(t *testing.T, sup *Supervisor, seed uint64) func() {
+	t.Helper()
+	long, _, err := sup.Submit(longSpec(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, long, StateRunning)
+	return func() {
+		if err := sup.Cancel(long.ID); err != nil {
+			t.Fatal(err)
+		}
+		<-long.Done()
+	}
+}
+
+func TestCancelQueuedSweepChildSettlesParent(t *testing.T) {
+	sup := newTestSupervisor(t, Config{Workers: 1})
+	release := occupyWorker(t, sup, 900)
+	defer release()
+
+	parent, created, err := sup.Submit(JobSpec{
+		Kind:         KindSweep,
+		Policies:     []string{"all-on"},
+		Benchmarks:   []string{"lu_ncb"},
+		Seed:         901,
+		DurationMS:   5,
+		WarmupEpochs: 2,
+	})
+	if err != nil || !created {
+		t.Fatalf("submit sweep: created=%v err=%v", created, err)
+	}
+	st := parent.Snapshot()
+	if len(st.Children) != 1 {
+		t.Fatalf("sweep has %d children, want 1", len(st.Children))
+	}
+	child, err := sup.Get(st.Children[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.State() != StateQueued {
+		t.Fatalf("child state %s, want queued behind the busy worker", child.State())
+	}
+
+	// Canceling the queued child must settle it AND propagate to the
+	// parent: pending drops to zero and the sweep aggregates instead of
+	// hanging in running forever.
+	if err := sup.Cancel(child.ID); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-parent.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("parent stuck in %s after its only child was canceled", parent.State())
+	}
+	sw, ok := parent.Sweep()
+	if !ok || len(sw.Cells) != 1 {
+		t.Fatalf("sweep aggregate missing: ok=%v sw=%+v", ok, sw)
+	}
+	if sw.Cells[0].State != string(StateCanceled) {
+		t.Errorf("cell state %q, want canceled", sw.Cells[0].State)
+	}
+	if got := sup.Stats().Canceled; got < 1 {
+		t.Errorf("canceled counter = %d, want >= 1", got)
+	}
+}
+
+func TestResubmitAfterTombstoneRunsFresh(t *testing.T) {
+	sup := newTestSupervisor(t, Config{Workers: 1, MaxAttempts: 1})
+	release := occupyWorker(t, sup, 910)
+
+	// Armed while queued: the only attempt panics, so the job fails.
+	doomed, created, err := sup.Submit(smallSpec(911))
+	if err != nil || !created {
+		t.Fatalf("submit: created=%v err=%v", created, err)
+	}
+	if err := sup.Kill(doomed.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Canceled while queued: the other tombstone flavor.
+	axed, _, err := sup.Submit(smallSpec(912))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Cancel(axed.ID); err != nil {
+		t.Fatal(err)
+	}
+	<-axed.Done()
+
+	release()
+	waitState(t, doomed, StateFailed)
+
+	// Resubmission must replace the tombstones with fresh runs, not
+	// return the dead jobs forever.
+	fresh, created, err := sup.Submit(smallSpec(911))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created || fresh == doomed {
+		t.Fatalf("failed job not re-admitted: created=%v same=%v", created, fresh == doomed)
+	}
+	waitState(t, fresh, StateDone)
+	fresh2, created2, err := sup.Submit(smallSpec(912))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created2 || fresh2 == axed {
+		t.Fatalf("canceled job not re-admitted: created=%v same=%v", created2, fresh2 == axed)
+	}
+	waitState(t, fresh2, StateDone)
+
+	// A successfully completed job still dedups.
+	again, created3, err := sup.Submit(smallSpec(911))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created3 || again != fresh {
+		t.Fatalf("done job no longer dedups: created=%v", created3)
+	}
+}
+
+func TestResultTTLEviction(t *testing.T) {
+	sup := newTestSupervisor(t, Config{Workers: 1})
+	j, _, err := sup.Submit(smallSpec(920))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateDone)
+
+	if n := sup.evictExpired(time.Now()); n != 0 {
+		t.Fatalf("evicted %d jobs before the TTL expired", n)
+	}
+	if n := sup.evictExpired(time.Now().Add(sup.cfg.ResultTTL + time.Minute)); n != 1 {
+		t.Fatalf("evicted %d expired jobs, want 1", n)
+	}
+	if _, err := sup.Get(j.ID); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("evicted job still resolvable: %v", err)
+	}
+	if got := sup.Stats().Evicted; got != 1 {
+		t.Errorf("evicted counter = %d, want 1", got)
+	}
+	// An identical spec resubmitted after eviction runs fresh.
+	j2, created, err := sup.Submit(smallSpec(920))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created || j2 == j {
+		t.Fatalf("post-eviction resubmit: created=%v same=%v", created, j2 == j)
+	}
+	waitState(t, j2, StateDone)
+}
+
+func TestRetryTimerRemovedAfterFiring(t *testing.T) {
+	sup := newTestSupervisor(t, Config{Workers: 1, MaxAttempts: 3, RetryBackoff: time.Millisecond})
+	release := occupyWorker(t, sup, 930)
+
+	// crashArmed is one-shot: the first attempt panics, the retry
+	// succeeds — exactly one timer is created and must also be removed.
+	j, _, err := sup.Submit(smallSpec(931))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Kill(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	release()
+	waitState(t, j, StateDone)
+	if got := sup.Stats().Retries; got != 1 {
+		t.Fatalf("retries = %d, want 1", got)
+	}
+	// The fired timer deletes itself before requeueing the job, so by
+	// the time the job is done the set must be empty again.
+	sup.mu.Lock()
+	n := len(sup.timers)
+	sup.mu.Unlock()
+	if n != 0 {
+		t.Errorf("%d retry timers leaked in the set after firing", n)
+	}
+}
+
+func TestSweepOverFinishedCellsAggregatesImmediately(t *testing.T) {
+	sup := newTestSupervisor(t, Config{Workers: 2})
+	cellA := JobSpec{Policy: "all-on", Benchmark: "fft", Seed: 940, DurationMS: 5, WarmupEpochs: 2}
+	cellB := JobSpec{Policy: "all-on", Benchmark: "lu_ncb", Seed: 940, DurationMS: 5, WarmupEpochs: 2}
+	for _, spec := range []JobSpec{cellA, cellB} {
+		j, _, err := sup.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, j, StateDone)
+	}
+
+	// Every cell dedups onto an already-terminal child: the fan-out must
+	// aggregate exactly once (via the fan-out hold release) without
+	// clobbering or double-finishing anything.
+	parent, created, err := sup.Submit(JobSpec{
+		Kind:         KindSweep,
+		Policies:     []string{"all-on"},
+		Benchmarks:   []string{"fft", "lu_ncb"},
+		Seed:         940,
+		DurationMS:   5,
+		WarmupEpochs: 2,
+	})
+	if err != nil || !created {
+		t.Fatalf("submit sweep: created=%v err=%v", created, err)
+	}
+	waitState(t, parent, StateDone)
+	sw, ok := parent.Sweep()
+	if !ok || len(sw.Cells) != 2 || sw.Done != 2 || sw.Failed != 0 {
+		t.Fatalf("sweep aggregate over cached cells: ok=%v %+v", ok, sw)
+	}
+	// Resubmitting the sweep dedups onto the done parent.
+	p2, created2, err := sup.Submit(JobSpec{
+		Kind:         KindSweep,
+		Policies:     []string{"all-on"},
+		Benchmarks:   []string{"fft", "lu_ncb"},
+		Seed:         940,
+		DurationMS:   5,
+		WarmupEpochs: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created2 || p2 != parent {
+		t.Fatalf("done sweep no longer dedups: created=%v", created2)
+	}
+}
+
+func TestStatsDuringRetriesAndPreemptionNoDeadlock(t *testing.T) {
+	// Regression for the requeue/Stats ABBA lock inversion: hammer
+	// Stats() (s.mu → j.mu) while backoff timers and the preempt monitor
+	// drive requeues concurrently. Before the fix this wedged the whole
+	// supervisor; now it must settle within the deadline.
+	sup := newTestSupervisor(t, Config{
+		Workers:         2,
+		FrozenClock:     true,
+		CheckpointEvery: 10,
+		MaxAttempts:     10,
+		RetryBackoff:    time.Millisecond,
+		PreemptAfter:    10 * time.Millisecond,
+	})
+	j, _, err := sup.Submit(chaosSpec(950))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				sup.Stats()
+			}
+		}
+	}()
+	for round := 0; round < 5; round++ {
+		if j.State() == StateRunning {
+			//nolint:errcheck — the job may settle concurrently
+			sup.Kill(j.ID)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(60 * time.Second):
+		close(stop)
+		wg.Wait()
+		t.Fatalf("supervisor wedged: job stuck in %s while Stats was polled", j.State())
+	}
+	close(stop)
+	wg.Wait()
+	if st := j.State(); st != StateDone && st != StateFailed {
+		t.Fatalf("job ended %s", st)
+	}
+}
