@@ -24,8 +24,10 @@ vet:
 # interprocedural tgflow passes (cross-call unit propagation, NaN-taint
 # tracking, checkpoint field coverage), the four tgpar
 # concurrency/cache-contract passes (parwrite, redorder, cacheflush,
-# workerpure), and the three tgperf hot-path passes (allocfree,
-# boxcheck, capgrow) — see docs/STATIC_ANALYSIS.md.
+# workerpure), the three tgperf hot-path passes (allocfree, boxcheck,
+# capgrow), and the four tgsync synchronization-lifecycle passes
+# (lockorder, unlockpath, blockheld, golife) — see
+# docs/STATIC_ANALYSIS.md.
 lint:
 	$(GO) run ./cmd/tglint ./...
 

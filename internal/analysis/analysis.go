@@ -1,6 +1,6 @@
 // Package analysis is tglint's pass framework: a small, stdlib-only
 // counterpart of golang.org/x/tools/go/analysis tailored to this
-// repository's domain invariants. Fourteen passes ride on it:
+// repository's domain invariants. Twenty-one passes ride on it:
 //
 //   - unitcheck:      unit-suffix consistency (tempC vs tempK, W vs mW, ...)
 //   - detcheck:       nondeterminism sources in simulation packages
@@ -33,6 +33,19 @@
 //     on the StackLocal/ReusedScratch/Escapes lattice
 //   - boxcheck:  interface dispatch and reflection sorts in the hot set
 //   - capgrow:   loop appends without established capacity
+//
+// plus the tgsync family policing synchronization lifecycles in the
+// supervision layer (syncutil.go):
+//
+//   - lockorder:  whole-repo lock-acquisition ordering via held-set
+//     abstract interpretation and per-function lock summaries; cycle
+//     reports name both chains
+//   - unlockpath: every Lock/RLock post-dominated by its matching
+//     release (or defer) on all paths to return
+//   - blockheld:  no channel waits, defaultless selects, sleeps, or
+//     (interprocedurally) I/O while a lock is held
+//   - golife:     every spawned goroutine, timer, and terminal job
+//     transition has a reachable teardown / settle path
 //
 // Packages are loaded with go/parser and type-checked with go/types
 // against the build cache's export data (see load.go), so the framework
@@ -147,14 +160,16 @@ func (p *Pass) ObjectOf(fun ast.Expr) types.Object {
 
 // All returns the domain analyzers in their canonical order: the seven
 // syntactic passes, the three interprocedural (tgflow) passes, the four
-// tgpar concurrency/cache-contract passes, then the three tgperf
-// hot-path performance passes.
+// tgpar concurrency/cache-contract passes, the three tgperf hot-path
+// performance passes, then the four tgsync synchronization-lifecycle
+// passes.
 func All() []*Analyzer {
 	return []*Analyzer{
 		Unitcheck, Detcheck, Floatcheck, Errsink, Aliascheck, Goroutinecheck, Invcheck,
 		Unitflow, Nanflow, Statecover,
 		Parwrite, Redorder, Cacheflush, Workerpure,
 		Allocfree, Boxcheck, Capgrow,
+		Lockorder, Unlockpath, Blockheld, Golife,
 	}
 }
 

@@ -67,6 +67,12 @@ type Program struct {
 	unitSums  map[string]*unitSummary
 	taintOnce sync.Once
 	taintSums map[string]*taintSummary
+	lockOnce  sync.Once
+	lockSums  map[string]lockSummary
+	blockOnce sync.Once
+	blockSums map[string]*blockFact
+	tearOnce  sync.Once
+	tearSums  map[string]bool
 }
 
 // FuncKey canonically names a function object across packages:

@@ -145,6 +145,36 @@ type Config struct {
 		// consumer taking a named struct S anchors the coverage check.
 		Consumers []string `json:"consumers"`
 	} `json:"statecover"`
+
+	Tgsync struct {
+		// Packages lists the concurrency-infrastructure packages (base
+		// names or full import paths) blockheld and the golife settle
+		// rules police. lockorder/unlockpath and the goroutine/timer
+		// checks run everywhere outside Allow.
+		Packages []string `json:"packages"`
+		// Blocking lists import-path prefixes whose calls count as
+		// blocking I/O while a lock is held.
+		Blocking []string `json:"blocking"`
+		// StopNames are lower-case name fragments that mark a channel as
+		// a stop/teardown signal for golife's forever-loop check.
+		StopNames []string `json:"stopNames"`
+		// Settle declares golife's trigger→notify obligations: a call to
+		// a Trigger outside the settle machinery must have a Notify call
+		// reachable in its CFG.
+		Settle []SettleRule `json:"settle"`
+		// Allow exempts packages (import-path prefixes) from the whole
+		// tgsync family.
+		Allow []string `json:"allow"`
+	} `json:"tgsync"`
+}
+
+// SettleRule is one golife settle obligation: Triggers are the
+// terminal-transition functions, Notify the parent-notification calls
+// that must stay reachable from every trigger call site. Functions
+// named in either list are themselves exempt (they ARE the machinery).
+type SettleRule struct {
+	Triggers []string `json:"triggers"`
+	Notify   []string `json:"notify"`
 }
 
 // CacheflushRule declares one mutation-implies-flush invariant for the
@@ -223,6 +253,14 @@ func DefaultConfig() *Config {
 	}
 	c.Tgperf.CapgrowPackages = []string{
 		"uarch", "workload", "power", "thermal", "pdn", "vr", "sim", "dvfs", "aging", "core",
+	}
+	c.Tgsync.Packages = []string{"serve", "sim", "par", "experiments"}
+	c.Tgsync.Blocking = []string{"os", "net", "io", "bufio"}
+	c.Tgsync.StopNames = []string{
+		"stop", "quit", "done", "cancel", "exit", "kill", "term", "shutdown", "abort",
+	}
+	c.Tgsync.Settle = []SettleRule{
+		{Triggers: []string{"finish", "finishLocked"}, Notify: []string{"jobSettled", "aggregateSweep"}},
 	}
 	c.Workerpure.GoPackages = []string{"sim"}
 	c.Workerpure.Forbidden = []string{

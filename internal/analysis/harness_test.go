@@ -96,3 +96,30 @@ func checkFixture(t *testing.T, a *Analyzer, rel string) {
 		}
 	}
 }
+
+// checkMalformedDirectives runs one annotation-bearing analyzer over a
+// baddir fixture that seeds exactly two broken directives — an unknown
+// kind and a reason-less one. The want harness cannot annotate
+// comment-only lines, so the two diagnostics get asserted directly:
+// unknownMsg for the bad kind, the shared mandatory-reason message for
+// the other, and nothing else.
+func checkMalformedDirectives(t *testing.T, a *Analyzer, rel, unknownMsg string) {
+	t.Helper()
+	pkg := loadFixture(t, rel)
+	diags := Run([]*Package{pkg}, []*Analyzer{a}, DefaultConfig())
+	var unknown, noReason bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, unknownMsg) {
+			unknown = true
+		}
+		if strings.Contains(d.Message, "a reason is mandatory") {
+			noReason = true
+		}
+	}
+	if !unknown || !noReason {
+		t.Fatalf("malformed directives not reported (unknown=%v noReason=%v): %v", unknown, noReason, diags)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("want exactly 2 directive diagnostics, got %d: %v", len(diags), diags)
+	}
+}

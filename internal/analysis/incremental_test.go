@@ -121,4 +121,19 @@ func TestIncrementalGolden(t *testing.T) {
 	if st2.Hits != 0 || st2.Misses != 2 {
 		t.Fatalf("after config change: %+v (want full re-analysis)", st2)
 	}
+
+	// The tgsync section is part of the engine fingerprint too: warm the
+	// cache back up, then mutate only tgsync config and expect another
+	// wholesale drop.
+	if _, _, err := RunIncremental(dir, []string{"./..."}, analyzers, cfg, cacheDir); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Tgsync.StopNames = append(cfg.Tgsync.StopNames, "halt")
+	_, st3, err := RunIncremental(dir, []string{"./..."}, analyzers, cfg, cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.Hits != 0 || st3.Misses != 2 {
+		t.Fatalf("after tgsync config change: %+v (want full re-analysis)", st3)
+	}
 }

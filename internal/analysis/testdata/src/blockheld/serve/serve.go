@@ -1,0 +1,102 @@
+// Package serve (the directory name puts it in tgsync's checked set)
+// seeds blocking-while-locked violations: channel ops, defaultless
+// selects, time.Sleep, an interprocedural blocking callee, and
+// sync.Cond.Wait with a second lock held — next to the clean twins.
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+type svc struct {
+	mu   sync.Mutex
+	wake sync.Mutex
+	cond *sync.Cond
+	ch   chan int
+	n    int
+}
+
+func newSvc() *svc {
+	s := &svc{ch: make(chan int, 1)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// sendHeld sends with mu held.
+func (s *svc) sendHeld() {
+	s.mu.Lock()
+	s.ch <- 1 // want "while holding"
+	s.mu.Unlock()
+}
+
+// sendFree releases first: fine.
+func (s *svc) sendFree() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.ch <- 1
+}
+
+// nudge cannot block — the select has a default: fine.
+func (s *svc) nudge() {
+	s.mu.Lock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+// waitSelect parks on a defaultless select with mu held.
+func (s *svc) waitSelect() {
+	s.mu.Lock()
+	select { // want "while holding"
+	case v := <-s.ch:
+		s.n = v
+	}
+	s.mu.Unlock()
+}
+
+// slowPath sleeps under the lock.
+func (s *svc) slowPath() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "while holding"
+	s.mu.Unlock()
+}
+
+// drainOne blocks on a receive; calling it with mu held blocks too.
+func (s *svc) drainOne() int { return <-s.ch }
+
+func (s *svc) drainHeld() {
+	s.mu.Lock()
+	s.n = s.drainOne() // want "may block"
+	s.mu.Unlock()
+}
+
+// drainAnnotated is the documented exception.
+func (s *svc) drainAnnotated() {
+	s.mu.Lock()
+	//sync:nonblocking the channel is buffered and drained only by this goroutine
+	s.n = s.drainOne()
+	s.mu.Unlock()
+}
+
+// miswait calls Wait with wake held on top of the condition's own lock;
+// Wait releases only mu, so a waker needing wake can never run.
+func (s *svc) miswait() {
+	s.wake.Lock()
+	s.mu.Lock()
+	s.cond.Wait() // want "also held"
+	s.mu.Unlock()
+	s.wake.Unlock()
+}
+
+// goodwait holds only the condition's own lock: fine.
+func (s *svc) goodwait() {
+	s.mu.Lock()
+	for s.n == 0 {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}

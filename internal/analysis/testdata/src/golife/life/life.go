@@ -1,0 +1,153 @@
+// Package life seeds goroutine- and timer-lifecycle violations for
+// golife: a forever goroutine with no teardown, a ticker that is never
+// stopped, a dropped timer result, and a map-registered AfterFunc whose
+// callback forgets to delete its own entry — next to the clean twins
+// (stop-channel selects, channel ranges, interprocedural teardown,
+// defer Stop, escape by return).
+package life
+
+import (
+	"sync"
+	"time"
+)
+
+type mgr struct {
+	stop chan struct{}
+	out  chan int
+}
+
+// spinForever loops with no reachable teardown.
+func (m *mgr) spinForever() {
+	go func() { // want "no reachable teardown"
+		for {
+			m.out <- 1
+		}
+	}()
+}
+
+// spinStoppable selects on the stop channel: fine.
+func (m *mgr) spinStoppable() {
+	go func() {
+		for {
+			select {
+			case <-m.stop:
+				return
+			case m.out <- 1:
+			}
+		}
+	}()
+}
+
+// drain ranges over its input channel: fine.
+func (m *mgr) drain(in chan int) {
+	go func() {
+		for v := range in {
+			m.out <- v
+		}
+	}()
+}
+
+// step observes the stop channel; pump's loop tears down through it
+// interprocedurally: fine.
+func (m *mgr) step() bool {
+	select {
+	case <-m.stop:
+		return false
+	default:
+		return true
+	}
+}
+
+func (m *mgr) pump() {
+	go func() {
+		for {
+			if !m.step() {
+				return
+			}
+		}
+	}()
+}
+
+// spinOwned is exempted by annotation.
+func (m *mgr) spinOwned() {
+	//sync:owned the process exits with this goroutine; there is nothing to tear down
+	go func() {
+		for {
+			m.out <- 1
+		}
+	}()
+}
+
+// tickLeak never stops the ticker.
+func (m *mgr) tickLeak(n int) {
+	t := time.NewTicker(time.Second) // want "never stopped"
+	for i := 0; i < n; i++ {
+		<-t.C
+		m.out <- i
+	}
+}
+
+// tickClean stops by defer: fine.
+func (m *mgr) tickClean(n int) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for i := 0; i < n; i++ {
+		<-t.C
+	}
+}
+
+// fireAndForget drops the *Timer on the floor.
+func (m *mgr) fireAndForget() {
+	time.NewTimer(time.Second) // want "dropped"
+}
+
+// timedWait stops the timer on both select arms: fine.
+func (m *mgr) timedWait(d time.Duration) bool {
+	t := time.NewTimer(d)
+	select {
+	case <-t.C:
+		t.Stop()
+		return false
+	case <-m.stop:
+		t.Stop()
+		return true
+	}
+}
+
+// escaped hands ownership to the caller: fine.
+func (m *mgr) escaped(d time.Duration) *time.Timer {
+	t := time.NewTimer(d)
+	return t
+}
+
+type retrier struct {
+	mu     sync.Mutex
+	timers map[*time.Timer]struct{}
+}
+
+// arm registers the AfterFunc in a set but the callback never deletes
+// its own entry, so the set grows by one per fired retry forever — the
+// shape the supervisor's retry path must keep.
+func (r *retrier) arm(d time.Duration, f func()) {
+	r.mu.Lock()
+	var t *time.Timer
+	t = time.AfterFunc(d, func() { // want "never removed"
+		f()
+	})
+	r.timers[t] = struct{}{}
+	r.mu.Unlock()
+}
+
+// armClean deletes the fired entry inside the callback: fine.
+func (r *retrier) armClean(d time.Duration, f func()) {
+	r.mu.Lock()
+	var t *time.Timer
+	t = time.AfterFunc(d, func() {
+		r.mu.Lock()
+		delete(r.timers, t)
+		r.mu.Unlock()
+		f()
+	})
+	r.timers[t] = struct{}{}
+	r.mu.Unlock()
+}

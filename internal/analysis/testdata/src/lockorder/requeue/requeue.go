@@ -1,0 +1,69 @@
+// Package requeue distills the supervisor/job ABBA inversion the retry
+// path used to have: submit admits under s.mu then j.mu, while requeue
+// re-admits under j.mu and calls back into a Supervisor method that
+// takes s.mu. lockorder must report the cycle with BOTH chains — the
+// direct nesting and the one routed through nextSeq — and must NOT drag
+// the classify handoff into it (classify releases j.mu before taking
+// s.mu, so must-release tracking erases that edge).
+package requeue
+
+import "sync"
+
+type Supervisor struct {
+	mu   sync.Mutex
+	seq  int
+	jobs map[int]*Job
+}
+
+type Job struct {
+	mu sync.Mutex
+	id int
+	st string
+}
+
+// submit admits a job: s.mu guards the table, j.mu guards the state
+// transition, giving the s.mu -> j.mu edge.
+func (s *Supervisor) submit(j *Job) {
+	s.mu.Lock()
+	j.mu.Lock() // want "lock-order cycle"
+	j.st = "queued"
+	s.jobs[j.id] = j
+	j.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// nextSeq allocates an ID under s.mu.
+func (s *Supervisor) nextSeq() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	return s.seq
+}
+
+// requeue re-admits a failed job while still holding j.mu; the call
+// into nextSeq closes the cycle with a j.mu -> s.mu edge.
+func (s *Supervisor) requeue(j *Job) {
+	j.mu.Lock()
+	j.st = "queued"
+	j.id = s.nextSeq()
+	j.mu.Unlock()
+}
+
+// classify receives j.mu from run and releases it before touching s.mu:
+// with must-release tracking this contributes NO j.mu -> s.mu edge.
+func (s *Supervisor) classify(j *Job) {
+	j.st = "failed"
+	//sync:balanced run hands j.mu off; released here by contract
+	j.mu.Unlock()
+	s.mu.Lock()
+	delete(s.jobs, j.id)
+	s.mu.Unlock()
+}
+
+// run acquires j.mu and hands it to classify for release.
+func (s *Supervisor) run(j *Job) {
+	//sync:balanced classify releases j.mu on every path
+	j.mu.Lock()
+	j.st = "running"
+	s.classify(j)
+}

@@ -1,0 +1,88 @@
+// Package paths seeds release-path violations for unlockpath: an early
+// return that leaks a lock, a double unlock (defer + explicit), an
+// RLock paired with Unlock, and an orphan release without a
+// //sync:balanced handoff — next to the clean twins of each shape.
+package paths
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// good releases by defer: fine.
+func (b *box) good() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}
+
+// branches releases on every path: fine.
+func (b *box) branches(c bool) {
+	b.mu.Lock()
+	if c {
+		b.n++
+		b.mu.Unlock()
+		return
+	}
+	b.n--
+	b.mu.Unlock()
+}
+
+// leak returns early with the lock still held.
+func (b *box) leak(c bool) int {
+	b.mu.Lock() // want "not released"
+	if c {
+		return 0
+	}
+	b.mu.Unlock()
+	return b.n
+}
+
+// double releases a single acquisition both ways.
+func (b *box) double() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+	b.mu.Unlock() // want "both explicitly and by defer"
+}
+
+// mismatch read-locks but write-unlocks.
+func (b *box) mismatch() int {
+	b.rw.RLock() // want "not released"
+	n := b.n
+	b.rw.Unlock() // want "lock-mode mismatch"
+	return n
+}
+
+// reader pairs RLock with RUnlock: fine.
+func (b *box) reader() int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return b.n
+}
+
+// orphan releases a lock this function never acquires, without the
+// handoff annotation.
+func (b *box) orphan() {
+	b.mu.Unlock() // want "never acquires"
+}
+
+// handoff is the annotated twin: ownership arrives from the caller.
+func (b *box) handoff() {
+	//sync:balanced callers hand b.mu off; released here by contract
+	b.mu.Unlock()
+}
+
+// deferredLit releases through a defer-wrapped literal, which counts as
+// the enclosing function's deferred release, not an orphan: fine.
+func (b *box) deferredLit() {
+	b.mu.Lock()
+	defer func() {
+		b.n++
+		b.mu.Unlock()
+	}()
+	b.n++
+}

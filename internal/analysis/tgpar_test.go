@@ -1,34 +1,14 @@
 package analysis
 
-import (
-	"strings"
-	"testing"
-)
+import "testing"
 
 func TestParwriteFixture(t *testing.T)   { checkFixture(t, Parwrite, "parwrite/sim") }
 func TestRedorderFixture(t *testing.T)   { checkFixture(t, Redorder, "redorder/pipe") }
 func TestCacheflushFixture(t *testing.T) { checkFixture(t, Cacheflush, "cacheflush/cache") }
 func TestWorkerpureFixture(t *testing.T) { checkFixture(t, Workerpure, "workerpure/sim") }
 
-// TestParwriteMalformedDirectives: the want harness cannot annotate
-// comment-only lines, so the malformed //par: directives get asserted
-// directly.
+// TestParwriteMalformedDirectives asserts both seeded broken directives
+// through the shared baddir helper.
 func TestParwriteMalformedDirectives(t *testing.T) {
-	pkg := loadFixture(t, "parwrite/baddir")
-	diags := Run([]*Package{pkg}, []*Analyzer{Parwrite}, DefaultConfig())
-	var unknown, noReason bool
-	for _, d := range diags {
-		if strings.Contains(d.Message, "unknown //par: annotation kind sequential") {
-			unknown = true
-		}
-		if strings.Contains(d.Message, "a reason is mandatory") {
-			noReason = true
-		}
-	}
-	if !unknown || !noReason {
-		t.Fatalf("malformed directives not reported (unknown=%v noReason=%v): %v", unknown, noReason, diags)
-	}
-	if len(diags) != 2 {
-		t.Fatalf("want exactly 2 directive diagnostics, got %d: %v", len(diags), diags)
-	}
+	checkMalformedDirectives(t, Parwrite, "parwrite/baddir", "unknown //par: annotation kind sequential")
 }

@@ -1,33 +1,13 @@
 package analysis
 
-import (
-	"strings"
-	"testing"
-)
+import "testing"
 
 func TestAllocfreeFixture(t *testing.T) { checkFixture(t, Allocfree, "allocfree/sim") }
 func TestBoxcheckFixture(t *testing.T)  { checkFixture(t, Boxcheck, "boxcheck/sim") }
 func TestCapgrowFixture(t *testing.T)   { checkFixture(t, Capgrow, "capgrow/sim") }
 
-// TestAllocfreeMalformedDirectives: the want harness cannot annotate
-// comment-only lines, so the malformed //perf: directives get asserted
-// directly.
+// TestAllocfreeMalformedDirectives asserts both seeded broken directives
+// through the shared baddir helper.
 func TestAllocfreeMalformedDirectives(t *testing.T) {
-	pkg := loadFixture(t, "allocfree/baddir")
-	diags := Run([]*Package{pkg}, []*Analyzer{Allocfree}, DefaultConfig())
-	var unknown, noReason bool
-	for _, d := range diags {
-		if strings.Contains(d.Message, "unknown //perf: annotation kind speed") {
-			unknown = true
-		}
-		if strings.Contains(d.Message, "a reason is mandatory") {
-			noReason = true
-		}
-	}
-	if !unknown || !noReason {
-		t.Fatalf("malformed directives not reported (unknown=%v noReason=%v): %v", unknown, noReason, diags)
-	}
-	if len(diags) != 2 {
-		t.Fatalf("want exactly 2 directive diagnostics, got %d: %v", len(diags), diags)
-	}
+	checkMalformedDirectives(t, Allocfree, "allocfree/baddir", "unknown //perf: annotation kind speed")
 }

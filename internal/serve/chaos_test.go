@@ -327,7 +327,7 @@ func TestChaosKillStormNeverLosesJobs(t *testing.T) {
 	for _, j := range jobs {
 		select {
 		case <-j.Done():
-		case <-time.After(60 * time.Second):
+		case <-after(t, 60*time.Second):
 			t.Fatalf("job %s never settled (state %s)", j.ID, j.State())
 		}
 		if st := j.State(); st != StateDone && st != StateFailed {

@@ -74,7 +74,7 @@ func TestQueuePopBlocksUntilPushOrStop(t *testing.T) {
 	select {
 	case j := <-got:
 		t.Fatalf("pop returned %v from an empty queue", j)
-	case <-time.After(20 * time.Millisecond):
+	case <-after(t, 20*time.Millisecond):
 	}
 	want := testJob(0, 9)
 	if err := q.Push(want, false); err != nil {
@@ -85,7 +85,7 @@ func TestQueuePopBlocksUntilPushOrStop(t *testing.T) {
 		if j != want {
 			t.Fatal("pop returned the wrong job")
 		}
-	case <-time.After(2 * time.Second):
+	case <-after(t, 2*time.Second):
 		t.Fatal("pop never woke after push")
 	}
 
@@ -97,7 +97,7 @@ func TestQueuePopBlocksUntilPushOrStop(t *testing.T) {
 		if j != nil {
 			t.Fatalf("stopped pop returned %v, want nil", j)
 		}
-	case <-time.After(2 * time.Second):
+	case <-after(t, 2*time.Second):
 		t.Fatal("pop never observed stop")
 	}
 }
@@ -123,7 +123,7 @@ func TestQueueWakeChain(t *testing.T) {
 		select {
 		case j := <-got:
 			seen[j.seq] = true
-		case <-time.After(2 * time.Second):
+		case <-after(t, 2*time.Second):
 			t.Fatalf("only %d of 2 workers woke: %v", i, seen)
 		}
 	}

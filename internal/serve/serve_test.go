@@ -22,6 +22,17 @@ func smallSpec(seed uint64) JobSpec {
 	return JobSpec{Policy: "all-on", Benchmark: "fft", Seed: seed, DurationMS: 5, WarmupEpochs: 2}
 }
 
+// after is time.After with a bounded lifetime: the timer is stopped on
+// test cleanup instead of lingering until it fires, so timeout guards —
+// especially ones armed per loop iteration — leave no live timers
+// behind a passing test.
+func after(t *testing.T, d time.Duration) <-chan time.Time {
+	t.Helper()
+	tm := time.NewTimer(d)
+	t.Cleanup(func() { tm.Stop() })
+	return tm.C
+}
+
 // waitState polls until the job reaches the wanted state or the deadline.
 func waitState(t *testing.T, j *Job, want JobState) {
 	t.Helper()

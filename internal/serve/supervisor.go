@@ -283,6 +283,7 @@ func (s *Supervisor) submitSweep(parent *Job) (*Job, bool, error) {
 			// incrementing — back-linking it would earn a decrement that
 			// was never paid for.
 			parent.mu.Lock()
+			//sync:ordered fan-out locks parent.mu before child.mu; the parent/child hierarchy is acyclic
 			child.mu.Lock()
 			if !terminal(child.state) {
 				child.parents = append(child.parents, parent)
@@ -311,6 +312,7 @@ func (s *Supervisor) submitSweep(parent *Job) (*Job, bool, error) {
 			dead := c.state == StateQueued && len(c.parents) == 1
 			c.mu.Unlock()
 			if dead {
+				//sync:owned never-admitted children of a dead fan-out must not notify; the parent's aggregation hold is deliberate
 				c.finishLocked(StateCanceled)
 				delete(s.jobs, c.ID)
 			}
@@ -541,6 +543,7 @@ func (s *Supervisor) runJob(worker int, j *Job) {
 
 	res, err := s.attempt(j, ctx)
 
+	//sync:balanced every branch unlocks; the default branch hands j.mu to classifyFailure, which releases it
 	j.mu.Lock()
 	j.cancel = nil
 	switch {
@@ -558,6 +561,7 @@ func (s *Supervisor) runJob(worker int, j *Job) {
 		if ce.Checkpoint != nil {
 			// The stream holds records exactly through the stopping
 			// epoch, so its current length IS the checkpoint boundary.
+			//sync:nonblocking Encode frames into an in-memory bytes.Buffer; no real I/O happens under j.mu
 			if enc := encodeCheckpoint(ce.Checkpoint); enc != nil {
 				j.ckpt, j.ckptLen, j.epoch = enc, j.stream.Len(), ce.Epoch
 			}
@@ -583,6 +587,7 @@ func (s *Supervisor) runJob(worker int, j *Job) {
 		}
 
 	default:
+		//sync:nonblocking classifyFailure releases j.mu before the settle path touches the spool
 		s.classifyFailure(j, err)
 	}
 }
@@ -606,6 +611,7 @@ func (s *Supervisor) classifyFailure(j *Job, err error) {
 			BackoffMS: j.backoff.Milliseconds(),
 		}
 		j.finish(StateFailed)
+		//sync:balanced callers hold j.mu by contract; classifyFailure releases it before returning
 		j.mu.Unlock()
 		s.failed.Add(1)
 		s.jobSettled(j)
@@ -624,6 +630,7 @@ func (s *Supervisor) classifyFailure(j *Job, err error) {
 	}
 	j.backoff += d
 	j.state = StateParked
+	//sync:balanced callers hold j.mu by contract; classifyFailure releases it before returning
 	j.mu.Unlock()
 	s.retries.Add(1)
 
@@ -833,6 +840,7 @@ func (s *Supervisor) aggregateSweep(p *Job) {
 	p.mu.Lock()
 	sw := &SweepResult{}
 	for _, c := range p.children {
+		//sync:ordered aggregation locks parent.mu before each child.mu, the same acyclic hierarchy fan-out uses
 		c.mu.Lock()
 		cell := SweepCell{
 			Benchmark: c.Spec.Benchmark,

@@ -6,6 +6,7 @@ package serve
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -70,7 +71,7 @@ func TestCancelQueuedSweepChildSettlesParent(t *testing.T) {
 	}
 	select {
 	case <-parent.Done():
-	case <-time.After(30 * time.Second):
+	case <-after(t, 30*time.Second):
 		t.Fatalf("parent stuck in %s after its only child was canceled", parent.State())
 	}
 	sw, ok := parent.Sweep()
@@ -286,7 +287,7 @@ func TestStatsDuringRetriesAndPreemptionNoDeadlock(t *testing.T) {
 	}
 	select {
 	case <-j.Done():
-	case <-time.After(60 * time.Second):
+	case <-after(t, 60*time.Second):
 		close(stop)
 		wg.Wait()
 		t.Fatalf("supervisor wedged: job stuck in %s while Stats was polled", j.State())
@@ -296,4 +297,49 @@ func TestStatsDuringRetriesAndPreemptionNoDeadlock(t *testing.T) {
 	if st := j.State(); st != StateDone && st != StateFailed {
 		t.Fatalf("job ended %s", st)
 	}
+}
+
+// TestDrainLeavesNoTimersOrGoroutines: a drained supervisor must not
+// leave its workers, janitor, preempt monitor, or an armed retry timer
+// behind — the goroutine/timer lifecycle shape golife now enforces
+// statically. The retry backoff is far enough out that Drain has to
+// sweep the timer rather than win a race against it firing.
+func TestDrainLeavesNoTimersOrGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	sup, err := NewSupervisor(Config{Workers: 2, MaxAttempts: 3, RetryBackoff: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _, err := sup.Submit(smallSpec(940))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Kill(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateParked)
+	sup.mu.Lock()
+	armed := len(sup.timers)
+	sup.mu.Unlock()
+	if armed != 1 {
+		t.Fatalf("retry timers armed = %d, want 1", armed)
+	}
+
+	if err := sup.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	sup.mu.Lock()
+	leaked := len(sup.timers)
+	sup.mu.Unlock()
+	if leaked != 0 {
+		t.Errorf("%d retry timers leaked past drain", leaked)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked past drain: %d before, %d after", before, runtime.NumGoroutine())
 }
